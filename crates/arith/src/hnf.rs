@@ -1,0 +1,310 @@
+//! Integer-matrix utilities: Hermite normal form, unimodular transforms and
+//! primitive integer kernels.
+//!
+//! The influenced scheduler uses these to build the orthogonal-subspace
+//! matrix `H⊥` of the Pluto progression constraints (paper Section IV-A.3);
+//! the paper notes isl derives it from a Hermite-normal-form decomposition.
+
+use crate::matrix::Matrix;
+use crate::rat::{gcd, lcm, Rat};
+
+/// Row-style Hermite normal form.
+///
+/// Returns `(h, u)` such that `u * a = h`, where `u` is unimodular
+/// (`|det u| = 1`) and `h` is in row HNF: pivots move strictly right as rows
+/// descend, pivots are positive, entries below a pivot are zero and entries
+/// above a pivot are reduced modulo it. Zero rows sink to the bottom.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_arith::hermite_normal_form;
+/// let (h, _u) = hermite_normal_form(&[vec![2, 4], vec![1, 3]]);
+/// assert_eq!(h, vec![vec![1, 1], vec![0, 2]]);
+/// ```
+pub fn hermite_normal_form(a: &[Vec<i128>]) -> (Vec<Vec<i128>>, Vec<Vec<i128>>) {
+    let rows = a.len();
+    let cols = a.first().map_or(0, Vec::len);
+    let mut h: Vec<Vec<i128>> = a.to_vec();
+    let mut u: Vec<Vec<i128>> = (0..rows)
+        .map(|i| (0..rows).map(|j| i128::from(i == j)).collect())
+        .collect();
+
+    let mut pivot_row = 0;
+    for col in 0..cols {
+        if pivot_row == rows {
+            break;
+        }
+        // Euclidean elimination in this column below pivot_row.
+        loop {
+            // Find the row with the smallest nonzero |entry| in this column.
+            let mut best: Option<usize> = None;
+            for r in pivot_row..rows {
+                if h[r][col] != 0
+                    && best.is_none_or(|b| h[r][col].abs() < h[b][col].abs())
+                {
+                    best = Some(r);
+                }
+            }
+            let Some(b) = best else { break };
+            h.swap(pivot_row, b);
+            u.swap(pivot_row, b);
+            let mut done = true;
+            for r in pivot_row + 1..rows {
+                if h[r][col] != 0 {
+                    let q = h[r][col].div_euclid(h[pivot_row][col]);
+                    row_sub(&mut h, r, pivot_row, q);
+                    row_sub(&mut u, r, pivot_row, q);
+                    if h[r][col] != 0 {
+                        done = false;
+                    }
+                }
+            }
+            if done {
+                break;
+            }
+        }
+        if h[pivot_row][col] == 0 {
+            continue;
+        }
+        // Make the pivot positive.
+        if h[pivot_row][col] < 0 {
+            row_negate(&mut h, pivot_row);
+            row_negate(&mut u, pivot_row);
+        }
+        // Reduce entries above the pivot.
+        let p = h[pivot_row][col];
+        for r in 0..pivot_row {
+            let q = h[r][col].div_euclid(p);
+            if q != 0 {
+                row_sub(&mut h, r, pivot_row, q);
+                row_sub(&mut u, r, pivot_row, q);
+            }
+        }
+        pivot_row += 1;
+    }
+    (h, u)
+}
+
+fn row_sub(m: &mut [Vec<i128>], dst: usize, src: usize, q: i128) {
+    if q == 0 {
+        return;
+    }
+    for c in 0..m[dst].len() {
+        let s = m[src][c].checked_mul(q).expect("hnf overflow");
+        m[dst][c] = m[dst][c].checked_sub(s).expect("hnf overflow");
+    }
+}
+
+fn row_negate(m: &mut [Vec<i128>], r: usize) {
+    for v in &mut m[r] {
+        *v = -*v;
+    }
+}
+
+/// Whether a square integer matrix is unimodular (`|det| = 1`), computed by
+/// fraction-free Gaussian elimination.
+pub fn is_unimodular(m: &[Vec<i128>]) -> bool {
+    let n = m.len();
+    if n == 0 {
+        return true;
+    }
+    if m.iter().any(|r| r.len() != n) {
+        return false;
+    }
+    determinant(m).abs() == 1
+}
+
+/// Determinant of a square integer matrix (Bareiss algorithm via rationals,
+/// exact).
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn determinant(m: &[Vec<i128>]) -> i128 {
+    let n = m.len();
+    assert!(m.iter().all(|r| r.len() == n), "determinant of non-square matrix");
+    let mut a: Vec<Vec<Rat>> = m
+        .iter()
+        .map(|r| r.iter().map(|&v| Rat::int(v)).collect())
+        .collect();
+    let mut det = Rat::ONE;
+    for c in 0..n {
+        let Some(p) = (c..n).find(|&r| !a[r][c].is_zero()) else {
+            return 0;
+        };
+        if p != c {
+            a.swap(p, c);
+            det = -det;
+        }
+        det *= a[c][c];
+        let inv = a[c][c].recip();
+        for r in c + 1..n {
+            let f = a[r][c] * inv;
+            if f.is_zero() {
+                continue;
+            }
+            let (top, bottom) = a.split_at_mut(r);
+            for (av, &cv) in bottom[0][c..n].iter_mut().zip(&top[c][c..n]) {
+                let s = cv * f;
+                *av -= s;
+            }
+        }
+    }
+    det.to_integer().expect("integer determinant")
+}
+
+/// Scales a rational vector to a primitive integer vector (integer entries
+/// with gcd 1), preserving direction.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_arith::{primitive_integer_vector, Rat};
+/// let v = vec![Rat::new(1, 2), Rat::new(-3, 4)];
+/// assert_eq!(primitive_integer_vector(&v), vec![2, -3]);
+/// ```
+pub fn primitive_integer_vector(v: &[Rat]) -> Vec<i128> {
+    let mut denom_lcm = 1i128;
+    for x in v {
+        denom_lcm = lcm(denom_lcm, x.denom());
+    }
+    if denom_lcm == 0 {
+        denom_lcm = 1;
+    }
+    let ints: Vec<i128> = v
+        .iter()
+        .map(|x| {
+            (x.numer())
+                .checked_mul(denom_lcm / x.denom())
+                .expect("primitive vector overflow")
+        })
+        .collect();
+    let g = ints.iter().fold(0i128, |acc, &x| gcd(acc, x));
+    if g <= 1 {
+        ints
+    } else {
+        ints.iter().map(|&x| x / g).collect()
+    }
+}
+
+/// A basis of integer vectors spanning the rational kernel of `a`
+/// (equivalently, the orthogonal complement of the row space): every
+/// returned vector `v` is primitive and satisfies `a * v = 0`.
+///
+/// This is the `H⊥` construction used by the progression constraint
+/// builder.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_arith::integer_kernel_basis;
+/// // Row space spanned by (1, 1, 0): complement has dimension 2.
+/// let k = integer_kernel_basis(&[vec![1, 1, 0]]);
+/// assert_eq!(k.len(), 2);
+/// for v in &k {
+///     assert_eq!(v[0] + v[1], 0);
+/// }
+/// ```
+pub fn integer_kernel_basis(a: &[Vec<i128>]) -> Vec<Vec<i128>> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let m = Matrix::from_rows(a);
+    m.kernel_basis().iter().map(|v| primitive_integer_vector(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_mul(a: &[Vec<i128>], b: &[Vec<i128>]) -> Vec<Vec<i128>> {
+        let n = a.len();
+        let k = b.len();
+        let m = b.first().map_or(0, Vec::len);
+        let mut out = vec![vec![0i128; m]; n];
+        for i in 0..n {
+            for t in 0..k {
+                for j in 0..m {
+                    out[i][j] += a[i][t] * b[t][j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hnf_reconstructs_input() {
+        let a = vec![vec![2, 4, 4], vec![-6, 6, 12], vec![10, 4, 16]];
+        let (h, u) = hermite_normal_form(&a);
+        assert_eq!(mat_mul(&u, &a), h);
+        assert!(is_unimodular(&u));
+    }
+
+    #[test]
+    fn hnf_shape_properties() {
+        let a = vec![vec![3, 3, 1], vec![0, 7, 1]];
+        let (h, _) = hermite_normal_form(&a);
+        // Pivots positive and strictly moving right.
+        let mut last_pivot: i64 = -1;
+        for row in &h {
+            if let Some(p) = row.iter().position(|&v| v != 0) {
+                assert!(row[p] > 0);
+                assert!((p as i64) > last_pivot);
+                last_pivot = p as i64;
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_of_identity() {
+        let a = vec![vec![1, 0], vec![0, 1]];
+        let (h, u) = hermite_normal_form(&a);
+        assert_eq!(h, a);
+        assert_eq!(u, a);
+    }
+
+    #[test]
+    fn hnf_with_zero_rows() {
+        let a = vec![vec![0, 0], vec![2, 4]];
+        let (h, u) = hermite_normal_form(&a);
+        assert_eq!(mat_mul(&u, &a), h);
+        assert_eq!(h[1], vec![0, 0], "zero row sinks to the bottom");
+    }
+
+    #[test]
+    fn determinant_cases() {
+        assert_eq!(determinant(&[vec![1, 2], vec![3, 4]]), -2);
+        assert_eq!(determinant(&[vec![2, 0], vec![0, 2]]), 4);
+        assert_eq!(determinant(&[vec![1, 2], vec![2, 4]]), 0);
+    }
+
+    #[test]
+    fn unimodularity() {
+        assert!(is_unimodular(&[vec![1, 1], vec![0, 1]]));
+        assert!(!is_unimodular(&[vec![2, 0], vec![0, 1]]));
+    }
+
+    #[test]
+    fn kernel_is_orthogonal_complement() {
+        let a = vec![vec![1, 0, 1], vec![0, 1, 1]];
+        let k = integer_kernel_basis(&a);
+        assert_eq!(k.len(), 1);
+        for row in &a {
+            let dot: i128 = row.iter().zip(&k[0]).map(|(x, y)| x * y).sum();
+            assert_eq!(dot, 0);
+        }
+    }
+
+    #[test]
+    fn kernel_of_full_rank_is_empty() {
+        let a = vec![vec![1, 0], vec![0, 1]];
+        assert!(integer_kernel_basis(&a).is_empty());
+    }
+
+    #[test]
+    fn primitive_vector_handles_zero() {
+        use crate::rat::Rat;
+        assert_eq!(primitive_integer_vector(&[Rat::ZERO, Rat::ZERO]), vec![0, 0]);
+    }
+}

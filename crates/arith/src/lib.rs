@@ -1,0 +1,34 @@
+//! # polyject-arith
+//!
+//! Exact rational and integer linear algebra underpinning the `polyject`
+//! polyhedral compiler: [`Rat`] (exact `i128` rationals), dense rational
+//! [`Matrix`] operations, and integer-lattice utilities (Hermite normal
+//! form, primitive kernels) used to build the scheduler's orthogonality
+//! constraints.
+//!
+//! Everything here is exact — no floating point is ever used in a
+//! scheduling decision.
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_arith::{Matrix, Rat};
+//!
+//! let m = Matrix::from_rows(&[vec![1, 1], vec![1, -1]]);
+//! let x = m.solve(&[Rat::int(4), Rat::int(2)]).unwrap();
+//! assert_eq!(x, vec![Rat::int(3), Rat::int(1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hnf;
+mod matrix;
+mod rat;
+
+pub use hnf::{
+    determinant, hermite_normal_form, integer_kernel_basis, is_unimodular,
+    primitive_integer_vector,
+};
+pub use matrix::Matrix;
+pub use rat::{gcd, lcm, Rat};

@@ -1,0 +1,419 @@
+//! Exact rational numbers over `i128`.
+//!
+//! Polyhedral scheduling only ever manipulates tiny coefficients (loop
+//! strides, Farkas multipliers, schedule coefficients), so an `i128`
+//! numerator/denominator pair with eager normalization is both exact and
+//! fast. All arithmetic is checked: an overflow is a bug in the caller's
+//! problem formulation and panics rather than silently wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Greatest common divisor of two non-negative integers.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(polyject_arith::gcd(12, 18), 6);
+/// assert_eq!(polyject_arith::gcd(0, 7), 7);
+/// ```
+pub fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple of two integers (by absolute value).
+///
+/// # Panics
+///
+/// Panics on overflow.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(polyject_arith::lcm(4, 6), 12);
+/// assert_eq!(polyject_arith::lcm(0, 5), 0);
+/// ```
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|numer|, denom) == 1` (zero is stored as `0/1`).
+///
+/// # Examples
+///
+/// ```
+/// use polyject_arith::Rat;
+/// let a = Rat::new(1, 3);
+/// let b = Rat::new(1, 6);
+/// assert_eq!(a + b, Rat::new(1, 2));
+/// assert!(a > b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    numer: i128,
+    denom: i128,
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { numer: 0, denom: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { numer: 1, denom: 1 };
+
+    /// Creates a rational from a numerator and denominator, normalizing sign
+    /// and common factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyject_arith::Rat;
+    /// assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+    /// ```
+    pub fn new(numer: i128, denom: i128) -> Rat {
+        assert!(denom != 0, "rational with zero denominator");
+        let g = gcd(numer, denom);
+        let (mut n, mut d) = if g == 0 { (0, 1) } else { (numer / g, denom / g) };
+        if d < 0 {
+            n = -n;
+            d = -d;
+        }
+        Rat { numer: n, denom: d }
+    }
+
+    /// Creates an integer-valued rational.
+    pub fn int(v: i128) -> Rat {
+        Rat { numer: v, denom: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.numer
+    }
+
+    /// The denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.denom
+    }
+
+    /// Whether this value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.numer == 0
+    }
+
+    /// Whether this value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.denom == 1
+    }
+
+    /// Whether this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.numer < 0
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.numer > 0
+    }
+
+    /// Returns the integer value if this rational is an integer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyject_arith::Rat;
+    /// assert_eq!(Rat::int(4).to_integer(), Some(4));
+    /// assert_eq!(Rat::new(1, 2).to_integer(), None);
+    /// ```
+    pub fn to_integer(&self) -> Option<i128> {
+        if self.denom == 1 {
+            Some(self.numer)
+        } else {
+            None
+        }
+    }
+
+    /// Largest integer `<= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyject_arith::Rat;
+    /// assert_eq!(Rat::new(7, 2).floor(), 3);
+    /// assert_eq!(Rat::new(-7, 2).floor(), -4);
+    /// ```
+    pub fn floor(&self) -> i128 {
+        self.numer.div_euclid(self.denom)
+    }
+
+    /// Smallest integer `>= self`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyject_arith::Rat;
+    /// assert_eq!(Rat::new(7, 2).ceil(), 4);
+    /// assert_eq!(Rat::new(-7, 2).ceil(), -3);
+    /// ```
+    pub fn ceil(&self) -> i128 {
+        -((-self.numer).div_euclid(self.denom))
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat { numer: self.numer.abs(), denom: self.denom }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rat {
+        assert!(self.numer != 0, "reciprocal of zero");
+        Rat::new(self.denom, self.numer)
+    }
+
+    /// Sign of the value: -1, 0 or 1.
+    pub fn signum(&self) -> i128 {
+        self.numer.signum()
+    }
+
+    /// Approximate conversion to `f64` (only used for reporting).
+    pub fn to_f64(&self) -> f64 {
+        self.numer as f64 / self.denom as f64
+    }
+
+    fn checked(n: Option<i128>, d: Option<i128>) -> Rat {
+        Rat::new(n.expect("rational overflow"), d.expect("rational overflow"))
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::ZERO
+    }
+}
+
+impl From<i128> for Rat {
+    fn from(v: i128) -> Rat {
+        Rat::int(v)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::int(v as i128)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::int(v as i128)
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denom == 1 {
+            write!(f, "{}", self.numer)
+        } else {
+            write!(f, "{}/{}", self.numer, self.denom)
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b (b, d > 0)
+        let lhs = self.numer.checked_mul(other.denom).expect("rational overflow");
+        let rhs = other.numer.checked_mul(self.denom).expect("rational overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Add for Rat {
+    type Output = Rat;
+    fn add(self, rhs: Rat) -> Rat {
+        let g = gcd(self.denom, rhs.denom);
+        let (db, dd) = (self.denom / g, rhs.denom / g);
+        let n = self
+            .numer
+            .checked_mul(dd)
+            .and_then(|a| rhs.numer.checked_mul(db).and_then(|b| a.checked_add(b)));
+        let d = self.denom.checked_mul(dd);
+        Rat::checked(n, d)
+    }
+}
+
+impl Sub for Rat {
+    type Output = Rat;
+    fn sub(self, rhs: Rat) -> Rat {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rat {
+    type Output = Rat;
+    fn mul(self, rhs: Rat) -> Rat {
+        // Cross-reduce before multiplying to shrink intermediates.
+        let g1 = gcd(self.numer, rhs.denom);
+        let g2 = gcd(rhs.numer, self.denom);
+        let (n1, d2) = if g1 == 0 { (0, 1) } else { (self.numer / g1, rhs.denom / g1) };
+        let (n2, d1) = if g2 == 0 { (0, 1) } else { (rhs.numer / g2, self.denom / g2) };
+        Rat::checked(n1.checked_mul(n2), d1.checked_mul(d2))
+    }
+}
+
+impl Div for Rat {
+    type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiply-by-reciprocal
+    fn div(self, rhs: Rat) -> Rat {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat { numer: -self.numer, denom: self.denom }
+    }
+}
+
+impl AddAssign for Rat {
+    fn add_assign(&mut self, rhs: Rat) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rat {
+    fn sub_assign(&mut self, rhs: Rat) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rat {
+    fn mul_assign(&mut self, rhs: Rat) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rat {
+    fn div_assign(&mut self, rhs: Rat) {
+        *self = *self / rhs;
+    }
+}
+
+impl std::iter::Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -5), Rat::ZERO);
+        assert_eq!(Rat::new(0, 3).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = Rat::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Rat::new(3, 7);
+        assert_eq!(a + Rat::ZERO, a);
+        assert_eq!(a * Rat::ONE, a);
+        assert_eq!(a - a, Rat::ZERO);
+        assert_eq!(a / a, Rat::ONE);
+        assert_eq!(-(-a), a);
+        assert_eq!(a * a.recip(), Rat::ONE);
+    }
+
+    #[test]
+    fn mixed_arithmetic() {
+        assert_eq!(Rat::new(1, 2) + Rat::new(1, 3), Rat::new(5, 6));
+        assert_eq!(Rat::new(1, 2) - Rat::new(1, 3), Rat::new(1, 6));
+        assert_eq!(Rat::new(2, 3) * Rat::new(3, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, 3) / Rat::new(4, 3), Rat::new(1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::ZERO);
+        assert!(Rat::new(7, 3) > Rat::int(2));
+        let mut v = vec![Rat::int(3), Rat::new(1, 2), Rat::new(-5, 2)];
+        v.sort();
+        assert_eq!(v, vec![Rat::new(-5, 2), Rat::new(1, 2), Rat::int(3)]);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(Rat::int(5).floor(), 5);
+        assert_eq!(Rat::int(5).ceil(), 5);
+        assert_eq!(Rat::new(5, 2).floor(), 2);
+        assert_eq!(Rat::new(5, 2).ceil(), 3);
+        assert_eq!(Rat::new(-5, 2).floor(), -3);
+        assert_eq!(Rat::new(-5, 2).ceil(), -2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rat::new(3, 4).to_string(), "3/4");
+        assert_eq!(Rat::int(-2).to_string(), "-2");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let s: Rat = (1..=4).map(|i| Rat::new(1, i)).sum();
+        assert_eq!(s, Rat::new(25, 12));
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(0, 0), 0);
+    }
+}

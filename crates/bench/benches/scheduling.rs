@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the compiler itself: dependence
+//! analysis, influence-tree construction, influenced vs plain scheduling,
+//! code generation and the analytic simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyject_codegen::{compile, generate_ast, Config};
+use polyject_core::{
+    build_influence_tree, schedule_kernel, InfluenceOptions, InfluenceTree, SchedulerOptions,
+};
+use polyject_deps::{compute_dependences, DepOptions};
+use polyject_gpusim::{estimate, GpuModel};
+use polyject_ir::{ops, Kernel};
+
+fn kernels() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("running_example", ops::running_example(256)),
+        ("transpose2d", ops::transpose_2d(512, 512)),
+        ("layernorm", ops::layernorm_like(256, 768)),
+        ("elementwise_x6", ops::elementwise_chain(1 << 18, 6)),
+    ]
+}
+
+fn bench_dependences(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependence_analysis");
+    for (name, k) in kernels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| compute_dependences(k, DepOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_influence_tree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("influence_tree_build");
+    for (name, k) in kernels() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| build_influence_tree(k, &InfluenceOptions::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(10);
+    for (name, k) in kernels() {
+        let deps = compute_dependences(&k, DepOptions::default());
+        let tree = build_influence_tree(&k, &InfluenceOptions::default());
+        g.bench_function(BenchmarkId::new("isl", name), |b| {
+            b.iter(|| {
+                schedule_kernel(&k, &deps, &InfluenceTree::new(), SchedulerOptions::default())
+                    .unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::new("influenced", name), |b| {
+            b.iter(|| schedule_kernel(&k, &deps, &tree, SchedulerOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_codegen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codegen");
+    g.sample_size(10);
+    for (name, k) in kernels() {
+        let deps = compute_dependences(&k, DepOptions::default());
+        let sched = schedule_kernel(&k, &deps, &InfluenceTree::new(), SchedulerOptions::default())
+            .unwrap()
+            .schedule;
+        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
+            b.iter(|| generate_ast(k, &sched))
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_estimate");
+    let model = GpuModel::v100();
+    for (name, k) in kernels() {
+        let compiled = compile(&k, Config::Influenced).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| estimate(&compiled.ast, &k, &model))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dependences,
+    bench_influence_tree,
+    bench_scheduling,
+    bench_codegen,
+    bench_estimate
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Table I (target end-to-end workloads).
+fn main() {
+    print!("{}", polyject_bench::render_table1());
+}

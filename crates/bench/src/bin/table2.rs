@@ -1,0 +1,65 @@
+//! Regenerates Table II: runs every fused operator of every network
+//! through the four tool chains on the simulated V100 and prints the
+//! paper-style table plus the geometric-mean headline.
+use polyject_gpusim::GpuModel;
+use polyject_workloads::{geomean_speedup, Tool};
+
+fn main() {
+    let per_op = std::env::args().any(|a| a == "--per-op");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let model = GpuModel::v100();
+    eprintln!("measuring all networks on {} ...", model.name);
+    let t0 = std::time::Instant::now();
+    let results = polyject_bench::run_table2(&model);
+    if csv {
+        // Machine-readable per-operator dump.
+        println!("network,op,class,vec,influenced,isl_ms,tvm_ms,novec_ms,infl_ms");
+        for net in &results {
+            for m in &net.per_op {
+                println!(
+                    "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
+                    net.name,
+                    m.name,
+                    m.class,
+                    m.vec_eligible,
+                    m.influenced,
+                    m.time_ms[0],
+                    m.time_ms[1],
+                    m.time_ms[2],
+                    m.time_ms[3]
+                );
+            }
+        }
+        return;
+    }
+    if per_op {
+        // The paper's "detailed analysis of fused operators".
+        for net in &results {
+            println!("== {} ==", net.name);
+            for m in &net.per_op {
+                println!(
+                    "  {:<40} {:<22} vec={:<5} infl={:<5} isl={:>8.4} tvm={:>8.4} novec={:>8.4} infl={:>8.4}  (x{:.2})",
+                    m.name,
+                    m.class,
+                    m.vec_eligible,
+                    m.influenced,
+                    m.time_ms[0],
+                    m.time_ms[1],
+                    m.time_ms[2],
+                    m.time_ms[3],
+                    m.time_ms[0] / m.time_ms[3]
+                );
+            }
+        }
+        println!();
+    }
+    print!("{}", polyject_bench::render_table2(&results));
+    println!();
+    println!(
+        "geomean speedup over isl:  infl {:.2}x  novec {:.2}x  tvm {:.2}x   (paper headline: infl 1.7x)",
+        geomean_speedup(&results, Tool::Infl),
+        geomean_speedup(&results, Tool::NoVec),
+        geomean_speedup(&results, Tool::Tvm),
+    );
+    eprintln!("({} networks in {:.1?})", results.len(), t0.elapsed());
+}

@@ -1,0 +1,161 @@
+//! # polyject-bench
+//!
+//! The table/figure regeneration harness for the paper's evaluation
+//! (Section VI): formatting helpers, the paper's published numbers for
+//! side-by-side comparison, and shared driver code used by the `table1`,
+//! `table2`, `fig1_pipeline`, `fig2_running_example` and
+//! `fig3_constraint_tree` binaries and the Criterion benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use polyject_gpusim::GpuModel;
+use polyject_workloads::{all_networks, measure_network, NetworkMeasurement, Tool};
+use std::fmt::Write as _;
+
+/// The paper's Table II reference values for one network row.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Network name.
+    pub name: &'static str,
+    /// total / vec / infl operator counts.
+    pub counts: [usize; 3],
+    /// All-operator speedups over isl: tvm, novec, infl.
+    pub speedups_all: [f64; 3],
+    /// Influenced-only speedups over isl: tvm, novec, infl.
+    pub speedups_infl: [f64; 3],
+}
+
+/// The paper's Table II (speedups over isl; times omitted — absolute
+/// milliseconds are testbed-specific).
+pub fn paper_table2() -> Vec<PaperRow> {
+    vec![
+        PaperRow {
+            name: "BERT",
+            counts: [109, 53, 53],
+            speedups_all: [0.18, 0.95, 1.05],
+            speedups_infl: [1.01, 0.86, 1.15],
+        },
+        PaperRow {
+            name: "LSTM",
+            counts: [4, 3, 3],
+            speedups_all: [0.94, 1.00, 1.05],
+            speedups_infl: [0.94, 1.00, 1.05],
+        },
+        PaperRow {
+            name: "MobileNetv2",
+            counts: [18, 16, 16],
+            speedups_all: [0.99, 0.99, 1.02],
+            speedups_infl: [0.99, 0.99, 1.02],
+        },
+        PaperRow {
+            name: "ResNet50",
+            counts: [17, 10, 12],
+            speedups_all: [3.07, 3.05, 3.43],
+            speedups_infl: [5.14, 4.72, 5.93],
+        },
+        PaperRow {
+            name: "ResNet101",
+            counts: [22, 14, 16],
+            speedups_all: [6.94, 6.75, 7.70],
+            speedups_infl: [11.31, 10.07, 12.53],
+        },
+        PaperRow {
+            name: "ResNeXt50",
+            counts: [33, 21, 22],
+            speedups_all: [1.13, 1.23, 1.36],
+            speedups_infl: [1.19, 1.35, 1.56],
+        },
+        PaperRow {
+            name: "VGG16",
+            counts: [14, 9, 10],
+            speedups_all: [1.09, 1.26, 1.42],
+            speedups_infl: [1.09, 1.28, 1.45],
+        },
+    ]
+}
+
+/// Runs the full Table II measurement over every network.
+pub fn run_table2(model: &GpuModel) -> Vec<NetworkMeasurement> {
+    all_networks().iter().map(|n| measure_network(n, model)).collect()
+}
+
+/// Renders measured results as a paper-style Table II, with the paper's
+/// speedups alongside for comparison.
+pub fn render_table2(results: &[NetworkMeasurement]) -> String {
+    let mut out = String::new();
+    writeln!(out, "TABLE II — FUSED OPERATORS EXECUTION TIMES (simulated V100)").unwrap();
+    writeln!(
+        out,
+        "{:<12} | {:>5} {:>4} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>5} {:>6} {:>5} | {:>5} {:>6} {:>5} | paper(tvm/novec/infl)",
+        "Network", "total", "vec", "infl", "isl(ms)", "tvm(ms)", "novec(ms)", "infl(ms)",
+        "tvm", "novec", "infl", "tvm*", "novec*", "infl*"
+    )
+    .unwrap();
+    let paper = paper_table2();
+    for (m, p) in results.iter().zip(&paper) {
+        writeln!(
+            out,
+            "{:<12} | {:>5} {:>4} {:>5} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>5.2} {:>6.2} {:>5.2} | {:>5.2} {:>6.2} {:>5.2} | {:.2}/{:.2}/{:.2}",
+            m.name,
+            m.total_ops,
+            m.vec_ops,
+            m.infl_ops,
+            m.all_ms[0],
+            m.all_ms[1],
+            m.all_ms[2],
+            m.all_ms[3],
+            m.speedup_all(Tool::Tvm),
+            m.speedup_all(Tool::NoVec),
+            m.speedup_all(Tool::Infl),
+            m.speedup_infl(Tool::Tvm),
+            m.speedup_infl(Tool::NoVec),
+            m.speedup_infl(Tool::Infl),
+            p.speedups_all[0],
+            p.speedups_all[1],
+            p.speedups_all[2],
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "(columns 9-11: measured all-operator speedups over isl; 12-14 (*): influenced-only; rightmost: paper's all-operator speedups)"
+    )
+    .unwrap();
+    out
+}
+
+/// Renders Table I.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    writeln!(out, "TABLE I — TARGET END-TO-END WORKLOADS").unwrap();
+    writeln!(out, "{:<12} {:<5} Dataset", "Network", "Type").unwrap();
+    for n in all_networks() {
+        writeln!(out, "{:<12} {:<5} {}", n.name, n.kind.as_str(), n.dataset).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_cover_all_networks() {
+        let paper = paper_table2();
+        let nets = all_networks();
+        assert_eq!(paper.len(), nets.len());
+        for (p, n) in paper.iter().zip(&nets) {
+            assert_eq!(p.name, n.name);
+            assert_eq!(p.counts[0], n.ops.len(), "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn table1_renders_seven_rows() {
+        let t = render_table1();
+        assert_eq!(t.lines().count(), 9);
+        assert!(t.contains("BERT"));
+        assert!(t.contains("zhwiki"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden tests for the figure regenerators: the structural facts of each
+//! paper figure must be present in the regenerated artifacts.
+
+use polyject_codegen::{compile, render, Config};
+use polyject_core::{build_influence_tree, build_scenarios, InfluenceOptions};
+use polyject_ir::ops;
+
+#[test]
+fn fig2c_golden_structure() {
+    let kernel = ops::running_example(1024);
+    let infl = compile(&kernel, Config::Influenced).unwrap();
+    let text = render(&infl.ast, &kernel);
+    // The paper's desired code: fused outer forall, k loop containing X
+    // then the forvec j loop over Y.
+    let x_pos = text.find("X: B[c0][c1]").expect("X body present");
+    let vec_pos = text.find("forvec").expect("vector loop present");
+    let y_pos = text.find("Y: C[c0][c2]").expect("Y body present");
+    assert!(x_pos < vec_pos && vec_pos < y_pos, "X before forvec before Y:\n{text}");
+    assert!(text.contains("D[c1][c0][c2]"), "D accessed stride-1 on the vector loop");
+    assert_eq!(text.matches("forvec").count(), 1);
+}
+
+#[test]
+fn fig3_golden_scenarios() {
+    let kernel = ops::running_example(1024);
+    let opts = InfluenceOptions::default();
+    let scenarios = build_scenarios(&kernel, &opts);
+    // X: innermost k; Y: innermost j — both vectorizable.
+    let x = scenarios.iter().find(|s| s.stmt.0 == 0).unwrap();
+    let y = scenarios.iter().find(|s| s.stmt.0 == 1).unwrap();
+    assert_eq!(*x.dims.last().unwrap(), 1);
+    assert_eq!(*y.dims.last().unwrap(), 1);
+    assert!(x.vectorizable && y.vectorizable);
+    let tree = build_influence_tree(&kernel, &opts);
+    let rendered = tree.render();
+    // Two alternatives per scenario (fused first), 3-deep chains.
+    assert!(rendered.contains("priority 1"));
+    assert!(rendered.contains("priority 2"));
+    assert!(rendered.contains("depth 2"));
+    assert!(rendered.contains("fused"));
+    assert!(rendered.contains("relaxed"));
+    assert!(rendered.contains("vector"));
+}
+
+#[test]
+fn table1_golden() {
+    let t = polyject_bench::render_table1();
+    for (net, data) in [
+        ("BERT", "zhwiki"),
+        ("LSTM", "ACLIMDB"),
+        ("MobileNetv2", "ImageNet"),
+        ("ResNet50", "CIFAR-10"),
+        ("VGG16", "CIFAR-10"),
+    ] {
+        let line = t.lines().find(|l| l.starts_with(net)).unwrap();
+        assert!(line.contains(data), "{line}");
+    }
+}

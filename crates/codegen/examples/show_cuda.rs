@@ -1,0 +1,10 @@
+//! Prints the emitted CUDA source of the running example's influenced
+//! compilation.
+use polyject_codegen::{compile, render_cuda, Config};
+use polyject_ir::ops;
+
+fn main() {
+    let kernel = ops::running_example(1024);
+    let c = compile(&kernel, Config::Influenced).unwrap();
+    print!("{}", render_cuda(&c.ast, &kernel));
+}

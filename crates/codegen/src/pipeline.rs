@@ -1,0 +1,133 @@
+//! The end-to-end compilation pipeline: schedule → AST → vectorize → map,
+//! under one of the paper's four evaluated configurations.
+
+use crate::ast::Ast;
+use crate::gen::generate_ast;
+use crate::passes::{map_to_gpu, vectorize, MappingOptions};
+use polyject_core::{
+    build_influence_tree, schedule_kernel, InfluenceOptions, InfluenceTree, Schedule,
+    ScheduleError, SchedulerOptions,
+};
+use polyject_deps::{compute_dependences, DepOptions};
+use polyject_ir::Kernel;
+
+/// The four configurations of the paper's evaluation (Section VI).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Config {
+    /// Standard isl-style scheduling (no influence), AKG pipeline.
+    Isl,
+    /// Influenced scheduling, but with the explicit load/store
+    /// vectorization backend pass disabled.
+    NoVec,
+    /// Influenced scheduling with vectorization (the paper's approach).
+    Influenced,
+}
+
+impl Config {
+    /// All pipeline configurations in the paper's column order (TVM is a
+    /// separate baseline handled by the workload harness).
+    pub fn all() -> [Config; 3] {
+        [Config::Isl, Config::NoVec, Config::Influenced]
+    }
+
+    /// The paper's column name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Config::Isl => "isl",
+            Config::NoVec => "novec",
+            Config::Influenced => "infl",
+        }
+    }
+}
+
+/// The compiled form of a kernel: schedule, mapped AST and provenance.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The schedule the polyhedral phase produced.
+    pub schedule: Schedule,
+    /// The mapped (and possibly vectorized) AST.
+    pub ast: Ast,
+    /// Whether influence constraints shaped the schedule.
+    pub influenced: bool,
+    /// Number of loops rewritten with vector types.
+    pub vector_loops: usize,
+}
+
+/// Compiles a kernel end to end under a configuration.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] if even uninfluenced scheduling fails.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_codegen::{compile, Config};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::transpose_2d(64, 64);
+/// let isl = compile(&kernel, Config::Isl).unwrap();
+/// let infl = compile(&kernel, Config::Influenced).unwrap();
+/// assert!(!isl.influenced);
+/// assert!(infl.influenced);
+/// ```
+pub fn compile(kernel: &Kernel, config: Config) -> Result<Compiled, ScheduleError> {
+    let deps = compute_dependences(kernel, DepOptions::default());
+    let tree = match config {
+        Config::Isl => InfluenceTree::new(),
+        Config::NoVec | Config::Influenced => {
+            build_influence_tree(kernel, &InfluenceOptions::default())
+        }
+    };
+    let result = schedule_kernel(kernel, &deps, &tree, SchedulerOptions::default())?;
+    let mut ast = generate_ast(kernel, &result.schedule);
+    crate::passes::refine_parallel_loops(&mut ast, &result.schedule, &deps);
+    let vector_loops = if config == Config::Influenced {
+        vectorize(&mut ast, kernel, &result.schedule)
+    } else {
+        0
+    };
+    map_to_gpu(&mut ast, kernel, MappingOptions::default());
+    Ok(Compiled { schedule: result.schedule, ast, influenced: result.influenced, vector_loops })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LoopKind;
+    use polyject_ir::ops;
+
+    #[test]
+    fn transpose_influenced_vectorizes() {
+        let kernel = ops::transpose_2d(128, 128);
+        let c = compile(&kernel, Config::Influenced).unwrap();
+        assert!(c.influenced);
+        assert_eq!(c.vector_loops, 1);
+        let loops = c.ast.loops();
+        assert!(loops.iter().any(|l| matches!(l.kind, LoopKind::Vector(4))));
+    }
+
+    #[test]
+    fn novec_does_not_vectorize_but_influences() {
+        let kernel = ops::transpose_2d(128, 128);
+        let c = compile(&kernel, Config::NoVec).unwrap();
+        assert!(c.influenced);
+        assert_eq!(c.vector_loops, 0);
+        assert!(c.ast.loops().iter().all(|l| l.kind.vector_width().is_none()));
+    }
+
+    #[test]
+    fn isl_maps_threads() {
+        let kernel = ops::transpose_2d(128, 128);
+        let c = compile(&kernel, Config::Isl).unwrap();
+        let loops = c.ast.loops();
+        assert!(loops.iter().any(|l| matches!(l.kind, LoopKind::Thread(0))));
+        assert!(loops.iter().any(|l| matches!(l.kind, LoopKind::Block(_))));
+    }
+
+    #[test]
+    fn config_names() {
+        assert_eq!(Config::Isl.name(), "isl");
+        assert_eq!(Config::all().len(), 3);
+    }
+}

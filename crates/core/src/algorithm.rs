@@ -1,0 +1,735 @@
+//! Algorithm 1: influenced scheduling construction.
+//!
+//! A Pluto-style iterative scheduler (one ILP per dimension, outermost to
+//! innermost) extended with influence-constraint-tree injection and the
+//! paper's multi-level backtracking ladder:
+//!
+//! 1. influence asks for extra dimensions on an empty dependence set →
+//!    drop progression constraints;
+//! 2. try the node's right sibling (lower-priority alternative);
+//! 3. discard dependences already strongly satisfied (give up the
+//!    permutable band);
+//! 4. backtrack to the closest right sibling of an ancestor, withdrawing
+//!    the schedule dimensions built below it;
+//! 5. separate strongly connected components with a scalar dimension;
+//! 6. ultimately, re-run without any influence constraint.
+
+use crate::builders::{
+    bounding_constraints, coefficient_bounds, progression_constraints, proximity_objectives,
+    validity_constraints, CoeffBounds,
+};
+use crate::checks::{dim_is_coincident, is_strongly_satisfied};
+use crate::layout::CoeffLayout;
+use crate::schedule::{DimFlags, Schedule, ScheduleRow};
+use crate::tree::{InfluenceTree, NodeId};
+use polyject_deps::{DepGraph, DepKind, DepRelation, Dependences};
+use polyject_ir::{Kernel, StmtId};
+use polyject_sets::{lexmin_integer, ConstraintSet, IlpOutcome};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Options of the influenced scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerOptions {
+    /// ILP coefficient bounds.
+    pub bounds: CoeffBounds,
+    /// Maximum number of schedule dimensions to construct.
+    pub max_dims: usize,
+    /// Safety cap on solver attempts (ILP solves + backtracks).
+    pub max_attempts: usize,
+    /// Enable the Feautrier fallback strategy: when the Pluto-style step
+    /// fails and influence alternatives are exhausted, look for a
+    /// dimension strongly satisfying as many dependences as possible
+    /// before resorting to SCC separation (paper Section IV-B notes isl
+    /// offers this; it was not needed for the paper's workloads and is
+    /// off by default).
+    pub feautrier_fallback: bool,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> SchedulerOptions {
+        SchedulerOptions {
+            bounds: CoeffBounds::default(),
+            max_dims: 12,
+            max_attempts: 512,
+            feautrier_fallback: false,
+        }
+    }
+}
+
+/// Failure of schedule construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleError(String);
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduling failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Counters reported with a schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of per-dimension ILP solves attempted.
+    pub ilp_solves: usize,
+    /// Sibling/ancestor moves in the influence tree.
+    pub tree_backtracks: usize,
+    /// Scalar dimensions inserted by SCC separation.
+    pub scc_separations: usize,
+    /// Dimensions produced by the Feautrier fallback strategy.
+    pub feautrier_dims: usize,
+}
+
+/// A constructed schedule plus provenance information.
+#[derive(Clone, Debug)]
+pub struct ScheduleResult {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Whether any influence constraint actually shaped the construction
+    /// (false when the tree was empty or entirely infeasible).
+    pub influenced: bool,
+    /// Solver counters.
+    pub stats: ScheduleStats,
+}
+
+/// Constructs a schedule for `kernel` under its dependences, guided by an
+/// influence constraint tree (pass an empty tree for plain isl/Pluto-style
+/// scheduling — this is the paper's `isl` baseline configuration).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] if no valid schedule is found within the
+/// attempt budget even after discarding all influence.
+pub fn schedule_kernel(
+    kernel: &Kernel,
+    deps: &Dependences,
+    tree: &InfluenceTree,
+    opts: SchedulerOptions,
+) -> Result<ScheduleResult, ScheduleError> {
+    let mut driver = Driver::new(kernel, deps, tree, opts);
+    match driver.run() {
+        Ok(schedule) => Ok(ScheduleResult {
+            schedule,
+            influenced: driver.influenced,
+            stats: driver.stats,
+        }),
+        Err(e) => {
+            if !tree.is_empty() {
+                // Ultimate fallback: no influence at all.
+                let empty = InfluenceTree::new();
+                let mut plain = Driver::new(kernel, deps, &empty, opts);
+                let schedule = plain.run()?;
+                let mut stats = driver.stats;
+                stats.ilp_solves += plain.stats.ilp_solves;
+                Ok(ScheduleResult { schedule, influenced: false, stats })
+            } else {
+                Err(e)
+            }
+        }
+    }
+}
+
+struct Driver<'a> {
+    kernel: &'a Kernel,
+    tree: &'a InfluenceTree,
+    opts: SchedulerOptions,
+    layout: CoeffLayout,
+    validity: Vec<&'a DepRelation>,
+    val_cache: Vec<ConstraintSet>,
+    bound_cache: Vec<ConstraintSet>,
+    bounds_cs: ConstraintSet,
+    objectives: Vec<polyject_sets::LinExpr>,
+    influenced: bool,
+    stats: ScheduleStats,
+}
+
+impl<'a> Driver<'a> {
+    fn new(
+        kernel: &'a Kernel,
+        deps: &'a Dependences,
+        tree: &'a InfluenceTree,
+        opts: SchedulerOptions,
+    ) -> Driver<'a> {
+        let layout = CoeffLayout::new(kernel);
+        let validity: Vec<&DepRelation> = deps.validity().collect();
+        let val_cache = validity
+            .iter()
+            .map(|r| polyject_sets::remove_redundant(&validity_constraints([*r], &layout)))
+            .collect();
+        let bound_cache = validity
+            .iter()
+            .map(|r| polyject_sets::remove_redundant(&bounding_constraints([*r], &layout)))
+            .collect();
+        let input_bound_cache: Vec<ConstraintSet> = deps
+            .relations()
+            .iter()
+            .filter(|r| r.kind == DepKind::Input)
+            .map(|r| polyject_sets::remove_redundant(&bounding_constraints([r], &layout)))
+            .collect();
+        // Static part of every per-dimension system: coefficient bounds
+        // plus the (dimension-independent) input-reuse bounding.
+        let mut bounds_cs = coefficient_bounds(&layout, opts.bounds);
+        for cs in &input_bound_cache {
+            bounds_cs.intersect(cs);
+        }
+        let objectives = proximity_objectives(&layout, opts.bounds);
+        Driver {
+            kernel,
+            tree,
+            opts,
+            layout,
+            validity,
+            val_cache,
+            bound_cache,
+            bounds_cs,
+            objectives,
+            influenced: false,
+            stats: ScheduleStats::default(),
+        }
+    }
+
+    fn all_full_rank(&self, schedule: &Schedule) -> bool {
+        self.kernel
+            .statements()
+            .iter()
+            .enumerate()
+            .all(|(i, s)| schedule.stmt(StmtId(i)).iter_rank() >= s.n_iters())
+    }
+
+    fn run(&mut self) -> Result<Schedule, ScheduleError> {
+        let mut schedule = Schedule::empty(self.kernel);
+        let mut remaining: BTreeSet<usize> = (0..self.validity.len()).collect();
+        let mut backup: Vec<BTreeSet<usize>> = Vec::new();
+        let mut node: Option<NodeId> = self.tree.first_root();
+        let mut d = 0usize;
+        let mut attempts = 0usize;
+        // The dependence set active while the *previous* dimension was
+        // built, for permutable-band detection.
+        let mut prev_dim_deps: Option<BTreeSet<usize>> = None;
+        // Snapshot of the deepest failure seen since the last successful
+        // dimension: when every influence alternative is exhausted and SCC
+        // separation becomes the only way out, separating at the deepest
+        // reached depth (re-using the rows built on the way there)
+        // preserves the outer fused loops instead of distributing the
+        // whole kernel at dimension 0.
+        let mut deep_mark: Option<(usize, Schedule, BTreeSet<usize>, Option<NodeId>)> = None;
+
+        loop {
+            // Dimension construction ends when every statement's iterator
+            // space is spanned and no influence node demands further
+            // dimensions. Dependences still in `remaining` are weakly
+            // satisfied at every dimension (pointwise validity was
+            // enforced throughout); the trailing scalar dimension below
+            // finishes them off.
+            if node.is_none() && self.all_full_rank(&schedule) {
+                break;
+            }
+            if d >= self.opts.max_dims {
+                return Err(ScheduleError(format!(
+                    "dimension budget exhausted at depth {d}"
+                )));
+            }
+            if backup.len() <= d {
+                backup.resize(d + 1, BTreeSet::new());
+            }
+            backup[d] = remaining.clone();
+            let mut use_progression = true;
+
+            'retry: loop {
+                attempts += 1;
+                if attempts > self.opts.max_attempts {
+                    return Err(ScheduleError("attempt budget exhausted".into()));
+                }
+                let sys = self.assemble(&schedule, &remaining, node, use_progression);
+                self.stats.ilp_solves += 1;
+                let objectives = self.objectives_for(node);
+                if let IlpOutcome::Optimal { point, .. } =
+                    lexmin_integer(&objectives, &sys)
+                {
+                    deep_mark = None;
+                    self.append_dimension(&mut schedule, &point, node, &remaining, d);
+                    let band = prev_dim_deps.as_ref() == Some(&remaining);
+                    if band {
+                        let fl = schedule.flags_mut();
+                        let last = fl.len() - 1;
+                        fl[last].permutable = true;
+                    }
+                    prev_dim_deps = Some(remaining.clone());
+                    if let Some(n) = node {
+                        if !self.tree.node(n).constraints.is_empty() {
+                            self.influenced = true;
+                        }
+                    }
+                    node = node.and_then(|n| self.tree.first_child(n));
+                    d += 1;
+                    break 'retry;
+                }
+
+                // ---- failure ladder ----
+                if deep_mark.as_ref().is_none_or(|(md, ..)| d > *md) {
+                    deep_mark = Some((d, schedule.clone(), remaining.clone(), node));
+                }
+                // (1) influence wants a dimension past full progression:
+                // only once every statement is fully ranked may the
+                // progression constraints be dropped.
+                if remaining.is_empty()
+                    && use_progression
+                    && node.is_some()
+                    && self.all_full_rank(&schedule)
+                {
+                    use_progression = false;
+                    continue 'retry;
+                }
+                // (2) lower-priority sibling at the same depth.
+                if let Some(n) = node {
+                    if let Some(sib) = self.tree.right_sibling(n) {
+                        node = Some(sib);
+                        remaining = backup[d].clone();
+                        self.stats.tree_backtracks += 1;
+                        continue 'retry;
+                    }
+                }
+                // (3) discard strongly satisfied dependences (give up the
+                // permutable band).
+                let satisfied: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&i| is_strongly_satisfied(self.validity[i], &schedule))
+                    .collect();
+                if !satisfied.is_empty() {
+                    for i in satisfied {
+                        remaining.remove(&i);
+                    }
+                    prev_dim_deps = None; // the band is broken
+                    continue 'retry;
+                }
+                // (4) backtrack to an ancestor's right sibling.
+                if let Some(n) = node {
+                    if let Some(anc) = self.tree.ancestor_right_sibling(n) {
+                        let nd = self.tree.depth(anc);
+                        node = Some(anc);
+                        d = nd;
+                        remaining = backup[nd].clone();
+                        for i in 0..self.kernel.statements().len() {
+                            schedule.stmt_mut(StmtId(i)).truncate(nd);
+                        }
+                        schedule.flags_mut().truncate(nd);
+                        self.stats.tree_backtracks += 1;
+                        prev_dim_deps = None;
+                        continue 'retry;
+                    }
+                }
+                // (4b) Feautrier fallback: a dimension strongly
+                // satisfying as many remaining dependences as possible.
+                if self.opts.feautrier_fallback {
+                    if let Some((point, satisfied)) =
+                        self.try_feautrier(&schedule, &remaining)
+                    {
+                        if !satisfied.is_empty() {
+                            self.append_dimension(&mut schedule, &point, None, &remaining, d);
+                            let rem_vec: Vec<usize> = remaining.iter().copied().collect();
+                            for &s_idx in &satisfied {
+                                remaining.remove(&rem_vec[s_idx]);
+                            }
+                            self.stats.feautrier_dims += 1;
+                            prev_dim_deps = None;
+                            deep_mark = None;
+                            node = node.and_then(|n| self.tree.first_child(n));
+                            d += 1;
+                            break 'retry;
+                        }
+                    }
+                }
+                // (5) separate strongly connected components. If a deeper
+                // point was reached on some alternative, restore it and
+                // separate there (keeping the fused outer dimensions);
+                // afterwards the pending influence node is retried at the
+                // next dimension.
+                if let Some((md, msched, mrem, mnode)) = deep_mark.take() {
+                    if md > d {
+                        schedule = msched;
+                        remaining = mrem;
+                        node = mnode;
+                        d = md;
+                        if backup.len() <= d {
+                            backup.resize(d + 1, BTreeSet::new());
+                        }
+                        backup[d] = remaining.clone();
+                    }
+                }
+                if self.separate_sccs(&mut schedule, &mut remaining)? {
+                    prev_dim_deps = None;
+                    d += 1;
+                    break 'retry;
+                }
+                return Err(ScheduleError(format!(
+                    "no solution at dimension {d} with {} dependences left",
+                    remaining.len()
+                )));
+            }
+        }
+
+        // A final scalar dimension orders statements whose dates may tie
+        // (e.g. a perfectly fused producer/consumer pair).
+        let needs_order = self
+            .validity
+            .iter()
+            .any(|r| !is_strongly_satisfied(r, &schedule));
+        if needs_order {
+            for (i, s) in self.kernel.statements().iter().enumerate() {
+                schedule.stmt_mut(StmtId(i)).push(ScheduleRow::scalar(
+                    s.n_iters(),
+                    self.kernel.n_params(),
+                    i as i128,
+                ));
+            }
+            schedule
+                .flags_mut()
+                .push(DimFlags { scalar: true, ..DimFlags::default() });
+        }
+        Ok(schedule)
+    }
+
+    /// The lexicographic objective stack, with any node-injected
+    /// objectives spliced in right after the proximity stage.
+    fn objectives_for(&self, node: Option<NodeId>) -> Vec<polyject_sets::LinExpr> {
+        let extra = node
+            .map(|n| self.tree.node(n).objectives.clone())
+            .unwrap_or_default();
+        if extra.is_empty() {
+            return self.objectives.clone();
+        }
+        let mut objs = Vec::with_capacity(self.objectives.len() + extra.len());
+        objs.push(self.objectives[0].clone());
+        objs.extend(extra);
+        objs.extend(self.objectives[1..].iter().cloned());
+        objs
+    }
+
+    fn assemble(
+        &self,
+        schedule: &Schedule,
+        remaining: &BTreeSet<usize>,
+        node: Option<NodeId>,
+        use_progression: bool,
+    ) -> ConstraintSet {
+        let mut sys = self.bounds_cs.clone();
+        if use_progression {
+            let all: Vec<StmtId> =
+                (0..self.kernel.statements().len()).map(StmtId).collect();
+            sys.intersect(&progression_constraints(self.kernel, schedule, &self.layout, &all));
+        }
+        for &i in remaining {
+            sys.intersect(&self.val_cache[i]);
+            sys.intersect(&self.bound_cache[i]);
+        }
+        if let Some(n) = node {
+            sys.intersect(&self.tree.node(n).constraints);
+        }
+        sys
+    }
+
+    fn append_dimension(
+        &self,
+        schedule: &mut Schedule,
+        point: &[i128],
+        node: Option<NodeId>,
+        remaining: &BTreeSet<usize>,
+        d: usize,
+    ) {
+        let n_params = self.kernel.n_params();
+        let mut all_scalar = true;
+        for (i, s) in self.kernel.statements().iter().enumerate() {
+            let sid = StmtId(i);
+            let row = ScheduleRow {
+                iter_coeffs: (0..s.n_iters())
+                    .map(|it| point[self.layout.iter_coeff(sid, it)])
+                    .collect(),
+                param_coeffs: (0..n_params)
+                    .map(|p| point[self.layout.param_coeff(sid, p)])
+                    .collect(),
+                constant: point[self.layout.const_coeff(sid)],
+            };
+            if !row.is_constant_row() {
+                all_scalar = false;
+            }
+            schedule.stmt_mut(sid).push(row);
+        }
+        let parallel = dim_is_coincident(
+            remaining.iter().map(|&i| self.validity[i]),
+            schedule,
+            d,
+        );
+        let mut flags = DimFlags { parallel, scalar: all_scalar, ..DimFlags::default() };
+        if let Some(n) = node {
+            for &s in &self.tree.node(n).vector_stmts {
+                schedule.set_vector_dim(s, d);
+                flags.vector = true;
+            }
+        }
+        schedule.flags_mut().push(flags);
+    }
+
+    /// Solves one Feautrier-style dimension: maximize the number of
+    /// strongly satisfied remaining dependences. Returns the layout-space
+    /// solution and the indices (into the remaining set's iteration
+    /// order) of the satisfied relations.
+    fn try_feautrier(
+        &mut self,
+        schedule: &Schedule,
+        remaining: &BTreeSet<usize>,
+    ) -> Option<(Vec<i128>, Vec<usize>)> {
+        let rels: Vec<&DepRelation> =
+            remaining.iter().map(|&i| self.validity[i]).collect();
+        if rels.is_empty() {
+            return None;
+        }
+        let mut base = self.bounds_cs.clone();
+        let all: Vec<StmtId> = (0..self.kernel.statements().len()).map(StmtId).collect();
+        base.intersect(&progression_constraints(self.kernel, schedule, &self.layout, &all));
+        let prob = crate::feautrier::FeautrierProblem::build(
+            &rels,
+            &self.layout,
+            &base,
+            &self.objectives,
+            self.opts.bounds,
+        );
+        self.stats.ilp_solves += 1;
+        match lexmin_integer(&prob.objectives, &prob.system) {
+            IlpOutcome::Optimal { point, .. } => {
+                let (coeffs, satisfied) = prob.split_solution(&point);
+                Some((coeffs.to_vec(), satisfied))
+            }
+            _ => None,
+        }
+    }
+
+    /// Paper lines 32–35: orders two or more SCCs of the remaining
+    /// dependence graph with a scalar dimension. Returns `Ok(false)` if the
+    /// graph is a single component (separation impossible).
+    fn separate_sccs(
+        &mut self,
+        schedule: &mut Schedule,
+        remaining: &mut BTreeSet<usize>,
+    ) -> Result<bool, ScheduleError> {
+        let graph = DepGraph::from_relations(
+            self.kernel.statements().len(),
+            remaining.iter().map(|&i| self.validity[i]),
+        );
+        let sccs = graph.sccs();
+        if sccs.len() < 2 {
+            return Ok(false);
+        }
+        let mut component = vec![0usize; self.kernel.statements().len()];
+        for (ci, comp) in sccs.iter().enumerate() {
+            for s in comp {
+                component[s.0] = ci;
+            }
+        }
+        for (i, s) in self.kernel.statements().iter().enumerate() {
+            schedule.stmt_mut(StmtId(i)).push(ScheduleRow::scalar(
+                s.n_iters(),
+                self.kernel.n_params(),
+                component[i] as i128,
+            ));
+        }
+        schedule
+            .flags_mut()
+            .push(DimFlags { scalar: true, ..DimFlags::default() });
+        self.stats.scc_separations += 1;
+        let before = remaining.len();
+        remaining.retain(|&i| !is_strongly_satisfied(self.validity[i], schedule));
+        if remaining.len() == before && before > 0 {
+            // Separation made no progress; avoid spinning forever.
+            return Err(ScheduleError(
+                "SCC separation made no progress".into(),
+            ));
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::schedule_respects;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+
+    fn plain_schedule(kernel: &Kernel) -> ScheduleResult {
+        let deps = compute_dependences(kernel, DepOptions::default());
+        schedule_kernel(kernel, &deps, &InfluenceTree::new(), SchedulerOptions::default())
+            .expect("schedulable")
+    }
+
+    #[test]
+    fn running_example_plain_is_valid() {
+        let kernel = ops::running_example(16);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let res = plain_schedule(&kernel);
+        let v: Vec<_> = deps.validity().collect();
+        assert!(schedule_respects(v.iter().copied(), &res.schedule));
+        assert!(!res.influenced);
+        // Every statement fully scheduled.
+        for (i, s) in kernel.statements().iter().enumerate() {
+            assert_eq!(res.schedule.stmt(StmtId(i)).iter_rank(), s.n_iters());
+        }
+    }
+
+    #[test]
+    fn running_example_outer_dim_is_parallel() {
+        let kernel = ops::running_example(16);
+        let res = plain_schedule(&kernel);
+        assert!(
+            res.schedule.flags()[0].parallel,
+            "the fused outer i loop is coincident: {:?}",
+            res.schedule.flags()
+        );
+    }
+
+    #[test]
+    fn single_statement_transpose() {
+        let kernel = ops::transpose_2d(32, 64);
+        let res = plain_schedule(&kernel);
+        let s = res.schedule.stmt(StmtId(0));
+        assert_eq!(s.iter_rank(), 2);
+        // No dependences at all: every dim parallel.
+        assert!(res.schedule.flags().iter().all(|f| f.parallel || f.scalar));
+    }
+
+    #[test]
+    fn reduction_keeps_sequential_dim() {
+        let kernel = ops::reduce_rows(16, 16);
+        let kdeps = compute_dependences(&kernel, DepOptions::default());
+        let res = plain_schedule(&kernel);
+        let v: Vec<_> = kdeps.validity().collect();
+        assert!(schedule_respects(v.iter().copied(), &res.schedule));
+        // The reduction carries a dependence along j: not every dimension
+        // can be parallel.
+        let loop_dims: Vec<_> =
+            res.schedule.flags().iter().filter(|f| !f.scalar).collect();
+        assert!(loop_dims.iter().any(|f| !f.parallel));
+        assert!(loop_dims.iter().any(|f| f.parallel));
+    }
+
+    #[test]
+    fn elementwise_chain_schedules_and_orders() {
+        let kernel = ops::elementwise_chain(64, 4);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let res = plain_schedule(&kernel);
+        let v: Vec<_> = deps.validity().collect();
+        assert!(schedule_respects(v.iter().copied(), &res.schedule));
+    }
+
+    #[test]
+    fn infeasible_influence_falls_back() {
+        // An influence branch demanding an impossible row (iterator
+        // coefficient both 0 and 1) must be abandoned; scheduling still
+        // succeeds uninfluenced.
+        let kernel = ops::transpose_2d(8, 8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let n = layout.n_vars();
+        let mut impossible = ConstraintSet::universe(n);
+        let v = layout.iter_coeff(StmtId(0), 0);
+        impossible.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, v)));
+        let mut e = polyject_sets::LinExpr::var(n, v);
+        e.set_constant(-1i128);
+        impossible.add(polyject_sets::Constraint::eq0(e));
+        let mut tree = InfluenceTree::new();
+        tree.add_root(impossible, "impossible");
+        let res =
+            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        assert!(!res.influenced);
+        assert_eq!(res.schedule.stmt(StmtId(0)).iter_rank(), 2);
+    }
+
+    #[test]
+    fn influence_pins_inner_dimension() {
+        // Force the transpose's dim-1 row to iterator 0 ("i"), the
+        // opposite of the plain choice; check it is honored.
+        let kernel = ops::transpose_2d(8, 8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let n = layout.n_vars();
+        let mut tree = InfluenceTree::new();
+        let vi = layout.iter_coeff(StmtId(0), 0);
+        let vj = layout.iter_coeff(StmtId(0), 1);
+        // Depth 0 keeps "i" for the inner dimension (as the optimizer's
+        // scenario translation does), depth 1 pins the row to "i".
+        let mut keep = ConstraintSet::universe(n);
+        keep.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, vi)));
+        let root = tree.add_root(keep, "reserve i");
+        let mut pin = ConstraintSet::universe(n);
+        let mut e = polyject_sets::LinExpr::var(n, vi);
+        e.set_constant(-1i128);
+        pin.add(polyject_sets::Constraint::eq0(e)); // c_i == 1
+        pin.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, vj))); // c_j == 0
+        let child = tree.add_child(root, pin, "inner = i");
+        tree.mark_vector(child, StmtId(0));
+        let res =
+            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        assert!(res.influenced);
+        let rows = res.schedule.stmt(StmtId(0)).rows();
+        assert_eq!(rows[1].iter_coeffs, vec![1, 0], "dim 1 pinned to i");
+        assert_eq!(rows[0].iter_coeffs, vec![0, 1], "dim 0 takes the other iterator");
+        assert_eq!(res.schedule.vector_dim(StmtId(0)), Some(1));
+        assert!(res.schedule.flags()[1].vector);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let kernel = ops::running_example(8);
+        let res = plain_schedule(&kernel);
+        assert!(res.stats.ilp_solves >= 1);
+    }
+}
+
+#[cfg(test)]
+mod objective_tests {
+    use super::*;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+    use polyject_sets::LinExpr;
+
+    #[test]
+    fn injected_objective_steers_tie_break() {
+        // Transpose with no dependences: the plain tie-break picks (i, j).
+        // Inject an objective at depth 0 that penalizes the "i"
+        // coefficient, flipping the choice to (j, i).
+        let kernel = ops::transpose_2d(16, 16);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let n = layout.n_vars();
+        let mut tree = InfluenceTree::new();
+        let root = tree.add_root(ConstraintSet::universe(n), "steer");
+        let mut penalty = LinExpr::zero(n);
+        penalty.set_coeff(layout.iter_coeff(StmtId(0), 0), 1000);
+        tree.add_objective(root, penalty);
+        let res =
+            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        let rows = res.schedule.stmt(StmtId(0)).rows();
+        assert_eq!(rows[0].iter_coeffs, vec![0, 1], "dim 0 avoids i");
+        assert_eq!(rows[1].iter_coeffs, vec![1, 0]);
+    }
+
+    #[test]
+    fn nodes_without_objectives_are_unchanged() {
+        let kernel = ops::transpose_2d(16, 16);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let plain =
+            schedule_kernel(&kernel, &deps, &InfluenceTree::new(), SchedulerOptions::default())
+                .unwrap();
+        let layout = CoeffLayout::new(&kernel);
+        let mut tree = InfluenceTree::new();
+        tree.add_root(ConstraintSet::universe(layout.n_vars()), "noop");
+        let with_node =
+            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        assert_eq!(
+            plain.schedule.render(&kernel),
+            with_node.schedule.render(&kernel)
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The constraint builders of Section IV-A: validity, proximity (reuse
+//! distance bounding + objective), and progression (non-trivial, linearly
+//! independent dimensions), all expressed over the [`CoeffLayout`] unknown
+//! space.
+
+use crate::farkas::{farkas_nonneg, AffineTemplate};
+use crate::layout::CoeffLayout;
+use crate::schedule::Schedule;
+use polyject_arith::integer_kernel_basis;
+use polyject_deps::DepRelation;
+use polyject_ir::{Kernel, StmtId};
+use polyject_sets::{Constraint, ConstraintSet, LinExpr};
+
+/// Bounds on the ILP unknowns, keeping every per-dimension problem bounded
+/// (Pluto does the same; coefficients of useful AI/DL schedules are tiny).
+#[derive(Clone, Copy, Debug)]
+pub struct CoeffBounds {
+    /// Maximum iterator/parameter coefficient (minimum is 0: the paper
+    /// restricts itself to non-negative coefficients, Section IV-A.3).
+    pub max_coeff: i64,
+    /// Maximum statement-constant coefficient.
+    pub max_const: i64,
+    /// Maximum value of the reuse-bound coefficients `u` and `w`.
+    pub max_bound: i64,
+}
+
+impl Default for CoeffBounds {
+    fn default() -> CoeffBounds {
+        CoeffBounds { max_coeff: 4, max_const: 16, max_bound: 1 << 30 }
+    }
+}
+
+/// The template of the reuse distance `φ_T(t) − φ_S(s)` of a dependence
+/// relation, over the layout's unknowns. Relation space:
+/// `[s_iters..., t_iters..., params...]`.
+pub fn distance_template(rel: &DepRelation, layout: &CoeffLayout) -> AffineTemplate {
+    let n_u = layout.n_vars();
+    let mut t = AffineTemplate::zero(rel.n_vars(), n_u);
+    for v in 0..rel.n_source_iters {
+        t.var_coeffs[v] = -&layout.var_expr(layout.iter_coeff(rel.source, v));
+    }
+    for v in 0..rel.n_target_iters {
+        t.var_coeffs[rel.n_source_iters + v] =
+            layout.var_expr(layout.iter_coeff(rel.target, v));
+    }
+    let p_base = rel.n_source_iters + rel.n_target_iters;
+    for p in 0..rel.n_params {
+        let tp = layout.var_expr(layout.param_coeff(rel.target, p));
+        let sp = layout.var_expr(layout.param_coeff(rel.source, p));
+        t.var_coeffs[p_base + p] = &tp - &sp;
+    }
+    let tc = layout.var_expr(layout.const_coeff(rel.target));
+    let sc = layout.var_expr(layout.const_coeff(rel.source));
+    t.constant = &tc - &sc;
+    t
+}
+
+/// Validity constraints (paper eq. (1), weak form): the reuse distance of
+/// every relation in `deps` is non-negative.
+pub fn validity_constraints<'a>(
+    deps: impl IntoIterator<Item = &'a DepRelation>,
+    layout: &CoeffLayout,
+) -> ConstraintSet {
+    let mut out = ConstraintSet::universe(layout.n_vars());
+    for rel in deps {
+        out.intersect(&farkas_nonneg(&rel.set, &distance_template(rel, layout)));
+    }
+    out
+}
+
+/// Reuse-distance bounding constraints (paper eq. (2)):
+/// `u·p + w − (φ_T(t) − φ_S(s)) >= 0` on every relation of `deps`.
+pub fn bounding_constraints<'a>(
+    deps: impl IntoIterator<Item = &'a DepRelation>,
+    layout: &CoeffLayout,
+) -> ConstraintSet {
+    let mut out = ConstraintSet::universe(layout.n_vars());
+    for rel in deps {
+        let dist = distance_template(rel, layout);
+        let mut bound = dist.negated();
+        // + u·p + w
+        let p_base = rel.n_source_iters + rel.n_target_iters;
+        for p in 0..rel.n_params {
+            bound.var_coeffs[p_base + p] =
+                &bound.var_coeffs[p_base + p] + &layout.var_expr(layout.u(p));
+        }
+        bound.constant = &bound.constant + &layout.var_expr(layout.w());
+        out.intersect(&farkas_nonneg(&rel.set, &bound));
+    }
+    out
+}
+
+/// The isl-form proximity objective `f = (Σ_i u_i, w)` (paper Section
+/// IV-A.2), followed by tie-breaking objectives that keep solutions small
+/// and deterministic.
+///
+/// To keep the number of lexicographic stages (each an ILP solve) small,
+/// `Σu` and `w` are folded into one stage with `Σu` weighted above `w`'s
+/// maximum, and the per-coefficient determinism tie-break is one weighted
+/// stage per statement (later unknowns weighted higher, so ties resolve
+/// towards schedules built from the *earlier*, outer iterators — matching
+/// isl's choice on the paper's running example). Weighting is exact
+/// because every unknown is bounded by [`coefficient_bounds`].
+pub fn proximity_objectives(layout: &CoeffLayout, bounds: CoeffBounds) -> Vec<LinExpr> {
+    let n = layout.n_vars();
+    let mut objs = Vec::new();
+    // (max_bound+1)·Σu + w ≡ lexicographic (Σu, w) since w <= max_bound.
+    let mut prox = LinExpr::zero(n);
+    for p in 0..layout.n_params() {
+        prox.set_coeff(layout.u(p), (bounds.max_bound + 1) as i128);
+    }
+    prox.set_coeff(layout.w(), 1);
+    objs.push(prox);
+    // Σ all statement coefficients (prefer simple rows).
+    let mut sum_c = LinExpr::zero(n);
+    for s in 0..layout.n_statements() {
+        for v in layout.stmt_vars(StmtId(s)) {
+            sum_c.set_coeff(v, 1);
+        }
+    }
+    objs.push(sum_c);
+    // Deterministic per-statement tie-break, later statements first.
+    let base = (bounds.max_coeff.max(bounds.max_const) + 1) as i128;
+    for s in (0..layout.n_statements()).rev() {
+        let mut e = LinExpr::zero(n);
+        let mut weight: i128 = 1;
+        for v in layout.stmt_vars(StmtId(s)) {
+            e.set_coeff(v, weight);
+            weight = weight.checked_mul(base).expect("tie-break weight overflow");
+        }
+        objs.push(e);
+    }
+    objs
+}
+
+/// Sign and magnitude bounds on all unknowns (everything non-negative, as
+/// the paper assumes, and bounded so the ILP always terminates).
+pub fn coefficient_bounds(layout: &CoeffLayout, bounds: CoeffBounds) -> ConstraintSet {
+    let n = layout.n_vars();
+    let mut out = ConstraintSet::universe(n);
+    let mut bound_var = |v: usize, max: i64| {
+        out.add(Constraint::ge0(LinExpr::var(n, v))); // v >= 0
+        let mut e = LinExpr::var(n, v).scaled((-1).into());
+        e.set_constant(max as i128);
+        out.add(Constraint::ge0(e)); // v <= max
+    };
+    for p in 0..layout.n_params() {
+        bound_var(layout.u(p), bounds.max_bound);
+    }
+    bound_var(layout.w(), bounds.max_bound);
+    for s in 0..layout.n_statements() {
+        let sid = StmtId(s);
+        for i in 0..layout.n_iters(sid) {
+            bound_var(layout.iter_coeff(sid, i), bounds.max_coeff);
+        }
+        for p in 0..layout.n_params() {
+            bound_var(layout.param_coeff(sid, p), bounds.max_coeff);
+        }
+        bound_var(layout.const_coeff(sid), bounds.max_const);
+    }
+    out
+}
+
+/// Progression constraints (paper eqs. (3) and (4)) for the statements in
+/// `active`: the new row must have iterator-coefficient sum >= 1 and must
+/// be linearly independent from the statement's previous rows, via the
+/// non-negative orthogonal-subspace form of Pluto.
+///
+/// Statements whose iterator space is already fully spanned (`H_S` has
+/// full rank) receive no constraint — their rows may legitimately be zero
+/// from here on.
+pub fn progression_constraints(
+    kernel: &Kernel,
+    schedule: &Schedule,
+    layout: &CoeffLayout,
+    active: &[StmtId],
+) -> ConstraintSet {
+    let n = layout.n_vars();
+    let mut out = ConstraintSet::universe(n);
+    for &sid in active {
+        let stmt = kernel.statement(sid);
+        let n_iters = stmt.n_iters();
+        if n_iters == 0 {
+            continue;
+        }
+        let ss = schedule.stmt(sid);
+        if ss.iter_rank() >= n_iters {
+            continue; // fully scheduled
+        }
+        // Eq. (3): Σ_i c_i >= 1.
+        let mut sum = LinExpr::zero(n);
+        for i in 0..n_iters {
+            sum.set_coeff(layout.iter_coeff(sid, i), 1);
+        }
+        sum.set_constant(-1i128);
+        out.add(Constraint::ge0(sum));
+        // Eq. (4): H⊥ rows, each h·c >= 0 and Σ h·c >= 1.
+        let h = ss.iter_matrix();
+        let h_nonzero: Vec<Vec<i128>> =
+            h.into_iter().filter(|r| r.iter().any(|&c| c != 0)).collect();
+        if h_nonzero.is_empty() {
+            continue; // eq. (3) alone guarantees independence from nothing
+        }
+        let h_perp = integer_kernel_basis(&h_nonzero);
+        let mut total = LinExpr::zero(n);
+        for hrow in &h_perp {
+            let mut e = LinExpr::zero(n);
+            for (i, &c) in hrow.iter().enumerate() {
+                e.set_coeff(layout.iter_coeff(sid, i), c);
+            }
+            total = &total + &e;
+            out.add(Constraint::ge0(e));
+        }
+        total.set_constant(-1i128);
+        out.add(Constraint::ge0(total));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleRow;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+    use polyject_sets::{lexmin_integer, IlpOutcome};
+
+    fn setup() -> (polyject_ir::Kernel, polyject_deps::Dependences, CoeffLayout) {
+        let kernel = ops::running_example(16);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        (kernel, deps, layout)
+    }
+
+    #[test]
+    fn validity_accepts_program_order_rejects_reversal() {
+        let (_, deps, layout) = setup();
+        let v: Vec<&DepRelation> = deps.validity().collect();
+        let cs = validity_constraints(v.iter().copied(), &layout);
+        // Program order dim "i": X row (1, 0 | 0 | 0), Y row (1, 0, 0 | 0 | 0).
+        // Point layout: [u, w, X(i,k,N,1), Y(i,j,k,N,1)].
+        let fused_i = [0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0];
+        assert!(cs.contains_int(&fused_i));
+        // Reversed k for Y only cannot be valid against the C reduction?
+        // The C self-dependence needs k' > k to not go backwards: row k for
+        // Y with coefficient -1 violates validity — but coefficients are
+        // checked by the sign bounds; here craft a violation through the
+        // constant: schedule X at constant 1 and Y at constant 0 flips the
+        // X→Y flow order at a scalar dimension.
+        let x_after_y = [0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0];
+        assert!(!cs.contains_int(&x_after_y));
+    }
+
+    #[test]
+    fn bounding_forces_distance_bound() {
+        let (_, deps, layout) = setup();
+        let v: Vec<&DepRelation> = deps.validity().collect();
+        let cs = bounding_constraints(v.iter().copied(), &layout);
+        // Fused i: distance 0 everywhere → u = w = 0 admissible.
+        let fused_i = [0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0];
+        assert!(cs.contains_int(&fused_i));
+        // Scalar dim X=0, Y=1: distance 1 on X→Y flow → needs w >= 1.
+        let scalar_w0 = [0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        assert!(!cs.contains_int(&scalar_w0));
+        let scalar_w1 = [0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        assert!(cs.contains_int(&scalar_w1));
+    }
+
+    #[test]
+    fn first_dimension_solve_finds_fused_parallel_i() {
+        // Assemble the full dimension-0 problem and check the lexmin
+        // solution is the paper's: both statements scheduled at "i",
+        // u = w = 0 (a fused, coincident outer loop).
+        let (kernel, deps, layout) = setup();
+        let v: Vec<&DepRelation> = deps.validity().collect();
+        let mut sys = validity_constraints(v.iter().copied(), &layout);
+        sys.intersect(&bounding_constraints(deps.proximity(), &layout));
+        sys.intersect(&coefficient_bounds(&layout, CoeffBounds::default()));
+        let sched = Schedule::empty(&kernel);
+        sys.intersect(&progression_constraints(
+            &kernel,
+            &sched,
+            &layout,
+            &[StmtId(0), StmtId(1)],
+        ));
+        match lexmin_integer(&proximity_objectives(&layout, CoeffBounds::default()), &sys) {
+            IlpOutcome::Optimal { point, .. } => {
+                assert_eq!(point[layout.u(0)], 0, "zero reuse distance expected");
+                assert_eq!(point[layout.w()], 0);
+                assert_eq!(point[layout.iter_coeff(StmtId(0), 0)], 1); // X: i
+                assert_eq!(point[layout.iter_coeff(StmtId(0), 1)], 0);
+                assert_eq!(point[layout.iter_coeff(StmtId(1), 0)], 1); // Y: i
+                assert_eq!(point[layout.iter_coeff(StmtId(1), 1)], 0);
+                assert_eq!(point[layout.iter_coeff(StmtId(1), 2)], 0);
+            }
+            other => panic!("dimension 0 should be solvable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progression_excludes_dependent_rows() {
+        let (kernel, _, layout) = setup();
+        let mut sched = Schedule::empty(&kernel);
+        // Give X the row "i"; progression must now reject another "i" row.
+        sched.stmt_mut(StmtId(0)).push(ScheduleRow {
+            iter_coeffs: vec![1, 0],
+            param_coeffs: vec![0],
+            constant: 0,
+        });
+        let cs = progression_constraints(&kernel, &sched, &layout, &[StmtId(0)]);
+        let mut point = vec![0i128; layout.n_vars()];
+        point[layout.iter_coeff(StmtId(0), 0)] = 1; // "i" again
+        assert!(!cs.contains_int(&point));
+        point[layout.iter_coeff(StmtId(0), 0)] = 0;
+        point[layout.iter_coeff(StmtId(0), 1)] = 1; // "k" is fine
+        assert!(cs.contains_int(&point));
+    }
+
+    #[test]
+    fn fully_ranked_statement_is_unconstrained() {
+        let (kernel, _, layout) = setup();
+        let mut sched = Schedule::empty(&kernel);
+        sched.stmt_mut(StmtId(0)).push(ScheduleRow {
+            iter_coeffs: vec![1, 0],
+            param_coeffs: vec![0],
+            constant: 0,
+        });
+        sched.stmt_mut(StmtId(0)).push(ScheduleRow {
+            iter_coeffs: vec![0, 1],
+            param_coeffs: vec![0],
+            constant: 0,
+        });
+        let cs = progression_constraints(&kernel, &sched, &layout, &[StmtId(0)]);
+        // X is full rank: zero row allowed.
+        assert!(cs.contains_int(&vec![0i128; layout.n_vars()]));
+    }
+
+    #[test]
+    fn bounds_cap_everything() {
+        let (_, _, layout) = setup();
+        let cs = coefficient_bounds(&layout, CoeffBounds { max_coeff: 2, max_const: 3, max_bound: 5 });
+        let mut p = vec![0i128; layout.n_vars()];
+        assert!(cs.contains_int(&p));
+        p[layout.iter_coeff(StmtId(1), 2)] = 3;
+        assert!(!cs.contains_int(&p));
+        p[layout.iter_coeff(StmtId(1), 2)] = -1;
+        assert!(!cs.contains_int(&p));
+    }
+}

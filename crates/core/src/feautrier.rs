@@ -1,0 +1,177 @@
+//! The Feautrier fallback strategy (paper Section IV-B).
+//!
+//! isl's scheduler falls back to Feautrier's algorithm when the
+//! Pluto-style strategy fails to make progress: instead of requiring a
+//! dimension that weakly satisfies everything with minimal reuse
+//! distance, it looks for one that *strongly satisfies as many
+//! dependences as possible*, giving later dimensions more freedom. The
+//! paper notes the mechanism was not needed for its fused AI/DL operators
+//! (they "offer enough parallelism") but keeps it available — as does
+//! this implementation ([`SchedulerOptions::feautrier_fallback`]).
+//!
+//! Formulation: one satisfaction indicator `ε_r ∈ {0, 1}` per relation,
+//! with the Farkas-linearized condition `distance_r(s, t) ≥ ε_r`
+//! pointwise, maximizing `Σ ε_r` lexicographically before the usual
+//! proximity objectives.
+//!
+//! [`SchedulerOptions::feautrier_fallback`]: crate::SchedulerOptions
+
+use crate::builders::{distance_template, CoeffBounds};
+use crate::farkas::farkas_nonneg;
+use crate::layout::CoeffLayout;
+use polyject_arith::Rat;
+use polyject_deps::DepRelation;
+use polyject_sets::{Constraint, ConstraintSet, LinExpr};
+
+/// The assembled Feautrier step: an extended unknown space
+/// `[layout unknowns..., ε_0..ε_{k-1}]`, its constraints, and the
+/// objective stack (satisfaction first).
+#[derive(Clone, Debug)]
+pub struct FeautrierProblem {
+    /// Constraints over the extended space.
+    pub system: ConstraintSet,
+    /// Objectives, lexicographically (maximize satisfaction expressed as
+    /// minimization, then the caller's proximity objectives extended).
+    pub objectives: Vec<LinExpr>,
+    /// Width of the extended space.
+    pub n_vars: usize,
+    /// Index of `ε_r` for relation `r`.
+    pub eps_base: usize,
+}
+
+impl FeautrierProblem {
+    /// Builds the Feautrier system for the given relations.
+    ///
+    /// `base_system` must be the usual per-dimension system *without*
+    /// validity constraints (bounds + progression + influence); validity
+    /// is replaced here by the `distance ≥ ε` form.
+    pub fn build(
+        relations: &[&DepRelation],
+        layout: &CoeffLayout,
+        base_system: &ConstraintSet,
+        base_objectives: &[LinExpr],
+        bounds: CoeffBounds,
+    ) -> FeautrierProblem {
+        let n0 = layout.n_vars();
+        let k = relations.len();
+        let n = n0 + k;
+        let mut system = base_system.extended(n);
+        for (r, rel) in relations.iter().enumerate() {
+            let eps = n0 + r;
+            // 0 <= eps <= 1
+            system.add(Constraint::ge0(LinExpr::var(n, eps)));
+            let mut ub = LinExpr::var(n, eps).scaled(-Rat::ONE);
+            ub.set_constant(1i128);
+            system.add(Constraint::ge0(ub));
+            // distance - eps >= 0 pointwise (Farkas over the extended
+            // unknowns: the template's constant picks up "- eps").
+            let mut t = distance_template(rel, layout);
+            t.var_coeffs = t.var_coeffs.iter().map(|e| e.extended(n)).collect();
+            t.constant = t.constant.extended(n);
+            let mut minus_eps = LinExpr::zero(n);
+            minus_eps.set_coeff(eps, -1);
+            t.constant = &t.constant + &minus_eps;
+            system.intersect(&farkas_nonneg(&rel.set, &t));
+        }
+        // Objectives: maximize Σ ε (as minimize -Σ ε), then the base
+        // objectives extended to the new space.
+        let mut sat = LinExpr::zero(n);
+        for r in 0..k {
+            sat.set_coeff(n0 + r, -1);
+        }
+        let mut objectives = vec![sat];
+        objectives.extend(base_objectives.iter().map(|o| o.extended(n)));
+        let _ = bounds;
+        FeautrierProblem { system, objectives, n_vars: n, eps_base: n0 }
+    }
+
+    /// Splits a solution point into (layout coefficients, satisfied
+    /// relation indices).
+    pub fn split_solution<'p>(&self, point: &'p [i128]) -> (&'p [i128], Vec<usize>) {
+        let coeffs = &point[..self.eps_base];
+        let satisfied = point[self.eps_base..]
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v >= 1)
+            .map(|(i, _)| i)
+            .collect();
+        (coeffs, satisfied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{coefficient_bounds, progression_constraints, proximity_objectives};
+    use crate::schedule::Schedule;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+    use polyject_sets::{lexmin_integer, IlpOutcome};
+
+    #[test]
+    fn feautrier_strongly_satisfies_the_chain() {
+        // Producer/consumer chain: S0 writes T0, S1 reads it (same i).
+        // The Pluto dimension gives distance 0 (fusion); the Feautrier
+        // step must instead pick constants that strongly satisfy the flow.
+        let kernel = ops::elementwise_chain(16, 2);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let validity: Vec<&DepRelation> = deps.validity().collect();
+        let bounds = CoeffBounds::default();
+        let mut base = coefficient_bounds(&layout, bounds);
+        let sched = Schedule::empty(&kernel);
+        let all: Vec<polyject_ir::StmtId> =
+            (0..kernel.statements().len()).map(polyject_ir::StmtId).collect();
+        base.intersect(&progression_constraints(&kernel, &sched, &layout, &all));
+        let objs = proximity_objectives(&layout, bounds);
+        let prob = FeautrierProblem::build(&validity, &layout, &base, &objs, bounds);
+        match lexmin_integer(&prob.objectives, &prob.system) {
+            IlpOutcome::Optimal { point, .. } => {
+                let (_, satisfied) = prob.split_solution(&point);
+                assert_eq!(
+                    satisfied.len(),
+                    validity.len(),
+                    "every flow of the chain is strongly satisfiable in one dimension"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feautrier_satisfies_everything_on_the_running_example() {
+        // Feautrier's hallmark: one dimension can strongly satisfy every
+        // dependence of the running example (k carries the C reduction,
+        // constant offsets carry the X→Y flow) — where the Pluto-style
+        // zero-distance step satisfies none.
+        let kernel = ops::running_example(8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let validity: Vec<&DepRelation> = deps.validity().collect();
+        let bounds = CoeffBounds::default();
+        let base = coefficient_bounds(&layout, bounds);
+        let objs = proximity_objectives(&layout, bounds);
+        let prob = FeautrierProblem::build(&validity, &layout, &base, &objs, bounds);
+        match lexmin_integer(&prob.objectives, &prob.system) {
+            IlpOutcome::Optimal { point, .. } => {
+                let (_, satisfied) = prob.split_solution(&point);
+                assert_eq!(satisfied.len(), validity.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheduler_with_feautrier_enabled_matches_semantics() {
+        use crate::algorithm::{schedule_kernel, SchedulerOptions};
+        use crate::checks::schedule_respects;
+        use crate::tree::InfluenceTree;
+        let kernel = ops::running_example(8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let opts = SchedulerOptions { feautrier_fallback: true, ..SchedulerOptions::default() };
+        let res =
+            schedule_kernel(&kernel, &deps, &InfluenceTree::new(), opts).expect("schedulable");
+        let v: Vec<_> = deps.validity().collect();
+        assert!(schedule_respects(v.iter().copied(), &res.schedule));
+    }
+}

@@ -1,0 +1,59 @@
+//! # polyject-core
+//!
+//! The paper's contribution: a polyhedral scheduler supporting **influence
+//! constraint injection** ([`schedule_kernel`], paper Algorithm 1), the
+//! [`InfluenceTree`] abstraction (Section IV-A.4), and the non-linear
+//! optimizer that builds trees steering GPU fused operators towards
+//! load/store vectorization ([`build_influence_tree`], Algorithm 2 and the
+//! Section V cost model).
+//!
+//! Running the scheduler with an *empty* tree gives the paper's `isl`
+//! baseline configuration; running with the optimizer-built tree gives the
+//! `infl` configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_core::{schedule_kernel, InfluenceTree, SchedulerOptions};
+//! use polyject_deps::{compute_dependences, DepOptions};
+//! use polyject_ir::ops;
+//!
+//! let kernel = ops::running_example(64);
+//! let deps = compute_dependences(&kernel, DepOptions::default());
+//! let result = schedule_kernel(&kernel, &deps, &InfluenceTree::new(),
+//!                              SchedulerOptions::default()).unwrap();
+//! println!("{}", result.schedule.render(&kernel));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+mod builders;
+mod checks;
+pub mod farkas;
+pub mod feautrier;
+mod layout;
+mod optimizer;
+mod schedtree;
+mod schedule;
+mod tree;
+mod verify;
+
+pub use algorithm::{
+    schedule_kernel, ScheduleError, ScheduleResult, ScheduleStats, SchedulerOptions,
+};
+pub use builders::{
+    bounding_constraints, coefficient_bounds, distance_template, progression_constraints,
+    proximity_objectives, validity_constraints, CoeffBounds,
+};
+pub use checks::{
+    dim_is_coincident, dim_is_weakly_valid, distance_at_dim, equal_date_prefix,
+    is_strongly_satisfied, schedule_respects,
+};
+pub use layout::CoeffLayout;
+pub use optimizer::{build_influence_tree, build_scenarios, InfluenceOptions, Scenario};
+pub use schedtree::{render_schedule_tree, schedule_tree, TreeNode};
+pub use schedule::{DimFlags, Schedule, ScheduleRow, StatementSchedule};
+pub use tree::{InfluenceNode, InfluenceTree, NodeId};
+pub use verify::{verify_schedule, ScheduleReport};

@@ -1,0 +1,447 @@
+//! The non-linear optimizer of Section V: builds influence constraint
+//! trees that steer the scheduler towards GPU load/store vectorization.
+//!
+//! Algorithm 2 searches, per statement, for the best ordered list of up to
+//! three innermost dimensions (an *influenced dimension scenario*) using a
+//! non-affine cost model over concrete strides, extents and the thread
+//! budget. Scenarios are then translated into per-depth affine constraints
+//! on schedule coefficients and assembled into an [`InfluenceTree`]:
+//! higher-priority fusion variants first, relaxed variants (vectorization
+//! constraints only) after.
+
+use crate::layout::CoeffLayout;
+use crate::tree::InfluenceTree;
+use polyject_ir::{Kernel, Statement, StmtId};
+use polyject_sets::{Constraint, ConstraintSet, LinExpr};
+use std::collections::BTreeMap;
+
+/// Options of the influence optimizer (the paper's tuned configuration by
+/// default).
+#[derive(Clone, Debug)]
+pub struct InfluenceOptions {
+    /// Cost weights `w₁..w₅`: store vectorization, load vectorization,
+    /// stride shortness, stride-minimal access count, thread contribution.
+    pub weights: [f64; 5],
+    /// Thread budget `L` per block (CUDA's 1024).
+    pub thread_limit: i64,
+    /// Maximum number of scenario branches in the tree (paper: 8).
+    pub max_scenarios: usize,
+    /// Supported vector widths in elements (64/128-bit for f32; width 3 is
+    /// unsupported, as in the paper).
+    pub vector_widths: Vec<i64>,
+}
+
+impl Default for InfluenceOptions {
+    fn default() -> InfluenceOptions {
+        InfluenceOptions {
+            weights: [5.0, 3.0, 1.0, 1.0, 1.0],
+            thread_limit: 1024,
+            max_scenarios: 8,
+            vector_widths: vec![4, 2],
+        }
+    }
+}
+
+/// An influenced dimension scenario for one statement: the chosen innermost
+/// iterator dimensions, innermost last, plus the vectorization verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// The statement.
+    pub stmt: StmtId,
+    /// Chosen iterator indices, **outermost first, innermost last** (the
+    /// paper's `I_s` list).
+    pub dims: Vec<usize>,
+    /// Whether the innermost chosen dimension qualifies for explicit
+    /// vector types (conditions (a)–(c) of Section V).
+    pub vectorizable: bool,
+    /// Total cost score of the scenario (higher = more profitable).
+    pub score: f64,
+}
+
+/// Per-iterator analysis of one statement under concrete shapes.
+struct IterInfo {
+    /// |stride| of each access along this iterator (write first).
+    strides: Vec<i64>,
+    /// Trip count.
+    extent: i64,
+}
+
+fn analyze_statement(kernel: &Kernel, stmt: &Statement) -> Vec<IterInfo> {
+    let params = kernel.param_defaults();
+    (0..stmt.n_iters())
+        .map(|it| {
+            let strides = stmt
+                .accesses()
+                .map(|(a, _)| {
+                    let ts = kernel.tensor(a.tensor()).strides(params);
+                    a.stride_along(it, &ts).abs()
+                })
+                .collect();
+            IterInfo { strides, extent: stmt.extent_of_iter(it, params) }
+        })
+        .collect()
+}
+
+/// Whether the extent admits one of the supported vector widths.
+fn width_ok(extent: i64, widths: &[i64]) -> bool {
+    widths.iter().any(|w| extent >= *w && extent % w == 0)
+}
+
+/// The Section V cost function:
+/// `cost = w₁|V_w| + w₂|V_r| + w₃/M + w₄|C| + w₅·F·L/N`.
+fn cost(
+    info: &[IterInfo],
+    stmt: &Statement,
+    d: usize,
+    innermost: bool,
+    budget: i64,
+    opts: &InfluenceOptions,
+) -> (f64, bool) {
+    let [w1, w2, w3, w4, w5] = opts.weights;
+    let it = &info[d];
+    let n = it.extent.max(1);
+    // V_w / V_r: vectorizable stores/loads — only scored at the innermost
+    // position; an access is vectorizable along d if it is constant
+    // (stride 0) or contiguous (stride 1) and the extent admits a width.
+    let mut vw = 0usize;
+    let mut vr = 0usize;
+    let mut vectorizable = false;
+    if innermost && width_ok(n, &opts.vector_widths) {
+        for (i, &s) in it.strides.iter().enumerate() {
+            if s <= 1 {
+                if i == 0 {
+                    vw += 1;
+                } else {
+                    vr += 1;
+                }
+            }
+        }
+        // The write must itself be contiguous for the backend to emit
+        // vector stores (a stride-0 write re-hits one cell — a reduction —
+        // which cannot be stored as a vector).
+        vectorizable = it.strides[0] == 1;
+        let _ = stmt;
+    }
+    // M: minimum stride over all accesses by dimension d (clamped at 1 —
+    // an invariant access jumps nowhere, which is as good as contiguous).
+    let m = it.strides.iter().map(|&s| s.max(1)).min().unwrap_or(1);
+    // C: accesses with short memory jumps. The paper defines C as the
+    // accesses attaining the minimum stride M and motivates it as "favors
+    // as many references as possible with short memory jumps" / a
+    // tie-break among stride-1 dimensions; counting minimal-but-huge
+    // strides would let |C| overrule the stride term entirely, so C only
+    // counts accesses that are constant or contiguous (stride <= 1).
+    let c = it.strides.iter().filter(|&&s| s <= 1).count();
+    // F: dimension fits the remaining thread budget. The paper prints the
+    // last term as `w₅·F·L/N` but motivates it as "favors high
+    // contribution to the number of threads not exceeding L" and as a mild
+    // ordering tie-break ("w₅ = 1 is enough") — `L/N` would explode to
+    // dominate every other term precisely for tiny dimensions (e.g. a
+    // batch axis of 32), so we implement the thread *contribution*
+    // `N/L ∈ (0, 1)` instead and document the deviation.
+    let f = if n < budget { 1.0 } else { 0.0 };
+    let score = w1 * vw as f64 + w2 * vr as f64 + w3 / m as f64 + w4 * c as f64
+        + w5 * f * n as f64 / budget.max(1) as f64;
+    (score, vectorizable)
+}
+
+/// Algorithm 2: builds the best influenced dimension scenario per
+/// statement (plus runner-up scenarios for alternative innermost choices).
+pub fn build_scenarios(kernel: &Kernel, opts: &InfluenceOptions) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for (si, stmt) in kernel.statements().iter().enumerate() {
+        let info = analyze_statement(kernel, stmt);
+        let n_dims = stmt.n_iters();
+        if n_dims == 0 {
+            continue;
+        }
+        // Rank candidate innermost dimensions by cost; each spawns one
+        // scenario (primary = best innermost).
+        let mut inner_ranked: Vec<(usize, f64, bool)> = (0..n_dims)
+            .map(|d| {
+                let (s, v) = cost(&info, stmt, d, true, opts.thread_limit, opts);
+                (d, s, v)
+            })
+            .collect();
+        inner_ranked
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // A runner-up innermost choice is only worth a branch when the
+        // best one cannot be vectorized anyway — extra alternatives are
+        // not free: exhausting infeasible ones drives the scheduler's
+        // backtracking towards coarser fallbacks (SCC separation at outer
+        // dimensions), degrading otherwise-fusable kernels.
+        let n_alternatives = if inner_ranked.first().is_some_and(|r| r.2) { 1 } else { 2 };
+        for &(inner, inner_score, vectorizable) in inner_ranked.iter().take(n_alternatives) {
+            let mut dims = vec![inner];
+            let mut score = inner_score;
+            let mut budget = (opts.thread_limit / info[inner].extent.max(1)).max(1);
+            while dims.len() < 3 && dims.len() < n_dims {
+                let best = (0..n_dims)
+                    .filter(|d| !dims.contains(d))
+                    .map(|d| {
+                        let (s, _) = cost(&info, stmt, d, false, budget, opts);
+                        (d, s)
+                    })
+                    .max_by(|a, b| {
+                        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                let Some((b, s)) = best else { break };
+                dims.insert(0, b); // head of the list: next-outer dimension
+                score += s;
+                budget = (budget / info[b].extent.max(1)).max(1);
+            }
+            out.push(Scenario { stmt: StmtId(si), dims, vectorizable, score });
+        }
+    }
+    out
+}
+
+/// Builds the influence constraint tree for a kernel: scenario search
+/// (Algorithm 2), translation to per-depth affine constraints, and
+/// priority-ordered assembly with fusion and relaxed variants.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_core::{build_influence_tree, InfluenceOptions};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::running_example(64);
+/// let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
+/// assert!(!tree.is_empty());
+/// println!("{}", tree.render());
+/// ```
+pub fn build_influence_tree(kernel: &Kernel, opts: &InfluenceOptions) -> InfluenceTree {
+    let layout = CoeffLayout::new(kernel);
+    let scenarios = build_scenarios(kernel, opts);
+    // Group per statement, ranked by score; combine the i-th best of each
+    // statement into the i-th global scenario.
+    let mut per_stmt: BTreeMap<usize, Vec<&Scenario>> = BTreeMap::new();
+    for sc in &scenarios {
+        per_stmt.entry(sc.stmt.0).or_default().push(sc);
+    }
+    for v in per_stmt.values_mut() {
+        v.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    }
+    let max_rank = per_stmt.values().map(Vec::len).max().unwrap_or(0);
+    let mut tree = InfluenceTree::new();
+    let mut branches = 0usize;
+    for rank in 0..max_rank {
+        let combo: Vec<&Scenario> = per_stmt
+            .values()
+            .map(|v| *v.get(rank).unwrap_or(&v[0]))
+            .collect();
+        // Higher priority: fusion variant; lower: vectorization only.
+        for fusion in [true, false] {
+            if branches >= opts.max_scenarios {
+                break;
+            }
+            add_branch(&mut tree, kernel, &layout, &combo, fusion);
+            branches += 1;
+        }
+    }
+    tree
+}
+
+/// Translates one global scenario (one per-statement dimension list) into
+/// a chain of tree nodes, one per schedule depth.
+fn add_branch(
+    tree: &mut InfluenceTree,
+    kernel: &Kernel,
+    layout: &CoeffLayout,
+    combo: &[&Scenario],
+    fusion: bool,
+) {
+    let max_depth = kernel.statements().iter().map(Statement::n_iters).max().unwrap_or(0);
+    let n = layout.n_vars();
+    let mut parent = None;
+    for depth in 0..max_depth {
+        let mut cs = ConstraintSet::universe(n);
+        let mut vector_stmts = Vec::new();
+        for sc in combo {
+            let stmt = kernel.statement(sc.stmt);
+            let n_iters = stmt.n_iters();
+            if depth >= n_iters {
+                continue;
+            }
+            let inner_pos = n_iters - 1 - depth; // 0 = statement's last dim
+            let m = sc.dims.len();
+            if inner_pos < m {
+                // This depth hosts scenario dim `dims[m-1-inner_pos]`: pin
+                // the row to exactly that iterator.
+                let chosen = sc.dims[m - 1 - inner_pos];
+                for it in 0..n_iters {
+                    let v = layout.iter_coeff(sc.stmt, it);
+                    let mut e = LinExpr::var(n, v);
+                    if it == chosen {
+                        e.set_constant(-1i128); // coeff == 1
+                    }
+                    cs.add(Constraint::eq0(e));
+                }
+                if inner_pos == 0 && sc.vectorizable {
+                    vector_stmts.push(sc.stmt);
+                }
+            } else {
+                // Outer depth: keep the scenario iterators for later.
+                for &it in &sc.dims {
+                    cs.add(Constraint::eq0(LinExpr::var(
+                        n,
+                        layout.iter_coeff(sc.stmt, it),
+                    )));
+                }
+            }
+        }
+        if fusion {
+            add_fusion_constraints(&mut cs, kernel, layout, depth);
+        }
+        let label = branch_label(kernel, combo, depth, fusion);
+        let id = match parent {
+            None => tree.add_root(cs, label),
+            Some(p) => tree.add_child(p, cs, label),
+        };
+        for s in vector_stmts {
+            tree.mark_vector(id, s);
+        }
+        parent = Some(id);
+    }
+}
+
+/// Fusion influence: equate, at this depth, the coefficients of same-named
+/// iterators (plus parameter coefficients and the constant) across every
+/// pair of statements deep enough to have this dimension.
+fn add_fusion_constraints(
+    cs: &mut ConstraintSet,
+    kernel: &Kernel,
+    layout: &CoeffLayout,
+    depth: usize,
+) {
+    let n = layout.n_vars();
+    let stmts = kernel.statements();
+    for a in 0..stmts.len() {
+        for b in a + 1..stmts.len() {
+            if depth >= stmts[a].n_iters() || depth >= stmts[b].n_iters() {
+                continue;
+            }
+            for (ia, name) in stmts[a].iters().iter().enumerate() {
+                if let Some(ib) = stmts[b].iters().iter().position(|x| x == name) {
+                    let ea = LinExpr::var(n, layout.iter_coeff(StmtId(a), ia));
+                    let eb = LinExpr::var(n, layout.iter_coeff(StmtId(b), ib));
+                    cs.add(Constraint::eq(&ea, &eb));
+                }
+            }
+            for p in 0..layout.n_params() {
+                let ea = LinExpr::var(n, layout.param_coeff(StmtId(a), p));
+                let eb = LinExpr::var(n, layout.param_coeff(StmtId(b), p));
+                cs.add(Constraint::eq(&ea, &eb));
+            }
+            let ea = LinExpr::var(n, layout.const_coeff(StmtId(a)));
+            let eb = LinExpr::var(n, layout.const_coeff(StmtId(b)));
+            cs.add(Constraint::eq(&ea, &eb));
+        }
+    }
+}
+
+fn branch_label(kernel: &Kernel, combo: &[&Scenario], depth: usize, fusion: bool) -> String {
+    let mut parts = Vec::new();
+    for sc in combo {
+        let stmt = kernel.statement(sc.stmt);
+        let names: Vec<&str> =
+            sc.dims.iter().map(|&d| stmt.iters()[d].as_str()).collect();
+        parts.push(format!(
+            "{}:[{}]{}",
+            stmt.name(),
+            names.join(","),
+            if sc.vectorizable { "v" } else { "" }
+        ));
+    }
+    format!(
+        "d{} {}{}",
+        depth,
+        if fusion { "fused " } else { "relaxed " },
+        parts.join(" ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_ir::ops;
+
+    #[test]
+    fn running_example_scenarios_pick_j_for_y() {
+        let kernel = ops::running_example(1024);
+        let scenarios = build_scenarios(&kernel, &InfluenceOptions::default());
+        // Best scenario for Y must put j innermost: C[i][j] store stride 1,
+        // D[k][i][j] load stride 1 along j; k gives stride N² on D.
+        let best_y = scenarios
+            .iter()
+            .filter(|s| s.stmt == StmtId(1))
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert_eq!(*best_y.dims.last().unwrap(), 1, "innermost = j");
+        assert!(best_y.vectorizable);
+        // X's best: k innermost (stride 1 on both A and B).
+        let best_x = scenarios
+            .iter()
+            .filter(|s| s.stmt == StmtId(0))
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert_eq!(*best_x.dims.last().unwrap(), 1, "innermost = k");
+        assert!(best_x.vectorizable);
+    }
+
+    #[test]
+    fn transpose_prefers_write_contiguity() {
+        // B[j][i] = A[i][j]: along j the load is contiguous (stride 1) but
+        // the store jumps (stride rows); along i the store is contiguous.
+        // w1 > w2 ⇒ the store side wins: innermost = i.
+        let kernel = ops::transpose_2d(1024, 1024);
+        let scenarios = build_scenarios(&kernel, &InfluenceOptions::default());
+        let best = scenarios
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap();
+        assert_eq!(*best.dims.last().unwrap(), 0, "innermost = i (store-contiguous)");
+        assert!(best.vectorizable);
+    }
+
+    #[test]
+    fn odd_extent_disables_vectorization() {
+        let kernel = ops::bias_add_relu(33, 33); // 33 not divisible by 2 or 4
+        let scenarios = build_scenarios(&kernel, &InfluenceOptions::default());
+        assert!(scenarios.iter().all(|s| !s.vectorizable));
+    }
+
+    #[test]
+    fn tree_structure_for_running_example() {
+        let kernel = ops::running_example(1024);
+        let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
+        assert!(!tree.is_empty());
+        // Chains are max_depth = 3 deep; fused branch first.
+        let root = tree.first_root().unwrap();
+        assert_eq!(tree.depth(root), 0);
+        let c1 = tree.first_child(root).unwrap();
+        let c2 = tree.first_child(c1).unwrap();
+        assert!(tree.is_leaf(c2));
+        let rendered = tree.render();
+        assert!(rendered.contains("fused"), "{rendered}");
+        assert!(rendered.contains("relaxed"), "{rendered}");
+        assert!(rendered.contains("vector"), "{rendered}");
+    }
+
+    #[test]
+    fn scenario_cap_respected() {
+        let kernel = ops::running_example(1024);
+        let opts = InfluenceOptions { max_scenarios: 2, ..InfluenceOptions::default() };
+        let tree = build_influence_tree(&kernel, &opts);
+        // 2 branches × 3 depth nodes.
+        assert_eq!(tree.len(), 6);
+    }
+
+    #[test]
+    fn elementwise_scenarios_are_trivially_vectorizable() {
+        let kernel = ops::elementwise_chain(4096, 3);
+        let scenarios = build_scenarios(&kernel, &InfluenceOptions::default());
+        assert!(scenarios.iter().filter(|s| s.dims.len() == 1).all(|s| s.vectorizable));
+    }
+}

@@ -1,0 +1,174 @@
+//! Whole-schedule verification: a single entry point bundling every
+//! property a legal, complete schedule must satisfy, with a structured
+//! report (used by integration tests and available to downstream users
+//! who construct schedules by hand).
+
+use crate::checks::{is_strongly_satisfied, schedule_respects};
+use crate::schedule::Schedule;
+use polyject_deps::Dependences;
+use polyject_ir::{Kernel, StmtId};
+use std::fmt;
+
+/// The verification verdict for one schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleReport {
+    /// Every dependence is respected lexicographically.
+    pub valid: bool,
+    /// Every statement's iterator space is fully spanned (the schedule is
+    /// injective per statement).
+    pub complete: bool,
+    /// All schedules share one depth (the shape code generation expects).
+    pub uniform_depth: bool,
+    /// Number of validity relations strongly satisfied.
+    pub strongly_satisfied: usize,
+    /// Total validity relations.
+    pub total_validity: usize,
+    /// Names of statements with rank deficits (empty when `complete`).
+    pub incomplete_statements: Vec<String>,
+}
+
+impl ScheduleReport {
+    /// Whether the schedule passes every check.
+    pub fn ok(&self) -> bool {
+        self.valid
+            && self.complete
+            && self.uniform_depth
+            && self.strongly_satisfied == self.total_validity
+    }
+}
+
+impl fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "valid: {}, complete: {}, uniform depth: {}, strongly satisfied: {}/{}",
+            self.valid,
+            self.complete,
+            self.uniform_depth,
+            self.strongly_satisfied,
+            self.total_validity
+        )?;
+        if !self.incomplete_statements.is_empty() {
+            write!(f, ", incomplete: {}", self.incomplete_statements.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies a schedule against a kernel's dependences.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_core::{schedule_kernel, verify_schedule, InfluenceTree, SchedulerOptions};
+/// use polyject_deps::{compute_dependences, DepOptions};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::running_example(16);
+/// let deps = compute_dependences(&kernel, DepOptions::default());
+/// let res = schedule_kernel(&kernel, &deps, &InfluenceTree::new(),
+///                           SchedulerOptions::default()).unwrap();
+/// let report = verify_schedule(&kernel, &deps, &res.schedule);
+/// assert!(report.ok(), "{report}");
+/// ```
+pub fn verify_schedule(
+    kernel: &Kernel,
+    deps: &Dependences,
+    schedule: &Schedule,
+) -> ScheduleReport {
+    let validity: Vec<_> = deps.validity().collect();
+    let valid = schedule_respects(validity.iter().copied(), schedule);
+    let strongly_satisfied = validity
+        .iter()
+        .filter(|r| is_strongly_satisfied(r, schedule))
+        .count();
+    let mut incomplete_statements = Vec::new();
+    for (i, s) in kernel.statements().iter().enumerate() {
+        if schedule.stmt(StmtId(i)).iter_rank() < s.n_iters() {
+            incomplete_statements.push(s.name().to_string());
+        }
+    }
+    let depth0 = schedule.stmt(StmtId(0)).depth();
+    let uniform_depth = (0..kernel.statements().len())
+        .all(|i| schedule.stmt(StmtId(i)).depth() == depth0);
+    ScheduleReport {
+        valid,
+        complete: incomplete_statements.is_empty(),
+        uniform_depth,
+        strongly_satisfied,
+        total_validity: validity.len(),
+        incomplete_statements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{schedule_kernel, SchedulerOptions};
+    use crate::optimizer::{build_influence_tree, InfluenceOptions};
+    use crate::schedule::ScheduleRow;
+    use crate::tree::InfluenceTree;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+
+    #[test]
+    fn scheduler_outputs_always_verify() {
+        for kernel in [
+            ops::running_example(8),
+            ops::layernorm_like(6, 8),
+            ops::softmax_like(6, 8),
+            ops::transpose_2d(8, 12),
+            ops::reduce_rows(6, 6),
+        ] {
+            let deps = compute_dependences(&kernel, DepOptions::default());
+            for influenced in [false, true] {
+                let tree = if influenced {
+                    build_influence_tree(&kernel, &InfluenceOptions::default())
+                } else {
+                    InfluenceTree::new()
+                };
+                let res =
+                    schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default())
+                        .unwrap();
+                let report = verify_schedule(&kernel, &deps, &res.schedule);
+                assert!(report.ok(), "{} influenced={influenced}: {report}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn broken_schedule_is_reported() {
+        let kernel = ops::running_example(6);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        // Reversed statement order: Y before X breaks the flow on B.
+        let mut sched = Schedule::empty(&kernel);
+        for (i, s) in kernel.statements().iter().enumerate() {
+            let ss = sched.stmt_mut(StmtId(i));
+            ss.push(ScheduleRow::scalar(s.n_iters(), 1, (1 - i) as i128));
+            for d in 0..s.n_iters() {
+                let mut row = ScheduleRow::zero(s.n_iters(), 1);
+                row.iter_coeffs[d] = 1;
+                ss.push(row);
+            }
+        }
+        let report = verify_schedule(&kernel, &deps, &sched);
+        assert!(!report.valid);
+        assert!(!report.ok());
+        // X (2 iters) vs Y (3 iters): depths 3 vs 4 → not uniform either.
+        assert!(!report.uniform_depth);
+    }
+
+    #[test]
+    fn incomplete_schedule_is_reported() {
+        let kernel = ops::transpose_2d(8, 8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let mut sched = Schedule::empty(&kernel);
+        let mut row = ScheduleRow::zero(2, 0);
+        row.iter_coeffs[0] = 1;
+        sched.stmt_mut(StmtId(0)).push(row);
+        let report = verify_schedule(&kernel, &deps, &sched);
+        assert!(!report.complete);
+        assert_eq!(report.incomplete_statements, vec!["T".to_string()]);
+        assert!(report.to_string().contains("incomplete: T"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The statement-level dependence graph and its strongly connected
+//! components (Tarjan), used by the scheduler's SCC-separation fallback
+//! (Algorithm 1, lines 32–34).
+
+use crate::analysis::Dependences;
+use crate::relation::DepRelation;
+use polyject_ir::StmtId;
+
+/// A directed graph over statements with dependence edges.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    n: usize,
+    edges: Vec<Vec<usize>>, // adjacency: edges[s] = targets
+}
+
+impl DepGraph {
+    /// Builds the graph over `n_statements` nodes from a list of validity
+    /// relations (self-edges are kept but do not affect SCC structure
+    /// beyond making the node cyclic).
+    pub fn from_relations<'a>(
+        n_statements: usize,
+        relations: impl IntoIterator<Item = &'a DepRelation>,
+    ) -> DepGraph {
+        let mut edges = vec![Vec::new(); n_statements];
+        for r in relations {
+            if !edges[r.source.0].contains(&r.target.0) {
+                edges[r.source.0].push(r.target.0);
+            }
+        }
+        DepGraph { n: n_statements, edges }
+    }
+
+    /// Builds the validity graph of a kernel's dependences.
+    pub fn validity_graph(n_statements: usize, deps: &Dependences) -> DepGraph {
+        DepGraph::from_relations(n_statements, deps.validity())
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the edge `s → t` exists.
+    pub fn has_edge(&self, s: StmtId, t: StmtId) -> bool {
+        self.edges[s.0].contains(&t.0)
+    }
+
+    /// Strongly connected components in *topological order* (every edge
+    /// goes from an earlier component to a later one, except intra-SCC
+    /// edges). Each component lists its statements.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use polyject_deps::DepGraph;
+    /// use polyject_ir::StmtId;
+    ///
+    /// // 0 → 1 → 2 and 2 → 1 (cycle between 1 and 2).
+    /// let mut g = DepGraph::new(3);
+    /// g.add_edge(StmtId(0), StmtId(1));
+    /// g.add_edge(StmtId(1), StmtId(2));
+    /// g.add_edge(StmtId(2), StmtId(1));
+    /// let sccs = g.sccs();
+    /// assert_eq!(sccs.len(), 2);
+    /// assert_eq!(sccs[0], vec![StmtId(0)]);
+    /// assert_eq!(sccs[1].len(), 2);
+    /// ```
+    pub fn sccs(&self) -> Vec<Vec<StmtId>> {
+        let mut state = Tarjan {
+            graph: self,
+            index: vec![usize::MAX; self.n],
+            lowlink: vec![0; self.n],
+            on_stack: vec![false; self.n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        };
+        for v in 0..self.n {
+            if state.index[v] == usize::MAX {
+                state.strongconnect(v);
+            }
+        }
+        // Tarjan emits components in reverse topological order.
+        let mut comps = state.components;
+        comps.reverse();
+        for c in &mut comps {
+            c.sort();
+        }
+        comps
+    }
+
+    /// Creates an empty graph (for tests and manual construction).
+    pub fn new(n_statements: usize) -> DepGraph {
+        DepGraph { n: n_statements, edges: vec![Vec::new(); n_statements] }
+    }
+
+    /// Adds an edge.
+    pub fn add_edge(&mut self, s: StmtId, t: StmtId) {
+        if !self.edges[s.0].contains(&t.0) {
+            self.edges[s.0].push(t.0);
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT syntax, labeling nodes with the
+    /// given name function.
+    pub fn to_dot(&self, name: impl Fn(StmtId) -> String) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph deps {\n");
+        for v in 0..self.n {
+            writeln!(out, "  n{} [label=\"{}\"];", v, name(StmtId(v))).expect("write");
+        }
+        for (v, targets) in self.edges.iter().enumerate() {
+            for &t in targets {
+                writeln!(out, "  n{v} -> n{t};").expect("write");
+            }
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+struct Tarjan<'g> {
+    graph: &'g DepGraph,
+    index: Vec<usize>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    components: Vec<Vec<StmtId>>,
+}
+
+impl Tarjan<'_> {
+    fn strongconnect(&mut self, v: usize) {
+        self.index[v] = self.next_index;
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+        for i in 0..self.graph.edges[v].len() {
+            let w = self.graph.edges[v][i];
+            if self.index[w] == usize::MAX {
+                self.strongconnect(w);
+                self.lowlink[v] = self.lowlink[v].min(self.lowlink[w]);
+            } else if self.on_stack[w] {
+                self.lowlink[v] = self.lowlink[v].min(self.index[w]);
+            }
+        }
+        if self.lowlink[v] == self.index[v] {
+            let mut comp = Vec::new();
+            loop {
+                let w = self.stack.pop().expect("nonempty Tarjan stack");
+                self.on_stack[w] = false;
+                comp.push(StmtId(w));
+                if w == v {
+                    break;
+                }
+            }
+            self.components.push(comp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_gives_singleton_components_in_order() {
+        let mut g = DepGraph::new(4);
+        g.add_edge(StmtId(0), StmtId(1));
+        g.add_edge(StmtId(1), StmtId(2));
+        g.add_edge(StmtId(2), StmtId(3));
+        let sccs = g.sccs();
+        assert_eq!(
+            sccs,
+            vec![vec![StmtId(0)], vec![StmtId(1)], vec![StmtId(2)], vec![StmtId(3)]]
+        );
+    }
+
+    #[test]
+    fn cycle_merges() {
+        let mut g = DepGraph::new(3);
+        g.add_edge(StmtId(0), StmtId(1));
+        g.add_edge(StmtId(1), StmtId(0));
+        g.add_edge(StmtId(1), StmtId(2));
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0], vec![StmtId(0), StmtId(1)]);
+        assert_eq!(sccs[1], vec![StmtId(2)]);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = DepGraph::new(3);
+        assert_eq!(g.sccs().len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_singleton() {
+        let mut g = DepGraph::new(1);
+        g.add_edge(StmtId(0), StmtId(0));
+        assert_eq!(g.sccs(), vec![vec![StmtId(0)]]);
+        assert!(g.has_edge(StmtId(0), StmtId(0)));
+    }
+
+    #[test]
+    fn dot_output() {
+        let mut g = DepGraph::new(2);
+        g.add_edge(StmtId(0), StmtId(1));
+        let dot = g.to_dot(|s| format!("S{}", s.0));
+        assert!(dot.starts_with("digraph deps {"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("label=\"S1\""));
+    }
+
+    #[test]
+    fn topological_property() {
+        // Diamond: 0→1, 0→2, 1→3, 2→3.
+        let mut g = DepGraph::new(4);
+        g.add_edge(StmtId(0), StmtId(1));
+        g.add_edge(StmtId(0), StmtId(2));
+        g.add_edge(StmtId(1), StmtId(3));
+        g.add_edge(StmtId(2), StmtId(3));
+        let sccs = g.sccs();
+        let pos = |s: StmtId| sccs.iter().position(|c| c.contains(&s)).unwrap();
+        assert!(pos(StmtId(0)) < pos(StmtId(1)));
+        assert!(pos(StmtId(0)) < pos(StmtId(2)));
+        assert!(pos(StmtId(1)) < pos(StmtId(3)));
+        assert!(pos(StmtId(2)) < pos(StmtId(3)));
+    }
+}

@@ -1,0 +1,121 @@
+//! `polyjectc` — the polyject command-line compiler driver.
+//!
+//! ```text
+//! polyjectc <file.pj> [--config isl|novec|infl] [--emit code|schedule|tree|time|all]
+//! ```
+
+use polyject_codegen::{compile, render, render_cuda, Config};
+use polyject_core::{
+    build_influence_tree, render_schedule_tree, schedule_tree, InfluenceOptions,
+};
+use polyject_front::{emit_pj, parse};
+use polyject_gpusim::{estimate, profile, GpuModel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut config = Config::Influenced;
+    let mut emit = "all".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                i += 1;
+                config = match args.get(i).map(String::as_str) {
+                    Some("isl") => Config::Isl,
+                    Some("novec") => Config::NoVec,
+                    Some("infl") => Config::Influenced,
+                    other => {
+                        eprintln!("unknown --config {other:?} (isl|novec|infl)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--emit" => {
+                i += 1;
+                emit = args.get(i).cloned().unwrap_or_default();
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: polyjectc <file.pj> [--config isl|novec|infl] \
+                     [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("usage: polyjectc <file.pj> [--config ...] [--emit ...]");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel = match parse(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit == "tree" || emit == "all" {
+        let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
+        println!("== influence constraint tree ==");
+        print!("{}", tree.render());
+    }
+    let compiled = match compile(&kernel, config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit == "schedule" || emit == "all" {
+        println!("== schedule ({}) ==", config.name());
+        print!("{}", compiled.schedule.render(&kernel));
+    }
+    if emit == "schedtree" || emit == "all" {
+        println!("== schedule tree ==");
+        let st = schedule_tree(&kernel, &compiled.schedule);
+        print!("{}", render_schedule_tree(&st, &kernel));
+    }
+    if emit == "code" || emit == "all" {
+        println!("== generated code ({}) ==", config.name());
+        print!("{}", render(&compiled.ast, &kernel));
+    }
+    if emit == "cuda" || emit == "all" {
+        println!("== CUDA source ==");
+        print!("{}", render_cuda(&compiled.ast, &kernel));
+    }
+    if emit == "profile" || emit == "all" {
+        println!("== simulated profile (V100) ==");
+        print!("{}", profile(&compiled.ast, &kernel, &GpuModel::v100()).render());
+    }
+    if emit == "pj" {
+        match emit_pj(&kernel) {
+            Ok(src) => print!("{src}"),
+            Err(e) => eprintln!("cannot re-emit: {e}"),
+        }
+    }
+    if emit == "time" || emit == "all" {
+        let t = estimate(&compiled.ast, &kernel, &GpuModel::v100());
+        println!(
+            "== simulated V100: {:.4} ms (bound by {}, {} vectorized loop(s)) ==",
+            t.ms(),
+            t.bottleneck(),
+            compiled.vector_loops
+        );
+    }
+    ExitCode::SUCCESS
+}

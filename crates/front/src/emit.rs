@@ -1,0 +1,274 @@
+//! Emission of IR kernels back to `.pj` source (the inverse of
+//! [`parse`](crate::parse)), used for kernel round-tripping, debugging
+//! dumps, and persisting generated workloads.
+
+use polyject_ir::{Access, BinOp, ElemType, Expr, Extent, Kernel, Statement, UnOp};
+use std::fmt::Write as _;
+
+/// Emits a kernel as `.pj` source.
+///
+/// # Errors
+///
+/// Returns a message if the kernel uses a feature the language cannot
+/// express (non-rectangular domains with raw constraints, access indices
+/// that are not `iterator + constant`, non-zero lower bounds combined with
+/// parametric uppers).
+///
+/// # Examples
+///
+/// ```
+/// use polyject_front::{emit_pj, parse};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::running_example(64);
+/// let src = emit_pj(&kernel).unwrap();
+/// let reparsed = parse(&src).unwrap();
+/// assert_eq!(reparsed.name(), kernel.name());
+/// // Emission is a fixpoint through the parser.
+/// assert_eq!(emit_pj(&reparsed).unwrap(), src);
+/// ```
+pub fn emit_pj(kernel: &Kernel) -> Result<String, String> {
+    let mut out = String::new();
+    writeln!(out, "kernel {}", kernel.name()).expect("write");
+    for (name, default) in kernel.param_names().iter().zip(kernel.param_defaults()) {
+        writeln!(out, "param {name} = {default}").expect("write");
+    }
+    for t in kernel.tensors() {
+        let dims: String = t
+            .dims()
+            .iter()
+            .map(|d| match d {
+                Extent::Const(v) => format!("[{v}]"),
+                Extent::Param(p) => format!("[{}]", kernel.param_names()[p.0]),
+            })
+            .collect();
+        let elem = match t.elem() {
+            ElemType::F32 => "f32",
+            ElemType::F16 => "f16",
+        };
+        writeln!(out, "tensor {}{dims}: {elem}", t.name()).expect("write");
+    }
+    for s in kernel.statements() {
+        writeln!(out).expect("write");
+        emit_statement(kernel, s, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn emit_statement(kernel: &Kernel, s: &Statement, out: &mut String) -> Result<(), String> {
+    // Iterator ranges: recover `lo..hi` from the concrete/parametric
+    // domain (rectangular domains only).
+    let mut iters = Vec::new();
+    for (i, name) in s.iters().iter().enumerate() {
+        let (lo, hi) = iter_range(kernel, s, i)?;
+        iters.push(format!("{name} in {lo}..{hi}"));
+    }
+    write!(out, "stmt {} for ({})", s.name(), iters.join(", ")).expect("write");
+    writeln!(out).expect("write");
+    let w = access_text(kernel, s, s.write())?;
+    let reads: Result<Vec<String>, String> =
+        s.reads().iter().map(|a| access_text(kernel, s, a)).collect();
+    let reads = reads?;
+    let body = expr_text(s.expr(), &reads);
+    writeln!(out, "  {w} = {body}").expect("write");
+    Ok(())
+}
+
+/// `(lower, upper_exclusive)` of one iterator, as source text.
+fn iter_range(kernel: &Kernel, s: &Statement, iter: usize) -> Result<(String, String), String> {
+    // Probe the parametric domain: evaluate the extent at defaults for the
+    // concrete case; detect a parametric upper by matching the bound
+    // structure `iter <= param - 1` in the domain constraints.
+    let n = s.n_iters() + s.n_params();
+    for c in s.domain().constraints() {
+        if c.is_equality() {
+            continue;
+        }
+        let e = c.expr();
+        if e.coeff(iter) == polyject_arith::Rat::int(-1)
+            && (0..s.n_iters()).all(|v| v == iter || e.coeff(v).is_zero())
+        {
+            // -iter + (param?) + const >= 0 → iter <= param + const.
+            for p in 0..s.n_params() {
+                if e.coeff(s.n_iters() + p) == polyject_arith::Rat::ONE
+                    && e.constant_term() == polyject_arith::Rat::int(-1)
+                    && (0..s.n_params())
+                        .all(|q| q == p || e.coeff(s.n_iters() + q).is_zero())
+                {
+                    let lo = lower_of(s, iter)?;
+                    return Ok((lo, kernel.param_names()[p].clone()));
+                }
+            }
+            if (0..s.n_params()).all(|q| e.coeff(s.n_iters() + q).is_zero()) {
+                let hi = e
+                    .constant_term()
+                    .to_integer()
+                    .ok_or_else(|| "non-integer bound".to_string())?;
+                let lo = lower_of(s, iter)?;
+                return Ok((lo, (hi + 1).to_string()));
+            }
+        }
+    }
+    let _ = n;
+    Err(format!("iterator {iter} of {} has no recognizable upper bound", s.name()))
+}
+
+fn lower_of(s: &Statement, iter: usize) -> Result<String, String> {
+    for c in s.domain().constraints() {
+        if c.is_equality() {
+            continue;
+        }
+        let e = c.expr();
+        if e.coeff(iter) == polyject_arith::Rat::ONE
+            && (0..s.n_iters()).all(|v| v == iter || e.coeff(v).is_zero())
+            && (0..s.n_params()).all(|q| e.coeff(s.n_iters() + q).is_zero())
+        {
+            let lo = -e
+                .constant_term()
+                .to_integer()
+                .ok_or_else(|| "non-integer bound".to_string())?;
+            return Ok(lo.to_string());
+        }
+    }
+    Err(format!("iterator {iter} of {} has no recognizable lower bound", s.name()))
+}
+
+fn access_text(kernel: &Kernel, s: &Statement, a: &Access) -> Result<String, String> {
+    let mut out = kernel.tensor(a.tensor()).name().to_string();
+    for e in a.indices() {
+        let k = e
+            .constant_term()
+            .to_integer()
+            .ok_or_else(|| "non-integer index constant".to_string())?;
+        let mut term = None;
+        for it in 0..s.n_iters() {
+            let c = e.coeff(it);
+            if c.is_zero() {
+                continue;
+            }
+            if c != polyject_arith::Rat::ONE || term.is_some() {
+                return Err(format!("index too complex in {}", s.name()));
+            }
+            term = Some(s.iters()[it].clone());
+        }
+        for p in 0..s.n_params() {
+            if !e.coeff(s.n_iters() + p).is_zero() {
+                return Err(format!("parametric index in {}", s.name()));
+            }
+        }
+        let idx = match (term, k) {
+            (Some(it), 0) => it,
+            (Some(it), k) if k > 0 => format!("{it} + {k}"),
+            (Some(it), k) => format!("{it} - {}", -k),
+            (None, k) => k.to_string(),
+        };
+        write!(out, "[{idx}]").expect("write");
+    }
+    Ok(out)
+}
+
+fn expr_text(e: &Expr, reads: &[String]) -> String {
+    match e {
+        Expr::Read(i) => reads[*i].clone(),
+        Expr::Const(c) => {
+            // Ensure the literal lexes as a float.
+            if c.fract() == 0.0 {
+                format!("{c:.1}")
+            } else {
+                format!("{c}")
+            }
+        }
+        Expr::Unary(op, a) => {
+            let inner = expr_text(a, reads);
+            match op {
+                UnOp::Neg => format!("(-{inner})"),
+                UnOp::Exp => format!("exp({inner})"),
+                UnOp::Relu => format!("relu({inner})"),
+                UnOp::Sqrt => format!("sqrt({inner})"),
+                UnOp::Recip => format!("recip({inner})"),
+                UnOp::Tanh => format!("tanh({inner})"),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let l = expr_text(a, reads);
+            let r = expr_text(b, reads);
+            match op {
+                BinOp::Add => format!("({l} + {r})"),
+                BinOp::Sub => format!("({l} - {r})"),
+                BinOp::Mul => format!("({l} * {r})"),
+                BinOp::Div => format!("({l} / {r})"),
+                BinOp::Max => format!("max({l}, {r})"),
+                BinOp::Min => format!("min({l}, {r})"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use polyject_ir::ops;
+
+    fn roundtrip(kernel: &Kernel) {
+        let src = emit_pj(kernel).unwrap_or_else(|e| panic!("{}: {e}", kernel.name()));
+        let reparsed = parse(&src).unwrap_or_else(|e| panic!("{}: {e}\n{src}", kernel.name()));
+        // Fixpoint through parse→emit.
+        assert_eq!(emit_pj(&reparsed).unwrap(), src, "{}", kernel.name());
+        // Behavioral equivalence on the reference semantics.
+        let params = kernel.param_defaults().to_vec();
+        let mut a = kernel.zero_buffers(&params);
+        for (i, buf) in a.iter_mut().enumerate() {
+            for (j, v) in buf.iter_mut().enumerate() {
+                *v = ((i * 13 + j * 7) % 19) as f32 / 2.0;
+            }
+        }
+        let mut b = a.clone();
+        kernel.execute_reference(&mut a, &params);
+        reparsed.execute_reference(&mut b, &params);
+        assert_eq!(a, b, "{}", kernel.name());
+    }
+
+    #[test]
+    fn roundtrips_builtin_ops() {
+        roundtrip(&ops::running_example(8));
+        roundtrip(&ops::transpose_2d(6, 9));
+        roundtrip(&ops::elementwise_chain(12, 4));
+        roundtrip(&ops::bias_add_relu(6, 8));
+        roundtrip(&ops::reduce_rows(5, 7));
+        roundtrip(&ops::layernorm_like(4, 6));
+        roundtrip(&ops::softmax_like(4, 6));
+        roundtrip(&ops::transpose_nchw_nhwc(2, 3, 4, 5));
+    }
+
+    #[test]
+    fn f16_elem_type_survives() {
+        let kernel = ops::transpose_2d_of(4, 4, polyject_ir::ElemType::F16);
+        let src = emit_pj(&kernel).unwrap();
+        assert!(src.contains(": f16"));
+        let reparsed = parse(&src).unwrap();
+        assert_eq!(reparsed.tensors()[0].elem(), polyject_ir::ElemType::F16);
+    }
+
+    #[test]
+    fn parametric_bounds_survive() {
+        let kernel = ops::running_example(32);
+        let src = emit_pj(&kernel).unwrap();
+        assert!(src.contains("param N = 32"));
+        assert!(src.contains("in 0..N"), "{src}");
+        assert!(src.contains("tensor D[N][N][N]"), "{src}");
+    }
+
+    #[test]
+    fn shifted_reads_survive() {
+        let src = "
+kernel scan
+tensor a[8]: f32
+stmt S for (i in 1..8) a[i] = (a[i - 1] + a[i])
+";
+        let kernel = parse(src).unwrap();
+        let emitted = emit_pj(&kernel).unwrap();
+        assert!(emitted.contains("a[i - 1]"), "{emitted}");
+        assert!(emitted.contains("i in 1..8"), "{emitted}");
+    }
+}

@@ -1,0 +1,32 @@
+//! # polyject-front
+//!
+//! A textual frontend for `polyject`: the `.pj` kernel language (the
+//! fused-operator descriptions AKG would receive from graph-kernel
+//! fusion) with a lexer, a recursive-descent parser lowering directly to
+//! [`polyject_ir::Kernel`], and the `polyjectc` command-line compiler
+//! driver.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "
+//! kernel axpy
+//! param N = 64
+//! tensor X[N]: f32
+//! tensor Y[N]: f32
+//! stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+//! ";
+//! let kernel = polyject_front::parse(src).unwrap();
+//! assert_eq!(kernel.param_defaults(), &[64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod lexer;
+mod parser;
+
+pub use emit::emit_pj;
+pub use lexer::{lex, LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};

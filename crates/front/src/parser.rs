@@ -1,0 +1,581 @@
+//! Recursive-descent parser and lowering for the `.pj` kernel language.
+//!
+//! The language describes the fused operators AKG receives: parameters,
+//! tensors, and statements with rectangular iteration domains, one write,
+//! and an arithmetic expression over affine tensor accesses:
+//!
+//! ```text
+//! kernel fused_mul_sub_mul_tensoradd
+//! param N = 1024
+//! tensor A[N][N]: f32
+//! tensor B[N][N]: f32
+//! tensor C[N][N]: f32
+//! tensor D[N][N][N]: f32
+//!
+//! stmt X for (i in 0..N, k in 0..N)
+//!   B[i][k] = 2.0 * A[i][k]
+//!
+//! stmt Y for (i in 0..N, j in 0..N, k in 0..N)
+//!   C[i][j] = C[i][j] + B[i][k] * D[k][i][j]
+//! ```
+
+use crate::lexer::{lex, LexError, Token, TokenKind};
+use polyject_ir::{
+    BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, ParamId, StatementBuilder,
+    TensorId, UnOp,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse (or lowering) error with source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError { message: e.message, line: e.line, col: e.col }
+    }
+}
+
+/// Parses a `.pj` source into a [`Kernel`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the position of the first problem.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// kernel relu
+/// param N = 16
+/// tensor A[N]: f32
+/// tensor B[N]: f32
+/// stmt S for (i in 0..N) B[i] = relu(A[i])
+/// ";
+/// let kernel = polyject_front::parse(src).unwrap();
+/// assert_eq!(kernel.name(), "relu");
+/// assert_eq!(kernel.statements().len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Kernel, ParseError> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).kernel()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: HashMap<String, ParamId>,
+    tensors: HashMap<String, (TensorId, usize)>, // id, rank
+    builder: Option<KernelBuilder>,
+}
+
+/// A parsed statement's iterator context.
+struct Iters {
+    names: Vec<String>,
+    uppers: Vec<Extent>,
+    lowers: Vec<i64>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            params: HashMap::new(),
+            tensors: HashMap::new(),
+            builder: None,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        let t = self.peek();
+        Err(ParseError { message: message.into(), line: t.line, col: t.col })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.next())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let got = self.ident()?;
+        if got == kw {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword `{kw}`, found `{got}`"))
+        }
+    }
+
+    fn kernel(mut self) -> Result<Kernel, ParseError> {
+        self.keyword("kernel")?;
+        let name = self.ident()?;
+        self.builder = Some(KernelBuilder::new(name));
+        loop {
+            match self.peek().kind.clone() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(kw) if kw == "param" => self.param()?,
+                TokenKind::Ident(kw) if kw == "tensor" => self.tensor()?,
+                TokenKind::Ident(kw) if kw == "stmt" => self.statement()?,
+                other => return self.err(format!(
+                    "expected `param`, `tensor` or `stmt`, found {other}"
+                )),
+            }
+        }
+        let t = self.peek().clone();
+        self.builder
+            .take()
+            .expect("builder present")
+            .finish()
+            .map_err(|m| ParseError { message: m, line: t.line, col: t.col })
+    }
+
+    fn param(&mut self) -> Result<(), ParseError> {
+        self.keyword("param")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Eq)?;
+        let value = self.int()?;
+        if self.params.contains_key(&name) {
+            return self.err(format!("parameter `{name}` already declared"));
+        }
+        let id = self.builder.as_mut().expect("builder").param(&name, value);
+        self.params.insert(name, id);
+        Ok(())
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(v)
+            }
+            _ => self.err(format!("expected integer, found {}", self.peek().kind)),
+        }
+    }
+
+    fn tensor(&mut self) -> Result<(), ParseError> {
+        self.keyword("tensor")?;
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.next();
+            dims.push(self.extent()?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        let elem = if self.peek().kind == TokenKind::Colon {
+            self.next();
+            match self.ident()?.as_str() {
+                "f32" => ElemType::F32,
+                "f16" => ElemType::F16,
+                other => return self.err(format!("unknown element type `{other}`")),
+            }
+        } else {
+            ElemType::F32
+        };
+        if self.tensors.contains_key(&name) {
+            return self.err(format!("tensor `{name}` already declared"));
+        }
+        let rank = dims.len();
+        let id = self.builder.as_mut().expect("builder").tensor(&name, dims, elem);
+        self.tensors.insert(name, (id, rank));
+        Ok(())
+    }
+
+    fn extent(&mut self) -> Result<Extent, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(Extent::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                let Some(&p) = self.params.get(&name) else {
+                    return self.err(format!("unknown parameter `{name}`"));
+                };
+                self.next();
+                Ok(Extent::Param(p))
+            }
+            other => self.err(format!("expected extent, found {other}")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<(), ParseError> {
+        self.keyword("stmt")?;
+        let name = self.ident()?;
+        self.keyword("for")?;
+        self.expect(&TokenKind::LParen)?;
+        let mut iters = Iters { names: Vec::new(), uppers: Vec::new(), lowers: Vec::new() };
+        loop {
+            let it = self.ident()?;
+            self.keyword("in")?;
+            let lo = self.int()?;
+            self.expect(&TokenKind::DotDot)?;
+            let hi = self.extent()?;
+            if iters.names.contains(&it) {
+                return self.err(format!("duplicate iterator `{it}`"));
+            }
+            iters.names.push(it);
+            iters.lowers.push(lo);
+            iters.uppers.push(hi);
+            if self.peek().kind == TokenKind::Comma {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+
+        // Write access.
+        let (write_tensor, write_idx) = self.access(&iters)?;
+        self.expect(&TokenKind::Eq)?;
+
+        // Expression; reads are collected as encountered.
+        let mut reads: Vec<(TensorId, Vec<Idx>)> = Vec::new();
+        let expr = self.expr(&iters, &mut reads)?;
+
+        let names: Vec<&str> = iters.names.iter().map(String::as_str).collect();
+        let mut sb = StatementBuilder::new(&name, &names);
+        for (i, (&lo, up)) in iters.lowers.iter().zip(&iters.uppers).enumerate() {
+            match (lo, up) {
+                (0, up) => sb = sb.bound_extent(i, *up),
+                (lo, Extent::Const(hi)) => sb = sb.bound_range(i, lo, hi - 1),
+                _ => {
+                    return self.err(
+                        "non-zero lower bounds require a constant upper bound".to_string(),
+                    )
+                }
+            }
+        }
+        sb = sb.write(write_tensor, &write_idx);
+        for (t, idx) in &reads {
+            sb = sb.read(*t, idx);
+        }
+        sb = sb.expr(expr);
+        let t = self.peek().clone();
+        self.builder
+            .as_mut()
+            .expect("builder")
+            .add_statement(sb)
+            .map_err(|m| ParseError { message: m, line: t.line, col: t.col })?;
+        Ok(())
+    }
+
+    fn access(&mut self, iters: &Iters) -> Result<(TensorId, Vec<Idx>), ParseError> {
+        let name = self.ident()?;
+        let Some(&(tid, rank)) = self.tensors.get(&name) else {
+            return self.err(format!("unknown tensor `{name}`"));
+        };
+        let mut idx = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.next();
+            idx.push(self.index(iters)?);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        if idx.len() != rank {
+            return self.err(format!(
+                "tensor `{name}` has rank {rank}, got {} indices",
+                idx.len()
+            ));
+        }
+        Ok((tid, idx))
+    }
+
+    fn index(&mut self, iters: &Iters) -> Result<Idx, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(Idx::Const(v))
+            }
+            TokenKind::Ident(name) => {
+                let Some(pos) = iters.names.iter().position(|n| *n == name) else {
+                    return self.err(format!("unknown iterator `{name}` in index"));
+                };
+                self.next();
+                match self.peek().kind.clone() {
+                    TokenKind::Plus => {
+                        self.next();
+                        let v = self.int()?;
+                        Ok(Idx::IterPlus(pos, v))
+                    }
+                    TokenKind::Minus => {
+                        self.next();
+                        let v = self.int()?;
+                        Ok(Idx::IterPlus(pos, -v))
+                    }
+                    _ => Ok(Idx::Iter(pos)),
+                }
+            }
+            other => self.err(format!("expected index, found {other}")),
+        }
+    }
+
+    /// expr := term (('+'|'-') term)*
+    fn expr(
+        &mut self,
+        iters: &Iters,
+        reads: &mut Vec<(TensorId, Vec<Idx>)>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = self.term(iters, reads)?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.term(iters, reads)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor (('*'|'/') factor)*
+    fn term(
+        &mut self,
+        iters: &Iters,
+        reads: &mut Vec<(TensorId, Vec<Idx>)>,
+    ) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor(iters, reads)?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.factor(iters, reads)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(
+        &mut self,
+        iters: &Iters,
+        reads: &mut Vec<(TensorId, Vec<Idx>)>,
+    ) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Float(v) => {
+                self.next();
+                Ok(Expr::Const(v))
+            }
+            TokenKind::Int(v) => {
+                self.next();
+                Ok(Expr::Const(v as f32))
+            }
+            TokenKind::Minus => {
+                self.next();
+                let inner = self.factor(iters, reads)?;
+                Ok(Expr::un(UnOp::Neg, inner))
+            }
+            TokenKind::LParen => {
+                self.next();
+                let e = self.expr(iters, reads)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                // Function call, or tensor access.
+                if let Some(un) = unary_fn(&name) {
+                    if self.tokens[self.pos + 1].kind == TokenKind::LParen {
+                        self.next();
+                        self.next();
+                        let arg = self.expr(iters, reads)?;
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::un(un, arg));
+                    }
+                }
+                if let Some(bin) = binary_fn(&name) {
+                    if self.tokens[self.pos + 1].kind == TokenKind::LParen {
+                        self.next();
+                        self.next();
+                        let a = self.expr(iters, reads)?;
+                        self.expect(&TokenKind::Comma)?;
+                        let b = self.expr(iters, reads)?;
+                        self.expect(&TokenKind::RParen)?;
+                        return Ok(Expr::bin(bin, a, b));
+                    }
+                }
+                let (tid, idx) = self.access(iters)?;
+                // Dedupe identical reads.
+                let read_i = reads
+                    .iter()
+                    .position(|(t, i)| *t == tid && *i == idx)
+                    .unwrap_or_else(|| {
+                        reads.push((tid, idx));
+                        reads.len() - 1
+                    });
+                Ok(Expr::Read(read_i))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+fn unary_fn(name: &str) -> Option<UnOp> {
+    match name {
+        "relu" => Some(UnOp::Relu),
+        "exp" => Some(UnOp::Exp),
+        "sqrt" => Some(UnOp::Sqrt),
+        "recip" => Some(UnOp::Recip),
+        "tanh" => Some(UnOp::Tanh),
+        _ => None,
+    }
+}
+
+fn binary_fn(name: &str) -> Option<BinOp> {
+    match name {
+        "max" => Some(BinOp::Max),
+        "min" => Some(BinOp::Min),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RUNNING: &str = "
+kernel fused_mul_sub_mul_tensoradd
+param N = 16
+tensor A[N][N]: f32
+tensor B[N][N]: f32
+tensor C[N][N]: f32
+tensor D[N][N][N]: f32
+
+stmt X for (i in 0..N, k in 0..N)
+  B[i][k] = 2.0 * A[i][k]
+
+stmt Y for (i in 0..N, j in 0..N, k in 0..N)
+  C[i][j] = C[i][j] + B[i][k] * D[k][i][j]
+";
+
+    #[test]
+    fn parses_the_running_example() {
+        let k = parse(RUNNING).unwrap();
+        assert_eq!(k.name(), "fused_mul_sub_mul_tensoradd");
+        assert_eq!(k.statements().len(), 2);
+        assert_eq!(k.statements()[1].reads().len(), 3);
+        // Structural agreement with the built-in constructor.
+        let builtin = polyject_ir::ops::running_example(16);
+        assert_eq!(
+            k.statements()[1].write().indices(),
+            builtin.statements()[1].write().indices()
+        );
+    }
+
+    #[test]
+    fn parsed_kernel_executes_like_builtin() {
+        let parsed = parse(RUNNING).unwrap();
+        let builtin = polyject_ir::ops::running_example(16);
+        let mut b1 = parsed.zero_buffers(&[16]);
+        for (i, buf) in b1.iter_mut().enumerate() {
+            for (j, v) in buf.iter_mut().enumerate() {
+                *v = ((i + 3) * j % 17) as f32 - 8.0;
+            }
+        }
+        let mut b2 = b1.clone();
+        parsed.execute_reference(&mut b1, &[16]);
+        builtin.execute_reference(&mut b2, &[16]);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn functions_and_precedence() {
+        let src = "
+kernel f
+tensor a[8]: f32
+tensor b[8]: f32
+stmt S for (i in 0..8) b[i] = max(relu(a[i]) + 2.0 * a[i], 1.0)
+";
+        let k = parse(src).unwrap();
+        // `a[i]` appears twice but identical accesses dedupe to one read.
+        assert_eq!(k.statements()[0].reads().len(), 1);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = vec![-1.0, 0.5, 2.0, -3.0, 1.0, 0.0, 4.0, -2.0];
+        k.execute_reference(&mut bufs, &[]);
+        // max(relu(x) + 2x, 1)
+        assert_eq!(bufs[1][0], 1.0); // relu(-1)+2*(-1) = -2 → 1
+        assert_eq!(bufs[1][2], 6.0); // 2 + 4
+    }
+
+    #[test]
+    fn shifted_index_and_range_lower_bound() {
+        let src = "
+kernel scan
+tensor a[8]: f32
+stmt S for (i in 1..8) a[i] = a[i - 1] + a[i]
+";
+        let k = parse(src).unwrap();
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = vec![1.0; 8];
+        k.execute_reference(&mut bufs, &[]);
+        assert_eq!(bufs[0], vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let cases = [
+            ("kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) z[i] = 1.0", "unknown tensor"),
+            ("kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) a[j] = 1.0", "unknown iterator"),
+            ("kernel k\ntensor a[4][4]: f32\nstmt S for (i in 0..4) a[i] = 1.0", "rank"),
+            ("kernel k\nparam N = 2\nparam N = 3", "already declared"),
+            ("kernel k\ntensor a[M]: f32", "unknown parameter"),
+        ];
+        for (src, needle) in cases {
+            let e = parse(src).unwrap_err();
+            assert!(e.message.contains(needle), "{src} → {e}");
+        }
+    }
+
+    #[test]
+    fn f16_tensors() {
+        let src = "
+kernel t
+tensor a[4][4]: f16
+tensor b[4][4]: f16
+stmt S for (i in 0..4, j in 0..4) b[j][i] = a[i][j]
+";
+        let k = parse(src).unwrap();
+        assert_eq!(k.tensors()[0].elem(), ElemType::F16);
+    }
+}

@@ -1,0 +1,210 @@
+//! Functional interpretation of generated ASTs.
+//!
+//! Executes the mapped program on real `f32` buffers, in AST order — the
+//! oracle every schedule/codegen/vectorization combination is validated
+//! against (results must match the kernel's reference execution exactly,
+//! since both perform the same floating-point operations in a semantically
+//! equivalent order).
+
+use polyject_codegen::{Ast, AstNode};
+use polyject_ir::Kernel;
+
+/// Executes a compiled AST on the given buffers.
+///
+/// All loop kinds iterate sequentially here — block/thread/vector mapping
+/// only affects *timing*, not semantics (mapped loops are dependence-free
+/// by construction).
+///
+/// # Panics
+///
+/// Panics if the buffers don't match the kernel's tensors or an instance
+/// evaluates out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_codegen::{compile, Config};
+/// use polyject_gpusim::execute_ast;
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::transpose_2d(8, 8);
+/// let compiled = compile(&kernel, Config::Influenced).unwrap();
+/// let mut scheduled = kernel.zero_buffers(&[]);
+/// scheduled[0] = (0..64).map(|v| v as f32).collect();
+/// execute_ast(&compiled.ast, &kernel, &mut scheduled, &[]);
+///
+/// let mut reference = kernel.zero_buffers(&[]);
+/// reference[0] = (0..64).map(|v| v as f32).collect();
+/// kernel.execute_reference(&mut reference, &[]);
+/// assert_eq!(scheduled, reference);
+/// ```
+pub fn execute_ast(ast: &Ast, kernel: &Kernel, buffers: &mut [Vec<f32>], param_values: &[i64]) {
+    assert_eq!(param_values.len(), kernel.n_params(), "parameter count mismatch");
+    let width = global_width(ast, kernel);
+    let mut tv = vec![0i128; width];
+    let n_t = width - kernel.n_params();
+    for (p, &v) in param_values.iter().enumerate() {
+        tv[n_t + p] = v as i128;
+    }
+    for r in &ast.roots {
+        exec_node(r, kernel, buffers, param_values, &mut tv);
+    }
+}
+
+/// Width of the global variable space `[t…, params…]` used by the AST's
+/// expressions.
+pub fn global_width(ast: &Ast, kernel: &Kernel) -> usize {
+    ast.statements()
+        .iter()
+        .flat_map(|s| s.iter_exprs.iter().map(polyject_sets::LinExpr::n_vars))
+        .chain(ast.loops().iter().flat_map(|l| {
+            l.lowers.iter().chain(&l.uppers).map(|b| b.expr.n_vars())
+        }))
+        .max()
+        .unwrap_or(kernel.n_params())
+}
+
+fn exec_node(
+    node: &AstNode,
+    kernel: &Kernel,
+    buffers: &mut [Vec<f32>],
+    param_values: &[i64],
+    tv: &mut Vec<i128>,
+) {
+    match node {
+        AstNode::Loop(l) => {
+            let values: Vec<i128> = l.values(tv).collect();
+            for v in values {
+                tv[l.dim] = v;
+                for c in &l.body {
+                    exec_node(c, kernel, buffers, param_values, tv);
+                }
+            }
+            tv[l.dim] = 0;
+        }
+        AstNode::Stmt(s) => {
+            if let Some(iters) = s.instance(tv) {
+                let stmt = kernel.statement(s.stmt);
+                kernel.execute_instance(stmt, &iters, buffers, param_values);
+            }
+        }
+    }
+}
+
+/// Convenience oracle: compiles nothing, just runs both executions and
+/// compares them bitwise on the given inputs.
+///
+/// Returns `Ok(())` when every buffer matches, or a description of the
+/// first mismatch.
+///
+/// # Errors
+///
+/// Returns a human-readable mismatch report.
+pub fn check_equivalence(
+    ast: &Ast,
+    kernel: &Kernel,
+    inputs: &[Vec<f32>],
+    param_values: &[i64],
+) -> Result<(), String> {
+    let mut scheduled = inputs.to_vec();
+    execute_ast(ast, kernel, &mut scheduled, param_values);
+    let mut reference = inputs.to_vec();
+    kernel.execute_reference(&mut reference, param_values);
+    for (ti, (a, b)) in scheduled.iter().zip(&reference).enumerate() {
+        if a != b {
+            let pos = a
+                .iter()
+                .zip(b)
+                .position(|(x, y)| x != y)
+                .unwrap_or(0);
+            return Err(format!(
+                "tensor {} ({}) differs at element {}: scheduled {} vs reference {}",
+                ti,
+                kernel.tensors()[ti].name(),
+                pos,
+                a[pos],
+                b[pos]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Fills input tensors with a deterministic pseudo-random pattern and
+/// zeroes the outputs, returning the buffers.
+pub fn seeded_buffers(kernel: &Kernel, param_values: &[i64], seed: u64) -> Vec<Vec<f32>> {
+    let mut bufs = kernel.zero_buffers(param_values);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+    let outputs = kernel.output_tensors();
+    for (ti, buf) in bufs.iter_mut().enumerate() {
+        if outputs.contains(&polyject_ir::TensorId(ti)) {
+            continue; // outputs start zeroed (reductions accumulate)
+        }
+        for v in buf.iter_mut() {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            *v = ((r >> 40) as i32 % 64) as f32 / 8.0;
+        }
+    }
+    bufs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_codegen::{compile, Config};
+    use polyject_ir::ops;
+
+    fn assert_all_configs_equivalent(kernel: &Kernel) {
+        let params = kernel.param_defaults().to_vec();
+        let inputs = seeded_buffers(kernel, &params, 42);
+        for cfg in Config::all() {
+            let c = compile(kernel, cfg).unwrap();
+            check_equivalence(&c.ast, kernel, &inputs, &params)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", cfg.name(), kernel.name()));
+        }
+    }
+
+    #[test]
+    fn running_example_all_configs() {
+        assert_all_configs_equivalent(&ops::running_example(6));
+    }
+
+    #[test]
+    fn transpose_all_configs() {
+        assert_all_configs_equivalent(&ops::transpose_2d(8, 12));
+    }
+
+    #[test]
+    fn elementwise_chain_all_configs() {
+        assert_all_configs_equivalent(&ops::elementwise_chain(16, 4));
+    }
+
+    #[test]
+    fn bias_relu_all_configs() {
+        assert_all_configs_equivalent(&ops::bias_add_relu(8, 8));
+    }
+
+    #[test]
+    fn reduction_all_configs() {
+        assert_all_configs_equivalent(&ops::reduce_rows(8, 8));
+    }
+
+    #[test]
+    fn nchw_all_configs() {
+        assert_all_configs_equivalent(&ops::transpose_nchw_nhwc(2, 3, 4, 4));
+    }
+
+    #[test]
+    fn seeded_buffers_deterministic() {
+        let k = ops::transpose_2d(4, 4);
+        let a = seeded_buffers(&k, &[], 7);
+        let b = seeded_buffers(&k, &[], 7);
+        assert_eq!(a, b);
+        let c = seeded_buffers(&k, &[], 8);
+        assert_ne!(a, c);
+    }
+}

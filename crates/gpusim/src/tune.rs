@@ -1,0 +1,142 @@
+//! A miniature auto-tuner over tiling and mapping choices.
+//!
+//! The paper defers tile-size selection to "respective tool auto-tuners";
+//! this is that tool for `polyject`: it enumerates a small candidate grid
+//! (untiled plus a few tile sizes and thread budgets), evaluates each
+//! variant with the analytic model, and keeps the fastest.
+
+use crate::analyze::estimate;
+use crate::model::{GpuModel, KernelTiming};
+use polyject_codegen::{
+    compile, map_to_gpu, tile_ast, Ast, Compiled, Config, MappingOptions, TilingOptions,
+};
+use polyject_core::ScheduleError;
+use polyject_ir::Kernel;
+
+/// One evaluated tuning candidate.
+#[derive(Clone, Debug)]
+pub struct TuneCandidate {
+    /// Tiling applied (`None` = untiled).
+    pub tiling: Option<TilingOptions>,
+    /// Mapping options used.
+    pub mapping: MappingOptions,
+    /// The resulting timing.
+    pub timing: KernelTiming,
+}
+
+/// The auto-tuner's outcome: the best variant plus the full candidate log.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// The compiled kernel with the winning variant's AST.
+    pub compiled: Compiled,
+    /// The winning candidate's parameters and timing.
+    pub best: TuneCandidate,
+    /// Every evaluated candidate, in evaluation order.
+    pub log: Vec<TuneCandidate>,
+}
+
+/// Auto-tunes a kernel under one pipeline configuration.
+///
+/// # Errors
+///
+/// Propagates scheduling failure from [`compile`].
+///
+/// # Examples
+///
+/// ```
+/// use polyject_codegen::Config;
+/// use polyject_gpusim::{autotune, GpuModel};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::transpose_2d(512, 512);
+/// let tuned = autotune(&kernel, Config::Influenced, &GpuModel::v100()).unwrap();
+/// assert!(!tuned.log.is_empty());
+/// // The winner is never slower than the untiled default.
+/// let untiled = tuned.log.iter().find(|c| c.tiling.is_none()).unwrap();
+/// assert!(tuned.best.timing.time <= untiled.timing.time);
+/// ```
+pub fn autotune(
+    kernel: &Kernel,
+    config: Config,
+    model: &GpuModel,
+) -> Result<TuneResult, ScheduleError> {
+    let base = compile(kernel, config)?;
+    let mut log = Vec::new();
+    let mut best: Option<(f64, Ast, TuneCandidate)> = None;
+
+    let tilings: [Option<TilingOptions>; 3] = [
+        None,
+        Some(TilingOptions { tile_size: 32, min_extent: 64, max_tiled_loops: 2 }),
+        Some(TilingOptions { tile_size: 64, min_extent: 128, max_tiled_loops: 2 }),
+    ];
+    let mappings = [
+        MappingOptions::default(),
+        MappingOptions { max_threads: 256, ..MappingOptions::default() },
+    ];
+    for tiling in tilings {
+        for mapping in mappings {
+            let mut ast = base.ast.clone();
+            if let Some(t) = tiling {
+                tile_ast(&mut ast, kernel, &base.schedule, t);
+                // Tiling reverts mapped kinds on tile loops; re-map.
+                map_to_gpu(&mut ast, kernel, mapping);
+            }
+            let timing = estimate(&ast, kernel, model);
+            let cand = TuneCandidate { tiling, mapping, timing: timing.clone() };
+            log.push(cand.clone());
+            if best.as_ref().is_none_or(|(t, _, _)| timing.time < *t) {
+                best = Some((timing.time, ast, cand));
+            }
+        }
+    }
+    let (_, ast, best_cand) = best.expect("at least one candidate");
+    let compiled = Compiled { ast, ..base };
+    Ok(TuneResult { compiled, best: best_cand, log })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_ir::ops;
+
+    #[test]
+    fn autotune_is_never_worse_than_default() {
+        let model = GpuModel::v100();
+        for kernel in [
+            ops::transpose_2d(512, 512),
+            ops::elementwise_chain(1 << 16, 3),
+            ops::bias_add_relu(256, 256),
+        ] {
+            for config in [Config::Isl, Config::Influenced] {
+                let base = compile(&kernel, config).unwrap();
+                let base_t = estimate(&base.ast, &kernel, &model);
+                let tuned = autotune(&kernel, config, &model).unwrap();
+                assert!(
+                    tuned.best.timing.time <= base_t.time + 1e-12,
+                    "{} {}",
+                    kernel.name(),
+                    config.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_ast_stays_equivalent() {
+        let model = GpuModel::v100();
+        let kernel = ops::transpose_2d(96, 64);
+        let tuned = autotune(&kernel, Config::Influenced, &model).unwrap();
+        let inputs = crate::exec::seeded_buffers(&kernel, &[], 5);
+        crate::exec::check_equivalence(&tuned.compiled.ast, &kernel, &inputs, &[])
+            .expect("tuned variant preserves semantics");
+    }
+
+    #[test]
+    fn log_covers_the_grid() {
+        let model = GpuModel::v100();
+        let kernel = ops::transpose_2d(256, 256);
+        let tuned = autotune(&kernel, Config::Isl, &model).unwrap();
+        assert_eq!(tuned.log.len(), 6); // 3 tilings × 2 mappings
+        assert!(tuned.log.iter().any(|c| c.tiling.is_some()));
+    }
+}

@@ -1,0 +1,365 @@
+//! Kernels: the fused operators submitted to the polyhedral pipeline.
+
+use crate::statement::{Statement, StatementBuilder};
+use crate::tensor::Tensor;
+use crate::types::{ElemType, Extent, ParamId, StmtId, TensorId};
+use polyject_sets::integer_points;
+use std::collections::BTreeSet;
+
+/// A fused operator: parameters, tensors and a sequence of statements whose
+/// loop nests execute one after another (the shape graph-kernel fusion
+/// produces).
+///
+/// # Examples
+///
+/// ```
+/// use polyject_ir::*;
+///
+/// let mut kb = KernelBuilder::new("relu");
+/// let a = kb.tensor("A", vec![Extent::Const(4)], ElemType::F32);
+/// let b = kb.tensor("B", vec![Extent::Const(4)], ElemType::F32);
+/// kb.add_statement(
+///     StatementBuilder::new("X", &["i"])
+///         .bound_extent(0, 4)
+///         .write(b, &[Idx::Iter(0)])
+///         .read(a, &[Idx::Iter(0)])
+///         .expr(Expr::un(UnOp::Relu, Expr::Read(0))),
+/// ).unwrap();
+/// let kernel = kb.finish().unwrap();
+/// assert_eq!(kernel.statements().len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    name: String,
+    param_names: Vec<String>,
+    param_defaults: Vec<i64>,
+    tensors: Vec<Tensor>,
+    statements: Vec<Statement>,
+}
+
+impl Kernel {
+    /// The kernel's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Parameter names.
+    pub fn param_names(&self) -> &[String] {
+        &self.param_names
+    }
+
+    /// Default (concrete) parameter values, used when no binding is given.
+    pub fn param_defaults(&self) -> &[i64] {
+        &self.param_defaults
+    }
+
+    /// Number of global parameters.
+    pub fn n_params(&self) -> usize {
+        self.param_names.len()
+    }
+
+    /// The tensors.
+    pub fn tensors(&self) -> &[Tensor] {
+        &self.tensors
+    }
+
+    /// One tensor by id.
+    pub fn tensor(&self, id: TensorId) -> &Tensor {
+        &self.tensors[id.0]
+    }
+
+    /// The statements, in original program order.
+    pub fn statements(&self) -> &[Statement] {
+        &self.statements
+    }
+
+    /// One statement by id.
+    pub fn statement(&self, id: StmtId) -> &Statement {
+        &self.statements[id.0]
+    }
+
+    /// Ids of tensors that are written by some statement.
+    pub fn output_tensors(&self) -> BTreeSet<TensorId> {
+        self.statements.iter().map(|s| s.write().tensor()).collect()
+    }
+
+    /// Ids of tensors that are only read (pure inputs).
+    pub fn input_tensors(&self) -> BTreeSet<TensorId> {
+        let outs = self.output_tensors();
+        self.statements
+            .iter()
+            .flat_map(|s| s.reads().iter().map(|a| a.tensor()))
+            .filter(|t| !outs.contains(t))
+            .collect()
+    }
+
+    /// Allocates zero-filled buffers for every tensor under the given
+    /// parameter values.
+    pub fn zero_buffers(&self, param_values: &[i64]) -> Vec<Vec<f32>> {
+        self.tensors
+            .iter()
+            .map(|t| vec![0.0; t.num_elements(param_values)])
+            .collect()
+    }
+
+    /// Executes the kernel in its *original* statement/loop order, in
+    /// place: the reference semantics every schedule must preserve.
+    ///
+    /// Statement nests run one after another; each nest runs its domain in
+    /// lexicographic iterator order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a domain is unbounded or an access goes out of bounds
+    /// (debug builds).
+    pub fn execute_reference(&self, buffers: &mut [Vec<f32>], param_values: &[i64]) {
+        assert_eq!(param_values.len(), self.n_params(), "parameter count mismatch");
+        assert_eq!(buffers.len(), self.tensors.len(), "buffer count mismatch");
+        for s in &self.statements {
+            let domain = s.concrete_domain(param_values);
+            let pts = integer_points(&domain, usize::MAX)
+                .expect("reference execution requires a bounded domain");
+            for p in pts {
+                let iters: Vec<i64> = p.iter().map(|&v| v as i64).collect();
+                self.execute_instance(s, &iters, buffers, param_values);
+            }
+        }
+    }
+
+    /// Executes a single statement instance (one iteration-vector point).
+    pub fn execute_instance(
+        &self,
+        s: &Statement,
+        iters: &[i64],
+        buffers: &mut [Vec<f32>],
+        param_values: &[i64],
+    ) {
+        let read_vals: Vec<f32> = s
+            .reads()
+            .iter()
+            .map(|a| {
+                let idx = a.eval_index(iters, param_values);
+                let off = self.tensor(a.tensor()).linearize(&idx, param_values);
+                buffers[a.tensor().0][off]
+            })
+            .collect();
+        let v = s.expr().eval(&read_vals);
+        let w = s.write();
+        let idx = w.eval_index(iters, param_values);
+        let off = self.tensor(w.tensor()).linearize(&idx, param_values);
+        buffers[w.tensor().0][off] = v;
+    }
+
+    /// Extracts one statement as a standalone kernel sharing the same
+    /// parameters and tensor declarations — how a per-statement baseline
+    /// (the paper's TVM comparison) executes a fused operator: one kernel
+    /// launch per statement, intermediates round-tripping through global
+    /// memory.
+    pub fn with_single_statement(&self, id: StmtId) -> Kernel {
+        Kernel {
+            name: format!("{}__{}", self.name, self.statement(id).name()),
+            param_names: self.param_names.clone(),
+            param_defaults: self.param_defaults.clone(),
+            tensors: self.tensors.clone(),
+            statements: vec![self.statement(id).clone()],
+        }
+    }
+
+    /// Extracts a consecutive group of statements as a standalone kernel
+    /// (see [`Kernel::with_single_statement`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or contains an invalid statement.
+    pub fn with_statement_subset(&self, ids: &[StmtId]) -> Kernel {
+        assert!(!ids.is_empty(), "subset must be nonempty");
+        Kernel {
+            name: format!("{}__{}", self.name, self.statement(ids[0]).name()),
+            param_names: self.param_names.clone(),
+            param_defaults: self.param_defaults.clone(),
+            tensors: self.tensors.clone(),
+            statements: ids.iter().map(|&i| self.statement(i).clone()).collect(),
+        }
+    }
+
+    /// Total bytes moved if every access of every instance hit DRAM once —
+    /// an upper bound used by tests and the simulator's sanity checks.
+    pub fn naive_bytes_accessed(&self, param_values: &[i64]) -> u64 {
+        let mut total = 0u64;
+        for s in &self.statements {
+            let domain = s.concrete_domain(param_values);
+            let count = polyject_sets::count_integer_points(&domain, usize::MAX)
+                .expect("bounded domain") as u64;
+            let per_instance: u64 = s
+                .accesses()
+                .map(|(a, _)| self.tensor(a.tensor()).elem().size_bytes() as u64)
+                .sum();
+            total += count * per_instance;
+        }
+        total
+    }
+}
+
+/// Builder for [`Kernel`].
+#[derive(Clone, Debug, Default)]
+pub struct KernelBuilder {
+    name: String,
+    param_names: Vec<String>,
+    param_defaults: Vec<i64>,
+    tensors: Vec<Tensor>,
+    statements: Vec<Statement>,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Declares a global parameter with a default concrete value (AI/DL
+    /// shapes are static in practice; the default is what the cost model
+    /// and the simulator use).
+    pub fn param(&mut self, name: impl Into<String>, default: i64) -> ParamId {
+        self.param_names.push(name.into());
+        self.param_defaults.push(default);
+        ParamId(self.param_names.len() - 1)
+    }
+
+    /// Declares a tensor.
+    pub fn tensor(
+        &mut self,
+        name: impl Into<String>,
+        dims: Vec<Extent>,
+        elem: ElemType,
+    ) -> TensorId {
+        self.tensors.push(Tensor::new(name, dims, elem));
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Adds a statement (program order = order of addition).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the statement is malformed (missing write/expr,
+    /// bad indices, unknown tensors, rank mismatches).
+    pub fn add_statement(&mut self, sb: StatementBuilder) -> Result<StmtId, String> {
+        let stmt = sb.build(self.param_names.len())?;
+        // Validate tensor references and ranks.
+        for (a, _) in stmt.accesses() {
+            let Some(t) = self.tensors.get(a.tensor().0) else {
+                return Err(format!("{}: access to unknown tensor", stmt.name()));
+            };
+            if t.rank() != a.indices().len() {
+                return Err(format!(
+                    "{}: access to {} has {} indices, tensor has rank {}",
+                    stmt.name(),
+                    t.name(),
+                    a.indices().len(),
+                    t.rank()
+                ));
+            }
+        }
+        self.statements.push(stmt);
+        Ok(StmtId(self.statements.len() - 1))
+    }
+
+    /// Finalizes the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel has no statements.
+    pub fn finish(self) -> Result<Kernel, String> {
+        if self.statements.is_empty() {
+            return Err(format!("kernel {} has no statements", self.name));
+        }
+        Ok(Kernel {
+            name: self.name,
+            param_names: self.param_names,
+            param_defaults: self.param_defaults,
+            tensors: self.tensors,
+            statements: self.statements,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Idx;
+    use crate::expr::{BinOp, Expr, UnOp};
+
+    /// B[i][k] = relu(A[i][k]); C[i] = C[i] + B[i][k] (a tiny reduction).
+    fn two_statement_kernel(n: i64) -> Kernel {
+        let mut kb = KernelBuilder::new("test");
+        let a = kb.tensor("A", vec![Extent::Const(n), Extent::Const(n)], ElemType::F32);
+        let b = kb.tensor("B", vec![Extent::Const(n), Extent::Const(n)], ElemType::F32);
+        let c = kb.tensor("C", vec![Extent::Const(n)], ElemType::F32);
+        kb.add_statement(
+            StatementBuilder::new("X", &["i", "k"])
+                .bound_extent(0, n)
+                .bound_extent(1, n)
+                .write(b, &[Idx::Iter(0), Idx::Iter(1)])
+                .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+                .expr(Expr::un(UnOp::Relu, Expr::Read(0))),
+        )
+        .unwrap();
+        kb.add_statement(
+            StatementBuilder::new("Y", &["i", "k"])
+                .bound_extent(0, n)
+                .bound_extent(1, n)
+                .write(c, &[Idx::Iter(0)])
+                .read(c, &[Idx::Iter(0)])
+                .read(b, &[Idx::Iter(0), Idx::Iter(1)])
+                .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+        )
+        .unwrap();
+        kb.finish().unwrap()
+    }
+
+    #[test]
+    fn reference_execution_semantics() {
+        let k = two_statement_kernel(3);
+        let mut bufs = k.zero_buffers(&[]);
+        // A = [[1, -2, 3], [4, 5, -6], [-7, 8, 9]]
+        bufs[0] = vec![1.0, -2.0, 3.0, 4.0, 5.0, -6.0, -7.0, 8.0, 9.0];
+        k.execute_reference(&mut bufs, &[]);
+        // B = relu(A)
+        assert_eq!(bufs[1], vec![1.0, 0.0, 3.0, 4.0, 5.0, 0.0, 0.0, 8.0, 9.0]);
+        // C[i] = sum_k B[i][k]
+        assert_eq!(bufs[2], vec![4.0, 9.0, 17.0]);
+    }
+
+    #[test]
+    fn input_output_classification() {
+        let k = two_statement_kernel(2);
+        let ins: Vec<usize> = k.input_tensors().iter().map(|t| t.0).collect();
+        let outs: Vec<usize> = k.output_tensors().iter().map(|t| t.0).collect();
+        assert_eq!(ins, vec![0]);
+        assert_eq!(outs, vec![1, 2]);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut kb = KernelBuilder::new("bad");
+        let a = kb.tensor("A", vec![Extent::Const(2), Extent::Const(2)], ElemType::F32);
+        let r = kb.add_statement(
+            StatementBuilder::new("X", &["i"])
+                .bound_extent(0, 2)
+                .write(a, &[Idx::Iter(0)])
+                .expr(Expr::Const(0.0)),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn naive_bytes() {
+        let k = two_statement_kernel(2);
+        // X: 4 instances × 2 accesses × 4B = 32; Y: 4 × 3 × 4 = 48.
+        assert_eq!(k.naive_bytes_accessed(&[]), 80);
+    }
+
+    #[test]
+    fn empty_kernel_rejected() {
+        assert!(KernelBuilder::new("empty").finish().is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # polyject-ir
+//!
+//! The kernel intermediate representation of the `polyject` pipeline: the
+//! fused AI/DL operators that graph-kernel fusion hands to the polyhedral
+//! compiler (the role of AKG's input in the paper).
+//!
+//! A [`Kernel`] is a sequence of [`Statement`]s, each with a rectangular
+//! affine iteration domain, one write access, read [`Access`]es and an
+//! executable scalar [`Expr`] — so every kernel can be *run* (the reference
+//! semantics all schedules must preserve), not just analyzed.
+//!
+//! [`ops`] contains canonical fused operators including the paper's running
+//! example (`fused_mul_sub_mul_tensoradd`, Fig. 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_ir::ops;
+//!
+//! let kernel = ops::running_example(8);
+//! let mut bufs = kernel.zero_buffers(&[8]);
+//! bufs[0].iter_mut().enumerate().for_each(|(i, v)| *v = i as f32);
+//! kernel.execute_reference(&mut bufs, &[8]);
+//! assert_eq!(bufs[1][3], 6.0); // B = 2A
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod expr;
+mod kernel;
+pub mod ops;
+mod statement;
+mod tensor;
+mod types;
+
+pub use access::{Access, Idx};
+pub use expr::{BinOp, Expr, ExprDisplay, UnOp};
+pub use kernel::{Kernel, KernelBuilder};
+pub use statement::{Statement, StatementBuilder};
+pub use tensor::Tensor;
+pub use types::{ElemType, Extent, ParamId, StmtId, TensorId};

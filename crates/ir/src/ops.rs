@@ -1,0 +1,409 @@
+//! Canonical fused operators, including the paper's running example.
+
+use crate::access::Idx;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel::{Kernel, KernelBuilder};
+use crate::statement::StatementBuilder;
+use crate::types::{ElemType, Extent};
+
+/// The paper's running example (Fig. 2(a)): a simplified version of the
+/// BERT fused operator `fused_mul_sub_mul_tensoradd`.
+///
+/// ```text
+/// for (i = 0; i < N; i++)
+///   for (k = 0; k < N; k++)
+///     X: B[i][k] = f(A[i][k]);
+/// for (i = 0; i < N; i++)
+///   for (j = 0; j < N; j++)
+///     for (k = 0; k < N; k++)
+///       Y: C[i][j] = g(C[i][j], B[i][k], D[k][i][j]);
+/// ```
+///
+/// `f` is modeled as `2·x` and `g` as `c + b·d`: both arrays `B` and `C`
+/// hold output values, `D` is accessed with the problematic `[k][i][j]`
+/// pattern whose innermost-`k` schedule makes long memory jumps.
+///
+/// # Examples
+///
+/// ```
+/// let k = polyject_ir::ops::running_example(64);
+/// assert_eq!(k.statements().len(), 2);
+/// assert_eq!(k.param_defaults(), &[64]);
+/// ```
+pub fn running_example(n: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_mul_sub_mul_tensoradd");
+    let p = kb.param("N", n);
+    let a = kb.tensor("A", vec![Extent::Param(p), Extent::Param(p)], ElemType::F32);
+    let b = kb.tensor("B", vec![Extent::Param(p), Extent::Param(p)], ElemType::F32);
+    let c = kb.tensor("C", vec![Extent::Param(p), Extent::Param(p)], ElemType::F32);
+    let d = kb.tensor(
+        "D",
+        vec![Extent::Param(p), Extent::Param(p), Extent::Param(p)],
+        ElemType::F32,
+    );
+    kb.add_statement(
+        StatementBuilder::new("X", &["i", "k"])
+            .bound_extent(0, p)
+            .bound_extent(1, p)
+            .write(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(BinOp::Mul, Expr::Const(2.0), Expr::Read(0))),
+    )
+    .expect("valid statement X");
+    kb.add_statement(
+        StatementBuilder::new("Y", &["i", "j", "k"])
+            .bound_extent(0, p)
+            .bound_extent(1, p)
+            .bound_extent(2, p)
+            .write(c, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(c, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(b, &[Idx::Iter(0), Idx::Iter(2)])
+            .read(d, &[Idx::Iter(2), Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(
+                BinOp::Add,
+                Expr::Read(0),
+                Expr::bin(BinOp::Mul, Expr::Read(1), Expr::Read(2)),
+            )),
+    )
+    .expect("valid statement Y");
+    kb.finish().expect("valid kernel")
+}
+
+/// A 2-D transpose: `B[j][i] = A[i][j]` over `rows × cols`. The class of
+/// operator the paper identifies as most improved (ResNet networks involve
+/// many of these and plain isl scheduling handles them poorly on GPU).
+pub fn transpose_2d(rows: i64, cols: i64) -> Kernel {
+    transpose_2d_of(rows, cols, ElemType::F32)
+}
+
+/// [`transpose_2d`] with an explicit element type (ImageNet networks run
+/// transposes on `float16`, which doubles the scatter amplification).
+pub fn transpose_2d_of(rows: i64, cols: i64, elem: ElemType) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_transpose");
+    let a = kb.tensor("A", vec![Extent::Const(rows), Extent::Const(cols)], elem);
+    let b = kb.tensor("B", vec![Extent::Const(cols), Extent::Const(rows)], elem);
+    kb.add_statement(
+        StatementBuilder::new("T", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(b, &[Idx::Iter(1), Idx::Iter(0)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::Read(0)),
+    )
+    .expect("valid transpose");
+    kb.finish().expect("valid kernel")
+}
+
+/// An elementwise chain of `depth` fused unary/binary stages over a flat
+/// `len`-element tensor: `T1 = relu(A); T2 = T1*2; …; Out = last + A`.
+/// The bread-and-butter fused operator of NLP networks (BERT, LSTM).
+pub fn elementwise_chain(len: i64, depth: usize) -> Kernel {
+    assert!(depth >= 1, "chain needs at least one stage");
+    let mut kb = KernelBuilder::new(format!("fused_elementwise_x{depth}"));
+    let a = kb.tensor("A", vec![Extent::Const(len)], ElemType::F32);
+    let mut prev = a;
+    for s in 0..depth {
+        let out = kb.tensor(format!("T{s}"), vec![Extent::Const(len)], ElemType::F32);
+        let expr = match s % 3 {
+            0 => Expr::un(UnOp::Relu, Expr::Read(0)),
+            1 => Expr::bin(BinOp::Mul, Expr::Read(0), Expr::Const(2.0)),
+            _ => Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1)),
+        };
+        let mut sb = StatementBuilder::new(format!("S{s}"), &["i"])
+            .bound_extent(0, len)
+            .write(out, &[Idx::Iter(0)])
+            .read(prev, &[Idx::Iter(0)]);
+        if s % 3 == 2 {
+            sb = sb.read(a, &[Idx::Iter(0)]);
+        }
+        kb.add_statement(sb.expr(expr)).expect("valid chain stage");
+        prev = out;
+    }
+    kb.finish().expect("valid kernel")
+}
+
+/// Bias + ReLU epilogue over an `n × c` activation: `B[i][j] =
+/// relu(A[i][j] + bias[j])` — a broadcast along the rows.
+pub fn bias_add_relu(n: i64, c: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_biasadd_relu");
+    let a = kb.tensor("A", vec![Extent::Const(n), Extent::Const(c)], ElemType::F32);
+    let bias = kb.tensor("bias", vec![Extent::Const(c)], ElemType::F32);
+    let b = kb.tensor("B", vec![Extent::Const(n), Extent::Const(c)], ElemType::F32);
+    kb.add_statement(
+        StatementBuilder::new("E", &["i", "j"])
+            .bound_extent(0, n)
+            .bound_extent(1, c)
+            .write(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(bias, &[Idx::Iter(1)])
+            .expr(Expr::un(UnOp::Relu, Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1)))),
+    )
+    .expect("valid statement");
+    kb.finish().expect("valid kernel")
+}
+
+/// Row reduction: `r[i] = Σ_j A[i][j]` (modeled as the accumulation
+/// statement `r[i] = r[i] + A[i][j]`). Used by softmax/layernorm pieces.
+pub fn reduce_rows(n: i64, m: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_reduce_rows");
+    let a = kb.tensor("A", vec![Extent::Const(n), Extent::Const(m)], ElemType::F32);
+    let r = kb.tensor("r", vec![Extent::Const(n)], ElemType::F32);
+    kb.add_statement(
+        StatementBuilder::new("R", &["i", "j"])
+            .bound_extent(0, n)
+            .bound_extent(1, m)
+            .write(r, &[Idx::Iter(0)])
+            .read(r, &[Idx::Iter(0)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+    )
+    .expect("valid statement");
+    kb.finish().expect("valid kernel")
+}
+
+/// A layernorm-like fused operator: two row reductions interleaved with
+/// elementwise 2-D stages — the multi-statement, reduction-crossing fusion
+/// pattern that graph-kernel fusion handles and per-statement baselines
+/// cannot fuse:
+///
+/// ```text
+/// R1: mean[i] += A[i][j]
+/// S2: B[i][j]  = A[i][j] - mean[i] / cols
+/// R3: var[i]  += B[i][j] * B[i][j]
+/// S4: C[i][j]  = B[i][j] / sqrt(var[i] / cols)
+/// ```
+pub fn layernorm_like(rows: i64, cols: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_layernorm");
+    let a = kb.tensor("A", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let mean = kb.tensor("mean", vec![Extent::Const(rows)], ElemType::F32);
+    let b = kb.tensor("B", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let var = kb.tensor("var", vec![Extent::Const(rows)], ElemType::F32);
+    let c = kb.tensor("Cout", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let inv_n = 1.0 / cols as f32;
+    kb.add_statement(
+        StatementBuilder::new("R1", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(mean, &[Idx::Iter(0)])
+            .read(mean, &[Idx::Iter(0)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+    )
+    .expect("valid R1");
+    kb.add_statement(
+        StatementBuilder::new("S2", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(mean, &[Idx::Iter(0)])
+            .expr(Expr::bin(
+                BinOp::Sub,
+                Expr::Read(0),
+                Expr::bin(BinOp::Mul, Expr::Read(1), Expr::Const(inv_n)),
+            )),
+    )
+    .expect("valid S2");
+    kb.add_statement(
+        StatementBuilder::new("R3", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(var, &[Idx::Iter(0)])
+            .read(var, &[Idx::Iter(0)])
+            .read(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(
+                BinOp::Add,
+                Expr::Read(0),
+                Expr::bin(BinOp::Mul, Expr::Read(1), Expr::Read(1)),
+            )),
+    )
+    .expect("valid R3");
+    kb.add_statement(
+        StatementBuilder::new("S4", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(c, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(var, &[Idx::Iter(0)])
+            .expr(Expr::bin(
+                BinOp::Div,
+                Expr::Read(0),
+                Expr::un(
+                    UnOp::Sqrt,
+                    Expr::bin(BinOp::Mul, Expr::Read(1), Expr::Const(inv_n)),
+                ),
+            )),
+    )
+    .expect("valid S4");
+    kb.finish().expect("valid kernel")
+}
+
+/// A softmax-like fused operator over the rows of an `rows × cols`
+/// matrix: max-reduce, shifted exponential, sum-reduce, divide. Like
+/// [`layernorm_like`], the reductions make it unfusable for per-statement
+/// baselines. Callers must provide non-negative inputs (the row maxima
+/// accumulate from zero-initialized buffers).
+pub fn softmax_like(rows: i64, cols: i64) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_softmax");
+    let a = kb.tensor("A", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let m = kb.tensor("m", vec![Extent::Const(rows)], ElemType::F32);
+    let b = kb.tensor("B", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let sum = kb.tensor("s", vec![Extent::Const(rows)], ElemType::F32);
+    let c = kb.tensor("Cout", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    kb.add_statement(
+        StatementBuilder::new("M", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(m, &[Idx::Iter(0)])
+            .read(m, &[Idx::Iter(0)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(BinOp::Max, Expr::Read(0), Expr::Read(1))),
+    )
+    .expect("valid M");
+    kb.add_statement(
+        StatementBuilder::new("E", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(m, &[Idx::Iter(0)])
+            .expr(Expr::un(UnOp::Exp, Expr::bin(BinOp::Sub, Expr::Read(0), Expr::Read(1)))),
+    )
+    .expect("valid E");
+    kb.add_statement(
+        StatementBuilder::new("S", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(sum, &[Idx::Iter(0)])
+            .read(sum, &[Idx::Iter(0)])
+            .read(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+    )
+    .expect("valid S");
+    kb.add_statement(
+        StatementBuilder::new("D", &["i", "j"])
+            .bound_extent(0, rows)
+            .bound_extent(1, cols)
+            .write(c, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(b, &[Idx::Iter(0), Idx::Iter(1)])
+            .read(sum, &[Idx::Iter(0)])
+            .expr(Expr::bin(BinOp::Div, Expr::Read(0), Expr::Read(1))),
+    )
+    .expect("valid D");
+    kb.finish().expect("valid kernel")
+}
+
+/// A 4-D layout permutation `B[n][h][w][c] = A[n][c][h][w]` (NCHW → NHWC),
+/// the transpose-family operator that dominates the ResNet workloads.
+pub fn transpose_nchw_nhwc(n: i64, c: i64, h: i64, w: i64) -> Kernel {
+    transpose_nchw_nhwc_of(n, c, h, w, ElemType::F32)
+}
+
+/// [`transpose_nchw_nhwc`] with an explicit element type.
+pub fn transpose_nchw_nhwc_of(n: i64, c: i64, h: i64, w: i64, elem: ElemType) -> Kernel {
+    let mut kb = KernelBuilder::new("fused_transpose_nchw_nhwc");
+    let a = kb.tensor(
+        "A",
+        vec![Extent::Const(n), Extent::Const(c), Extent::Const(h), Extent::Const(w)],
+        elem,
+    );
+    let b = kb.tensor(
+        "B",
+        vec![Extent::Const(n), Extent::Const(h), Extent::Const(w), Extent::Const(c)],
+        elem,
+    );
+    kb.add_statement(
+        StatementBuilder::new("T", &["n", "c", "h", "w"])
+            .bound_extent(0, n)
+            .bound_extent(1, c)
+            .bound_extent(2, h)
+            .bound_extent(3, w)
+            .write(b, &[Idx::Iter(0), Idx::Iter(2), Idx::Iter(3), Idx::Iter(1)])
+            .read(a, &[Idx::Iter(0), Idx::Iter(1), Idx::Iter(2), Idx::Iter(3)])
+            .expr(Expr::Read(0)),
+    )
+    .expect("valid statement");
+    kb.finish().expect("valid kernel")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_example_matches_paper_shape() {
+        let k = running_example(4);
+        assert_eq!(k.statements()[0].n_iters(), 2);
+        assert_eq!(k.statements()[1].n_iters(), 3);
+        // D is accessed as D[k][i][j].
+        let y = &k.statements()[1];
+        let d_access = &y.reads()[2];
+        assert_eq!(d_access.iter_coeff(0, 2), 1); // dim 0 ← k
+        assert_eq!(d_access.iter_coeff(1, 0), 1); // dim 1 ← i
+        assert_eq!(d_access.iter_coeff(2, 1), 1); // dim 2 ← j
+    }
+
+    #[test]
+    fn running_example_executes() {
+        let k = running_example(2);
+        let mut bufs = k.zero_buffers(&[2]);
+        bufs[0] = vec![1.0, 2.0, 3.0, 4.0]; // A
+        bufs[3] = vec![1.0; 8]; // D all ones
+        k.execute_reference(&mut bufs, &[2]);
+        // B = 2A
+        assert_eq!(bufs[1], vec![2.0, 4.0, 6.0, 8.0]);
+        // C[i][j] = sum_k B[i][k] * 1 = row sums of B.
+        assert_eq!(bufs[2], vec![6.0, 6.0, 14.0, 14.0]);
+    }
+
+    #[test]
+    fn transpose_executes() {
+        let k = transpose_2d(2, 3);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        k.execute_reference(&mut bufs, &[]);
+        assert_eq!(bufs[1], vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn chain_depth_and_semantics() {
+        let k = elementwise_chain(4, 3);
+        assert_eq!(k.statements().len(), 3);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = vec![-1.0, 1.0, 2.0, -2.0];
+        k.execute_reference(&mut bufs, &[]);
+        // relu → ×2 → +A
+        assert_eq!(bufs[3], vec![-1.0, 3.0, 6.0, -2.0]);
+    }
+
+    #[test]
+    fn reduce_rows_semantics() {
+        let k = reduce_rows(2, 3);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        k.execute_reference(&mut bufs, &[]);
+        assert_eq!(bufs[1], vec![6.0, 60.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let k = softmax_like(3, 4);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = (0..12).map(|v| (v % 5) as f32).collect();
+        k.execute_reference(&mut bufs, &[]);
+        for i in 0..3 {
+            let row: f32 = bufs[4][i * 4..(i + 1) * 4].iter().sum();
+            assert!((row - 1.0).abs() < 1e-5, "row {i} sums to {row}");
+        }
+    }
+
+    #[test]
+    fn nchw_nhwc_roundtrip_offsets() {
+        let k = transpose_nchw_nhwc(1, 2, 2, 2);
+        let mut bufs = k.zero_buffers(&[]);
+        bufs[0] = (0..8).map(|v| v as f32).collect();
+        k.execute_reference(&mut bufs, &[]);
+        // A[0][c][h][w] = c*4 + h*2 + w → B[0][h][w][c]
+        assert_eq!(bufs[1], vec![0.0, 4.0, 1.0, 5.0, 2.0, 6.0, 3.0, 7.0]);
+    }
+}

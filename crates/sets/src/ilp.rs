@@ -1,0 +1,300 @@
+//! Integer linear programming by branch-and-bound on the exact simplex
+//! relaxation, plus lexicographic minimization.
+//!
+//! The influenced scheduler solves one (lexicographic) ILP per scheduling
+//! dimension; dependence analysis uses integer feasibility tests.
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::linexpr::LinExpr;
+use crate::simplex::{minimize, LpOutcome};
+use polyject_arith::Rat;
+
+/// Result of an integer linear program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IlpOutcome {
+    /// No integer point satisfies the constraints.
+    Infeasible,
+    /// The relaxation (and hence the ILP) is unbounded below.
+    Unbounded,
+    /// An optimal integer point.
+    Optimal {
+        /// A point attaining the optimum.
+        point: Vec<i128>,
+        /// The optimal objective value (always an integer point evaluation,
+        /// but kept rational because objectives may have rational
+        /// coefficients).
+        value: Rat,
+    },
+}
+
+impl IlpOutcome {
+    /// The optimal point, if any.
+    pub fn point(&self) -> Option<&[i128]> {
+        match self {
+            IlpOutcome::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+
+    /// The optimal value, if any.
+    pub fn value(&self) -> Option<Rat> {
+        match self {
+            IlpOutcome::Optimal { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+/// Hard cap on branch-and-bound nodes; scheduling ILPs explore a handful.
+const NODE_LIMIT: usize = 100_000;
+
+/// Minimizes an affine objective over the integer points of a set.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_sets::{minimize_integer, Constraint, ConstraintSet, LinExpr};
+/// use polyject_arith::Rat;
+///
+/// // min x s.t. 2x >= 3 → rational opt 3/2, integer opt 2.
+/// let set = ConstraintSet::from_constraints(1, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[2], -3)),
+/// ]);
+/// let out = minimize_integer(&LinExpr::var(1, 0), &set);
+/// assert_eq!(out.value(), Some(Rat::int(2)));
+/// ```
+///
+/// # Panics
+///
+/// Panics if branch-and-bound exceeds its node limit (a malformed,
+/// effectively unbounded search).
+pub fn minimize_integer(objective: &LinExpr, set: &ConstraintSet) -> IlpOutcome {
+    let mut best: Option<(Rat, Vec<i128>)> = None;
+    let mut nodes = 0usize;
+    match branch(objective, set.clone(), &mut best, &mut nodes) {
+        BranchResult::Unbounded => IlpOutcome::Unbounded,
+        BranchResult::Done => match best {
+            Some((value, point)) => IlpOutcome::Optimal { point, value },
+            None => IlpOutcome::Infeasible,
+        },
+    }
+}
+
+/// Whether a set contains at least one integer point.
+pub fn is_integer_feasible(set: &ConstraintSet) -> bool {
+    find_integer_point(set).is_some()
+}
+
+/// Finds some integer point of the set, if one exists.
+pub fn find_integer_point(set: &ConstraintSet) -> Option<Vec<i128>> {
+    match minimize_integer(&LinExpr::zero(set.n_vars()), set) {
+        IlpOutcome::Optimal { point, .. } => Some(point),
+        IlpOutcome::Unbounded => unreachable!("zero objective cannot be unbounded"),
+        IlpOutcome::Infeasible => None,
+    }
+}
+
+/// Lexicographically minimizes a sequence of objectives over the integer
+/// points of a set: minimize the first, pin it, minimize the second, and so
+/// on. Returns the final optimum point together with the per-objective
+/// optimal values.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_sets::{lexmin_integer, Constraint, ConstraintSet, IlpOutcome, LinExpr};
+///
+/// // Box 0..=3 × 0..=3; lexmin (x0+x1, -x1): first minimize the sum
+/// // (0), then maximize x1 subject to the sum staying 0 → (0, 0).
+/// let set = ConstraintSet::from_constraints(2, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[1, 0], 0)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[-1, 0], 3)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[0, 1], 0)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[0, -1], 3)),
+/// ]);
+/// let objs = vec![LinExpr::from_coeffs(&[1, 1], 0), LinExpr::from_coeffs(&[0, -1], 0)];
+/// match lexmin_integer(&objs, &set) {
+///     IlpOutcome::Optimal { point, .. } => assert_eq!(point, vec![0, 0]),
+///     other => panic!("unexpected {:?}", other),
+/// }
+/// ```
+pub fn lexmin_integer(objectives: &[LinExpr], set: &ConstraintSet) -> IlpOutcome {
+    let mut cur = set.clone();
+    let mut last: Option<(Vec<i128>, Rat)> = None;
+    for obj in objectives {
+        match minimize_integer(obj, &cur) {
+            IlpOutcome::Optimal { point, value } => {
+                // Pin this objective at its optimum for the later ones.
+                let mut pin = obj.clone();
+                pin.set_constant(obj.constant_term() - value);
+                cur.add(Constraint::eq0(pin));
+                last = Some((point, value));
+            }
+            other => return other,
+        }
+    }
+    match last {
+        Some((point, value)) => IlpOutcome::Optimal { point, value },
+        None => match find_integer_point(&cur) {
+            Some(point) => IlpOutcome::Optimal { point, value: Rat::ZERO },
+            None => IlpOutcome::Infeasible,
+        },
+    }
+}
+
+enum BranchResult {
+    Done,
+    Unbounded,
+}
+
+fn branch(
+    objective: &LinExpr,
+    set: ConstraintSet,
+    best: &mut Option<(Rat, Vec<i128>)>,
+    nodes: &mut usize,
+) -> BranchResult {
+    *nodes += 1;
+    assert!(*nodes <= NODE_LIMIT, "branch-and-bound node limit exceeded");
+    match minimize(objective, &set) {
+        LpOutcome::Infeasible => BranchResult::Done,
+        LpOutcome::Unbounded => BranchResult::Unbounded,
+        LpOutcome::Optimal { point, value } => {
+            if let Some((bv, _)) = best {
+                if value >= *bv {
+                    return BranchResult::Done; // cannot improve
+                }
+            }
+            match first_fractional(&point) {
+                None => {
+                    let int_point: Vec<i128> =
+                        point.iter().map(|r| r.to_integer().expect("integer point")).collect();
+                    if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+                        *best = Some((value, int_point));
+                    }
+                    BranchResult::Done
+                }
+                Some(i) => {
+                    let f = point[i];
+                    let n = set.n_vars();
+                    // x_i <= floor(f)
+                    let mut lo = set.clone();
+                    let mut e = LinExpr::var(n, i).scaled(-Rat::ONE);
+                    e.set_constant(Rat::int(f.floor()));
+                    lo.add(Constraint::ge0(e));
+                    if let BranchResult::Unbounded = branch(objective, lo, best, nodes) {
+                        return BranchResult::Unbounded;
+                    }
+                    // x_i >= ceil(f)
+                    let mut hi = set;
+                    let mut e = LinExpr::var(n, i);
+                    e.set_constant(Rat::int(-f.ceil()));
+                    hi.add(Constraint::ge0(e));
+                    branch(objective, hi, best, nodes)
+                }
+            }
+        }
+    }
+}
+
+fn first_fractional(point: &[Rat]) -> Option<usize> {
+    point.iter().position(|r| !r.is_integer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge(n: usize, coeffs: &[i128], k: i128) -> Constraint {
+        assert_eq!(coeffs.len(), n);
+        Constraint::ge0(LinExpr::from_coeffs(coeffs, k))
+    }
+
+    #[test]
+    fn rounding_up_from_fractional_relaxation() {
+        // min x+y s.t. 2x + 2y >= 5, x,y >= 0: LP opt 5/2, ILP opt 3.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![ge(2, &[2, 2], -5), ge(2, &[1, 0], 0), ge(2, &[0, 1], 0)],
+        );
+        let out = minimize_integer(&LinExpr::from_coeffs(&[1, 1], 0), &set);
+        assert_eq!(out.value(), Some(Rat::int(3)));
+        let p = out.point().unwrap();
+        assert!(set.contains_int(p));
+    }
+
+    #[test]
+    fn no_integer_point_in_nonempty_rational_set() {
+        // 1/3 <= x <= 2/3: rationally feasible, integrally empty.
+        let set = ConstraintSet::from_constraints(1, vec![ge(1, &[3], -1), ge(1, &[-3], 2)]);
+        assert!(crate::simplex::is_rational_feasible(&set));
+        assert!(!is_integer_feasible(&set));
+    }
+
+    #[test]
+    fn equality_lattice_gap() {
+        // 2x == 1 has no integer solution.
+        let set = ConstraintSet::from_constraints(
+            1,
+            vec![Constraint::eq0(LinExpr::from_coeffs(&[2], -1))],
+        );
+        assert!(!is_integer_feasible(&set));
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        let set = ConstraintSet::from_constraints(1, vec![ge(1, &[-1], 0)]);
+        assert_eq!(minimize_integer(&LinExpr::var(1, 0), &set), IlpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn lexmin_orders_objectives() {
+        // Box 0..=2 × 0..=2 with x0 + x1 >= 2.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![
+                ge(2, &[1, 0], 0),
+                ge(2, &[-1, 0], 2),
+                ge(2, &[0, 1], 0),
+                ge(2, &[0, -1], 2),
+                ge(2, &[1, 1], -2),
+            ],
+        );
+        // lexmin (x0, x1): minimize x0 first → x0=0 forces x1=2.
+        let objs = vec![LinExpr::var(2, 0), LinExpr::var(2, 1)];
+        match lexmin_integer(&objs, &set) {
+            IlpOutcome::Optimal { point, .. } => assert_eq!(point, vec![0, 2]),
+            other => panic!("unexpected {:?}", other),
+        }
+        // Opposite order → (2, 0).
+        let objs = vec![LinExpr::var(2, 1), LinExpr::var(2, 0)];
+        match lexmin_integer(&objs, &set) {
+            IlpOutcome::Optimal { point, .. } => assert_eq!(point, vec![2, 0]),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lexmin_empty_objectives_finds_point() {
+        let set = ConstraintSet::from_constraints(1, vec![ge(1, &[1], -4), ge(1, &[-1], 4)]);
+        match lexmin_integer(&[], &set) {
+            IlpOutcome::Optimal { point, .. } => assert_eq!(point, vec![4]),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn lexmin_infeasible() {
+        let set = ConstraintSet::from_constraints(1, vec![ge(1, &[1], -4), ge(1, &[-1], 2)]);
+        assert_eq!(lexmin_integer(&[LinExpr::var(1, 0)], &set), IlpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn find_point_in_shifted_lattice() {
+        // x ≡ solution of 3x == 12 → x = 4.
+        let set = ConstraintSet::from_constraints(
+            1,
+            vec![Constraint::eq0(LinExpr::from_coeffs(&[3], -12))],
+        );
+        assert_eq!(find_integer_point(&set), Some(vec![4]));
+    }
+}

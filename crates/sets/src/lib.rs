@@ -1,0 +1,59 @@
+//! # polyject-sets
+//!
+//! A small exact integer-set library — the subset of isl functionality the
+//! `polyject` polyhedral compiler needs:
+//!
+//! * [`LinExpr`] — affine expressions over a positional variable space;
+//! * [`Constraint`] / [`ConstraintSet`] — rational polyhedra;
+//! * [`minimize`] / [`maximize`] — exact two-phase simplex;
+//! * [`minimize_integer`] / [`lexmin_integer`] — branch-and-bound ILP with
+//!   lexicographic objectives (the scheduler's per-dimension solver);
+//! * [`eliminate_var`] / [`project_onto_prefix`] — Fourier–Motzkin
+//!   projection (Farkas-multiplier elimination, loop-bound derivation);
+//! * [`integer_points`] — enumeration for reference execution and tests.
+//!
+//! All arithmetic is exact ([`polyject_arith::Rat`]); there is no floating
+//! point anywhere in a decision path.
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_sets::{lexmin_integer, Constraint, ConstraintSet, IlpOutcome, LinExpr};
+//!
+//! // The scheduler's pattern: lexicographically minimize objectives over a
+//! // bounded coefficient polytope.
+//! let set = ConstraintSet::from_constraints(2, vec![
+//!     Constraint::ge0(LinExpr::from_coeffs(&[1, 0], 0)),   // c0 >= 0
+//!     Constraint::ge0(LinExpr::from_coeffs(&[0, 1], 0)),   // c1 >= 0
+//!     Constraint::ge0(LinExpr::from_coeffs(&[1, 1], -1)),  // c0 + c1 >= 1
+//! ]);
+//! let objectives = [LinExpr::from_coeffs(&[1, 1], 0), LinExpr::from_coeffs(&[0, 1], 0)];
+//! match lexmin_integer(&objectives, &set) {
+//!     IlpOutcome::Optimal { point, .. } => assert_eq!(point, vec![1, 0]),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraint;
+mod fm;
+mod ilp;
+mod linexpr;
+mod points;
+mod relations;
+mod simplex;
+
+pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
+pub use fm::{
+    bounds_for_var, eliminate_var, eliminate_vars, project_onto_prefix, remove_redundant,
+    VarBounds,
+};
+pub use ilp::{
+    find_integer_point, is_integer_feasible, lexmin_integer, minimize_integer, IlpOutcome,
+};
+pub use linexpr::LinExpr;
+pub use points::{count_integer_points, eval_bound, integer_points};
+pub use relations::{is_subset, lexmax_point, lexmin_point, set_eq, simplify};
+pub use simplex::{is_rational_feasible, maximize, minimize, LpOutcome};

@@ -1,0 +1,290 @@
+//! Set-level relations: inclusion, equality, emptiness-aware comparisons
+//! and lexicographic extrema — the handful of isl set operations the
+//! higher layers occasionally need beyond projection and optimization.
+
+use crate::constraint::ConstraintSet;
+use crate::ilp::{lexmin_integer, IlpOutcome};
+use crate::linexpr::LinExpr;
+use crate::simplex::{minimize, LpOutcome};
+use polyject_arith::Rat;
+
+/// Whether every rational point of `a` also satisfies `b` (polyhedral
+/// inclusion, exact via one LP per constraint of `b`).
+///
+/// # Examples
+///
+/// ```
+/// use polyject_sets::{is_subset, Constraint, ConstraintSet, LinExpr};
+///
+/// let tight = ConstraintSet::from_constraints(1, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[1], 0)),   // x >= 0
+///     Constraint::ge0(LinExpr::from_coeffs(&[-1], 5)),  // x <= 5
+/// ]);
+/// let loose = ConstraintSet::from_constraints(1, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[1], 3)),   // x >= -3
+/// ]);
+/// assert!(is_subset(&tight, &loose));
+/// assert!(!is_subset(&loose, &tight));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the spaces differ.
+pub fn is_subset(a: &ConstraintSet, b: &ConstraintSet) -> bool {
+    assert_eq!(a.n_vars(), b.n_vars(), "space mismatch");
+    for c in b.constraints() {
+        // a ⊆ {c} iff min over a of c.expr is >= 0 (and == 0 both ways
+        // for equalities).
+        let lo = match minimize(c.expr(), a) {
+            LpOutcome::Infeasible => return true, // empty ⊆ anything
+            LpOutcome::Unbounded => return false,
+            LpOutcome::Optimal { value, .. } => value,
+        };
+        if lo.is_negative() {
+            return false;
+        }
+        if c.is_equality() {
+            match minimize(&-c.expr(), a) {
+                LpOutcome::Infeasible => return true,
+                LpOutcome::Unbounded => return false,
+                LpOutcome::Optimal { value, .. } => {
+                    if value.is_negative() {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Whether two sets contain exactly the same rational points.
+pub fn set_eq(a: &ConstraintSet, b: &ConstraintSet) -> bool {
+    is_subset(a, b) && is_subset(b, a)
+}
+
+/// The lexicographically smallest integer point of a set (bounded below
+/// in lexicographic order), via sequential per-coordinate minimization.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_sets::{lexmin_point, Constraint, ConstraintSet, LinExpr};
+///
+/// // Box [1,3] × [2,5].
+/// let set = ConstraintSet::from_constraints(2, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[1, 0], -1)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[-1, 0], 3)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[0, 1], -2)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[0, -1], 5)),
+/// ]);
+/// assert_eq!(lexmin_point(&set), Some(vec![1, 2]));
+/// ```
+pub fn lexmin_point(set: &ConstraintSet) -> Option<Vec<i128>> {
+    let n = set.n_vars();
+    let objectives: Vec<LinExpr> = (0..n).map(|v| LinExpr::var(n, v)).collect();
+    match lexmin_integer(&objectives, set) {
+        IlpOutcome::Optimal { point, .. } => Some(point),
+        _ => None,
+    }
+}
+
+/// The lexicographically largest integer point of a set.
+pub fn lexmax_point(set: &ConstraintSet) -> Option<Vec<i128>> {
+    let n = set.n_vars();
+    let objectives: Vec<LinExpr> =
+        (0..n).map(|v| LinExpr::var(n, v).scaled(-Rat::ONE)).collect();
+    match lexmin_integer(&objectives, set) {
+        IlpOutcome::Optimal { point, .. } => Some(point),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    fn ge(coeffs: &[i128], k: i128) -> Constraint {
+        Constraint::ge0(LinExpr::from_coeffs(coeffs, k))
+    }
+
+    fn unit_box(n_vars: usize, hi: i128) -> ConstraintSet {
+        let mut s = ConstraintSet::universe(n_vars);
+        for v in 0..n_vars {
+            let mut lo = vec![0; n_vars];
+            lo[v] = 1;
+            s.add(ge(&lo, 0));
+            let mut up = vec![0; n_vars];
+            up[v] = -1;
+            s.add(ge(&up, hi));
+        }
+        s
+    }
+
+    #[test]
+    fn subset_reflexive_and_antisymmetric() {
+        let b = unit_box(2, 4);
+        assert!(is_subset(&b, &b));
+        assert!(set_eq(&b, &b));
+        let bigger = unit_box(2, 9);
+        assert!(is_subset(&b, &bigger));
+        assert!(!is_subset(&bigger, &b));
+        assert!(!set_eq(&b, &bigger));
+    }
+
+    #[test]
+    fn empty_set_is_subset_of_everything() {
+        let empty = ConstraintSet::from_constraints(1, vec![ge(&[1], -5), ge(&[-1], 2)]);
+        let any = unit_box(1, 1);
+        assert!(is_subset(&empty, &any));
+    }
+
+    #[test]
+    fn subset_with_equalities() {
+        // Diagonal of the box vs the box.
+        let mut diag = unit_box(2, 4);
+        diag.add(Constraint::eq0(LinExpr::from_coeffs(&[1, -1], 0)));
+        let b = unit_box(2, 4);
+        assert!(is_subset(&diag, &b));
+        assert!(!is_subset(&b, &diag));
+    }
+
+    #[test]
+    fn lex_extrema() {
+        // Triangle 0 <= y <= x <= 3.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![ge(&[0, 1], 0), ge(&[1, -1], 0), ge(&[-1, 0], 3)],
+        );
+        assert_eq!(lexmin_point(&set), Some(vec![0, 0]));
+        assert_eq!(lexmax_point(&set), Some(vec![3, 3]));
+    }
+
+    #[test]
+    fn lex_extrema_of_empty() {
+        let empty = ConstraintSet::from_constraints(1, vec![ge(&[1], -5), ge(&[-1], 2)]);
+        assert_eq!(lexmin_point(&empty), None);
+        assert_eq!(lexmax_point(&empty), None);
+    }
+
+    #[test]
+    fn unbounded_has_no_lexmin() {
+        let half = ConstraintSet::from_constraints(1, vec![ge(&[-1], 0)]);
+        // x <= 0, unbounded below.
+        assert_eq!(lexmin_point(&half), None);
+        assert_eq!(lexmax_point(&half), Some(vec![0]));
+    }
+}
+
+/// Simplifies a set: detects *implicit equalities* (inequalities whose
+/// opposite direction is also implied, i.e. the set lies on the
+/// hyperplane) and converts them to equalities, then prunes redundant
+/// inequalities. The result describes the same rational points with a
+/// canonical, smaller description.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_sets::{simplify, Constraint, ConstraintSet, LinExpr};
+///
+/// // x >= 2 and x <= 2 → the equality x == 2.
+/// let set = ConstraintSet::from_constraints(1, vec![
+///     Constraint::ge0(LinExpr::from_coeffs(&[1], -2)),
+///     Constraint::ge0(LinExpr::from_coeffs(&[-1], 2)),
+/// ]);
+/// let s = simplify(&set);
+/// assert_eq!(s.len(), 1);
+/// assert!(s.constraints()[0].is_equality());
+/// ```
+pub fn simplify(set: &ConstraintSet) -> ConstraintSet {
+    use crate::constraint::Constraint;
+    let mut out = ConstraintSet::universe(set.n_vars());
+    for c in set.constraints() {
+        if c.is_equality() {
+            out.add(c.clone());
+            continue;
+        }
+        // c: e >= 0 is an implicit equality iff max of e over the set is 0.
+        let implicit = match minimize(&-c.expr(), set) {
+            LpOutcome::Optimal { value, .. } => value.is_zero(),
+            LpOutcome::Infeasible => false,
+            LpOutcome::Unbounded => false,
+        };
+        if implicit {
+            out.add(Constraint::eq0(c.expr().clone()));
+        } else {
+            out.add(c.clone());
+        }
+    }
+    crate::fm::remove_redundant(&out)
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    #[test]
+    fn detects_diagonal() {
+        // x <= y, y <= x, 0 <= x <= 3 → x == y plus the box.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![
+                Constraint::ge0(LinExpr::from_coeffs(&[-1, 1], 0)),
+                Constraint::ge0(LinExpr::from_coeffs(&[1, -1], 0)),
+                Constraint::ge0(LinExpr::from_coeffs(&[1, 0], 0)),
+                Constraint::ge0(LinExpr::from_coeffs(&[0, -1], 3)),
+            ],
+        );
+        let s = simplify(&set);
+        assert!(s.constraints().iter().any(|c| c.is_equality()));
+        assert!(set_eq(&s, &set));
+    }
+
+    #[test]
+    fn leaves_full_dimensional_sets_alone() {
+        let set = ConstraintSet::from_constraints(
+            1,
+            vec![
+                Constraint::ge0(LinExpr::from_coeffs(&[1], 0)),
+                Constraint::ge0(LinExpr::from_coeffs(&[-1], 5)),
+            ],
+        );
+        let s = simplify(&set);
+        assert_eq!(s.len(), 2);
+        assert!(s.constraints().iter().all(|c| !c.is_equality()));
+    }
+
+    #[test]
+    fn simplify_preserves_points() {
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![
+                Constraint::ge0(LinExpr::from_coeffs(&[1, 1], -4)),
+                Constraint::ge0(LinExpr::from_coeffs(&[-1, -1], 4)),
+                Constraint::ge0(LinExpr::from_coeffs(&[1, 0], 0)),
+                Constraint::ge0(LinExpr::from_coeffs(&[-1, 0], 9)),
+            ],
+        );
+        let s = simplify(&set);
+        assert!(set_eq(&s, &set));
+        for p in crate::points::integer_points(&clamp(&set), 100).unwrap() {
+            assert_eq!(set.contains_int(&p), s.contains_int(&p));
+        }
+    }
+
+    fn clamp(set: &ConstraintSet) -> ConstraintSet {
+        let mut s = set.clone();
+        let n = s.n_vars();
+        for v in 0..n {
+            let mut lo = LinExpr::var(n, v);
+            lo.set_constant(10i128);
+            s.add(Constraint::ge0(lo));
+            let mut hi = LinExpr::var(n, v).scaled(polyject_arith::Rat::int(-1));
+            hi.set_constant(10i128);
+            s.add(Constraint::ge0(hi));
+        }
+        s
+    }
+}

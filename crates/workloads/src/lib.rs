@@ -1,0 +1,35 @@
+//! # polyject-workloads
+//!
+//! The evaluation workloads of paper Section VI: the seven target networks
+//! of Table I with deterministic fused-operator populations standing in
+//! for MindSpore's ModelZoo traces, the TVM-style per-statement manual
+//! baseline, and the measurement harness that produces Table II rows.
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_workloads::{lstm, measure_network, Tool};
+//! use polyject_gpusim::GpuModel;
+//!
+//! let m = measure_network(&lstm(), &GpuModel::v100());
+//! assert_eq!(m.total_ops, 4);
+//! println!("LSTM infl speedup: {:.2}x", m.speedup_all(Tool::Infl));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classes;
+mod measure;
+mod networks;
+mod tvm;
+
+pub use classes::OpClass;
+pub use measure::{
+    geomean_speedup, measure_network, measure_op, NetworkMeasurement, OpMeasurement, Tool,
+};
+pub use networks::{
+    all_networks, bert, lstm, mobilenet_v2, resnet101, resnet50, resnext50, vgg16, NetKind,
+    Network,
+};
+pub use tvm::{compile_tvm, manual_schedule};

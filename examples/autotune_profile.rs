@@ -1,0 +1,51 @@
+//! Auto-tune a fused operator (tile sizes × thread budgets, as the
+//! paper's "respective tool auto-tuners" do) and inspect the winning
+//! variant with the nvprof-substitute profiler.
+//!
+//! Run with: `cargo run --release --example autotune_profile`
+
+use polyject::prelude::*;
+
+fn main() {
+    let kernel = polyject::ir::ops::transpose_2d_of(2048, 2048, ElemType::F16);
+    let model = GpuModel::v100();
+
+    for config in [Config::Isl, Config::Influenced] {
+        println!("== {} ==", config.name());
+        let tuned = autotune(&kernel, config, &model).expect("tunable");
+        for cand in &tuned.log {
+            println!(
+                "  tile={:<12} max_threads={:<5} -> {:.4} ms ({})",
+                cand.tiling
+                    .map(|t| t.tile_size.to_string())
+                    .unwrap_or_else(|| "untiled".into()),
+                cand.mapping.max_threads,
+                cand.timing.ms(),
+                cand.timing.bottleneck()
+            );
+        }
+        println!(
+            "  winner: tile={:?} {:.4} ms",
+            tuned.best.tiling.map(|t| t.tile_size),
+            tuned.best.timing.ms()
+        );
+        println!("{}", profile(&tuned.compiled.ast, &kernel, &model).render());
+    }
+
+    // On different device models the comparison shape persists.
+    for m in [GpuModel::v100(), GpuModel::a100(), GpuModel::consumer()] {
+        let isl = estimate(&compile(&kernel, Config::Isl).expect("compiles").ast, &kernel, &m);
+        let infl = estimate(
+            &compile(&kernel, Config::Influenced).expect("compiles").ast,
+            &kernel,
+            &m,
+        );
+        println!(
+            "{:<22} isl {:.4} ms  infl {:.4} ms  speedup {:.2}x",
+            m.name,
+            isl.ms(),
+            infl.ms(),
+            isl.time / infl.time
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! The operator class behind the paper's largest wins: layout transposes
+//! from the ResNet family. Shows how plain isl-style scheduling leaves
+//! the stores scattered (one 32-byte sector per half-precision element),
+//! how influence flips the loop order to coalesce the stores, and what
+//! explicit `float4`-style vector stores add on top.
+//!
+//! Run with: `cargo run --release --example resnet_transpose`
+
+use polyject::codegen::access_stride_along;
+use polyject::prelude::*;
+
+fn main() {
+    // An NCHW → NHWC layout change on fp16 activations (ResNet-50 shape).
+    let kernel = polyject::ir::ops::transpose_nchw_nhwc_of(
+        32,
+        64,
+        56,
+        56,
+        ElemType::F16,
+    );
+    let model = GpuModel::v100();
+
+    let mut times = Vec::new();
+    for config in Config::all() {
+        let compiled = compile(&kernel, config).expect("compiles");
+        let t = estimate(&compiled.ast, &kernel, &model);
+        println!("== {:<5} {:.3} ms   schedule:", config.name(), t.ms());
+        print!("{}", compiled.schedule.render(&kernel));
+
+        // Report the store stride along the coalescing axis.
+        let leaf = compiled.ast.statements()[0];
+        let stmt = kernel.statement(leaf.stmt);
+        let innermost = compiled
+            .ast
+            .loops()
+            .iter()
+            .map(|l| l.dim)
+            .max()
+            .expect("has loops");
+        let stride = access_stride_along(&kernel, leaf, stmt.write(), innermost, &[])
+            .expect("affine stride");
+        println!(
+            "   store stride along the innermost loop: {stride} element(s) {}",
+            if stride.abs() <= 1 { "(coalesced)" } else { "(scattered!)" }
+        );
+        println!();
+        times.push((config.name(), t.ms()));
+    }
+
+    let isl = times[0].1;
+    for (name, t) in &times {
+        println!("{name:<6} {t:.3} ms   speedup over isl: {:.2}x", isl / t);
+    }
+
+    // The paper's qualitative claim: influence with vector types wins, and
+    // most of the win is the coalescing (novec close behind).
+    assert!(times[2].1 <= times[1].1 && times[1].1 < times[0].1);
+    println!("\nordering infl <= novec < isl reproduced ✓");
+}

@@ -1,0 +1,128 @@
+//! Property-based integration tests: randomly generated small fused
+//! operators must always schedule validly under every configuration and
+//! compute the reference semantics.
+
+use polyject::core::{schedule_kernel, schedule_respects, InfluenceTree, SchedulerOptions};
+use polyject::deps::{compute_dependences, DepOptions};
+use polyject::gpusim::{check_equivalence, seeded_buffers};
+use polyject::ir::{
+    BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, StatementBuilder, UnOp,
+};
+use polyject::prelude::{compile, Config};
+use proptest::prelude::*;
+
+/// A random fused operator: a chain of 2-D stages over an `r × c` space,
+/// each either elementwise, transposed-read, broadcast-read or a row
+/// reduction, wired producer-to-consumer.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    let stage = prop_oneof![
+        Just(0u8), // elementwise
+        Just(1u8), // transposed read (square shapes only)
+        Just(2u8), // broadcast read of a vector
+        Just(3u8), // row reduction
+    ];
+    (2i64..6, 2i64..6, proptest::collection::vec(stage, 1..4), any::<u64>()).prop_map(
+        |(r, c, stages, _seed)| build_kernel(r, c, &stages),
+    )
+}
+
+fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
+    let mut kb = KernelBuilder::new("prop");
+    let a = kb.tensor("A", vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+    let vecs = kb.tensor("v", vec![Extent::Const(c)], ElemType::F32);
+    let mut prev = a;
+    let mut prev_is_matrix = true;
+    for (si, &kind) in stages.iter().enumerate() {
+        // A reduction produces a vector; later matrix stages fall back to
+        // reading the original input alongside it.
+        let kind = if !prev_is_matrix { 0 } else { kind };
+        match kind {
+            1 if r == c => {
+                let out =
+                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                kb.add_statement(
+                    StatementBuilder::new(format!("S{si}"), &["i", "j"])
+                        .bound_extent(0, r)
+                        .bound_extent(1, c)
+                        .write(out, &[Idx::Iter(0), Idx::Iter(1)])
+                        .read(prev, &[Idx::Iter(1), Idx::Iter(0)])
+                        .expr(Expr::un(UnOp::Neg, Expr::Read(0))),
+                )
+                .expect("valid transpose stage");
+                prev = out;
+            }
+            2 if prev_is_matrix => {
+                let out =
+                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                kb.add_statement(
+                    StatementBuilder::new(format!("S{si}"), &["i", "j"])
+                        .bound_extent(0, r)
+                        .bound_extent(1, c)
+                        .write(out, &[Idx::Iter(0), Idx::Iter(1)])
+                        .read(prev, &[Idx::Iter(0), Idx::Iter(1)])
+                        .read(vecs, &[Idx::Iter(1)])
+                        .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+                )
+                .expect("valid broadcast stage");
+                prev = out;
+            }
+            3 if prev_is_matrix => {
+                let out = kb.tensor(format!("T{si}"), vec![Extent::Const(r)], ElemType::F32);
+                kb.add_statement(
+                    StatementBuilder::new(format!("S{si}"), &["i", "j"])
+                        .bound_extent(0, r)
+                        .bound_extent(1, c)
+                        .write(out, &[Idx::Iter(0)])
+                        .read(out, &[Idx::Iter(0)])
+                        .read(prev, &[Idx::Iter(0), Idx::Iter(1)])
+                        .expr(Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1))),
+                )
+                .expect("valid reduce stage");
+                prev = out;
+                prev_is_matrix = false;
+                continue;
+            }
+            _ => {
+                let src = if prev_is_matrix { prev } else { a };
+                let out =
+                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                kb.add_statement(
+                    StatementBuilder::new(format!("S{si}"), &["i", "j"])
+                        .bound_extent(0, r)
+                        .bound_extent(1, c)
+                        .write(out, &[Idx::Iter(0), Idx::Iter(1)])
+                        .read(src, &[Idx::Iter(0), Idx::Iter(1)])
+                        .expr(Expr::bin(BinOp::Mul, Expr::Read(0), Expr::Const(2.0))),
+                )
+                .expect("valid elementwise stage");
+                prev = out;
+                prev_is_matrix = true;
+            }
+        }
+    }
+    kb.finish().expect("valid kernel")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_kernels_schedule_validly(kernel in arb_kernel()) {
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let res = schedule_kernel(&kernel, &deps, &InfluenceTree::new(),
+                                  SchedulerOptions::default()).expect("schedulable");
+        let v: Vec<_> = deps.validity().collect();
+        prop_assert!(schedule_respects(v.iter().copied(), &res.schedule));
+    }
+
+    #[test]
+    fn random_kernels_all_configs_equivalent(kernel in arb_kernel()) {
+        let params = kernel.param_defaults().to_vec();
+        let inputs = seeded_buffers(&kernel, &params, 99);
+        for config in Config::all() {
+            let compiled = compile(&kernel, config).expect("compiles");
+            check_equivalence(&compiled.ast, &kernel, &inputs, &params)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", config.name())))?;
+        }
+    }
+}
