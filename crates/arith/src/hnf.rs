@@ -40,9 +40,7 @@ pub fn hermite_normal_form(a: &[Vec<i128>]) -> (Vec<Vec<i128>>, Vec<Vec<i128>>) 
             // Find the row with the smallest nonzero |entry| in this column.
             let mut best: Option<usize> = None;
             for r in pivot_row..rows {
-                if h[r][col] != 0
-                    && best.is_none_or(|b| h[r][col].abs() < h[b][col].abs())
-                {
+                if h[r][col] != 0 && best.is_none_or(|b| h[r][col].abs() < h[b][col].abs()) {
                     best = Some(r);
                 }
             }
@@ -123,7 +121,10 @@ pub fn is_unimodular(m: &[Vec<i128>]) -> bool {
 /// Panics if the matrix is not square.
 pub fn determinant(m: &[Vec<i128>]) -> i128 {
     let n = m.len();
-    assert!(m.iter().all(|r| r.len() == n), "determinant of non-square matrix");
+    assert!(
+        m.iter().all(|r| r.len() == n),
+        "determinant of non-square matrix"
+    );
     let mut a: Vec<Vec<Rat>> = m
         .iter()
         .map(|r| r.iter().map(|&v| Rat::int(v)).collect())
@@ -211,7 +212,10 @@ pub fn integer_kernel_basis(a: &[Vec<i128>]) -> Vec<Vec<i128>> {
         return Vec::new();
     }
     let m = Matrix::from_rows(a);
-    m.kernel_basis().iter().map(|v| primitive_integer_vector(v)).collect()
+    m.kernel_basis()
+        .iter()
+        .map(|v| primitive_integer_vector(v))
+        .collect()
 }
 
 #[cfg(test)]
@@ -305,6 +309,9 @@ mod tests {
     #[test]
     fn primitive_vector_handles_zero() {
         use crate::rat::Rat;
-        assert_eq!(primitive_integer_vector(&[Rat::ZERO, Rat::ZERO]), vec![0, 0]);
+        assert_eq!(
+            primitive_integer_vector(&[Rat::ZERO, Rat::ZERO]),
+            vec![0, 0]
+        );
     }
 }

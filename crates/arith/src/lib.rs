@@ -24,11 +24,12 @@
 
 mod hnf;
 mod matrix;
+mod prng;
 mod rat;
 
 pub use hnf::{
-    determinant, hermite_normal_form, integer_kernel_basis, is_unimodular,
-    primitive_integer_vector,
+    determinant, hermite_normal_form, integer_kernel_basis, is_unimodular, primitive_integer_vector,
 };
 pub use matrix::Matrix;
+pub use prng::SplitMix64;
 pub use rat::{gcd, lcm, Rat};

@@ -25,7 +25,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zero(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![Rat::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rat::ZERO; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of the given order.
@@ -47,7 +51,11 @@ impl Matrix {
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
         let data = rows.iter().flatten().map(|&v| Rat::int(v)).collect();
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from rational rows.
@@ -60,7 +68,11 @@ impl Matrix {
         let c = rows.first().map_or(0, Vec::len);
         assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
         let data = rows.into_iter().flatten().collect();
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -112,7 +124,12 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Rat]) -> Vec<Rat> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).fold(Rat::ZERO, |acc, (&a, &b)| acc + a * b))
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(Rat::ZERO, |acc, (&a, &b)| acc + a * b)
+            })
             .collect()
     }
 

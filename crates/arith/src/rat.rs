@@ -90,7 +90,11 @@ impl Rat {
     pub fn new(numer: i128, denom: i128) -> Rat {
         assert!(denom != 0, "rational with zero denominator");
         let g = gcd(numer, denom);
-        let (mut n, mut d) = if g == 0 { (0, 1) } else { (numer / g, denom / g) };
+        let (mut n, mut d) = if g == 0 {
+            (0, 1)
+        } else {
+            (numer / g, denom / g)
+        };
         if d < 0 {
             n = -n;
             d = -d;
@@ -178,7 +182,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { numer: self.numer.abs(), denom: self.denom }
+        Rat {
+            numer: self.numer.abs(),
+            denom: self.denom,
+        }
     }
 
     /// Multiplicative inverse.
@@ -255,8 +262,14 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b (b, d > 0)
-        let lhs = self.numer.checked_mul(other.denom).expect("rational overflow");
-        let rhs = other.numer.checked_mul(self.denom).expect("rational overflow");
+        let lhs = self
+            .numer
+            .checked_mul(other.denom)
+            .expect("rational overflow");
+        let rhs = other
+            .numer
+            .checked_mul(self.denom)
+            .expect("rational overflow");
         lhs.cmp(&rhs)
     }
 }
@@ -288,8 +301,16 @@ impl Mul for Rat {
         // Cross-reduce before multiplying to shrink intermediates.
         let g1 = gcd(self.numer, rhs.denom);
         let g2 = gcd(rhs.numer, self.denom);
-        let (n1, d2) = if g1 == 0 { (0, 1) } else { (self.numer / g1, rhs.denom / g1) };
-        let (n2, d1) = if g2 == 0 { (0, 1) } else { (rhs.numer / g2, self.denom / g2) };
+        let (n1, d2) = if g1 == 0 {
+            (0, 1)
+        } else {
+            (self.numer / g1, rhs.denom / g1)
+        };
+        let (n2, d1) = if g2 == 0 {
+            (0, 1)
+        } else {
+            (rhs.numer / g2, self.denom / g2)
+        };
         Rat::checked(n1.checked_mul(n2), d1.checked_mul(d2))
     }
 }
@@ -305,7 +326,10 @@ impl Div for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { numer: -self.numer, denom: self.denom }
+        Rat {
+            numer: -self.numer,
+            denom: self.denom,
+        }
     }
 }
 

@@ -1,92 +1,116 @@
 //! Property-based tests of the exact arithmetic layer: rational field
 //! axioms, matrix algebra identities and Hermite-normal-form invariants.
+//!
+//! Inputs are sampled with the crate's own deterministic [`SplitMix64`]
+//! generator (the build is fully offline, so no `proptest`); every case
+//! is reproducible from the fixed seeds below.
 
 use polyject_arith::{
-    determinant, hermite_normal_form, integer_kernel_basis, is_unimodular, Matrix, Rat,
+    determinant, hermite_normal_form, integer_kernel_basis, is_unimodular, Matrix, Rat, SplitMix64,
 };
-use proptest::prelude::*;
 
-fn arb_rat() -> impl Strategy<Value = Rat> {
-    (-40i128..40, 1i128..12).prop_map(|(n, d)| Rat::new(n, d))
+fn arb_rat(g: &mut SplitMix64) -> Rat {
+    Rat::new(g.range_i128(-40, 40), g.range_i128(1, 12))
 }
 
-fn arb_int_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Vec<Vec<i128>>> {
-    proptest::collection::vec(proptest::collection::vec(-6i128..7, cols), rows)
+fn arb_int_matrix(g: &mut SplitMix64, rows: usize, cols: usize) -> Vec<Vec<i128>> {
+    (0..rows).map(|_| g.vec_i128(cols, -6, 7)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn rational_field_axioms(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a * b, b * a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!((a * b) * c, a * (b * c));
-        prop_assert_eq!(a * (b + c), a * b + a * c);
-        prop_assert_eq!(a + Rat::ZERO, a);
-        prop_assert_eq!(a * Rat::ONE, a);
-        prop_assert_eq!(a - a, Rat::ZERO);
+#[test]
+fn rational_field_axioms() {
+    let mut g = SplitMix64::new(0xA11);
+    for _ in 0..128 {
+        let (a, b, c) = (arb_rat(&mut g), arb_rat(&mut g), arb_rat(&mut g));
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a + Rat::ZERO, a);
+        assert_eq!(a * Rat::ONE, a);
+        assert_eq!(a - a, Rat::ZERO);
         if !a.is_zero() {
-            prop_assert_eq!(a * a.recip(), Rat::ONE);
+            assert_eq!(a * a.recip(), Rat::ONE);
         }
     }
+}
 
-    #[test]
-    fn rational_order_compatible(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+#[test]
+fn rational_order_compatible() {
+    let mut g = SplitMix64::new(0xB22);
+    for _ in 0..128 {
+        let (a, b, c) = (arb_rat(&mut g), arb_rat(&mut g), arb_rat(&mut g));
         if a <= b {
-            prop_assert!(a + c <= b + c);
+            assert!(a + c <= b + c);
             if c.is_positive() {
-                prop_assert!(a * c <= b * c);
+                assert!(a * c <= b * c);
             }
         }
     }
+}
 
-    #[test]
-    fn floor_ceil_consistency(a in arb_rat()) {
+#[test]
+fn floor_ceil_consistency() {
+    let mut g = SplitMix64::new(0xC33);
+    for _ in 0..128 {
+        let a = arb_rat(&mut g);
         let f = a.floor();
         let c = a.ceil();
-        prop_assert!(Rat::int(f) <= a && a < Rat::int(f + 1));
-        prop_assert!(Rat::int(c - 1) < a && a <= Rat::int(c));
-        prop_assert!(c - f <= 1);
+        assert!(Rat::int(f) <= a && a < Rat::int(f + 1));
+        assert!(Rat::int(c - 1) < a && a <= Rat::int(c));
+        assert!(c - f <= 1);
     }
+}
 
-    #[test]
-    fn hnf_invariants(m in arb_int_matrix(3, 4)) {
+#[test]
+fn hnf_invariants() {
+    let mut g = SplitMix64::new(0xD44);
+    for _ in 0..128 {
+        let m = arb_int_matrix(&mut g, 3, 4);
         let (h, u) = hermite_normal_form(&m);
-        prop_assert!(is_unimodular(&u));
+        assert!(is_unimodular(&u));
         // u * m == h
         for (i, hrow) in h.iter().enumerate() {
             for (j, &hv) in hrow.iter().enumerate() {
                 let v: i128 = (0..3).map(|k| u[i][k] * m[k][j]).sum();
-                prop_assert_eq!(v, hv);
+                assert_eq!(v, hv);
             }
         }
         // Pivots strictly move right.
         let mut last: i64 = -1;
         for row in &h {
             if let Some(p) = row.iter().position(|&v| v != 0) {
-                prop_assert!(row[p] > 0);
-                prop_assert!((p as i64) > last);
+                assert!(row[p] > 0);
+                assert!((p as i64) > last);
                 last = p as i64;
             }
         }
     }
+}
 
-    #[test]
-    fn kernel_basis_annihilates(m in arb_int_matrix(2, 4)) {
+#[test]
+fn kernel_basis_annihilates() {
+    let mut g = SplitMix64::new(0xE55);
+    for _ in 0..128 {
+        let m = arb_int_matrix(&mut g, 2, 4);
         let mat = Matrix::from_rows(&m);
         for v in integer_kernel_basis(&m) {
             let rv: Vec<Rat> = v.iter().map(|&x| Rat::int(x)).collect();
-            prop_assert!(mat.mul_vec(&rv).iter().all(Rat::is_zero));
-            prop_assert!(v.iter().any(|&x| x != 0), "basis vectors are nonzero");
+            assert!(mat.mul_vec(&rv).iter().all(Rat::is_zero));
+            assert!(v.iter().any(|&x| x != 0), "basis vectors are nonzero");
         }
         // Rank-nullity.
-        prop_assert_eq!(mat.rank() + integer_kernel_basis(&m).len(), 4);
+        assert_eq!(mat.rank() + integer_kernel_basis(&m).len(), 4);
     }
+}
 
-    #[test]
-    fn determinant_multiplicative(a in arb_int_matrix(3, 3), b in arb_int_matrix(3, 3)) {
+#[test]
+fn determinant_multiplicative() {
+    let mut g = SplitMix64::new(0xF66);
+    for _ in 0..128 {
+        let a = arb_int_matrix(&mut g, 3, 3);
+        let b = arb_int_matrix(&mut g, 3, 3);
         let mut ab = vec![vec![0i128; 3]; 3];
         for i in 0..3 {
             for k in 0..3 {
@@ -95,16 +119,21 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(determinant(&ab), determinant(&a) * determinant(&b));
+        assert_eq!(determinant(&ab), determinant(&a) * determinant(&b));
     }
+}
 
-    #[test]
-    fn solve_produces_solutions(m in arb_int_matrix(3, 3), x in proptest::collection::vec(-5i128..6, 3)) {
+#[test]
+fn solve_produces_solutions() {
+    let mut g = SplitMix64::new(0x177);
+    for _ in 0..128 {
+        let m = arb_int_matrix(&mut g, 3, 3);
+        let x = g.vec_i128(3, -5, 6);
         // Construct b = m·x so the system is consistent, then solve.
         let mat = Matrix::from_rows(&m);
         let xr: Vec<Rat> = x.iter().map(|&v| Rat::int(v)).collect();
         let b = mat.mul_vec(&xr);
         let sol = mat.solve(&b).expect("consistent by construction");
-        prop_assert_eq!(mat.mul_vec(&sol), b);
+        assert_eq!(mat.mul_vec(&sol), b);
     }
 }

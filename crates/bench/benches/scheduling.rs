@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the compiler itself: dependence
-//! analysis, influence-tree construction, influenced vs plain scheduling,
-//! code generation and the analytic simulator.
+//! Micro-benchmarks of the compiler itself: dependence analysis,
+//! influence-tree construction, influenced vs plain scheduling, code
+//! generation and the analytic simulator.
+//!
+//! The workspace is fully offline (no Criterion); this is a plain
+//! `harness = false` timing loop: each case is warmed up once, then run
+//! for a fixed number of iterations, reporting the mean wall-clock time.
+//! Run with `cargo bench -p polyject-bench --bench scheduling`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polyject_codegen::{compile, generate_ast, Config};
 use polyject_core::{
     build_influence_tree, schedule_kernel, InfluenceOptions, InfluenceTree, SchedulerOptions,
@@ -10,6 +14,7 @@ use polyject_core::{
 use polyject_deps::{compute_dependences, DepOptions};
 use polyject_gpusim::{estimate, GpuModel};
 use polyject_ir::{ops, Kernel};
+use std::time::Instant;
 
 fn kernels() -> Vec<(&'static str, Kernel)> {
     vec![
@@ -20,78 +25,68 @@ fn kernels() -> Vec<(&'static str, Kernel)> {
     ]
 }
 
-fn bench_dependences(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dependence_analysis");
-    for (name, k) in kernels() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| compute_dependences(k, DepOptions::default()))
-        });
+/// Times `f` over `iters` iterations (after one warm-up call) and prints
+/// a one-line report. Returns the mean seconds per iteration.
+fn bench<R>(group: &str, name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    g.finish();
+    let mean = t0.elapsed().as_secs_f64() / iters as f64;
+    println!("{group}/{name}: {:.3} ms/iter ({iters} iters)", mean * 1e3);
+    mean
 }
 
-fn bench_influence_tree(c: &mut Criterion) {
-    let mut g = c.benchmark_group("influence_tree_build");
+fn main() {
+    let iters: u32 = std::env::args()
+        .skip_while(|a| a != "--iters")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
     for (name, k) in kernels() {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| build_influence_tree(k, &InfluenceOptions::default()))
+        bench("dependence_analysis", name, iters, || {
+            compute_dependences(&k, DepOptions::default())
         });
     }
-    g.finish();
-}
-
-fn bench_scheduling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduling");
-    g.sample_size(10);
+    for (name, k) in kernels() {
+        bench("influence_tree_build", name, iters, || {
+            build_influence_tree(&k, &InfluenceOptions::default())
+        });
+    }
     for (name, k) in kernels() {
         let deps = compute_dependences(&k, DepOptions::default());
         let tree = build_influence_tree(&k, &InfluenceOptions::default());
-        g.bench_function(BenchmarkId::new("isl", name), |b| {
-            b.iter(|| {
-                schedule_kernel(&k, &deps, &InfluenceTree::new(), SchedulerOptions::default())
-                    .unwrap()
-            })
+        bench("scheduling/isl", name, iters, || {
+            schedule_kernel(
+                &k,
+                &deps,
+                &InfluenceTree::new(),
+                SchedulerOptions::default(),
+            )
+            .unwrap()
         });
-        g.bench_function(BenchmarkId::new("influenced", name), |b| {
-            b.iter(|| schedule_kernel(&k, &deps, &tree, SchedulerOptions::default()).unwrap())
+        bench("scheduling/influenced", name, iters, || {
+            schedule_kernel(&k, &deps, &tree, SchedulerOptions::default()).unwrap()
         });
     }
-    g.finish();
-}
-
-fn bench_codegen(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codegen");
-    g.sample_size(10);
     for (name, k) in kernels() {
         let deps = compute_dependences(&k, DepOptions::default());
-        let sched = schedule_kernel(&k, &deps, &InfluenceTree::new(), SchedulerOptions::default())
-            .unwrap()
-            .schedule;
-        g.bench_with_input(BenchmarkId::from_parameter(name), &k, |b, k| {
-            b.iter(|| generate_ast(k, &sched))
-        });
+        let sched = schedule_kernel(
+            &k,
+            &deps,
+            &InfluenceTree::new(),
+            SchedulerOptions::default(),
+        )
+        .unwrap()
+        .schedule;
+        bench("codegen", name, iters, || generate_ast(&k, &sched));
     }
-    g.finish();
-}
-
-fn bench_estimate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator_estimate");
     let model = GpuModel::v100();
     for (name, k) in kernels() {
         let compiled = compile(&k, Config::Influenced).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| estimate(&compiled.ast, &k, &model))
+        bench("simulator_estimate", name, iters, || {
+            estimate(&compiled.ast, &k, &model)
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_dependences,
-    bench_influence_tree,
-    bench_scheduling,
-    bench_codegen,
-    bench_estimate
-);
-criterion_main!(benches);

@@ -5,20 +5,23 @@
 //! (load-priority) weights, and compares simulated times and the chosen
 //! innermost dimension.
 
-use polyject_codegen::{generate_ast, map_to_gpu, refine_parallel_loops, vectorize, MappingOptions};
-use polyject_core::{
-    build_influence_tree, schedule_kernel, InfluenceOptions, SchedulerOptions,
+use polyject_codegen::{
+    generate_ast, map_to_gpu, refine_parallel_loops, vectorize, MappingOptions,
 };
+use polyject_core::{build_influence_tree, schedule_kernel, InfluenceOptions, SchedulerOptions};
 use polyject_deps::{compute_dependences, DepOptions};
 use polyject_gpusim::{estimate, GpuModel};
 use polyject_ir::{ops, ElemType, Kernel};
 
 fn compile_with_weights(kernel: &Kernel, weights: [f64; 5]) -> (String, f64, usize) {
     let deps = compute_dependences(kernel, DepOptions::default());
-    let opts = InfluenceOptions { weights, ..InfluenceOptions::default() };
+    let opts = InfluenceOptions {
+        weights,
+        ..InfluenceOptions::default()
+    };
     let tree = build_influence_tree(kernel, &opts);
-    let res = schedule_kernel(kernel, &deps, &tree, SchedulerOptions::default())
-        .expect("schedulable");
+    let res =
+        schedule_kernel(kernel, &deps, &tree, SchedulerOptions::default()).expect("schedulable");
     let mut ast = generate_ast(kernel, &res.schedule);
     refine_parallel_loops(&mut ast, &res.schedule, &deps);
     let nvec = vectorize(&mut ast, kernel, &res.schedule);
@@ -53,8 +56,14 @@ fn main() {
         ("reversed (3,5,1,1,1)", [3.0, 5.0, 1.0, 1.0, 1.0]),
     ];
     let kernels: Vec<(&str, Kernel)> = vec![
-        ("transpose2d f16 3584x1792", ops::transpose_2d_of(3584, 1792, ElemType::F16)),
-        ("transpose4d f16 32x64x56x56", ops::transpose_nchw_nhwc_of(32, 64, 56, 56, ElemType::F16)),
+        (
+            "transpose2d f16 3584x1792",
+            ops::transpose_2d_of(3584, 1792, ElemType::F16),
+        ),
+        (
+            "transpose4d f16 32x64x56x56",
+            ops::transpose_nchw_nhwc_of(32, 64, 56, 56, ElemType::F16),
+        ),
         ("transpose2d f32 2048x2048", ops::transpose_2d(2048, 2048)),
     ];
     for (name, kernel) in &kernels {

@@ -2,7 +2,9 @@
 //! flowing through the influenced polyhedral compiler's stages
 //! (dependence analysis → influence optimizer → influenced scheduler →
 //! codegen → mapping/vectorization → simulator).
-use polyject_codegen::{generate_ast, map_to_gpu, refine_parallel_loops, render, vectorize, MappingOptions};
+use polyject_codegen::{
+    generate_ast, map_to_gpu, refine_parallel_loops, render, vectorize, MappingOptions,
+};
 use polyject_core::{build_influence_tree, schedule_kernel, InfluenceOptions, SchedulerOptions};
 use polyject_deps::{compute_dependences, DepOptions};
 use polyject_gpusim::{estimate, GpuModel};
@@ -15,25 +17,40 @@ fn main() {
     println!("[graph-kernel fusion]   fused operator: {}", kernel.name());
 
     let deps = compute_dependences(&kernel, DepOptions::default());
-    println!("[dependence analysis]   {} relations ({} validity)",
-        deps.len(), deps.validity().count());
+    println!(
+        "[dependence analysis]   {} relations ({} validity)",
+        deps.len(),
+        deps.validity().count()
+    );
 
     let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
-    println!("[non-linear optimizer]  influence constraint tree: {} nodes", tree.len());
+    println!(
+        "[non-linear optimizer]  influence constraint tree: {} nodes",
+        tree.len()
+    );
 
     let result = schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
-    println!("[influenced scheduler]  {} ILP solves, {} tree backtracks, influenced: {}",
-        result.stats.ilp_solves, result.stats.tree_backtracks, result.influenced);
+    println!(
+        "[influenced scheduler]  {} ILP solves, {} tree backtracks, influenced: {}",
+        result.stats.ilp_solves, result.stats.tree_backtracks, result.influenced
+    );
     print!("{}", result.schedule.render(&kernel));
 
     let mut ast = generate_ast(&kernel, &result.schedule);
     refine_parallel_loops(&mut ast, &result.schedule, &deps);
     let nvec = vectorize(&mut ast, &kernel, &result.schedule);
     map_to_gpu(&mut ast, &kernel, MappingOptions::default());
-    println!("[codegen + backend]     {} loop(s) rewritten with vector types", nvec);
+    println!(
+        "[codegen + backend]     {} loop(s) rewritten with vector types",
+        nvec
+    );
 
     let t = estimate(&ast, &kernel, &GpuModel::v100());
-    println!("[simulated V100]        {:.3} ms, bound by {}", t.ms(), t.bottleneck());
+    println!(
+        "[simulated V100]        {:.3} ms, bound by {}",
+        t.ms(),
+        t.bottleneck()
+    );
     println!();
     print!("{}", render(&ast, &kernel));
 }

@@ -14,7 +14,10 @@ fn main() {
         let names: Vec<&str> = s.dims.iter().map(|&d| stmt.iters()[d].as_str()).collect();
         println!(
             "  {}: [{}] (innermost last), vectorizable: {}, score {:.2}",
-            stmt.name(), names.join(", "), s.vectorizable, s.score
+            stmt.name(),
+            names.join(", "),
+            s.vectorizable,
+            s.score
         );
     }
     println!();

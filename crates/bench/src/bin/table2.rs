@@ -1,20 +1,123 @@
 //! Regenerates Table II: runs every fused operator of every network
 //! through the four tool chains on the simulated V100 and prints the
 //! paper-style table plus the geometric-mean headline.
+//!
+//! Flags:
+//! * `--per-op` — per-operator detail dump;
+//! * `--csv` — machine-readable per-operator CSV;
+//! * `--stats` — compile-side performance counters (LP/ILP solves,
+//!   branch-and-bound nodes, FM eliminations, compile wall-clock);
+//! * `--fast` — one-network subset (LSTM) for CI smoke runs;
+//! * `--serial` — force the serial reference path (one worker);
+//! * `--workers N` — pool size (default: available parallelism);
+//! * `--bench` — run serially *and* in parallel, verify the outputs are
+//!   identical, and write `BENCH_table2.json` (see `--json PATH`).
+
+use polyject_bench::{
+    default_workers, measurements_identical, render_bench_json, render_table2, run_table2_networks,
+    Table2Bench, Table2Run,
+};
 use polyject_gpusim::GpuModel;
-use polyject_workloads::{geomean_speedup, Tool};
+use polyject_workloads::{all_networks, geomean_speedup, lstm, Network, Tool};
+
+fn print_stats(label: &str, run: &Table2Run) {
+    let c = &run.perf.counters;
+    eprintln!(
+        "[stats] {label}: {} unique ops, {} workers, wall {:.2}s, compile {:.1}ms \
+         | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {}",
+        run.unique_ops,
+        run.workers,
+        run.wall_s,
+        run.perf.compile_ms,
+        c.lp_solves,
+        c.ilp_solves,
+        c.ilp_nodes,
+        c.fm_eliminations
+    );
+}
 
 fn main() {
-    let per_op = std::env::args().any(|a| a == "--per-op");
-    let csv = std::env::args().any(|a| a == "--csv");
+    let args: Vec<String> = std::env::args().collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let after = |f: &str| {
+        args.iter()
+            .position(|a| a == f)
+            .and_then(|i| args.get(i + 1))
+    };
+    let per_op = has("--per-op");
+    let csv = has("--csv");
+    let stats = has("--stats");
+    let fast = has("--fast");
+    let bench = has("--bench");
+    let workers = if has("--serial") {
+        1
+    } else {
+        after("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(default_workers)
+    };
+    let json_path = after("--json")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_table2.json".to_string());
+
     let model = GpuModel::v100();
-    eprintln!("measuring all networks on {} ...", model.name);
-    let t0 = std::time::Instant::now();
-    let results = polyject_bench::run_table2(&model);
+    let nets: Vec<Network> = if fast { vec![lstm()] } else { all_networks() };
+    if bench {
+        eprintln!(
+            "measuring {} network(s) on {} serially and with {} worker(s) ...",
+            nets.len(),
+            model.name,
+            workers.max(2)
+        );
+    } else {
+        eprintln!(
+            "measuring {} network(s) on {} with {} worker(s) ...",
+            nets.len(),
+            model.name,
+            workers
+        );
+    }
+
+    let run =
+        if bench {
+            let serial = run_table2_networks(&nets, &model, 1);
+            let parallel = run_table2_networks(&nets, &model, workers.max(2));
+            let identical = measurements_identical(&serial.results, &parallel.results);
+            let b = Table2Bench {
+                cores: default_workers(),
+                serial,
+                parallel,
+                identical,
+            };
+            std::fs::write(&json_path, render_bench_json(&b)).expect("write bench json");
+            eprintln!(
+            "[bench] serial {:.2}s, parallel {:.2}s ({} workers) -> {:.2}x, identical: {} -> {}",
+            b.serial.wall_s,
+            b.parallel.wall_s,
+            b.parallel.workers,
+            if b.parallel.wall_s > 0.0 { b.serial.wall_s / b.parallel.wall_s } else { 1.0 },
+            b.identical,
+            json_path
+        );
+            assert!(b.identical, "serial and parallel Table II runs diverged");
+            if stats {
+                print_stats("serial", &b.serial);
+                print_stats("parallel", &b.parallel);
+            }
+            b.parallel
+        } else {
+            let run = run_table2_networks(&nets, &model, workers);
+            if stats {
+                print_stats(if workers <= 1 { "serial" } else { "parallel" }, &run);
+            }
+            run
+        };
+    let results = &run.results;
+
     if csv {
         // Machine-readable per-operator dump.
         println!("network,op,class,vec,influenced,isl_ms,tvm_ms,novec_ms,infl_ms");
-        for net in &results {
+        for net in results {
             for m in &net.per_op {
                 println!(
                     "{},{},{},{},{},{:.6},{:.6},{:.6},{:.6}",
@@ -34,7 +137,7 @@ fn main() {
     }
     if per_op {
         // The paper's "detailed analysis of fused operators".
-        for net in &results {
+        for net in results {
             println!("== {} ==", net.name);
             for m in &net.per_op {
                 println!(
@@ -53,13 +156,13 @@ fn main() {
         }
         println!();
     }
-    print!("{}", polyject_bench::render_table2(&results));
+    print!("{}", render_table2(results));
     println!();
     println!(
         "geomean speedup over isl:  infl {:.2}x  novec {:.2}x  tvm {:.2}x   (paper headline: infl 1.7x)",
-        geomean_speedup(&results, Tool::Infl),
-        geomean_speedup(&results, Tool::NoVec),
-        geomean_speedup(&results, Tool::Tvm),
+        geomean_speedup(results, Tool::Infl),
+        geomean_speedup(results, Tool::NoVec),
+        geomean_speedup(results, Tool::Tvm),
     );
-    eprintln!("({} networks in {:.1?})", results.len(), t0.elapsed());
+    eprintln!("({} networks in {:.1}s)", results.len(), run.wall_s);
 }

@@ -9,9 +9,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod par;
+
+pub use par::{default_workers, parallel_map};
+
 use polyject_gpusim::GpuModel;
-use polyject_workloads::{all_networks, measure_network, NetworkMeasurement, Tool};
+use polyject_workloads::{
+    aggregate_network, all_networks, measure_network, measure_op_with_perf, op_key, Network,
+    NetworkMeasurement, OpPerf, Tool,
+};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// The paper's Table II reference values for one network row.
 #[derive(Clone, Copy, Debug)]
@@ -75,16 +84,179 @@ pub fn paper_table2() -> Vec<PaperRow> {
     ]
 }
 
-/// Runs the full Table II measurement over every network.
+/// Runs the full Table II measurement over every network (serial
+/// reference path: per-network memoization, one operator at a time).
 pub fn run_table2(model: &GpuModel) -> Vec<NetworkMeasurement> {
-    all_networks().iter().map(|n| measure_network(n, model)).collect()
+    all_networks()
+        .iter()
+        .map(|n| measure_network(n, model))
+        .collect()
+}
+
+/// Outcome of an instrumented Table II run.
+#[derive(Clone, Debug)]
+pub struct Table2Run {
+    /// One Table II row per network, in [`all_networks`] order.
+    pub results: Vec<NetworkMeasurement>,
+    /// End-to-end wall-clock seconds.
+    pub wall_s: f64,
+    /// Worker threads used (1 = serial on the calling thread).
+    pub workers: usize,
+    /// Unique operator classes compiled (identical classes dedup to one
+    /// compilation across all networks).
+    pub unique_ops: usize,
+    /// Aggregated compile wall-clock and solver counters over the unique
+    /// operators.
+    pub perf: OpPerf,
+}
+
+/// Runs Table II over the given networks with global operator
+/// deduplication and `workers` pool threads (see [`parallel_map`]).
+///
+/// Unique operator classes are collected in first-seen order across all
+/// networks, compiled in parallel, then each network row is reassembled
+/// in operator order via [`aggregate_network`]. `measure_op` is a pure
+/// function of the operator class, so the rows are identical to the
+/// serial [`run_table2`] path no matter the worker count.
+pub fn run_table2_networks(nets: &[Network], model: &GpuModel, workers: usize) -> Table2Run {
+    let t0 = Instant::now();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut unique: Vec<&polyject_workloads::OpClass> = Vec::new();
+    for net in nets {
+        for op in &net.ops {
+            index.entry(op_key(op)).or_insert_with(|| {
+                unique.push(op);
+                unique.len() - 1
+            });
+        }
+    }
+    let measured = parallel_map(&unique, workers, |op| measure_op_with_perf(op, model));
+    let mut perf = OpPerf::default();
+    for (_, p) in &measured {
+        perf.accumulate(p);
+    }
+    let results = nets
+        .iter()
+        .map(|net| {
+            let per_op = net
+                .ops
+                .iter()
+                .map(|op| measured[index[&op_key(op)]].0.clone())
+                .collect();
+            aggregate_network(net, per_op)
+        })
+        .collect();
+    Table2Run {
+        results,
+        wall_s: t0.elapsed().as_secs_f64(),
+        workers,
+        unique_ops: unique.len(),
+        perf,
+    }
+}
+
+/// [`run_table2_networks`] over every Table I network.
+pub fn run_table2_parallel(model: &GpuModel, workers: usize) -> Table2Run {
+    run_table2_networks(&all_networks(), model, workers)
+}
+
+/// Whether two result sets are exactly identical: same networks, same
+/// counts, and bitwise-equal times (f64 compared by bits, so this is
+/// byte-identity of everything rendered into the table, not an epsilon
+/// comparison).
+pub fn measurements_identical(a: &[NetworkMeasurement], b: &[NetworkMeasurement]) -> bool {
+    fn ms_eq(x: &[f64; 4], y: &[f64; 4]) -> bool {
+        x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(m, n)| {
+            m.name == n.name
+                && m.total_ops == n.total_ops
+                && m.vec_ops == n.vec_ops
+                && m.infl_ops == n.infl_ops
+                && ms_eq(&m.all_ms, &n.all_ms)
+                && ms_eq(&m.infl_ms, &n.infl_ms)
+                && m.per_op.len() == n.per_op.len()
+                && m.per_op.iter().zip(&n.per_op).all(|(p, q)| {
+                    p.name == q.name
+                        && p.class == q.class
+                        && p.vec_eligible == q.vec_eligible
+                        && p.influenced == q.influenced
+                        && ms_eq(&p.time_ms, &q.time_ms)
+                })
+        })
+}
+
+/// Inputs of the machine-readable `BENCH_table2.json` report.
+#[derive(Clone, Debug)]
+pub struct Table2Bench {
+    /// CPU cores the machine reports.
+    pub cores: usize,
+    /// The serial run (workers = 1).
+    pub serial: Table2Run,
+    /// The parallel run.
+    pub parallel: Table2Run,
+    /// Whether both runs produced exactly identical tables.
+    pub identical: bool,
+}
+
+/// Renders the `BENCH_table2.json` document (hand-rolled writer; the
+/// workspace is offline and carries no serde). Schema is documented in
+/// the repository README.
+pub fn render_bench_json(b: &Table2Bench) -> String {
+    fn run_json(out: &mut String, key: &str, r: &Table2Run) {
+        let c = &r.perf.counters;
+        write!(
+            out,
+            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {} }}\n  }}",
+            r.wall_s, r.workers, r.unique_ops, r.perf.compile_ms,
+            c.lp_solves, c.ilp_solves, c.ilp_nodes, c.fm_eliminations
+        )
+        .unwrap();
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"bench\": \"table2\",").unwrap();
+    writeln!(out, "  \"cores\": {},", b.cores).unwrap();
+    writeln!(
+        out,
+        "  \"speedup\": {:.3},",
+        if b.parallel.wall_s > 0.0 {
+            b.serial.wall_s / b.parallel.wall_s
+        } else {
+            1.0
+        }
+    )
+    .unwrap();
+    writeln!(out, "  \"identical\": {},", b.identical).unwrap();
+    run_json(&mut out, "serial", &b.serial);
+    out.push_str(",\n");
+    run_json(&mut out, "parallel", &b.parallel);
+    out.push_str(",\n  \"networks\": [\n");
+    for (i, m) in b.parallel.results.iter().enumerate() {
+        write!(
+            out,
+            "    {{ \"name\": \"{}\", \"total_ops\": {}, \"vec_ops\": {}, \"infl_ops\": {}, \"isl_ms\": {:.6}, \"infl_ms\": {:.6}, \"speedup_infl\": {:.4} }}{}",
+            m.name, m.total_ops, m.vec_ops, m.infl_ops,
+            m.all_ms[0], m.all_ms[3],
+            m.speedup_all(Tool::Infl),
+            if i + 1 < b.parallel.results.len() { ",\n" } else { "\n" }
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders measured results as a paper-style Table II, with the paper's
 /// speedups alongside for comparison.
 pub fn render_table2(results: &[NetworkMeasurement]) -> String {
     let mut out = String::new();
-    writeln!(out, "TABLE II — FUSED OPERATORS EXECUTION TIMES (simulated V100)").unwrap();
+    writeln!(
+        out,
+        "TABLE II — FUSED OPERATORS EXECUTION TIMES (simulated V100)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} | {:>5} {:>4} {:>5} | {:>9} {:>9} {:>9} {:>9} | {:>5} {:>6} {:>5} | {:>5} {:>6} {:>5} | paper(tvm/novec/infl)",
@@ -93,7 +265,16 @@ pub fn render_table2(results: &[NetworkMeasurement]) -> String {
     )
     .unwrap();
     let paper = paper_table2();
-    for (m, p) in results.iter().zip(&paper) {
+    for m in results {
+        // Match the paper row by name so subset runs (e.g. `--fast`)
+        // still line up with the right reference speedups.
+        const UNKNOWN: PaperRow = PaperRow {
+            name: "",
+            counts: [0; 3],
+            speedups_all: [0.0; 3],
+            speedups_infl: [0.0; 3],
+        };
+        let p = paper.iter().find(|p| p.name == m.name).unwrap_or(&UNKNOWN);
         writeln!(
             out,
             "{:<12} | {:>5} {:>4} {:>5} | {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>5.2} {:>6.2} {:>5.2} | {:>5.2} {:>6.2} {:>5.2} | {:.2}/{:.2}/{:.2}",
@@ -149,6 +330,46 @@ mod tests {
             assert_eq!(p.name, n.name);
             assert_eq!(p.counts[0], n.ops.len(), "{}", n.name);
         }
+    }
+
+    #[test]
+    fn bench_json_contains_schema_fields() {
+        let empty = |workers| Table2Run {
+            results: vec![],
+            wall_s: 1.5,
+            workers,
+            unique_ops: 0,
+            perf: OpPerf::default(),
+        };
+        let b = Table2Bench {
+            cores: 4,
+            serial: empty(1),
+            parallel: Table2Run {
+                wall_s: 0.5,
+                ..empty(4)
+            },
+            identical: true,
+        };
+        let json = render_bench_json(&b);
+        for key in [
+            "\"bench\": \"table2\"",
+            "\"cores\": 4",
+            "\"speedup\": 3.000",
+            "\"identical\": true",
+            "\"serial\"",
+            "\"parallel\"",
+            "\"wall_s\"",
+            "\"workers\": 4",
+            "\"unique_ops\"",
+            "\"solver\"",
+            "\"lp_solves\"",
+            "\"fm_eliminations\"",
+            "\"networks\": [",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -15,8 +15,14 @@ fn fig2c_golden_structure() {
     let x_pos = text.find("X: B[c0][c1]").expect("X body present");
     let vec_pos = text.find("forvec").expect("vector loop present");
     let y_pos = text.find("Y: C[c0][c2]").expect("Y body present");
-    assert!(x_pos < vec_pos && vec_pos < y_pos, "X before forvec before Y:\n{text}");
-    assert!(text.contains("D[c1][c0][c2]"), "D accessed stride-1 on the vector loop");
+    assert!(
+        x_pos < vec_pos && vec_pos < y_pos,
+        "X before forvec before Y:\n{text}"
+    );
+    assert!(
+        text.contains("D[c1][c0][c2]"),
+        "D accessed stride-1 on the vector loop"
+    );
     assert_eq!(text.matches("forvec").count(), 1);
 }
 

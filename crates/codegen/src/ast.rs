@@ -104,8 +104,18 @@ pub struct LoopNode {
 impl LoopNode {
     /// Concrete inclusive range at given outer values: `(lo, hi)`.
     pub fn range(&self, outer: &[i128]) -> (i128, i128) {
-        let lo = self.lowers.iter().map(|b| b.eval_lower(outer)).max().expect("lower bound");
-        let hi = self.uppers.iter().map(|b| b.eval_upper(outer)).min().expect("upper bound");
+        let lo = self
+            .lowers
+            .iter()
+            .map(|b| b.eval_lower(outer))
+            .max()
+            .expect("lower bound");
+        let hi = self
+            .uppers
+            .iter()
+            .map(|b| b.eval_upper(outer))
+            .min()
+            .expect("upper bound");
         (lo, hi)
     }
 
@@ -245,7 +255,10 @@ mod tests {
     #[test]
     fn bound_rounding() {
         // t/2 as lower: ceil; as upper: floor.
-        let b = Bound { expr: LinExpr::from_coeffs(&[1], 1), divisor: 2 };
+        let b = Bound {
+            expr: LinExpr::from_coeffs(&[1], 1),
+            divisor: 2,
+        };
         assert_eq!(b.eval_lower(&[2]), 2); // ceil(3/2)
         assert_eq!(b.eval_upper(&[2]), 1); // floor(3/2)
     }
@@ -255,8 +268,14 @@ mod tests {
         let l = LoopNode {
             dim: 0,
             var: "c0".into(),
-            lowers: vec![Bound { expr: LinExpr::from_coeffs(&[0], 0), divisor: 1 }],
-            uppers: vec![Bound { expr: LinExpr::from_coeffs(&[1], -1), divisor: 1 }],
+            lowers: vec![Bound {
+                expr: LinExpr::from_coeffs(&[0], 0),
+                divisor: 1,
+            }],
+            uppers: vec![Bound {
+                expr: LinExpr::from_coeffs(&[1], -1),
+                divisor: 1,
+            }],
             kind: LoopKind::Seq,
             step: 1,
             body: vec![],
@@ -264,7 +283,10 @@ mod tests {
         // Space: [N]; range 0..=N-1.
         assert_eq!(l.range(&[8]), (0, 7));
         assert_eq!(l.trip_count(&[8]), 8);
-        let tiled = LoopNode { step: 3, ..l.clone() };
+        let tiled = LoopNode {
+            step: 3,
+            ..l.clone()
+        };
         assert_eq!(tiled.trip_count(&[8]), 3); // 0, 3, 6
         assert_eq!(tiled.values(&[8]).collect::<Vec<_>>(), vec![0, 3, 6]);
     }

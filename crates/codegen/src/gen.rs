@@ -90,7 +90,11 @@ impl GenStmt {
         let n_params = kernel.n_params();
         let ss = schedule.stmt(id);
         assert_eq!(ss.depth(), depth, "uniform schedule depth expected");
-        assert!(ss.iter_rank() >= n_iters, "incomplete schedule for {}", stmt.name());
+        assert!(
+            ss.iter_rank() >= n_iters,
+            "incomplete schedule for {}",
+            stmt.name()
+        );
 
         // Space: [t (depth), iters (n_iters), params].
         let big = depth + n_iters + n_params;
@@ -122,8 +126,11 @@ impl GenStmt {
                 "iterator survived elimination"
             );
             let e = LinExpr::from_rat_coeffs(coeffs, c.expr().constant_term());
-            let nc =
-                if c.is_equality() { Constraint::eq0(e) } else { Constraint::ge0(e) };
+            let nc = if c.is_equality() {
+                Constraint::eq0(e)
+            } else {
+                Constraint::ge0(e)
+            };
             time_poly.add(nc);
         }
 
@@ -177,7 +184,12 @@ fn recover_iterators(
             selected.push(d);
         }
     }
-    assert_eq!(selected.len(), n_iters, "schedule not invertible for {}", stmt.name());
+    assert_eq!(
+        selected.len(),
+        n_iters,
+        "schedule not invertible for {}",
+        stmt.name()
+    );
     // Solve H·i = rhs_d for each selected dim: i = H⁻¹·rhs where
     // rhs_d = t_d - G_d·p - f_d.
     // Build H⁻¹ column by column via exact solves.
@@ -250,8 +262,10 @@ impl Generator<'_> {
             .iter()
             .filter(|s| s.row_const(self.schedule, d).is_some())
             .collect();
-        let loops: Vec<&GenStmt> =
-            stmts.iter().filter(|s| s.row_const(self.schedule, d).is_none()).collect();
+        let loops: Vec<&GenStmt> = stmts
+            .iter()
+            .filter(|s| s.row_const(self.schedule, d).is_none())
+            .collect();
 
         if loops.is_empty() {
             // Pure scalar dimension: partition by constant value.
@@ -310,8 +324,10 @@ impl Generator<'_> {
             return vec![stmts.to_vec()];
         }
         let elim: Vec<usize> = (d + 1..self.depth).collect();
-        let projs: Vec<ConstraintSet> =
-            stmts.iter().map(|s| eliminate_vars(&s.time_poly, &elim)).collect();
+        let projs: Vec<ConstraintSet> = stmts
+            .iter()
+            .map(|s| eliminate_vars(&s.time_poly, &elim))
+            .collect();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {
             if parent[x] != x {
@@ -405,10 +421,14 @@ impl Generator<'_> {
                 hi = hi.max(self.extreme_date(&proj, d, true));
             }
             assert!(lo <= hi, "empty union loop range at dim {d}");
-            shared_lowers =
-                vec![Bound { expr: LinExpr::constant(self.gspace, lo), divisor: 1 }];
-            shared_uppers =
-                vec![Bound { expr: LinExpr::constant(self.gspace, hi), divisor: 1 }];
+            shared_lowers = vec![Bound {
+                expr: LinExpr::constant(self.gspace, lo),
+                divisor: 1,
+            }];
+            shared_uppers = vec![Bound {
+                expr: LinExpr::constant(self.gspace, hi),
+                divisor: 1,
+            }];
         }
         let mut body_stmts: Vec<GenStmt> = Vec::new();
         for (s, (lo, up)) in loops.iter().zip(&per_stmt) {
@@ -428,7 +448,11 @@ impl Generator<'_> {
         }
         body_stmts.extend(inside);
         let flags = self.schedule.flags().get(d).copied().unwrap_or_default();
-        let kind = if flags.parallel { LoopKind::Parallel } else { LoopKind::Seq };
+        let kind = if flags.parallel {
+            LoopKind::Parallel
+        } else {
+            LoopKind::Seq
+        };
         let body = self.generate(body_stmts, d + 1);
         AstNode::Loop(LoopNode {
             dim: d,
@@ -452,9 +476,15 @@ impl Generator<'_> {
             // Normalize divisor to an integer (bounds_for_var yields the
             // raw coefficient, integer by construction).
             let div = div.to_integer().expect("integer divisor");
-            Bound { expr: e.clone(), divisor: div }
+            Bound {
+                expr: e.clone(),
+                divisor: div,
+            }
         };
-        (vb.lowers.iter().map(conv).collect(), vb.uppers.iter().map(conv).collect())
+        (
+            vb.lowers.iter().map(conv).collect(),
+            vb.uppers.iter().map(conv).collect(),
+        )
     }
 
     /// Decides where a constant-row statement sits relative to a loop at
@@ -509,7 +539,10 @@ impl Generator<'_> {
         let ra = self.schedule.stmt(a.id);
         let rb = self.schedule.stmt(b.id);
         for dd in d + 1..self.depth {
-            match (a.row_const(self.schedule, dd), b.row_const(self.schedule, dd)) {
+            match (
+                a.row_const(self.schedule, dd),
+                b.row_const(self.schedule, dd),
+            ) {
                 (Some(x), Some(y)) if x != y => return x < y,
                 (Some(_), Some(_)) => continue,
                 _ => return false, // undecidable syntactically

@@ -30,12 +30,12 @@ mod printer;
 mod tiling;
 
 pub use ast::{Ast, AstNode, Bound, LoopKind, LoopNode, StmtNode};
+pub use cuda::render_cuda;
 pub use gen::generate_ast;
 pub use passes::{
     access_offset_expr, access_stride_along, loop_extent, map_to_gpu, mapping_stats,
     refine_parallel_loops, vectorize, MappingOptions, MappingStats,
 };
 pub use pipeline::{compile, Compiled, Config};
-pub use cuda::render_cuda;
 pub use printer::render;
 pub use tiling::{auto_tile_size, tile_ast, TilingOptions};

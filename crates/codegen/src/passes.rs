@@ -20,7 +20,11 @@ pub struct MappingOptions {
 
 impl Default for MappingOptions {
     fn default() -> MappingOptions {
-        MappingOptions { max_threads: 1024, max_thread_axes: 2, max_block_axes: 3 }
+        MappingOptions {
+            max_threads: 1024,
+            max_thread_axes: 2,
+            max_block_axes: 3,
+        }
     }
 }
 
@@ -209,7 +213,10 @@ fn vectorize_node(
     // All leaves must be influence-marked for this dimension, and the
     // loop itself must be dependence-free (parallel after refinement) —
     // wide loads/stores reorder its iterations.
-    if !leaves.iter().all(|s| schedule.vector_dim(s.stmt) == Some(l.dim)) {
+    if !leaves
+        .iter()
+        .all(|s| schedule.vector_dim(s.stmt) == Some(l.dim))
+    {
         return count;
     }
     if l.kind != LoopKind::Parallel {
@@ -244,9 +251,7 @@ fn vectorize_node(
         for s in &leaves {
             for a in kernel.statement(s.stmt).reads() {
                 for (wt, woff) in &written {
-                    if a.tensor() == *wt
-                        && access_offset_expr(kernel, s, a, &pvals) != *woff
-                    {
+                    if a.tensor() == *wt && access_offset_expr(kernel, s, a, &pvals) != *woff {
                         return count;
                     }
                 }
@@ -254,8 +259,12 @@ fn vectorize_node(
         }
     }
     // Width: largest supported width dividing the trip count.
-    let Some(extent) = loop_extent(l, params) else { return count };
-    let width = [4i64, 2].into_iter().find(|w| extent >= *w && extent % w == 0);
+    let Some(extent) = loop_extent(l, params) else {
+        return count;
+    };
+    let width = [4i64, 2]
+        .into_iter()
+        .find(|w| extent >= *w && extent % w == 0);
     let Some(w) = width else { return count };
     l.kind = LoopKind::Vector(w as u8);
     count + 1

@@ -88,7 +88,12 @@ pub fn compile(kernel: &Kernel, config: Config) -> Result<Compiled, ScheduleErro
         0
     };
     map_to_gpu(&mut ast, kernel, MappingOptions::default());
-    Ok(Compiled { schedule: result.schedule, ast, influenced: result.influenced, vector_loops })
+    Ok(Compiled {
+        schedule: result.schedule,
+        ast,
+        influenced: result.influenced,
+        vector_loops,
+    })
 }
 
 #[cfg(test)]
@@ -113,7 +118,11 @@ mod tests {
         let c = compile(&kernel, Config::NoVec).unwrap();
         assert!(c.influenced);
         assert_eq!(c.vector_loops, 0);
-        assert!(c.ast.loops().iter().all(|l| l.kind.vector_width().is_none()));
+        assert!(c
+            .ast
+            .loops()
+            .iter()
+            .all(|l| l.kind.vector_width().is_none()));
     }
 
     #[test]

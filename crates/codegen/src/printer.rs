@@ -46,13 +46,7 @@ pub(crate) fn var_names(ast: &Ast, kernel: &Kernel) -> Vec<String> {
     names
 }
 
-fn render_node(
-    node: &AstNode,
-    kernel: &Kernel,
-    names: &[String],
-    indent: usize,
-    out: &mut String,
-) {
+fn render_node(node: &AstNode, kernel: &Kernel, names: &[String], indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match node {
         AstNode::Loop(l) => {
@@ -79,13 +73,7 @@ fn render_node(
     }
 }
 
-fn render_stmt(
-    s: &StmtNode,
-    kernel: &Kernel,
-    names: &[String],
-    pad: &str,
-    out: &mut String,
-) {
+fn render_stmt(s: &StmtNode, kernel: &Kernel, names: &[String], pad: &str, out: &mut String) {
     let stmt = kernel.statement(s.stmt);
     let mut guard_prefix = String::new();
     if !s.guards.is_empty() {
@@ -130,12 +118,7 @@ pub(crate) fn compose_access(
     s
 }
 
-fn compose(
-    idx: &LinExpr,
-    node: &StmtNode,
-    stmt: &Statement,
-    kernel: &Kernel,
-) -> LinExpr {
+fn compose(idx: &LinExpr, node: &StmtNode, stmt: &Statement, kernel: &Kernel) -> LinExpr {
     let gspace = node
         .iter_exprs
         .first()
@@ -227,18 +210,30 @@ mod tests {
         let kernel = ops::running_example(8);
         let ast = generate_ast(&kernel, &Schedule::identity(&kernel));
         let text = render(&ast, &kernel);
-        assert!(text.contains("X: B[c1][c2] = (2.0f * A[c1][c2]);"), "{text}");
-        assert!(text.contains("Y: C[c1][c2] = (C[c1][c2] + (B[c1][c3] * D[c3][c1][c2]));"), "{text}");
+        assert!(
+            text.contains("X: B[c1][c2] = (2.0f * A[c1][c2]);"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Y: C[c1][c2] = (C[c1][c2] + (B[c1][c3] * D[c3][c1][c2]));"),
+            "{text}"
+        );
         assert!(text.contains("c1 <= N - 1"), "{text}");
     }
 
     #[test]
     fn bounds_render_with_divisors() {
-        let b = Bound { expr: LinExpr::from_coeffs(&[1, 0], -1), divisor: 2 };
+        let b = Bound {
+            expr: LinExpr::from_coeffs(&[1, 0], -1),
+            divisor: 2,
+        };
         assert_eq!(
             render_bound_list(std::slice::from_ref(&b), &["a".into(), "b".into()], true),
             "ceil(a - 1, 2)"
         );
-        assert_eq!(render_bound_list(&[b], &["a".into(), "b".into()], false), "floor(a - 1, 2)");
+        assert_eq!(
+            render_bound_list(&[b], &["a".into(), "b".into()], false),
+            "floor(a - 1, 2)"
+        );
     }
 }

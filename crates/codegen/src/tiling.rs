@@ -40,7 +40,11 @@ pub struct TilingOptions {
 
 impl Default for TilingOptions {
     fn default() -> TilingOptions {
-        TilingOptions { tile_size: 32, min_extent: 64, max_tiled_loops: 2 }
+        TilingOptions {
+            tile_size: 32,
+            min_extent: 64,
+            max_tiled_loops: 2,
+        }
     }
 }
 
@@ -76,12 +80,7 @@ pub fn auto_tile_size(extent: i64, preferred: i64) -> i64 {
 /// let n = tile_ast(&mut c.ast, &kernel, &c.schedule, TilingOptions::default());
 /// assert!(n > 0);
 /// ```
-pub fn tile_ast(
-    ast: &mut Ast,
-    kernel: &Kernel,
-    schedule: &Schedule,
-    opts: TilingOptions,
-) -> usize {
+pub fn tile_ast(ast: &mut Ast, kernel: &Kernel, schedule: &Schedule, opts: TilingOptions) -> usize {
     let params: Vec<i128> = kernel.param_defaults().iter().map(|&v| v as i128).collect();
     let mut count = 0;
     for root in &mut ast.roots {
@@ -111,7 +110,9 @@ fn tile_node(
             strip_mine(l, t);
             count += 1;
             // Recurse into the *point* loop's body (skip re-tiling it).
-            let AstNode::Loop(point) = &mut l.body[0] else { unreachable!() };
+            let AstNode::Loop(point) = &mut l.body[0] else {
+                unreachable!()
+            };
             for c in &mut point.body {
                 count += tile_node(c, schedule, params, opts, tiled_so_far + count);
             }
@@ -150,11 +151,17 @@ fn strip_mine(l: &mut LoopNode, tile: i64) {
     let mut base_plus = base.clone();
     base_plus.set_constant(Rat::int((tile - 1) as i128));
     let mut point_uppers = l.uppers.clone();
-    point_uppers.push(Bound { expr: base_plus, divisor: 1 });
+    point_uppers.push(Bound {
+        expr: base_plus,
+        divisor: 1,
+    });
     let point = LoopNode {
         dim: l.dim,
         var: format!("{}p", l.var),
-        lowers: vec![Bound { expr: base, divisor: 1 }],
+        lowers: vec![Bound {
+            expr: base,
+            divisor: 1,
+        }],
         uppers: point_uppers,
         kind: l.kind,
         step: 1,
@@ -214,7 +221,11 @@ mod tests {
                 &mut tiled,
                 &kernel,
                 &compiled.schedule,
-                TilingOptions { tile_size: 16, min_extent: 32, max_tiled_loops: 3 },
+                TilingOptions {
+                    tile_size: 16,
+                    min_extent: 32,
+                    max_tiled_loops: 3,
+                },
             );
             assert!(n > 0, "{} tiled", kernel.name());
             // Compare tiled vs untiled execution directly.
@@ -237,7 +248,10 @@ mod tests {
             &mut ast,
             &kernel,
             &c.schedule,
-            TilingOptions { min_extent: 16, ..TilingOptions::default() },
+            TilingOptions {
+                min_extent: 16,
+                ..TilingOptions::default()
+            },
         );
         let params = vec![];
         let mut a = seed(&kernel, &params);
@@ -277,12 +291,7 @@ mod tests {
 
     /// Minimal interpreter clone (gpusim depends on codegen, so codegen
     /// tests carry their own tiny executor).
-    fn crate_exec(
-        ast: &Ast,
-        kernel: &polyject_ir::Kernel,
-        bufs: &mut [Vec<f32>],
-        params: &[i64],
-    ) {
+    fn crate_exec(ast: &Ast, kernel: &polyject_ir::Kernel, bufs: &mut [Vec<f32>], params: &[i64]) {
         let width = ast
             .statements()
             .iter()

@@ -80,6 +80,40 @@ pub struct ScheduleStats {
     pub scc_separations: usize,
     /// Dimensions produced by the Feautrier fallback strategy.
     pub feautrier_dims: usize,
+    /// Exact simplex solves performed (LP relaxations, feasibility and
+    /// redundancy tests), from the solver's own counters.
+    pub lp_solves: u64,
+    /// Branch-and-bound nodes explored across all ILP solves.
+    pub ilp_nodes: u64,
+    /// Fourier–Motzkin variable eliminations (Farkas-multiplier
+    /// projection, redundancy pruning).
+    pub fm_eliminations: u64,
+    /// Per-dimension constraint systems served from the assemble cache
+    /// instead of being rebuilt (ladder retries at an unchanged schedule).
+    pub assemble_cache_hits: usize,
+}
+
+impl ScheduleStats {
+    /// Folds a solver-counter delta (captured around schedule
+    /// construction) into these stats.
+    pub fn absorb_solver_delta(&mut self, d: &polyject_sets::SolverCounters) {
+        self.lp_solves += d.lp_solves;
+        self.ilp_nodes += d.ilp_nodes;
+        self.fm_eliminations += d.fm_eliminations;
+    }
+
+    /// Merges another run's stats into these (used when the uninfluenced
+    /// fallback re-runs the driver).
+    fn merge(&mut self, other: &ScheduleStats) {
+        self.ilp_solves += other.ilp_solves;
+        self.tree_backtracks += other.tree_backtracks;
+        self.scc_separations += other.scc_separations;
+        self.feautrier_dims += other.feautrier_dims;
+        self.lp_solves += other.lp_solves;
+        self.ilp_nodes += other.ilp_nodes;
+        self.fm_eliminations += other.fm_eliminations;
+        self.assemble_cache_hits += other.assemble_cache_hits;
+    }
 }
 
 /// A constructed schedule plus provenance information.
@@ -108,13 +142,18 @@ pub fn schedule_kernel(
     tree: &InfluenceTree,
     opts: SchedulerOptions,
 ) -> Result<ScheduleResult, ScheduleError> {
+    let before = polyject_sets::counters::snapshot();
     let mut driver = Driver::new(kernel, deps, tree, opts);
     match driver.run() {
-        Ok(schedule) => Ok(ScheduleResult {
-            schedule,
-            influenced: driver.influenced,
-            stats: driver.stats,
-        }),
+        Ok(schedule) => {
+            let mut stats = driver.stats;
+            stats.absorb_solver_delta(&polyject_sets::counters::snapshot().delta_since(&before));
+            Ok(ScheduleResult {
+                schedule,
+                influenced: driver.influenced,
+                stats,
+            })
+        }
         Err(e) => {
             if !tree.is_empty() {
                 // Ultimate fallback: no influence at all.
@@ -122,8 +161,14 @@ pub fn schedule_kernel(
                 let mut plain = Driver::new(kernel, deps, &empty, opts);
                 let schedule = plain.run()?;
                 let mut stats = driver.stats;
-                stats.ilp_solves += plain.stats.ilp_solves;
-                Ok(ScheduleResult { schedule, influenced: false, stats })
+                stats.merge(&plain.stats);
+                stats
+                    .absorb_solver_delta(&polyject_sets::counters::snapshot().delta_since(&before));
+                Ok(ScheduleResult {
+                    schedule,
+                    influenced: false,
+                    stats,
+                })
             } else {
                 Err(e)
             }
@@ -143,6 +188,16 @@ struct Driver<'a> {
     objectives: Vec<polyject_sets::LinExpr>,
     influenced: bool,
     stats: ScheduleStats,
+    /// Bumped whenever the schedule prefix changes (dimension appended,
+    /// rows truncated by backtracking, SCC separation). Keys both caches
+    /// below; retries of the failure ladder at an unchanged schedule are
+    /// the common case and hit them.
+    sched_version: u64,
+    /// Progression constraints for the current schedule version.
+    prog_cache: Option<(u64, ConstraintSet)>,
+    /// Fully assembled system minus the node constraints, keyed by
+    /// (schedule version, use_progression, remaining dependence set).
+    base_cache: Option<(u64, bool, BTreeSet<usize>, ConstraintSet)>,
 }
 
 impl<'a> Driver<'a> {
@@ -187,6 +242,9 @@ impl<'a> Driver<'a> {
             objectives,
             influenced: false,
             stats: ScheduleStats::default(),
+            sched_version: 0,
+            prog_cache: None,
+            base_cache: None,
         }
     }
 
@@ -245,11 +303,10 @@ impl<'a> Driver<'a> {
                 let sys = self.assemble(&schedule, &remaining, node, use_progression);
                 self.stats.ilp_solves += 1;
                 let objectives = self.objectives_for(node);
-                if let IlpOutcome::Optimal { point, .. } =
-                    lexmin_integer(&objectives, &sys)
-                {
+                if let IlpOutcome::Optimal { point, .. } = lexmin_integer(&objectives, &sys) {
                     deep_mark = None;
                     self.append_dimension(&mut schedule, &point, node, &remaining, d);
+                    self.sched_version += 1;
                     let band = prev_dim_deps.as_ref() == Some(&remaining);
                     if band {
                         let fl = schedule.flags_mut();
@@ -316,6 +373,7 @@ impl<'a> Driver<'a> {
                             schedule.stmt_mut(StmtId(i)).truncate(nd);
                         }
                         schedule.flags_mut().truncate(nd);
+                        self.sched_version += 1;
                         self.stats.tree_backtracks += 1;
                         prev_dim_deps = None;
                         continue 'retry;
@@ -324,11 +382,10 @@ impl<'a> Driver<'a> {
                 // (4b) Feautrier fallback: a dimension strongly
                 // satisfying as many remaining dependences as possible.
                 if self.opts.feautrier_fallback {
-                    if let Some((point, satisfied)) =
-                        self.try_feautrier(&schedule, &remaining)
-                    {
+                    if let Some((point, satisfied)) = self.try_feautrier(&schedule, &remaining) {
                         if !satisfied.is_empty() {
                             self.append_dimension(&mut schedule, &point, None, &remaining, d);
+                            self.sched_version += 1;
                             let rem_vec: Vec<usize> = remaining.iter().copied().collect();
                             for &s_idx in &satisfied {
                                 remaining.remove(&rem_vec[s_idx]);
@@ -350,6 +407,7 @@ impl<'a> Driver<'a> {
                 if let Some((md, msched, mrem, mnode)) = deep_mark.take() {
                     if md > d {
                         schedule = msched;
+                        self.sched_version += 1;
                         remaining = mrem;
                         node = mnode;
                         d = md;
@@ -385,9 +443,10 @@ impl<'a> Driver<'a> {
                     i as i128,
                 ));
             }
-            schedule
-                .flags_mut()
-                .push(DimFlags { scalar: true, ..DimFlags::default() });
+            schedule.flags_mut().push(DimFlags {
+                scalar: true,
+                ..DimFlags::default()
+            });
         }
         Ok(schedule)
     }
@@ -408,23 +467,43 @@ impl<'a> Driver<'a> {
         objs
     }
 
+    /// Progression constraints for the current schedule, cached per
+    /// schedule version (rebuilding them dominates ladder retries that
+    /// leave the schedule untouched).
+    fn progression(&mut self, schedule: &Schedule) -> &ConstraintSet {
+        if self.prog_cache.as_ref().map(|(v, _)| *v) != Some(self.sched_version) {
+            let all: Vec<StmtId> = (0..self.kernel.statements().len()).map(StmtId).collect();
+            let cs = progression_constraints(self.kernel, schedule, &self.layout, &all);
+            self.prog_cache = Some((self.sched_version, cs));
+        }
+        &self.prog_cache.as_ref().expect("just filled").1
+    }
+
     fn assemble(
-        &self,
+        &mut self,
         schedule: &Schedule,
         remaining: &BTreeSet<usize>,
         node: Option<NodeId>,
         use_progression: bool,
     ) -> ConstraintSet {
-        let mut sys = self.bounds_cs.clone();
-        if use_progression {
-            let all: Vec<StmtId> =
-                (0..self.kernel.statements().len()).map(StmtId).collect();
-            sys.intersect(&progression_constraints(self.kernel, schedule, &self.layout, &all));
+        let fresh = !self.base_cache.as_ref().is_some_and(|(v, p, rem, _)| {
+            *v == self.sched_version && *p == use_progression && rem == remaining
+        });
+        if fresh {
+            let mut sys = self.bounds_cs.clone();
+            if use_progression {
+                self.progression(schedule);
+                sys.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
+            }
+            for &i in remaining {
+                sys.intersect(&self.val_cache[i]);
+                sys.intersect(&self.bound_cache[i]);
+            }
+            self.base_cache = Some((self.sched_version, use_progression, remaining.clone(), sys));
+        } else {
+            self.stats.assemble_cache_hits += 1;
         }
-        for &i in remaining {
-            sys.intersect(&self.val_cache[i]);
-            sys.intersect(&self.bound_cache[i]);
-        }
+        let mut sys = self.base_cache.as_ref().expect("just filled").3.clone();
         if let Some(n) = node {
             sys.intersect(&self.tree.node(n).constraints);
         }
@@ -457,12 +536,12 @@ impl<'a> Driver<'a> {
             }
             schedule.stmt_mut(sid).push(row);
         }
-        let parallel = dim_is_coincident(
-            remaining.iter().map(|&i| self.validity[i]),
-            schedule,
-            d,
-        );
-        let mut flags = DimFlags { parallel, scalar: all_scalar, ..DimFlags::default() };
+        let parallel = dim_is_coincident(remaining.iter().map(|&i| self.validity[i]), schedule, d);
+        let mut flags = DimFlags {
+            parallel,
+            scalar: all_scalar,
+            ..DimFlags::default()
+        };
         if let Some(n) = node {
             for &s in &self.tree.node(n).vector_stmts {
                 schedule.set_vector_dim(s, d);
@@ -481,14 +560,13 @@ impl<'a> Driver<'a> {
         schedule: &Schedule,
         remaining: &BTreeSet<usize>,
     ) -> Option<(Vec<i128>, Vec<usize>)> {
-        let rels: Vec<&DepRelation> =
-            remaining.iter().map(|&i| self.validity[i]).collect();
+        let rels: Vec<&DepRelation> = remaining.iter().map(|&i| self.validity[i]).collect();
         if rels.is_empty() {
             return None;
         }
         let mut base = self.bounds_cs.clone();
-        let all: Vec<StmtId> = (0..self.kernel.statements().len()).map(StmtId).collect();
-        base.intersect(&progression_constraints(self.kernel, schedule, &self.layout, &all));
+        self.progression(schedule);
+        base.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
         let prob = crate::feautrier::FeautrierProblem::build(
             &rels,
             &self.layout,
@@ -535,17 +613,17 @@ impl<'a> Driver<'a> {
                 component[i] as i128,
             ));
         }
-        schedule
-            .flags_mut()
-            .push(DimFlags { scalar: true, ..DimFlags::default() });
+        schedule.flags_mut().push(DimFlags {
+            scalar: true,
+            ..DimFlags::default()
+        });
+        self.sched_version += 1;
         self.stats.scc_separations += 1;
         let before = remaining.len();
         remaining.retain(|&i| !is_strongly_satisfied(self.validity[i], schedule));
         if remaining.len() == before && before > 0 {
             // Separation made no progress; avoid spinning forever.
-            return Err(ScheduleError(
-                "SCC separation made no progress".into(),
-            ));
+            return Err(ScheduleError("SCC separation made no progress".into()));
         }
         Ok(true)
     }
@@ -560,8 +638,13 @@ mod tests {
 
     fn plain_schedule(kernel: &Kernel) -> ScheduleResult {
         let deps = compute_dependences(kernel, DepOptions::default());
-        schedule_kernel(kernel, &deps, &InfluenceTree::new(), SchedulerOptions::default())
-            .expect("schedulable")
+        schedule_kernel(
+            kernel,
+            &deps,
+            &InfluenceTree::new(),
+            SchedulerOptions::default(),
+        )
+        .expect("schedulable")
     }
 
     #[test]
@@ -608,8 +691,7 @@ mod tests {
         assert!(schedule_respects(v.iter().copied(), &res.schedule));
         // The reduction carries a dependence along j: not every dimension
         // can be parallel.
-        let loop_dims: Vec<_> =
-            res.schedule.flags().iter().filter(|f| !f.scalar).collect();
+        let loop_dims: Vec<_> = res.schedule.flags().iter().filter(|f| !f.scalar).collect();
         assert!(loop_dims.iter().any(|f| !f.parallel));
         assert!(loop_dims.iter().any(|f| f.parallel));
     }
@@ -634,14 +716,15 @@ mod tests {
         let n = layout.n_vars();
         let mut impossible = ConstraintSet::universe(n);
         let v = layout.iter_coeff(StmtId(0), 0);
-        impossible.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, v)));
+        impossible.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(
+            n, v,
+        )));
         let mut e = polyject_sets::LinExpr::var(n, v);
         e.set_constant(-1i128);
         impossible.add(polyject_sets::Constraint::eq0(e));
         let mut tree = InfluenceTree::new();
         tree.add_root(impossible, "impossible");
-        let res =
-            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        let res = schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
         assert!(!res.influenced);
         assert_eq!(res.schedule.stmt(StmtId(0)).iter_rank(), 2);
     }
@@ -660,21 +743,28 @@ mod tests {
         // Depth 0 keeps "i" for the inner dimension (as the optimizer's
         // scenario translation does), depth 1 pins the row to "i".
         let mut keep = ConstraintSet::universe(n);
-        keep.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, vi)));
+        keep.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(
+            n, vi,
+        )));
         let root = tree.add_root(keep, "reserve i");
         let mut pin = ConstraintSet::universe(n);
         let mut e = polyject_sets::LinExpr::var(n, vi);
         e.set_constant(-1i128);
         pin.add(polyject_sets::Constraint::eq0(e)); // c_i == 1
-        pin.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(n, vj))); // c_j == 0
+        pin.add(polyject_sets::Constraint::eq0(polyject_sets::LinExpr::var(
+            n, vj,
+        ))); // c_j == 0
         let child = tree.add_child(root, pin, "inner = i");
         tree.mark_vector(child, StmtId(0));
-        let res =
-            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        let res = schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
         assert!(res.influenced);
         let rows = res.schedule.stmt(StmtId(0)).rows();
         assert_eq!(rows[1].iter_coeffs, vec![1, 0], "dim 1 pinned to i");
-        assert_eq!(rows[0].iter_coeffs, vec![0, 1], "dim 0 takes the other iterator");
+        assert_eq!(
+            rows[0].iter_coeffs,
+            vec![0, 1],
+            "dim 0 takes the other iterator"
+        );
         assert_eq!(res.schedule.vector_dim(StmtId(0)), Some(1));
         assert!(res.schedule.flags()[1].vector);
     }
@@ -684,6 +774,28 @@ mod tests {
         let kernel = ops::running_example(8);
         let res = plain_schedule(&kernel);
         assert!(res.stats.ilp_solves >= 1);
+        // The solver-counter deltas were absorbed: building a schedule
+        // takes LP solves, branch-and-bound nodes and (for the Farkas
+        // systems) Fourier–Motzkin eliminations.
+        assert!(res.stats.lp_solves >= 1);
+        assert!(res.stats.ilp_nodes >= 1);
+        assert!(res.stats.fm_eliminations >= 1);
+    }
+
+    #[test]
+    fn assemble_cache_preserves_schedules() {
+        // The assemble/progression caches are keyed by schedule version;
+        // results must be identical to rebuilding every system, and
+        // repeated runs deterministic.
+        for kernel in [
+            ops::running_example(16),
+            ops::reduce_rows(16, 16),
+            ops::elementwise_chain(64, 4),
+        ] {
+            let a = plain_schedule(&kernel);
+            let b = plain_schedule(&kernel);
+            assert_eq!(a.schedule.render(&kernel), b.schedule.render(&kernel));
+        }
     }
 }
 
@@ -708,8 +820,7 @@ mod objective_tests {
         let mut penalty = LinExpr::zero(n);
         penalty.set_coeff(layout.iter_coeff(StmtId(0), 0), 1000);
         tree.add_objective(root, penalty);
-        let res =
-            schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
+        let res = schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
         let rows = res.schedule.stmt(StmtId(0)).rows();
         assert_eq!(rows[0].iter_coeffs, vec![0, 1], "dim 0 avoids i");
         assert_eq!(rows[1].iter_coeffs, vec![1, 0]);
@@ -719,9 +830,13 @@ mod objective_tests {
     fn nodes_without_objectives_are_unchanged() {
         let kernel = ops::transpose_2d(16, 16);
         let deps = compute_dependences(&kernel, DepOptions::default());
-        let plain =
-            schedule_kernel(&kernel, &deps, &InfluenceTree::new(), SchedulerOptions::default())
-                .unwrap();
+        let plain = schedule_kernel(
+            &kernel,
+            &deps,
+            &InfluenceTree::new(),
+            SchedulerOptions::default(),
+        )
+        .unwrap();
         let layout = CoeffLayout::new(&kernel);
         let mut tree = InfluenceTree::new();
         tree.add_root(ConstraintSet::universe(layout.n_vars()), "noop");

@@ -26,7 +26,11 @@ pub struct CoeffBounds {
 
 impl Default for CoeffBounds {
     fn default() -> CoeffBounds {
-        CoeffBounds { max_coeff: 4, max_const: 16, max_bound: 1 << 30 }
+        CoeffBounds {
+            max_coeff: 4,
+            max_const: 16,
+            max_bound: 1 << 30,
+        }
     }
 }
 
@@ -40,8 +44,7 @@ pub fn distance_template(rel: &DepRelation, layout: &CoeffLayout) -> AffineTempl
         t.var_coeffs[v] = -&layout.var_expr(layout.iter_coeff(rel.source, v));
     }
     for v in 0..rel.n_target_iters {
-        t.var_coeffs[rel.n_source_iters + v] =
-            layout.var_expr(layout.iter_coeff(rel.target, v));
+        t.var_coeffs[rel.n_source_iters + v] = layout.var_expr(layout.iter_coeff(rel.target, v));
     }
     let p_base = rel.n_source_iters + rel.n_target_iters;
     for p in 0..rel.n_params {
@@ -196,8 +199,10 @@ pub fn progression_constraints(
         out.add(Constraint::ge0(sum));
         // Eq. (4): H⊥ rows, each h·c >= 0 and Σ h·c >= 1.
         let h = ss.iter_matrix();
-        let h_nonzero: Vec<Vec<i128>> =
-            h.into_iter().filter(|r| r.iter().any(|&c| c != 0)).collect();
+        let h_nonzero: Vec<Vec<i128>> = h
+            .into_iter()
+            .filter(|r| r.iter().any(|&c| c != 0))
+            .collect();
         if h_nonzero.is_empty() {
             continue; // eq. (3) alone guarantees independence from nothing
         }
@@ -338,7 +343,14 @@ mod tests {
     #[test]
     fn bounds_cap_everything() {
         let (_, _, layout) = setup();
-        let cs = coefficient_bounds(&layout, CoeffBounds { max_coeff: 2, max_const: 3, max_bound: 5 });
+        let cs = coefficient_bounds(
+            &layout,
+            CoeffBounds {
+                max_coeff: 2,
+                max_const: 3,
+                max_bound: 5,
+            },
+        );
         let mut p = vec![0i128; layout.n_vars()];
         assert!(cs.contains_int(&p));
         p[layout.iter_coeff(StmtId(1), 2)] = 3;

@@ -4,9 +4,7 @@
 
 use crate::schedule::{Schedule, ScheduleRow};
 use polyject_deps::DepRelation;
-use polyject_sets::{
-    is_integer_feasible, maximize, Constraint, ConstraintSet, LinExpr, LpOutcome,
-};
+use polyject_sets::{is_integer_feasible, maximize, Constraint, ConstraintSet, LinExpr, LpOutcome};
 
 /// The reuse distance `φ_T(t) − φ_S(s)` at schedule dimension `d`, as a
 /// concrete affine expression over the relation space
@@ -50,8 +48,10 @@ pub fn equal_date_prefix(rel: &DepRelation, schedule: &Schedule, depth: usize) -
 /// This is exact under the invariant the scheduler maintains — every built
 /// dimension weakly satisfies every relation still under consideration.
 pub fn is_strongly_satisfied(rel: &DepRelation, schedule: &Schedule) -> bool {
-    let depth =
-        schedule.stmt(rel.source).depth().max(schedule.stmt(rel.target).depth());
+    let depth = schedule
+        .stmt(rel.source)
+        .depth()
+        .max(schedule.stmt(rel.target).depth());
     if depth == 0 {
         return false;
     }
@@ -97,12 +97,16 @@ pub fn dim_is_weakly_valid(rel: &DepRelation, schedule: &Schedule, d: usize) -> 
     let dist = distance_at_dim(rel, schedule, d);
     let neg = ConstraintSet::from_constraints(
         rel.n_vars(),
-        rel.set.constraints().iter().cloned().chain(std::iter::once({
-            // dist <= -1
-            let mut e = -&dist;
-            e.set_constant(e.constant_term() - polyject_arith::Rat::ONE);
-            Constraint::ge0(e)
-        })),
+        rel.set
+            .constraints()
+            .iter()
+            .cloned()
+            .chain(std::iter::once({
+                // dist <= -1
+                let mut e = -&dist;
+                e.set_constant(e.constant_term() - polyject_arith::Rat::ONE);
+                Constraint::ge0(e)
+            })),
     );
     !is_integer_feasible(&neg)
 }
@@ -115,8 +119,10 @@ pub fn schedule_respects<'a>(
     schedule: &Schedule,
 ) -> bool {
     for rel in rels {
-        let depth =
-            schedule.stmt(rel.source).depth().max(schedule.stmt(rel.target).depth());
+        let depth = schedule
+            .stmt(rel.source)
+            .depth()
+            .max(schedule.stmt(rel.target).depth());
         // Walk dimensions maintaining the equal-prefix restriction; the
         // relation must die (become empty or strictly positive) by the end.
         let mut restricted = rel.set.clone();
@@ -137,9 +143,7 @@ pub fn schedule_respects<'a>(
             }
             restricted.add(Constraint::eq0(dist));
         }
-        if !satisfied
-            && is_integer_feasible(&restricted)
-        {
+        if !satisfied && is_integer_feasible(&restricted) {
             return false; // some pair ends with fully equal dates
         }
     }
@@ -160,7 +164,11 @@ mod tests {
         let v: Vec<_> = deps.validity().collect();
         assert!(schedule_respects(v.iter().copied(), &sched));
         for rel in &v {
-            assert!(is_strongly_satisfied(rel, &sched), "identity satisfies {:?}", rel.kind);
+            assert!(
+                is_strongly_satisfied(rel, &sched),
+                "identity satisfies {:?}",
+                rel.kind
+            );
         }
     }
 

@@ -57,15 +57,19 @@ impl AffineTemplate {
     /// Adds a concrete constant to the template's constant term.
     pub fn with_constant_added(&self, delta: i128) -> AffineTemplate {
         let mut t = self.clone();
-        t.constant.set_constant(t.constant.constant_term() + Rat::int(delta));
+        t.constant
+            .set_constant(t.constant.constant_term() + Rat::int(delta));
         t
     }
 
     /// Instantiates the template at a concrete unknown assignment,
     /// producing a plain [`LinExpr`] over the relation space.
     pub fn instantiate(&self, unknowns: &[i128]) -> LinExpr {
-        let coeffs: Vec<Rat> =
-            self.var_coeffs.iter().map(|e| e.eval_int(unknowns)).collect();
+        let coeffs: Vec<Rat> = self
+            .var_coeffs
+            .iter()
+            .map(|e| e.eval_int(unknowns))
+            .collect();
         LinExpr::from_rat_coeffs(coeffs, self.constant.eval_int(unknowns))
     }
 }
@@ -107,7 +111,7 @@ pub fn farkas_nonneg(relation: &ConstraintSet, template: &AffineTemplate) -> Con
     }
     let n_rel = relation.n_vars();
     let n_mult = relation.len(); // one multiplier per constraint
-    // Space: [unknowns..., λ0, m_1..m_K]
+                                 // Space: [unknowns..., λ0, m_1..m_K]
     let n = n_unknowns + 1 + n_mult;
     let lambda0 = n_unknowns;
     let mult = |k: usize| n_unknowns + 1 + k;

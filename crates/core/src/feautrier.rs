@@ -82,7 +82,12 @@ impl FeautrierProblem {
         let mut objectives = vec![sat];
         objectives.extend(base_objectives.iter().map(|o| o.extended(n)));
         let _ = bounds;
-        FeautrierProblem { system, objectives, n_vars: n, eps_base: n0 }
+        FeautrierProblem {
+            system,
+            objectives,
+            n_vars: n,
+            eps_base: n0,
+        }
     }
 
     /// Splits a solution point into (layout coefficients, satisfied
@@ -120,8 +125,9 @@ mod tests {
         let bounds = CoeffBounds::default();
         let mut base = coefficient_bounds(&layout, bounds);
         let sched = Schedule::empty(&kernel);
-        let all: Vec<polyject_ir::StmtId> =
-            (0..kernel.statements().len()).map(polyject_ir::StmtId).collect();
+        let all: Vec<polyject_ir::StmtId> = (0..kernel.statements().len())
+            .map(polyject_ir::StmtId)
+            .collect();
         base.intersect(&progression_constraints(&kernel, &sched, &layout, &all));
         let objs = proximity_objectives(&layout, bounds);
         let prob = FeautrierProblem::build(&validity, &layout, &base, &objs, bounds);
@@ -168,7 +174,10 @@ mod tests {
         use crate::tree::InfluenceTree;
         let kernel = ops::running_example(8);
         let deps = compute_dependences(&kernel, DepOptions::default());
-        let opts = SchedulerOptions { feautrier_fallback: true, ..SchedulerOptions::default() };
+        let opts = SchedulerOptions {
+            feautrier_fallback: true,
+            ..SchedulerOptions::default()
+        };
         let res =
             schedule_kernel(&kernel, &deps, &InfluenceTree::new(), opts).expect("schedulable");
         let v: Vec<_> = deps.validity().collect();

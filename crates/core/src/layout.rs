@@ -35,7 +35,12 @@ impl CoeffLayout {
             stmt_iters.push(s.n_iters());
             off += s.n_iters() + n_params + 1;
         }
-        CoeffLayout { n_params, stmt_offsets, stmt_iters, total: off }
+        CoeffLayout {
+            n_params,
+            stmt_offsets,
+            stmt_iters,
+            total: off,
+        }
     }
 
     /// Total number of ILP unknowns.

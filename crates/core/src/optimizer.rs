@@ -77,7 +77,10 @@ fn analyze_statement(kernel: &Kernel, stmt: &Statement) -> Vec<IterInfo> {
                     a.stride_along(it, &ts).abs()
                 })
                 .collect();
-            IterInfo { strides, extent: stmt.extent_of_iter(it, params) }
+            IterInfo {
+                strides,
+                extent: stmt.extent_of_iter(it, params),
+            }
         })
         .collect()
 }
@@ -140,7 +143,10 @@ fn cost(
     // batch axis of 32), so we implement the thread *contribution*
     // `N/L ∈ (0, 1)` instead and document the deviation.
     let f = if n < budget { 1.0 } else { 0.0 };
-    let score = w1 * vw as f64 + w2 * vr as f64 + w3 / m as f64 + w4 * c as f64
+    let score = w1 * vw as f64
+        + w2 * vr as f64
+        + w3 / m as f64
+        + w4 * c as f64
         + w5 * f * n as f64 / budget.max(1) as f64;
     (score, vectorizable)
 }
@@ -163,14 +169,17 @@ pub fn build_scenarios(kernel: &Kernel, opts: &InfluenceOptions) -> Vec<Scenario
                 (d, s, v)
             })
             .collect();
-        inner_ranked
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        inner_ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         // A runner-up innermost choice is only worth a branch when the
         // best one cannot be vectorized anyway — extra alternatives are
         // not free: exhausting infeasible ones drives the scheduler's
         // backtracking towards coarser fallbacks (SCC separation at outer
         // dimensions), degrading otherwise-fusable kernels.
-        let n_alternatives = if inner_ranked.first().is_some_and(|r| r.2) { 1 } else { 2 };
+        let n_alternatives = if inner_ranked.first().is_some_and(|r| r.2) {
+            1
+        } else {
+            2
+        };
         for &(inner, inner_score, vectorizable) in inner_ranked.iter().take(n_alternatives) {
             let mut dims = vec![inner];
             let mut score = inner_score;
@@ -182,15 +191,18 @@ pub fn build_scenarios(kernel: &Kernel, opts: &InfluenceOptions) -> Vec<Scenario
                         let (s, _) = cost(&info, stmt, d, false, budget, opts);
                         (d, s)
                     })
-                    .max_by(|a, b| {
-                        a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                 let Some((b, s)) = best else { break };
                 dims.insert(0, b); // head of the list: next-outer dimension
                 score += s;
                 budget = (budget / info[b].extent.max(1)).max(1);
             }
-            out.push(Scenario { stmt: StmtId(si), dims, vectorizable, score });
+            out.push(Scenario {
+                stmt: StmtId(si),
+                dims,
+                vectorizable,
+                score,
+            });
         }
     }
     out
@@ -221,7 +233,11 @@ pub fn build_influence_tree(kernel: &Kernel, opts: &InfluenceOptions) -> Influen
         per_stmt.entry(sc.stmt.0).or_default().push(sc);
     }
     for v in per_stmt.values_mut() {
-        v.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        v.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
     }
     let max_rank = per_stmt.values().map(Vec::len).max().unwrap_or(0);
     let mut tree = InfluenceTree::new();
@@ -252,7 +268,12 @@ fn add_branch(
     combo: &[&Scenario],
     fusion: bool,
 ) {
-    let max_depth = kernel.statements().iter().map(Statement::n_iters).max().unwrap_or(0);
+    let max_depth = kernel
+        .statements()
+        .iter()
+        .map(Statement::n_iters)
+        .max()
+        .unwrap_or(0);
     let n = layout.n_vars();
     let mut parent = None;
     for depth in 0..max_depth {
@@ -345,8 +366,7 @@ fn branch_label(kernel: &Kernel, combo: &[&Scenario], depth: usize, fusion: bool
     let mut parts = Vec::new();
     for sc in combo {
         let stmt = kernel.statement(sc.stmt);
-        let names: Vec<&str> =
-            sc.dims.iter().map(|&d| stmt.iters()[d].as_str()).collect();
+        let names: Vec<&str> = sc.dims.iter().map(|&d| stmt.iters()[d].as_str()).collect();
         parts.push(format!(
             "{}:[{}]{}",
             stmt.name(),
@@ -401,7 +421,11 @@ mod tests {
             .iter()
             .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
             .unwrap();
-        assert_eq!(*best.dims.last().unwrap(), 0, "innermost = i (store-contiguous)");
+        assert_eq!(
+            *best.dims.last().unwrap(),
+            0,
+            "innermost = i (store-contiguous)"
+        );
         assert!(best.vectorizable);
     }
 
@@ -432,7 +456,10 @@ mod tests {
     #[test]
     fn scenario_cap_respected() {
         let kernel = ops::running_example(1024);
-        let opts = InfluenceOptions { max_scenarios: 2, ..InfluenceOptions::default() };
+        let opts = InfluenceOptions {
+            max_scenarios: 2,
+            ..InfluenceOptions::default()
+        };
         let tree = build_influence_tree(&kernel, &opts);
         // 2 branches × 3 depth nodes.
         assert_eq!(tree.len(), 6);
@@ -442,6 +469,9 @@ mod tests {
     fn elementwise_scenarios_are_trivially_vectorizable() {
         let kernel = ops::elementwise_chain(4096, 3);
         let scenarios = build_scenarios(&kernel, &InfluenceOptions::default());
-        assert!(scenarios.iter().filter(|s| s.dims.len() == 1).all(|s| s.vectorizable));
+        assert!(scenarios
+            .iter()
+            .filter(|s| s.dims.len() == 1)
+            .all(|s| s.vectorizable));
     }
 }

@@ -46,9 +46,10 @@ impl TreeNode {
         match self {
             TreeNode::Leaf(s) => s.clone(),
             TreeNode::Band { child, .. } => child.statements(),
-            TreeNode::Sequence { children, .. } => {
-                children.iter().flat_map(|(s, _)| s.iter().copied()).collect()
-            }
+            TreeNode::Sequence { children, .. } => children
+                .iter()
+                .flat_map(|(s, _)| s.iter().copied())
+                .collect(),
         }
     }
 
@@ -88,10 +89,10 @@ impl TreeNode {
 /// ```
 pub fn schedule_tree(kernel: &Kernel, schedule: &Schedule) -> TreeNode {
     let all: Vec<StmtId> = (0..kernel.statements().len()).map(StmtId).collect();
-    build(kernel, schedule, all, 0)
+    build(schedule, all, 0)
 }
 
-fn build(kernel: &Kernel, schedule: &Schedule, stmts: Vec<StmtId>, dim: usize) -> TreeNode {
+fn build(schedule: &Schedule, stmts: Vec<StmtId>, dim: usize) -> TreeNode {
     let depth = schedule.depth();
     if dim >= depth || stmts.is_empty() {
         return TreeNode::Leaf(stmts);
@@ -115,7 +116,7 @@ fn build(kernel: &Kernel, schedule: &Schedule, stmts: Vec<StmtId>, dim: usize) -
         values.dedup();
         if values.len() <= 1 {
             // A trivial scalar dimension: skip it.
-            return build(kernel, schedule, stmts, dim + 1);
+            return build(schedule, stmts, dim + 1);
         }
         let children = values
             .into_iter()
@@ -125,7 +126,7 @@ fn build(kernel: &Kernel, schedule: &Schedule, stmts: Vec<StmtId>, dim: usize) -
                     .copied()
                     .filter(|&s| schedule.stmt(s).rows()[dim].constant == v)
                     .collect();
-                let node = build(kernel, schedule, group.clone(), dim + 1);
+                let node = build(schedule, group.clone(), dim + 1);
                 (group, node)
             })
             .collect();
@@ -167,8 +168,14 @@ fn build(kernel: &Kernel, schedule: &Schedule, stmts: Vec<StmtId>, dim: usize) -
         .map(|&d| schedule.flags().get(d).map(|f| f.vector).unwrap_or(false))
         .collect();
     let permutable = dims.len() > 1;
-    let child = Box::new(build(kernel, schedule, stmts, d));
-    TreeNode::Band { dims, coincident, permutable, vector, child }
+    let child = Box::new(build(schedule, stmts, d));
+    TreeNode::Band {
+        dims,
+        coincident,
+        permutable,
+        vector,
+        child,
+    }
 }
 
 /// Renders a schedule tree in isl-like notation.
@@ -182,11 +189,16 @@ fn render_node(node: &TreeNode, kernel: &Kernel, indent: usize, out: &mut String
     let pad = "  ".repeat(indent);
     match node {
         TreeNode::Leaf(stmts) => {
-            let names: Vec<&str> =
-                stmts.iter().map(|&s| kernel.statement(s).name()).collect();
+            let names: Vec<&str> = stmts.iter().map(|&s| kernel.statement(s).name()).collect();
             writeln!(out, "{pad}leaf: {{ {} }}", names.join(", ")).expect("write");
         }
-        TreeNode::Band { dims, coincident, permutable, vector, child } => {
+        TreeNode::Band {
+            dims,
+            coincident,
+            permutable,
+            vector,
+            child,
+        } => {
             let marks: Vec<String> = dims
                 .iter()
                 .zip(coincident)
@@ -214,8 +226,7 @@ fn render_node(node: &TreeNode, kernel: &Kernel, indent: usize, out: &mut String
         TreeNode::Sequence { dim, children } => {
             writeln!(out, "{pad}sequence (t{dim}):").expect("write");
             for (stmts, child) in children {
-                let names: Vec<&str> =
-                    stmts.iter().map(|&s| kernel.statement(s).name()).collect();
+                let names: Vec<&str> = stmts.iter().map(|&s| kernel.statement(s).name()).collect();
                 writeln!(out, "{pad}- filter: {{ {} }}", names.join(", ")).expect("write");
                 render_node(child, kernel, indent + 2, out);
             }
@@ -233,9 +244,13 @@ mod tests {
 
     fn tree_for(kernel: &Kernel) -> (TreeNode, Schedule) {
         let deps = compute_dependences(kernel, DepOptions::default());
-        let res =
-            schedule_kernel(kernel, &deps, &InfluenceTree::new(), SchedulerOptions::default())
-                .unwrap();
+        let res = schedule_kernel(
+            kernel,
+            &deps,
+            &InfluenceTree::new(),
+            SchedulerOptions::default(),
+        )
+        .unwrap();
         (schedule_tree(kernel, &res.schedule), res.schedule)
     }
 
@@ -264,11 +279,20 @@ mod tests {
     fn transpose_tree_is_one_band() {
         let kernel = ops::transpose_2d(32, 32);
         let (tree, _) = tree_for(&kernel);
-        let TreeNode::Band { dims, coincident, child, .. } = &tree else {
+        let TreeNode::Band {
+            dims,
+            coincident,
+            child,
+            ..
+        } = &tree
+        else {
             panic!("band expected");
         };
         assert_eq!(dims.len(), 2);
-        assert!(coincident.iter().all(|&c| c), "transpose dims all coincident");
+        assert!(
+            coincident.iter().all(|&c| c),
+            "transpose dims all coincident"
+        );
         assert!(matches!(child.as_ref(), TreeNode::Leaf(_)));
     }
 
@@ -296,8 +320,10 @@ mod tests {
     fn influenced_tree_carries_vector_marks() {
         let kernel = ops::running_example(64);
         let deps = compute_dependences(&kernel, DepOptions::default());
-        let itree =
-            crate::optimizer::build_influence_tree(&kernel, &crate::optimizer::InfluenceOptions::default());
+        let itree = crate::optimizer::build_influence_tree(
+            &kernel,
+            &crate::optimizer::InfluenceOptions::default(),
+        );
         let res = schedule_kernel(&kernel, &deps, &itree, SchedulerOptions::default()).unwrap();
         let tree = schedule_tree(&kernel, &res.schedule);
         let text = render_schedule_tree(&tree, &kernel);

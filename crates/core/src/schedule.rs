@@ -43,7 +43,11 @@ impl ScheduleRow {
 
     /// A scalar row with the given constant.
     pub fn scalar(n_iters: usize, n_params: usize, constant: i128) -> ScheduleRow {
-        ScheduleRow { iter_coeffs: vec![0; n_iters], param_coeffs: vec![0; n_params], constant }
+        ScheduleRow {
+            iter_coeffs: vec![0; n_iters],
+            param_coeffs: vec![0; n_params],
+            constant,
+        }
     }
 
     /// Whether every coefficient (not the constant) is zero.
@@ -53,8 +57,16 @@ impl ScheduleRow {
 
     /// Evaluates the row at a concrete instance.
     pub fn eval(&self, iters: &[i64], params: &[i64]) -> i128 {
-        assert_eq!(iters.len(), self.iter_coeffs.len(), "iterator count mismatch");
-        assert_eq!(params.len(), self.param_coeffs.len(), "parameter count mismatch");
+        assert_eq!(
+            iters.len(),
+            self.iter_coeffs.len(),
+            "iterator count mismatch"
+        );
+        assert_eq!(
+            params.len(),
+            self.param_coeffs.len(),
+            "parameter count mismatch"
+        );
         let mut v = self.constant;
         for (c, x) in self.iter_coeffs.iter().zip(iters) {
             v += c * (*x as i128);
@@ -141,9 +153,17 @@ impl Schedule {
     /// dimensions). This is the original execution order.
     pub fn identity(kernel: &Kernel) -> Schedule {
         let n_params = kernel.n_params();
-        let max_depth = kernel.statements().iter().map(|s| s.n_iters()).max().unwrap_or(0);
+        let max_depth = kernel
+            .statements()
+            .iter()
+            .map(|s| s.n_iters())
+            .max()
+            .unwrap_or(0);
         let mut sched = Schedule::empty(kernel);
-        sched.flags.push(DimFlags { scalar: true, ..DimFlags::default() });
+        sched.flags.push(DimFlags {
+            scalar: true,
+            ..DimFlags::default()
+        });
         for _ in 0..max_depth {
             sched.flags.push(DimFlags::default());
         }
@@ -188,7 +208,11 @@ impl Schedule {
 
     /// The maximum depth over statements.
     pub fn depth(&self) -> usize {
-        self.stmts.iter().map(StatementSchedule::depth).max().unwrap_or(0)
+        self.stmts
+            .iter()
+            .map(StatementSchedule::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Marks statement `s`'s vector dimension.
@@ -299,11 +323,7 @@ mod tests {
         let k = ops::running_example(4);
         let sched = Schedule::identity(&k);
         // X(2, 1) runs before Y(0, 0, 0) because of the scalar dimension.
-        let o = sched.compare_instances(
-            (StmtId(0), &[2, 1]),
-            (StmtId(1), &[0, 0, 0]),
-            &[4],
-        );
+        let o = sched.compare_instances((StmtId(0), &[2, 1]), (StmtId(1), &[0, 0, 0]), &[4]);
         assert_eq!(o, std::cmp::Ordering::Less);
         // Within X, lexicographic iterator order.
         let o = sched.compare_instances((StmtId(0), &[1, 3]), (StmtId(0), &[2, 0]), &[4]);
@@ -312,17 +332,33 @@ mod tests {
 
     #[test]
     fn row_eval() {
-        let r = ScheduleRow { iter_coeffs: vec![1, 2], param_coeffs: vec![3], constant: -1 };
+        let r = ScheduleRow {
+            iter_coeffs: vec![1, 2],
+            param_coeffs: vec![3],
+            constant: -1,
+        };
         assert_eq!(r.eval(&[5, 6], &[10]), 5 + 12 + 30 - 1);
     }
 
     #[test]
     fn iter_rank_detects_dependence() {
         let mut ss = StatementSchedule::default();
-        ss.push(ScheduleRow { iter_coeffs: vec![1, 0], param_coeffs: vec![], constant: 0 });
-        ss.push(ScheduleRow { iter_coeffs: vec![2, 0], param_coeffs: vec![], constant: 0 });
+        ss.push(ScheduleRow {
+            iter_coeffs: vec![1, 0],
+            param_coeffs: vec![],
+            constant: 0,
+        });
+        ss.push(ScheduleRow {
+            iter_coeffs: vec![2, 0],
+            param_coeffs: vec![],
+            constant: 0,
+        });
         assert_eq!(ss.iter_rank(), 1);
-        ss.push(ScheduleRow { iter_coeffs: vec![0, 1], param_coeffs: vec![], constant: 0 });
+        ss.push(ScheduleRow {
+            iter_coeffs: vec![0, 1],
+            param_coeffs: vec![],
+            constant: 0,
+        });
         assert_eq!(ss.iter_rank(), 2);
     }
 

@@ -168,7 +168,9 @@ impl InfluenceTree {
             Some(p) => &self.nodes[p.0].children,
             None => &self.roots,
         };
-        *siblings.first().expect("node has at least itself as sibling")
+        *siblings
+            .first()
+            .expect("node has at least itself as sibling")
     }
 
     /// The closest right sibling of any ancestor of `id` (walking upward),
@@ -213,7 +215,11 @@ impl InfluenceTree {
             } else {
                 format!(
                     ", vector: {}",
-                    n.vector_stmts.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",")
+                    n.vector_stmts
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
                 )
             }
         )

@@ -71,11 +71,7 @@ impl fmt::Display for ScheduleReport {
 /// let report = verify_schedule(&kernel, &deps, &res.schedule);
 /// assert!(report.ok(), "{report}");
 /// ```
-pub fn verify_schedule(
-    kernel: &Kernel,
-    deps: &Dependences,
-    schedule: &Schedule,
-) -> ScheduleReport {
+pub fn verify_schedule(kernel: &Kernel, deps: &Dependences, schedule: &Schedule) -> ScheduleReport {
     let validity: Vec<_> = deps.validity().collect();
     let valid = schedule_respects(validity.iter().copied(), schedule);
     let strongly_satisfied = validity
@@ -89,8 +85,8 @@ pub fn verify_schedule(
         }
     }
     let depth0 = schedule.stmt(StmtId(0)).depth();
-    let uniform_depth = (0..kernel.statements().len())
-        .all(|i| schedule.stmt(StmtId(i)).depth() == depth0);
+    let uniform_depth =
+        (0..kernel.statements().len()).all(|i| schedule.stmt(StmtId(i)).depth() == depth0);
     ScheduleReport {
         valid,
         complete: incomplete_statements.is_empty(),
@@ -128,10 +124,13 @@ mod tests {
                     InfluenceTree::new()
                 };
                 let res =
-                    schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default())
-                        .unwrap();
+                    schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).unwrap();
                 let report = verify_schedule(&kernel, &deps, &res.schedule);
-                assert!(report.ok(), "{} influenced={influenced}: {report}", kernel.name());
+                assert!(
+                    report.ok(),
+                    "{} influenced={influenced}: {report}",
+                    kernel.name()
+                );
             }
         }
     }

@@ -30,7 +30,10 @@ pub struct DepOptions {
 
 impl Default for DepOptions {
     fn default() -> DepOptions {
-        DepOptions { include_input: true, param_min: 1 }
+        DepOptions {
+            include_input: true,
+            param_min: 1,
+        }
     }
 }
 
@@ -171,7 +174,17 @@ fn build_pair_relations(
         e.set_coeff(level, -1);
         e.set_constant(-1i128);
         rel.add(Constraint::ge0(e));
-        out.extend(finish(rel, sid, tid, kind, ns, nt, n_params, Some(level), sa));
+        out.extend(finish(
+            rel,
+            sid,
+            tid,
+            kind,
+            ns,
+            nt,
+            n_params,
+            Some(level),
+            sa,
+        ));
     }
     out
 }
@@ -231,9 +244,7 @@ mod tests {
         let self_c: Vec<_> = deps
             .relations()
             .iter()
-            .filter(|r| {
-                r.source == StmtId(1) && r.target == StmtId(1) && r.kind == DepKind::Flow
-            })
+            .filter(|r| r.source == StmtId(1) && r.target == StmtId(1) && r.kind == DepKind::Flow)
             .collect();
         assert!(!self_c.is_empty());
         assert!(self_c.iter().all(|r| r.level == Some(2)));
@@ -265,7 +276,13 @@ mod tests {
         )
         .unwrap();
         let kernel = kb.finish().unwrap();
-        let deps = compute_dependences(&kernel, DepOptions { include_input: false, param_min: 1 });
+        let deps = compute_dependences(
+            &kernel,
+            DepOptions {
+                include_input: false,
+                param_min: 1,
+            },
+        );
         assert!(deps.is_empty());
     }
 
@@ -284,9 +301,18 @@ mod tests {
         )
         .unwrap();
         let kernel = kb.finish().unwrap();
-        let deps = compute_dependences(&kernel, DepOptions { include_input: false, param_min: 1 });
-        let flows: Vec<_> =
-            deps.relations().iter().filter(|r| r.kind == DepKind::Flow).collect();
+        let deps = compute_dependences(
+            &kernel,
+            DepOptions {
+                include_input: false,
+                param_min: 1,
+            },
+        );
+        let flows: Vec<_> = deps
+            .relations()
+            .iter()
+            .filter(|r| r.kind == DepKind::Flow)
+            .collect();
         assert_eq!(flows.len(), 1);
         assert_eq!(flows[0].level, Some(0));
         // Source i=1 writes A[1], read by target i=2.
@@ -320,7 +346,13 @@ mod tests {
             .unwrap();
         }
         let kernel = kb.finish().unwrap();
-        let deps = compute_dependences(&kernel, DepOptions { include_input: false, param_min: 1 });
+        let deps = compute_dependences(
+            &kernel,
+            DepOptions {
+                include_input: false,
+                param_min: 1,
+            },
+        );
         assert!(deps
             .relations()
             .iter()
@@ -328,17 +360,26 @@ mod tests {
         assert!(deps
             .relations()
             .iter()
-            .any(|r| r.kind == DepKind::Output
-                && r.source == StmtId(1)
-                && r.target == StmtId(2)));
+            .any(|r| r.kind == DepKind::Output && r.source == StmtId(1) && r.target == StmtId(2)));
     }
 
     #[test]
     fn input_dependences_optional() {
         let kernel = ops::running_example(8);
-        let with = compute_dependences(&kernel, DepOptions { include_input: true, param_min: 1 });
-        let without =
-            compute_dependences(&kernel, DepOptions { include_input: false, param_min: 1 });
+        let with = compute_dependences(
+            &kernel,
+            DepOptions {
+                include_input: true,
+                param_min: 1,
+            },
+        );
+        let without = compute_dependences(
+            &kernel,
+            DepOptions {
+                include_input: false,
+                param_min: 1,
+            },
+        );
         assert!(with.len() > without.len());
         assert_eq!(with.validity().count(), without.validity().count());
     }

@@ -27,7 +27,10 @@ impl DepGraph {
                 edges[r.source.0].push(r.target.0);
             }
         }
-        DepGraph { n: n_statements, edges }
+        DepGraph {
+            n: n_statements,
+            edges,
+        }
     }
 
     /// Builds the validity graph of a kernel's dependences.
@@ -91,7 +94,10 @@ impl DepGraph {
 
     /// Creates an empty graph (for tests and manual construction).
     pub fn new(n_statements: usize) -> DepGraph {
-        DepGraph { n: n_statements, edges: vec![Vec::new(); n_statements] }
+        DepGraph {
+            n: n_statements,
+            edges: vec![Vec::new(); n_statements],
+        }
     }
 
     /// Adds an edge.
@@ -174,7 +180,12 @@ mod tests {
         let sccs = g.sccs();
         assert_eq!(
             sccs,
-            vec![vec![StmtId(0)], vec![StmtId(1)], vec![StmtId(2)], vec![StmtId(3)]]
+            vec![
+                vec![StmtId(0)],
+                vec![StmtId(1)],
+                vec![StmtId(2)],
+                vec![StmtId(3)]
+            ]
         );
     }
 

@@ -5,9 +5,7 @@
 //! ```
 
 use polyject_codegen::{compile, render, render_cuda, Config};
-use polyject_core::{
-    build_influence_tree, render_schedule_tree, schedule_tree, InfluenceOptions,
-};
+use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, InfluenceOptions};
 use polyject_front::{emit_pj, parse};
 use polyject_gpusim::{estimate, profile, GpuModel};
 use std::process::ExitCode;
@@ -100,7 +98,10 @@ fn main() -> ExitCode {
     }
     if emit == "profile" || emit == "all" {
         println!("== simulated profile (V100) ==");
-        print!("{}", profile(&compiled.ast, &kernel, &GpuModel::v100()).render());
+        print!(
+            "{}",
+            profile(&compiled.ast, &kernel, &GpuModel::v100()).render()
+        );
     }
     if emit == "pj" {
         match emit_pj(&kernel) {

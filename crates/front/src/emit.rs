@@ -66,8 +66,11 @@ fn emit_statement(kernel: &Kernel, s: &Statement, out: &mut String) -> Result<()
     write!(out, "stmt {} for ({})", s.name(), iters.join(", ")).expect("write");
     writeln!(out).expect("write");
     let w = access_text(kernel, s, s.write())?;
-    let reads: Result<Vec<String>, String> =
-        s.reads().iter().map(|a| access_text(kernel, s, a)).collect();
+    let reads: Result<Vec<String>, String> = s
+        .reads()
+        .iter()
+        .map(|a| access_text(kernel, s, a))
+        .collect();
     let reads = reads?;
     let body = expr_text(s.expr(), &reads);
     writeln!(out, "  {w} = {body}").expect("write");
@@ -92,8 +95,7 @@ fn iter_range(kernel: &Kernel, s: &Statement, iter: usize) -> Result<(String, St
             for p in 0..s.n_params() {
                 if e.coeff(s.n_iters() + p) == polyject_arith::Rat::ONE
                     && e.constant_term() == polyject_arith::Rat::int(-1)
-                    && (0..s.n_params())
-                        .all(|q| q == p || e.coeff(s.n_iters() + q).is_zero())
+                    && (0..s.n_params()).all(|q| q == p || e.coeff(s.n_iters() + q).is_zero())
                 {
                     let lo = lower_of(s, iter)?;
                     return Ok((lo, kernel.param_names()[p].clone()));
@@ -110,7 +112,10 @@ fn iter_range(kernel: &Kernel, s: &Statement, iter: usize) -> Result<(String, St
         }
     }
     let _ = n;
-    Err(format!("iterator {iter} of {} has no recognizable upper bound", s.name()))
+    Err(format!(
+        "iterator {iter} of {} has no recognizable upper bound",
+        s.name()
+    ))
 }
 
 fn lower_of(s: &Statement, iter: usize) -> Result<String, String> {
@@ -130,7 +135,10 @@ fn lower_of(s: &Statement, iter: usize) -> Result<String, String> {
             return Ok(lo.to_string());
         }
     }
-    Err(format!("iterator {iter} of {} has no recognizable lower bound", s.name()))
+    Err(format!(
+        "iterator {iter} of {} has no recognizable lower bound",
+        s.name()
+    ))
 }
 
 fn access_text(kernel: &Kernel, s: &Statement, a: &Access) -> Result<String, String> {

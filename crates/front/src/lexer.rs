@@ -112,7 +112,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut chars = src.chars().peekable();
     macro_rules! push {
         ($kind:expr, $c:expr) => {
-            out.push(Token { kind: $kind, line, col: $c })
+            out.push(Token {
+                kind: $kind,
+                line,
+                col: $c,
+            })
         };
     }
     while let Some(&c) = chars.peek() {
@@ -241,7 +245,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, line, col });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 

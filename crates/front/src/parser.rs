@@ -21,8 +21,8 @@
 
 use crate::lexer::{lex, LexError, Token, TokenKind};
 use polyject_ir::{
-    BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, ParamId, StatementBuilder,
-    TensorId, UnOp,
+    BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, ParamId, StatementBuilder, TensorId,
+    UnOp,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -48,7 +48,11 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ impl Parser {
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
         let t = self.peek();
-        Err(ParseError { message: message.into(), line: t.line, col: t.col })
+        Err(ParseError {
+            message: message.into(),
+            line: t.line,
+            col: t.col,
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
@@ -157,9 +165,11 @@ impl Parser {
                 TokenKind::Ident(kw) if kw == "param" => self.param()?,
                 TokenKind::Ident(kw) if kw == "tensor" => self.tensor()?,
                 TokenKind::Ident(kw) if kw == "stmt" => self.statement()?,
-                other => return self.err(format!(
-                    "expected `param`, `tensor` or `stmt`, found {other}"
-                )),
+                other => {
+                    return self.err(format!(
+                        "expected `param`, `tensor` or `stmt`, found {other}"
+                    ))
+                }
             }
         }
         let t = self.peek().clone();
@@ -167,7 +177,11 @@ impl Parser {
             .take()
             .expect("builder present")
             .finish()
-            .map_err(|m| ParseError { message: m, line: t.line, col: t.col })
+            .map_err(|m| ParseError {
+                message: m,
+                line: t.line,
+                col: t.col,
+            })
     }
 
     fn param(&mut self) -> Result<(), ParseError> {
@@ -216,7 +230,11 @@ impl Parser {
             return self.err(format!("tensor `{name}` already declared"));
         }
         let rank = dims.len();
-        let id = self.builder.as_mut().expect("builder").tensor(&name, dims, elem);
+        let id = self
+            .builder
+            .as_mut()
+            .expect("builder")
+            .tensor(&name, dims, elem);
         self.tensors.insert(name, (id, rank));
         Ok(())
     }
@@ -243,7 +261,11 @@ impl Parser {
         let name = self.ident()?;
         self.keyword("for")?;
         self.expect(&TokenKind::LParen)?;
-        let mut iters = Iters { names: Vec::new(), uppers: Vec::new(), lowers: Vec::new() };
+        let mut iters = Iters {
+            names: Vec::new(),
+            uppers: Vec::new(),
+            lowers: Vec::new(),
+        };
         loop {
             let it = self.ident()?;
             self.keyword("in")?;
@@ -279,9 +301,8 @@ impl Parser {
                 (0, up) => sb = sb.bound_extent(i, *up),
                 (lo, Extent::Const(hi)) => sb = sb.bound_range(i, lo, hi - 1),
                 _ => {
-                    return self.err(
-                        "non-zero lower bounds require a constant upper bound".to_string(),
-                    )
+                    return self
+                        .err("non-zero lower bounds require a constant upper bound".to_string())
                 }
             }
         }
@@ -295,7 +316,11 @@ impl Parser {
             .as_mut()
             .expect("builder")
             .add_statement(sb)
-            .map_err(|m| ParseError { message: m, line: t.line, col: t.col })?;
+            .map_err(|m| ParseError {
+                message: m,
+                line: t.line,
+                col: t.col,
+            })?;
         Ok(())
     }
 
@@ -555,9 +580,18 @@ stmt S for (i in 1..8) a[i] = a[i - 1] + a[i]
     #[test]
     fn error_positions_and_messages() {
         let cases = [
-            ("kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) z[i] = 1.0", "unknown tensor"),
-            ("kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) a[j] = 1.0", "unknown iterator"),
-            ("kernel k\ntensor a[4][4]: f32\nstmt S for (i in 0..4) a[i] = 1.0", "rank"),
+            (
+                "kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) z[i] = 1.0",
+                "unknown tensor",
+            ),
+            (
+                "kernel k\ntensor a[4]: f32\nstmt S for (i in 0..4) a[j] = 1.0",
+                "unknown iterator",
+            ),
+            (
+                "kernel k\ntensor a[4][4]: f32\nstmt S for (i in 0..4) a[i] = 1.0",
+                "rank",
+            ),
             ("kernel k\nparam N = 2\nparam N = 3", "already declared"),
             ("kernel k\ntensor a[M]: f32", "unknown parameter"),
         ];

@@ -157,8 +157,7 @@ pub fn estimate(ast: &Ast, kernel: &Kernel, model: &GpuModel) -> KernelTiming {
 /// assert_eq!(report.accesses.len(), 2); // one read, one write
 /// ```
 pub fn profile(ast: &Ast, kernel: &Kernel, model: &GpuModel) -> ProfileReport {
-    let params: Vec<i128> =
-        kernel.param_defaults().iter().map(|&v| v as i128).collect();
+    let params: Vec<i128> = kernel.param_defaults().iter().map(|&v| v as i128).collect();
     let mut acc = Accumulator {
         kernel,
         model,
@@ -193,7 +192,11 @@ struct Ctx {
 
 impl Ctx {
     fn root() -> Ctx {
-        Ctx { instances: 1.0, threads: 1.0, ..Ctx::default() }
+        Ctx {
+            instances: 1.0,
+            threads: 1.0,
+            ..Ctx::default()
+        }
     }
 }
 
@@ -209,7 +212,11 @@ struct Accumulator<'a> {
 
 impl Accumulator<'_> {
     fn walk(&mut self, node: &AstNode, ctx: &Ctx) {
-        let ctx = if ctx.instances == 0.0 { &Ctx::root() } else { ctx };
+        let ctx = if ctx.instances == 0.0 {
+            &Ctx::root()
+        } else {
+            ctx
+        };
         match node {
             AstNode::Loop(l) => {
                 let extent = loop_extent(l, &self.params).unwrap_or(1).max(0) as f64;
@@ -273,7 +280,12 @@ impl Accumulator<'_> {
                 0 => {
                     // Broadcast / loop-invariant: one transaction per warp.
                     let t = useful / f64::from(model.warp_size);
-                    (if in_l2 { 0.0 } else { t }, t, instances, AccessPattern::Broadcast)
+                    (
+                        if in_l2 { 0.0 } else { t },
+                        t,
+                        instances,
+                        AccessPattern::Broadcast,
+                    )
                 }
                 1 => {
                     if let Some(vw) = vec_w {
@@ -287,7 +299,12 @@ impl Accumulator<'_> {
                         )
                     } else {
                         let t = useful / model.scalar_bw_fraction;
-                        (if in_l2 { 0.0 } else { t }, t, instances, AccessPattern::Coalesced)
+                        (
+                            if in_l2 { 0.0 } else { t },
+                            t,
+                            instances,
+                            AccessPattern::Coalesced,
+                        )
                     }
                 }
                 s_abs => {
@@ -334,8 +351,7 @@ impl Accumulator<'_> {
 
     fn finish(mut self) -> ProfileReport {
         let m = self.model;
-        let util =
-            (self.max_threads * m.thread_ilp / m.saturation_threads).clamp(1e-3, 1.0);
+        let util = (self.max_threads * m.thread_ilp / m.saturation_threads).clamp(1e-3, 1.0);
         self.timing.threads = self.max_threads;
         self.timing.dram_time = self.timing.dram_bytes / (m.dram_bw * util);
         self.timing.l2_time = self.timing.l2_bytes / (m.l2_bw * util);
@@ -348,7 +364,10 @@ impl Accumulator<'_> {
             .max(self.timing.compute_time)
             .max(self.timing.issue_time)
             + m.launch_overhead;
-        ProfileReport { timing: self.timing, accesses: self.accesses }
+        ProfileReport {
+            timing: self.timing,
+            accesses: self.accesses,
+        }
     }
 }
 
@@ -377,7 +396,12 @@ mod tests {
             novec.time,
             isl.time
         );
-        assert!(infl.time <= novec.time, "infl {} !<= novec {}", infl.time, novec.time);
+        assert!(
+            infl.time <= novec.time,
+            "infl {} !<= novec {}",
+            infl.time,
+            novec.time
+        );
         // The gap must be substantial (the paper reports multiples).
         assert!(isl.time / infl.time > 1.5, "ratio {}", isl.time / infl.time);
     }
@@ -426,7 +450,11 @@ mod tests {
         assert!(t.time > 0.0);
         assert!(t.threads >= 1.0);
         assert!(t.instructions > 0.0);
-        let max_comp = t.dram_time.max(t.l2_time).max(t.compute_time).max(t.issue_time);
+        let max_comp = t
+            .dram_time
+            .max(t.l2_time)
+            .max(t.compute_time)
+            .max(t.issue_time);
         assert!((t.time - max_comp - GpuModel::v100().launch_overhead).abs() < 1e-12);
     }
 }

@@ -39,7 +39,11 @@ use polyject_ir::Kernel;
 /// assert_eq!(scheduled, reference);
 /// ```
 pub fn execute_ast(ast: &Ast, kernel: &Kernel, buffers: &mut [Vec<f32>], param_values: &[i64]) {
-    assert_eq!(param_values.len(), kernel.n_params(), "parameter count mismatch");
+    assert_eq!(
+        param_values.len(),
+        kernel.n_params(),
+        "parameter count mismatch"
+    );
     let width = global_width(ast, kernel);
     let mut tv = vec![0i128; width];
     let n_t = width - kernel.n_params();
@@ -57,9 +61,11 @@ pub fn global_width(ast: &Ast, kernel: &Kernel) -> usize {
     ast.statements()
         .iter()
         .flat_map(|s| s.iter_exprs.iter().map(polyject_sets::LinExpr::n_vars))
-        .chain(ast.loops().iter().flat_map(|l| {
-            l.lowers.iter().chain(&l.uppers).map(|b| b.expr.n_vars())
-        }))
+        .chain(
+            ast.loops()
+                .iter()
+                .flat_map(|l| l.lowers.iter().chain(&l.uppers).map(|b| b.expr.n_vars())),
+        )
         .max()
         .unwrap_or(kernel.n_params())
 }
@@ -112,11 +118,7 @@ pub fn check_equivalence(
     kernel.execute_reference(&mut reference, param_values);
     for (ti, (a, b)) in scheduled.iter().zip(&reference).enumerate() {
         if a != b {
-            let pos = a
-                .iter()
-                .zip(b)
-                .position(|(x, y)| x != y)
-                .unwrap_or(0);
+            let pos = a.iter().zip(b).position(|(x, y)| x != y).unwrap_or(0);
             return Err(format!(
                 "tensor {} ({}) differs at element {}: scheduled {} vs reference {}",
                 ti,

@@ -64,7 +64,7 @@ impl GpuModel {
         GpuModel {
             name: "V100-PCIe (model)".to_string(),
             dram_bw: 900e9 * 0.82, // ~740 GB/s achieved
-            l2_bw: 6.0e12, // aggregate L2/L1 sector throughput
+            l2_bw: 6.0e12,         // aggregate L2/L1 sector throughput
             fp32_flops: 14e12,
             issue_rate: 1.4e13, // 80 SM × 4 schedulers × 1.39 GHz × 32 lanes
             launch_overhead: 4.0e-6,
@@ -202,9 +202,16 @@ mod tests {
 
     #[test]
     fn bottleneck_labels() {
-        let t = KernelTiming { dram_time: 2.0, l2_time: 1.0, ..Default::default() };
+        let t = KernelTiming {
+            dram_time: 2.0,
+            l2_time: 1.0,
+            ..Default::default()
+        };
         assert_eq!(t.bottleneck(), "dram");
-        let t = KernelTiming { issue_time: 2.0, ..Default::default() };
+        let t = KernelTiming {
+            issue_time: 2.0,
+            ..Default::default()
+        };
         assert_eq!(t.bottleneck(), "issue");
     }
 }

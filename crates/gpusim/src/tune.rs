@@ -66,12 +66,23 @@ pub fn autotune(
 
     let tilings: [Option<TilingOptions>; 3] = [
         None,
-        Some(TilingOptions { tile_size: 32, min_extent: 64, max_tiled_loops: 2 }),
-        Some(TilingOptions { tile_size: 64, min_extent: 128, max_tiled_loops: 2 }),
+        Some(TilingOptions {
+            tile_size: 32,
+            min_extent: 64,
+            max_tiled_loops: 2,
+        }),
+        Some(TilingOptions {
+            tile_size: 64,
+            min_extent: 128,
+            max_tiled_loops: 2,
+        }),
     ];
     let mappings = [
         MappingOptions::default(),
-        MappingOptions { max_threads: 256, ..MappingOptions::default() },
+        MappingOptions {
+            max_threads: 256,
+            ..MappingOptions::default()
+        },
     ];
     for tiling in tilings {
         for mapping in mappings {
@@ -82,7 +93,11 @@ pub fn autotune(
                 map_to_gpu(&mut ast, kernel, mapping);
             }
             let timing = estimate(&ast, kernel, model);
-            let cand = TuneCandidate { tiling, mapping, timing: timing.clone() };
+            let cand = TuneCandidate {
+                tiling,
+                mapping,
+                timing: timing.clone(),
+            };
             log.push(cand.clone());
             if best.as_ref().is_none_or(|(t, _, _)| timing.time < *t) {
                 best = Some((timing.time, ast, cand));
@@ -91,7 +106,11 @@ pub fn autotune(
     }
     let (_, ast, best_cand) = best.expect("at least one candidate");
     let compiled = Compiled { ast, ..base };
-    Ok(TuneResult { compiled, best: best_cand, log })
+    Ok(TuneResult {
+        compiled,
+        best: best_cand,
+        log,
+    })
 }
 
 #[cfg(test)]

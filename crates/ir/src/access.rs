@@ -107,8 +107,16 @@ impl Access {
     /// Panics if an index expression evaluates to a non-integer (never
     /// happens for integer-coefficient accesses).
     pub fn eval_index(&self, iters: &[i64], param_values: &[i64]) -> Vec<i64> {
-        assert_eq!(iters.len(), self.n_iters, "iteration vector length mismatch");
-        assert_eq!(param_values.len(), self.n_params, "parameter count mismatch");
+        assert_eq!(
+            iters.len(),
+            self.n_iters,
+            "iteration vector length mismatch"
+        );
+        assert_eq!(
+            param_values.len(),
+            self.n_params,
+            "parameter count mismatch"
+        );
         let point: Vec<i128> = iters
             .iter()
             .map(|&v| v as i128)
@@ -145,7 +153,11 @@ impl Access {
     /// stride of 1 means consecutive iterations touch consecutive elements
     /// (coalescing-friendly).
     pub fn stride_along(&self, iter: usize, tensor_strides: &[i64]) -> i64 {
-        assert_eq!(tensor_strides.len(), self.indices.len(), "stride rank mismatch");
+        assert_eq!(
+            tensor_strides.len(),
+            self.indices.len(),
+            "stride rank mismatch"
+        );
         (0..self.indices.len())
             .map(|d| self.iter_coeff(d, iter) * tensor_strides[d])
             .sum()

@@ -141,7 +141,10 @@ impl Expr {
     where
         F: Fn(usize) -> String,
     {
-        ExprDisplay { expr: self, read_name }
+        ExprDisplay {
+            expr: self,
+            read_name,
+        }
     }
 }
 
@@ -213,7 +216,11 @@ mod tests {
 
     #[test]
     fn eval_arithmetic() {
-        let e = Expr::bin(BinOp::Sub, Expr::Read(0), Expr::bin(BinOp::Div, Expr::Read(1), Expr::Const(2.0)));
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::Read(0),
+            Expr::bin(BinOp::Div, Expr::Read(1), Expr::Const(2.0)),
+        );
         assert_eq!(e.eval(&[10.0, 4.0]), 8.0);
     }
 
@@ -226,14 +233,21 @@ mod tests {
 
     #[test]
     fn max_read_index() {
-        let e = Expr::bin(BinOp::Add, Expr::Read(2), Expr::un(UnOp::Neg, Expr::Read(5)));
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Read(2),
+            Expr::un(UnOp::Neg, Expr::Read(5)),
+        );
         assert_eq!(e.max_read_index(), Some(5));
         assert_eq!(Expr::Const(1.0).max_read_index(), None);
     }
 
     #[test]
     fn op_count_weighting() {
-        assert_eq!(Expr::bin(BinOp::Mul, Expr::Read(0), Expr::Read(1)).op_count(), 1);
+        assert_eq!(
+            Expr::bin(BinOp::Mul, Expr::Read(0), Expr::Read(1)).op_count(),
+            1
+        );
         assert_eq!(Expr::un(UnOp::Tanh, Expr::Read(0)).op_count(), 4);
     }
 

@@ -113,7 +113,11 @@ impl Kernel {
     /// Panics if a domain is unbounded or an access goes out of bounds
     /// (debug builds).
     pub fn execute_reference(&self, buffers: &mut [Vec<f32>], param_values: &[i64]) {
-        assert_eq!(param_values.len(), self.n_params(), "parameter count mismatch");
+        assert_eq!(
+            param_values.len(),
+            self.n_params(),
+            "parameter count mismatch"
+        );
         assert_eq!(buffers.len(), self.tensors.len(), "buffer count mismatch");
         for s in &self.statements {
             let domain = s.concrete_domain(param_values);
@@ -213,7 +217,10 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Starts a kernel with the given name.
     pub fn new(name: impl Into<String>) -> KernelBuilder {
-        KernelBuilder { name: name.into(), ..Default::default() }
+        KernelBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares a global parameter with a default concrete value (AI/DL

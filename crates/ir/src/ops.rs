@@ -136,7 +136,10 @@ pub fn bias_add_relu(n: i64, c: i64) -> Kernel {
             .write(b, &[Idx::Iter(0), Idx::Iter(1)])
             .read(a, &[Idx::Iter(0), Idx::Iter(1)])
             .read(bias, &[Idx::Iter(1)])
-            .expr(Expr::un(UnOp::Relu, Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1)))),
+            .expr(Expr::un(
+                UnOp::Relu,
+                Expr::bin(BinOp::Add, Expr::Read(0), Expr::Read(1)),
+            )),
     )
     .expect("valid statement");
     kb.finish().expect("valid kernel")
@@ -174,11 +177,23 @@ pub fn reduce_rows(n: i64, m: i64) -> Kernel {
 /// ```
 pub fn layernorm_like(rows: i64, cols: i64) -> Kernel {
     let mut kb = KernelBuilder::new("fused_layernorm");
-    let a = kb.tensor("A", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let a = kb.tensor(
+        "A",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     let mean = kb.tensor("mean", vec![Extent::Const(rows)], ElemType::F32);
-    let b = kb.tensor("B", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let b = kb.tensor(
+        "B",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     let var = kb.tensor("var", vec![Extent::Const(rows)], ElemType::F32);
-    let c = kb.tensor("Cout", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let c = kb.tensor(
+        "Cout",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     let inv_n = 1.0 / cols as f32;
     kb.add_statement(
         StatementBuilder::new("R1", &["i", "j"])
@@ -245,11 +260,23 @@ pub fn layernorm_like(rows: i64, cols: i64) -> Kernel {
 /// accumulate from zero-initialized buffers).
 pub fn softmax_like(rows: i64, cols: i64) -> Kernel {
     let mut kb = KernelBuilder::new("fused_softmax");
-    let a = kb.tensor("A", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let a = kb.tensor(
+        "A",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     let m = kb.tensor("m", vec![Extent::Const(rows)], ElemType::F32);
-    let b = kb.tensor("B", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let b = kb.tensor(
+        "B",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     let sum = kb.tensor("s", vec![Extent::Const(rows)], ElemType::F32);
-    let c = kb.tensor("Cout", vec![Extent::Const(rows), Extent::Const(cols)], ElemType::F32);
+    let c = kb.tensor(
+        "Cout",
+        vec![Extent::Const(rows), Extent::Const(cols)],
+        ElemType::F32,
+    );
     kb.add_statement(
         StatementBuilder::new("M", &["i", "j"])
             .bound_extent(0, rows)
@@ -267,7 +294,10 @@ pub fn softmax_like(rows: i64, cols: i64) -> Kernel {
             .write(b, &[Idx::Iter(0), Idx::Iter(1)])
             .read(a, &[Idx::Iter(0), Idx::Iter(1)])
             .read(m, &[Idx::Iter(0)])
-            .expr(Expr::un(UnOp::Exp, Expr::bin(BinOp::Sub, Expr::Read(0), Expr::Read(1)))),
+            .expr(Expr::un(
+                UnOp::Exp,
+                Expr::bin(BinOp::Sub, Expr::Read(0), Expr::Read(1)),
+            )),
     )
     .expect("valid E");
     kb.add_statement(
@@ -304,12 +334,22 @@ pub fn transpose_nchw_nhwc_of(n: i64, c: i64, h: i64, w: i64, elem: ElemType) ->
     let mut kb = KernelBuilder::new("fused_transpose_nchw_nhwc");
     let a = kb.tensor(
         "A",
-        vec![Extent::Const(n), Extent::Const(c), Extent::Const(h), Extent::Const(w)],
+        vec![
+            Extent::Const(n),
+            Extent::Const(c),
+            Extent::Const(h),
+            Extent::Const(w),
+        ],
         elem,
     );
     let b = kb.tensor(
         "B",
-        vec![Extent::Const(n), Extent::Const(h), Extent::Const(w), Extent::Const(c)],
+        vec![
+            Extent::Const(n),
+            Extent::Const(h),
+            Extent::Const(w),
+            Extent::Const(c),
+        ],
         elem,
     );
     kb.add_statement(

@@ -70,7 +70,11 @@ impl Statement {
     /// The iteration domain with parameters fixed to concrete values,
     /// projected onto the iterators only.
     pub fn concrete_domain(&self, param_values: &[i64]) -> ConstraintSet {
-        assert_eq!(param_values.len(), self.n_params, "parameter count mismatch");
+        assert_eq!(
+            param_values.len(),
+            self.n_params,
+            "parameter count mismatch"
+        );
         let n = self.n_iters() + self.n_params;
         let mut d = self.domain.clone();
         for (j, &v) in param_values.iter().enumerate() {
@@ -85,10 +89,7 @@ impl Statement {
     /// of distinct values it takes, assuming a rectangular domain).
     pub fn extent_of_iter(&self, iter: usize, param_values: &[i64]) -> i64 {
         let d = self.concrete_domain(param_values);
-        let proj = project_onto_prefix(
-            &reorder_var_first(&d, iter),
-            1,
-        );
+        let proj = project_onto_prefix(&reorder_var_first(&d, iter), 1);
         let b = polyject_sets::bounds_for_var(&proj, 0);
         // Bound expressions live in the 1-variable projected space but do
         // not mention the variable itself, so evaluating at 0 is exact.
@@ -122,7 +123,11 @@ fn reorder_var_first(set: &ConstraintSet, var: usize) -> ConstraintSet {
             }
         }
         let e = LinExpr::from_rat_coeffs(coeffs, c.expr().constant_term());
-        out.add(if c.is_equality() { Constraint::eq0(e) } else { Constraint::ge0(e) });
+        out.add(if c.is_equality() {
+            Constraint::eq0(e)
+        } else {
+            Constraint::ge0(e)
+        });
     }
     out
 }
@@ -201,7 +206,8 @@ impl StatementBuilder {
     /// `[iters..., params...]` space; the space width is validated when the
     /// statement is added to a kernel.
     pub fn constraint(mut self, expr: LinExpr, equality: bool) -> StatementBuilder {
-        self.extra_constraints.push(RawConstraint { expr, equality });
+        self.extra_constraints
+            .push(RawConstraint { expr, equality });
         self
     }
 
@@ -249,10 +255,7 @@ impl StatementBuilder {
                         Extent::Const(c) => e.set_constant((*c as i128) - 1),
                         Extent::Param(p) => {
                             if p.0 >= n_params {
-                                return Err(format!(
-                                    "unknown parameter in bound of {}",
-                                    self.name
-                                ));
+                                return Err(format!("unknown parameter in bound of {}", self.name));
                             }
                             e.set_coeff(n_iters + p.0, 1);
                             e.set_constant(-1i128);
@@ -272,8 +275,12 @@ impl StatementBuilder {
                 Constraint::ge0(rc.expr.clone())
             });
         }
-        let (wt, wi) = self.write.ok_or_else(|| format!("{} has no write", self.name))?;
-        let expr = self.expr.ok_or_else(|| format!("{} has no expression", self.name))?;
+        let (wt, wi) = self
+            .write
+            .ok_or_else(|| format!("{} has no write", self.name))?;
+        let expr = self
+            .expr
+            .ok_or_else(|| format!("{} has no expression", self.name))?;
         if let Some(max) = expr.max_read_index() {
             if max >= self.reads.len() {
                 return Err(format!(

@@ -22,7 +22,11 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a tensor.
     pub fn new(name: impl Into<String>, dims: Vec<Extent>, elem: ElemType) -> Tensor {
-        Tensor { name: name.into(), dims, elem }
+        Tensor {
+            name: name.into(),
+            dims,
+            elem,
+        }
     }
 
     /// The tensor's name.
@@ -105,7 +109,11 @@ mod tests {
     fn parametric_shape_and_strides() {
         let t = Tensor::new(
             "D",
-            vec![Extent::Param(ParamId(0)), Extent::Const(4), Extent::Param(ParamId(0))],
+            vec![
+                Extent::Param(ParamId(0)),
+                Extent::Const(4),
+                Extent::Param(ParamId(0)),
+            ],
             ElemType::F32,
         );
         assert_eq!(t.shape(&[8]), vec![8, 4, 8]);

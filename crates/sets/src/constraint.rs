@@ -34,12 +34,18 @@ pub struct Constraint {
 impl Constraint {
     /// Creates the constraint `expr >= 0`.
     pub fn ge0(expr: LinExpr) -> Constraint {
-        Constraint { expr: expr.normalized_ineq(), kind: ConstraintKind::Ge }
+        Constraint {
+            expr: expr.normalized_ineq(),
+            kind: ConstraintKind::Ge,
+        }
     }
 
     /// Creates the constraint `expr == 0`.
     pub fn eq0(expr: LinExpr) -> Constraint {
-        Constraint { expr: expr.normalized_eq(), kind: ConstraintKind::Eq }
+        Constraint {
+            expr: expr.normalized_eq(),
+            kind: ConstraintKind::Eq,
+        }
     }
 
     /// Creates `lhs >= rhs`.
@@ -87,12 +93,18 @@ impl Constraint {
 
     /// Returns the constraint with its space extended to `n_vars`.
     pub fn extended(&self, n_vars: usize) -> Constraint {
-        Constraint { expr: self.expr.extended(n_vars), kind: self.kind }
+        Constraint {
+            expr: self.expr.extended(n_vars),
+            kind: self.kind,
+        }
     }
 
     /// Returns the constraint with `count` fresh variables inserted at `at`.
     pub fn with_vars_inserted(&self, at: usize, count: usize) -> Constraint {
-        Constraint { expr: self.expr.with_vars_inserted(at, count), kind: self.kind }
+        Constraint {
+            expr: self.expr.with_vars_inserted(at, count),
+            kind: self.kind,
+        }
     }
 
     /// A trivially true constraint is `c >= 0` with `c >= 0`, or `0 == 0`.
@@ -160,7 +172,10 @@ pub struct ConstraintSet {
 impl ConstraintSet {
     /// The unconstrained set over `n_vars` variables.
     pub fn universe(n_vars: usize) -> ConstraintSet {
-        ConstraintSet { n_vars, constraints: Vec::new() }
+        ConstraintSet {
+            n_vars,
+            constraints: Vec::new(),
+        }
     }
 
     /// Builds a set from constraints.
@@ -215,6 +230,25 @@ impl ConstraintSet {
         }
     }
 
+    /// Drops every constraint after the first `len`, restoring the set to
+    /// an earlier state recorded with [`ConstraintSet::len`]. Because
+    /// [`ConstraintSet::add`] only ever appends (or no-ops on duplicates
+    /// and trivially-true constraints), a `len()`/`add`/`truncate`
+    /// sequence is an exact push/pop — branch-and-bound uses this to avoid
+    /// cloning the whole set at every search node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current constraint count (which would
+    /// indicate a mismatched push/pop pair, not a restore).
+    pub fn truncate(&mut self, len: usize) {
+        assert!(
+            len <= self.constraints.len(),
+            "truncate beyond current length"
+        );
+        self.constraints.truncate(len);
+    }
+
     /// Adds every constraint of `other`.
     ///
     /// # Panics
@@ -247,7 +281,11 @@ impl ConstraintSet {
     pub fn extended(&self, n_vars: usize) -> ConstraintSet {
         ConstraintSet {
             n_vars,
-            constraints: self.constraints.iter().map(|c| c.extended(n_vars)).collect(),
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| c.extended(n_vars))
+                .collect(),
         }
     }
 

@@ -1,0 +1,127 @@
+//! Thread-local solver performance counters.
+//!
+//! The scheduler's hot path is made of LP solves, branch-and-bound nodes
+//! and Fourier–Motzkin eliminations; these counters let callers measure
+//! exactly how much solver work a compilation performed without threading
+//! a context object through every call. Counters are **per-thread** and
+//! monotonically increasing: take a [`snapshot`] before and after a
+//! region and subtract with [`SolverCounters::delta_since`]. This
+//! composes naturally with the parallel compilation pipeline, where each
+//! operator is compiled start-to-finish on a single worker thread.
+
+use std::cell::Cell;
+
+/// A snapshot of the per-thread solver work counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Exact simplex solves ([`crate::minimize`] calls).
+    pub lp_solves: u64,
+    /// Integer programs solved ([`crate::minimize_integer`] calls).
+    pub ilp_solves: u64,
+    /// Branch-and-bound nodes explored across all ILP solves.
+    pub ilp_nodes: u64,
+    /// Fourier–Motzkin variable eliminations ([`crate::eliminate_var`]).
+    pub fm_eliminations: u64,
+}
+
+impl SolverCounters {
+    /// The work performed between `earlier` and `self` (both snapshots of
+    /// the same thread).
+    pub fn delta_since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            lp_solves: self.lp_solves - earlier.lp_solves,
+            ilp_solves: self.ilp_solves - earlier.ilp_solves,
+            ilp_nodes: self.ilp_nodes - earlier.ilp_nodes,
+            fm_eliminations: self.fm_eliminations - earlier.fm_eliminations,
+        }
+    }
+
+    /// Accumulates another delta into this one (for aggregating across
+    /// operators or worker threads).
+    pub fn accumulate(&mut self, other: &SolverCounters) {
+        self.lp_solves += other.lp_solves;
+        self.ilp_solves += other.ilp_solves;
+        self.ilp_nodes += other.ilp_nodes;
+        self.fm_eliminations += other.fm_eliminations;
+    }
+}
+
+thread_local! {
+    static LP_SOLVES: Cell<u64> = const { Cell::new(0) };
+    static ILP_SOLVES: Cell<u64> = const { Cell::new(0) };
+    static ILP_NODES: Cell<u64> = const { Cell::new(0) };
+    static FM_ELIMS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current thread's counter values.
+pub fn snapshot() -> SolverCounters {
+    SolverCounters {
+        lp_solves: LP_SOLVES.get(),
+        ilp_solves: ILP_SOLVES.get(),
+        ilp_nodes: ILP_NODES.get(),
+        fm_eliminations: FM_ELIMS.get(),
+    }
+}
+
+pub(crate) fn count_lp_solve() {
+    LP_SOLVES.set(LP_SOLVES.get() + 1);
+}
+
+pub(crate) fn count_ilp_solve() {
+    ILP_SOLVES.set(ILP_SOLVES.get() + 1);
+}
+
+pub(crate) fn count_ilp_node() {
+    ILP_NODES.set(ILP_NODES.get() + 1);
+}
+
+pub(crate) fn count_fm_elimination() {
+    FM_ELIMS.set(FM_ELIMS.get() + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_advance_and_delta() {
+        let before = snapshot();
+        count_lp_solve();
+        count_ilp_solve();
+        count_ilp_node();
+        count_ilp_node();
+        count_fm_elimination();
+        let after = snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.lp_solves, 1);
+        assert_eq!(d.ilp_solves, 1);
+        assert_eq!(d.ilp_nodes, 2);
+        assert_eq!(d.fm_eliminations, 1);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = SolverCounters {
+            lp_solves: 1,
+            ilp_solves: 2,
+            ilp_nodes: 3,
+            fm_eliminations: 4,
+        };
+        let b = SolverCounters {
+            lp_solves: 10,
+            ilp_solves: 20,
+            ilp_nodes: 30,
+            fm_eliminations: 40,
+        };
+        a.accumulate(&b);
+        assert_eq!(
+            a,
+            SolverCounters {
+                lp_solves: 11,
+                ilp_solves: 22,
+                ilp_nodes: 33,
+                fm_eliminations: 44
+            }
+        );
+    }
+}

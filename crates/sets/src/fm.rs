@@ -6,6 +6,7 @@
 //! loop bounds for each schedule dimension.
 
 use crate::constraint::{Constraint, ConstraintSet};
+use crate::counters;
 use crate::linexpr::LinExpr;
 use crate::simplex::{minimize, LpOutcome};
 use polyject_arith::Rat;
@@ -34,6 +35,7 @@ const PRUNE_THRESHOLD: usize = 32;
 /// ```
 pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
     assert!(var < set.n_vars(), "variable out of range");
+    counters::count_fm_elimination();
     // Prefer substitution through an equality involving the variable.
     if let Some(eq) = set
         .constraints()
@@ -57,8 +59,19 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
                 } else {
                     Constraint::ge0(combined)
                 };
-                if nc.is_trivially_false() || !nc.is_trivially_true() {
-                    out.add_even_if_false(nc);
+                if nc.is_trivially_false() {
+                    // Substitution exposed a contradiction (e.g. `0 == 1`
+                    // after combining two incompatible equalities): the
+                    // set is empty, so its projection is empty. Return an
+                    // explicitly infeasible set immediately — dropping or
+                    // skipping the constraint here would silently turn an
+                    // empty set into a non-empty projection.
+                    let mut empty = ConstraintSet::universe(set.n_vars());
+                    empty.add(Constraint::ge0(LinExpr::constant(set.n_vars(), -1)));
+                    return empty;
+                }
+                if !nc.is_trivially_true() {
+                    out.add(nc);
                 }
             }
         }
@@ -119,7 +132,10 @@ pub fn eliminate_vars(set: &ConstraintSet, vars: &[usize]) -> ConstraintSet {
 ///
 /// Panics if `keep > set.n_vars()`.
 pub fn project_onto_prefix(set: &ConstraintSet, keep: usize) -> ConstraintSet {
-    assert!(keep <= set.n_vars(), "cannot keep more variables than exist");
+    assert!(
+        keep <= set.n_vars(),
+        "cannot keep more variables than exist"
+    );
     let vars: Vec<usize> = (keep..set.n_vars()).collect();
     let eliminated = eliminate_vars(set, &vars);
     if eliminated.has_trivial_contradiction() {
@@ -134,7 +150,11 @@ pub fn project_onto_prefix(set: &ConstraintSet, keep: usize) -> ConstraintSet {
         debug_assert!((keep..set.n_vars()).all(|v| c.expr().coeff(v).is_zero()));
         let coeffs: Vec<Rat> = (0..keep).map(|v| c.expr().coeff(v)).collect();
         let expr = LinExpr::from_rat_coeffs(coeffs, c.expr().constant_term());
-        let nc = if c.is_equality() { Constraint::eq0(expr) } else { Constraint::ge0(expr) };
+        let nc = if c.is_equality() {
+            Constraint::eq0(expr)
+        } else {
+            Constraint::ge0(expr)
+        };
         out.add_even_if_false(nc);
     }
     out
@@ -270,6 +290,37 @@ mod tests {
     }
 
     #[test]
+    fn equality_substitution_contradicting_equalities_infeasible() {
+        // { (x, y) | y == 0, y == 1 }: substituting y := 0 into y == 1
+        // yields the trivially-false `-1 == 0`. Regression test: the
+        // projection must come back explicitly infeasible, not silently
+        // drop the contradiction and report a non-empty set.
+        let set = ConstraintSet::from_constraints(2, vec![eq(&[0, 1], 0), eq(&[0, 1], -1)]);
+        let p = eliminate_var(&set, 1);
+        assert!(p.has_trivial_contradiction());
+        assert!(!is_rational_feasible(&p));
+        assert!(!p.contains_int(&[0, 0]));
+    }
+
+    #[test]
+    fn equality_substitution_contradicting_inequality_infeasible() {
+        // { (x, y) | y == 2, y >= 5 }: substitution yields `-3 >= 0`.
+        let set = ConstraintSet::from_constraints(2, vec![eq(&[0, 1], -2), ge(&[0, 1], -5)]);
+        let p = eliminate_var(&set, 1);
+        assert!(p.has_trivial_contradiction());
+        assert!(!is_rational_feasible(&p));
+    }
+
+    #[test]
+    fn elimination_ticks_fm_counter() {
+        let before = crate::counters::snapshot();
+        let set = ConstraintSet::from_constraints(2, vec![ge(&[0, 1], 0), ge(&[1, -1], 0)]);
+        let _ = eliminate_var(&set, 1);
+        let d = crate::counters::snapshot().delta_since(&before);
+        assert_eq!(d.fm_eliminations, 1);
+    }
+
+    #[test]
     fn equality_substitution_path() {
         // x == 2y, 1 <= y <= 3: eliminating y gives 2 <= x <= 6.
         let set = ConstraintSet::from_constraints(
@@ -286,7 +337,12 @@ mod tests {
     fn projection_shrinks_space() {
         let set = ConstraintSet::from_constraints(
             3,
-            vec![ge(&[1, 0, 0], 0), ge(&[-1, 0, 1], 0), ge(&[0, 0, -1], 7), ge(&[0, 1, 0], 0)],
+            vec![
+                ge(&[1, 0, 0], 0),
+                ge(&[-1, 0, 1], 0),
+                ge(&[0, 0, -1], 7),
+                ge(&[0, 1, 0], 0),
+            ],
         );
         // x0 >= 0, x0 <= x2 <= 7, x1 >= 0; project onto x0.
         let p = project_onto_prefix(&set, 1);
@@ -325,7 +381,12 @@ mod tests {
     fn projection_of_projection_is_stable() {
         let set = ConstraintSet::from_constraints(
             2,
-            vec![ge(&[1, 0], 0), ge(&[-1, 0], 5), ge(&[0, 1], 0), ge(&[0, -1], 5)],
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 5),
+                ge(&[0, 1], 0),
+                ge(&[0, -1], 5),
+            ],
         );
         let once = project_onto_prefix(&set, 1);
         let twice = project_onto_prefix(&once.extended(2), 1);

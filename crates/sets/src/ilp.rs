@@ -3,8 +3,16 @@
 //!
 //! The influenced scheduler solves one (lexicographic) ILP per scheduling
 //! dimension; dependence analysis uses integer feasibility tests.
+//!
+//! Branch-and-bound works on a **single mutable** [`ConstraintSet`]: each
+//! node pushes one bound constraint, recurses, and pops it by truncating
+//! back to the recorded length, instead of cloning the whole set per node
+//! (the historical behavior, kept as [`minimize_integer_reference`] for
+//! differential testing). The search order is identical, so outcomes —
+//! including tie-broken optimum points — are bit-for-bit the same.
 
 use crate::constraint::{Constraint, ConstraintSet};
+use crate::counters;
 use crate::linexpr::LinExpr;
 use crate::simplex::{minimize, LpOutcome};
 use polyject_arith::Rat;
@@ -69,12 +77,41 @@ const NODE_LIMIT: usize = 100_000;
 /// Panics if branch-and-bound exceeds its node limit (a malformed,
 /// effectively unbounded search).
 pub fn minimize_integer(objective: &LinExpr, set: &ConstraintSet) -> IlpOutcome {
+    minimize_integer_bounded(objective, set, None)
+}
+
+/// Like [`minimize_integer`], with an optional *attainable* upper bound on
+/// the objective: subtrees whose LP relaxation strictly exceeds the bound
+/// are pruned before any incumbent exists.
+///
+/// The caller must guarantee that some feasible integer point attains a
+/// value `<= upper_bound` (e.g. the bound is the objective evaluated at a
+/// known feasible point, as [`lexmin_integer`] does between successive
+/// objectives). Under that contract the result — outcome, value *and*
+/// tie-broken point — is identical to the unbounded search: pruning only
+/// removes subtrees whose every integer point is strictly worse than the
+/// optimum, and the depth-first order of the remaining nodes is unchanged.
+pub fn minimize_integer_bounded(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    upper_bound: Option<Rat>,
+) -> IlpOutcome {
+    counters::count_ilp_solve();
     let mut best: Option<(Rat, Vec<i128>)> = None;
     let mut nodes = 0usize;
-    match branch(objective, set.clone(), &mut best, &mut nodes) {
+    // One clone for the whole solve; branch() pushes/pops on it in place.
+    let mut work = set.clone();
+    match branch(objective, &mut work, upper_bound, &mut best, &mut nodes) {
         BranchResult::Unbounded => IlpOutcome::Unbounded,
         BranchResult::Done => match best {
             Some((value, point)) => IlpOutcome::Optimal { point, value },
+            None if upper_bound.is_some() => {
+                // The bound contract was violated (no feasible point at or
+                // below it). Fall back to the exact unbounded search rather
+                // than report a spurious Infeasible.
+                debug_assert!(false, "minimize_integer_bounded: unattainable upper bound");
+                minimize_integer(objective, set)
+            }
             None => IlpOutcome::Infeasible,
         },
     }
@@ -99,6 +136,13 @@ pub fn find_integer_point(set: &ConstraintSet) -> Option<Vec<i128>> {
 /// on. Returns the final optimum point together with the per-objective
 /// optimal values.
 ///
+/// Between successive objectives the previous optimum point is reused as a
+/// warm start: it stays feasible after its objective is pinned, so its
+/// value under the next objective is an attainable upper bound that lets
+/// branch-and-bound prune strictly-worse subtrees from the start (see
+/// [`minimize_integer_bounded`]); results are identical to solving each
+/// step cold.
+///
 /// # Examples
 ///
 /// ```
@@ -122,7 +166,10 @@ pub fn lexmin_integer(objectives: &[LinExpr], set: &ConstraintSet) -> IlpOutcome
     let mut cur = set.clone();
     let mut last: Option<(Vec<i128>, Rat)> = None;
     for obj in objectives {
-        match minimize_integer(obj, &cur) {
+        // The previous optimum satisfies every pin added so far, so it is
+        // feasible here and its objective value is attainable.
+        let warm = last.as_ref().map(|(p, _)| obj.eval_int(p));
+        match minimize_integer_bounded(obj, &cur, warm) {
             IlpOutcome::Optimal { point, value } => {
                 // Pin this objective at its optimum for the later ones.
                 let mut pin = obj.clone();
@@ -136,7 +183,10 @@ pub fn lexmin_integer(objectives: &[LinExpr], set: &ConstraintSet) -> IlpOutcome
     match last {
         Some((point, value)) => IlpOutcome::Optimal { point, value },
         None => match find_integer_point(&cur) {
-            Some(point) => IlpOutcome::Optimal { point, value: Rat::ZERO },
+            Some(point) => IlpOutcome::Optimal {
+                point,
+                value: Rat::ZERO,
+            },
             None => IlpOutcome::Infeasible,
         },
     }
@@ -148,6 +198,87 @@ enum BranchResult {
 }
 
 fn branch(
+    objective: &LinExpr,
+    set: &mut ConstraintSet,
+    upper_bound: Option<Rat>,
+    best: &mut Option<(Rat, Vec<i128>)>,
+    nodes: &mut usize,
+) -> BranchResult {
+    *nodes += 1;
+    counters::count_ilp_node();
+    assert!(*nodes <= NODE_LIMIT, "branch-and-bound node limit exceeded");
+    match minimize(objective, set) {
+        LpOutcome::Infeasible => BranchResult::Done,
+        LpOutcome::Unbounded => BranchResult::Unbounded,
+        LpOutcome::Optimal { point, value } => {
+            // Every integer point below this node is >= the relaxation
+            // value: strictly above the attainable bound means the subtree
+            // cannot contain an optimum.
+            if let Some(ub) = upper_bound {
+                if value > ub {
+                    return BranchResult::Done;
+                }
+            }
+            if let Some((bv, _)) = best {
+                if value >= *bv {
+                    return BranchResult::Done; // cannot improve
+                }
+            }
+            match first_fractional(&point) {
+                None => {
+                    let int_point: Vec<i128> = point
+                        .iter()
+                        .map(|r| r.to_integer().expect("integer point"))
+                        .collect();
+                    if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
+                        *best = Some((value, int_point));
+                    }
+                    BranchResult::Done
+                }
+                Some(i) => {
+                    let f = point[i];
+                    let n = set.n_vars();
+                    // x_i <= floor(f): push the bound, recurse, pop it.
+                    let saved = set.len();
+                    let mut e = LinExpr::var(n, i).scaled(-Rat::ONE);
+                    e.set_constant(Rat::int(f.floor()));
+                    set.add(Constraint::ge0(e));
+                    let lo = branch(objective, set, upper_bound, best, nodes);
+                    set.truncate(saved);
+                    if let BranchResult::Unbounded = lo {
+                        return BranchResult::Unbounded;
+                    }
+                    // x_i >= ceil(f)
+                    let saved = set.len();
+                    let mut e = LinExpr::var(n, i);
+                    e.set_constant(Rat::int(-f.ceil()));
+                    set.add(Constraint::ge0(e));
+                    let hi = branch(objective, set, upper_bound, best, nodes);
+                    set.truncate(saved);
+                    hi
+                }
+            }
+        }
+    }
+}
+
+/// The historical clone-per-node branch-and-bound, kept verbatim as a
+/// reference implementation for differential property tests of the
+/// push/pop rewrite. Semantics (outcome, optimal value, and tie-broken
+/// optimum point) must always match [`minimize_integer`].
+pub fn minimize_integer_reference(objective: &LinExpr, set: &ConstraintSet) -> IlpOutcome {
+    let mut best: Option<(Rat, Vec<i128>)> = None;
+    let mut nodes = 0usize;
+    match branch_cloning(objective, set.clone(), &mut best, &mut nodes) {
+        BranchResult::Unbounded => IlpOutcome::Unbounded,
+        BranchResult::Done => match best {
+            Some((value, point)) => IlpOutcome::Optimal { point, value },
+            None => IlpOutcome::Infeasible,
+        },
+    }
+}
+
+fn branch_cloning(
     objective: &LinExpr,
     set: ConstraintSet,
     best: &mut Option<(Rat, Vec<i128>)>,
@@ -166,8 +297,10 @@ fn branch(
             }
             match first_fractional(&point) {
                 None => {
-                    let int_point: Vec<i128> =
-                        point.iter().map(|r| r.to_integer().expect("integer point")).collect();
+                    let int_point: Vec<i128> = point
+                        .iter()
+                        .map(|r| r.to_integer().expect("integer point"))
+                        .collect();
                     if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
                         *best = Some((value, int_point));
                     }
@@ -181,7 +314,7 @@ fn branch(
                     let mut e = LinExpr::var(n, i).scaled(-Rat::ONE);
                     e.set_constant(Rat::int(f.floor()));
                     lo.add(Constraint::ge0(e));
-                    if let BranchResult::Unbounded = branch(objective, lo, best, nodes) {
+                    if let BranchResult::Unbounded = branch_cloning(objective, lo, best, nodes) {
                         return BranchResult::Unbounded;
                     }
                     // x_i >= ceil(f)
@@ -189,7 +322,7 @@ fn branch(
                     let mut e = LinExpr::var(n, i);
                     e.set_constant(Rat::int(-f.ceil()));
                     hi.add(Constraint::ge0(e));
-                    branch(objective, hi, best, nodes)
+                    branch_cloning(objective, hi, best, nodes)
                 }
             }
         }
@@ -243,7 +376,49 @@ mod tests {
     #[test]
     fn unbounded_objective() {
         let set = ConstraintSet::from_constraints(1, vec![ge(1, &[-1], 0)]);
-        assert_eq!(minimize_integer(&LinExpr::var(1, 0), &set), IlpOutcome::Unbounded);
+        assert_eq!(
+            minimize_integer(&LinExpr::var(1, 0), &set),
+            IlpOutcome::Unbounded
+        );
+    }
+
+    #[test]
+    fn push_pop_leaves_no_residue() {
+        // After a deep branch-and-bound, the working set must have been
+        // restored at every level: run the same solve twice and through
+        // the reference implementation, expecting identical outcomes.
+        let set = ConstraintSet::from_constraints(
+            3,
+            vec![
+                ge(3, &[2, 3, 5], -11),
+                ge(3, &[1, 0, 0], 0),
+                ge(3, &[0, 1, 0], 0),
+                ge(3, &[0, 0, 1], 0),
+                ge(3, &[-1, -1, -1], 7),
+            ],
+        );
+        let obj = LinExpr::from_coeffs(&[1, 1, 1], 0);
+        let a = minimize_integer(&obj, &set);
+        let b = minimize_integer(&obj, &set);
+        let r = minimize_integer_reference(&obj, &set);
+        assert_eq!(a, b);
+        assert_eq!(a, r);
+    }
+
+    #[test]
+    fn bounded_search_matches_unbounded() {
+        // min x+y s.t. 2x + 2y >= 5, x,y >= 0, with the attainable bound
+        // from the feasible point (3, 0) → value 3 (which is the optimum).
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![ge(2, &[2, 2], -5), ge(2, &[1, 0], 0), ge(2, &[0, 1], 0)],
+        );
+        let obj = LinExpr::from_coeffs(&[1, 1], 0);
+        let cold = minimize_integer(&obj, &set);
+        let warm = minimize_integer_bounded(&obj, &set, Some(Rat::int(3)));
+        let loose = minimize_integer_bounded(&obj, &set, Some(Rat::int(100)));
+        assert_eq!(cold, warm);
+        assert_eq!(cold, loose);
     }
 
     #[test]
@@ -285,7 +460,10 @@ mod tests {
     #[test]
     fn lexmin_infeasible() {
         let set = ConstraintSet::from_constraints(1, vec![ge(1, &[1], -4), ge(1, &[-1], 2)]);
-        assert_eq!(lexmin_integer(&[LinExpr::var(1, 0)], &set), IlpOutcome::Infeasible);
+        assert_eq!(
+            lexmin_integer(&[LinExpr::var(1, 0)], &set),
+            IlpOutcome::Infeasible
+        );
     }
 
     #[test]
@@ -296,5 +474,22 @@ mod tests {
             vec![Constraint::eq0(LinExpr::from_coeffs(&[3], -12))],
         );
         assert_eq!(find_integer_point(&set), Some(vec![4]));
+    }
+
+    #[test]
+    fn solver_counters_tick() {
+        let before = crate::counters::snapshot();
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![ge(2, &[2, 2], -5), ge(2, &[1, 0], 0), ge(2, &[0, 1], 0)],
+        );
+        minimize_integer(&LinExpr::from_coeffs(&[1, 1], 0), &set);
+        let d = crate::counters::snapshot().delta_since(&before);
+        assert_eq!(d.ilp_solves, 1);
+        assert!(d.ilp_nodes >= 1);
+        assert!(
+            d.lp_solves >= d.ilp_nodes,
+            "each node solves at least one LP"
+        );
     }
 }

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod constraint;
+pub mod counters;
 mod fm;
 mod ilp;
 mod linexpr;
@@ -46,12 +47,13 @@ mod relations;
 mod simplex;
 
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
+pub use counters::SolverCounters;
 pub use fm::{
-    bounds_for_var, eliminate_var, eliminate_vars, project_onto_prefix, remove_redundant,
-    VarBounds,
+    bounds_for_var, eliminate_var, eliminate_vars, project_onto_prefix, remove_redundant, VarBounds,
 };
 pub use ilp::{
-    find_integer_point, is_integer_feasible, lexmin_integer, minimize_integer, IlpOutcome,
+    find_integer_point, is_integer_feasible, lexmin_integer, minimize_integer,
+    minimize_integer_bounded, minimize_integer_reference, IlpOutcome,
 };
 pub use linexpr::LinExpr;
 pub use points::{count_integer_points, eval_bound, integer_points};

@@ -30,7 +30,10 @@ pub struct LinExpr {
 impl LinExpr {
     /// The zero expression over `n_vars` variables.
     pub fn zero(n_vars: usize) -> LinExpr {
-        LinExpr { coeffs: vec![Rat::ZERO; n_vars], constant: Rat::ZERO }
+        LinExpr {
+            coeffs: vec![Rat::ZERO; n_vars],
+            constant: Rat::ZERO,
+        }
     }
 
     /// The expression consisting of the single variable `var`.
@@ -146,7 +149,10 @@ impl LinExpr {
         assert!(n_vars >= self.coeffs.len(), "cannot shrink space");
         let mut coeffs = self.coeffs.clone();
         coeffs.resize(n_vars, Rat::ZERO);
-        LinExpr { coeffs, constant: self.constant }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Inserts `count` fresh zero-coefficient variables starting at
@@ -157,7 +163,10 @@ impl LinExpr {
         coeffs.extend_from_slice(&self.coeffs[..at]);
         coeffs.extend(std::iter::repeat_n(Rat::ZERO, count));
         coeffs.extend_from_slice(&self.coeffs[at..]);
-        LinExpr { coeffs, constant: self.constant }
+        LinExpr {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Normalizes the expression so that all coefficients and the constant
@@ -242,7 +251,11 @@ impl fmt::Display for LinExpr {
             write!(
                 f,
                 " {} {}",
-                if self.constant.is_negative() { "-" } else { "+" },
+                if self.constant.is_negative() {
+                    "-"
+                } else {
+                    "+"
+                },
                 self.constant.abs()
             )?;
         }
@@ -255,7 +268,12 @@ impl Add for &LinExpr {
     fn add(self, rhs: &LinExpr) -> LinExpr {
         assert_eq!(self.coeffs.len(), rhs.coeffs.len(), "dimension mismatch");
         LinExpr {
-            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a + b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a + b)
+                .collect(),
             constant: self.constant + rhs.constant,
         }
     }
@@ -266,7 +284,12 @@ impl Sub for &LinExpr {
     fn sub(self, rhs: &LinExpr) -> LinExpr {
         assert_eq!(self.coeffs.len(), rhs.coeffs.len(), "dimension mismatch");
         LinExpr {
-            coeffs: self.coeffs.iter().zip(&rhs.coeffs).map(|(&a, &b)| a - b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&rhs.coeffs)
+                .map(|(&a, &b)| a - b)
+                .collect(),
             constant: self.constant - rhs.constant,
         }
     }

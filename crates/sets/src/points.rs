@@ -32,7 +32,11 @@ use polyject_arith::Rat;
 pub fn integer_points(set: &ConstraintSet, limit: usize) -> Result<Vec<Vec<i128>>, String> {
     let n = set.n_vars();
     if n == 0 {
-        return Ok(if set.has_trivial_contradiction() { vec![] } else { vec![vec![]] });
+        return Ok(if set.has_trivial_contradiction() {
+            vec![]
+        } else {
+            vec![vec![]]
+        });
     }
     // Progressive projections: proj[k] constrains variables 0..=k.
     let mut projections = Vec::with_capacity(n);
@@ -139,7 +143,12 @@ mod tests {
     fn box_count() {
         let set = ConstraintSet::from_constraints(
             2,
-            vec![ge(&[1, 0], 0), ge(&[-1, 0], 3), ge(&[0, 1], 0), ge(&[0, -1], 2)],
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 3),
+                ge(&[0, 1], 0),
+                ge(&[0, -1], 2),
+            ],
         );
         assert_eq!(count_integer_points(&set, 1000).unwrap(), 12);
     }
@@ -167,7 +176,12 @@ mod tests {
     fn lexicographic_order() {
         let set = ConstraintSet::from_constraints(
             2,
-            vec![ge(&[1, 0], 0), ge(&[-1, 0], 1), ge(&[0, 1], 0), ge(&[0, -1], 1)],
+            vec![
+                ge(&[1, 0], 0),
+                ge(&[-1, 0], 1),
+                ge(&[0, 1], 0),
+                ge(&[0, -1], 1),
+            ],
         );
         let pts = integer_points(&set, 100).unwrap();
         assert_eq!(pts, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
@@ -191,6 +205,9 @@ mod tests {
 
     #[test]
     fn zero_dimensional() {
-        assert_eq!(integer_points(&ConstraintSet::universe(0), 10).unwrap(), vec![vec![]]);
+        assert_eq!(
+            integer_points(&ConstraintSet::universe(0), 10).unwrap(),
+            vec![vec![]]
+        );
     }
 }

@@ -92,8 +92,9 @@ pub fn lexmin_point(set: &ConstraintSet) -> Option<Vec<i128>> {
 /// The lexicographically largest integer point of a set.
 pub fn lexmax_point(set: &ConstraintSet) -> Option<Vec<i128>> {
     let n = set.n_vars();
-    let objectives: Vec<LinExpr> =
-        (0..n).map(|v| LinExpr::var(n, v).scaled(-Rat::ONE)).collect();
+    let objectives: Vec<LinExpr> = (0..n)
+        .map(|v| LinExpr::var(n, v).scaled(-Rat::ONE))
+        .collect();
     match lexmin_integer(&objectives, set) {
         IlpOutcome::Optimal { point, .. } => Some(point),
         _ => None,

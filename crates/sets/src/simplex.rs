@@ -67,20 +67,27 @@ impl LpOutcome {
 /// Panics if the objective's variable count differs from the set's.
 pub fn minimize(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
     assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
+    crate::counters::count_lp_solve();
     Simplex::new(set).minimize(objective)
 }
 
 /// Maximizes an affine objective over a constraint set.
 pub fn maximize(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
     match minimize(&-objective, set) {
-        LpOutcome::Optimal { point, value } => LpOutcome::Optimal { point, value: -value },
+        LpOutcome::Optimal { point, value } => LpOutcome::Optimal {
+            point,
+            value: -value,
+        },
         other => other,
     }
 }
 
 /// Whether a constraint set has at least one rational point.
 pub fn is_rational_feasible(set: &ConstraintSet) -> bool {
-    !matches!(minimize(&LinExpr::zero(set.n_vars()), set), LpOutcome::Infeasible)
+    !matches!(
+        minimize(&LinExpr::zero(set.n_vars()), set),
+        LpOutcome::Infeasible
+    )
 }
 
 /// Dense exact simplex solver on the split-variable standard form of a
@@ -93,7 +100,10 @@ struct Simplex<'a> {
 
 impl<'a> Simplex<'a> {
     fn new(set: &'a ConstraintSet) -> Simplex<'a> {
-        Simplex { set, n: set.n_vars() }
+        Simplex {
+            set,
+            n: set.n_vars(),
+        }
     }
 
     fn minimize(&self, objective: &LinExpr) -> LpOutcome {
@@ -142,7 +152,10 @@ impl<'a> Simplex<'a> {
 
         // Columns: [x (or p,q) | slacks | artificials-for-needy-rows].
         let n_x = if split { 2 * self.n } else { self.n };
-        let n_slack = rows.iter().filter(|c| c.kind() == ConstraintKind::Ge).count();
+        let n_slack = rows
+            .iter()
+            .filter(|c| c.kind() == ConstraintKind::Ge)
+            .count();
         let n_struct = n_x + n_slack;
 
         // First pass: build structural rows and find which need an
@@ -184,8 +197,7 @@ impl<'a> Simplex<'a> {
                 }
             }
         }
-        let needy: Vec<usize> =
-            (0..m).filter(|&r| basis0[r].is_none()).collect();
+        let needy: Vec<usize> = (0..m).filter(|&r| basis0[r].is_none()).collect();
         let n_total = n_struct + needy.len();
         for row in &mut a {
             row.resize(n_total, Rat::ZERO);
@@ -254,7 +266,10 @@ impl<'a> Simplex<'a> {
                 point[bv - self.n] -= tab.b[r];
             }
         }
-        LpOutcome::Optimal { point, value: tab.val + objective.constant_term() }
+        LpOutcome::Optimal {
+            point,
+            value: tab.val + objective.constant_term(),
+        }
     }
 }
 
@@ -360,8 +375,7 @@ impl Tableau {
                     let better = match &leave {
                         None => true,
                         Some((lr, lratio)) => {
-                            ratio < *lratio
-                                || (ratio == *lratio && self.basis[r] < self.basis[*lr])
+                            ratio < *lratio || (ratio == *lratio && self.basis[r] < self.basis[*lr])
                         }
                     };
                     if better {
@@ -403,7 +417,12 @@ mod tests {
         // min -x0 - 2x1 s.t. x0 + x1 <= 4, x0 <= 2, x0 >= 0, x1 >= 0.
         let set = ConstraintSet::from_constraints(
             2,
-            vec![ge(&[-1, -1], 4), ge(&[-1, 0], 2), ge(&[1, 0], 0), ge(&[0, 1], 0)],
+            vec![
+                ge(&[-1, -1], 4),
+                ge(&[-1, 0], 2),
+                ge(&[1, 0], 0),
+                ge(&[0, 1], 0),
+            ],
         );
         let out = minimize(&LinExpr::from_coeffs(&[-1, -2], 0), &set);
         // Optimum at (0, 4): value -8.
@@ -454,13 +473,19 @@ mod tests {
     fn fractional_optimum_is_exact() {
         // min x0 s.t. 2*x0 >= 1  → x0 = 1/2.
         let set = ConstraintSet::from_constraints(1, vec![ge(&[2], -1)]);
-        assert_eq!(minimize(&LinExpr::var(1, 0), &set).value(), Some(Rat::new(1, 2)));
+        assert_eq!(
+            minimize(&LinExpr::var(1, 0), &set).value(),
+            Some(Rat::new(1, 2))
+        );
     }
 
     #[test]
     fn maximize_works() {
         let set = ConstraintSet::from_constraints(1, vec![ge(&[-1], 9), ge(&[1], 0)]);
-        assert_eq!(maximize(&LinExpr::var(1, 0), &set).value(), Some(Rat::int(9)));
+        assert_eq!(
+            maximize(&LinExpr::var(1, 0), &set).value(),
+            Some(Rat::int(9))
+        );
     }
 
     #[test]
@@ -479,7 +504,12 @@ mod tests {
     fn optimum_point_is_feasible() {
         let set = ConstraintSet::from_constraints(
             3,
-            vec![ge(&[1, 0, 0], 0), ge(&[0, 1, 0], 0), ge(&[0, 0, 1], 0), ge(&[-1, -1, -1], 6)],
+            vec![
+                ge(&[1, 0, 0], 0),
+                ge(&[0, 1, 0], 0),
+                ge(&[0, 0, 1], 0),
+                ge(&[-1, -1, -1], 6),
+            ],
         );
         let obj = LinExpr::from_coeffs(&[-1, -1, -2], 0);
         match minimize(&obj, &set) {

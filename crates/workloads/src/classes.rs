@@ -77,9 +77,7 @@ impl OpClass {
         match *self {
             OpClass::Elementwise { len, depth } => ops::elementwise_chain(len, depth),
             OpClass::MulSubMulAdd { n } => ops::running_example(n),
-            OpClass::Transpose2D { rows, cols, elem } => {
-                ops::transpose_2d_of(rows, cols, elem)
-            }
+            OpClass::Transpose2D { rows, cols, elem } => ops::transpose_2d_of(rows, cols, elem),
             OpClass::Transpose4D { n, c, h, w, elem } => {
                 ops::transpose_nchw_nhwc_of(n, c, h, w, elem)
             }
@@ -112,8 +110,18 @@ mod tests {
         let classes = [
             OpClass::Elementwise { len: 64, depth: 3 },
             OpClass::MulSubMulAdd { n: 8 },
-            OpClass::Transpose2D { rows: 8, cols: 8, elem: ElemType::F16 },
-            OpClass::Transpose4D { n: 1, c: 4, h: 4, w: 4, elem: ElemType::F32 },
+            OpClass::Transpose2D {
+                rows: 8,
+                cols: 8,
+                elem: ElemType::F16,
+            },
+            OpClass::Transpose4D {
+                n: 1,
+                c: 4,
+                h: 4,
+                w: 4,
+                elem: ElemType::F32,
+            },
             OpClass::BiasAddRelu { n: 8, c: 8 },
             OpClass::ReduceRows { n: 8, m: 8 },
             OpClass::LayerNorm { rows: 8, cols: 8 },
@@ -126,7 +134,12 @@ mod tests {
 
     #[test]
     fn f16_transpose_elem() {
-        let k = OpClass::Transpose2D { rows: 4, cols: 4, elem: ElemType::F16 }.build();
+        let k = OpClass::Transpose2D {
+            rows: 4,
+            cols: 4,
+            elem: ElemType::F16,
+        }
+        .build();
         assert_eq!(k.tensors()[0].elem(), ElemType::F16);
     }
 }

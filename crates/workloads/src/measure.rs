@@ -6,7 +6,9 @@ use crate::networks::Network;
 use crate::tvm::compile_tvm;
 use polyject_codegen::{compile, render, Config};
 use polyject_gpusim::{estimate, GpuModel};
+use polyject_sets::{counters, SolverCounters};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// The four compared tool chains, in Table II column order.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -106,6 +108,27 @@ impl NetworkMeasurement {
     }
 }
 
+/// Compilation-side performance of one [`measure_op`] call: how long the
+/// four-tool-chain compilation took and how much solver work it needed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpPerf {
+    /// Wall-clock milliseconds spent compiling and estimating the
+    /// operator under all four tool chains.
+    pub compile_ms: f64,
+    /// Solver work performed (LP solves, ILP solves/nodes, FM
+    /// eliminations). Exact because each operator is compiled
+    /// start-to-finish on one thread and the counters are thread-local.
+    pub counters: SolverCounters,
+}
+
+impl OpPerf {
+    /// Accumulates another operator's perf into this one.
+    pub fn accumulate(&mut self, other: &OpPerf) {
+        self.compile_ms += other.compile_ms;
+        self.counters.accumulate(&other.counters);
+    }
+}
+
 /// Measures one operator class under all four tools.
 ///
 /// # Panics
@@ -113,6 +136,18 @@ impl NetworkMeasurement {
 /// Panics if scheduling fails even in the uninfluenced fallback (does not
 /// happen on the shipped operator classes).
 pub fn measure_op(op: &OpClass, model: &GpuModel) -> OpMeasurement {
+    measure_op_with_perf(op, model).0
+}
+
+/// Like [`measure_op`], also reporting wall-clock and solver-work
+/// performance counters for the compilation itself.
+///
+/// # Panics
+///
+/// Panics if scheduling fails even in the uninfluenced fallback.
+pub fn measure_op_with_perf(op: &OpClass, model: &GpuModel) -> (OpMeasurement, OpPerf) {
+    let t0 = Instant::now();
+    let before = counters::snapshot();
     let kernel = op.build();
     let isl = compile(&kernel, Config::Isl).expect("isl compiles");
     let novec = compile(&kernel, Config::NoVec).expect("novec compiles");
@@ -126,15 +161,26 @@ pub fn measure_op(op: &OpClass, model: &GpuModel) -> OpMeasurement {
         .map(|(sub, ast)| estimate(ast, sub, model).time)
         .sum();
 
-    let influenced = infl.vector_loops > 0
-        || render(&infl.ast, &kernel) != render(&isl.ast, &kernel);
-    OpMeasurement {
+    let influenced =
+        infl.vector_loops > 0 || render(&infl.ast, &kernel) != render(&isl.ast, &kernel);
+    let m = OpMeasurement {
         name: kernel.name().to_string(),
         class: op.label(),
         time_ms: [isl_t.ms(), tvm_t * 1e3, novec_t.ms(), infl_t.ms()],
         vec_eligible: infl.vector_loops > 0,
         influenced,
-    }
+    };
+    let perf = OpPerf {
+        compile_ms: t0.elapsed().as_secs_f64() * 1e3,
+        counters: counters::snapshot().delta_since(&before),
+    };
+    (m, perf)
+}
+
+/// The memoization key for an operator class: identical classes compile
+/// to identical measurements, so they are measured once per run.
+pub fn op_key(op: &OpClass) -> String {
+    format!("{op:?}")
 }
 
 /// Measures a whole network (memoizing identical operator classes).
@@ -142,10 +188,26 @@ pub fn measure_network(net: &Network, model: &GpuModel) -> NetworkMeasurement {
     let mut memo: HashMap<String, OpMeasurement> = HashMap::new();
     let mut per_op = Vec::with_capacity(net.ops.len());
     for op in &net.ops {
-        let key = format!("{op:?}");
-        let m = memo.entry(key).or_insert_with(|| measure_op(op, model)).clone();
+        let m = memo
+            .entry(op_key(op))
+            .or_insert_with(|| measure_op(op, model))
+            .clone();
         per_op.push(m);
     }
+    aggregate_network(net, per_op)
+}
+
+/// Builds the per-network aggregation (one Table II row) from
+/// already-measured operators, given in the network's operator order.
+/// [`measure_network`] and the parallel pipeline share this, so a
+/// serially measured row and a row reassembled from a parallel run are
+/// identical by construction.
+///
+/// # Panics
+///
+/// Panics if `per_op` does not have one entry per network operator.
+pub fn aggregate_network(net: &Network, per_op: Vec<OpMeasurement>) -> NetworkMeasurement {
+    assert_eq!(per_op.len(), net.ops.len(), "one measurement per operator");
     let mut all_ms = [0.0; 4];
     let mut infl_ms = [0.0; 4];
     let mut vec_ops = 0;
@@ -197,7 +259,11 @@ mod tests {
     #[test]
     fn transpose_op_shape() {
         let m = measure_op(
-            &OpClass::Transpose2D { rows: 1024, cols: 1024, elem: ElemType::F16 },
+            &OpClass::Transpose2D {
+                rows: 1024,
+                cols: 1024,
+                elem: ElemType::F16,
+            },
             &model(),
         );
         assert!(m.vec_eligible);
@@ -210,7 +276,13 @@ mod tests {
 
     #[test]
     fn odd_elementwise_not_influenced() {
-        let m = measure_op(&OpClass::Elementwise { len: 98_301, depth: 3 }, &model());
+        let m = measure_op(
+            &OpClass::Elementwise {
+                len: 98_301,
+                depth: 3,
+            },
+            &model(),
+        );
         assert!(!m.vec_eligible);
         assert!(!m.influenced);
         assert!((m.time(Tool::Isl) - m.time(Tool::Infl)).abs() < 1e-9);
@@ -220,7 +292,13 @@ mod tests {
     fn tvm_fuses_chains_but_splits_layernorm() {
         // Pure injective chain: TVM inlines it, landing close to the
         // fused compiler.
-        let chain = measure_op(&OpClass::Elementwise { len: 1 << 19, depth: 8 }, &model());
+        let chain = measure_op(
+            &OpClass::Elementwise {
+                len: 1 << 19,
+                depth: 8,
+            },
+            &model(),
+        );
         assert!(
             chain.time(Tool::Tvm) < 1.3 * chain.time(Tool::Isl),
             "TVM inlines injective chains: tvm {} vs isl {}",
@@ -228,7 +306,13 @@ mod tests {
             chain.time(Tool::Isl)
         );
         // Reduction-crossing fusion: TVM pays intermediates + launches.
-        let ln = measure_op(&OpClass::LayerNorm { rows: 512, cols: 768 }, &model());
+        let ln = measure_op(
+            &OpClass::LayerNorm {
+                rows: 512,
+                cols: 768,
+            },
+            &model(),
+        );
         assert!(
             ln.time(Tool::Tvm) > 1.5 * ln.time(Tool::Isl),
             "TVM splits at reductions: tvm {} vs isl {}",
@@ -240,7 +324,13 @@ mod tests {
     #[test]
     fn c3_transpose_influenced_but_not_vectorizable() {
         let m = measure_op(
-            &OpClass::Transpose4D { n: 8, c: 3, h: 64, w: 64, elem: ElemType::F16 },
+            &OpClass::Transpose4D {
+                n: 8,
+                c: 3,
+                h: 64,
+                w: 64,
+                elem: ElemType::F16,
+            },
             &model(),
         );
         assert!(m.influenced);
@@ -254,9 +344,20 @@ mod tests {
             kind: crate::networks::NetKind::Cv,
             dataset: "none",
             ops: vec![
-                OpClass::Transpose2D { rows: 256, cols: 256, elem: ElemType::F32 },
-                OpClass::Elementwise { len: 98_301, depth: 2 },
-                OpClass::Transpose2D { rows: 256, cols: 256, elem: ElemType::F32 },
+                OpClass::Transpose2D {
+                    rows: 256,
+                    cols: 256,
+                    elem: ElemType::F32,
+                },
+                OpClass::Elementwise {
+                    len: 98_301,
+                    depth: 2,
+                },
+                OpClass::Transpose2D {
+                    rows: 256,
+                    cols: 256,
+                    elem: ElemType::F32,
+                },
             ],
         };
         let m = measure_network(&net, &model());

@@ -39,7 +39,15 @@ pub struct Network {
 
 /// All seven networks of Table I, in the paper's row order.
 pub fn all_networks() -> Vec<Network> {
-    vec![bert(), lstm(), mobilenet_v2(), resnet50(), resnet101(), resnext50(), vgg16()]
+    vec![
+        bert(),
+        lstm(),
+        mobilenet_v2(),
+        resnet50(),
+        resnet101(),
+        resnext50(),
+        vgg16(),
+    ]
 }
 
 /// Lengths divisible by 4 (vector-eligible) cycling over BERT-ish
@@ -83,18 +91,40 @@ pub fn bert() -> Network {
             depth: 4 + (i % 9),
         });
     }
-    Network { name: "BERT", kind: NetKind::Nlp, dataset: "zhwiki", ops }
+    Network {
+        name: "BERT",
+        kind: NetKind::Nlp,
+        dataset: "zhwiki",
+        ops,
+    }
 }
 
 /// LSTM: 4 fused operators (3 vectorizable). Table II: total 4, vec 3.
 pub fn lstm() -> Network {
     let ops = vec![
-        OpClass::Elementwise { len: 256 * 400, depth: 4 },
-        OpClass::Elementwise { len: 256 * 400, depth: 6 },
-        OpClass::Elementwise { len: 64 * 400, depth: 3 },
-        OpClass::Elementwise { len: ODD_LENS[0], depth: 2 },
+        OpClass::Elementwise {
+            len: 256 * 400,
+            depth: 4,
+        },
+        OpClass::Elementwise {
+            len: 256 * 400,
+            depth: 6,
+        },
+        OpClass::Elementwise {
+            len: 64 * 400,
+            depth: 3,
+        },
+        OpClass::Elementwise {
+            len: ODD_LENS[0],
+            depth: 2,
+        },
     ];
-    Network { name: "LSTM", kind: NetKind::Nlp, dataset: "ACLIMDB, GloVe", ops }
+    Network {
+        name: "LSTM",
+        kind: NetKind::Nlp,
+        dataset: "ACLIMDB, GloVe",
+        ops,
+    }
 }
 
 /// MobileNetv2: 18 operators — flattened elementwise epilogues (what
@@ -103,13 +133,24 @@ pub fn lstm() -> Network {
 pub fn mobilenet_v2() -> Network {
     let mut ops = Vec::new();
     for i in 0..14 {
-        ops.push(OpClass::Elementwise { len: VEC_LENS[i % VEC_LENS.len()], depth: 2 + i % 4 });
+        ops.push(OpClass::Elementwise {
+            len: VEC_LENS[i % VEC_LENS.len()],
+            depth: 2 + i % 4,
+        });
     }
     ops.push(OpClass::BiasAddRelu { n: 56 * 56, c: 96 });
     ops.push(OpClass::BiasAddRelu { n: 28 * 28, c: 320 });
-    ops.push(OpClass::Elementwise { len: ODD_LENS[1], depth: 3 });
+    ops.push(OpClass::Elementwise {
+        len: ODD_LENS[1],
+        depth: 3,
+    });
     ops.push(OpClass::ReduceRows { n: 1281, m: 49 });
-    Network { name: "MobileNetv2", kind: NetKind::Cv, dataset: "ImageNet", ops }
+    Network {
+        name: "MobileNetv2",
+        kind: NetKind::Cv,
+        dataset: "ImageNet",
+        ops,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -130,19 +171,38 @@ fn resnet_family(
         let c = channel_mix[i % 4];
         let hw = hw_mix[i % 4];
         if i % 3 == 0 {
-            ops.push(OpClass::Transpose2D { rows: c * hw, cols: hw * 32, elem });
+            ops.push(OpClass::Transpose2D {
+                rows: c * hw,
+                cols: hw * 32,
+                elem,
+            });
         } else {
-            ops.push(OpClass::Transpose4D { n: 32, c, h: hw, w: hw, elem });
+            ops.push(OpClass::Transpose4D {
+                n: 32,
+                c,
+                h: hw,
+                w: hw,
+                elem,
+            });
         }
     }
     for _ in 0..n_c3 {
         // The network-input layout change: 3 channels — influence changes
         // the loop order but the odd channel count blocks vector types.
-        ops.push(OpClass::Transpose4D { n: 32, c: 3, h: 224, w: 224, elem });
+        ops.push(OpClass::Transpose4D {
+            n: 32,
+            c: 3,
+            h: 224,
+            w: 224,
+            elem,
+        });
     }
     for i in 0..n_vec_misc {
         if i % 2 == 0 {
-            ops.push(OpClass::BiasAddRelu { n: 32 * 56, c: channel_mix[i % 4] });
+            ops.push(OpClass::BiasAddRelu {
+                n: 32 * 56,
+                c: channel_mix[i % 4],
+            });
         } else {
             ops.push(OpClass::Elementwise {
                 len: VEC_LENS[i % VEC_LENS.len()] * misc_len_scale,
@@ -151,32 +211,80 @@ fn resnet_family(
         }
     }
     for i in 0..n_plain {
-        ops.push(OpClass::Elementwise { len: ODD_LENS[i % ODD_LENS.len()], depth: 2 + i % 4 });
+        ops.push(OpClass::Elementwise {
+            len: ODD_LENS[i % ODD_LENS.len()],
+            depth: 2 + i % 4,
+        });
     }
-    Network { name, kind: NetKind::Cv, dataset, ops }
+    Network {
+        name,
+        kind: NetKind::Cv,
+        dataset,
+        ops,
+    }
 }
 
 /// ResNet-50: transpose-dominated. Table II: total 17, vec 10, infl 12.
 pub fn resnet50() -> Network {
-    resnet_family("ResNet50", "CIFAR-10", 8, 2, 2, 5, ElemType::F16, [56, 56, 28, 28], 1)
+    resnet_family(
+        "ResNet50",
+        "CIFAR-10",
+        8,
+        2,
+        2,
+        5,
+        ElemType::F16,
+        [56, 56, 28, 28],
+        1,
+    )
 }
 
 /// ResNet-101: more and larger transposes. Table II: total 22, vec 14,
 /// infl 16.
 pub fn resnet101() -> Network {
-    resnet_family("ResNet101", "ImageNet", 11, 2, 3, 6, ElemType::F16, [56, 56, 28, 28], 1)
+    resnet_family(
+        "ResNet101",
+        "ImageNet",
+        11,
+        2,
+        3,
+        6,
+        ElemType::F16,
+        [56, 56, 28, 28],
+        1,
+    )
 }
 
 /// ResNeXt-50. Table II: total 33, vec 21, infl 22.
 pub fn resnext50() -> Network {
     // Small transposes, large elementwise bodies: layout changes are a
     // minor share of the total, matching the paper's modest 1.36×.
-    resnet_family("ResNeXt50", "ImageNet", 12, 1, 9, 11, ElemType::F16, [14, 14, 7, 7], 4)
+    resnet_family(
+        "ResNeXt50",
+        "ImageNet",
+        12,
+        1,
+        9,
+        11,
+        ElemType::F16,
+        [14, 14, 7, 7],
+        4,
+    )
 }
 
 /// VGG-16 (CIFAR-10, f32 activations). Table II: total 14, vec 9, infl 10.
 pub fn vgg16() -> Network {
-    resnet_family("VGG16", "CIFAR-10", 5, 1, 4, 4, ElemType::F32, [32, 16, 16, 8], 4)
+    resnet_family(
+        "VGG16",
+        "CIFAR-10",
+        5,
+        1,
+        4,
+        4,
+        ElemType::F32,
+        [32, 16, 16, 8],
+        4,
+    )
 }
 
 #[cfg(test)]
@@ -190,14 +298,24 @@ mod tests {
         let names: Vec<&str> = nets.iter().map(|n| n.name).collect();
         assert_eq!(
             names,
-            vec!["BERT", "LSTM", "MobileNetv2", "ResNet50", "ResNet101", "ResNeXt50", "VGG16"]
+            vec![
+                "BERT",
+                "LSTM",
+                "MobileNetv2",
+                "ResNet50",
+                "ResNet101",
+                "ResNeXt50",
+                "VGG16"
+            ]
         );
     }
 
     #[test]
     fn op_counts_match_table2() {
-        let counts: Vec<(usize, &str)> =
-            all_networks().iter().map(|n| (n.ops.len(), n.name)).collect();
+        let counts: Vec<(usize, &str)> = all_networks()
+            .iter()
+            .map(|n| (n.ops.len(), n.name))
+            .collect();
         assert_eq!(
             counts,
             vec![

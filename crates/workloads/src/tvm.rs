@@ -16,9 +16,7 @@
 //!   (related work the paper cites addresses coalescing only).
 
 use polyject_codegen::{generate_ast, map_to_gpu, Ast, MappingOptions};
-use polyject_core::{
-    dim_is_coincident, schedule_respects, DimFlags, Schedule, ScheduleRow,
-};
+use polyject_core::{dim_is_coincident, schedule_respects, DimFlags, Schedule, ScheduleRow};
 use polyject_deps::{compute_dependences, DepOptions, DepRelation};
 use polyject_ir::{Kernel, StmtId};
 
@@ -91,11 +89,16 @@ pub fn manual_schedule(kernel: &Kernel) -> Schedule {
     }
     if stmts.len() > 1 {
         for si in 0..stmts.len() {
-            sched
-                .stmt_mut(StmtId(si))
-                .push(ScheduleRow::scalar(n_iters, kernel.n_params(), si as i128));
+            sched.stmt_mut(StmtId(si)).push(ScheduleRow::scalar(
+                n_iters,
+                kernel.n_params(),
+                si as i128,
+            ));
         }
-        sched.flags_mut().push(DimFlags { scalar: true, ..DimFlags::default() });
+        sched.flags_mut().push(DimFlags {
+            scalar: true,
+            ..DimFlags::default()
+        });
     }
     let deps = compute_dependences(kernel, DepOptions::default());
     let validity: Vec<&DepRelation> = deps.validity().collect();
@@ -103,8 +106,8 @@ pub fn manual_schedule(kernel: &Kernel) -> Schedule {
         return Schedule::identity(kernel);
     }
     for d in 0..sched.depth() {
-        let parallel = !sched.flags()[d].scalar
-            && dim_is_coincident(validity.iter().copied(), &sched, d);
+        let parallel =
+            !sched.flags()[d].scalar && dim_is_coincident(validity.iter().copied(), &sched, d);
         sched.flags_mut()[d].parallel = parallel;
     }
     sched
@@ -123,7 +126,11 @@ mod tests {
         // Write B[j][i]: stride along j = 64 (outer), along i = 1 (inner).
         let rows = sched.stmt(StmtId(0)).rows();
         assert_eq!(rows[0].iter_coeffs, vec![0, 1], "outer = j");
-        assert_eq!(rows[1].iter_coeffs, vec![1, 0], "inner = i (contiguous store)");
+        assert_eq!(
+            rows[1].iter_coeffs,
+            vec![1, 0],
+            "inner = i (contiguous store)"
+        );
         assert!(sched.flags().iter().all(|f| f.parallel));
     }
 
@@ -136,7 +143,10 @@ mod tests {
         assert_eq!(rows[0].iter_coeffs, vec![1, 0], "i outer");
         assert_eq!(rows[1].iter_coeffs, vec![0, 1], "j inner");
         assert!(sched.flags()[0].parallel);
-        assert!(!sched.flags()[1].parallel, "the reduction axis is sequential");
+        assert!(
+            !sched.flags()[1].parallel,
+            "the reduction axis is sequential"
+        );
     }
 
     #[test]
@@ -165,8 +175,11 @@ mod tests {
     #[test]
     fn per_group_execution_matches_reference() {
         use polyject_gpusim::execute_ast;
-        for k in [ops::running_example(6), ops::layernorm_like(6, 8), ops::elementwise_chain(16, 4)]
-        {
+        for k in [
+            ops::running_example(6),
+            ops::layernorm_like(6, 8),
+            ops::elementwise_chain(16, 4),
+        ] {
             let params = k.param_defaults().to_vec();
             let mut bufs = polyject_gpusim::seeded_buffers(&k, &params, 3);
             let mut reference = bufs.clone();

@@ -34,7 +34,11 @@ fn main() {
 
     // On different device models the comparison shape persists.
     for m in [GpuModel::v100(), GpuModel::a100(), GpuModel::consumer()] {
-        let isl = estimate(&compile(&kernel, Config::Isl).expect("compiles").ast, &kernel, &m);
+        let isl = estimate(
+            &compile(&kernel, Config::Isl).expect("compiles").ast,
+            &kernel,
+            &m,
+        );
         let infl = estimate(
             &compile(&kernel, Config::Influenced).expect("compiles").ast,
             &kernel,

@@ -9,11 +9,18 @@ use polyject::prelude::*;
 use polyject::workloads::compile_tvm;
 
 fn main() {
-    let op = OpClass::LayerNorm { rows: 512, cols: 768 };
+    let op = OpClass::LayerNorm {
+        rows: 512,
+        cols: 768,
+    };
     let kernel = op.build();
     let model = GpuModel::v100();
 
-    println!("fused operator: {} ({} statements)\n", kernel.name(), kernel.statements().len());
+    println!(
+        "fused operator: {} ({} statements)\n",
+        kernel.name(),
+        kernel.statements().len()
+    );
 
     // How the TVM-style baseline splits it.
     let groups = compile_tvm(&kernel);

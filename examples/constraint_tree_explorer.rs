@@ -44,14 +44,11 @@ fn main() {
 
     println!("== influenced schedule ==");
     let deps = compute_dependences(&kernel, DepOptions::default());
-    let res = schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default())
-        .expect("schedulable");
+    let res =
+        schedule_kernel(&kernel, &deps, &tree, SchedulerOptions::default()).expect("schedulable");
     println!(
         "influenced: {}   ILP solves: {}   tree backtracks: {}   SCC separations: {}",
-        res.influenced,
-        res.stats.ilp_solves,
-        res.stats.tree_backtracks,
-        res.stats.scc_separations
+        res.influenced, res.stats.ilp_solves, res.stats.tree_backtracks, res.stats.scc_separations
     );
     print!("{}", res.schedule.render(&kernel));
     println!();

@@ -11,7 +11,11 @@ fn main() {
     // The paper's Fig. 2 fused operator at N = 256.
     let kernel = polyject::ir::ops::running_example(256);
     let model = GpuModel::v100();
-    println!("kernel: {} ({} statements)\n", kernel.name(), kernel.statements().len());
+    println!(
+        "kernel: {} ({} statements)\n",
+        kernel.name(),
+        kernel.statements().len()
+    );
 
     // Functional oracle inputs (small shape for the pointwise check).
     let small = polyject::ir::ops::running_example(8);

@@ -11,13 +11,7 @@ use polyject::prelude::*;
 
 fn main() {
     // An NCHW → NHWC layout change on fp16 activations (ResNet-50 shape).
-    let kernel = polyject::ir::ops::transpose_nchw_nhwc_of(
-        32,
-        64,
-        56,
-        56,
-        ElemType::F16,
-    );
+    let kernel = polyject::ir::ops::transpose_nchw_nhwc_of(32, 64, 56, 56, ElemType::F16);
     let model = GpuModel::v100();
 
     let mut times = Vec::new();
@@ -41,7 +35,11 @@ fn main() {
             .expect("affine stride");
         println!(
             "   store stride along the innermost loop: {stride} element(s) {}",
-            if stride.abs() <= 1 { "(coalesced)" } else { "(scattered!)" }
+            if stride.abs() <= 1 {
+                "(coalesced)"
+            } else {
+                "(scattered!)"
+            }
         );
         println!();
         times.push((config.name(), t.ms()));

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, the tier-1 verify (build + tests),
+# and a <10 s Table II smoke run (LSTM subset, serial vs parallel
+# identity + BENCH JSON emission).
+#
+# Everything here works without network access; fmt/clippy are skipped
+# with a notice if the toolchain components are missing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { echo; echo "=== $* ==="; }
+
+step "cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+  cargo fmt --all -- --check
+else
+  echo "rustfmt unavailable; skipping"
+fi
+
+step "cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --workspace --all-targets --release -- -D warnings
+else
+  echo "clippy unavailable; skipping"
+fi
+
+step "tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+step "table2 --fast smoke (serial vs parallel identity, <10 s)"
+smoke_json="$(mktemp)"
+trap 'rm -f "$smoke_json"' EXIT
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --fast --bench --stats --json "$smoke_json" >/dev/null
+grep -q '"identical": true' "$smoke_json"
+echo "ok: serial and parallel --fast runs identical"
+
+echo
+echo "CI gate passed."

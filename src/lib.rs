@@ -67,10 +67,9 @@ pub mod prelude {
         autotune, check_equivalence, estimate, execute_ast, profile, GpuModel,
     };
     pub use polyject_ir::{
-        BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, StatementBuilder, StmtId,
-        UnOp,
+        BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, StatementBuilder, StmtId, UnOp,
     };
-    pub use polyject_workloads::{measure_op, measure_network, OpClass, Tool};
+    pub use polyject_workloads::{measure_network, measure_op, OpClass, Tool};
 }
 
 #[cfg(test)]

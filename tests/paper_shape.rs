@@ -39,7 +39,11 @@ fn transpose_ordering_infl_novec_isl() {
     let m = model();
     let isl = estimate(&compile(&kernel, Config::Isl).unwrap().ast, &kernel, &m);
     let novec = estimate(&compile(&kernel, Config::NoVec).unwrap().ast, &kernel, &m);
-    let infl = estimate(&compile(&kernel, Config::Influenced).unwrap().ast, &kernel, &m);
+    let infl = estimate(
+        &compile(&kernel, Config::Influenced).unwrap().ast,
+        &kernel,
+        &m,
+    );
     assert!(infl.time <= novec.time);
     assert!(novec.time < isl.time);
     assert!(isl.time / infl.time > 2.0, "ratio {}", isl.time / infl.time);
@@ -49,7 +53,13 @@ fn transpose_ordering_infl_novec_isl() {
 fn vectorization_gain_is_modest_on_elementwise() {
     // BERT/LSTM-class: influence only adds vector types; gains are the
     // few-percent range of the paper, not multiples.
-    let m = measure_op(&OpClass::Elementwise { len: 1 << 20, depth: 6 }, &model());
+    let m = measure_op(
+        &OpClass::Elementwise {
+            len: 1 << 20,
+            depth: 6,
+        },
+        &model(),
+    );
     let gain = m.time(Tool::Isl) / m.time(Tool::Infl);
     assert!((1.0..1.5).contains(&gain), "gain {gain}");
 }
@@ -87,7 +97,10 @@ fn resnet50_speedups_have_paper_shape() {
     assert!(novec > 2.0, "novec {novec}");
     assert!(tvm > 2.0, "tvm {tvm}");
     assert!(infl >= novec, "vector types add on top of coalescing");
-    assert!(m.speedup_infl(Tool::Infl) >= infl, "influenced-only is larger");
+    assert!(
+        m.speedup_infl(Tool::Infl) >= infl,
+        "influenced-only is larger"
+    );
 }
 
 #[test]
@@ -109,7 +122,13 @@ fn network_populations_match_table2_totals() {
 fn layernorm_tvm_splits_pay() {
     // The BERT mechanism: per-statement baselines cannot fuse across the
     // reductions; the fused compiler keeps intermediates in cache.
-    let m = measure_op(&OpClass::LayerNorm { rows: 256, cols: 768 }, &model());
+    let m = measure_op(
+        &OpClass::LayerNorm {
+            rows: 256,
+            cols: 768,
+        },
+        &model(),
+    );
     assert!(
         m.time(Tool::Tvm) > 2.0 * m.time(Tool::Isl),
         "tvm {} vs isl {}",

@@ -1,6 +1,10 @@
 //! Property-based integration tests: randomly generated small fused
 //! operators must always schedule validly under every configuration and
 //! compute the reference semantics.
+//!
+//! Kernels are sampled with the workspace's own deterministic
+//! [`SplitMix64`] generator (the build is fully offline, so no
+//! `proptest`); every case is reproducible from the fixed seeds below.
 
 use polyject::core::{schedule_kernel, schedule_respects, InfluenceTree, SchedulerOptions};
 use polyject::deps::{compute_dependences, DepOptions};
@@ -9,21 +13,17 @@ use polyject::ir::{
     BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, StatementBuilder, UnOp,
 };
 use polyject::prelude::{compile, Config};
-use proptest::prelude::*;
+use polyject_arith::SplitMix64;
 
 /// A random fused operator: a chain of 2-D stages over an `r × c` space,
 /// each either elementwise, transposed-read, broadcast-read or a row
 /// reduction, wired producer-to-consumer.
-fn arb_kernel() -> impl Strategy<Value = Kernel> {
-    let stage = prop_oneof![
-        Just(0u8), // elementwise
-        Just(1u8), // transposed read (square shapes only)
-        Just(2u8), // broadcast read of a vector
-        Just(3u8), // row reduction
-    ];
-    (2i64..6, 2i64..6, proptest::collection::vec(stage, 1..4), any::<u64>()).prop_map(
-        |(r, c, stages, _seed)| build_kernel(r, c, &stages),
-    )
+fn arb_kernel(g: &mut SplitMix64) -> Kernel {
+    let r = g.range_i128(2, 6) as i64;
+    let c = g.range_i128(2, 6) as i64;
+    let n_stages = 1 + g.below(3);
+    let stages: Vec<u8> = (0..n_stages).map(|_| g.below(4) as u8).collect();
+    build_kernel(r, c, &stages)
 }
 
 fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
@@ -38,8 +38,11 @@ fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
         let kind = if !prev_is_matrix { 0 } else { kind };
         match kind {
             1 if r == c => {
-                let out =
-                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                let out = kb.tensor(
+                    format!("T{si}"),
+                    vec![Extent::Const(r), Extent::Const(c)],
+                    ElemType::F32,
+                );
                 kb.add_statement(
                     StatementBuilder::new(format!("S{si}"), &["i", "j"])
                         .bound_extent(0, r)
@@ -52,8 +55,11 @@ fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
                 prev = out;
             }
             2 if prev_is_matrix => {
-                let out =
-                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                let out = kb.tensor(
+                    format!("T{si}"),
+                    vec![Extent::Const(r), Extent::Const(c)],
+                    ElemType::F32,
+                );
                 kb.add_statement(
                     StatementBuilder::new(format!("S{si}"), &["i", "j"])
                         .bound_extent(0, r)
@@ -84,8 +90,11 @@ fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
             }
             _ => {
                 let src = if prev_is_matrix { prev } else { a };
-                let out =
-                    kb.tensor(format!("T{si}"), vec![Extent::Const(r), Extent::Const(c)], ElemType::F32);
+                let out = kb.tensor(
+                    format!("T{si}"),
+                    vec![Extent::Const(r), Extent::Const(c)],
+                    ElemType::F32,
+                );
                 kb.add_statement(
                     StatementBuilder::new(format!("S{si}"), &["i", "j"])
                         .bound_extent(0, r)
@@ -103,26 +112,35 @@ fn build_kernel(r: i64, c: i64, stages: &[u8]) -> Kernel {
     kb.finish().expect("valid kernel")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_kernels_schedule_validly(kernel in arb_kernel()) {
+#[test]
+fn random_kernels_schedule_validly() {
+    let mut g = SplitMix64::new(0x5C4E_D001);
+    for _ in 0..24 {
+        let kernel = arb_kernel(&mut g);
         let deps = compute_dependences(&kernel, DepOptions::default());
-        let res = schedule_kernel(&kernel, &deps, &InfluenceTree::new(),
-                                  SchedulerOptions::default()).expect("schedulable");
+        let res = schedule_kernel(
+            &kernel,
+            &deps,
+            &InfluenceTree::new(),
+            SchedulerOptions::default(),
+        )
+        .expect("schedulable");
         let v: Vec<_> = deps.validity().collect();
-        prop_assert!(schedule_respects(v.iter().copied(), &res.schedule));
+        assert!(schedule_respects(v.iter().copied(), &res.schedule));
     }
+}
 
-    #[test]
-    fn random_kernels_all_configs_equivalent(kernel in arb_kernel()) {
+#[test]
+fn random_kernels_all_configs_equivalent() {
+    let mut g = SplitMix64::new(0x5C4E_D002);
+    for _ in 0..24 {
+        let kernel = arb_kernel(&mut g);
         let params = kernel.param_defaults().to_vec();
         let inputs = seeded_buffers(&kernel, &params, 99);
         for config in Config::all() {
             let compiled = compile(&kernel, config).expect("compiles");
             check_equivalence(&compiled.ast, &kernel, &inputs, &params)
-                .map_err(|e| TestCaseError::fail(format!("{}: {e}", config.name())))?;
+                .unwrap_or_else(|e| panic!("{}: {e}", config.name()));
         }
     }
 }
