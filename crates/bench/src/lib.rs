@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod par;
+mod cached;
 
-pub use par::{default_workers, parallel_map};
+pub use cached::{op_cache_key, run_table2_networks_cached, CacheBench, CachedTable2};
+// The worker pool lives in `polyject-serve` (shared with the daemon);
+// re-exported here so existing `polyject_bench::parallel_map` users keep
+// working.
+pub use polyject_serve::{default_workers, parallel_map};
 
 use polyject_gpusim::GpuModel;
 use polyject_workloads::{

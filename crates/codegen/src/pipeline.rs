@@ -53,6 +53,51 @@ pub struct Compiled {
     pub vector_loops: usize,
 }
 
+/// Every textual artifact of one compilation, in one struct: the unit
+/// the serving layer's content-addressed cache stores and replays, so a
+/// cache hit reproduces byte-identical outputs to a fresh compile.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifacts {
+    /// Generated pseudo-code ([`crate::render`]).
+    pub code: String,
+    /// CUDA C source ([`crate::render_cuda`]).
+    pub cuda: String,
+    /// Schedule rendering ([`polyject_core::Schedule::render`]).
+    pub schedule: String,
+    /// Schedule tree rendering ([`polyject_core::render_schedule_tree`]).
+    pub schedule_tree: String,
+    /// Loops rewritten with vector types.
+    pub vector_loops: usize,
+    /// Whether influence constraints shaped the schedule.
+    pub influenced: bool,
+}
+
+/// Renders every artifact of a [`Compiled`] kernel.
+///
+/// # Examples
+///
+/// ```
+/// use polyject_codegen::{compile, render_artifacts, Config};
+/// use polyject_ir::ops;
+///
+/// let kernel = ops::transpose_2d(64, 64);
+/// let compiled = compile(&kernel, Config::Influenced).unwrap();
+/// let a = render_artifacts(&kernel, &compiled);
+/// assert!(a.cuda.contains("__global__"));
+/// assert_eq!(a.vector_loops, compiled.vector_loops);
+/// ```
+pub fn render_artifacts(kernel: &Kernel, compiled: &Compiled) -> Artifacts {
+    let st = polyject_core::schedule_tree(kernel, &compiled.schedule);
+    Artifacts {
+        code: crate::render(&compiled.ast, kernel),
+        cuda: crate::render_cuda(&compiled.ast, kernel),
+        schedule: compiled.schedule.render(kernel),
+        schedule_tree: polyject_core::render_schedule_tree(&st, kernel),
+        vector_loops: compiled.vector_loops,
+        influenced: compiled.influenced,
+    }
+}
+
 /// Compiles a kernel end to end under a configuration.
 ///
 /// # Errors

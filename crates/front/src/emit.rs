@@ -5,6 +5,36 @@
 use polyject_ir::{Access, BinOp, ElemType, Expr, Extent, Kernel, Statement, UnOp};
 use std::fmt::Write as _;
 
+/// The canonical `.pj` rendering of a source text: parse then
+/// [`emit_pj`].
+///
+/// This is the content-hash basis of the serving layer's schedule cache
+/// (`polyject-serve`): two sources that differ only in whitespace,
+/// ordering-irrelevant formatting, or redundant parentheses canonicalize
+/// to the same bytes and therefore the same cache key, while any
+/// semantic change (bounds, accesses, expressions, element types)
+/// changes the rendering. Emission is a fixpoint through the parser, so
+/// canonicalizing twice is the identity.
+///
+/// # Errors
+///
+/// Returns the parse error, or the [`emit_pj`] error if the kernel uses
+/// a feature the language cannot re-express (callers hashing such
+/// kernels should fall back to the raw source).
+///
+/// # Examples
+///
+/// ```
+/// let a = polyject_front::canonical_pj("kernel k\ntensor t[4]: f32\nstmt S for (i in 0..4) t[i] = ((t[i]) * 2.0)").unwrap();
+/// let b = polyject_front::canonical_pj("kernel   k\n tensor t [ 4 ] : f32\nstmt S for ( i in 0 .. 4 ) t[i] = (t[i] * 2.0)").unwrap();
+/// assert_eq!(a, b);
+/// assert_eq!(polyject_front::canonical_pj(&a).unwrap(), a);
+/// ```
+pub fn canonical_pj(src: &str) -> Result<String, String> {
+    let kernel = crate::parser::parse(src).map_err(|e| e.to_string())?;
+    emit_pj(&kernel)
+}
+
 /// Emits a kernel as `.pj` source.
 ///
 /// # Errors

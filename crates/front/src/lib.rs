@@ -3,8 +3,11 @@
 //! A textual frontend for `polyject`: the `.pj` kernel language (the
 //! fused-operator descriptions AKG would receive from graph-kernel
 //! fusion) with a lexer, a recursive-descent parser lowering directly to
-//! [`polyject_ir::Kernel`], and the `polyjectc` command-line compiler
-//! driver.
+//! [`polyject_ir::Kernel`], emission back to canonical `.pj` source
+//! ([`emit_pj`] / [`canonical_pj`], the content-hash basis of the
+//! serving cache), and the `.pj` half of the `polyjectc` compiler driver
+//! (the binary itself lives in `polyject-serve`, where it can also reach
+//! a running `polyjectd` daemon).
 //!
 //! # Examples
 //!
@@ -27,6 +30,6 @@ mod emit;
 mod lexer;
 mod parser;
 
-pub use emit::emit_pj;
+pub use emit::{canonical_pj, emit_pj};
 pub use lexer::{lex, LexError, Token, TokenKind};
 pub use parser::{parse, ParseError};

@@ -5,9 +5,54 @@
 //! against (results must match the kernel's reference execution exactly,
 //! since both perform the same floating-point operations in a semantically
 //! equivalent order).
+//!
+//! Execution errors (mismatched buffers, out-of-bounds accesses from a
+//! malformed AST) are reported as [`ExecError`] values rather than
+//! panics, so a long-lived service (the `polyjectd` daemon) survives a
+//! single bad kernel without tearing down a worker thread.
 
 use polyject_codegen::{Ast, AstNode};
 use polyject_ir::Kernel;
+
+/// Why an AST execution could not run to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// `param_values` does not match the kernel's parameter count.
+    ParamCount {
+        /// Parameters the kernel declares.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// `buffers` does not match the kernel's tensor count.
+    BufferCount {
+        /// Tensors the kernel declares.
+        expected: usize,
+        /// Buffers supplied.
+        got: usize,
+    },
+    /// A statement instance accessed a tensor outside its buffer.
+    Instance(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::ParamCount { expected, got } => {
+                write!(
+                    f,
+                    "parameter count mismatch: kernel has {expected}, got {got}"
+                )
+            }
+            ExecError::BufferCount { expected, got } => {
+                write!(f, "buffer count mismatch: kernel has {expected}, got {got}")
+            }
+            ExecError::Instance(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
 
 /// Executes a compiled AST on the given buffers.
 ///
@@ -15,10 +60,11 @@ use polyject_ir::Kernel;
 /// only affects *timing*, not semantics (mapped loops are dependence-free
 /// by construction).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the buffers don't match the kernel's tensors or an instance
-/// evaluates out of bounds.
+/// Returns an [`ExecError`] if the buffers don't match the kernel's
+/// tensors or an instance evaluates out of bounds; the buffers may then
+/// hold a partial execution.
 ///
 /// # Examples
 ///
@@ -31,19 +77,31 @@ use polyject_ir::Kernel;
 /// let compiled = compile(&kernel, Config::Influenced).unwrap();
 /// let mut scheduled = kernel.zero_buffers(&[]);
 /// scheduled[0] = (0..64).map(|v| v as f32).collect();
-/// execute_ast(&compiled.ast, &kernel, &mut scheduled, &[]);
+/// execute_ast(&compiled.ast, &kernel, &mut scheduled, &[]).unwrap();
 ///
 /// let mut reference = kernel.zero_buffers(&[]);
 /// reference[0] = (0..64).map(|v| v as f32).collect();
 /// kernel.execute_reference(&mut reference, &[]);
 /// assert_eq!(scheduled, reference);
 /// ```
-pub fn execute_ast(ast: &Ast, kernel: &Kernel, buffers: &mut [Vec<f32>], param_values: &[i64]) {
-    assert_eq!(
-        param_values.len(),
-        kernel.n_params(),
-        "parameter count mismatch"
-    );
+pub fn execute_ast(
+    ast: &Ast,
+    kernel: &Kernel,
+    buffers: &mut [Vec<f32>],
+    param_values: &[i64],
+) -> Result<(), ExecError> {
+    if param_values.len() != kernel.n_params() {
+        return Err(ExecError::ParamCount {
+            expected: kernel.n_params(),
+            got: param_values.len(),
+        });
+    }
+    if buffers.len() != kernel.tensors().len() {
+        return Err(ExecError::BufferCount {
+            expected: kernel.tensors().len(),
+            got: buffers.len(),
+        });
+    }
     let width = global_width(ast, kernel);
     let mut tv = vec![0i128; width];
     let n_t = width - kernel.n_params();
@@ -51,8 +109,9 @@ pub fn execute_ast(ast: &Ast, kernel: &Kernel, buffers: &mut [Vec<f32>], param_v
         tv[n_t + p] = v as i128;
     }
     for r in &ast.roots {
-        exec_node(r, kernel, buffers, param_values, &mut tv);
+        exec_node(r, kernel, buffers, param_values, &mut tv)?;
     }
+    Ok(())
 }
 
 /// Width of the global variable space `[t…, params…]` used by the AST's
@@ -76,14 +135,14 @@ fn exec_node(
     buffers: &mut [Vec<f32>],
     param_values: &[i64],
     tv: &mut Vec<i128>,
-) {
+) -> Result<(), ExecError> {
     match node {
         AstNode::Loop(l) => {
             let values: Vec<i128> = l.values(tv).collect();
             for v in values {
                 tv[l.dim] = v;
                 for c in &l.body {
-                    exec_node(c, kernel, buffers, param_values, tv);
+                    exec_node(c, kernel, buffers, param_values, tv)?;
                 }
             }
             tv[l.dim] = 0;
@@ -91,10 +150,13 @@ fn exec_node(
         AstNode::Stmt(s) => {
             if let Some(iters) = s.instance(tv) {
                 let stmt = kernel.statement(s.stmt);
-                kernel.execute_instance(stmt, &iters, buffers, param_values);
+                kernel
+                    .try_execute_instance(stmt, &iters, buffers, param_values)
+                    .map_err(ExecError::Instance)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Convenience oracle: compiles nothing, just runs both executions and
@@ -105,7 +167,7 @@ fn exec_node(
 ///
 /// # Errors
 ///
-/// Returns a human-readable mismatch report.
+/// Returns a human-readable mismatch or execution-failure report.
 pub fn check_equivalence(
     ast: &Ast,
     kernel: &Kernel,
@@ -113,7 +175,7 @@ pub fn check_equivalence(
     param_values: &[i64],
 ) -> Result<(), String> {
     let mut scheduled = inputs.to_vec();
-    execute_ast(ast, kernel, &mut scheduled, param_values);
+    execute_ast(ast, kernel, &mut scheduled, param_values).map_err(|e| e.to_string())?;
     let mut reference = inputs.to_vec();
     kernel.execute_reference(&mut reference, param_values);
     for (ti, (a, b)) in scheduled.iter().zip(&reference).enumerate() {
@@ -208,5 +270,43 @@ mod tests {
         assert_eq!(a, b);
         let c = seeded_buffers(&k, &[], 8);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bad_inputs_error_instead_of_panicking() {
+        let kernel = ops::transpose_2d(8, 8);
+        let c = compile(&kernel, Config::Isl).unwrap();
+
+        // Wrong parameter count.
+        let mut bufs = kernel.zero_buffers(&[]);
+        let err = execute_ast(&c.ast, &kernel, &mut bufs, &[3]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::ParamCount {
+                expected: 0,
+                got: 1
+            }
+        ));
+
+        // Wrong buffer count.
+        let mut one = vec![vec![0.0f32; 64]];
+        let err = execute_ast(&c.ast, &kernel, &mut one, &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::BufferCount {
+                expected: 2,
+                got: 1
+            }
+        ));
+
+        // Undersized buffer: out-of-bounds access is reported, not a panic.
+        let mut small = vec![vec![0.0f32; 4], vec![0.0f32; 64]];
+        let err = execute_ast(&c.ast, &kernel, &mut small, &[]).unwrap_err();
+        match &err {
+            ExecError::Instance(msg) => assert!(msg.contains("out of bounds"), "{msg}"),
+            other => panic!("expected Instance error, got {other:?}"),
+        }
+        // Errors render through Display for daemon logs.
+        assert!(err.to_string().contains("out of bounds"));
     }
 }

@@ -31,6 +31,6 @@ mod model;
 mod tune;
 
 pub use analyze::{estimate, profile, AccessMetric, AccessPattern, ProfileReport};
-pub use exec::{check_equivalence, execute_ast, global_width, seeded_buffers};
+pub use exec::{check_equivalence, execute_ast, global_width, seeded_buffers, ExecError};
 pub use model::{GpuModel, KernelTiming};
 pub use tune::{autotune, TuneCandidate, TuneResult};

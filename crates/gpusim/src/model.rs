@@ -176,6 +176,48 @@ impl KernelTiming {
     pub fn ms(&self) -> f64 {
         self.time * 1e3
     }
+
+    /// The timing as named `(field, value)` pairs — the serialization
+    /// the serving cache stores, so a cached entry round-trips the full
+    /// timing (not just the headline milliseconds).
+    pub fn to_pairs(&self) -> [(&'static str, f64); 10] {
+        [
+            ("time", self.time),
+            ("dram_bytes", self.dram_bytes),
+            ("l2_bytes", self.l2_bytes),
+            ("flops", self.flops),
+            ("instructions", self.instructions),
+            ("threads", self.threads),
+            ("dram_time", self.dram_time),
+            ("l2_time", self.l2_time),
+            ("compute_time", self.compute_time),
+            ("issue_time", self.issue_time),
+        ]
+    }
+
+    /// Rebuilds a timing from `(field, value)` pairs (the inverse of
+    /// [`KernelTiming::to_pairs`]). Unknown fields are ignored, missing
+    /// fields stay zero — so old cache entries keep loading after new
+    /// diagnostics fields are added.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, f64)>>(pairs: I) -> KernelTiming {
+        let mut t = KernelTiming::default();
+        for (name, v) in pairs {
+            match name {
+                "time" => t.time = v,
+                "dram_bytes" => t.dram_bytes = v,
+                "l2_bytes" => t.l2_bytes = v,
+                "flops" => t.flops = v,
+                "instructions" => t.instructions = v,
+                "threads" => t.threads = v,
+                "dram_time" => t.dram_time = v,
+                "l2_time" => t.l2_time = v,
+                "compute_time" => t.compute_time = v,
+                "issue_time" => t.issue_time = v,
+                _ => {}
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +240,28 @@ mod tests {
         assert!(a100.dram_bw > v100.dram_bw);
         assert!(a100.l2_bw > v100.l2_bw);
         assert!(GpuModel::consumer().dram_bw < v100.dram_bw);
+    }
+
+    #[test]
+    fn timing_pairs_roundtrip() {
+        let t = KernelTiming {
+            time: 1.5e-3,
+            dram_bytes: 1024.0,
+            l2_bytes: 4096.0,
+            flops: 1e6,
+            instructions: 2e6,
+            threads: 512.0,
+            dram_time: 1.0e-3,
+            l2_time: 0.5e-3,
+            compute_time: 0.25e-3,
+            issue_time: 0.125e-3,
+        };
+        let back = KernelTiming::from_pairs(t.to_pairs());
+        assert_eq!(back, t);
+        // Unknown fields ignored, missing fields default.
+        let partial = KernelTiming::from_pairs([("time", 2.0), ("bogus", 9.0)]);
+        assert_eq!(partial.time, 2.0);
+        assert_eq!(partial.flops, 0.0);
     }
 
     #[test]

@@ -131,6 +131,12 @@ impl Kernel {
     }
 
     /// Executes a single statement instance (one iteration-vector point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an access lands outside its tensor buffer; long-lived
+    /// callers (e.g. daemon worker threads) should use
+    /// [`Kernel::try_execute_instance`] instead.
     pub fn execute_instance(
         &self,
         s: &Statement,
@@ -138,20 +144,54 @@ impl Kernel {
         buffers: &mut [Vec<f32>],
         param_values: &[i64],
     ) {
-        let read_vals: Vec<f32> = s
-            .reads()
-            .iter()
-            .map(|a| {
-                let idx = a.eval_index(iters, param_values);
-                let off = self.tensor(a.tensor()).linearize(&idx, param_values);
-                buffers[a.tensor().0][off]
-            })
-            .collect();
+        self.try_execute_instance(s, iters, buffers, param_values)
+            .unwrap_or_else(|e| panic!("{}", e));
+    }
+
+    /// Executes a single statement instance with checked accesses,
+    /// reporting out-of-bounds reads/writes instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Describes the statement, tensor and offset of the first access
+    /// outside its buffer.
+    pub fn try_execute_instance(
+        &self,
+        s: &Statement,
+        iters: &[i64],
+        buffers: &mut [Vec<f32>],
+        param_values: &[i64],
+    ) -> Result<(), String> {
+        let oob = |what: &str, tensor: TensorId, off: usize, len: usize| {
+            format!(
+                "statement {}: {what} of tensor {} out of bounds at {iters:?} (offset {off}, len {len})",
+                s.name(),
+                self.tensor(tensor).name(),
+            )
+        };
+        let mut read_vals = Vec::with_capacity(s.reads().len());
+        for a in s.reads() {
+            let idx = a.eval_index(iters, param_values);
+            let off = self.tensor(a.tensor()).linearize(&idx, param_values);
+            let buf = buffers
+                .get(a.tensor().0)
+                .ok_or_else(|| oob("read", a.tensor(), off, 0))?;
+            read_vals.push(
+                *buf.get(off)
+                    .ok_or_else(|| oob("read", a.tensor(), off, buf.len()))?,
+            );
+        }
         let v = s.expr().eval(&read_vals);
         let w = s.write();
         let idx = w.eval_index(iters, param_values);
         let off = self.tensor(w.tensor()).linearize(&idx, param_values);
-        buffers[w.tensor().0][off] = v;
+        let buf = buffers
+            .get_mut(w.tensor().0)
+            .ok_or_else(|| oob("write", w.tensor(), off, 0))?;
+        let len = buf.len();
+        *buf.get_mut(off)
+            .ok_or_else(|| oob("write", w.tensor(), off, len))? = v;
+        Ok(())
     }
 
     /// Extracts one statement as a standalone kernel sharing the same

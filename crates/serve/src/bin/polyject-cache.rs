@@ -1,0 +1,180 @@
+//! `polyject-cache` — inspect and maintain a persistent schedule cache.
+//!
+//! ```text
+//! polyject-cache <cache-dir> stats
+//! polyject-cache <cache-dir> ls
+//! polyject-cache <cache-dir> rm <key>
+//! polyject-cache <cache-dir> verify
+//! polyject-cache <cache-dir> warm <dir-of-.pj-files> [--config isl|novec|infl|all] [--workers <n>]
+//! ```
+//!
+//! `warm` compiles every `.pj` file under the given directory through the
+//! cache (on a worker pool), so a later daemon or `table2 --cache-dir`
+//! run starts hot.
+
+use polyject_gpusim::GpuModel;
+use polyject_serve::{default_workers, parallel_map, CompileService, DiskCache, Json, Served};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: polyject-cache <cache-dir> stats|ls|rm <key>|verify|warm <dir> \
+     [--config isl|novec|infl|all] [--workers <n>]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (Some(dir), Some(cmd)) = (args.first(), args.get(1)) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let mut cache = match DiskCache::open_default(Path::new(dir)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open cache {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "stats" => {
+            let report = Json::obj(vec![
+                ("dir", Json::Str(dir.clone())),
+                ("entries", Json::Num(cache.len() as f64)),
+                ("bytes", Json::Num(cache.total_bytes() as f64)),
+            ]);
+            println!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        "ls" => {
+            for (key, kind, bytes, last_used) in cache.list() {
+                println!("{key}  {kind:<10}  {bytes:>8} B  used@{last_used}");
+            }
+            ExitCode::SUCCESS
+        }
+        "rm" => {
+            let Some(key) = args.get(2) else {
+                eprintln!("rm needs a key\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            if cache.remove(key) {
+                if let Err(e) = cache.flush() {
+                    eprintln!("index flush failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("removed {key}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("no entry {key}");
+                ExitCode::FAILURE
+            }
+        }
+        "verify" => {
+            let (ok, quarantined) = cache.verify();
+            if let Err(e) = cache.flush() {
+                eprintln!("index flush failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("verified: {ok} ok, {quarantined} quarantined");
+            if quarantined == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "warm" => {
+            let Some(src_dir) = args.get(2) else {
+                eprintln!("warm needs a directory of .pj files\n{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let mut configs = vec!["infl".to_string()];
+            let mut workers = default_workers();
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--config" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("all") => {
+                                configs = vec!["isl".into(), "novec".into(), "infl".into()]
+                            }
+                            Some(c @ ("isl" | "novec" | "infl")) => configs = vec![c.to_string()],
+                            other => {
+                                eprintln!("unknown --config {other:?} (isl|novec|infl|all)");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    "--workers" => {
+                        i += 1;
+                        match args.get(i).and_then(|v| v.parse().ok()) {
+                            Some(n) => workers = n,
+                            None => {
+                                eprintln!("--workers needs an integer");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    other => {
+                        eprintln!("unexpected argument {other}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 1;
+            }
+            warm(cache, Path::new(src_dir), &configs, workers)
+        }
+        other => {
+            eprintln!("unknown command {other}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn warm(cache: DiskCache, src_dir: &Path, configs: &[String], workers: usize) -> ExitCode {
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(src_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "pj"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", src_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no .pj files under {}", src_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let jobs: Vec<(PathBuf, String)> = files
+        .iter()
+        .flat_map(|f| configs.iter().map(move |c| (f.clone(), c.clone())))
+        .collect();
+    let service = CompileService::new(Some(cache), GpuModel::v100());
+    let outcomes = parallel_map(&jobs, workers, |(path, config)| {
+        let src = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        service.serve(&src, config).map(|(_, served)| served)
+    });
+    let (mut fresh, mut hit, mut failed) = (0, 0, 0);
+    for ((path, config), outcome) in jobs.iter().zip(&outcomes) {
+        match outcome {
+            Ok(Served::Hit) => hit += 1,
+            Ok(_) => fresh += 1,
+            Err(e) => {
+                failed += 1;
+                eprintln!("{} ({config}): {e}", path.display());
+            }
+        }
+    }
+    println!(
+        "warmed {} job(s): {fresh} compiled, {hit} already cached, {failed} failed",
+        jobs.len()
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,248 @@
+//! `polyjectc` — the polyject command-line compiler driver.
+//!
+//! ```text
+//! polyjectc <file.pj> [--config isl|novec|infl]
+//!           [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all]
+//!           [--remote <socket-or-host:port>]
+//! ```
+//!
+//! With `--remote`, compilation is delegated to a running `polyjectd`
+//! daemon (hitting its persistent cache); `tree` and `profile` need the
+//! in-process pipeline and are only available locally.
+
+use polyject_codegen::{compile, render, render_cuda, Config};
+use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, InfluenceOptions};
+use polyject_front::{emit_pj, parse};
+use polyject_gpusim::{estimate, profile, GpuModel, KernelTiming};
+use polyject_serve::{Client, Endpoint, Json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: polyjectc <file.pj> [--config isl|novec|infl] \
+     [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all] \
+     [--remote <socket-or-host:port>]";
+
+/// Every `--emit` value the driver understands.
+const EMIT_VALUES: [&str; 9] = [
+    "code",
+    "cuda",
+    "schedule",
+    "schedtree",
+    "tree",
+    "profile",
+    "pj",
+    "time",
+    "all",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut config = Config::Influenced;
+    let mut emit = "all".to_string();
+    let mut remote: Option<Endpoint> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                i += 1;
+                config = match args.get(i).map(String::as_str) {
+                    Some("isl") => Config::Isl,
+                    Some("novec") => Config::NoVec,
+                    Some("infl") => Config::Influenced,
+                    other => {
+                        eprintln!("unknown --config {other:?} (isl|novec|infl)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--emit" => {
+                i += 1;
+                emit = args.get(i).cloned().unwrap_or_default();
+            }
+            "--remote" => {
+                i += 1;
+                match args.get(i) {
+                    Some(addr) => remote = Some(Endpoint::parse(addr)),
+                    None => {
+                        eprintln!("--remote needs a socket path or host:port\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    // Validate --emit up front: a typo'd value used to silently print
+    // nothing (every `emit == "..."` check simply missed).
+    if !EMIT_VALUES.contains(&emit.as_str()) {
+        eprintln!(
+            "unknown --emit {emit:?} (expected one of: {})\n{USAGE}",
+            EMIT_VALUES.join("|")
+        );
+        return ExitCode::FAILURE;
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(endpoint) = remote {
+        return run_remote(&endpoint, &file, &src, config, &emit);
+    }
+
+    let kernel = match parse(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("{file}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit == "tree" || emit == "all" {
+        let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
+        println!("== influence constraint tree ==");
+        print!("{}", tree.render());
+    }
+    let compiled = match compile(&kernel, config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if emit == "schedule" || emit == "all" {
+        println!("== schedule ({}) ==", config.name());
+        print!("{}", compiled.schedule.render(&kernel));
+    }
+    if emit == "schedtree" || emit == "all" {
+        println!("== schedule tree ==");
+        let st = schedule_tree(&kernel, &compiled.schedule);
+        print!("{}", render_schedule_tree(&st, &kernel));
+    }
+    if emit == "code" || emit == "all" {
+        println!("== generated code ({}) ==", config.name());
+        print!("{}", render(&compiled.ast, &kernel));
+    }
+    if emit == "cuda" || emit == "all" {
+        println!("== CUDA source ==");
+        print!("{}", render_cuda(&compiled.ast, &kernel));
+    }
+    if emit == "profile" || emit == "all" {
+        println!("== simulated profile (V100) ==");
+        print!(
+            "{}",
+            profile(&compiled.ast, &kernel, &GpuModel::v100()).render()
+        );
+    }
+    if emit == "pj" {
+        match emit_pj(&kernel) {
+            Ok(src) => print!("{src}"),
+            Err(e) => eprintln!("cannot re-emit: {e}"),
+        }
+    }
+    if emit == "time" || emit == "all" {
+        let t = estimate(&compiled.ast, &kernel, &GpuModel::v100());
+        println!(
+            "== simulated V100: {:.4} ms (bound by {}, {} vectorized loop(s)) ==",
+            t.ms(),
+            t.bottleneck(),
+            compiled.vector_loops
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Delegates the compile to a daemon and prints the requested artifacts
+/// from its reply.
+fn run_remote(endpoint: &Endpoint, file: &str, src: &str, config: Config, emit: &str) -> ExitCode {
+    if emit == "tree" || emit == "profile" {
+        eprintln!("--emit {emit} needs the in-process pipeline; drop --remote to use it");
+        return ExitCode::FAILURE;
+    }
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resp = match client.compile(src, config.name()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("daemon request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match resp.str_field("status") {
+        Ok("ok") => {}
+        Ok("overloaded") => {
+            eprintln!("daemon overloaded; retry later");
+            return ExitCode::FAILURE;
+        }
+        _ => {
+            eprintln!(
+                "{file}: {}",
+                resp.str_field("message").unwrap_or("daemon error")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let cached = resp.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let field = |name: &str| resp.str_field(name).unwrap_or("");
+    if emit == "schedule" || emit == "all" {
+        println!("== schedule ({}) ==", config.name());
+        print!("{}", field("schedule"));
+    }
+    if emit == "schedtree" || emit == "all" {
+        println!("== schedule tree ==");
+        print!("{}", field("schedule_tree"));
+    }
+    if emit == "code" || emit == "all" {
+        println!("== generated code ({}) ==", config.name());
+        print!("{}", field("code"));
+    }
+    if emit == "cuda" || emit == "all" {
+        println!("== CUDA source ==");
+        print!("{}", field("cuda"));
+    }
+    if emit == "pj" {
+        print!("{}", field("canonical_pj"));
+    }
+    if emit == "time" || emit == "all" {
+        let pairs: Vec<(String, f64)> = resp
+            .get("timing")
+            .and_then(Json::as_obj)
+            .map(|fields| {
+                fields
+                    .iter()
+                    .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let t = KernelTiming::from_pairs(pairs.iter().map(|(k, v)| (k.as_str(), *v)));
+        let vector_loops = resp.get("vector_loops").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "== simulated V100: {:.4} ms (bound by {}, {} vectorized loop(s), {}) ==",
+            t.ms(),
+            t.bottleneck(),
+            vector_loops,
+            if cached { "cached" } else { "compiled" },
+        );
+    }
+    ExitCode::SUCCESS
+}

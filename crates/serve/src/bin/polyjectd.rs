@@ -1,0 +1,114 @@
+//! `polyjectd` — the long-lived compilation daemon.
+//!
+//! ```text
+//! polyjectd [--socket <path> | --tcp <host:port>]
+//!           [--cache-dir <dir>] [--cache-max-bytes <n>]
+//!           [--workers <n>] [--queue-bound <n>] [--timeout-secs <n>]
+//!           [--gpu v100|a100|consumer]
+//! ```
+//!
+//! Serves the length-prefixed JSON protocol (see `polyject_serve::protocol`)
+//! until SIGTERM/SIGINT or a `shutdown` request, then flushes the cache
+//! index and dumps final stats as JSON on stdout.
+
+use polyject_gpusim::GpuModel;
+use polyject_serve::{run_daemon, DaemonConfig, Endpoint};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: polyjectd [--socket <path> | --tcp <host:port>] \
+     [--cache-dir <dir>] [--cache-max-bytes <n>] [--workers <n>] \
+     [--queue-bound <n>] [--timeout-secs <n>] [--gpu v100|a100|consumer]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = DaemonConfig::default();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Option<String> {
+        *i += 1;
+        let v = args.get(*i).cloned();
+        if v.is_none() {
+            eprintln!("{flag} needs a value\n{USAGE}");
+        }
+        v
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => match value(&args, &mut i, "--socket") {
+                Some(p) => config.endpoint = Endpoint::Unix(p.into()),
+                None => return ExitCode::FAILURE,
+            },
+            "--tcp" => match value(&args, &mut i, "--tcp") {
+                Some(a) => config.endpoint = Endpoint::Tcp(a),
+                None => return ExitCode::FAILURE,
+            },
+            "--cache-dir" => match value(&args, &mut i, "--cache-dir") {
+                Some(d) => config.cache_dir = Some(d.into()),
+                None => return ExitCode::FAILURE,
+            },
+            "--cache-max-bytes" => {
+                match value(&args, &mut i, "--cache-max-bytes").and_then(|v| v.parse().ok()) {
+                    Some(n) => config.cache_max_bytes = n,
+                    None => {
+                        eprintln!("--cache-max-bytes needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workers" => match value(&args, &mut i, "--workers").and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => {
+                    eprintln!("--workers needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--queue-bound" => {
+                match value(&args, &mut i, "--queue-bound").and_then(|v| v.parse().ok()) {
+                    Some(n) => config.queue_bound = n,
+                    None => {
+                        eprintln!("--queue-bound needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--timeout-secs" => {
+                match value(&args, &mut i, "--timeout-secs").and_then(|v| v.parse().ok()) {
+                    Some(n) => config.request_timeout = Duration::from_secs(n),
+                    None => {
+                        eprintln!("--timeout-secs needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--gpu" => match value(&args, &mut i, "--gpu").as_deref() {
+                Some("v100") => config.gpu = GpuModel::v100(),
+                Some("a100") => config.gpu = GpuModel::a100(),
+                Some("consumer") => config.gpu = GpuModel::consumer(),
+                other => {
+                    eprintln!("unknown --gpu {other:?} (v100|a100|consumer)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    match run_daemon(config) {
+        Ok(report) => {
+            // The final stats dump, parseable by scripts.
+            println!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("polyjectd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! The persistent content-addressed schedule cache.
+//!
+//! On-disk layout under the cache directory:
+//!
+//! ```text
+//! <cache-dir>/
+//!   index.json                  LRU index {version, tick, entries:[...]}
+//!   entries/<key>.json          one versioned entry per cache key
+//!   quarantine/<key>.json.<n>   corrupt entries moved aside, never deleted
+//! ```
+//!
+//! Each entry file is a JSON object
+//! `{"format": FORMAT_VERSION, "key", "kind", "checksum", "payload"}`
+//! where `checksum` is the FNV-1a 64 hex digest of the serialized
+//! payload. Entries are written atomically (tmp file + rename in the
+//! same directory). Reads re-verify the checksum; any parse, version,
+//! key, or checksum failure counts as a miss, bumps the error counter
+//! and moves the file to `quarantine/` for post-mortem instead of
+//! silently serving bad artifacts.
+//!
+//! Eviction is LRU over a logical tick (persisted in the index, so
+//! recency survives restarts) and bounded by a total payload byte
+//! budget.
+
+use crate::hash::hex_digest;
+use crate::json::Json;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Cache entry format version; bump on any incompatible change to the
+/// entry or payload schema — old entries then read as misses.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Default size bound: 256 MiB of payload bytes.
+pub const DEFAULT_MAX_BYTES: u64 = 256 << 20;
+
+/// Operation counters of one [`DiskCache`] instance (process-local, not
+/// persisted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Successful, checksum-verified reads.
+    pub hits: u64,
+    /// Reads that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub puts: u64,
+    /// Entries evicted by the LRU size bound.
+    pub evictions: u64,
+    /// Corrupt entries quarantined.
+    pub errors: u64,
+}
+
+#[derive(Clone, Debug)]
+struct IndexEntry {
+    key: String,
+    kind: String,
+    bytes: u64,
+    last_used: u64,
+}
+
+/// A persistent, content-addressed, size-bounded LRU cache of compile
+/// artifacts.
+///
+/// Keys are 16-hex-char content hashes (see [`crate::service::cache_key`]);
+/// payloads are arbitrary JSON values whose schema is identified by a
+/// `kind` string.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    max_bytes: u64,
+    tick: u64,
+    entries: HashMap<String, IndexEntry>,
+    stats: CacheStats,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory with the given
+    /// payload byte budget.
+    ///
+    /// A missing or unreadable `index.json` is not an error: the index
+    /// is rebuilt by scanning `entries/` (recency resets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path, max_bytes: u64) -> io::Result<DiskCache> {
+        std::fs::create_dir_all(dir.join("entries"))?;
+        std::fs::create_dir_all(dir.join("quarantine"))?;
+        let mut cache = DiskCache {
+            dir: dir.to_path_buf(),
+            max_bytes: max_bytes.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            stats: CacheStats::default(),
+        };
+        if !cache.load_index() {
+            cache.rebuild_index()?;
+            cache.flush()?;
+        }
+        Ok(cache)
+    }
+
+    /// Opens with the default size budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiskCache::open`].
+    pub fn open_default(dir: &Path) -> io::Result<DiskCache> {
+        DiskCache::open(dir, DEFAULT_MAX_BYTES)
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Process-local operation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total payload bytes currently indexed.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.bytes).sum()
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join("entries").join(format!("{key}.json"))
+    }
+
+    /// Looks up a key, verifying the entry checksum. Returns the
+    /// `(kind, payload)` on a hit. Corrupt entries are quarantined and
+    /// reported as misses.
+    pub fn get(&mut self, key: &str) -> Option<(String, Json)> {
+        if !self.entries.contains_key(key) && !self.entry_path(key).exists() {
+            self.stats.misses += 1;
+            return None;
+        }
+        match self.read_verified(key) {
+            Ok((kind, payload)) => {
+                self.stats.hits += 1;
+                self.tick += 1;
+                let tick = self.tick;
+                match self.entries.get_mut(key) {
+                    Some(e) => e.last_used = tick,
+                    None => {
+                        // Valid entry written by another process: adopt it.
+                        let bytes = std::fs::metadata(self.entry_path(key))
+                            .map(|m| m.len())
+                            .unwrap_or(0);
+                        self.entries.insert(
+                            key.to_string(),
+                            IndexEntry {
+                                key: key.to_string(),
+                                kind: kind.clone(),
+                                bytes,
+                                last_used: tick,
+                            },
+                        );
+                    }
+                }
+                Some((kind, payload))
+            }
+            Err(reason) => {
+                self.quarantine(key, &reason);
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn read_verified(&self, key: &str) -> Result<(String, Json), String> {
+        let text = std::fs::read_to_string(self.entry_path(key))
+            .map_err(|e| format!("unreadable: {e}"))?;
+        let v = Json::parse(&text).map_err(|e| format!("bad json: {e}"))?;
+        let format = v
+            .get("format")
+            .and_then(Json::as_u64)
+            .ok_or("missing format")?;
+        if format != FORMAT_VERSION {
+            return Err(format!("format {format} != {FORMAT_VERSION}"));
+        }
+        if v.str_field("key")? != key {
+            return Err("key mismatch".to_string());
+        }
+        let kind = v.str_field("kind")?.to_string();
+        let payload = v.get("payload").ok_or("missing payload")?.clone();
+        let checksum = v.str_field("checksum")?;
+        let actual = hex_digest(&payload.render());
+        if checksum != actual {
+            return Err(format!("checksum {actual} != recorded {checksum}"));
+        }
+        Ok((kind, payload))
+    }
+
+    /// Writes an entry atomically (tmp + rename), updates the index, and
+    /// evicts least-recently-used entries if the byte budget is
+    /// exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; the cache directory is left
+    /// consistent (the rename either happened or it didn't).
+    pub fn put(&mut self, key: &str, kind: &str, payload: &Json) -> io::Result<()> {
+        let payload_text = payload.render();
+        let entry = Json::obj(vec![
+            ("format", Json::Num(FORMAT_VERSION as f64)),
+            ("key", Json::Str(key.to_string())),
+            ("kind", Json::Str(kind.to_string())),
+            ("checksum", Json::Str(hex_digest(&payload_text))),
+            ("payload", payload.clone()),
+        ]);
+        let text = entry.render();
+        let path = self.entry_path(key);
+        write_atomic(&path, text.as_bytes())?;
+        self.tick += 1;
+        self.entries.insert(
+            key.to_string(),
+            IndexEntry {
+                key: key.to_string(),
+                kind: kind.to_string(),
+                bytes: text.len() as u64,
+                last_used: self.tick,
+            },
+        );
+        self.stats.puts += 1;
+        self.evict_to_budget(key);
+        self.flush()
+    }
+
+    /// Evicts LRU entries until the budget holds, never evicting
+    /// `keep` (the entry just written).
+    fn evict_to_budget(&mut self, keep: &str) {
+        while self.total_bytes() > self.max_bytes {
+            let victim = self
+                .entries
+                .values()
+                .filter(|e| e.key != keep)
+                .min_by_key(|e| e.last_used)
+                .map(|e| e.key.clone());
+            let Some(victim) = victim else { break };
+            let _ = std::fs::remove_file(self.entry_path(&victim));
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Removes an entry. Returns whether it existed.
+    pub fn remove(&mut self, key: &str) -> bool {
+        let existed = self.entries.remove(key).is_some();
+        let on_disk = std::fs::remove_file(self.entry_path(key)).is_ok();
+        existed || on_disk
+    }
+
+    /// Lists `(key, kind, bytes, last_used)` for every indexed entry,
+    /// most recently used first.
+    pub fn list(&self) -> Vec<(String, String, u64, u64)> {
+        let mut v: Vec<_> = self
+            .entries
+            .values()
+            .map(|e| (e.key.clone(), e.kind.clone(), e.bytes, e.last_used))
+            .collect();
+        v.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Re-reads and checksum-verifies every indexed entry, quarantining
+    /// the corrupt ones. Returns `(ok, quarantined)` counts.
+    pub fn verify(&mut self) -> (usize, usize) {
+        let keys: Vec<String> = self.entries.keys().cloned().collect();
+        let (mut ok, mut bad) = (0, 0);
+        for key in keys {
+            match self.read_verified(&key) {
+                Ok(_) => ok += 1,
+                Err(reason) => {
+                    self.quarantine(&key, &reason);
+                    bad += 1;
+                }
+            }
+        }
+        (ok, bad)
+    }
+
+    fn quarantine(&mut self, key: &str, reason: &str) {
+        let src = self.entry_path(key);
+        if src.exists() {
+            // Find a free quarantine slot (don't clobber earlier corpses).
+            let qdir = self.dir.join("quarantine");
+            for n in 0.. {
+                let dst = qdir.join(format!("{key}.json.{n}"));
+                if !dst.exists() {
+                    let _ = std::fs::rename(&src, &dst);
+                    break;
+                }
+            }
+        }
+        self.entries.remove(key);
+        self.stats.errors += 1;
+        eprintln!("[cache] quarantined {key}: {reason}");
+    }
+
+    /// Persists the LRU index atomically. Called after every `put`; call
+    /// explicitly after read-heavy phases to persist recency bumps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let entries: Vec<Json> = self
+            .list()
+            .into_iter()
+            .map(|(key, kind, bytes, last_used)| {
+                Json::obj(vec![
+                    ("key", Json::Str(key)),
+                    ("kind", Json::Str(kind)),
+                    ("bytes", Json::Num(bytes as f64)),
+                    ("last_used", Json::Num(last_used as f64)),
+                ])
+            })
+            .collect();
+        let index = Json::obj(vec![
+            ("version", Json::Num(FORMAT_VERSION as f64)),
+            ("tick", Json::Num(self.tick as f64)),
+            ("entries", Json::Arr(entries)),
+        ]);
+        write_atomic(&self.dir.join("index.json"), index.render().as_bytes())
+    }
+
+    /// Loads `index.json`; returns `false` (leaving the cache empty) on
+    /// any problem, in which case the caller rebuilds by scanning.
+    fn load_index(&mut self) -> bool {
+        let Ok(text) = std::fs::read_to_string(self.dir.join("index.json")) else {
+            return false;
+        };
+        let Ok(v) = Json::parse(&text) else {
+            return false;
+        };
+        if v.get("version").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+            return false;
+        }
+        let Some(entries) = v.get("entries").and_then(Json::as_arr) else {
+            return false;
+        };
+        self.tick = v.get("tick").and_then(Json::as_u64).unwrap_or(0);
+        for e in entries {
+            let (Ok(key), Ok(kind)) = (e.str_field("key"), e.str_field("kind")) else {
+                continue;
+            };
+            // Stale index rows for deleted files are dropped here.
+            if !self.entry_path(key).exists() {
+                continue;
+            }
+            self.entries.insert(
+                key.to_string(),
+                IndexEntry {
+                    key: key.to_string(),
+                    kind: kind.to_string(),
+                    bytes: e.get("bytes").and_then(Json::as_u64).unwrap_or(0),
+                    last_used: e.get("last_used").and_then(Json::as_u64).unwrap_or(0),
+                },
+            );
+        }
+        true
+    }
+
+    /// Rebuilds the index by scanning `entries/` (used when the index is
+    /// missing or unreadable). Unverifiable files are quarantined.
+    fn rebuild_index(&mut self) -> io::Result<()> {
+        self.entries.clear();
+        for dirent in std::fs::read_dir(self.dir.join("entries"))? {
+            let path = dirent?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(key) = name.strip_suffix(".json") else {
+                continue;
+            };
+            let key = key.to_string();
+            match self.read_verified(&key) {
+                Ok((kind, _)) => {
+                    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    self.entries.insert(
+                        key.clone(),
+                        IndexEntry {
+                            key,
+                            kind,
+                            bytes,
+                            last_used: 0,
+                        },
+                    );
+                }
+                Err(reason) => self.quarantine(&key, &reason),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a tmp file in the same directory
+/// (same filesystem, so the rename is atomic), flushed, then renamed
+/// over the target.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "path has no parent directory")
+    })?;
+    let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+    let tmp = dir.join(format!(".tmp.{}.{base}", std::process::id()));
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = N.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let d = std::env::temp_dir().join(format!(
+            "polyject-cache-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn payload(tag: &str) -> Json {
+        Json::obj(vec![
+            ("cuda", Json::Str(format!("__global__ void {tag}() {{}}"))),
+            ("ms", Json::Num(1.25)),
+        ])
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_persistence() {
+        let dir = tmpdir("roundtrip");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert!(c.get("aaaa").is_none());
+        c.put("aaaa", "compile", &payload("k")).unwrap();
+        let (kind, p) = c.get("aaaa").unwrap();
+        assert_eq!(kind, "compile");
+        assert_eq!(p, payload("k"));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                puts: 1,
+                ..CacheStats::default()
+            }
+        );
+        drop(c);
+        // Reopen: entry and recency survive.
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("aaaa").unwrap().1, payload("k"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_rebuild_after_index_loss() {
+        let dir = tmpdir("rebuild");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        c.put("k1", "compile", &payload("a")).unwrap();
+        c.put("k2", "compile", &payload("b")).unwrap();
+        drop(c);
+        std::fs::remove_file(dir.join("index.json")).unwrap();
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(c.get("k1").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let dir = tmpdir("lru");
+        let one = payload("x").render();
+        let entry_overhead = 120; // format/key/kind/checksum wrapper
+        let budget = 2 * (one.len() as u64 + entry_overhead);
+        let mut c = DiskCache::open(&dir, budget).unwrap();
+        c.put("k1", "compile", &payload("x")).unwrap();
+        c.put("k2", "compile", &payload("x")).unwrap();
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(c.get("k1").is_some());
+        c.put("k3", "compile", &payload("x")).unwrap();
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get("k2").is_none(), "LRU entry evicted");
+        assert!(c.get("k1").is_some(), "recently used entry kept");
+        assert!(c.get("k3").is_some(), "new entry kept");
+        assert!(!dir.join("entries").join("k2.json").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_and_list() {
+        let dir = tmpdir("rm");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        c.put("k1", "compile", &payload("a")).unwrap();
+        c.put("k2", "table2-op", &payload("b")).unwrap();
+        let l = c.list();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].0, "k2", "most recent first");
+        assert!(c.remove("k1"));
+        assert!(!c.remove("k1"));
+        assert_eq!(c.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,240 @@
+//! The daemon client: used by `polyjectc --remote`, `polyject-cache`,
+//! tests, and anything else that talks to a running `polyjectd`.
+
+use crate::json::Json;
+use crate::protocol::{read_frame, write_frame, Request};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon listens: a Unix socket path (the default) or a TCP
+/// `host:port` fallback for platforms/namespaces without Unix sockets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` address.
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string: anything shaped like `host:port` (no
+    /// path separator, numeric port suffix) is TCP, everything else is a
+    /// Unix socket path.
+    pub fn parse(s: &str) -> Endpoint {
+        let looks_tcp = !s.contains('/')
+            && s.rsplit_once(':')
+                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+        if looks_tcp {
+            Endpoint::Tcp(s.to_string())
+        } else {
+            Endpoint::Unix(PathBuf::from(s))
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+enum Conn {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking protocol client over one connection. Requests are
+/// strictly sequential (one frame out, one frame in).
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connects to a daemon endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (daemon not running, bad address).
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        let conn = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!(
+                        "unix sockets unavailable; use tcp instead of {}",
+                        path.display()
+                    ),
+                ))
+            }
+            Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr)?),
+        };
+        Ok(Client { conn })
+    }
+
+    /// Sets a read/write timeout on the underlying socket (`None`
+    /// blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        match &self.conn {
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+
+    /// Sends one request and reads one response frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn request(&mut self, req: &Request) -> io::Result<Json> {
+        write_frame(&mut self.conn, &req.to_json())?;
+        read_frame(&mut self.conn)
+    }
+
+    /// Compiles `.pj` source under a configuration name, returning the
+    /// raw response object (check its `"status"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn compile(&mut self, src: &str, config: &str) -> io::Result<Json> {
+        self.request(&Request::Compile {
+            src: src.to_string(),
+            config: config.to_string(),
+        })
+    }
+
+    /// Liveness probe; `Ok(true)` when the daemon answered the ping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        let resp = self.request(&Request::Ping)?;
+        Ok(resp.get("pong").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Fetches the daemon's stats report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Request::Stats)
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parsing_heuristic() {
+        assert_eq!(
+            Endpoint::parse("/tmp/pjd.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/pjd.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7421"),
+            Endpoint::Tcp("127.0.0.1:7421".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("localhost:65535"),
+            Endpoint::Tcp("localhost:65535".to_string())
+        );
+        // Out-of-range port and portless names are paths.
+        assert_eq!(
+            Endpoint::parse("localhost:99999"),
+            Endpoint::Unix(PathBuf::from("localhost:99999"))
+        );
+        assert_eq!(
+            Endpoint::parse("pjd.sock"),
+            Endpoint::Unix(PathBuf::from("pjd.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7421").to_string(),
+            "127.0.0.1:7421"
+        );
+    }
+
+    #[test]
+    fn tcp_roundtrip_against_manual_server() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let req = read_frame(&mut s).unwrap();
+            assert_eq!(Request::from_json(&req).unwrap(), Request::Ping);
+            write_frame(
+                &mut s,
+                &Json::obj(vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("pong", Json::Bool(true)),
+                ]),
+            )
+            .unwrap();
+        });
+        let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+        assert!(client.ping().unwrap());
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,550 @@
+//! The `polyjectd` daemon: accept loop, request dispatch, backpressure,
+//! per-request timeouts, and graceful shutdown.
+//!
+//! One thread per connection reads length-prefixed frames; compile
+//! requests are dispatched onto a shared [`WorkerPool`] so concurrency
+//! is bounded by worker count, with a bounded pending-job queue that
+//! answers `overloaded` instead of buffering without limit. Identical
+//! concurrent requests are deduplicated by the service's single-flight
+//! layer. SIGTERM/SIGINT (or a `shutdown` request) stops the accept
+//! loop, lets in-flight work drain, flushes the cache index, and dumps
+//! final stats as JSON.
+
+use crate::cache::DiskCache;
+use crate::client::Endpoint;
+use crate::json::Json;
+use crate::pool::{default_workers, WorkerPool};
+use crate::protocol::{
+    error_response, ok_response, overloaded_response, write_frame, Request, MAX_FRAME,
+};
+use crate::service::{CompileService, Served};
+use crate::stats::ServeStats;
+use polyject_gpusim::GpuModel;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// POSIX signal handling without a libc dependency: the daemon installs
+/// a flag-setting handler for SIGTERM/SIGINT via the C `signal`
+/// function, which the platform libc already links. This is the one
+/// place in the workspace that touches `unsafe`.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler; polled by the accept loop.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operations here.
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the flag-setting handler for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+
+    /// Never set on platforms without POSIX signals.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    /// No-op.
+    pub fn install() {}
+}
+
+/// Configuration of one daemon instance.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Maximum compile requests pending (queued + executing) before new
+    /// ones are answered `overloaded`.
+    pub queue_bound: usize,
+    /// Per-request compile deadline.
+    pub request_timeout: Duration,
+    /// Persistent cache directory (`None` disables caching).
+    pub cache_dir: Option<PathBuf>,
+    /// Cache payload byte budget.
+    pub cache_max_bytes: u64,
+    /// GPU model requests compile against.
+    pub gpu: GpuModel,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            endpoint: Endpoint::Unix(std::env::temp_dir().join("polyjectd.sock")),
+            workers: default_workers(),
+            queue_bound: 64,
+            request_timeout: Duration::from_secs(120),
+            cache_dir: None,
+            cache_max_bytes: crate::cache::DEFAULT_MAX_BYTES,
+            gpu: GpuModel::v100(),
+        }
+    }
+}
+
+struct Shared {
+    service: CompileService,
+    pool: WorkerPool,
+    stats: Mutex<ServeStats>,
+    stop: AtomicBool,
+    pending: AtomicUsize,
+    queue_bound: usize,
+    request_timeout: Duration,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || sig::STOP.load(Ordering::SeqCst)
+    }
+
+    /// The stats report: daemon counters plus the cache's own view.
+    fn stats_json(&self) -> Json {
+        let cache = self.service.with_cache(|c| {
+            let s = c.stats();
+            Json::obj(vec![
+                ("entries", Json::Num(c.len() as f64)),
+                ("bytes", Json::Num(c.total_bytes() as f64)),
+                ("hits", Json::Num(s.hits as f64)),
+                ("misses", Json::Num(s.misses as f64)),
+                ("puts", Json::Num(s.puts as f64)),
+                ("evictions", Json::Num(s.evictions as f64)),
+                ("errors", Json::Num(s.errors as f64)),
+            ])
+        });
+        let mut stats = self.stats.lock().expect("stats lock poisoned");
+        stats.evictions = self
+            .service
+            .with_cache(|c| c.stats().evictions)
+            .unwrap_or(0);
+        Json::obj(vec![
+            ("status", Json::Str("ok".to_string())),
+            ("stats", stats.to_json()),
+            ("cache", cache.unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+enum Stream {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_read_timeout(t),
+            Stream::Tcp(s) => s.set_read_timeout(t),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
+        match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    // Stale socket from a dead daemon? Probe it.
+                    if UnixStream::connect(path).is_ok() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {}", path.display()),
+                        ));
+                    }
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("unix sockets unavailable: {}", path.display()),
+            )),
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+        }
+    }
+
+    /// Nonblocking accept; `Ok(None)` when no connection is waiting.
+    fn accept(&self) -> io::Result<Option<Stream>> {
+        let r = match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        match r {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, riding out socket read timeouts so
+/// the connection thread can poll the shutdown flag. `Ok(false)` means
+/// the peer closed (or shutdown began) cleanly before a frame started.
+fn read_full(stream: &mut Stream, buf: &mut [u8], shared: &Shared) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shared.stopping() {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, tolerant of read-timeout polling. `Ok(None)` = peer
+/// closed or shutdown began.
+fn read_frame_polling(stream: &mut Stream, shared: &Shared) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    if !read_full(stream, &mut len_buf, shared)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    if !read_full(stream, &mut buf, shared)? {
+        return Ok(None);
+    }
+    let text = String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 frame"))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn dispatch(shared: &Arc<Shared>, frame: &Json) -> (Json, bool) {
+    shared.stats.lock().expect("stats lock poisoned").requests += 1;
+    let req = match Request::from_json(frame) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.stats.lock().expect("stats lock poisoned").errors += 1;
+            return (error_response(&e), false);
+        }
+    };
+    match req {
+        Request::Ping => (
+            Json::obj(vec![
+                ("status", Json::Str("ok".to_string())),
+                ("pong", Json::Bool(true)),
+            ]),
+            false,
+        ),
+        Request::Stats => (shared.stats_json(), false),
+        Request::Shutdown => {
+            shared.stop.store(true, Ordering::SeqCst);
+            (
+                Json::obj(vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("stopping", Json::Bool(true)),
+                ]),
+                true,
+            )
+        }
+        Request::Compile { src, config } => (serve_compile(shared, src, config), false),
+    }
+}
+
+fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
+    // Backpressure: bound queued-plus-executing compiles instead of
+    // buffering arbitrarily many requests behind a busy pool.
+    let pending = shared.pending.load(Ordering::SeqCst);
+    if pending >= shared.queue_bound {
+        shared.stats.lock().expect("stats lock poisoned").overloaded += 1;
+        return overloaded_response(pending);
+    }
+    shared.pending.fetch_add(1, Ordering::SeqCst);
+    let (tx, rx) = mpsc::channel();
+    let worker_shared = Arc::clone(shared);
+    let t0 = Instant::now();
+    shared.pool.submit(move || {
+        // The compile must run wholly on this worker thread: solver
+        // counters are thread-local.
+        let result = worker_shared.service.serve(&src, &config);
+        worker_shared.pending.fetch_sub(1, Ordering::SeqCst);
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(shared.request_timeout) {
+        Ok(Ok((reply, served))) => {
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let mut stats = shared.stats.lock().expect("stats lock poisoned");
+            stats.latency.record(ms);
+            match served {
+                Served::Hit => stats.hits += 1,
+                Served::Fresh => stats.misses += 1,
+                Served::Coalesced => stats.coalesced += 1,
+            }
+            ok_response(&reply, served == Served::Hit)
+        }
+        Ok(Err(e)) => {
+            shared.stats.lock().expect("stats lock poisoned").errors += 1;
+            error_response(&e)
+        }
+        Err(_) => {
+            shared.stats.lock().expect("stats lock poisoned").timeouts += 1;
+            error_response(&format!(
+                "request timed out after {:?} (still compiling; retry later to hit the cache)",
+                shared.request_timeout
+            ))
+        }
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, mut stream: Stream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        let frame = match read_frame_polling(&mut stream, &shared) {
+            Ok(Some(f)) => f,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = write_frame(&mut stream, &error_response(&e.to_string()));
+                return;
+            }
+        };
+        let (resp, closing) = dispatch(&shared, &frame);
+        if write_frame(&mut stream, &resp).is_err() || closing {
+            return;
+        }
+    }
+}
+
+/// Runs a daemon until SIGTERM/SIGINT or a `shutdown` request, then
+/// drains in-flight work, flushes the cache index, removes the Unix
+/// socket file, and returns the final stats report.
+///
+/// # Errors
+///
+/// Propagates bind/cache-open failures; an already-listening daemon on
+/// the same Unix socket is `AddrInUse`.
+pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
+    sig::install();
+    let cache = match &config.cache_dir {
+        Some(dir) => Some(DiskCache::open(dir, config.cache_max_bytes)?),
+        None => None,
+    };
+    let listener = Listener::bind(&config.endpoint)?;
+    let shared = Arc::new(Shared {
+        service: CompileService::new(cache, config.gpu.clone()),
+        pool: WorkerPool::new(config.workers),
+        stats: Mutex::new(ServeStats::default()),
+        stop: AtomicBool::new(false),
+        pending: AtomicUsize::new(0),
+        queue_bound: config.queue_bound.max(1),
+        request_timeout: config.request_timeout,
+    });
+    eprintln!(
+        "[polyjectd] listening on {} ({} workers, queue bound {}, cache {})",
+        config.endpoint,
+        shared.pool.workers(),
+        shared.queue_bound,
+        config
+            .cache_dir
+            .as_ref()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "disabled".to_string()),
+    );
+
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.stopping() {
+        match listener.accept()? {
+            Some(stream) => {
+                let shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || handle_conn(shared, stream)));
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+
+    eprintln!(
+        "[polyjectd] shutting down: draining {} connection(s)",
+        conns.len()
+    );
+    for h in conns {
+        let _ = h.join();
+    }
+    // Wait out compiles still on the pool so their cache writes land.
+    while shared.pending.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if let Some(Err(e)) = shared.service.with_cache(DiskCache::flush) {
+        eprintln!("[polyjectd] cache flush failed: {e}");
+    }
+    if let Endpoint::Unix(path) = &config.endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    let report = shared.stats_json();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+
+    fn test_shared(queue_bound: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            service: CompileService::new(None, GpuModel::v100()),
+            pool: WorkerPool::new(2),
+            stats: Mutex::new(ServeStats::default()),
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            queue_bound,
+            request_timeout: Duration::from_secs(30),
+        })
+    }
+
+    #[test]
+    fn dispatch_ping_stats_and_errors() {
+        let shared = test_shared(4);
+        let (resp, _) = dispatch(&shared, &Request::Ping.to_json());
+        assert_eq!(resp.get("pong"), Some(&Json::Bool(true)));
+        let (resp, _) = dispatch(&shared, &Json::obj(vec![("op", Json::Str("?".into()))]));
+        assert!(resp.render().contains("\"error\""));
+        let (resp, _) = dispatch(&shared, &Request::Stats.to_json());
+        assert!(resp.get("stats").is_some());
+        assert_eq!(resp.get("cache"), Some(&Json::Null), "no cache attached");
+        assert_eq!(shared.stats.lock().unwrap().requests, 3);
+    }
+
+    #[test]
+    fn dispatch_compile_and_shutdown() {
+        let shared = test_shared(4);
+        let req = Request::Compile {
+            src: SRC.to_string(),
+            config: "infl".to_string(),
+        };
+        let (resp, closing) = dispatch(&shared, &req.to_json());
+        assert!(!closing);
+        assert_eq!(resp.str_field("status").unwrap(), "ok");
+        assert_eq!(resp.get("cached"), Some(&Json::Bool(false)));
+        assert!(resp.str_field("cuda").unwrap().contains("__global__"));
+        assert_eq!(shared.stats.lock().unwrap().misses, 1);
+
+        let (resp, closing) = dispatch(&shared, &Request::Shutdown.to_json());
+        assert!(closing);
+        assert_eq!(resp.get("stopping"), Some(&Json::Bool(true)));
+        assert!(shared.stopping());
+    }
+
+    #[test]
+    fn overload_rejects_instead_of_queueing() {
+        let shared = test_shared(1);
+        shared.pending.store(1, Ordering::SeqCst);
+        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        assert_eq!(resp.str_field("status").unwrap(), "overloaded");
+        assert_eq!(shared.stats.lock().unwrap().overloaded, 1);
+        shared.pending.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn compile_errors_counted() {
+        let shared = test_shared(4);
+        let resp = serve_compile(&shared, "kernel".to_string(), "infl".to_string());
+        assert_eq!(resp.str_field("status").unwrap(), "error");
+        assert_eq!(shared.stats.lock().unwrap().errors, 1);
+    }
+}

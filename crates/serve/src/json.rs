@@ -1,0 +1,499 @@
+//! A minimal JSON value model with a deterministic writer and a strict
+//! parser. The workspace builds fully offline and carries no serde; the
+//! cache entry format and the daemon wire protocol both build on this.
+//!
+//! Determinism matters: cache entry checksums are computed over the
+//! serialized payload, so serialization must be a pure function of the
+//! value. Objects preserve insertion order and numbers use Rust's
+//! shortest round-trip `f64` formatting (bit-exact through a
+//! write→parse cycle, which is what lets cached Table II timings stay
+//! byte-identical to a fresh compile).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (stored as `f64`; integers round-trip exactly up to 2⁵³).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's pair list, if it is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: `get(key)` then [`Json::as_str`], with a descriptive
+    /// error.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing or non-string field {key:?}"))
+    }
+
+    /// Convenience: `get(key)` then [`Json::as_f64`], with a descriptive
+    /// error.
+    pub fn num_field(&self, key: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+    }
+
+    /// Serializes the value to compact JSON text (deterministic: object
+    /// order is preserved, numbers use shortest round-trip formatting).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Serializes the value as indented (2-space) JSON text with a
+    /// trailing newline, for human-facing files like `BENCH_table2.json`.
+    /// Same determinism guarantees as [`Json::render`].
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| out.push_str(&"  ".repeat(d));
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, depth + 1);
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, depth + 1);
+                    write_str(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_num(*n, out),
+            Json::Str(s) => write_str(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error
+    /// (including trailing garbage after the top-level value).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; null is the conventional degradation.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integral values print as integers — except -0.0, whose sign
+        // bit `as i64` would drop (bit-exactness matters for checksums).
+        write!(out, "{}", n as i64).expect("write");
+    } else {
+        // Rust's shortest round-trip formatting; parses back bit-exact.
+        write!(out, "{n:?}").expect("write");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let v = parse_value(b, pos)?;
+                pairs.push((key, v));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-utf8 number".to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {s:?} at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(c.ok_or_else(|| format!("invalid escape at byte {}", *pos))?);
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| format!("non-utf8 string at byte {}", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, String> {
+    if at + 4 > b.len() {
+        return Err("truncated \\u escape".to_string());
+    }
+    let s = std::str::from_utf8(&b[at..at + 4]).map_err(|_| "non-utf8 escape".to_string())?;
+    u32::from_str_radix(s, 16).map_err(|_| format!("invalid \\u escape {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_basic_values() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.25",
+            "\"hi\"",
+            "[]",
+            "[1,2,3]",
+            "{}",
+            "{\"a\":1,\"b\":[true,null]}",
+        ] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.render(), text, "{text}");
+        }
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            115.642465,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -0.0,
+            2.5000000000000004,
+        ] {
+            let v = Json::Num(x).render();
+            let back = Json::parse(&v).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {v}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line\nquote\"back\\slash\ttab\u{1}snow\u{2603}";
+        let text = Json::Str(s.to_string()).render();
+        assert_eq!(Json::parse(&text).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn surrogate_pair_escape() {
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn object_accessors() {
+        let v = Json::parse("{\"k\":\"v\",\"n\":4,\"b\":true}").unwrap();
+        assert_eq!(v.str_field("k").unwrap(), "v");
+        assert_eq!(v.num_field("n").unwrap(), 4.0);
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.as_obj().unwrap().len(), 3);
+        assert!(v.str_field("missing").is_err());
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(4));
+    }
+
+    #[test]
+    fn pretty_rendering_reparses_identically() {
+        let v = Json::parse("{\"a\":1,\"b\":[true,null,{\"c\":0.1}],\"e\":[],\"o\":{}}").unwrap();
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"b\": [\n"), "{pretty}");
+        assert!(pretty.ends_with("}\n"));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_existing_bench_schema() {
+        let text = "{\n  \"bench\": \"table2\",\n  \"cores\": 1,\n  \"nets\": [ { \"name\": \"LSTM\", \"isl_ms\": 0.028640 } ]\n}\n";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.str_field("bench").unwrap(), "table2");
+        assert_eq!(
+            v.get("nets").unwrap().as_arr().unwrap()[0]
+                .num_field("isl_ms")
+                .unwrap(),
+            0.028640
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # polyject-serve
+//!
+//! The serving layer: a long-lived compilation daemon (`polyjectd`) with a
+//! persistent, content-addressed schedule cache, turning repeated
+//! compilation cost from O(requests) into O(unique kernels).
+//!
+//! * [`pool`] — the dependency-free work-stealing worker pool (moved here
+//!   from `polyject-bench` so both the Table II harness and the daemon
+//!   share one executor), plus a persistent [`pool::WorkerPool`];
+//! * [`json`] — a minimal, deterministic JSON value model (the workspace
+//!   is offline and carries no serde);
+//! * [`hash`] — stable FNV-1a content hashing for cache keys;
+//! * [`cache`] — the on-disk cache: versioned JSON entries, atomic
+//!   writes, checksum-verified reads with quarantine, LRU eviction;
+//! * [`protocol`] — the length-prefixed JSON request/response wire format;
+//! * [`service`] — canonical kernel hashing + compile-through-cache with
+//!   single-flight deduplication;
+//! * [`daemon`] — the `polyjectd` accept loop: bounded queue,
+//!   backpressure, per-request timeouts, graceful shutdown;
+//! * [`client`] — the client used by `polyjectc --remote` and tests;
+//! * [`stats`] — hit/miss/eviction/error counters and latency aggregates.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod hash;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheStats, DiskCache};
+pub use client::{Client, Endpoint};
+pub use daemon::{run_daemon, DaemonConfig};
+pub use hash::{fnv1a64, Fnv64};
+pub use json::Json;
+pub use pool::{default_workers, parallel_map, WorkerPool};
+pub use protocol::{read_frame, write_frame, CompileReply, Request};
+pub use service::{cache_key, compile_reply, config_by_name, CompileService, Served};
+pub use stats::{LatencyAgg, ServeStats};

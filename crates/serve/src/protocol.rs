@@ -1,0 +1,335 @@
+//! The daemon wire protocol: length-prefixed JSON frames.
+//!
+//! Every message (either direction) is a 4-byte big-endian length
+//! followed by that many bytes of UTF-8 JSON. Requests are objects with
+//! an `"op"` discriminator; responses carry a `"status"` of `"ok"`,
+//! `"error"`, or `"overloaded"`.
+//!
+//! ```text
+//! -> {"op":"compile","src":"kernel k\n...","config":"infl"}
+//! <- {"status":"ok","cached":true,"key":"1f0e...","cuda":"...",...}
+//! -> {"op":"stats"}
+//! <- {"status":"ok","stats":{...},"cache":{...}}
+//! -> {"op":"ping"}           <- {"status":"ok","pong":true}
+//! -> {"op":"shutdown"}       <- {"status":"ok","stopping":true}
+//! ```
+
+use crate::json::Json;
+use polyject_sets::SolverCounters;
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame size (64 MiB) — a malformed length prefix must
+/// not allocate unbounded memory.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; refuses frames above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, msg: &Json) -> io::Result<()> {
+    let text = msg.render();
+    let len = u32::try_from(text.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(text.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Err(UnexpectedEof)` with zero bytes read means the
+/// peer closed cleanly between frames.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects oversized or non-JSON frames with
+/// `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 frame"))?;
+    Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// A parsed protocol request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Compile `.pj` source under a configuration (`isl|novec|infl`).
+    Compile {
+        /// `.pj` source text.
+        src: String,
+        /// Configuration name.
+        config: String,
+    },
+    /// Counter/latency report.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Graceful daemon shutdown.
+    Shutdown,
+}
+
+impl Request {
+    /// The request as a wire JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Compile { src, config } => Json::obj(vec![
+                ("op", Json::Str("compile".to_string())),
+                ("src", Json::Str(src.clone())),
+                ("config", Json::Str(config.clone())),
+            ]),
+            Request::Stats => Json::obj(vec![("op", Json::Str("stats".to_string()))]),
+            Request::Ping => Json::obj(vec![("op", Json::Str("ping".to_string()))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".to_string()))]),
+        }
+    }
+
+    /// Parses a wire JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing/unknown field.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        match v.str_field("op")? {
+            "compile" => Ok(Request::Compile {
+                src: v.str_field("src")?.to_string(),
+                config: v.str_field("config").unwrap_or("infl").to_string(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+/// The artifacts of one compile request — also exactly the payload
+/// stored in a `"compile"` cache entry, so a daemon hit replays the
+/// bytes a fresh compile would produce.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileReply {
+    /// Content-addressed cache key of the request.
+    pub key: String,
+    /// Kernel name (from the parsed source).
+    pub kernel: String,
+    /// Configuration name the kernel was compiled under.
+    pub config: String,
+    /// Canonical `.pj` rendering (the hash basis).
+    pub canonical_pj: String,
+    /// Generated pseudo-code (`render`).
+    pub code: String,
+    /// CUDA C source (`render_cuda`).
+    pub cuda: String,
+    /// Schedule rendering.
+    pub schedule: String,
+    /// Schedule tree rendering.
+    pub schedule_tree: String,
+    /// Loops rewritten with vector types.
+    pub vector_loops: u64,
+    /// Whether influence changed the schedule.
+    pub influenced: bool,
+    /// Simulated timing, as `(field, value)` pairs of
+    /// [`polyject_gpusim::KernelTiming`].
+    pub timing: Vec<(String, f64)>,
+    /// Solver work of the compilation (zero when served from cache).
+    pub solver: SolverCounters,
+    /// Wall-clock milliseconds the compilation took (the original
+    /// compile for cached replies).
+    pub compile_ms: f64,
+}
+
+impl CompileReply {
+    /// The reply as a JSON object (the cache payload schema, version
+    /// [`crate::cache::FORMAT_VERSION`]).
+    pub fn to_json(&self) -> Json {
+        let timing = Json::Obj(
+            self.timing
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let c = &self.solver;
+        Json::obj(vec![
+            ("key", Json::Str(self.key.clone())),
+            ("kernel", Json::Str(self.kernel.clone())),
+            ("config", Json::Str(self.config.clone())),
+            ("canonical_pj", Json::Str(self.canonical_pj.clone())),
+            ("code", Json::Str(self.code.clone())),
+            ("cuda", Json::Str(self.cuda.clone())),
+            ("schedule", Json::Str(self.schedule.clone())),
+            ("schedule_tree", Json::Str(self.schedule_tree.clone())),
+            ("vector_loops", Json::Num(self.vector_loops as f64)),
+            ("influenced", Json::Bool(self.influenced)),
+            ("timing", timing),
+            (
+                "solver",
+                Json::obj(vec![
+                    ("lp_solves", Json::Num(c.lp_solves as f64)),
+                    ("ilp_solves", Json::Num(c.ilp_solves as f64)),
+                    ("ilp_nodes", Json::Num(c.ilp_nodes as f64)),
+                    ("fm_eliminations", Json::Num(c.fm_eliminations as f64)),
+                ]),
+            ),
+            ("compile_ms", Json::Num(self.compile_ms)),
+        ])
+    }
+
+    /// Parses the cache payload schema back into a reply.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<CompileReply, String> {
+        let timing = v
+            .get("timing")
+            .and_then(Json::as_obj)
+            .ok_or("missing timing")?
+            .iter()
+            .map(|(k, val)| {
+                val.as_f64()
+                    .map(|f| (k.clone(), f))
+                    .ok_or_else(|| format!("non-numeric timing field {k:?}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let solver_of = |field: &str| -> Result<u64, String> {
+            v.get("solver")
+                .ok_or("missing solver")?
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing solver.{field}"))
+        };
+        Ok(CompileReply {
+            key: v.str_field("key")?.to_string(),
+            kernel: v.str_field("kernel")?.to_string(),
+            config: v.str_field("config")?.to_string(),
+            canonical_pj: v.str_field("canonical_pj")?.to_string(),
+            code: v.str_field("code")?.to_string(),
+            cuda: v.str_field("cuda")?.to_string(),
+            schedule: v.str_field("schedule")?.to_string(),
+            schedule_tree: v.str_field("schedule_tree")?.to_string(),
+            vector_loops: v
+                .get("vector_loops")
+                .and_then(Json::as_u64)
+                .ok_or("missing vector_loops")?,
+            influenced: v
+                .get("influenced")
+                .and_then(Json::as_bool)
+                .ok_or("missing influenced")?,
+            timing,
+            solver: SolverCounters {
+                lp_solves: solver_of("lp_solves")?,
+                ilp_solves: solver_of("ilp_solves")?,
+                ilp_nodes: solver_of("ilp_nodes")?,
+                fm_eliminations: solver_of("fm_eliminations")?,
+            },
+            compile_ms: v.num_field("compile_ms")?,
+        })
+    }
+}
+
+/// Builds an `ok` compile response frame from a reply.
+pub fn ok_response(reply: &CompileReply, cached: bool) -> Json {
+    let mut pairs = vec![
+        ("status".to_string(), Json::Str("ok".to_string())),
+        ("cached".to_string(), Json::Bool(cached)),
+    ];
+    if let Json::Obj(fields) = reply.to_json() {
+        pairs.extend(fields);
+    }
+    Json::Obj(pairs)
+}
+
+/// Builds an `error` response frame.
+pub fn error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("error".to_string())),
+        ("message", Json::Str(message.to_string())),
+    ])
+}
+
+/// Builds the `overloaded` backpressure response frame.
+pub fn overloaded_response(queue_len: usize) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("overloaded".to_string())),
+        ("queue_len", Json::Num(queue_len as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let msg = Request::Compile {
+            src: "kernel k\n".to_string(),
+            config: "infl".to_string(),
+        }
+        .to_json();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(Request::from_json(&back).unwrap().to_json(), msg);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn request_parse_errors() {
+        assert!(Request::from_json(&Json::parse("{\"op\":\"nope\"}").unwrap()).is_err());
+        assert!(Request::from_json(&Json::parse("{}").unwrap()).is_err());
+        assert_eq!(
+            Request::from_json(&Json::parse("{\"op\":\"ping\"}").unwrap()).unwrap(),
+            Request::Ping
+        );
+    }
+
+    #[test]
+    fn compile_reply_roundtrips() {
+        let reply = CompileReply {
+            key: "aa11".to_string(),
+            kernel: "k".to_string(),
+            config: "infl".to_string(),
+            canonical_pj: "kernel k\n".to_string(),
+            code: "for i ...".to_string(),
+            cuda: "__global__ ...".to_string(),
+            schedule: "S: (i)".to_string(),
+            schedule_tree: "band ...".to_string(),
+            vector_loops: 1,
+            influenced: true,
+            timing: vec![("time".to_string(), 1.5e-3), ("flops".to_string(), 2048.0)],
+            solver: SolverCounters {
+                lp_solves: 10,
+                ilp_solves: 4,
+                ilp_nodes: 5,
+                fm_eliminations: 3,
+            },
+            compile_ms: 12.75,
+        };
+        let back = CompileReply::from_json(&reply.to_json()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn response_builders() {
+        assert!(error_response("boom").render().contains("\"error\""));
+        assert!(overloaded_response(9).render().contains("\"queue_len\":9"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Canonical kernel hashing and the compile-through-cache service.
+//!
+//! The cache key of a request is a content hash over the **canonical**
+//! `.pj` rendering of the kernel (so formatting, comments, and statement
+//! spelling differences that parse to the same kernel share one entry)
+//! plus every knob that shapes the output: the pipeline [`Config`], the
+//! influence/scheduler/mapping/tiling option defaults the pipeline
+//! compiles under, the [`GpuModel`] the timing is estimated on, and a
+//! key-format version tag. Anything that would change the artifacts
+//! changes the key; anything that wouldn't, doesn't.
+//!
+//! [`CompileService`] layers single-flight deduplication on top: when
+//! two requests for the same key arrive concurrently, one compiles and
+//! the rest wait on the first result instead of duplicating solver work.
+
+use crate::cache::DiskCache;
+use crate::hash::{f64_bits_hex, Fnv64};
+use crate::protocol::CompileReply;
+use polyject_codegen::{compile, render_artifacts, Config, MappingOptions, TilingOptions};
+use polyject_core::{InfluenceOptions, SchedulerOptions};
+use polyject_gpusim::{estimate, GpuModel};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Version tag folded into every cache key; bump whenever key material
+/// or the artifact schema changes meaning.
+pub const KEY_VERSION: u64 = 1;
+
+/// Resolves a configuration name (`isl|novec|infl`) to a [`Config`].
+pub fn config_by_name(name: &str) -> Option<Config> {
+    Config::all().into_iter().find(|c| c.name() == name)
+}
+
+fn write_f64_fields(h: &mut Fnv64, values: &[f64]) {
+    for &v in values {
+        h.write_field(&f64_bits_hex(v));
+    }
+}
+
+/// The content-addressed cache key for compiling `canonical_pj` under
+/// `config` on `gpu`, as a 16-hex-char digest.
+///
+/// `canonical_pj` must already be canonical (a fixpoint of
+/// [`polyject_front::canonical_pj`]); callers canonicalize first so
+/// formatting variants of one kernel map to one entry.
+pub fn cache_key(canonical_pj: &str, config: &str, gpu: &GpuModel) -> String {
+    let mut h = Fnv64::new();
+    h.write_field("polyject-compile");
+    h.write_field(&KEY_VERSION.to_string());
+    h.write_field(canonical_pj);
+    h.write_field(config);
+
+    // The pipeline compiles under these defaults; fold them in so a
+    // future change to any default invalidates old entries.
+    let infl = InfluenceOptions::default();
+    write_f64_fields(&mut h, &infl.weights);
+    h.write_field(&infl.thread_limit.to_string());
+    h.write_field(&infl.max_scenarios.to_string());
+    for w in &infl.vector_widths {
+        h.write_field(&w.to_string());
+    }
+    let sched = SchedulerOptions::default();
+    h.write_field(&sched.bounds.max_coeff.to_string());
+    h.write_field(&sched.bounds.max_const.to_string());
+    h.write_field(&sched.bounds.max_bound.to_string());
+    h.write_field(&sched.max_dims.to_string());
+    h.write_field(&sched.max_attempts.to_string());
+    h.write_field(&sched.feautrier_fallback.to_string());
+    let map = MappingOptions::default();
+    h.write_field(&map.max_threads.to_string());
+    h.write_field(&map.max_thread_axes.to_string());
+    h.write_field(&map.max_block_axes.to_string());
+    let tile = TilingOptions::default();
+    h.write_field(&tile.tile_size.to_string());
+    h.write_field(&tile.min_extent.to_string());
+    h.write_field(&tile.max_tiled_loops.to_string());
+
+    h.write_field(&gpu.name);
+    write_f64_fields(
+        &mut h,
+        &[
+            gpu.dram_bw,
+            gpu.l2_bw,
+            gpu.fp32_flops,
+            gpu.issue_rate,
+            gpu.launch_overhead,
+            gpu.saturation_threads,
+            gpu.thread_ilp,
+            gpu.scalar_bw_fraction,
+            gpu.scattered_write_amp,
+            gpu.scattered_read_amp,
+            gpu.sector_bytes,
+        ],
+    );
+    h.write_field(&gpu.warp_size.to_string());
+    h.hex()
+}
+
+/// Compiles `.pj` source end to end and packages every artifact into a
+/// [`CompileReply`] (the cache payload).
+///
+/// Runs entirely on the calling thread so the thread-local solver
+/// counters attribute the work correctly.
+///
+/// # Errors
+///
+/// Returns parse, unknown-config, and scheduling failures as strings.
+pub fn compile_reply(src: &str, config_name: &str, gpu: &GpuModel) -> Result<CompileReply, String> {
+    let config = config_by_name(config_name)
+        .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
+    let kernel = polyject_front::parse(src).map_err(|e| e.to_string())?;
+    let canonical = polyject_front::emit_pj(&kernel)?;
+    let key = cache_key(&canonical, config.name(), gpu);
+    let before = polyject_sets::counters::snapshot();
+    let t0 = Instant::now();
+    let compiled = compile(&kernel, config).map_err(|e| e.to_string())?;
+    let artifacts = render_artifacts(&kernel, &compiled);
+    let timing = estimate(&compiled.ast, &kernel, gpu);
+    let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let solver = polyject_sets::counters::snapshot().delta_since(&before);
+    Ok(CompileReply {
+        key,
+        kernel: kernel.name().to_string(),
+        config: config.name().to_string(),
+        canonical_pj: canonical,
+        code: artifacts.code,
+        cuda: artifacts.cuda,
+        schedule: artifacts.schedule,
+        schedule_tree: artifacts.schedule_tree,
+        vector_loops: artifacts.vector_loops as u64,
+        influenced: artifacts.influenced,
+        timing: timing
+            .to_pairs()
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v))
+            .collect(),
+        solver,
+        compile_ms,
+    })
+}
+
+/// How a request was satisfied (feeds the daemon's counters).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// Replayed from the persistent cache.
+    Hit,
+    /// Compiled now (and written to the cache, if one is attached).
+    Fresh,
+    /// Waited on an identical in-flight compile (single-flight).
+    Coalesced,
+}
+
+struct Flight {
+    result: Mutex<Option<Result<CompileReply, String>>>,
+    done: Condvar,
+}
+
+/// Compile-through-cache with single-flight deduplication. Shared by the
+/// daemon's worker threads (all methods take `&self`).
+pub struct CompileService {
+    cache: Option<Mutex<DiskCache>>,
+    gpu: GpuModel,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+}
+
+impl CompileService {
+    /// A service compiling for `gpu`, optionally backed by a persistent
+    /// cache.
+    pub fn new(cache: Option<DiskCache>, gpu: GpuModel) -> CompileService {
+        CompileService {
+            cache: cache.map(Mutex::new),
+            gpu,
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The GPU model requests compile against.
+    pub fn gpu(&self) -> &GpuModel {
+        &self.gpu
+    }
+
+    /// Runs `f` on the attached cache, if any.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut DiskCache) -> R) -> Option<R> {
+        self.cache
+            .as_ref()
+            .map(|m| f(&mut m.lock().expect("cache lock poisoned")))
+    }
+
+    /// Serves one compile request: canonicalize, look up the cache,
+    /// otherwise compile exactly once per key no matter how many
+    /// identical requests are in flight.
+    ///
+    /// # Errors
+    ///
+    /// Parse/config/scheduling errors, and panics inside the compiler
+    /// converted to errors (the worker thread survives).
+    pub fn serve(&self, src: &str, config_name: &str) -> Result<(CompileReply, Served), String> {
+        let config = config_by_name(config_name)
+            .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
+        let canonical = polyject_front::canonical_pj(src)?;
+        let key = cache_key(&canonical, config.name(), &self.gpu);
+
+        if let Some(Some((kind, payload))) = self.with_cache(|c| c.get(&key)) {
+            if kind == "compile" {
+                if let Ok(reply) = CompileReply::from_json(&payload) {
+                    return Ok((reply, Served::Hit));
+                }
+            }
+            // Wrong kind or undecodable payload: fall through and
+            // recompile (the entry will be overwritten).
+        }
+
+        // Single-flight: first caller for a key compiles, the rest wait.
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().expect("inflight lock poisoned");
+            match map.get(&key) {
+                Some(f) => (Arc::clone(f), false),
+                None => {
+                    let f = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    map.insert(key.clone(), Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+
+        if !leader {
+            let mut slot = flight.result.lock().expect("flight lock poisoned");
+            while slot.is_none() {
+                slot = flight.done.wait(slot).expect("flight wait poisoned");
+            }
+            return slot
+                .clone()
+                .expect("checked above")
+                .map(|r| (r, Served::Coalesced));
+        }
+
+        let src_owned = canonical.clone();
+        let config_name = config.name().to_string();
+        let gpu = self.gpu.clone();
+        let result = catch_unwind(AssertUnwindSafe(move || {
+            compile_reply(&src_owned, &config_name, &gpu)
+        }))
+        .unwrap_or_else(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            Err(format!("compiler panicked: {msg}"))
+        });
+
+        if let Ok(reply) = &result {
+            if let Some(Err(e)) = self.with_cache(|c| c.put(&key, "compile", &reply.to_json())) {
+                eprintln!("[serve] cache write for {key} failed: {e}");
+            }
+        }
+
+        // Publish the result, wake waiters, and clear the flight.
+        *flight.result.lock().expect("flight lock poisoned") = Some(result.clone());
+        flight.done.notify_all();
+        self.inflight
+            .lock()
+            .expect("inflight lock poisoned")
+            .remove(&key);
+
+        result.map(|r| (r, Served::Fresh))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+
+    #[test]
+    fn key_depends_on_source_config_and_gpu() {
+        let canon = polyject_front::canonical_pj(SRC).unwrap();
+        let v100 = GpuModel::v100();
+        let base = cache_key(&canon, "infl", &v100);
+        assert_eq!(base.len(), 16);
+        assert_eq!(base, cache_key(&canon, "infl", &v100), "deterministic");
+        assert_ne!(base, cache_key(&canon, "isl", &v100));
+        assert_ne!(base, cache_key(&canon, "infl", &GpuModel::a100()));
+        let other = canon.replace("64", "128");
+        assert_ne!(base, cache_key(&other, "infl", &v100));
+    }
+
+    #[test]
+    fn formatting_variants_share_a_key() {
+        let noisy = "\n\nkernel axpy\nparam N = 64\ntensor X[N]: f32\ntensor Y[N]: f32\nstmt S for (i in 0..N) Y[i] = ((2.0 * X[i]) + Y[i])\n";
+        let a = polyject_front::canonical_pj(SRC).unwrap();
+        let b = polyject_front::canonical_pj(noisy).unwrap();
+        assert_eq!(a, b);
+        let gpu = GpuModel::v100();
+        assert_eq!(cache_key(&a, "infl", &gpu), cache_key(&b, "infl", &gpu));
+    }
+
+    #[test]
+    fn compile_reply_produces_artifacts_and_counters() {
+        let reply = compile_reply(SRC, "infl", &GpuModel::v100()).unwrap();
+        assert_eq!(reply.kernel, "axpy");
+        assert!(reply.cuda.contains("__global__"));
+        assert!(reply.solver.lp_solves > 0, "a real compile solves LPs");
+        assert!(reply.timing.iter().any(|(k, v)| k == "time" && *v > 0.0));
+        // The canonical rendering is a fixpoint.
+        assert_eq!(
+            polyject_front::canonical_pj(&reply.canonical_pj).unwrap(),
+            reply.canonical_pj
+        );
+    }
+
+    #[test]
+    fn unknown_config_and_parse_errors_are_reported() {
+        assert!(compile_reply(SRC, "fast", &GpuModel::v100())
+            .unwrap_err()
+            .contains("unknown config"));
+        assert!(compile_reply("kernel", "infl", &GpuModel::v100()).is_err());
+        let svc = CompileService::new(None, GpuModel::v100());
+        assert!(svc.serve(SRC, "bogus").is_err());
+    }
+
+    #[test]
+    fn uncached_service_compiles_fresh_each_time() {
+        let svc = CompileService::new(None, GpuModel::v100());
+        let (a, how_a) = svc.serve(SRC, "infl").unwrap();
+        let (b, how_b) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(how_a, Served::Fresh);
+        assert_eq!(how_b, Served::Fresh);
+        assert_eq!(a.cuda, b.cuda, "compilation is deterministic");
+    }
+}

@@ -1,0 +1,188 @@
+//! Serving-side observability: request counters and latency aggregates,
+//! reported by the daemon's `stats` protocol request and dumped as JSON
+//! on shutdown.
+
+use crate::json::Json;
+
+/// Bounded reservoir of latency samples with min/mean/p95 aggregates.
+/// Keeps the most recent `cap` samples (ring buffer), which is the
+/// conventional trade-off for a long-lived daemon: aggregates track
+/// current behaviour instead of averaging over the whole process
+/// lifetime.
+#[derive(Clone, Debug)]
+pub struct LatencyAgg {
+    samples_ms: Vec<f64>,
+    next: usize,
+    cap: usize,
+    total: u64,
+}
+
+impl LatencyAgg {
+    /// A reservoir keeping the last `cap` samples (`cap >= 1`).
+    pub fn new(cap: usize) -> LatencyAgg {
+        LatencyAgg {
+            samples_ms: Vec::new(),
+            next: 0,
+            cap: cap.max(1),
+            total: 0,
+        }
+    }
+
+    /// Records one latency sample in milliseconds.
+    pub fn record(&mut self, ms: f64) {
+        if self.samples_ms.len() < self.cap {
+            self.samples_ms.push(ms);
+        } else {
+            self.samples_ms[self.next] = ms;
+        }
+        self.next = (self.next + 1) % self.cap;
+        self.total += 1;
+    }
+
+    /// Total samples ever recorded (not just retained).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Minimum retained sample.
+    pub fn min_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Mean of retained samples.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return f64::NAN;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    /// 95th percentile of retained samples (nearest-rank).
+    pub fn p95_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return f64::NAN;
+        }
+        let mut v = self.samples_ms.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((v.len() as f64) * 0.95).ceil() as usize;
+        v[rank.clamp(1, v.len()) - 1]
+    }
+
+    /// The aggregates as a JSON object (`NaN` degrades to `null`).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Num(self.total as f64)),
+            ("min_ms", Json::Num(self.min_ms())),
+            ("mean_ms", Json::Num(self.mean_ms())),
+            ("p95_ms", Json::Num(self.p95_ms())),
+        ])
+    }
+}
+
+impl Default for LatencyAgg {
+    fn default() -> LatencyAgg {
+        LatencyAgg::new(4096)
+    }
+}
+
+/// Daemon-side counters, merged with the cache's own
+/// [`crate::cache::CacheStats`] in stats reports.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Total requests received (all kinds).
+    pub requests: u64,
+    /// Compile requests answered from the cache.
+    pub hits: u64,
+    /// Compile requests that required a fresh compilation.
+    pub misses: u64,
+    /// Compile requests that attached to an identical in-flight
+    /// compilation (single-flight deduplication).
+    pub coalesced: u64,
+    /// Requests rejected with an `overloaded` response.
+    pub overloaded: u64,
+    /// Requests that failed (parse/compile/protocol errors).
+    pub errors: u64,
+    /// Requests that hit the per-request timeout.
+    pub timeouts: u64,
+    /// Cache entries evicted while serving.
+    pub evictions: u64,
+    /// Compile request latency aggregates.
+    pub latency: LatencyAgg,
+}
+
+impl ServeStats {
+    /// The stats as the JSON object returned by the `stats` protocol
+    /// request and dumped on shutdown.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("hits", Json::Num(self.hits as f64)),
+            ("misses", Json::Num(self.misses as f64)),
+            ("coalesced", Json::Num(self.coalesced as f64)),
+            ("overloaded", Json::Num(self.overloaded as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("timeouts", Json::Num(self.timeouts as f64)),
+            ("evictions", Json::Num(self.evictions as f64)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_over_samples() {
+        let mut a = LatencyAgg::new(100);
+        for i in 1..=100 {
+            a.record(i as f64);
+        }
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min_ms(), 1.0);
+        assert!((a.mean_ms() - 50.5).abs() < 1e-9);
+        assert_eq!(a.p95_ms(), 95.0);
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut a = LatencyAgg::new(4);
+        for i in 0..10 {
+            a.record(i as f64);
+        }
+        assert_eq!(a.count(), 10);
+        assert_eq!(a.min_ms(), 6.0);
+    }
+
+    #[test]
+    fn empty_reservoir_degrades_to_null_json() {
+        let a = LatencyAgg::new(8);
+        let text = a.to_json().render();
+        // min/mean/p95 are NaN with no samples; JSON renders them null.
+        assert_eq!(text.matches("null").count(), 3, "{text}");
+        assert!(text.contains("\"count\":0"), "{text}");
+    }
+
+    #[test]
+    fn stats_json_has_all_counters() {
+        let s = ServeStats {
+            requests: 7,
+            hits: 3,
+            ..Default::default()
+        };
+        let j = s.to_json().render();
+        for key in [
+            "requests",
+            "hits",
+            "misses",
+            "coalesced",
+            "overloaded",
+            "errors",
+            "timeouts",
+            "evictions",
+            "latency",
+        ] {
+            assert!(j.contains(key), "{key} missing in {j}");
+        }
+    }
+}

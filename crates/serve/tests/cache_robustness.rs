@@ -1,0 +1,151 @@
+//! Robustness tests for the persistent schedule cache: byte-identical
+//! replay, corruption quarantine, single-flight deduplication, and the
+//! LRU size bound.
+
+use polyject_gpusim::GpuModel;
+use polyject_serve::{compile_reply, CompileService, DiskCache, Json, Served};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SRC: &str = "kernel roundtrip\n\
+                   tensor a[64]: f32\n\
+                   tensor b[64]: f32\n\
+                   stmt S for (i in 0..64)\n  b[i] = (a[i] * 2.0)\n";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pj-robust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cache_replay_is_byte_identical_to_fresh_compile() {
+    let dir = temp_dir("replay");
+    let gpu = GpuModel::v100();
+    let service = CompileService::new(Some(DiskCache::open_default(&dir).unwrap()), gpu.clone());
+
+    let (fresh, served) = service.serve(SRC, "infl").unwrap();
+    assert_eq!(served, Served::Fresh);
+    let (replay, served) = service.serve(SRC, "infl").unwrap();
+    assert_eq!(served, Served::Hit);
+
+    // The cached reply must replay every artifact byte for byte —
+    // including bit-exact f64 timings — against both the first serve and
+    // a from-scratch in-process compile.
+    assert_eq!(replay.to_json().render(), fresh.to_json().render());
+    // Against a from-scratch compile everything but the compile
+    // wall-clock (the only nondeterministic field) must agree.
+    let mut direct = compile_reply(SRC, "infl", &gpu).unwrap();
+    let mut replay_norm = replay.clone();
+    direct.compile_ms = 0.0;
+    replay_norm.compile_ms = 0.0;
+    assert_eq!(replay_norm.to_json().render(), direct.to_json().render());
+    assert!(replay.cuda.contains("__global__"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_entries_are_quarantined_misses() {
+    let dir = temp_dir("corrupt");
+    let mut cache = DiskCache::open_default(&dir).unwrap();
+    let payload = Json::obj(vec![("v", Json::Num(42.0))]);
+    for key in ["truncated", "flipped", "garbage"] {
+        cache.put(key, "test", &payload).unwrap();
+    }
+    cache.flush().unwrap();
+
+    let entries = dir.join("entries");
+    // Truncate one entry mid-JSON.
+    let p = entries.join("truncated.json");
+    let text = std::fs::read_to_string(&p).unwrap();
+    std::fs::write(&p, &text[..text.len() / 2]).unwrap();
+    // Flip the payload of another so its checksum no longer matches.
+    let p = entries.join("flipped.json");
+    let text = std::fs::read_to_string(&p).unwrap();
+    std::fs::write(&p, text.replace("42", "43")).unwrap();
+    // And replace one with outright garbage.
+    std::fs::write(entries.join("garbage.json"), "not json at all").unwrap();
+
+    for key in ["truncated", "flipped", "garbage"] {
+        assert!(cache.get(key).is_none(), "{key} must miss");
+        assert!(
+            !entries.join(format!("{key}.json")).exists(),
+            "{key} must be moved aside"
+        );
+    }
+    let quarantined: Vec<_> = std::fs::read_dir(dir.join("quarantine"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .collect();
+    assert_eq!(
+        quarantined.len(),
+        3,
+        "corrupt entries are kept, not deleted"
+    );
+    assert_eq!(cache.stats().misses, 3);
+    assert_eq!(cache.stats().errors, 3);
+
+    // A quarantined key can be rewritten and then hits again.
+    cache.put("flipped", "test", &payload).unwrap();
+    assert_eq!(cache.get("flipped").unwrap().1, payload);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_same_key_requests_compile_exactly_once() {
+    let dir = temp_dir("singleflight");
+    let service = Arc::new(CompileService::new(
+        Some(DiskCache::open_default(&dir).unwrap()),
+        GpuModel::v100(),
+    ));
+
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || service.serve(SRC, "infl").unwrap())
+        })
+        .collect();
+    let outcomes: Vec<(String, Served)> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .map(|(reply, served)| (reply.to_json().render(), served))
+        .collect();
+
+    let fresh = outcomes.iter().filter(|(_, s)| *s == Served::Fresh).count();
+    assert_eq!(
+        fresh, 1,
+        "exactly one thread may run the compiler: {outcomes:?}"
+    );
+    // Everyone gets the same bytes regardless of how they were served.
+    assert!(outcomes.iter().all(|(r, _)| *r == outcomes[0].0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lru_eviction_respects_the_size_bound() {
+    let dir = temp_dir("lru");
+    let payload = Json::Str("x".repeat(512));
+    let budget = 4 * 1024;
+    let mut cache = DiskCache::open(&dir, budget).unwrap();
+    for i in 0..32 {
+        cache.put(&format!("k{i}"), "test", &payload).unwrap();
+        // Keep k0 hot so recency, not insertion order, decides eviction.
+        assert!(cache.get("k0").is_some(), "hot key evicted at step {i}");
+        assert!(cache.total_bytes() <= budget, "budget exceeded at step {i}");
+    }
+    assert!(cache.stats().evictions > 0);
+    assert!(cache.get("k1").is_none(), "cold key must be evicted");
+
+    // The bound also holds for the files actually on disk.
+    let on_disk: u64 = std::fs::read_dir(dir.join("entries"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+        .sum();
+    assert!(on_disk <= budget, "{on_disk} bytes on disk > {budget}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

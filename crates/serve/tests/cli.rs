@@ -1,0 +1,61 @@
+//! Black-box tests of the `polyjectc` driver's argument validation.
+
+use std::process::Command;
+
+const SRC: &str = "kernel cli\ntensor t[8]: f32\nstmt S for (i in 0..8)\n  t[i] = (t[i] + 1.0)\n";
+
+fn write_src(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pj-cli-{tag}-{}.pj", std::process::id()));
+    std::fs::write(&path, SRC).unwrap();
+    path
+}
+
+#[test]
+fn unknown_emit_value_is_a_usage_error() {
+    let path = write_src("bad-emit");
+    let out = Command::new(env!("CARGO_BIN_EXE_polyjectc"))
+        .args([path.to_str().unwrap(), "--emit", "cdoe"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "typo'd --emit must fail, not print nothing"
+    );
+    assert!(out.stdout.is_empty(), "no partial output on a usage error");
+    assert!(stderr.contains("unknown --emit \"cdoe\""), "{stderr}");
+    assert!(
+        stderr.contains("code|cuda|schedule"),
+        "must list valid values: {stderr}"
+    );
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn every_documented_emit_value_is_accepted() {
+    let path = write_src("good-emit");
+    for emit in [
+        "code",
+        "cuda",
+        "schedule",
+        "schedtree",
+        "tree",
+        "profile",
+        "pj",
+        "time",
+        "all",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_polyjectc"))
+            .args([path.to_str().unwrap(), "--emit", emit])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "--emit {emit}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "--emit {emit} printed nothing");
+    }
+    let _ = std::fs::remove_file(&path);
+}

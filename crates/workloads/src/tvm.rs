@@ -185,7 +185,7 @@ mod tests {
             let mut reference = bufs.clone();
             k.execute_reference(&mut reference, &params);
             for (sub, ast) in compile_tvm(&k) {
-                execute_ast(&ast, &sub, &mut bufs, &params);
+                execute_ast(&ast, &sub, &mut bufs, &params).unwrap();
             }
             assert_eq!(bufs, reference, "{}", k.name());
         }

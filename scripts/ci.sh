@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, the tier-1 verify (build + tests),
-# and a <10 s Table II smoke run (LSTM subset, serial vs parallel
-# identity + BENCH JSON emission).
+# a <10 s Table II smoke run (LSTM subset, serial vs parallel identity +
+# BENCH JSON emission), a cold-vs-warm schedule-cache round-trip, and a
+# polyjectd daemon smoke test (remote replies byte-identical to local).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -29,13 +30,52 @@ step "tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+step "workspace tests (every crate, incl. serve daemon/cache suites)"
+cargo test --workspace -q
+
 step "table2 --fast smoke (serial vs parallel identity, <10 s)"
 smoke_json="$(mktemp)"
-trap 'rm -f "$smoke_json"' EXIT
+scratch="$(mktemp -d)"
+trap 'rm -f "$smoke_json"; rm -rf "$scratch"; kill "${daemon_pid:-0}" 2>/dev/null || true' EXIT
 cargo run --release -q -p polyject-bench --bin table2 -- \
   --fast --bench --stats --json "$smoke_json" >/dev/null
 grep -q '"identical": true' "$smoke_json"
 echo "ok: serial and parallel --fast runs identical"
+
+step "schedule-cache round-trip (table2 --fast --cache-bench)"
+cache_json="$scratch/cache_bench.json"
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --fast --cache-bench --cache-dir "$scratch/t2cache" --json "$cache_json" >/dev/null
+grep -q '"identical": true' "$cache_json"
+# The warm run must perform zero schedule solves.
+python3 - "$cache_json" <<'EOF'
+import json, sys
+warm = json.load(open(sys.argv[1]))["cache"]["warm"]
+assert warm["misses"] == 0, warm
+assert all(v == 0 for v in warm["solver"].values()), warm
+EOF
+echo "ok: warm table2 run fully cached, zero solver work"
+
+step "polyjectd daemon smoke (remote == local, cache hit on repeat)"
+sock="$scratch/d.sock"
+cargo run --release -q -p polyject-serve --bin polyjectd -- \
+  --socket "$sock" --cache-dir "$scratch/dcache" >"$scratch/daemon.out" &
+daemon_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "daemon never bound $sock"; exit 1; }
+pjc() { cargo run --release -q -p polyject-serve --bin polyjectc -- "$@"; }
+src=examples/running_example.pj
+pjc "$src" --config infl --emit cuda > "$scratch/local.out"
+pjc "$src" --config infl --emit cuda --remote "$sock" > "$scratch/remote1.out"
+pjc "$src" --config infl --emit cuda --remote "$sock" > "$scratch/remote2.out"
+cmp "$scratch/local.out" "$scratch/remote1.out"
+cmp "$scratch/remote1.out" "$scratch/remote2.out"
+cargo run --release -q -p polyject-serve --bin polyject-cache -- "$scratch/dcache" stats \
+  | grep -q '"entries":1'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q '"hits":1' "$scratch/daemon.out"
+echo "ok: remote replies byte-identical to local, second request cached"
 
 echo
 echo "CI gate passed."

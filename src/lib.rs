@@ -22,6 +22,7 @@
 //! | [`codegen`] | `polyject-codegen` | AST generation, GPU mapping, vectorization, printing |
 //! | [`gpusim`] | `polyject-gpusim` | functional interpreter + analytic V100 model |
 //! | [`workloads`] | `polyject-workloads` | Table I networks, TVM baseline, Table II harness |
+//! | [`serve`] | `polyject-serve` | compilation daemon + persistent content-addressed cache |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use polyject_core as core;
 pub use polyject_deps as deps;
 pub use polyject_gpusim as gpusim;
 pub use polyject_ir as ir;
+pub use polyject_serve as serve;
 pub use polyject_sets as sets;
 pub use polyject_workloads as workloads;
 
@@ -64,7 +66,7 @@ pub mod prelude {
     };
     pub use polyject_deps::{compute_dependences, DepOptions};
     pub use polyject_gpusim::{
-        autotune, check_equivalence, estimate, execute_ast, profile, GpuModel,
+        autotune, check_equivalence, estimate, execute_ast, profile, ExecError, GpuModel,
     };
     pub use polyject_ir::{
         BinOp, ElemType, Expr, Extent, Idx, Kernel, KernelBuilder, StatementBuilder, StmtId, UnOp,

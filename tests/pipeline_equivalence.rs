@@ -41,7 +41,7 @@ fn tvm_baseline_preserves_semantics() {
         let inputs = seeded_buffers(&kernel, &params, 0xBEEF);
         let mut bufs = inputs.clone();
         for (sub, ast) in compile_tvm(&kernel) {
-            execute_ast(&ast, &sub, &mut bufs, &params);
+            execute_ast(&ast, &sub, &mut bufs, &params).unwrap();
         }
         let mut reference = inputs;
         kernel.execute_reference(&mut reference, &params);
