@@ -147,14 +147,23 @@ impl Matrix {
             };
             self.swap_rows(r, p);
             let inv = self[(r, c)].recip();
-            for j in 0..self.cols {
-                self[(r, j)] *= inv;
+            if inv != Rat::ONE {
+                for j in 0..self.cols {
+                    self[(r, j)] *= inv;
+                }
             }
             for i in 0..self.rows {
                 if i != r && !self[(i, c)].is_zero() {
                     let f = self[(i, c)];
                     for j in 0..self.cols {
-                        let sub = self[(r, j)] * f;
+                        // Subtracting 0·f is a no-op; pivot rows are sparse
+                        // after earlier eliminations, so skipping them cuts
+                        // most of the exact-rational work.
+                        let p = self[(r, j)];
+                        if p.is_zero() {
+                            continue;
+                        }
+                        let sub = p * f;
                         self[(i, j)] -= sub;
                     }
                 }
@@ -240,9 +249,9 @@ impl Matrix {
         if a == b {
             return;
         }
-        for j in 0..self.cols {
-            self.data.swap(a * self.cols + j, b * self.cols + j);
-        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
     }
 }
 

@@ -10,23 +10,43 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-/// Greatest common divisor of two non-negative integers.
+/// Greatest common divisor of two integers, by absolute value.
+///
+/// Safe on `i128::MIN`: magnitudes are taken with [`i128::unsigned_abs`],
+/// so `gcd(i128::MIN, 3)` reduces normally instead of panicking inside
+/// `abs()`. Small operands take a `u64` Euclid loop (`u64` remainders are
+/// several times cheaper than `i128` ones on the solver hot path).
+///
+/// # Panics
+///
+/// Panics only when the mathematical result is `2^127` itself (i.e.
+/// `gcd(i128::MIN, 0)` or `gcd(i128::MIN, i128::MIN)`), which is not
+/// representable as an `i128`.
 ///
 /// # Examples
 ///
 /// ```
 /// assert_eq!(polyject_arith::gcd(12, 18), 6);
 /// assert_eq!(polyject_arith::gcd(0, 7), 7);
+/// assert_eq!(polyject_arith::gcd(i128::MIN, 3), 1);
 /// ```
-pub fn gcd(mut a: i128, mut b: i128) -> i128 {
-    a = a.abs();
-    b = b.abs();
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut x, mut y) = (a.unsigned_abs(), b.unsigned_abs());
+    if x <= u64::MAX as u128 && y <= u64::MAX as u128 {
+        let (mut x, mut y) = (x as u64, y as u64);
+        while y != 0 {
+            let t = x % y;
+            x = y;
+            y = t;
+        }
+        return x as i128;
     }
-    a
+    while y != 0 {
+        let t = x % y;
+        x = y;
+        y = t;
+    }
+    i128::try_from(x).expect("gcd of 2^127 is not representable as i128")
 }
 
 /// Least common multiple of two integers (by absolute value).
@@ -96,8 +116,8 @@ impl Rat {
             (numer / g, denom / g)
         };
         if d < 0 {
-            n = -n;
-            d = -d;
+            n = n.checked_neg().expect("rational overflow");
+            d = d.checked_neg().expect("rational overflow");
         }
         Rat { numer: n, denom: d }
     }
@@ -177,13 +197,23 @@ impl Rat {
     /// assert_eq!(Rat::new(-7, 2).ceil(), -3);
     /// ```
     pub fn ceil(&self) -> i128 {
-        -((-self.numer).div_euclid(self.denom))
+        let q = self.numer.div_euclid(self.denom);
+        if self.numer.rem_euclid(self.denom) != 0 {
+            q + 1
+        } else {
+            q
+        }
     }
 
     /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator is `i128::MIN` (whose magnitude is not
+    /// representable).
     pub fn abs(&self) -> Rat {
         Rat {
-            numer: self.numer.abs(),
+            numer: self.numer.checked_abs().expect("rational overflow"),
             denom: self.denom,
         }
     }
@@ -210,6 +240,14 @@ impl Rat {
 
     fn checked(n: Option<i128>, d: Option<i128>) -> Rat {
         Rat::new(n.expect("rational overflow"), d.expect("rational overflow"))
+    }
+
+    /// Whether numerator and denominator both fit in `i64`. Products of two
+    /// such values cannot overflow `i128`, so arithmetic on small rationals
+    /// can skip the checked-multiply machinery entirely.
+    #[inline]
+    fn small(&self) -> bool {
+        self.numer as i64 as i128 == self.numer && self.denom as i64 as i128 == self.denom
     }
 }
 
@@ -262,6 +300,9 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
         // a/b ? c/d  <=>  a*d ? c*b (b, d > 0)
+        if self.small() && other.small() {
+            return (self.numer * other.denom).cmp(&(other.numer * self.denom));
+        }
         let lhs = self
             .numer
             .checked_mul(other.denom)
@@ -277,6 +318,13 @@ impl Ord for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
+        if self.small() && rhs.small() {
+            // i64-range operands cannot overflow i128 products or their sum.
+            return Rat::new(
+                self.numer * rhs.denom + rhs.numer * self.denom,
+                self.denom * rhs.denom,
+            );
+        }
         let g = gcd(self.denom, rhs.denom);
         let (db, dd) = (self.denom / g, rhs.denom / g);
         let n = self
@@ -298,6 +346,10 @@ impl Sub for Rat {
 impl Mul for Rat {
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
+        if self.small() && rhs.small() {
+            // One normalization gcd instead of two cross-reductions plus one.
+            return Rat::new(self.numer * rhs.numer, self.denom * rhs.denom);
+        }
         // Cross-reduce before multiplying to shrink intermediates.
         let g1 = gcd(self.numer, rhs.denom);
         let g2 = gcd(rhs.numer, self.denom);
@@ -327,7 +379,7 @@ impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
         Rat {
-            numer: -self.numer,
+            numer: self.numer.checked_neg().expect("rational overflow"),
             denom: self.denom,
         }
     }
@@ -439,5 +491,51 @@ mod tests {
         assert_eq!(gcd(-12, 18), 6);
         assert_eq!(lcm(-4, 6), 12);
         assert_eq!(lcm(0, 0), 0);
+    }
+
+    #[test]
+    fn gcd_i128_min_regression() {
+        // gcd(i128::MIN, x) used to panic inside `a.abs()`; the magnitude
+        // 2^127 must now reduce normally against any nonzero |x| < 2^127.
+        assert_eq!(gcd(i128::MIN, 3), 1);
+        assert_eq!(gcd(i128::MIN, 2), 2);
+        assert_eq!(gcd(i128::MIN, 1), 1);
+        assert_eq!(gcd(3, i128::MIN), 1);
+        assert_eq!(gcd(i128::MIN, 1 << 40), 1 << 40);
+        assert_eq!(gcd(i128::MIN, i128::MAX), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable")]
+    fn gcd_i128_min_zero_panics_explicitly() {
+        // The true gcd is 2^127, which i128 cannot hold; this must be a
+        // clear panic, not a wrap.
+        let _ = gcd(i128::MIN, 0);
+    }
+
+    #[test]
+    fn gcd_large_path_beyond_u64() {
+        let a = (1i128 << 100) * 3;
+        let b = (1i128 << 100) * 5;
+        assert_eq!(gcd(a, b), 1i128 << 100);
+    }
+
+    #[test]
+    fn ceil_handles_extremes() {
+        assert_eq!(Rat::int(i128::MIN).ceil(), i128::MIN);
+        assert_eq!(Rat::int(i128::MAX).ceil(), i128::MAX);
+        assert_eq!(
+            Rat::new(i128::MIN + 1, 2).ceil(),
+            (i128::MIN + 1).div_euclid(2) + 1
+        );
+    }
+
+    #[test]
+    fn large_value_arithmetic_falls_back() {
+        // Values beyond i64 exercise the checked i128 path.
+        let big = Rat::new(i64::MAX as i128 * 5, 3);
+        assert_eq!(big + Rat::ZERO, big);
+        assert_eq!(big * Rat::ONE, big);
+        assert!(big > Rat::int(i64::MAX as i128));
     }
 }

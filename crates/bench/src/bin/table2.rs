@@ -32,7 +32,8 @@ fn print_stats(label: &str, run: &Table2Run) {
     let c = &run.perf.counters;
     eprintln!(
         "[stats] {label}: {} unique ops, {} workers, wall {:.2}s, compile {:.1}ms \
-         | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {}",
+         | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {} \
+         | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms",
         run.unique_ops,
         run.workers,
         run.wall_s,
@@ -40,7 +41,12 @@ fn print_stats(label: &str, run: &Table2Run) {
         c.lp_solves,
         c.ilp_solves,
         c.ilp_nodes,
-        c.fm_eliminations
+        c.fm_eliminations,
+        c.lp_phase1_pivots,
+        c.lp_phase2_pivots,
+        c.bb_repair_pivots,
+        c.bb_warm_nodes,
+        c.preprocess_ns as f64 / 1e6
     );
 }
 
@@ -143,13 +149,26 @@ fn main() {
 
     let model = GpuModel::v100();
     let nets: Vec<Network> = if fast { vec![lstm()] } else { all_networks() };
+    // On a single-core machine a "parallel" leg would only measure thread
+    // overhead; run the second leg serially and record that honestly.
+    let cores = default_workers();
+    let bench_workers = if cores < 2 { 1 } else { workers.max(2) };
     if bench {
-        eprintln!(
-            "measuring {} network(s) on {} serially and with {} worker(s) ...",
-            nets.len(),
-            model.name,
-            workers.max(2)
-        );
+        if cores < 2 {
+            eprintln!(
+                "measuring {} network(s) on {} twice serially ({cores} core: \
+                 parallel leg skipped, second run checks determinism) ...",
+                nets.len(),
+                model.name,
+            );
+        } else {
+            eprintln!(
+                "measuring {} network(s) on {} serially and with {} worker(s) ...",
+                nets.len(),
+                model.name,
+                bench_workers
+            );
+        }
     } else {
         eprintln!(
             "measuring {} network(s) on {} with {} worker(s) ...",
@@ -159,60 +178,68 @@ fn main() {
         );
     }
 
-    let run =
-        if cache_bench {
-            run_cache_bench(&nets, &model, workers, &cache_dir, &json_path, stats)
-        } else if cached {
-            let mut cache = DiskCache::open_default(Path::new(&cache_dir)).expect("open cache dir");
-            let c = run_table2_networks_cached(&nets, &model, workers, &mut cache);
-            eprintln!(
-                "[cache] {} at {cache_dir}: {} hit(s), {} compiled, {} lp_solves",
-                if c.misses == 0 {
-                    "warm"
-                } else {
-                    "cold/partial"
-                },
-                c.hits,
-                c.misses,
-                c.run.perf.counters.lp_solves
-            );
-            if stats {
-                print_stats("cached", &c.run);
-            }
-            c.run
-        } else if bench {
-            let serial = run_table2_networks(&nets, &model, 1);
-            let parallel = run_table2_networks(&nets, &model, workers.max(2));
-            let identical = measurements_identical(&serial.results, &parallel.results);
-            let b = Table2Bench {
-                cores: default_workers(),
-                serial,
-                parallel,
-                identical,
-            };
-            std::fs::write(&json_path, render_bench_json(&b)).expect("write bench json");
-            eprintln!(
-            "[bench] serial {:.2}s, parallel {:.2}s ({} workers) -> {:.2}x, identical: {} -> {}",
+    let run = if cache_bench {
+        run_cache_bench(&nets, &model, workers, &cache_dir, &json_path, stats)
+    } else if cached {
+        let mut cache = DiskCache::open_default(Path::new(&cache_dir)).expect("open cache dir");
+        let c = run_table2_networks_cached(&nets, &model, workers, &mut cache);
+        eprintln!(
+            "[cache] {} at {cache_dir}: {} hit(s), {} compiled, {} lp_solves",
+            if c.misses == 0 {
+                "warm"
+            } else {
+                "cold/partial"
+            },
+            c.hits,
+            c.misses,
+            c.run.perf.counters.lp_solves
+        );
+        if stats {
+            print_stats("cached", &c.run);
+        }
+        c.run
+    } else if bench {
+        let serial = run_table2_networks(&nets, &model, 1);
+        let parallel = run_table2_networks(&nets, &model, bench_workers);
+        let identical = measurements_identical(&serial.results, &parallel.results);
+        let b = Table2Bench {
+            cores,
+            serial,
+            parallel,
+            identical,
+        };
+        std::fs::write(&json_path, render_bench_json(&b)).expect("write bench json");
+        eprintln!(
+            "[bench] serial {:.2}s, {} {:.2}s ({} workers) -> {:.2}x, identical: {} -> {}",
             b.serial.wall_s,
+            if b.parallel_skipped() {
+                "serial repeat"
+            } else {
+                "parallel"
+            },
             b.parallel.wall_s,
             b.parallel.workers,
-            if b.parallel.wall_s > 0.0 { b.serial.wall_s / b.parallel.wall_s } else { 1.0 },
+            if b.parallel.wall_s > 0.0 {
+                b.serial.wall_s / b.parallel.wall_s
+            } else {
+                1.0
+            },
             b.identical,
             json_path
         );
-            assert!(b.identical, "serial and parallel Table II runs diverged");
-            if stats {
-                print_stats("serial", &b.serial);
-                print_stats("parallel", &b.parallel);
-            }
-            b.parallel
-        } else {
-            let run = run_table2_networks(&nets, &model, workers);
-            if stats {
-                print_stats(if workers <= 1 { "serial" } else { "parallel" }, &run);
-            }
-            run
-        };
+        assert!(b.identical, "serial and parallel Table II runs diverged");
+        if stats {
+            print_stats("serial", &b.serial);
+            print_stats("parallel", &b.parallel);
+        }
+        b.parallel
+    } else {
+        let run = run_table2_networks(&nets, &model, workers);
+        if stats {
+            print_stats(if workers <= 1 { "serial" } else { "parallel" }, &run);
+        }
+        run
+    };
     let results = &run.results;
 
     if csv {

@@ -198,10 +198,20 @@ pub struct Table2Bench {
     pub cores: usize,
     /// The serial run (workers = 1).
     pub serial: Table2Run,
-    /// The parallel run.
+    /// The parallel run — or, on a single-core machine, a serial repeat
+    /// standing in as a determinism check (see [`Table2Bench::parallel_skipped`]).
     pub parallel: Table2Run,
     /// Whether both runs produced exactly identical tables.
     pub identical: bool,
+}
+
+impl Table2Bench {
+    /// True when the machine has fewer than two cores and the "parallel"
+    /// leg was therefore run serially: the recorded speedup measures
+    /// run-to-run determinism, not parallel scaling.
+    pub fn parallel_skipped(&self) -> bool {
+        self.parallel.workers < 2
+    }
 }
 
 /// Renders the `BENCH_table2.json` document (hand-rolled writer; the
@@ -212,9 +222,12 @@ pub fn render_bench_json(b: &Table2Bench) -> String {
         let c = &r.perf.counters;
         write!(
             out,
-            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {} }}\n  }}",
+            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {}, \"lp_phase1_pivots\": {}, \"lp_phase2_pivots\": {}, \"bb_repair_pivots\": {}, \"bb_warm_nodes\": {}, \"preprocess_ms\": {:.3} }}\n  }}",
             r.wall_s, r.workers, r.unique_ops, r.perf.compile_ms,
-            c.lp_solves, c.ilp_solves, c.ilp_nodes, c.fm_eliminations
+            c.lp_solves, c.ilp_solves, c.ilp_nodes, c.fm_eliminations,
+            c.lp_phase1_pivots, c.lp_phase2_pivots,
+            c.bb_repair_pivots, c.bb_warm_nodes,
+            c.preprocess_ns as f64 / 1e6
         )
         .unwrap();
     }
@@ -233,6 +246,7 @@ pub fn render_bench_json(b: &Table2Bench) -> String {
     )
     .unwrap();
     writeln!(out, "  \"identical\": {},", b.identical).unwrap();
+    writeln!(out, "  \"parallel_skipped\": {},", b.parallel_skipped()).unwrap();
     run_json(&mut out, "serial", &b.serial);
     out.push_str(",\n");
     run_json(&mut out, "parallel", &b.parallel);
@@ -368,12 +382,39 @@ mod tests {
             "\"solver\"",
             "\"lp_solves\"",
             "\"fm_eliminations\"",
+            "\"lp_phase1_pivots\"",
+            "\"lp_phase2_pivots\"",
+            "\"bb_repair_pivots\"",
+            "\"bb_warm_nodes\"",
+            "\"preprocess_ms\"",
+            "\"parallel_skipped\": false",
             "\"networks\": [",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn single_core_bench_records_skipped_parallel_leg() {
+        let run = |workers| Table2Run {
+            results: vec![],
+            wall_s: 1.0,
+            workers,
+            unique_ops: 0,
+            perf: OpPerf::default(),
+        };
+        let b = Table2Bench {
+            cores: 1,
+            serial: run(1),
+            parallel: run(1),
+            identical: true,
+        };
+        assert!(b.parallel_skipped());
+        let json = render_bench_json(&b);
+        assert!(json.contains("\"parallel_skipped\": true"));
+        assert!(json.contains("\"cores\": 1"));
     }
 
     #[test]

@@ -209,19 +209,35 @@ impl<'a> Driver<'a> {
     ) -> Driver<'a> {
         let layout = CoeffLayout::new(kernel);
         let validity: Vec<&DepRelation> = deps.validity().collect();
+        // `remove_redundant` is a pure function and costs LP solves;
+        // identical dependence relations (common in stencils and fused
+        // element-wise chains) produce identical systems, so memoize it
+        // across the three cache builds.
+        fn reduce_memo(
+            memo: &mut Vec<(ConstraintSet, ConstraintSet)>,
+            cs: ConstraintSet,
+        ) -> ConstraintSet {
+            if let Some((_, reduced)) = memo.iter().find(|(key, _)| *key == cs) {
+                return reduced.clone();
+            }
+            let reduced = polyject_sets::remove_redundant(&cs);
+            memo.push((cs, reduced.clone()));
+            reduced
+        }
+        let mut memo: Vec<(ConstraintSet, ConstraintSet)> = Vec::new();
         let val_cache = validity
             .iter()
-            .map(|r| polyject_sets::remove_redundant(&validity_constraints([*r], &layout)))
+            .map(|r| reduce_memo(&mut memo, validity_constraints([*r], &layout)))
             .collect();
         let bound_cache = validity
             .iter()
-            .map(|r| polyject_sets::remove_redundant(&bounding_constraints([*r], &layout)))
+            .map(|r| reduce_memo(&mut memo, bounding_constraints([*r], &layout)))
             .collect();
         let input_bound_cache: Vec<ConstraintSet> = deps
             .relations()
             .iter()
             .filter(|r| r.kind == DepKind::Input)
-            .map(|r| polyject_sets::remove_redundant(&bounding_constraints([r], &layout)))
+            .map(|r| reduce_memo(&mut memo, bounding_constraints([r], &layout)))
             .collect();
         // Static part of every per-dimension system: coefficient bounds
         // plus the (dimension-independent) input-reuse bounding.

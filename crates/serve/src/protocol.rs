@@ -179,6 +179,13 @@ impl CompileReply {
                     ("ilp_solves", Json::Num(c.ilp_solves as f64)),
                     ("ilp_nodes", Json::Num(c.ilp_nodes as f64)),
                     ("fm_eliminations", Json::Num(c.fm_eliminations as f64)),
+                    ("lp_phase1_pivots", Json::Num(c.lp_phase1_pivots as f64)),
+                    ("lp_phase2_pivots", Json::Num(c.lp_phase2_pivots as f64)),
+                    ("bb_repair_pivots", Json::Num(c.bb_repair_pivots as f64)),
+                    ("bb_warm_nodes", Json::Num(c.bb_warm_nodes as f64)),
+                    // preprocess_ns is wall-clock time, not solver work:
+                    // deliberately omitted so cache payloads stay
+                    // byte-identical across replays.
                 ]),
             ),
             ("compile_ms", Json::Num(self.compile_ms)),
@@ -209,6 +216,9 @@ impl CompileReply {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("missing solver.{field}"))
         };
+        // Phase-breakdown counters were added later; cache entries written
+        // by earlier versions lack them, so default to zero.
+        let solver_opt = |field: &str| -> u64 { solver_of(field).unwrap_or(0) };
         Ok(CompileReply {
             key: v.str_field("key")?.to_string(),
             kernel: v.str_field("kernel")?.to_string(),
@@ -232,6 +242,11 @@ impl CompileReply {
                 ilp_solves: solver_of("ilp_solves")?,
                 ilp_nodes: solver_of("ilp_nodes")?,
                 fm_eliminations: solver_of("fm_eliminations")?,
+                lp_phase1_pivots: solver_opt("lp_phase1_pivots"),
+                lp_phase2_pivots: solver_opt("lp_phase2_pivots"),
+                bb_repair_pivots: solver_opt("bb_repair_pivots"),
+                bb_warm_nodes: solver_opt("bb_warm_nodes"),
+                preprocess_ns: 0, // never serialized (wall-clock time)
             },
             compile_ms: v.num_field("compile_ms")?,
         })
@@ -320,6 +335,11 @@ mod tests {
                 ilp_solves: 4,
                 ilp_nodes: 5,
                 fm_eliminations: 3,
+                lp_phase1_pivots: 20,
+                lp_phase2_pivots: 30,
+                bb_repair_pivots: 2,
+                bb_warm_nodes: 1,
+                preprocess_ns: 0, // not carried over the wire
             },
             compile_ms: 12.75,
         };

@@ -163,11 +163,51 @@ impl fmt::Display for Constraint {
 /// assert!(set.contains_int(&[2, 2]));
 /// assert!(!set.contains_int(&[2, 1]));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct ConstraintSet {
     n_vars: usize,
     constraints: Vec<Constraint>,
+    /// One 64-bit fingerprint per constraint, in lockstep with
+    /// `constraints`. Dedup in [`ConstraintSet::add`] scans these first
+    /// and only falls back to a deep comparison on a fingerprint match,
+    /// turning the quadratic growth of Fourier–Motzkin output sets into
+    /// cheap integer scans.
+    hashes: Vec<u64>,
 }
+
+/// FNV-1a over the constraint's kind, coefficients and constant. A pure
+/// function of the (normalized) constraint, so equal constraints always
+/// collide — inequality of fingerprints proves inequality of constraints.
+fn fingerprint(c: &Constraint) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: i128| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    mix(match c.kind {
+        ConstraintKind::Eq => 0,
+        ConstraintKind::Ge => 1,
+    });
+    for r in c.expr.coeffs() {
+        mix(r.numer());
+        mix(r.denom());
+    }
+    mix(c.expr.constant_term().numer());
+    mix(c.expr.constant_term().denom());
+    h
+}
+
+impl PartialEq for ConstraintSet {
+    fn eq(&self, other: &ConstraintSet) -> bool {
+        // `hashes` is derived data; comparing it would be redundant.
+        self.n_vars == other.n_vars && self.constraints == other.constraints
+    }
+}
+
+impl Eq for ConstraintSet {}
 
 impl ConstraintSet {
     /// The unconstrained set over `n_vars` variables.
@@ -175,6 +215,7 @@ impl ConstraintSet {
         ConstraintSet {
             n_vars,
             constraints: Vec::new(),
+            hashes: Vec::new(),
         }
     }
 
@@ -225,8 +266,15 @@ impl ConstraintSet {
         if c.is_trivially_true() {
             return;
         }
-        if !self.constraints.contains(&c) {
+        let fp = fingerprint(&c);
+        let dup = self
+            .hashes
+            .iter()
+            .zip(&self.constraints)
+            .any(|(&h, e)| h == fp && *e == c);
+        if !dup {
             self.constraints.push(c);
+            self.hashes.push(fp);
         }
     }
 
@@ -247,6 +295,7 @@ impl ConstraintSet {
             "truncate beyond current length"
         );
         self.constraints.truncate(len);
+        self.hashes.truncate(len);
     }
 
     /// Adds every constraint of `other`.
@@ -279,26 +328,32 @@ impl ConstraintSet {
 
     /// Returns the set with its space extended to `n_vars`.
     pub fn extended(&self, n_vars: usize) -> ConstraintSet {
+        let constraints: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .map(|c| c.extended(n_vars))
+            .collect();
+        let hashes = constraints.iter().map(fingerprint).collect();
         ConstraintSet {
             n_vars,
-            constraints: self
-                .constraints
-                .iter()
-                .map(|c| c.extended(n_vars))
-                .collect(),
+            constraints,
+            hashes,
         }
     }
 
     /// Returns the set with `count` fresh unconstrained variables inserted
     /// at position `at`.
     pub fn with_vars_inserted(&self, at: usize, count: usize) -> ConstraintSet {
+        let constraints: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .map(|c| c.with_vars_inserted(at, count))
+            .collect();
+        let hashes = constraints.iter().map(fingerprint).collect();
         ConstraintSet {
             n_vars: self.n_vars + count,
-            constraints: self
-                .constraints
-                .iter()
-                .map(|c| c.with_vars_inserted(at, count))
-                .collect(),
+            constraints,
+            hashes,
         }
     }
 
@@ -390,5 +445,41 @@ mod tests {
     fn normalization_on_creation() {
         let c = Constraint::ge0(LinExpr::from_coeffs(&[2, 4], 6));
         assert_eq!(c.expr(), &LinExpr::from_coeffs(&[1, 2], 3));
+    }
+
+    #[test]
+    fn fingerprints_track_constraints_through_every_mutation() {
+        // Equal constraints (after normalization) must dedup through the
+        // fingerprint path, and derived sets must carry fingerprints for
+        // the *transformed* rows, not the originals.
+        let mut s = unit_box();
+        let len = s.len();
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&[2, 0], 0))); // = x0 >= 0
+        assert_eq!(s.len(), len, "normalized duplicate deduped via fingerprint");
+
+        let wider = s.extended(3);
+        let mut w2 = wider.clone();
+        for c in wider.constraints() {
+            w2.add(c.clone());
+        }
+        assert_eq!(
+            w2.len(),
+            wider.len(),
+            "extended rows dedup against themselves"
+        );
+
+        let ins = s.with_vars_inserted(0, 1);
+        let mut i2 = ins.clone();
+        for c in ins.constraints() {
+            i2.add(c.clone());
+        }
+        assert_eq!(i2.len(), ins.len());
+
+        // Push/pop restores both vectors in lockstep.
+        let mark = s.len();
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&[1, 1], -7)));
+        s.truncate(mark);
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&[1, 1], -7)));
+        assert_eq!(s.len(), mark + 1, "re-adding after truncate works");
     }
 }

@@ -8,6 +8,12 @@
 //! region and subtract with [`SolverCounters::delta_since`]. This
 //! composes naturally with the parallel compilation pipeline, where each
 //! operator is compiled start-to-finish on a single worker thread.
+//!
+//! Beyond the solve-level counts, a phase breakdown records where the
+//! pivot work actually goes: phase-1 vs phase-2 primal pivots on the
+//! integer tableau, dual-simplex repair pivots spent warm-starting
+//! branch-and-bound nodes (plus how many nodes the warm path fully
+//! served), and nanoseconds spent in integer-feasibility preprocessing.
 
 use std::cell::Cell;
 
@@ -22,6 +28,21 @@ pub struct SolverCounters {
     pub ilp_nodes: u64,
     /// Fourier–Motzkin variable eliminations ([`crate::eliminate_var`]).
     pub fm_eliminations: u64,
+    /// Phase-1 primal pivots (feasibility search and artificial
+    /// drive-out) on the integer tableau.
+    pub lp_phase1_pivots: u64,
+    /// Phase-2 primal pivots (objective optimization) on the integer
+    /// tableau.
+    pub lp_phase2_pivots: u64,
+    /// Dual-simplex pivots spent repairing parent bases at
+    /// branch-and-bound child nodes.
+    pub bb_repair_pivots: u64,
+    /// Branch-and-bound nodes fully served by a warm-started repair (no
+    /// cold LP solve needed).
+    pub bb_warm_nodes: u64,
+    /// Nanoseconds spent in integer-feasibility preprocessing (bound
+    /// tightening, infeasibility short-circuits).
+    pub preprocess_ns: u64,
 }
 
 impl SolverCounters {
@@ -33,6 +54,11 @@ impl SolverCounters {
             ilp_solves: self.ilp_solves - earlier.ilp_solves,
             ilp_nodes: self.ilp_nodes - earlier.ilp_nodes,
             fm_eliminations: self.fm_eliminations - earlier.fm_eliminations,
+            lp_phase1_pivots: self.lp_phase1_pivots - earlier.lp_phase1_pivots,
+            lp_phase2_pivots: self.lp_phase2_pivots - earlier.lp_phase2_pivots,
+            bb_repair_pivots: self.bb_repair_pivots - earlier.bb_repair_pivots,
+            bb_warm_nodes: self.bb_warm_nodes - earlier.bb_warm_nodes,
+            preprocess_ns: self.preprocess_ns - earlier.preprocess_ns,
         }
     }
 
@@ -43,6 +69,11 @@ impl SolverCounters {
         self.ilp_solves += other.ilp_solves;
         self.ilp_nodes += other.ilp_nodes;
         self.fm_eliminations += other.fm_eliminations;
+        self.lp_phase1_pivots += other.lp_phase1_pivots;
+        self.lp_phase2_pivots += other.lp_phase2_pivots;
+        self.bb_repair_pivots += other.bb_repair_pivots;
+        self.bb_warm_nodes += other.bb_warm_nodes;
+        self.preprocess_ns += other.preprocess_ns;
     }
 }
 
@@ -51,6 +82,11 @@ thread_local! {
     static ILP_SOLVES: Cell<u64> = const { Cell::new(0) };
     static ILP_NODES: Cell<u64> = const { Cell::new(0) };
     static FM_ELIMS: Cell<u64> = const { Cell::new(0) };
+    static LP_P1_PIVOTS: Cell<u64> = const { Cell::new(0) };
+    static LP_P2_PIVOTS: Cell<u64> = const { Cell::new(0) };
+    static BB_REPAIR_PIVOTS: Cell<u64> = const { Cell::new(0) };
+    static BB_WARM_NODES: Cell<u64> = const { Cell::new(0) };
+    static PREPROCESS_NS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The current thread's counter values.
@@ -60,6 +96,11 @@ pub fn snapshot() -> SolverCounters {
         ilp_solves: ILP_SOLVES.get(),
         ilp_nodes: ILP_NODES.get(),
         fm_eliminations: FM_ELIMS.get(),
+        lp_phase1_pivots: LP_P1_PIVOTS.get(),
+        lp_phase2_pivots: LP_P2_PIVOTS.get(),
+        bb_repair_pivots: BB_REPAIR_PIVOTS.get(),
+        bb_warm_nodes: BB_WARM_NODES.get(),
+        preprocess_ns: PREPROCESS_NS.get(),
     }
 }
 
@@ -79,6 +120,23 @@ pub(crate) fn count_fm_elimination() {
     FM_ELIMS.set(FM_ELIMS.get() + 1);
 }
 
+pub(crate) fn count_lp_pivots(phase1: u64, phase2: u64) {
+    LP_P1_PIVOTS.set(LP_P1_PIVOTS.get() + phase1);
+    LP_P2_PIVOTS.set(LP_P2_PIVOTS.get() + phase2);
+}
+
+pub(crate) fn count_bb_repair_pivots(pivots: u64) {
+    BB_REPAIR_PIVOTS.set(BB_REPAIR_PIVOTS.get() + pivots);
+}
+
+pub(crate) fn count_bb_warm_node() {
+    BB_WARM_NODES.set(BB_WARM_NODES.get() + 1);
+}
+
+pub(crate) fn add_preprocess_ns(ns: u64) {
+    PREPROCESS_NS.set(PREPROCESS_NS.get() + ns);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,12 +149,21 @@ mod tests {
         count_ilp_node();
         count_ilp_node();
         count_fm_elimination();
+        count_lp_pivots(3, 4);
+        count_bb_repair_pivots(5);
+        count_bb_warm_node();
+        add_preprocess_ns(17);
         let after = snapshot();
         let d = after.delta_since(&before);
         assert_eq!(d.lp_solves, 1);
         assert_eq!(d.ilp_solves, 1);
         assert_eq!(d.ilp_nodes, 2);
         assert_eq!(d.fm_eliminations, 1);
+        assert_eq!(d.lp_phase1_pivots, 3);
+        assert_eq!(d.lp_phase2_pivots, 4);
+        assert_eq!(d.bb_repair_pivots, 5);
+        assert_eq!(d.bb_warm_nodes, 1);
+        assert_eq!(d.preprocess_ns, 17);
     }
 
     #[test]
@@ -106,12 +173,22 @@ mod tests {
             ilp_solves: 2,
             ilp_nodes: 3,
             fm_eliminations: 4,
+            lp_phase1_pivots: 5,
+            lp_phase2_pivots: 6,
+            bb_repair_pivots: 7,
+            bb_warm_nodes: 8,
+            preprocess_ns: 9,
         };
         let b = SolverCounters {
             lp_solves: 10,
             ilp_solves: 20,
             ilp_nodes: 30,
             fm_eliminations: 40,
+            lp_phase1_pivots: 50,
+            lp_phase2_pivots: 60,
+            bb_repair_pivots: 70,
+            bb_warm_nodes: 80,
+            preprocess_ns: 90,
         };
         a.accumulate(&b);
         assert_eq!(
@@ -120,7 +197,12 @@ mod tests {
                 lp_solves: 11,
                 ilp_solves: 22,
                 ilp_nodes: 33,
-                fm_eliminations: 44
+                fm_eliminations: 44,
+                lp_phase1_pivots: 55,
+                lp_phase2_pivots: 66,
+                bb_repair_pivots: 77,
+                bb_warm_nodes: 88,
+                preprocess_ns: 99,
             }
         );
     }

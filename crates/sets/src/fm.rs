@@ -8,6 +8,7 @@
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::counters;
 use crate::linexpr::LinExpr;
+use crate::preprocess::integer_row;
 use crate::simplex::{minimize, LpOutcome};
 use polyject_arith::Rat;
 
@@ -36,6 +37,19 @@ const PRUNE_THRESHOLD: usize = 32;
 pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
     assert!(var < set.n_vars(), "variable out of range");
     counters::count_fm_elimination();
+    eliminate_var_impl(set, var, true)
+}
+
+/// [`eliminate_var`] without the integer combination fast path: every row
+/// combination goes through rational arithmetic. Kept as a reference
+/// implementation for differential tests of the integer path, which must
+/// produce syntactically identical constraint sets.
+pub fn eliminate_var_reference(set: &ConstraintSet, var: usize) -> ConstraintSet {
+    assert!(var < set.n_vars(), "variable out of range");
+    eliminate_var_impl(set, var, false)
+}
+
+fn eliminate_var_impl(set: &ConstraintSet, var: usize, use_int: bool) -> ConstraintSet {
     // Prefer substitution through an equality involving the variable.
     if let Some(eq) = set
         .constraints()
@@ -43,6 +57,15 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
         .find(|c| c.is_equality() && !c.expr().coeff(var).is_zero())
     {
         let a = eq.expr().coeff(var);
+        // Normalized rows are integer, so the substitution can be computed
+        // as sign(a)·(a·c − b·eq): a positive integer multiple of the
+        // rational combination c − (b/a)·eq, hence the same constraint
+        // after canonical normalization — without any rational division.
+        let eq_row = if use_int {
+            integer_row(eq.expr())
+        } else {
+            None
+        };
         let mut out = ConstraintSet::universe(set.n_vars());
         for c in set.constraints() {
             if std::ptr::eq(c, eq) {
@@ -52,7 +75,10 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
             if b.is_zero() {
                 out.add(c.clone());
             } else {
-                let combined = c.expr() - &eq.expr().scaled(b / a);
+                let combined = eq_row
+                    .as_ref()
+                    .and_then(|(erow, ek)| eq_combine_int(c.expr(), erow, *ek, var))
+                    .unwrap_or_else(|| c.expr() - &eq.expr().scaled(b / a));
                 debug_assert!(combined.coeff(var).is_zero());
                 let nc = if c.is_equality() {
                     Constraint::eq0(combined)
@@ -92,13 +118,28 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
             uppers.push(c);
         }
     }
-    for lo in &lowers {
-        for up in &uppers {
-            let p = lo.expr().coeff(var);
-            let n = up.expr().coeff(var);
+    // Extract each row's integer form once, not once per pair.
+    let lo_rows: Vec<Option<(Vec<i128>, i128)>> = lowers
+        .iter()
+        .map(|c| use_int.then(|| integer_row(c.expr())).flatten())
+        .collect();
+    let up_rows: Vec<Option<(Vec<i128>, i128)>> = uppers
+        .iter()
+        .map(|c| use_int.then(|| integer_row(c.expr())).flatten())
+        .collect();
+    for (lo, lo_row) in lowers.iter().zip(&lo_rows) {
+        for (up, up_row) in uppers.iter().zip(&up_rows) {
             // p > 0, n < 0: (-n)*lo + p*up eliminates var, both scaled
             // positively so the >= direction is preserved.
-            let combined = &lo.expr().scaled(-n) + &up.expr().scaled(p);
+            let combined = match (lo_row, up_row) {
+                (Some(l), Some(u)) => pair_combine_int(l, u, var),
+                _ => None,
+            }
+            .unwrap_or_else(|| {
+                let p = lo.expr().coeff(var);
+                let n = up.expr().coeff(var);
+                &lo.expr().scaled(-n) + &up.expr().scaled(p)
+            });
             debug_assert!(combined.coeff(var).is_zero());
             let nc = Constraint::ge0(combined);
             if !nc.is_trivially_true() {
@@ -111,6 +152,42 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
     } else {
         out
     }
+}
+
+/// Integer form of the equality substitution `c − (b/a)·eq` for `eq` with
+/// integer row `(erow, ek)`: returns `sign(a)·(a·c − b·eq)`, a positive
+/// integer multiple, or `None` on non-integer rows or overflow (the caller
+/// falls back to rational arithmetic).
+fn eq_combine_int(c: &LinExpr, erow: &[i128], ek: i128, var: usize) -> Option<LinExpr> {
+    let (crow, ck) = integer_row(c)?;
+    let a = erow[var];
+    let b = crow[var];
+    let s: i128 = if a > 0 { 1 } else { -1 };
+    let mut coeffs = Vec::with_capacity(crow.len());
+    for (cv, ev) in crow.iter().zip(erow) {
+        let t = a.checked_mul(*cv)?.checked_sub(b.checked_mul(*ev)?)?;
+        coeffs.push(t.checked_mul(s)?);
+    }
+    let k = a
+        .checked_mul(ck)?
+        .checked_sub(b.checked_mul(ek)?)?
+        .checked_mul(s)?;
+    Some(LinExpr::from_coeffs(&coeffs, k))
+}
+
+/// Integer form of the pairwise combination `(−n)·lo + p·up` (with
+/// `p = lo[var] > 0`, `n = up[var] < 0`), or `None` on overflow.
+fn pair_combine_int(lo: &(Vec<i128>, i128), up: &(Vec<i128>, i128), var: usize) -> Option<LinExpr> {
+    let (lrow, lk) = lo;
+    let (urow, uk) = up;
+    let p = lrow[var];
+    let nn = urow[var].checked_neg()?;
+    let mut coeffs = Vec::with_capacity(lrow.len());
+    for (lv, uv) in lrow.iter().zip(urow) {
+        coeffs.push(nn.checked_mul(*lv)?.checked_add(p.checked_mul(*uv)?)?);
+    }
+    let k = nn.checked_mul(*lk)?.checked_add(p.checked_mul(*uk)?)?;
+    Some(LinExpr::from_coeffs(&coeffs, k))
 }
 
 /// Eliminates several variables existentially (in the given order).

@@ -14,7 +14,9 @@
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::counters;
 use crate::linexpr::LinExpr;
-use crate::simplex::{minimize, LpOutcome};
+use crate::preprocess::{self, PreOutcome};
+use crate::simplex::{minimize, minimize_with_basis, LpOutcome};
+use crate::tableau::{warm_resolve, LpBasis, WarmOutcome};
 use polyject_arith::Rat;
 
 /// Result of an integer linear program.
@@ -101,7 +103,14 @@ pub fn minimize_integer_bounded(
     let mut nodes = 0usize;
     // One clone for the whole solve; branch() pushes/pops on it in place.
     let mut work = set.clone();
-    match branch(objective, &mut work, upper_bound, &mut best, &mut nodes) {
+    match branch(
+        objective,
+        &mut work,
+        upper_bound,
+        &mut best,
+        &mut nodes,
+        None,
+    ) {
         BranchResult::Unbounded => IlpOutcome::Unbounded,
         BranchResult::Done => match best {
             Some((value, point)) => IlpOutcome::Optimal { point, value },
@@ -118,8 +127,30 @@ pub fn minimize_integer_bounded(
 }
 
 /// Whether a set contains at least one integer point.
+///
+/// Runs a preprocessing pass first (single-variable bound merging with
+/// integer tightening, constraint-content infeasibility checks); many
+/// dependence-analysis queries are decided there without any LP solve.
+/// The answer is identical to solving the raw set — only the point that
+/// would witness feasibility may differ, and no point is reported here.
 pub fn is_integer_feasible(set: &ConstraintSet) -> bool {
-    find_integer_point(set).is_some()
+    let t0 = std::time::Instant::now();
+    let pre = preprocess::tighten_for_integrality(set);
+    counters::add_preprocess_ns(t0.elapsed().as_nanos() as u64);
+    match pre {
+        PreOutcome::Infeasible => false,
+        PreOutcome::Reduced(reduced) => find_integer_point(&reduced).is_some(),
+    }
+}
+
+/// [`is_integer_feasible`] without preprocessing: branch-and-bound on the
+/// raw set via the clone-per-node reference search. Differential tests
+/// check the boolean answers always agree.
+pub fn is_integer_feasible_reference(set: &ConstraintSet) -> bool {
+    matches!(
+        minimize_integer_reference(&LinExpr::zero(set.n_vars()), set),
+        IlpOutcome::Optimal { .. }
+    )
 }
 
 /// Finds some integer point of the set, if one exists.
@@ -203,11 +234,57 @@ fn branch(
     upper_bound: Option<Rat>,
     best: &mut Option<(Rat, Vec<i128>)>,
     nodes: &mut usize,
+    warm_ctx: Option<(&LpBasis, &Constraint)>,
 ) -> BranchResult {
     *nodes += 1;
     counters::count_ilp_node();
     assert!(*nodes <= NODE_LIMIT, "branch-and-bound node limit exceeded");
-    match minimize(objective, set) {
+    // Resolve this node's LP relaxation. When the parent exported an
+    // optimal basis, repair it under the one pushed bound with dual
+    // simplex pivots first; a cold solve only happens when the repaired
+    // answer cannot be proven identical to one (see the safety notes on
+    // [`WarmOutcome`]). The LP outcome used for branching decisions is
+    // bit-for-bit the cold one either way.
+    let mut resolved: Option<(LpOutcome, Option<LpBasis>)> = None;
+    if let Some((parent, extra)) = warm_ctx {
+        if let Some((warm, pivots)) = warm_resolve(parent, extra) {
+            counters::count_bb_repair_pivots(pivots);
+            match warm {
+                WarmOutcome::Infeasible => {
+                    counters::count_bb_warm_node();
+                    resolved = Some((LpOutcome::Infeasible, None));
+                }
+                WarmOutcome::Optimal {
+                    value,
+                    point,
+                    unique,
+                    basis,
+                } => {
+                    // The optimal *value* is unique even when the vertex is
+                    // not, so value-based pruning decisions made here are
+                    // always identical to a cold solve's.
+                    let prunes = upper_bound.is_some_and(|ub| value > ub)
+                        || best.as_ref().is_some_and(|(bv, _)| value >= *bv);
+                    if prunes {
+                        counters::count_bb_warm_node();
+                        return BranchResult::Done;
+                    }
+                    if unique {
+                        counters::count_bb_warm_node();
+                        resolved = Some((LpOutcome::Optimal { point, value }, Some(*basis)));
+                    }
+                    // Non-unique optimum that survives pruning: the cold
+                    // path's tie-broken vertex drives branching, so fall
+                    // through to a cold solve.
+                }
+            }
+        }
+    }
+    let (outcome, basis) = match resolved {
+        Some(r) => r,
+        None => minimize_with_basis(objective, set),
+    };
+    match outcome {
         LpOutcome::Infeasible => BranchResult::Done,
         LpOutcome::Unbounded => BranchResult::Unbounded,
         LpOutcome::Optimal { point, value } => {
@@ -242,8 +319,10 @@ fn branch(
                     let saved = set.len();
                     let mut e = LinExpr::var(n, i).scaled(-Rat::ONE);
                     e.set_constant(Rat::int(f.floor()));
-                    set.add(Constraint::ge0(e));
-                    let lo = branch(objective, set, upper_bound, best, nodes);
+                    let c = Constraint::ge0(e);
+                    set.add(c.clone());
+                    let ctx = basis.as_ref().map(|b| (b, &c));
+                    let lo = branch(objective, set, upper_bound, best, nodes, ctx);
                     set.truncate(saved);
                     if let BranchResult::Unbounded = lo {
                         return BranchResult::Unbounded;
@@ -252,8 +331,10 @@ fn branch(
                     let saved = set.len();
                     let mut e = LinExpr::var(n, i);
                     e.set_constant(Rat::int(-f.ceil()));
-                    set.add(Constraint::ge0(e));
-                    let hi = branch(objective, set, upper_bound, best, nodes);
+                    let c = Constraint::ge0(e);
+                    set.add(c.clone());
+                    let ctx = basis.as_ref().map(|b| (b, &c));
+                    let hi = branch(objective, set, upper_bound, best, nodes, ctx);
                     set.truncate(saved);
                     hi
                 }
@@ -488,8 +569,8 @@ mod tests {
         assert_eq!(d.ilp_solves, 1);
         assert!(d.ilp_nodes >= 1);
         assert!(
-            d.lp_solves >= d.ilp_nodes,
-            "each node solves at least one LP"
+            d.lp_solves + d.bb_warm_nodes >= d.ilp_nodes,
+            "each node either solves an LP cold or is served warm"
         );
     }
 }

@@ -43,19 +43,22 @@ mod fm;
 mod ilp;
 mod linexpr;
 mod points;
+mod preprocess;
 mod relations;
 mod simplex;
+mod tableau;
 
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
 pub use counters::SolverCounters;
 pub use fm::{
-    bounds_for_var, eliminate_var, eliminate_vars, project_onto_prefix, remove_redundant, VarBounds,
+    bounds_for_var, eliminate_var, eliminate_var_reference, eliminate_vars, project_onto_prefix,
+    remove_redundant, VarBounds,
 };
 pub use ilp::{
-    find_integer_point, is_integer_feasible, lexmin_integer, minimize_integer,
-    minimize_integer_bounded, minimize_integer_reference, IlpOutcome,
+    find_integer_point, is_integer_feasible, is_integer_feasible_reference, lexmin_integer,
+    minimize_integer, minimize_integer_bounded, minimize_integer_reference, IlpOutcome,
 };
 pub use linexpr::LinExpr;
 pub use points::{count_integer_points, eval_bound, integer_points};
 pub use relations::{is_subset, lexmax_point, lexmin_point, set_eq, simplify};
-pub use simplex::{is_rational_feasible, maximize, minimize, LpOutcome};
+pub use simplex::{is_rational_feasible, maximize, minimize, minimize_reference, LpOutcome};

@@ -1,0 +1,264 @@
+//! Constraint preprocessing for integer-feasibility queries.
+//!
+//! [`tighten_for_integrality`] rewrites a set into one with exactly the
+//! same **integer** points (the rational relaxations may differ) that is
+//! cheaper to decide, or proves on the way that no integer point exists:
+//!
+//! * single-variable constraints are merged into one integer lower/upper
+//!   bound per variable (`2x - 3 >= 0` becomes `x >= 2`); crossing bounds
+//!   (`lo > hi`) prove infeasibility with no LP solve at all;
+//! * an inequality whose variable coefficients share a content `g > 1` is
+//!   divided through with the constant rounded toward the feasible side
+//!   (`2x + 2y >= 1` becomes `x + y >= 1`);
+//! * an equality whose variable coefficients share a content `g > 1` that
+//!   does not divide the constant has no integer solution (`2x + 2y == 1`).
+//!
+//! This pass is used only by boolean feasibility queries
+//! ([`crate::is_integer_feasible`]): optimizing solves must see the
+//! original rows, because rewriting them changes which tie-broken vertex
+//! the simplex reports even when the optimal value is unchanged.
+
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+use crate::linexpr::LinExpr;
+use polyject_arith::Rat;
+
+/// Result of the tightening pass.
+pub(crate) enum PreOutcome {
+    /// The set provably contains no integer point.
+    Infeasible,
+    /// A set with exactly the same integer points as the input.
+    Reduced(ConstraintSet),
+}
+
+/// Runs the integer tightening pass described in the module docs.
+///
+/// Constraints with non-integer entries (which normalization rules out)
+/// or entries of magnitude `2^127` (where the rewrites could overflow)
+/// are passed through untouched, so the pass never panics where the
+/// plain solver would not.
+pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
+    let n = set.n_vars();
+    let mut lo: Vec<Option<i128>> = vec![None; n];
+    let mut hi: Vec<Option<i128>> = vec![None; n];
+    let mut out = ConstraintSet::universe(n);
+    for c in set.constraints() {
+        if c.is_trivially_false() {
+            return PreOutcome::Infeasible;
+        }
+        // Normalized constraints have coprime integer entries; fall back
+        // to passing the row through if this one somehow does not.
+        let expr = c.expr();
+        let Some((ints, k)) = integer_row(expr) else {
+            out.add(c.clone());
+            continue;
+        };
+        if k == i128::MIN || ints.contains(&i128::MIN) {
+            out.add(c.clone());
+            continue;
+        }
+        let nonzero: Vec<usize> = (0..n).filter(|&v| ints[v] != 0).collect();
+        match (c.kind(), nonzero.len()) {
+            (_, 0) => {} // trivially true (false was handled above)
+            (ConstraintKind::Ge, 1) => {
+                let v = nonzero[0];
+                let a = ints[v];
+                if a > 0 {
+                    // a·x + k >= 0  ⇒  x >= ceil(-k/a)
+                    merge_lo(&mut lo[v], -k.div_euclid(a));
+                } else {
+                    // a·x + k >= 0, a < 0  ⇒  x <= floor(k/(-a))
+                    merge_hi(&mut hi[v], k.div_euclid(-a));
+                }
+            }
+            (ConstraintKind::Eq, 1) => {
+                let v = nonzero[0];
+                let a = ints[v];
+                if a > 0 {
+                    // a·x + k == 0 pins x to -k/a — or nothing.
+                    if k.rem_euclid(a) != 0 {
+                        return PreOutcome::Infeasible;
+                    }
+                    let b = -k / a;
+                    merge_lo(&mut lo[v], b);
+                    merge_hi(&mut hi[v], b);
+                } else {
+                    // Canonical equalities have a positive leading
+                    // coefficient; keep non-canonical rows as-is.
+                    out.add(c.clone());
+                }
+            }
+            (kind, _) => {
+                let g = nonzero
+                    .iter()
+                    .fold(0i128, |g, &v| polyject_arith::gcd(g, ints[v]));
+                if g <= 1 {
+                    out.add(c.clone());
+                    continue;
+                }
+                match kind {
+                    ConstraintKind::Eq => {
+                        // Every integer combination of the coefficients is
+                        // a multiple of g, so the constant must be too.
+                        if k.rem_euclid(g) != 0 {
+                            return PreOutcome::Infeasible;
+                        }
+                        let coeffs: Vec<i128> = ints.iter().map(|&a| a / g).collect();
+                        out.add(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k / g)));
+                    }
+                    ConstraintKind::Ge => {
+                        // Divide through by g, rounding the constant toward
+                        // the feasible side (valid over integers only).
+                        let coeffs: Vec<i128> = ints.iter().map(|&a| a / g).collect();
+                        out.add(Constraint::ge0(LinExpr::from_coeffs(
+                            &coeffs,
+                            k.div_euclid(g),
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if let (Some(l), Some(h)) = (lo[v], hi[v]) {
+            if l > h {
+                return PreOutcome::Infeasible;
+            }
+        }
+        if let Some(l) = lo[v] {
+            let mut e = LinExpr::var(n, v);
+            e.set_constant(Rat::int(-l));
+            out.add(Constraint::ge0(e));
+        }
+        if let Some(h) = hi[v] {
+            let mut e = LinExpr::var(n, v).scaled(-Rat::ONE);
+            e.set_constant(Rat::int(h));
+            out.add(Constraint::ge0(e));
+        }
+    }
+    PreOutcome::Reduced(out)
+}
+
+/// The expression's coefficients and constant as integers, if they all are.
+/// Normalized constraints always satisfy this; shared with the integer
+/// Fourier–Motzkin fast path.
+pub(crate) fn integer_row(expr: &LinExpr) -> Option<(Vec<i128>, i128)> {
+    let mut ints = Vec::with_capacity(expr.n_vars());
+    for c in expr.coeffs() {
+        ints.push(c.to_integer()?);
+    }
+    Some((ints, expr.constant_term().to_integer()?))
+}
+
+fn merge_lo(slot: &mut Option<i128>, b: i128) {
+    *slot = Some(slot.map_or(b, |cur| cur.max(b)));
+}
+
+fn merge_hi(slot: &mut Option<i128>, b: i128) {
+    *slot = Some(slot.map_or(b, |cur| cur.min(b)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(set: &ConstraintSet) -> Vec<Vec<i128>> {
+        crate::points::integer_points(set, 10_000).unwrap()
+    }
+
+    fn ge(n: usize, coeffs: &[i128], k: i128) -> Constraint {
+        assert_eq!(coeffs.len(), n);
+        Constraint::ge0(LinExpr::from_coeffs(coeffs, k))
+    }
+
+    fn reduced(set: &ConstraintSet) -> ConstraintSet {
+        match tighten_for_integrality(set) {
+            PreOutcome::Reduced(s) => s,
+            PreOutcome::Infeasible => panic!("unexpectedly infeasible"),
+        }
+    }
+
+    #[test]
+    fn crossing_integer_bounds_are_infeasible() {
+        // 1/3 <= x <= 2/3 → merged bounds 1 <= x <= 0 → infeasible, no LP.
+        let set = ConstraintSet::from_constraints(1, vec![ge(1, &[3], -1), ge(1, &[-3], 2)]);
+        assert!(matches!(
+            tighten_for_integrality(&set),
+            PreOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn equality_lattice_gap_detected() {
+        // 2x + 2y == 1 has no integer solution.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![Constraint::eq0(LinExpr::from_coeffs(&[2, 2], -1))],
+        );
+        assert!(matches!(
+            tighten_for_integrality(&set),
+            PreOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn gcd_tightening_preserves_integer_points() {
+        // 2x + 2y >= 1 tightens to x + y >= 1 — same integer points.
+        let set = ConstraintSet::from_constraints(
+            2,
+            vec![
+                ge(2, &[2, 2], -1),
+                ge(2, &[1, 0], 0),
+                ge(2, &[-1, 0], 2),
+                ge(2, &[0, 1], 0),
+                ge(2, &[0, -1], 2),
+            ],
+        );
+        let r = reduced(&set);
+        assert_eq!(pts(&set), pts(&r));
+        assert!(r
+            .constraints()
+            .iter()
+            .any(|c| c.expr() == &LinExpr::from_coeffs(&[1, 1], -1)));
+    }
+
+    #[test]
+    fn single_variable_bounds_merge() {
+        // 2x >= 3 and 3x >= 4 and x <= 10 → 2 <= x <= 10.
+        let set = ConstraintSet::from_constraints(
+            1,
+            vec![ge(1, &[2], -3), ge(1, &[3], -4), ge(1, &[-1], 10)],
+        );
+        let r = reduced(&set);
+        assert_eq!(pts(&set), pts(&r));
+        assert_eq!(r.len(), 2, "three bounds merged into lo/hi rows");
+    }
+
+    #[test]
+    fn pinned_equality_becomes_bounds() {
+        // 3x == 12 pins x = 4; 3x == 11 is infeasible.
+        let set = ConstraintSet::from_constraints(
+            1,
+            vec![Constraint::eq0(LinExpr::from_coeffs(&[3], -12))],
+        );
+        let r = reduced(&set);
+        assert_eq!(pts(&r), vec![vec![4]]);
+        let bad = ConstraintSet::from_constraints(
+            1,
+            vec![Constraint::eq0(LinExpr::from_coeffs(&[3], -11))],
+        );
+        assert!(matches!(
+            tighten_for_integrality(&bad),
+            PreOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn trivial_contradiction_short_circuits() {
+        let mut set = ConstraintSet::universe(2);
+        set.add(Constraint::ge0(LinExpr::constant(2, -1)));
+        assert!(matches!(
+            tighten_for_integrality(&set),
+            PreOutcome::Infeasible
+        ));
+    }
+}

@@ -1,14 +1,20 @@
-//! Exact two-phase simplex over rationals.
+//! Exact two-phase simplex.
 //!
 //! Variables of a [`ConstraintSet`] are *free* (unrestricted in sign); the
 //! solver internally splits each into a difference of two non-negative
 //! variables and works on a dense exact tableau with Bland's rule, so it
-//! never cycles and never loses precision. Problem sizes in polyhedral
-//! scheduling are tiny (tens of variables), which this is comfortably fast
-//! for.
+//! never cycles and never loses precision.
+//!
+//! Solves run on the fraction-free integer tableau of [`crate::tableau`],
+//! which replays the exact pivot sequence of the historical rational
+//! tableau at a fraction of the cost; the rational implementation is kept
+//! verbatim below as [`minimize_reference`], serving both as the fallback
+//! on (never yet observed) `i128` overflow and as the oracle for the
+//! differential test suite.
 
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::linexpr::LinExpr;
+use crate::tableau::{self, is_sign_row, single_var, LpBasis};
 use polyject_arith::Rat;
 
 /// Result of a linear program.
@@ -66,6 +72,41 @@ impl LpOutcome {
 ///
 /// Panics if the objective's variable count differs from the set's.
 pub fn minimize(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
+    assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
+    crate::counters::count_lp_solve();
+    match tableau::solve_int(objective, set, false) {
+        Some((out, _, work)) => {
+            crate::counters::count_lp_pivots(work.phase1, work.phase2);
+            out
+        }
+        None => Simplex::new(set).minimize(objective),
+    }
+}
+
+/// Like [`minimize`], additionally exporting the optimal basis (when one
+/// exists and the variable space needed no sign-splitting) so
+/// branch-and-bound can warm-start child nodes with dual simplex repairs.
+pub(crate) fn minimize_with_basis(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+) -> (LpOutcome, Option<LpBasis>) {
+    assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
+    crate::counters::count_lp_solve();
+    match tableau::solve_int(objective, set, true) {
+        Some((out, basis, work)) => {
+            crate::counters::count_lp_pivots(work.phase1, work.phase2);
+            (out, basis)
+        }
+        None => (Simplex::new(set).minimize(objective), None),
+    }
+}
+
+/// The historical dense-rational two-phase simplex, kept verbatim as the
+/// reference implementation. The integer-tableau fast path must agree
+/// with it bit-for-bit — outcome, optimal value, and tie-broken optimum
+/// point — which the differential suite asserts; it also serves as the
+/// fallback when an integer solve overflows `i128`.
+pub fn minimize_reference(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
     assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
     crate::counters::count_lp_solve();
     Simplex::new(set).minimize(objective)
@@ -271,18 +312,6 @@ impl<'a> Simplex<'a> {
             value: tab.val + objective.constant_term(),
         }
     }
-}
-
-/// Whether the expression is exactly `x_v` for some variable `v` (an
-/// explicit sign constraint when used as `expr >= 0`).
-fn is_sign_row(e: &LinExpr) -> bool {
-    e.constant_term().is_zero()
-        && e.coeffs().iter().filter(|c| !c.is_zero()).count() == 1
-        && e.coeffs().iter().all(|c| c.is_zero() || *c == Rat::ONE)
-}
-
-fn single_var(e: &LinExpr) -> Option<usize> {
-    e.coeffs().iter().position(|c| !c.is_zero())
 }
 
 #[derive(PartialEq, Eq)]

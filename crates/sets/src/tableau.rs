@@ -1,0 +1,668 @@
+//! Fraction-free integer simplex tableau.
+//!
+//! The historical solver (kept as [`crate::minimize_reference`]) stores a
+//! dense tableau of [`Rat`] entries and pays a GCD normalization on every
+//! entry of every pivot. This module stores each row as integer entries
+//! over a single positive per-row denominator (`row_rational = a / den`),
+//! in the style of Edmonds/Bareiss fraction-free elimination: a pivot is
+//! two integer multiplies and a subtract per entry, with one early-exiting
+//! content-GCD pass per *row* instead of per *entry*, and rationals are
+//! only materialized at solution read-out.
+//!
+//! # Exactness and identity
+//!
+//! Every decision of the rational algorithm is invariant under scaling a
+//! row by a positive rational: the Bland entering test reads only the
+//! *sign* of a reduced cost, the min-ratio test compares `b_r / a_rc`
+//! (the per-row denominator cancels), and ties compare basis indices. The
+//! code below maintains the invariant that each stored row is a strictly
+//! positive multiple of the corresponding row of the rational tableau
+//! (pivots with a negative pivot element re-negate the pivot row), so the
+//! pivot sequence — and therefore the returned outcome, optimal value,
+//! and tie-broken optimum point — is bit-for-bit identical to the
+//! reference solver. The differential suite in `tests/differential.rs`
+//! asserts exactly that.
+//!
+//! All arithmetic is checked; any overflow aborts the integer solve with
+//! `None` and the caller falls back to the rational reference, so no new
+//! panic paths are introduced.
+
+use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
+use crate::linexpr::LinExpr;
+use crate::simplex::LpOutcome;
+use polyject_arith::{lcm, Rat};
+
+/// Cap on dual-simplex repair pivots per warm-started node; beyond it the
+/// node falls back to a cold solve (Bland's rule terminates in theory, but
+/// the cap bounds the damage of any bug).
+const DUAL_PIVOT_LIMIT: u64 = 20_000;
+
+#[derive(PartialEq, Eq)]
+enum RunResult {
+    Optimal,
+    Unbounded,
+}
+
+/// Pivot-work counters for one integer solve, reported into
+/// [`crate::counters`] by the caller.
+#[derive(Default, Clone, Copy)]
+pub(crate) struct PivotWork {
+    pub phase1: u64,
+    pub phase2: u64,
+}
+
+/// Dense integer tableau: row-major `data` with `stride = ncols + 1` (the
+/// right-hand side lives in the last slot of each row), one positive
+/// denominator per row, and a cost row with its own denominator.
+#[derive(Clone)]
+pub(crate) struct IntTableau {
+    ncols: usize,
+    stride: usize,
+    data: Vec<i128>,
+    den: Vec<i128>,
+    cost: Vec<i128>,
+    /// Numerator of the objective value `val = valnum / cost_den`.
+    valnum: i128,
+    cost_den: i128,
+    basis: Vec<usize>,
+    /// Artificial columns occupy `art_lo..art_hi`; they may not enter the
+    /// basis once `bar_artificials` is set (phase 2 and all warm repairs).
+    art_lo: usize,
+    art_hi: usize,
+    bar_artificials: bool,
+    scratch: Vec<i128>,
+}
+
+impl IntTableau {
+    fn rows(&self) -> usize {
+        self.basis.len()
+    }
+
+    #[inline]
+    fn at(&self, r: usize, j: usize) -> i128 {
+        self.data[r * self.stride + j]
+    }
+
+    #[inline]
+    fn b(&self, r: usize) -> i128 {
+        self.data[r * self.stride + self.ncols]
+    }
+
+    #[inline]
+    fn enterable(&self, j: usize) -> bool {
+        !(self.bar_artificials && j >= self.art_lo && j < self.art_hi)
+    }
+
+    /// Restores `den > 0` and divides the row by its content GCD. The GCD
+    /// accumulation starts from the denominator and exits as soon as it
+    /// hits 1, so already-reduced rows cost a handful of compares.
+    fn normalize_row(&mut self, r: usize) -> Option<()> {
+        let stride = self.stride;
+        let row = &mut self.data[r * stride..(r + 1) * stride];
+        if self.den[r] < 0 {
+            self.den[r] = self.den[r].checked_neg()?;
+            for v in row.iter_mut() {
+                *v = v.checked_neg()?;
+            }
+        }
+        let mut g = self.den[r];
+        for &v in row.iter() {
+            if g == 1 {
+                return Some(());
+            }
+            g = polyject_arith::gcd(g, v);
+        }
+        if g > 1 {
+            self.den[r] /= g;
+            for v in row.iter_mut() {
+                *v /= g;
+            }
+        }
+        Some(())
+    }
+
+    /// Same reduction for the cost row (entries, value numerator, and its
+    /// denominator).
+    fn normalize_cost(&mut self) -> Option<()> {
+        if self.cost_den < 0 {
+            self.cost_den = self.cost_den.checked_neg()?;
+            self.valnum = self.valnum.checked_neg()?;
+            for v in self.cost.iter_mut() {
+                *v = v.checked_neg()?;
+            }
+        }
+        let mut g = polyject_arith::gcd(self.cost_den, self.valnum);
+        for &v in self.cost.iter() {
+            if g == 1 {
+                return Some(());
+            }
+            g = polyject_arith::gcd(g, v);
+        }
+        if g > 1 {
+            self.cost_den /= g;
+            self.valnum /= g;
+            for v in self.cost.iter_mut() {
+                *v /= g;
+            }
+        }
+        Some(())
+    }
+
+    /// Fraction-free pivot at `(r, c)`: rows `i != r` become
+    /// `a_i * p - a_ic * a_r` over `den_i * p`; the pivot row itself is
+    /// left unscaled (re-negated when `p < 0` to keep the positive-scale
+    /// invariant). Returns `None` on arithmetic overflow.
+    fn pivot(&mut self, r: usize, c: usize) -> Option<()> {
+        let stride = self.stride;
+        let p = self.data[r * stride + c];
+        debug_assert!(p != 0, "pivot on a zero element");
+        let mut prow = std::mem::take(&mut self.scratch);
+        prow.clear();
+        prow.extend_from_slice(&self.data[r * stride..(r + 1) * stride]);
+        for i in 0..self.rows() {
+            if i == r {
+                continue;
+            }
+            let f = self.data[i * stride + c];
+            if f == 0 {
+                continue;
+            }
+            let row = &mut self.data[i * stride..(i + 1) * stride];
+            for (v, &pv) in row.iter_mut().zip(prow.iter()) {
+                *v = v.checked_mul(p)?.checked_sub(f.checked_mul(pv)?)?;
+            }
+            self.den[i] = self.den[i].checked_mul(p)?;
+            self.normalize_row(i)?;
+        }
+        let f = self.cost[c];
+        if f != 0 {
+            for (v, &pv) in self.cost.iter_mut().zip(prow.iter()) {
+                *v = v.checked_mul(p)?.checked_sub(f.checked_mul(pv)?)?;
+            }
+            self.valnum = self
+                .valnum
+                .checked_mul(p)?
+                .checked_add(f.checked_mul(prow[self.ncols])?)?;
+            self.cost_den = self.cost_den.checked_mul(p)?;
+            self.normalize_cost()?;
+        }
+        if p < 0 {
+            let row = &mut self.data[r * stride..(r + 1) * stride];
+            for v in row.iter_mut() {
+                *v = v.checked_neg()?;
+            }
+        }
+        self.basis[r] = c;
+        self.scratch = prow;
+        Some(())
+    }
+
+    /// Installs an integer objective row, pricing it out against the
+    /// current basis (basic columns end with reduced cost zero). Mirrors
+    /// the rational `install_objective` row-for-row.
+    fn install_objective(&mut self, cost: Vec<i128>) -> Option<()> {
+        debug_assert_eq!(cost.len(), self.ncols);
+        self.cost = cost;
+        self.valnum = 0;
+        self.cost_den = 1;
+        let stride = self.stride;
+        for r in 0..self.rows() {
+            let cb = self.cost[self.basis[r]];
+            if cb == 0 {
+                continue;
+            }
+            // Positive by the positive-scale invariant: the rational row
+            // has +1 in its basic column.
+            let pb = self.data[r * stride + self.basis[r]];
+            debug_assert!(pb > 0);
+            let mut valnum = self.valnum.checked_mul(pb)?;
+            for (v, j) in self.cost.iter_mut().zip(0..) {
+                *v = v
+                    .checked_mul(pb)?
+                    .checked_sub(cb.checked_mul(self.data[r * stride + j])?)?;
+            }
+            valnum = valnum.checked_add(cb.checked_mul(self.data[r * stride + self.ncols])?)?;
+            self.valnum = valnum;
+            self.cost_den = self.cost_den.checked_mul(pb)?;
+            self.normalize_cost()?;
+        }
+        Some(())
+    }
+
+    /// Primal simplex with Bland's rule; identical pivot choices to the
+    /// rational reference. Returns the run outcome and the pivot count, or
+    /// `None` on overflow.
+    fn run(&mut self) -> Option<(RunResult, u64)> {
+        let mut pivots = 0u64;
+        loop {
+            let Some(c) = (0..self.ncols).find(|&j| self.enterable(j) && self.cost[j] < 0) else {
+                return Some((RunResult::Optimal, pivots));
+            };
+            // Min-ratio on b_r / a_rc (per-row denominators cancel),
+            // cross-multiplied; ties break on the smaller basis index.
+            let mut leave: Option<usize> = None;
+            for r in 0..self.rows() {
+                let arc = self.at(r, c);
+                if arc <= 0 {
+                    continue;
+                }
+                let better = match leave {
+                    None => true,
+                    Some(l) => {
+                        let lhs = self.b(r).checked_mul(self.at(l, c))?;
+                        let rhs = self.b(l).checked_mul(arc)?;
+                        lhs < rhs || (lhs == rhs && self.basis[r] < self.basis[l])
+                    }
+                };
+                if better {
+                    leave = Some(r);
+                }
+            }
+            let Some(r) = leave else {
+                return Some((RunResult::Unbounded, pivots));
+            };
+            self.pivot(r, c)?;
+            pivots += 1;
+        }
+    }
+
+    /// Accumulates the values of the original variables from the basic
+    /// rows. The basic value is `b_r / a_r,bv` — the row denominator
+    /// cancels, and `a_r,bv > 0` by the positive-scale invariant.
+    fn read_point(&self, n: usize, split: bool) -> Vec<Rat> {
+        let mut point = vec![Rat::ZERO; n];
+        for r in 0..self.rows() {
+            let bv = self.basis[r];
+            if bv < n {
+                point[bv] += Rat::new(self.b(r), self.at(r, bv));
+            } else if split && bv < 2 * n {
+                point[bv - n] -= Rat::new(self.b(r), self.at(r, bv));
+            }
+        }
+        point
+    }
+
+    /// The objective value `valnum / cost_den`, unscaled by `obj_scale`
+    /// and shifted by the objective's constant term.
+    fn value(&self, obj_scale: i128, obj_const: Rat) -> Rat {
+        Rat::new(self.valnum, self.cost_den) / Rat::int(obj_scale) + obj_const
+    }
+
+    /// Appends a fresh all-zero column (re-striding the flat storage) and
+    /// returns its index. Used by warm starts to add the new bound's slack.
+    fn append_column(&mut self) -> usize {
+        let old = self.stride;
+        let ncols = self.ncols;
+        let m = self.rows();
+        let mut data = vec![0i128; m * (old + 1)];
+        for r in 0..m {
+            let src = &self.data[r * old..(r + 1) * old];
+            let dst = &mut data[r * (old + 1)..r * (old + 1) + old + 1];
+            dst[..ncols].copy_from_slice(&src[..ncols]);
+            dst[ncols] = 0;
+            dst[ncols + 1] = src[ncols];
+        }
+        self.data = data;
+        self.ncols += 1;
+        self.stride += 1;
+        self.cost.push(0);
+        ncols
+    }
+}
+
+/// The exported optimal basis of a solved LP over a non-split variable
+/// space, reusable as a dual-simplex warm start after one more constraint
+/// is pushed (branch-and-bound's child nodes).
+#[derive(Clone)]
+pub(crate) struct LpBasis {
+    tab: IntTableau,
+    n: usize,
+    obj_scale: i128,
+    obj_const: Rat,
+}
+
+/// Result of a warm-started (dual simplex) re-solve.
+pub(crate) enum WarmOutcome {
+    /// The child LP is empty. Always safe to use: no point is produced.
+    Infeasible,
+    /// The child LP solved to optimality. `value` is always trustworthy
+    /// (the optimal value is unique); `point` may be used only when
+    /// `unique` proves the optimal vertex is the one every correct solver
+    /// — in particular the cold reference path — must return.
+    Optimal {
+        value: Rat,
+        point: Vec<Rat>,
+        unique: bool,
+        basis: Box<LpBasis>,
+    },
+}
+
+/// Solves the LP with the integer tableau, mirroring the rational
+/// reference decision-for-decision. Returns `None` if any intermediate
+/// value overflows `i128` (callers fall back to the reference solver), and
+/// otherwise the outcome plus — when requested and the variable space
+/// needed no sign-splitting — the optimal basis for warm starts.
+pub(crate) fn solve_int(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    want_basis: bool,
+) -> Option<(LpOutcome, Option<LpBasis>, PivotWork)> {
+    let n = set.n_vars();
+    let mut work = PivotWork::default();
+    if set.has_trivial_contradiction() {
+        return Some((LpOutcome::Infeasible, None, work));
+    }
+    // Mirror of the reference: skip the p−q split (and drop the sign rows)
+    // when every variable carries an explicit `x >= 0` constraint.
+    let mut nonneg = vec![false; n];
+    for c in set.constraints() {
+        if c.kind() == ConstraintKind::Ge && is_sign_row(c.expr()) {
+            if let Some(v) = single_var(c.expr()) {
+                nonneg[v] = true;
+            }
+        }
+    }
+    let split = !nonneg.iter().all(|&b| b) || n == 0;
+    let rows: Vec<&Constraint> = set
+        .constraints()
+        .iter()
+        .filter(|c| split || !(c.kind() == ConstraintKind::Ge && is_sign_row(c.expr())))
+        .collect();
+    let m = rows.len();
+    if m == 0 {
+        let unbounded = if split {
+            !objective.is_constant()
+        } else {
+            objective.coeffs().iter().any(Rat::is_negative)
+        };
+        let out = if unbounded {
+            LpOutcome::Unbounded
+        } else {
+            LpOutcome::Optimal {
+                point: vec![Rat::ZERO; n],
+                value: objective.constant_term(),
+            }
+        };
+        return Some((out, None, work));
+    }
+
+    let n_x = if split { 2 * n } else { n };
+    let n_slack = rows
+        .iter()
+        .filter(|c| c.kind() == ConstraintKind::Ge)
+        .count();
+    let n_struct = n_x + n_slack;
+
+    // Constraints are coprime-integer by construction; the defensive
+    // integer extraction below only fails on a malformed expression, in
+    // which case the rational path handles it.
+    let mut raw: Vec<Vec<i128>> = Vec::with_capacity(m);
+    let mut basis0: Vec<Option<usize>> = vec![None; m];
+    let mut slack_idx = n_x;
+    for (r, c) in rows.iter().enumerate() {
+        let mut row = vec![0i128; n_struct + 1];
+        for (i, coef) in c.expr().coeffs().iter().enumerate() {
+            let v = int_of(*coef)?;
+            row[i] = v;
+            if split {
+                row[n + i] = v.checked_neg()?;
+            }
+        }
+        row[n_struct] = int_of(c.expr().constant_term())?.checked_neg()?;
+        let mut slack: Option<usize> = None;
+        if c.kind() == ConstraintKind::Ge {
+            row[slack_idx] = -1;
+            slack = Some(slack_idx);
+            slack_idx += 1;
+        }
+        if row[n_struct] < 0 {
+            for v in row.iter_mut() {
+                *v = v.checked_neg()?;
+            }
+            basis0[r] = slack;
+        } else if row[n_struct] == 0 {
+            if let Some(s) = slack {
+                for v in row.iter_mut() {
+                    *v = v.checked_neg()?;
+                }
+                basis0[r] = Some(s);
+            }
+        }
+        raw.push(row);
+    }
+    let needy: Vec<usize> = (0..m).filter(|&r| basis0[r].is_none()).collect();
+    let n_total = n_struct + needy.len();
+    let stride = n_total + 1;
+    let mut data = vec![0i128; m * stride];
+    for (r, row) in raw.iter().enumerate() {
+        data[r * stride..r * stride + n_struct].copy_from_slice(&row[..n_struct]);
+        data[r * stride + n_total] = row[n_struct];
+    }
+    for (k, &r) in needy.iter().enumerate() {
+        data[r * stride + n_struct + k] = 1;
+        basis0[r] = Some(n_struct + k);
+    }
+
+    let mut tab = IntTableau {
+        ncols: n_total,
+        stride,
+        data,
+        den: vec![1; m],
+        cost: vec![0; n_total],
+        valnum: 0,
+        cost_den: 1,
+        basis: basis0.into_iter().map(|o| o.expect("row basis")).collect(),
+        art_lo: n_struct,
+        art_hi: n_total,
+        bar_artificials: false,
+        scratch: Vec::with_capacity(stride),
+    };
+
+    // Phase 1: minimize the artificial sum.
+    if !needy.is_empty() {
+        let mut phase1 = vec![0i128; n_total];
+        for slot in phase1.iter_mut().take(n_total).skip(n_struct) {
+            *slot = 1;
+        }
+        tab.install_objective(phase1)?;
+        let (res, pivots) = tab.run()?;
+        work.phase1 += pivots;
+        if res == RunResult::Unbounded {
+            unreachable!("phase-1 objective is bounded below by zero");
+        }
+        if tab.valnum > 0 {
+            return Some((LpOutcome::Infeasible, None, work));
+        }
+        // Drive basic artificials out where a structural pivot exists.
+        for r in 0..m {
+            if tab.basis[r] >= n_struct {
+                if let Some(c) = (0..n_struct).find(|&c| tab.at(r, c) != 0) {
+                    tab.pivot(r, c)?;
+                    work.phase1 += 1;
+                }
+            }
+        }
+    }
+    tab.bar_artificials = true;
+
+    // Phase 2: the real objective, cleared of denominators. The scale is
+    // positive, so reduced-cost signs — and hence pivots — are unchanged.
+    let mut obj_scale: i128 = 1;
+    for i in 0..n {
+        obj_scale = lcm(obj_scale, objective.coeff(i).denom());
+    }
+    let mut phase2 = vec![0i128; n_total];
+    for i in 0..n {
+        let c = objective.coeff(i);
+        let v = c.numer().checked_mul(obj_scale / c.denom())?;
+        phase2[i] = v;
+        if split {
+            phase2[n + i] = v.checked_neg()?;
+        }
+    }
+    tab.install_objective(phase2)?;
+    let (res, pivots) = tab.run()?;
+    work.phase2 += pivots;
+    if res == RunResult::Unbounded {
+        return Some((LpOutcome::Unbounded, None, work));
+    }
+
+    let point = tab.read_point(n, split);
+    let value = tab.value(obj_scale, objective.constant_term());
+    let basis = if want_basis && !split {
+        Some(LpBasis {
+            tab,
+            n,
+            obj_scale,
+            obj_const: objective.constant_term(),
+        })
+    } else {
+        None
+    };
+    Some((LpOutcome::Optimal { point, value }, basis, work))
+}
+
+/// Re-solves the parent's LP with one extra `expr >= 0` row, repairing the
+/// parent's optimal basis with dual simplex pivots instead of a cold
+/// two-phase solve. Returns the outcome and the repair pivot count, or
+/// `None` when the caller should fall back to a cold solve (overflow, a
+/// non-integer row, or the pivot cap).
+pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(WarmOutcome, u64)> {
+    debug_assert_eq!(extra.kind(), ConstraintKind::Ge);
+    let mut tab = parent.tab.clone();
+    let n = parent.n;
+    let col = tab.append_column();
+    let stride = tab.stride;
+    let ncols = tab.ncols;
+
+    // New row for `expr - s = 0` with the fresh slack `s >= 0`.
+    let mut row = vec![0i128; stride];
+    for (i, coef) in extra.expr().coeffs().iter().enumerate() {
+        row[i] = int_of(*coef)?;
+    }
+    row[col] = -1;
+    row[ncols] = int_of(extra.expr().constant_term())?.checked_neg()?;
+    let mut den: i128 = 1;
+    // Price the row out against the current basis: zero each basic column
+    // (basic columns of distinct rows are disjoint, so one sweep works).
+    for r in 0..tab.rows() {
+        let cb = tab.basis[r];
+        let f = row[cb];
+        if f == 0 {
+            continue;
+        }
+        let pb = tab.at(r, cb);
+        debug_assert!(pb > 0);
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = v
+                .checked_mul(pb)?
+                .checked_sub(f.checked_mul(tab.data[r * stride + j])?)?;
+        }
+        den = den.checked_mul(pb)?;
+    }
+    // The eliminations only scaled the fresh slack's coefficient, which
+    // started at -1: negate the row so the slack is basic with a positive
+    // coefficient (the positive-scale invariant).
+    debug_assert!(row[col] < 0);
+    for v in row.iter_mut() {
+        *v = v.checked_neg()?;
+    }
+    let r_new = tab.rows();
+    tab.data.extend_from_slice(&row);
+    tab.den.push(den);
+    tab.basis.push(col);
+    tab.normalize_row(r_new)?;
+
+    // Dual simplex: the basis is dual-feasible (parent-optimal reduced
+    // costs are nonnegative); repair primal feasibility. Bland-style
+    // anti-cycling: leaving row with the smallest basis index among the
+    // violated, entering column by cross-multiplied dual ratio with ties
+    // to the smallest column.
+    let mut pivots = 0u64;
+    loop {
+        let mut leave: Option<usize> = None;
+        for r in 0..tab.rows() {
+            if tab.b(r) < 0 && leave.is_none_or(|l| tab.basis[r] < tab.basis[l]) {
+                leave = Some(r);
+            }
+        }
+        let Some(r) = leave else {
+            break;
+        };
+        let mut enter: Option<usize> = None;
+        for j in 0..tab.ncols {
+            if !tab.enterable(j) || tab.at(r, j) >= 0 {
+                continue;
+            }
+            let na_j = tab.at(r, j).checked_neg()?;
+            let better = match enter {
+                None => true,
+                Some(e) => {
+                    let na_e = tab.at(r, e).checked_neg()?;
+                    tab.cost[j].checked_mul(na_e)? < tab.cost[e].checked_mul(na_j)?
+                }
+            };
+            if better {
+                enter = Some(j);
+            }
+        }
+        let Some(c) = enter else {
+            // Dual unbounded: the child LP has no feasible point.
+            return Some((WarmOutcome::Infeasible, pivots));
+        };
+        tab.pivot(r, c)?;
+        pivots += 1;
+        if pivots > DUAL_PIVOT_LIMIT {
+            return None;
+        }
+    }
+
+    let value = tab.value(parent.obj_scale, parent.obj_const);
+    let point = tab.read_point(n, false);
+    // The optimum point is provably the one the cold path would return
+    // only when it is the *unique* optimum: every enterable nonbasic
+    // column must have a strictly positive reduced cost (and, extra
+    // conservatively, no artificial may sit in the basis).
+    let mut basic = vec![false; tab.ncols];
+    for &bv in &tab.basis {
+        basic[bv] = true;
+    }
+    let strictly_positive =
+        (0..tab.ncols).all(|j| basic[j] || !tab.enterable(j) || tab.cost[j] > 0);
+    let no_basic_artificial = tab
+        .basis
+        .iter()
+        .all(|&bv| !(bv >= tab.art_lo && bv < tab.art_hi));
+    let unique = strictly_positive && no_basic_artificial;
+    let basis = Box::new(LpBasis {
+        tab,
+        n,
+        obj_scale: parent.obj_scale,
+        obj_const: parent.obj_const,
+    });
+    Some((
+        WarmOutcome::Optimal {
+            value,
+            point,
+            unique,
+            basis,
+        },
+        pivots,
+    ))
+}
+
+fn int_of(r: Rat) -> Option<i128> {
+    r.to_integer()
+}
+
+/// Whether the expression is exactly `x_v` for some variable `v` (an
+/// explicit sign constraint when used as `expr >= 0`).
+pub(crate) fn is_sign_row(e: &LinExpr) -> bool {
+    e.constant_term().is_zero()
+        && e.coeffs().iter().filter(|c| !c.is_zero()).count() == 1
+        && e.coeffs().iter().all(|c| c.is_zero() || *c == Rat::ONE)
+}
+
+pub(crate) fn single_var(e: &LinExpr) -> Option<usize> {
+    e.coeffs().iter().position(|c| !c.is_zero())
+}

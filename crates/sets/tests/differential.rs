@@ -1,0 +1,251 @@
+//! Differential tests pinning the rewritten solver hot paths to their
+//! retained reference implementations, on deterministic PRNG-driven
+//! random instances (SplitMix64; the build is fully offline, so no
+//! `proptest`):
+//!
+//! * [`minimize`] (integer fraction-free tableau) vs
+//!   [`minimize_reference`] (rational dense tableau) — **exact** outcome
+//!   equality including the tie-broken optimum point, across feasible,
+//!   infeasible, unbounded and free-variable (split-mode) instances;
+//! * [`minimize_integer`] (dual warm-started branch-and-bound) vs
+//!   [`minimize_integer_reference`] (cold clone-per-node search);
+//! * [`eliminate_var`] (integer row combinations) vs
+//!   [`eliminate_var_reference`] (rational combinations) — syntactic
+//!   constraint-set equality;
+//! * [`is_integer_feasible`] (preprocessed) vs
+//!   [`is_integer_feasible_reference`] (raw branch-and-bound).
+
+use polyject_arith::{Rat, SplitMix64};
+use polyject_sets::{
+    eliminate_var, eliminate_var_reference, is_integer_feasible, is_integer_feasible_reference,
+    minimize, minimize_integer, minimize_integer_reference, minimize_reference, Constraint,
+    ConstraintSet, LinExpr,
+};
+
+/// A random bounded set: a box `[0, hi]` per variable plus random
+/// half-spaces and occasionally an equality. May be integer-infeasible.
+fn arb_bounded_set(g: &mut SplitMix64, n: usize) -> ConstraintSet {
+    let mut s = ConstraintSet::universe(n);
+    for v in 0..n {
+        let hi = g.range_i128(1, 7);
+        let mut lo = vec![0i128; n];
+        lo[v] = 1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&lo, 0)));
+        let mut up = vec![0i128; n];
+        up[v] = -1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&up, hi)));
+    }
+    for _ in 0..g.below(4) {
+        let coeffs = g.vec_i128(n, -4, 5);
+        let k = g.range_i128(-8, 9);
+        if g.below(5) == 0 {
+            s.add(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k)));
+        } else {
+            s.add(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+        }
+    }
+    s
+}
+
+/// A fully random set: no guaranteed box, so variables may be free
+/// (exercising the simplex split mode) and objectives may be unbounded;
+/// contradictions arise naturally.
+fn arb_general_set(g: &mut SplitMix64, n: usize) -> ConstraintSet {
+    let mut s = ConstraintSet::universe(n);
+    for _ in 0..g.below(6) + 1 {
+        let coeffs = g.vec_i128(n, -4, 5);
+        let k = g.range_i128(-8, 9);
+        if g.below(6) == 0 {
+            s.add(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k)));
+        } else {
+            s.add(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+        }
+    }
+    s
+}
+
+/// A random objective, sometimes with rational coefficients (exercising
+/// the tableau's objective denominator scaling).
+fn arb_objective(g: &mut SplitMix64, n: usize) -> LinExpr {
+    if g.below(4) == 0 {
+        let coeffs: Vec<Rat> = (0..n)
+            .map(|_| Rat::new(g.range_i128(-5, 6), g.range_i128(1, 4)))
+            .collect();
+        LinExpr::from_rat_coeffs(coeffs, Rat::new(g.range_i128(-3, 4), g.range_i128(1, 3)))
+    } else {
+        LinExpr::from_coeffs(&g.vec_i128(n, -4, 5), g.range_i128(-3, 4))
+    }
+}
+
+/// The integer tableau must reproduce the rational simplex **exactly**:
+/// same outcome variant, same optimal value, and the same tie-broken
+/// vertex, on bounded boxes.
+#[test]
+fn lp_integer_tableau_matches_rational_reference_bounded() {
+    let mut g = SplitMix64::new(0x5E75_1001);
+    for _ in 0..256 {
+        let n = 1 + g.below(4);
+        let set = arb_bounded_set(&mut g, n);
+        let obj = arb_objective(&mut g, n);
+        let fast = minimize(&obj, &set);
+        let refr = minimize_reference(&obj, &set);
+        assert_eq!(fast, refr, "set {set:?} obj {obj:?}");
+    }
+}
+
+/// Same agreement on unconstrained-variable instances, where the solver
+/// splits each free variable into a difference of nonnegative ones, and
+/// on naturally infeasible and unbounded instances.
+#[test]
+fn lp_integer_tableau_matches_rational_reference_general() {
+    let mut g = SplitMix64::new(0x5E75_1002);
+    let mut seen_infeasible = 0u32;
+    let mut seen_unbounded = 0u32;
+    for _ in 0..256 {
+        let n = 1 + g.below(4);
+        let set = arb_general_set(&mut g, n);
+        let obj = arb_objective(&mut g, n);
+        let fast = minimize(&obj, &set);
+        let refr = minimize_reference(&obj, &set);
+        assert_eq!(fast, refr, "set {set:?} obj {obj:?}");
+        match fast {
+            polyject_sets::LpOutcome::Infeasible => seen_infeasible += 1,
+            polyject_sets::LpOutcome::Unbounded => seen_unbounded += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        seen_infeasible > 0 && seen_unbounded > 0,
+        "generator must exercise infeasible ({seen_infeasible}) and unbounded ({seen_unbounded}) paths"
+    );
+}
+
+/// The warm-started branch-and-bound must agree with the cold
+/// clone-per-node reference — same outcome, value, and optimum point.
+/// Instances are biased toward fractional LP relaxations (odd constants
+/// against even coefficients) so the search actually branches and the
+/// dual-simplex repair path runs.
+#[test]
+fn ilp_warm_start_agrees_with_cold_reference() {
+    let mut g = SplitMix64::new(0x5E75_1003);
+    for _ in 0..192 {
+        let n = 2 + g.below(2);
+        let mut set = arb_bounded_set(&mut g, n);
+        // A plane like 2x + 2y >= 5 forces a fractional vertex.
+        let coeffs: Vec<i128> = (0..n).map(|_| 2 * g.range_i128(0, 3)).collect();
+        if coeffs.iter().any(|&c| c != 0) {
+            let k = -(2 * g.range_i128(0, 6) + 1);
+            set.add(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+        }
+        let obj = LinExpr::from_coeffs(&g.vec_i128(n, -4, 5), 0);
+        let fast = minimize_integer(&obj, &set);
+        let refr = minimize_integer_reference(&obj, &set);
+        assert_eq!(fast, refr, "set {set:?} obj {obj:?}");
+    }
+}
+
+/// Fourier–Motzkin with integer row combinations must produce
+/// syntactically identical constraint sets to the rational path — both
+/// the equality-substitution and the pairwise inequality branch.
+#[test]
+fn fm_integer_combinations_match_rational_reference() {
+    let mut g = SplitMix64::new(0x5E75_1004);
+    for _ in 0..256 {
+        let n = 2 + g.below(3);
+        let set = if g.below(2) == 0 {
+            arb_bounded_set(&mut g, n)
+        } else {
+            arb_general_set(&mut g, n)
+        };
+        let var = g.below(n);
+        let fast = eliminate_var(&set, var);
+        let refr = eliminate_var_reference(&set, var);
+        assert_eq!(fast, refr, "set {set:?} var {var}");
+    }
+}
+
+/// Preprocessed integer-feasibility must answer exactly like the raw
+/// branch-and-bound reference, including lattice-gap infeasibilities
+/// that preprocessing short-circuits without any LP solve. Instances
+/// stay bounded: on unbounded lattice-gap strips the *reference* search
+/// visits thousands of nodes before its node limit trips (that blowup
+/// is exactly what preprocessing exists to avoid), which would make the
+/// differential itself intractable.
+#[test]
+fn integer_feasibility_preprocessing_agrees_with_reference() {
+    let mut g = SplitMix64::new(0x5E75_1005);
+    for _ in 0..128 {
+        let n = 1 + g.below(3);
+        let mut set = arb_bounded_set(&mut g, n);
+        // Sprinkle in lattice-gap rows: g*x == odd, or a/g-tightenable
+        // inequality.
+        match g.below(4) {
+            0 => {
+                let mut coeffs = vec![0i128; n];
+                coeffs[g.below(n)] = 2 * g.range_i128(1, 4);
+                let k = 2 * g.range_i128(-3, 4) + 1;
+                set.add(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k)));
+            }
+            1 => {
+                let coeffs: Vec<i128> = (0..n).map(|_| 3 * g.range_i128(-2, 3)).collect();
+                set.add(Constraint::ge0(LinExpr::from_coeffs(
+                    &coeffs,
+                    g.range_i128(-9, 10),
+                )));
+            }
+            _ => {}
+        }
+        assert_eq!(
+            is_integer_feasible(&set),
+            is_integer_feasible_reference(&set),
+            "set {set:?}"
+        );
+    }
+}
+
+/// Hand-picked regressions: the exact shapes the random generators can
+/// miss — rational-gap boxes, pinned equalities, and free-variable LPs
+/// with non-integer optima.
+#[test]
+fn differential_corner_cases() {
+    // 1/3 <= x <= 2/3: rationally feasible, integrally empty.
+    let gap = ConstraintSet::from_constraints(
+        1,
+        vec![
+            Constraint::ge0(LinExpr::from_coeffs(&[3], -1)),
+            Constraint::ge0(LinExpr::from_coeffs(&[-3], 2)),
+        ],
+    );
+    assert_eq!(
+        is_integer_feasible(&gap),
+        is_integer_feasible_reference(&gap)
+    );
+    assert!(!is_integer_feasible(&gap));
+
+    // Free variable, fractional optimum: min x s.t. 2x >= 1 (x free).
+    let free =
+        ConstraintSet::from_constraints(1, vec![Constraint::ge0(LinExpr::from_coeffs(&[2], -1))]);
+    let obj = LinExpr::var(1, 0);
+    assert_eq!(minimize(&obj, &free), minimize_reference(&obj, &free));
+
+    // Unbounded below through a free variable.
+    let unb =
+        ConstraintSet::from_constraints(2, vec![Constraint::ge0(LinExpr::from_coeffs(&[1, 1], 0))]);
+    let obj = LinExpr::from_coeffs(&[1, -1], 0);
+    assert_eq!(minimize(&obj, &unb), minimize_reference(&obj, &unb));
+
+    // Equality-pinned ILP solved entirely by substitution.
+    let pinned = ConstraintSet::from_constraints(
+        2,
+        vec![
+            Constraint::eq0(LinExpr::from_coeffs(&[3, 0], -12)),
+            Constraint::ge0(LinExpr::from_coeffs(&[0, 1], 0)),
+            Constraint::ge0(LinExpr::from_coeffs(&[0, -1], 5)),
+        ],
+    );
+    let obj = LinExpr::from_coeffs(&[1, 1], 0);
+    assert_eq!(
+        minimize_integer(&obj, &pinned),
+        minimize_integer_reference(&obj, &pinned)
+    );
+}

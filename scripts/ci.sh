@@ -33,6 +33,10 @@ cargo test -q
 step "workspace tests (every crate, incl. serve daemon/cache suites)"
 cargo test --workspace -q
 
+step "solver identity gate (integer tableau / warm start / FM vs references)"
+cargo test --release -q -p polyject-sets --test differential
+echo "ok: rewritten solver paths agree with retained rational references"
+
 step "table2 --fast smoke (serial vs parallel identity, <10 s)"
 smoke_json="$(mktemp)"
 scratch="$(mktemp -d)"
@@ -41,6 +45,21 @@ cargo run --release -q -p polyject-bench --bin table2 -- \
   --fast --bench --stats --json "$smoke_json" >/dev/null
 grep -q '"identical": true' "$smoke_json"
 echo "ok: serial and parallel --fast runs identical"
+# Counters snapshot: the solver section must report real work (a silently
+# zeroed counter would mean the instrumentation came unwired).
+python3 - "$smoke_json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+s = doc["serial"]["solver"]
+assert s["lp_solves"] > 0, s
+assert s["ilp_solves"] > 0, s
+assert s["fm_eliminations"] > 0, s
+assert s["lp_phase1_pivots"] + s["lp_phase2_pivots"] > 0, s
+print("   solver counters:", json.dumps(s))
+if doc.get("parallel_skipped"):
+    print("   (single-core box: parallel leg ran serially as a determinism repeat)")
+EOF
+echo "ok: solver counters snapshot recorded"
 
 step "schedule-cache round-trip (table2 --fast --cache-bench)"
 cache_json="$scratch/cache_bench.json"
