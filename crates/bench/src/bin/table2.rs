@@ -33,7 +33,8 @@ fn print_stats(label: &str, run: &Table2Run) {
     eprintln!(
         "[stats] {label}: {} unique ops, {} workers, wall {:.2}s, compile {:.1}ms \
          | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {} \
-         | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms",
+         | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms \
+         | degraded {} cancelled {} panics_recovered {}",
         run.unique_ops,
         run.workers,
         run.wall_s,
@@ -46,7 +47,10 @@ fn print_stats(label: &str, run: &Table2Run) {
         c.lp_phase2_pivots,
         c.bb_repair_pivots,
         c.bb_warm_nodes,
-        c.preprocess_ns as f64 / 1e6
+        c.preprocess_ns as f64 / 1e6,
+        c.degraded_solves,
+        c.cancelled_solves,
+        c.panics_recovered
     );
 }
 

@@ -222,12 +222,13 @@ pub fn render_bench_json(b: &Table2Bench) -> String {
         let c = &r.perf.counters;
         write!(
             out,
-            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {}, \"lp_phase1_pivots\": {}, \"lp_phase2_pivots\": {}, \"bb_repair_pivots\": {}, \"bb_warm_nodes\": {}, \"preprocess_ms\": {:.3} }}\n  }}",
+            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {}, \"lp_phase1_pivots\": {}, \"lp_phase2_pivots\": {}, \"bb_repair_pivots\": {}, \"bb_warm_nodes\": {}, \"preprocess_ms\": {:.3}, \"degraded_solves\": {}, \"cancelled_solves\": {}, \"panics_recovered\": {} }}\n  }}",
             r.wall_s, r.workers, r.unique_ops, r.perf.compile_ms,
             c.lp_solves, c.ilp_solves, c.ilp_nodes, c.fm_eliminations,
             c.lp_phase1_pivots, c.lp_phase2_pivots,
             c.bb_repair_pivots, c.bb_warm_nodes,
-            c.preprocess_ns as f64 / 1e6
+            c.preprocess_ns as f64 / 1e6,
+            c.degraded_solves, c.cancelled_solves, c.panics_recovered
         )
         .unwrap();
     }
@@ -387,6 +388,9 @@ mod tests {
             "\"bb_repair_pivots\"",
             "\"bb_warm_nodes\"",
             "\"preprocess_ms\"",
+            "\"degraded_solves\"",
+            "\"cancelled_solves\"",
+            "\"panics_recovered\"",
             "\"parallel_skipped\": false",
             "\"networks\": [",
         ] {

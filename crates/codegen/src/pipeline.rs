@@ -5,8 +5,8 @@ use crate::ast::Ast;
 use crate::gen::generate_ast;
 use crate::passes::{map_to_gpu, vectorize, MappingOptions};
 use polyject_core::{
-    build_influence_tree, schedule_kernel, InfluenceOptions, InfluenceTree, Schedule,
-    ScheduleError, SchedulerOptions,
+    build_influence_tree, schedule_kernel_budgeted, Budget, InfluenceOptions, InfluenceTree,
+    Schedule, ScheduleError, SchedulerOptions,
 };
 use polyject_deps::{compute_dependences, DepOptions};
 use polyject_ir::Kernel;
@@ -117,6 +117,19 @@ pub fn render_artifacts(kernel: &Kernel, compiled: &Compiled) -> Artifacts {
 /// assert!(infl.influenced);
 /// ```
 pub fn compile(kernel: &Kernel, config: Config) -> Result<Compiled, ScheduleError> {
+    compile_with_budget(kernel, config, &Budget::unlimited())
+}
+
+/// [`compile`] under a cooperative [`Budget`]: the scheduling phase checks
+/// the budget's deadline, caps and cancel flag, degrading to an
+/// uninfluenced schedule on exhaustion and aborting with a structured
+/// error on cancellation (see
+/// [`polyject_core::schedule_kernel_budgeted`]).
+pub fn compile_with_budget(
+    kernel: &Kernel,
+    config: Config,
+    budget: &Budget,
+) -> Result<Compiled, ScheduleError> {
     let deps = compute_dependences(kernel, DepOptions::default());
     let tree = match config {
         Config::Isl => InfluenceTree::new(),
@@ -124,7 +137,8 @@ pub fn compile(kernel: &Kernel, config: Config) -> Result<Compiled, ScheduleErro
             build_influence_tree(kernel, &InfluenceOptions::default())
         }
     };
-    let result = schedule_kernel(kernel, &deps, &tree, SchedulerOptions::default())?;
+    let result =
+        schedule_kernel_budgeted(kernel, &deps, &tree, SchedulerOptions::default(), budget)?;
     let mut ast = generate_ast(kernel, &result.schedule);
     crate::passes::refine_parallel_loops(&mut ast, &result.schedule, &deps);
     let vector_loops = if config == Config::Influenced {

@@ -24,7 +24,7 @@ use crate::schedule::{DimFlags, Schedule, ScheduleRow};
 use crate::tree::{InfluenceTree, NodeId};
 use polyject_deps::{DepGraph, DepKind, DepRelation, Dependences};
 use polyject_ir::{Kernel, StmtId};
-use polyject_sets::{lexmin_integer, ConstraintSet, IlpOutcome};
+use polyject_sets::{try_lexmin_integer, Budget, BudgetError, ConstraintSet, IlpOutcome};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -57,13 +57,65 @@ impl Default for SchedulerOptions {
     }
 }
 
+/// A Feautrier dimension solution: the layout-space coefficient vector
+/// plus the indices (into the remaining set's iteration order) of the
+/// dependences it strongly satisfies. `None` when the 0/1 ILP found
+/// nothing worth emitting.
+type FeautrierSolution = Option<(Vec<i128>, Vec<usize>)>;
+
+/// Why schedule construction failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleErrorKind {
+    /// No valid schedule was found within the attempt limits.
+    Infeasible,
+    /// A resource budget (deadline, node/pivot/row cap) was exhausted
+    /// before a schedule could be completed, even after degradation.
+    Exhausted,
+    /// The shared cancel flag tripped; the caller abandoned the compile.
+    Cancelled,
+}
+
 /// Failure of schedule construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ScheduleError(String);
+pub struct ScheduleError {
+    kind: ScheduleErrorKind,
+    msg: String,
+}
+
+impl ScheduleError {
+    fn infeasible(msg: impl Into<String>) -> ScheduleError {
+        ScheduleError {
+            kind: ScheduleErrorKind::Infeasible,
+            msg: msg.into(),
+        }
+    }
+
+    fn from_budget(e: BudgetError) -> ScheduleError {
+        let kind = match e {
+            BudgetError::Cancelled => ScheduleErrorKind::Cancelled,
+            BudgetError::Exhausted(_) => ScheduleErrorKind::Exhausted,
+        };
+        ScheduleError {
+            kind,
+            msg: e.to_string(),
+        }
+    }
+
+    /// Why scheduling failed.
+    pub fn kind(&self) -> ScheduleErrorKind {
+        self.kind
+    }
+
+    /// Whether the failure was a cooperative cancellation (the caller
+    /// abandoned the compile; no fallback was attempted).
+    pub fn is_cancelled(&self) -> bool {
+        self.kind == ScheduleErrorKind::Cancelled
+    }
+}
 
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scheduling failed: {}", self.0)
+        write!(f, "scheduling failed: {}", self.msg)
     }
 }
 
@@ -91,6 +143,10 @@ pub struct ScheduleStats {
     /// Per-dimension constraint systems served from the assemble cache
     /// instead of being rebuilt (ladder retries at an unchanged schedule).
     pub assemble_cache_hits: usize,
+    /// Solves that exhausted their budget and were degraded through the
+    /// backtracking ladder (influence dropped, retried relaxed) instead of
+    /// failing the compile.
+    pub degraded_solves: u64,
 }
 
 impl ScheduleStats {
@@ -100,6 +156,7 @@ impl ScheduleStats {
         self.lp_solves += d.lp_solves;
         self.ilp_nodes += d.ilp_nodes;
         self.fm_eliminations += d.fm_eliminations;
+        self.degraded_solves += d.degraded_solves;
     }
 
     /// Merges another run's stats into these (used when the uninfluenced
@@ -113,6 +170,7 @@ impl ScheduleStats {
         self.ilp_nodes += other.ilp_nodes;
         self.fm_eliminations += other.fm_eliminations;
         self.assemble_cache_hits += other.assemble_cache_hits;
+        self.degraded_solves += other.degraded_solves;
     }
 }
 
@@ -142,8 +200,46 @@ pub fn schedule_kernel(
     tree: &InfluenceTree,
     opts: SchedulerOptions,
 ) -> Result<ScheduleResult, ScheduleError> {
+    schedule_kernel_budgeted(kernel, deps, tree, opts, &Budget::unlimited())
+}
+
+/// [`schedule_kernel`] under a cooperative [`Budget`].
+///
+/// Budget exhaustion takes the same backtracking ladder as infeasibility:
+/// a solve that runs out of nodes, pivots, rows or wall-clock at an
+/// injection level is treated as an infeasible level — influence
+/// constraints are dropped and the step retried relaxed — and the
+/// ultimate fallback re-runs without any influence under a cancel-only
+/// budget, so a pathological kernel with a tight deadline still returns a
+/// degraded-but-valid schedule. Each degraded solve is counted in
+/// [`ScheduleStats::degraded_solves`]. Cancellation is different: it
+/// propagates immediately as an error with no fallback (the caller has
+/// abandoned the compile).
+pub fn schedule_kernel_budgeted(
+    kernel: &Kernel,
+    deps: &Dependences,
+    tree: &InfluenceTree,
+    opts: SchedulerOptions,
+    budget: &Budget,
+) -> Result<ScheduleResult, ScheduleError> {
+    match schedule_kernel_inner(kernel, deps, tree, opts, budget) {
+        Err(e) if e.is_cancelled() => {
+            polyject_sets::counters::note_cancelled_solve();
+            Err(e)
+        }
+        other => other,
+    }
+}
+
+fn schedule_kernel_inner(
+    kernel: &Kernel,
+    deps: &Dependences,
+    tree: &InfluenceTree,
+    opts: SchedulerOptions,
+    budget: &Budget,
+) -> Result<ScheduleResult, ScheduleError> {
     let before = polyject_sets::counters::snapshot();
-    let mut driver = Driver::new(kernel, deps, tree, opts);
+    let mut driver = Driver::new(kernel, deps, tree, opts, budget)?;
     match driver.run() {
         Ok(schedule) => {
             let mut stats = driver.stats;
@@ -155,10 +251,17 @@ pub fn schedule_kernel(
             })
         }
         Err(e) => {
-            if !tree.is_empty() {
-                // Ultimate fallback: no influence at all.
+            if !tree.is_empty() && !e.is_cancelled() {
+                // Ultimate fallback: no influence at all. Runs under a
+                // cancel-only budget — the degraded path is the last
+                // resort, so it may overshoot an exhausted deadline to
+                // guarantee a valid schedule, but stays cancellable.
+                if e.kind() == ScheduleErrorKind::Exhausted {
+                    polyject_sets::counters::note_degraded_solve();
+                }
+                let relaxed = budget.cancel_only();
                 let empty = InfluenceTree::new();
-                let mut plain = Driver::new(kernel, deps, &empty, opts);
+                let mut plain = Driver::new(kernel, deps, &empty, opts, &relaxed)?;
                 let schedule = plain.run()?;
                 let mut stats = driver.stats;
                 stats.merge(&plain.stats);
@@ -180,6 +283,7 @@ struct Driver<'a> {
     kernel: &'a Kernel,
     tree: &'a InfluenceTree,
     opts: SchedulerOptions,
+    budget: &'a Budget,
     layout: CoeffLayout,
     validity: Vec<&'a DepRelation>,
     val_cache: Vec<ConstraintSet>,
@@ -206,39 +310,50 @@ impl<'a> Driver<'a> {
         deps: &'a Dependences,
         tree: &'a InfluenceTree,
         opts: SchedulerOptions,
-    ) -> Driver<'a> {
+        budget: &'a Budget,
+    ) -> Result<Driver<'a>, ScheduleError> {
         let layout = CoeffLayout::new(kernel);
         let validity: Vec<&DepRelation> = deps.validity().collect();
         // `remove_redundant` is a pure function and costs LP solves;
         // identical dependence relations (common in stencils and fused
         // element-wise chains) produce identical systems, so memoize it
-        // across the three cache builds.
+        // across the three cache builds. An exhausted budget degrades to
+        // the unreduced system (correct, just bigger); cancellation
+        // aborts the build.
         fn reduce_memo(
             memo: &mut Vec<(ConstraintSet, ConstraintSet)>,
             cs: ConstraintSet,
-        ) -> ConstraintSet {
+            budget: &Budget,
+        ) -> Result<ConstraintSet, ScheduleError> {
             if let Some((_, reduced)) = memo.iter().find(|(key, _)| *key == cs) {
-                return reduced.clone();
+                return Ok(reduced.clone());
             }
-            let reduced = polyject_sets::remove_redundant(&cs);
+            let reduced = match polyject_sets::try_remove_redundant(&cs, budget) {
+                Ok(r) => r,
+                Err(e @ BudgetError::Cancelled) => return Err(ScheduleError::from_budget(e)),
+                Err(BudgetError::Exhausted(_)) => {
+                    polyject_sets::counters::note_degraded_solve();
+                    cs.clone()
+                }
+            };
             memo.push((cs, reduced.clone()));
-            reduced
+            Ok(reduced)
         }
         let mut memo: Vec<(ConstraintSet, ConstraintSet)> = Vec::new();
         let val_cache = validity
             .iter()
-            .map(|r| reduce_memo(&mut memo, validity_constraints([*r], &layout)))
-            .collect();
+            .map(|r| reduce_memo(&mut memo, validity_constraints([*r], &layout), budget))
+            .collect::<Result<Vec<_>, _>>()?;
         let bound_cache = validity
             .iter()
-            .map(|r| reduce_memo(&mut memo, bounding_constraints([*r], &layout)))
-            .collect();
+            .map(|r| reduce_memo(&mut memo, bounding_constraints([*r], &layout), budget))
+            .collect::<Result<Vec<_>, _>>()?;
         let input_bound_cache: Vec<ConstraintSet> = deps
             .relations()
             .iter()
             .filter(|r| r.kind == DepKind::Input)
-            .map(|r| reduce_memo(&mut memo, bounding_constraints([r], &layout)))
-            .collect();
+            .map(|r| reduce_memo(&mut memo, bounding_constraints([r], &layout), budget))
+            .collect::<Result<Vec<_>, _>>()?;
         // Static part of every per-dimension system: coefficient bounds
         // plus the (dimension-independent) input-reuse bounding.
         let mut bounds_cs = coefficient_bounds(&layout, opts.bounds);
@@ -246,10 +361,11 @@ impl<'a> Driver<'a> {
             bounds_cs.intersect(cs);
         }
         let objectives = proximity_objectives(&layout, opts.bounds);
-        Driver {
+        Ok(Driver {
             kernel,
             tree,
             opts,
+            budget,
             layout,
             validity,
             val_cache,
@@ -261,7 +377,7 @@ impl<'a> Driver<'a> {
             sched_version: 0,
             prog_cache: None,
             base_cache: None,
-        }
+        })
     }
 
     fn all_full_rank(&self, schedule: &Schedule) -> bool {
@@ -301,7 +417,7 @@ impl<'a> Driver<'a> {
                 break;
             }
             if d >= self.opts.max_dims {
-                return Err(ScheduleError(format!(
+                return Err(ScheduleError::infeasible(format!(
                     "dimension budget exhausted at depth {d}"
                 )));
             }
@@ -314,12 +430,22 @@ impl<'a> Driver<'a> {
             'retry: loop {
                 attempts += 1;
                 if attempts > self.opts.max_attempts {
-                    return Err(ScheduleError("attempt budget exhausted".into()));
+                    return Err(ScheduleError::infeasible("attempt budget exhausted"));
                 }
                 let sys = self.assemble(&schedule, &remaining, node, use_progression);
                 self.stats.ilp_solves += 1;
                 let objectives = self.objectives_for(node);
-                if let IlpOutcome::Optimal { point, .. } = lexmin_integer(&objectives, &sys) {
+                let outcome = match try_lexmin_integer(&objectives, &sys, self.budget) {
+                    Ok(o) => o,
+                    Err(e @ BudgetError::Cancelled) => return Err(ScheduleError::from_budget(e)),
+                    Err(BudgetError::Exhausted(_)) => {
+                        // Budget exhaustion takes the same ladder as
+                        // infeasibility: drop influence, retry relaxed.
+                        polyject_sets::counters::note_degraded_solve();
+                        IlpOutcome::Infeasible
+                    }
+                };
+                if let IlpOutcome::Optimal { point, .. } = outcome {
                     deep_mark = None;
                     self.append_dimension(&mut schedule, &point, node, &remaining, d);
                     self.sched_version += 1;
@@ -398,7 +524,7 @@ impl<'a> Driver<'a> {
                 // (4b) Feautrier fallback: a dimension strongly
                 // satisfying as many remaining dependences as possible.
                 if self.opts.feautrier_fallback {
-                    if let Some((point, satisfied)) = self.try_feautrier(&schedule, &remaining) {
+                    if let Some((point, satisfied)) = self.try_feautrier(&schedule, &remaining)? {
                         if !satisfied.is_empty() {
                             self.append_dimension(&mut schedule, &point, None, &remaining, d);
                             self.sched_version += 1;
@@ -438,7 +564,7 @@ impl<'a> Driver<'a> {
                     d += 1;
                     break 'retry;
                 }
-                return Err(ScheduleError(format!(
+                return Err(ScheduleError::infeasible(format!(
                     "no solution at dimension {d} with {} dependences left",
                     remaining.len()
                 )));
@@ -575,10 +701,10 @@ impl<'a> Driver<'a> {
         &mut self,
         schedule: &Schedule,
         remaining: &BTreeSet<usize>,
-    ) -> Option<(Vec<i128>, Vec<usize>)> {
+    ) -> Result<FeautrierSolution, ScheduleError> {
         let rels: Vec<&DepRelation> = remaining.iter().map(|&i| self.validity[i]).collect();
         if rels.is_empty() {
-            return None;
+            return Ok(None);
         }
         let mut base = self.bounds_cs.clone();
         self.progression(schedule);
@@ -591,12 +717,17 @@ impl<'a> Driver<'a> {
             self.opts.bounds,
         );
         self.stats.ilp_solves += 1;
-        match lexmin_integer(&prob.objectives, &prob.system) {
-            IlpOutcome::Optimal { point, .. } => {
+        match try_lexmin_integer(&prob.objectives, &prob.system, self.budget) {
+            Ok(IlpOutcome::Optimal { point, .. }) => {
                 let (coeffs, satisfied) = prob.split_solution(&point);
-                Some((coeffs.to_vec(), satisfied))
+                Ok(Some((coeffs.to_vec(), satisfied)))
             }
-            _ => None,
+            Ok(_) => Ok(None),
+            Err(e @ BudgetError::Cancelled) => Err(ScheduleError::from_budget(e)),
+            Err(BudgetError::Exhausted(_)) => {
+                polyject_sets::counters::note_degraded_solve();
+                Ok(None)
+            }
         }
     }
 
@@ -639,7 +770,7 @@ impl<'a> Driver<'a> {
         remaining.retain(|&i| !is_strongly_satisfied(self.validity[i], schedule));
         if remaining.len() == before && before > 0 {
             // Separation made no progress; avoid spinning forever.
-            return Err(ScheduleError("SCC separation made no progress".into()));
+            return Err(ScheduleError::infeasible("SCC separation made no progress"));
         }
         Ok(true)
     }

@@ -41,7 +41,8 @@ mod tree;
 mod verify;
 
 pub use algorithm::{
-    schedule_kernel, ScheduleError, ScheduleResult, ScheduleStats, SchedulerOptions,
+    schedule_kernel, schedule_kernel_budgeted, ScheduleError, ScheduleErrorKind, ScheduleResult,
+    ScheduleStats, SchedulerOptions,
 };
 pub use builders::{
     bounding_constraints, coefficient_bounds, distance_template, progression_constraints,
@@ -53,6 +54,7 @@ pub use checks::{
 };
 pub use layout::CoeffLayout;
 pub use optimizer::{build_influence_tree, build_scenarios, InfluenceOptions, Scenario};
+pub use polyject_sets::{Budget, BudgetError, BudgetResource};
 pub use schedtree::{render_schedule_tree, schedule_tree, TreeNode};
 pub use schedule::{DimFlags, Schedule, ScheduleRow, StatementSchedule};
 pub use tree::{InfluenceNode, InfluenceTree, NodeId};

@@ -4,7 +4,7 @@
 //! polyjectd [--socket <path> | --tcp <host:port>]
 //!           [--cache-dir <dir>] [--cache-max-bytes <n>]
 //!           [--workers <n>] [--queue-bound <n>] [--timeout-secs <n>]
-//!           [--gpu v100|a100|consumer]
+//!           [--max-frame-bytes <n>] [--gpu v100|a100|consumer]
 //! ```
 //!
 //! Serves the length-prefixed JSON protocol (see `polyject_serve::protocol`)
@@ -18,7 +18,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: polyjectd [--socket <path> | --tcp <host:port>] \
      [--cache-dir <dir>] [--cache-max-bytes <n>] [--workers <n>] \
-     [--queue-bound <n>] [--timeout-secs <n>] [--gpu v100|a100|consumer]";
+     [--queue-bound <n>] [--timeout-secs <n>] [--max-frame-bytes <n>] \
+     [--gpu v100|a100|consumer]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +77,15 @@ fn main() -> ExitCode {
                     Some(n) => config.request_timeout = Duration::from_secs(n),
                     None => {
                         eprintln!("--timeout-secs needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--max-frame-bytes" => {
+                match value(&args, &mut i, "--max-frame-bytes").and_then(|v| v.parse().ok()) {
+                    Some(n) => config.max_frame = n,
+                    None => {
+                        eprintln!("--max-frame-bytes needs an integer");
                         return ExitCode::FAILURE;
                     }
                 }

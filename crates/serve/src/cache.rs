@@ -18,10 +18,17 @@
 //! and moves the file to `quarantine/` for post-mortem instead of
 //! silently serving bad artifacts.
 //!
+//! Every filesystem call goes through the [`crate::faults::Io`] seam, so
+//! the chaos suite can open the same cache over a fault-injecting
+//! filesystem ([`DiskCache::open_with_io`]) and prove that no failure
+//! mode ever serves a corrupt payload. Opening also sweeps stale
+//! `.tmp.*` files left by writes that died between create and rename.
+//!
 //! Eviction is LRU over a logical tick (persisted in the index, so
 //! recency survives restarts) and bounded by a total payload byte
 //! budget.
 
+use crate::faults::{Io, RealIo};
 use crate::hash::hex_digest;
 use crate::json::Json;
 use std::collections::HashMap;
@@ -34,6 +41,11 @@ pub const FORMAT_VERSION: u64 = 1;
 
 /// Default size bound: 256 MiB of payload bytes.
 pub const DEFAULT_MAX_BYTES: u64 = 256 << 20;
+
+/// Prefix of the temporary files atomic writes stage their bytes in.
+/// Files with this prefix are, by construction, never a live entry, so
+/// the startup sweep may remove any it finds.
+const TMP_PREFIX: &str = ".tmp.";
 
 /// Operation counters of one [`DiskCache`] instance (process-local, not
 /// persisted).
@@ -49,6 +61,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Corrupt entries quarantined.
     pub errors: u64,
+    /// Stale `.tmp.*` files removed by the startup sweep.
+    pub swept_tmps: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -72,6 +86,7 @@ pub struct DiskCache {
     tick: u64,
     entries: HashMap<String, IndexEntry>,
     stats: CacheStats,
+    io: Box<dyn Io>,
 }
 
 impl DiskCache {
@@ -79,21 +94,34 @@ impl DiskCache {
     /// payload byte budget.
     ///
     /// A missing or unreadable `index.json` is not an error: the index
-    /// is rebuilt by scanning `entries/` (recency resets).
+    /// is rebuilt by scanning `entries/` (recency resets). Stale
+    /// temporaries from writes that died mid-flight are swept.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation failures.
     pub fn open(dir: &Path, max_bytes: u64) -> io::Result<DiskCache> {
-        std::fs::create_dir_all(dir.join("entries"))?;
-        std::fs::create_dir_all(dir.join("quarantine"))?;
+        DiskCache::open_with_io(dir, max_bytes, Box::new(RealIo))
+    }
+
+    /// [`DiskCache::open`] over an explicit [`Io`] implementation — the
+    /// chaos suite's entry point for fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_with_io(dir: &Path, max_bytes: u64, io: Box<dyn Io>) -> io::Result<DiskCache> {
         let mut cache = DiskCache {
             dir: dir.to_path_buf(),
             max_bytes: max_bytes.max(1),
             tick: 0,
             entries: HashMap::new(),
             stats: CacheStats::default(),
+            io,
         };
+        cache.io.create_dir_all(&dir.join("entries"))?;
+        cache.io.create_dir_all(&dir.join("quarantine"))?;
+        cache.sweep_stale_tmps();
         if !cache.load_index() {
             cache.rebuild_index()?;
             cache.flush()?;
@@ -139,11 +167,29 @@ impl DiskCache {
         self.dir.join("entries").join(format!("{key}.json"))
     }
 
+    /// Removes every `.tmp.*` staging file in the cache root and
+    /// `entries/` — debris of atomic writes that died between create and
+    /// rename (torn state). Live entries never carry the prefix, so this
+    /// can only reclaim garbage.
+    fn sweep_stale_tmps(&mut self) {
+        for sub in [self.dir.clone(), self.dir.join("entries")] {
+            let Ok(names) = self.io.read_dir_names(&sub) else {
+                continue;
+            };
+            for name in names {
+                if name.starts_with(TMP_PREFIX) && self.io.remove_file(&sub.join(&name)).is_ok() {
+                    self.stats.swept_tmps += 1;
+                }
+            }
+        }
+    }
+
     /// Looks up a key, verifying the entry checksum. Returns the
     /// `(kind, payload)` on a hit. Corrupt entries are quarantined and
     /// reported as misses.
     pub fn get(&mut self, key: &str) -> Option<(String, Json)> {
-        if !self.entries.contains_key(key) && !self.entry_path(key).exists() {
+        let path = self.entry_path(key);
+        if !self.entries.contains_key(key) && !self.io.exists(&path) {
             self.stats.misses += 1;
             return None;
         }
@@ -156,9 +202,7 @@ impl DiskCache {
                     Some(e) => e.last_used = tick,
                     None => {
                         // Valid entry written by another process: adopt it.
-                        let bytes = std::fs::metadata(self.entry_path(key))
-                            .map(|m| m.len())
-                            .unwrap_or(0);
+                        let bytes = self.io.metadata_len(&path).unwrap_or(0);
                         self.entries.insert(
                             key.to_string(),
                             IndexEntry {
@@ -180,8 +224,11 @@ impl DiskCache {
         }
     }
 
-    fn read_verified(&self, key: &str) -> Result<(String, Json), String> {
-        let text = std::fs::read_to_string(self.entry_path(key))
+    fn read_verified(&mut self, key: &str) -> Result<(String, Json), String> {
+        let path = self.entry_path(key);
+        let text = self
+            .io
+            .read_to_string(&path)
             .map_err(|e| format!("unreadable: {e}"))?;
         let v = Json::parse(&text).map_err(|e| format!("bad json: {e}"))?;
         let format = v
@@ -223,7 +270,7 @@ impl DiskCache {
         ]);
         let text = entry.render();
         let path = self.entry_path(key);
-        write_atomic(&path, text.as_bytes())?;
+        self.write_atomic(&path, text.as_bytes())?;
         self.tick += 1;
         self.entries.insert(
             key.to_string(),
@@ -250,7 +297,8 @@ impl DiskCache {
                 .min_by_key(|e| e.last_used)
                 .map(|e| e.key.clone());
             let Some(victim) = victim else { break };
-            let _ = std::fs::remove_file(self.entry_path(&victim));
+            let path = self.entry_path(&victim);
+            let _ = self.io.remove_file(&path);
             self.entries.remove(&victim);
             self.stats.evictions += 1;
         }
@@ -259,7 +307,8 @@ impl DiskCache {
     /// Removes an entry. Returns whether it existed.
     pub fn remove(&mut self, key: &str) -> bool {
         let existed = self.entries.remove(key).is_some();
-        let on_disk = std::fs::remove_file(self.entry_path(key)).is_ok();
+        let path = self.entry_path(key);
+        let on_disk = self.io.remove_file(&path).is_ok();
         existed || on_disk
     }
 
@@ -294,13 +343,13 @@ impl DiskCache {
 
     fn quarantine(&mut self, key: &str, reason: &str) {
         let src = self.entry_path(key);
-        if src.exists() {
+        if self.io.exists(&src) {
             // Find a free quarantine slot (don't clobber earlier corpses).
             let qdir = self.dir.join("quarantine");
             for n in 0.. {
                 let dst = qdir.join(format!("{key}.json.{n}"));
-                if !dst.exists() {
-                    let _ = std::fs::rename(&src, &dst);
+                if !self.io.exists(&dst) {
+                    let _ = self.io.rename(&src, &dst);
                     break;
                 }
             }
@@ -334,13 +383,14 @@ impl DiskCache {
             ("tick", Json::Num(self.tick as f64)),
             ("entries", Json::Arr(entries)),
         ]);
-        write_atomic(&self.dir.join("index.json"), index.render().as_bytes())
+        self.write_atomic(&self.dir.join("index.json"), index.render().as_bytes())
     }
 
     /// Loads `index.json`; returns `false` (leaving the cache empty) on
     /// any problem, in which case the caller rebuilds by scanning.
     fn load_index(&mut self) -> bool {
-        let Ok(text) = std::fs::read_to_string(self.dir.join("index.json")) else {
+        let index_path = self.dir.join("index.json");
+        let Ok(text) = self.io.read_to_string(&index_path) else {
             return false;
         };
         let Ok(v) = Json::parse(&text) else {
@@ -358,7 +408,8 @@ impl DiskCache {
                 continue;
             };
             // Stale index rows for deleted files are dropped here.
-            if !self.entry_path(key).exists() {
+            let path = self.entry_path(key);
+            if !self.io.exists(&path) {
                 continue;
             }
             self.entries.insert(
@@ -378,18 +429,16 @@ impl DiskCache {
     /// missing or unreadable). Unverifiable files are quarantined.
     fn rebuild_index(&mut self) -> io::Result<()> {
         self.entries.clear();
-        for dirent in std::fs::read_dir(self.dir.join("entries"))? {
-            let path = dirent?.path();
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
+        let names = self.io.read_dir_names(&self.dir.join("entries"))?;
+        for name in names {
             let Some(key) = name.strip_suffix(".json") else {
                 continue;
             };
             let key = key.to_string();
             match self.read_verified(&key) {
                 Ok((kind, _)) => {
-                    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    let path = self.entry_path(&key);
+                    let bytes = self.io.metadata_len(&path).unwrap_or(0);
                     self.entries.insert(
                         key.clone(),
                         IndexEntry {
@@ -405,24 +454,19 @@ impl DiskCache {
         }
         Ok(())
     }
-}
 
-/// Writes `bytes` to `path` atomically: a tmp file in the same directory
-/// (same filesystem, so the rename is atomic), flushed, then renamed
-/// over the target.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let dir = path.parent().ok_or_else(|| {
-        io::Error::new(io::ErrorKind::InvalidInput, "path has no parent directory")
-    })?;
-    let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
-    let tmp = dir.join(format!(".tmp.{}.{base}", std::process::id()));
-    {
-        use std::io::Write as _;
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+    /// Writes `bytes` to `path` atomically: a tmp file in the same
+    /// directory (same filesystem, so the rename is atomic), flushed,
+    /// then renamed over the target.
+    fn write_atomic(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let dir = path.parent().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "path has no parent directory")
+        })?;
+        let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let tmp = dir.join(format!("{TMP_PREFIX}{}.{base}", std::process::id()));
+        self.io.write(&tmp, bytes)?;
+        self.io.rename(&tmp, path)
     }
-    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -519,6 +563,52 @@ mod tests {
         assert!(c.remove("k1"));
         assert!(!c.remove("k1"));
         assert_eq!(c.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmps_swept_on_open() {
+        // Simulate writes that died between create and rename: torn
+        // `.tmp.*` staging files in both the root (index writes) and
+        // `entries/` (entry writes). Opening must reclaim them all while
+        // leaving live entries untouched.
+        let dir = tmpdir("sweep");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        c.put("live", "compile", &payload("keep")).unwrap();
+        drop(c);
+        let torn_entry = dir.join("entries").join(".tmp.4242.dead.json");
+        let torn_index = dir.join(".tmp.4242.index.json");
+        std::fs::write(&torn_entry, "{\"format\":1,\"key\":\"dead").unwrap();
+        std::fs::write(&torn_index, "{\"version\":1,\"ti").unwrap();
+
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert_eq!(c.stats().swept_tmps, 2);
+        assert!(!torn_entry.exists(), "torn entry tmp removed");
+        assert!(!torn_index.exists(), "torn index tmp removed");
+        assert_eq!(c.get("live").unwrap().1, payload("keep"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_entry_is_quarantined_not_served() {
+        // A torn rename can land a truncated entry file under the real
+        // entry name; the checksum layer must quarantine it, never
+        // serve it.
+        let dir = tmpdir("torn");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        c.put("kk", "compile", &payload("v")).unwrap();
+        drop(c);
+        let entry = dir.join("entries").join("kk.json");
+        let full = std::fs::read_to_string(&entry).unwrap();
+        std::fs::write(&entry, &full[..full.len() / 2]).unwrap();
+
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert!(c.get("kk").is_none(), "torn entry must read as a miss");
+        assert!(!entry.exists(), "torn entry moved aside");
+        assert!(
+            dir.join("quarantine").join("kk.json.0").exists(),
+            "torn entry preserved for post-mortem"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

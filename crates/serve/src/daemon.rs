@@ -19,6 +19,7 @@ use crate::protocol::{
 };
 use crate::service::{CompileService, Served};
 use crate::stats::ServeStats;
+use polyject_core::Budget;
 use polyject_gpusim::GpuModel;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -89,6 +90,10 @@ pub struct DaemonConfig {
     pub cache_dir: Option<PathBuf>,
     /// Cache payload byte budget.
     pub cache_max_bytes: u64,
+    /// Maximum accepted request frame size in bytes (capped at the
+    /// protocol-wide [`MAX_FRAME`]); larger length prefixes are answered
+    /// with a structured error before any allocation.
+    pub max_frame: u32,
     /// GPU model requests compile against.
     pub gpu: GpuModel,
 }
@@ -102,6 +107,7 @@ impl Default for DaemonConfig {
             request_timeout: Duration::from_secs(120),
             cache_dir: None,
             cache_max_bytes: crate::cache::DEFAULT_MAX_BYTES,
+            max_frame: MAX_FRAME,
             gpu: GpuModel::v100(),
         }
     }
@@ -115,6 +121,7 @@ struct Shared {
     pending: AtomicUsize,
     queue_bound: usize,
     request_timeout: Duration,
+    max_frame: u32,
 }
 
 impl Shared {
@@ -141,9 +148,19 @@ impl Shared {
             .service
             .with_cache(|c| c.stats().evictions)
             .unwrap_or(0);
+        let gov = self.service.governance();
+        let governance = Json::obj(vec![
+            ("degraded_solves", Json::Num(gov.degraded_solves as f64)),
+            ("cancelled_solves", Json::Num(gov.cancelled_solves as f64)),
+            (
+                "panics_recovered",
+                Json::Num((gov.panics_recovered + self.pool.panics_recovered()) as f64),
+            ),
+        ]);
         Json::obj(vec![
             ("status", Json::Str("ok".to_string())),
             ("stats", stats.to_json()),
+            ("governance", governance),
             ("cache", cache.unwrap_or(Json::Null)),
         ])
     }
@@ -289,10 +306,13 @@ fn read_frame_polling(stream: &mut Stream, shared: &Shared) -> io::Result<Option
         return Ok(None);
     }
     let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME {
+    if len > shared.max_frame {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit"),
+            format!(
+                "frame of {len} bytes exceeds the {}-byte limit",
+                shared.max_frame
+            ),
         ));
     }
     let mut buf = vec![0u8; len as usize];
@@ -348,12 +368,18 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
     }
     shared.pending.fetch_add(1, Ordering::SeqCst);
     let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let worker_cancel = Arc::clone(&cancel);
     let worker_shared = Arc::clone(shared);
     let t0 = Instant::now();
     shared.pool.submit(move || {
         // The compile must run wholly on this worker thread: solver
-        // counters are thread-local.
-        let result = worker_shared.service.serve(&src, &config);
+        // counters are thread-local. The cancel-only budget lets the
+        // connection thread abort the solve if the request times out.
+        let budget = Budget::unlimited().with_cancel(worker_cancel);
+        let result = worker_shared
+            .service
+            .serve_with_budget(&src, &config, &budget);
         worker_shared.pending.fetch_sub(1, Ordering::SeqCst);
         let _ = tx.send(result);
     });
@@ -374,9 +400,13 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
             error_response(&e)
         }
         Err(_) => {
+            // Trip the cancel flag: the solver aborts at its next budget
+            // check, so the worker is reclaimed instead of leaking on a
+            // runaway compile.
+            cancel.store(true, Ordering::SeqCst);
             shared.stats.lock().expect("stats lock poisoned").timeouts += 1;
             error_response(&format!(
-                "request timed out after {:?} (still compiling; retry later to hit the cache)",
+                "request timed out after {:?} (compile cancelled; worker reclaimed)",
                 shared.request_timeout
             ))
         }
@@ -427,6 +457,7 @@ pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
         pending: AtomicUsize::new(0),
         queue_bound: config.queue_bound.max(1),
         request_timeout: config.request_timeout,
+        max_frame: config.max_frame.clamp(1, MAX_FRAME),
     });
     eprintln!(
         "[polyjectd] listening on {} ({} workers, queue bound {}, cache {})",
@@ -494,6 +525,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
             pending: AtomicUsize::new(0),
             queue_bound,
             request_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME,
         })
     }
 

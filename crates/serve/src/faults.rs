@@ -1,0 +1,302 @@
+//! Deterministic fault injection for the disk cache's file operations.
+//!
+//! [`Io`] is the seam: every filesystem call [`crate::cache::DiskCache`]
+//! makes goes through it. Production uses [`RealIo`] (plain `std::fs`);
+//! the chaos test suite wraps it in [`FaultyIo`], which consults a
+//! SplitMix64-seeded schedule and injects the failure modes a real
+//! filesystem exhibits under crash/disk-full conditions:
+//!
+//! * **partial write + ENOSPC** — a prefix of the bytes lands on disk,
+//!   then the write errors (disk full mid-write);
+//! * **torn write** — a prefix lands on disk and the write *reports
+//!   success* (lost flush; only the checksum layer can catch this);
+//! * **torn rename** — the rename happens but the destination is
+//!   truncated (crash between rename and data sync);
+//! * **failed rename / remove** — the metadata operation errors,
+//!   leaving temporaries behind;
+//! * **truncated or failed read** — a read returns a prefix of the
+//!   file, or errors outright.
+//!
+//! Identical seeds produce identical fault schedules on every platform,
+//! so a chaos failure replays exactly. Metadata probes (`exists`,
+//! `metadata_len`, `read_dir_names`, `create_dir_all`) pass through
+//! unfaulted: the interesting corruption lives in the data path.
+
+use polyject_arith::SplitMix64;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The filesystem operations [`crate::cache::DiskCache`] performs,
+/// abstracted so tests can interpose deterministic faults.
+pub trait Io: Send + std::fmt::Debug {
+    /// `std::fs::create_dir_all`.
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()>;
+    /// `std::fs::read_to_string`.
+    fn read_to_string(&mut self, path: &Path) -> io::Result<String>;
+    /// Creates/truncates `path`, writes `bytes`, and syncs the file.
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// `std::fs::rename`.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+    /// `std::fs::remove_file`.
+    fn remove_file(&mut self, path: &Path) -> io::Result<()>;
+    /// File size in bytes (`std::fs::metadata().len()`).
+    fn metadata_len(&mut self, path: &Path) -> io::Result<u64>;
+    /// Whether `path` exists.
+    fn exists(&mut self, path: &Path) -> bool;
+    /// The file names (not full paths) inside a directory.
+    fn read_dir_names(&mut self, dir: &Path) -> io::Result<Vec<String>>;
+}
+
+/// The production [`Io`]: plain `std::fs`, no faults.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+impl Io for RealIo {
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn read_to_string(&mut self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn metadata_len(&mut self, path: &Path) -> io::Result<u64> {
+        std::fs::metadata(path).map(|m| m.len())
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn read_dir_names(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for dirent in std::fs::read_dir(dir)? {
+            if let Some(name) = dirent?.path().file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+/// An [`Io`] wrapper injecting faults on a deterministic seeded schedule.
+///
+/// Roughly one in `one_in` data operations faults (`one_in == 0`
+/// disables injection entirely, making the wrapper transparent — the
+/// fault-free replay mode). Which operation faults, and how, is fully
+/// determined by the seed.
+#[derive(Debug)]
+pub struct FaultyIo<I: Io> {
+    inner: I,
+    rng: SplitMix64,
+    one_in: usize,
+    injected: Arc<AtomicU64>,
+}
+
+impl<I: Io> FaultyIo<I> {
+    /// Wraps `inner` with a fault schedule derived from `seed`, faulting
+    /// roughly one in `one_in` data operations.
+    pub fn new(inner: I, seed: u64, one_in: usize) -> FaultyIo<I> {
+        FaultyIo {
+            inner,
+            rng: SplitMix64::new(seed),
+            one_in,
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A shared handle to the injected-fault count, usable after the
+    /// wrapper is boxed into a cache.
+    pub fn injected_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn roll(&mut self) -> bool {
+        if self.one_in == 0 {
+            return false;
+        }
+        let hit = self.rng.below(self.one_in) == 0;
+        if hit {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        hit
+    }
+
+    /// A cut point strictly inside `len` (0 truncates to nothing).
+    fn cut(&mut self, len: usize) -> usize {
+        if len == 0 {
+            0
+        } else {
+            self.rng.below(len)
+        }
+    }
+
+    fn enospc() -> io::Error {
+        io::Error::other("no space left on device (injected)")
+    }
+}
+
+impl<I: Io> Io for FaultyIo<I> {
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read_to_string(&mut self, path: &Path) -> io::Result<String> {
+        if self.roll() {
+            if self.rng.below(2) == 0 {
+                return Err(io::Error::other("input/output error (injected)"));
+            }
+            // Truncated read: the caller sees a prefix of the file.
+            let text = self.inner.read_to_string(path)?;
+            let mut cut = self.cut(text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            return Ok(text[..cut].to_string());
+        }
+        self.inner.read_to_string(path)
+    }
+
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.roll() {
+            let cut = self.cut(bytes.len());
+            self.inner.write(path, &bytes[..cut])?;
+            if self.rng.below(2) == 0 {
+                // Disk full mid-write: prefix on disk, error reported.
+                return Err(Self::enospc());
+            }
+            // Torn write: prefix on disk, success reported.
+            return Ok(());
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.roll() {
+            if self.rng.below(2) == 0 {
+                // Failed rename: the temporary is left behind.
+                return Err(Self::enospc());
+            }
+            // Torn rename: the destination appears, but truncated
+            // (crash between rename and data sync). Reported as success.
+            let text = self.inner.read_to_string(from).unwrap_or_default();
+            let mut cut = self.cut(text.len());
+            while !text.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            self.inner.write(to, &text.as_bytes()[..cut])?;
+            let _ = self.inner.remove_file(from);
+            return Ok(());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&mut self, path: &Path) -> io::Result<()> {
+        if self.roll() {
+            return Err(io::Error::other("remove failed (injected)"));
+        }
+        self.inner.remove_file(path)
+    }
+
+    fn metadata_len(&mut self, path: &Path) -> io::Result<u64> {
+        self.inner.metadata_len(path)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn read_dir_names(&mut self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("polyject-faults-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn real_io_roundtrips() {
+        let p = tmpfile("real");
+        let mut io = RealIo;
+        io.write(&p, b"hello").unwrap();
+        assert_eq!(io.read_to_string(&p).unwrap(), "hello");
+        assert_eq!(io.metadata_len(&p).unwrap(), 5);
+        assert!(io.exists(&p));
+        io.remove_file(&p).unwrap();
+        assert!(!io.exists(&p));
+    }
+
+    #[test]
+    fn zero_rate_is_transparent() {
+        let p = tmpfile("transparent");
+        let mut io = FaultyIo::new(RealIo, 42, 0);
+        for _ in 0..100 {
+            io.write(&p, b"payload").unwrap();
+            assert_eq!(io.read_to_string(&p).unwrap(), "payload");
+        }
+        assert_eq!(io.injected(), 0);
+        io.remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        // Same seed: identical fault decisions, observable as identical
+        // injected counts over the same op sequence.
+        let run = |seed: u64| {
+            let p = tmpfile(&format!("det-{seed}"));
+            let mut io = FaultyIo::new(RealIo, seed, 2);
+            for _ in 0..50 {
+                let _ = io.write(&p, b"abcdefgh");
+                let _ = io.read_to_string(&p);
+            }
+            let _ = RealIo.remove_file(&p);
+            io.injected()
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7) > 0, "rate 1/2 over 100 ops must fault");
+    }
+
+    #[test]
+    fn faults_never_fabricate_data() {
+        // Whatever a faulty read returns, it is a prefix of the real
+        // contents — faults lose data, they never invent it.
+        let p = tmpfile("prefix");
+        RealIo.write(&p, b"0123456789").unwrap();
+        let mut io = FaultyIo::new(RealIo, 3, 2);
+        for _ in 0..50 {
+            if let Ok(text) = io.read_to_string(&p) {
+                assert!("0123456789".starts_with(&text), "got {text:?}");
+            }
+        }
+        RealIo.remove_file(&p).unwrap();
+    }
+}

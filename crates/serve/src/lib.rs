@@ -11,7 +11,11 @@
 //!   is offline and carries no serde);
 //! * [`hash`] — stable FNV-1a content hashing for cache keys;
 //! * [`cache`] — the on-disk cache: versioned JSON entries, atomic
-//!   writes, checksum-verified reads with quarantine, LRU eviction;
+//!   writes, checksum-verified reads with quarantine, LRU eviction, a
+//!   startup sweep of torn temporaries;
+//! * [`faults`] — the deterministic fault-injection seam: an [`faults::Io`]
+//!   trait in front of every cache file operation, with a SplitMix64-seeded
+//!   fault schedule for the chaos suite;
 //! * [`protocol`] — the length-prefixed JSON request/response wire format;
 //! * [`service`] — canonical kernel hashing + compile-through-cache with
 //!   single-flight deduplication;
@@ -26,6 +30,7 @@
 pub mod cache;
 pub mod client;
 pub mod daemon;
+pub mod faults;
 pub mod hash;
 pub mod json;
 pub mod pool;
@@ -36,9 +41,13 @@ pub mod stats;
 pub use cache::{CacheStats, DiskCache};
 pub use client::{Client, Endpoint};
 pub use daemon::{run_daemon, DaemonConfig};
+pub use faults::{FaultyIo, Io, RealIo};
 pub use hash::{fnv1a64, Fnv64};
 pub use json::Json;
 pub use pool::{default_workers, parallel_map, WorkerPool};
 pub use protocol::{read_frame, write_frame, CompileReply, Request};
-pub use service::{cache_key, compile_reply, config_by_name, CompileService, Served};
+pub use service::{
+    cache_key, compile_reply, compile_reply_with_budget, config_by_name, CompileService,
+    Governance, Served,
+};
 pub use stats::{LatencyAgg, ServeStats};

@@ -14,7 +14,8 @@
 //! `polyject-bench` re-exports it unchanged.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// The number of workers to use by default: the machine's available
@@ -82,6 +83,44 @@ struct PoolShared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     closing: AtomicBool,
+    panics: AtomicU64,
+    replacements: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// One worker's pull-run loop. A job that panics poisons the worker:
+/// the panic is caught (so the daemon survives), counted, and the
+/// poisoned thread is *replaced* by a freshly spawned one rather than
+/// reused — thread-local state a mid-panic job left behind (solver
+/// counters, caches) dies with the thread.
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let mut q = shared.queue.lock().expect("pool queue poisoned");
+        let job = loop {
+            if let Some(job) = q.pop_front() {
+                break Some(job);
+            }
+            if shared.closing.load(Ordering::SeqCst) {
+                break None;
+            }
+            q = shared.available.wait(q).expect("pool queue poisoned");
+        };
+        drop(q);
+        let Some(job) = job else { return };
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::SeqCst);
+            polyject_sets::counters::note_panic_recovered();
+            if !shared.closing.load(Ordering::SeqCst) {
+                let respawn = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || worker_loop(respawn));
+                shared
+                    .replacements
+                    .lock()
+                    .expect("pool replacements poisoned")
+                    .push(handle);
+            }
+            return; // this worker is poisoned; its replacement took over
+        }
+    }
 }
 
 /// A persistent worker pool: `workers` threads pulling boxed jobs from a
@@ -118,27 +157,13 @@ impl WorkerPool {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             closing: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
+            replacements: Mutex::new(Vec::new()),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || loop {
-                    let mut q = shared.queue.lock().expect("pool queue poisoned");
-                    let job = loop {
-                        if let Some(job) = q.pop_front() {
-                            break Some(job);
-                        }
-                        if shared.closing.load(Ordering::SeqCst) {
-                            break None;
-                        }
-                        q = shared.available.wait(q).expect("pool queue poisoned");
-                    };
-                    drop(q);
-                    match job {
-                        Some(job) => job(),
-                        None => break,
-                    }
-                })
+                std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
         WorkerPool { shared, handles }
@@ -169,6 +194,12 @@ impl WorkerPool {
         self.handles.len()
     }
 
+    /// Jobs that panicked and were recovered (each one also replaced its
+    /// poisoned worker thread).
+    pub fn panics_recovered(&self) -> u64 {
+        self.shared.panics.load(Ordering::SeqCst)
+    }
+
     /// Drains the queue (already-submitted jobs still run), then joins
     /// every worker.
     pub fn shutdown(mut self) {
@@ -180,6 +211,24 @@ impl WorkerPool {
         self.shared.available.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        // Replacement workers spawned after panics are tracked in the
+        // shared state; drain until none remain (a replacement can itself
+        // panic and spawn another while we join).
+        loop {
+            let next = self
+                .shared
+                .replacements
+                .lock()
+                .expect("pool replacements poisoned")
+                .pop();
+            match next {
+                Some(h) => {
+                    self.shared.available.notify_all();
+                    let _ = h.join();
+                }
+                None => break,
+            }
         }
     }
 }
@@ -249,6 +298,31 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_jobs_are_recovered_and_workers_replaced() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let done = done.clone();
+            pool.submit(move || {
+                assert!(i % 5 != 0, "boom {i}");
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Every non-panicking job still completes: panics poison single
+        // workers, not the pool.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while (done.load(Ordering::SeqCst) < 16 || pool.panics_recovered() < 4)
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 16);
+        assert_eq!(pool.panics_recovered(), 4);
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 16);
     }
 
     #[test]

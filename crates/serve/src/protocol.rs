@@ -183,9 +183,11 @@ impl CompileReply {
                     ("lp_phase2_pivots", Json::Num(c.lp_phase2_pivots as f64)),
                     ("bb_repair_pivots", Json::Num(c.bb_repair_pivots as f64)),
                     ("bb_warm_nodes", Json::Num(c.bb_warm_nodes as f64)),
-                    // preprocess_ns is wall-clock time, not solver work:
-                    // deliberately omitted so cache payloads stay
-                    // byte-identical across replays.
+                    // preprocess_ns (wall-clock) and the governance
+                    // counters (degraded/cancelled/panics — properties of
+                    // one run, not of the artifact) are deliberately
+                    // omitted so cache payloads stay byte-identical
+                    // across replays.
                 ]),
             ),
             ("compile_ms", Json::Num(self.compile_ms)),
@@ -246,7 +248,10 @@ impl CompileReply {
                 lp_phase2_pivots: solver_opt("lp_phase2_pivots"),
                 bb_repair_pivots: solver_opt("bb_repair_pivots"),
                 bb_warm_nodes: solver_opt("bb_warm_nodes"),
-                preprocess_ns: 0, // never serialized (wall-clock time)
+                preprocess_ns: 0,    // never serialized (wall-clock time)
+                degraded_solves: 0,  // never serialized (per-run governance)
+                cancelled_solves: 0, // never serialized (per-run governance)
+                panics_recovered: 0, // never serialized (per-run governance)
             },
             compile_ms: v.num_field("compile_ms")?,
         })
@@ -339,7 +344,10 @@ mod tests {
                 lp_phase2_pivots: 30,
                 bb_repair_pivots: 2,
                 bb_warm_nodes: 1,
-                preprocess_ns: 0, // not carried over the wire
+                preprocess_ns: 0,    // not carried over the wire
+                degraded_solves: 0,  // not carried over the wire
+                cancelled_solves: 0, // not carried over the wire
+                panics_recovered: 0, // not carried over the wire
             },
             compile_ms: 12.75,
         };

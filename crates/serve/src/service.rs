@@ -16,11 +16,14 @@
 use crate::cache::DiskCache;
 use crate::hash::{f64_bits_hex, Fnv64};
 use crate::protocol::CompileReply;
-use polyject_codegen::{compile, render_artifacts, Config, MappingOptions, TilingOptions};
-use polyject_core::{InfluenceOptions, SchedulerOptions};
+use polyject_codegen::{
+    compile_with_budget, render_artifacts, Config, MappingOptions, TilingOptions,
+};
+use polyject_core::{Budget, InfluenceOptions, SchedulerOptions};
 use polyject_gpusim::{estimate, GpuModel};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -108,6 +111,23 @@ pub fn cache_key(canonical_pj: &str, config: &str, gpu: &GpuModel) -> String {
 ///
 /// Returns parse, unknown-config, and scheduling failures as strings.
 pub fn compile_reply(src: &str, config_name: &str, gpu: &GpuModel) -> Result<CompileReply, String> {
+    compile_reply_with_budget(src, config_name, gpu, &Budget::unlimited())
+}
+
+/// [`compile_reply`] under a cooperative [`Budget`]: scheduling degrades
+/// to an uninfluenced schedule on exhaustion (counted in the reply's
+/// `solver.degraded_solves`) and aborts with an error on cancellation.
+///
+/// # Errors
+///
+/// Parse, unknown-config, scheduling, and cancellation failures as
+/// strings.
+pub fn compile_reply_with_budget(
+    src: &str,
+    config_name: &str,
+    gpu: &GpuModel,
+    budget: &Budget,
+) -> Result<CompileReply, String> {
     let config = config_by_name(config_name)
         .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
     let kernel = polyject_front::parse(src).map_err(|e| e.to_string())?;
@@ -115,7 +135,7 @@ pub fn compile_reply(src: &str, config_name: &str, gpu: &GpuModel) -> Result<Com
     let key = cache_key(&canonical, config.name(), gpu);
     let before = polyject_sets::counters::snapshot();
     let t0 = Instant::now();
-    let compiled = compile(&kernel, config).map_err(|e| e.to_string())?;
+    let compiled = compile_with_budget(&kernel, config, budget).map_err(|e| e.to_string())?;
     let artifacts = render_artifacts(&kernel, &compiled);
     let timing = estimate(&compiled.ast, &kernel, gpu);
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -157,12 +177,29 @@ struct Flight {
     done: Condvar,
 }
 
+/// Resource-governance counters of one [`CompileService`] (process-local):
+/// how many requests degraded under budget pressure, were cancelled, or
+/// panicked and were recovered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Governance {
+    /// Requests whose scheduling degraded (influence dropped) because a
+    /// budget was exhausted.
+    pub degraded_solves: u64,
+    /// Requests aborted by a tripped cancel flag (request timeouts).
+    pub cancelled_solves: u64,
+    /// Compiler panics converted to error replies.
+    pub panics_recovered: u64,
+}
+
 /// Compile-through-cache with single-flight deduplication. Shared by the
 /// daemon's worker threads (all methods take `&self`).
 pub struct CompileService {
     cache: Option<Mutex<DiskCache>>,
     gpu: GpuModel,
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    degraded: AtomicU64,
+    cancelled: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl CompileService {
@@ -173,12 +210,24 @@ impl CompileService {
             cache: cache.map(Mutex::new),
             gpu,
             inflight: Mutex::new(HashMap::new()),
+            degraded: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
     /// The GPU model requests compile against.
     pub fn gpu(&self) -> &GpuModel {
         &self.gpu
+    }
+
+    /// The service's resource-governance counters.
+    pub fn governance(&self) -> Governance {
+        Governance {
+            degraded_solves: self.degraded.load(Ordering::SeqCst),
+            cancelled_solves: self.cancelled.load(Ordering::SeqCst),
+            panics_recovered: self.panics.load(Ordering::SeqCst),
+        }
     }
 
     /// Runs `f` on the attached cache, if any.
@@ -197,6 +246,29 @@ impl CompileService {
     /// Parse/config/scheduling errors, and panics inside the compiler
     /// converted to errors (the worker thread survives).
     pub fn serve(&self, src: &str, config_name: &str) -> Result<(CompileReply, Served), String> {
+        self.serve_with_budget(src, config_name, &Budget::unlimited())
+    }
+
+    /// [`CompileService::serve`] under a cooperative [`Budget`].
+    ///
+    /// Exhaustion degrades the compile (influence dropped) rather than
+    /// failing it; degraded results are answered but **not cached**, so a
+    /// later unpressured request recompiles at full quality instead of
+    /// replaying the compromise forever. Cancellation (the daemon trips
+    /// the flag on request timeout) aborts with an error and reclaims
+    /// the worker. Coalesced waiters share the leader's outcome, budget
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Parse/config/scheduling/cancellation errors, and panics inside
+    /// the compiler converted to errors (the worker thread survives).
+    pub fn serve_with_budget(
+        &self,
+        src: &str,
+        config_name: &str,
+        budget: &Budget,
+    ) -> Result<(CompileReply, Served), String> {
         let config = config_by_name(config_name)
             .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
         let canonical = polyject_front::canonical_pj(src)?;
@@ -243,7 +315,7 @@ impl CompileService {
         let config_name = config.name().to_string();
         let gpu = self.gpu.clone();
         let result = catch_unwind(AssertUnwindSafe(move || {
-            compile_reply(&src_owned, &config_name, &gpu)
+            compile_reply_with_budget(&src_owned, &config_name, &gpu, budget)
         }))
         .unwrap_or_else(|p| {
             let msg = p
@@ -251,13 +323,30 @@ impl CompileService {
                 .map(|s| (*s).to_string())
                 .or_else(|| p.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".to_string());
+            self.panics.fetch_add(1, Ordering::SeqCst);
+            polyject_sets::counters::note_panic_recovered();
             Err(format!("compiler panicked: {msg}"))
         });
 
-        if let Ok(reply) = &result {
-            if let Some(Err(e)) = self.with_cache(|c| c.put(&key, "compile", &reply.to_json())) {
-                eprintln!("[serve] cache write for {key} failed: {e}");
+        match &result {
+            Ok(reply) => {
+                self.degraded
+                    .fetch_add(reply.solver.degraded_solves, Ordering::SeqCst);
+                // A degraded reply is a budget-shaped compromise, not the
+                // kernel's best schedule: serve it but keep it out of the
+                // cache so an unpressured request recompiles fully.
+                if reply.solver.degraded_solves == 0 {
+                    if let Some(Err(e)) =
+                        self.with_cache(|c| c.put(&key, "compile", &reply.to_json()))
+                    {
+                        eprintln!("[serve] cache write for {key} failed: {e}");
+                    }
+                }
             }
+            Err(_) if budget.is_cancelled() => {
+                self.cancelled.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {}
         }
 
         // Publish the result, wake waiters, and clear the flight.

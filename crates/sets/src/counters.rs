@@ -43,6 +43,14 @@ pub struct SolverCounters {
     /// Nanoseconds spent in integer-feasibility preprocessing (bound
     /// tightening, infeasibility short-circuits).
     pub preprocess_ns: u64,
+    /// Schedule dimensions where a budget-exhausted solve was degraded
+    /// through the backtracking ladder instead of failing the compile.
+    pub degraded_solves: u64,
+    /// Compilations abandoned because the shared cancellation flag
+    /// tripped.
+    pub cancelled_solves: u64,
+    /// Worker panics caught and recovered by the serving pool.
+    pub panics_recovered: u64,
 }
 
 impl SolverCounters {
@@ -59,6 +67,9 @@ impl SolverCounters {
             bb_repair_pivots: self.bb_repair_pivots - earlier.bb_repair_pivots,
             bb_warm_nodes: self.bb_warm_nodes - earlier.bb_warm_nodes,
             preprocess_ns: self.preprocess_ns - earlier.preprocess_ns,
+            degraded_solves: self.degraded_solves - earlier.degraded_solves,
+            cancelled_solves: self.cancelled_solves - earlier.cancelled_solves,
+            panics_recovered: self.panics_recovered - earlier.panics_recovered,
         }
     }
 
@@ -74,6 +85,9 @@ impl SolverCounters {
         self.bb_repair_pivots += other.bb_repair_pivots;
         self.bb_warm_nodes += other.bb_warm_nodes;
         self.preprocess_ns += other.preprocess_ns;
+        self.degraded_solves += other.degraded_solves;
+        self.cancelled_solves += other.cancelled_solves;
+        self.panics_recovered += other.panics_recovered;
     }
 }
 
@@ -87,6 +101,9 @@ thread_local! {
     static BB_REPAIR_PIVOTS: Cell<u64> = const { Cell::new(0) };
     static BB_WARM_NODES: Cell<u64> = const { Cell::new(0) };
     static PREPROCESS_NS: Cell<u64> = const { Cell::new(0) };
+    static DEGRADED_SOLVES: Cell<u64> = const { Cell::new(0) };
+    static CANCELLED_SOLVES: Cell<u64> = const { Cell::new(0) };
+    static PANICS_RECOVERED: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The current thread's counter values.
@@ -101,6 +118,9 @@ pub fn snapshot() -> SolverCounters {
         bb_repair_pivots: BB_REPAIR_PIVOTS.get(),
         bb_warm_nodes: BB_WARM_NODES.get(),
         preprocess_ns: PREPROCESS_NS.get(),
+        degraded_solves: DEGRADED_SOLVES.get(),
+        cancelled_solves: CANCELLED_SOLVES.get(),
+        panics_recovered: PANICS_RECOVERED.get(),
     }
 }
 
@@ -137,6 +157,25 @@ pub(crate) fn add_preprocess_ns(ns: u64) {
     PREPROCESS_NS.set(PREPROCESS_NS.get() + ns);
 }
 
+/// Records a budget-exhausted solve degraded through the scheduler's
+/// backtracking ladder. Public: the degradation decision lives in the
+/// scheduler crate, not here.
+pub fn note_degraded_solve() {
+    DEGRADED_SOLVES.set(DEGRADED_SOLVES.get() + 1);
+}
+
+/// Records a compilation abandoned on cancellation. Public: ticked by the
+/// scheduler when it propagates [`crate::BudgetError::Cancelled`].
+pub fn note_cancelled_solve() {
+    CANCELLED_SOLVES.set(CANCELLED_SOLVES.get() + 1);
+}
+
+/// Records a worker panic caught and recovered by a serving pool. Public:
+/// ticked on the worker thread by the daemon's pool.
+pub fn note_panic_recovered() {
+    PANICS_RECOVERED.set(PANICS_RECOVERED.get() + 1);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +192,9 @@ mod tests {
         count_bb_repair_pivots(5);
         count_bb_warm_node();
         add_preprocess_ns(17);
+        note_degraded_solve();
+        note_cancelled_solve();
+        note_panic_recovered();
         let after = snapshot();
         let d = after.delta_since(&before);
         assert_eq!(d.lp_solves, 1);
@@ -164,6 +206,9 @@ mod tests {
         assert_eq!(d.bb_repair_pivots, 5);
         assert_eq!(d.bb_warm_nodes, 1);
         assert_eq!(d.preprocess_ns, 17);
+        assert_eq!(d.degraded_solves, 1);
+        assert_eq!(d.cancelled_solves, 1);
+        assert_eq!(d.panics_recovered, 1);
     }
 
     #[test]
@@ -178,6 +223,9 @@ mod tests {
             bb_repair_pivots: 7,
             bb_warm_nodes: 8,
             preprocess_ns: 9,
+            degraded_solves: 10,
+            cancelled_solves: 11,
+            panics_recovered: 12,
         };
         let b = SolverCounters {
             lp_solves: 10,
@@ -189,6 +237,9 @@ mod tests {
             bb_repair_pivots: 70,
             bb_warm_nodes: 80,
             preprocess_ns: 90,
+            degraded_solves: 100,
+            cancelled_solves: 110,
+            panics_recovered: 120,
         };
         a.accumulate(&b);
         assert_eq!(
@@ -203,6 +254,9 @@ mod tests {
                 bb_repair_pivots: 77,
                 bb_warm_nodes: 88,
                 preprocess_ns: 99,
+                degraded_solves: 110,
+                cancelled_solves: 121,
+                panics_recovered: 132,
             }
         );
     }

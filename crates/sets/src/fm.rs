@@ -5,11 +5,12 @@
 //! linearized validity/proximity systems; code generation uses it to derive
 //! loop bounds for each schedule dimension.
 
+use crate::budget::{infallible, Budget, BudgetError};
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::counters;
 use crate::linexpr::LinExpr;
 use crate::preprocess::integer_row;
-use crate::simplex::{minimize, LpOutcome};
+use crate::simplex::{try_minimize, LpOutcome};
 use polyject_arith::Rat;
 
 /// Threshold above which LP-based redundancy pruning kicks in during
@@ -35,9 +36,21 @@ const PRUNE_THRESHOLD: usize = 32;
 /// assert!(!proj.contains_int(&[9, 0]));
 /// ```
 pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
+    infallible(try_eliminate_var(set, var, &Budget::unlimited()))
+}
+
+/// [`eliminate_var`] under a cooperative [`Budget`]: the pairwise
+/// combination loop checks the cancel flag and row-growth cap, so a
+/// blowing-up projection aborts with a structured error instead of
+/// consuming unbounded memory and time.
+pub fn try_eliminate_var(
+    set: &ConstraintSet,
+    var: usize,
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
     assert!(var < set.n_vars(), "variable out of range");
     counters::count_fm_elimination();
-    eliminate_var_impl(set, var, true)
+    eliminate_var_impl(set, var, true, budget)
 }
 
 /// [`eliminate_var`] without the integer combination fast path: every row
@@ -46,10 +59,15 @@ pub fn eliminate_var(set: &ConstraintSet, var: usize) -> ConstraintSet {
 /// produce syntactically identical constraint sets.
 pub fn eliminate_var_reference(set: &ConstraintSet, var: usize) -> ConstraintSet {
     assert!(var < set.n_vars(), "variable out of range");
-    eliminate_var_impl(set, var, false)
+    infallible(eliminate_var_impl(set, var, false, &Budget::unlimited()))
 }
 
-fn eliminate_var_impl(set: &ConstraintSet, var: usize, use_int: bool) -> ConstraintSet {
+fn eliminate_var_impl(
+    set: &ConstraintSet,
+    var: usize,
+    use_int: bool,
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
     // Prefer substitution through an equality involving the variable.
     if let Some(eq) = set
         .constraints()
@@ -94,14 +112,14 @@ fn eliminate_var_impl(set: &ConstraintSet, var: usize, use_int: bool) -> Constra
                     // empty set into a non-empty projection.
                     let mut empty = ConstraintSet::universe(set.n_vars());
                     empty.add(Constraint::ge0(LinExpr::constant(set.n_vars(), -1)));
-                    return empty;
+                    return Ok(empty);
                 }
                 if !nc.is_trivially_true() {
                     out.add(nc);
                 }
             }
         }
-        return out;
+        return Ok(out);
     }
 
     // Pure inequality elimination.
@@ -128,6 +146,7 @@ fn eliminate_var_impl(set: &ConstraintSet, var: usize, use_int: bool) -> Constra
         .map(|c| use_int.then(|| integer_row(c.expr())).flatten())
         .collect();
     for (lo, lo_row) in lowers.iter().zip(&lo_rows) {
+        budget.check()?;
         for (up, up_row) in uppers.iter().zip(&up_rows) {
             // p > 0, n < 0: (-n)*lo + p*up eliminates var, both scaled
             // positively so the >= direction is preserved.
@@ -144,13 +163,14 @@ fn eliminate_var_impl(set: &ConstraintSet, var: usize, use_int: bool) -> Constra
             let nc = Constraint::ge0(combined);
             if !nc.is_trivially_true() {
                 out.add_even_if_false(nc);
+                budget.check_fm_rows(out.len())?;
             }
         }
     }
     if out.len() > PRUNE_THRESHOLD {
-        remove_redundant(&out)
+        try_remove_redundant(&out, budget)
     } else {
-        out
+        Ok(out)
     }
 }
 
@@ -192,14 +212,23 @@ fn pair_combine_int(lo: &(Vec<i128>, i128), up: &(Vec<i128>, i128), var: usize) 
 
 /// Eliminates several variables existentially (in the given order).
 pub fn eliminate_vars(set: &ConstraintSet, vars: &[usize]) -> ConstraintSet {
+    infallible(try_eliminate_vars(set, vars, &Budget::unlimited()))
+}
+
+/// [`eliminate_vars`] under a cooperative [`Budget`].
+pub fn try_eliminate_vars(
+    set: &ConstraintSet,
+    vars: &[usize],
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
     let mut cur = set.clone();
     for &v in vars {
-        cur = eliminate_var(&cur, v);
+        cur = try_eliminate_var(&cur, v, budget)?;
         if cur.has_trivial_contradiction() {
-            return cur;
+            return Ok(cur);
         }
     }
-    cur
+    Ok(cur)
 }
 
 /// Projects the set onto its first `keep` variables: eliminates all later
@@ -209,18 +238,31 @@ pub fn eliminate_vars(set: &ConstraintSet, vars: &[usize]) -> ConstraintSet {
 ///
 /// Panics if `keep > set.n_vars()`.
 pub fn project_onto_prefix(set: &ConstraintSet, keep: usize) -> ConstraintSet {
+    infallible(try_project_onto_prefix(set, keep, &Budget::unlimited()))
+}
+
+/// [`project_onto_prefix`] under a cooperative [`Budget`].
+///
+/// # Panics
+///
+/// Panics if `keep > set.n_vars()`.
+pub fn try_project_onto_prefix(
+    set: &ConstraintSet,
+    keep: usize,
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
     assert!(
         keep <= set.n_vars(),
         "cannot keep more variables than exist"
     );
     let vars: Vec<usize> = (keep..set.n_vars()).collect();
-    let eliminated = eliminate_vars(set, &vars);
+    let eliminated = try_eliminate_vars(set, &vars, budget)?;
     if eliminated.has_trivial_contradiction() {
         // Elimination stopped early on a contradiction; the projection of
         // an empty set is empty.
         let mut out = ConstraintSet::universe(keep);
         out.add(Constraint::ge0(LinExpr::constant(keep, -1)));
-        return out;
+        return Ok(out);
     }
     let mut out = ConstraintSet::universe(keep);
     for c in eliminated.constraints() {
@@ -234,7 +276,7 @@ pub fn project_onto_prefix(set: &ConstraintSet, keep: usize) -> ConstraintSet {
         };
         out.add_even_if_false(nc);
     }
-    out
+    Ok(out)
 }
 
 /// Removes constraints that are implied by the others (LP-based, exact).
@@ -242,6 +284,15 @@ pub fn project_onto_prefix(set: &ConstraintSet, keep: usize) -> ConstraintSet {
 /// A constraint `e >= 0` is redundant iff the minimum of `e` subject to the
 /// remaining constraints is `>= 0`. Equalities are kept as-is.
 pub fn remove_redundant(set: &ConstraintSet) -> ConstraintSet {
+    infallible(try_remove_redundant(set, &Budget::unlimited()))
+}
+
+/// [`remove_redundant`] under a cooperative [`Budget`]: each redundancy
+/// probe is a budgeted LP solve.
+pub fn try_remove_redundant(
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
     let mut kept: Vec<Constraint> = set.constraints().to_vec();
     let mut i = 0;
     while i < kept.len() {
@@ -251,7 +302,7 @@ pub fn remove_redundant(set: &ConstraintSet) -> ConstraintSet {
         }
         let candidate = kept.remove(i);
         let rest = ConstraintSet::from_constraints(set.n_vars(), kept.iter().cloned());
-        let redundant = match minimize(candidate.expr(), &rest) {
+        let redundant = match try_minimize(candidate.expr(), &rest, budget)? {
             LpOutcome::Optimal { value, .. } => !value.is_negative(),
             LpOutcome::Infeasible => true, // empty set: everything is implied
             LpOutcome::Unbounded => false,
@@ -265,7 +316,7 @@ pub fn remove_redundant(set: &ConstraintSet) -> ConstraintSet {
     for c in kept {
         out.add_even_if_false(c);
     }
-    out
+    Ok(out)
 }
 
 /// Lower/upper bound expressions for one variable, for loop-bound

@@ -11,12 +11,13 @@
 //! differential testing). The search order is identical, so outcomes —
 //! including tie-broken optimum points — are bit-for-bit the same.
 
+use crate::budget::{Budget, BudgetError, BudgetResource};
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::counters;
 use crate::linexpr::LinExpr;
 use crate::preprocess::{self, PreOutcome};
 use crate::simplex::{minimize, minimize_with_basis, LpOutcome};
-use crate::tableau::{warm_resolve, LpBasis, WarmOutcome};
+use crate::tableau::{warm_resolve, LpBasis, SolveAbort, WarmOutcome};
 use polyject_arith::Rat;
 
 /// Result of an integer linear program.
@@ -56,7 +57,23 @@ impl IlpOutcome {
 }
 
 /// Hard cap on branch-and-bound nodes; scheduling ILPs explore a handful.
+/// Budgeted solves surface the cap as a structured
+/// [`BudgetError::Exhausted`]; the legacy unbudgeted entry points keep
+/// their historical panic.
 const NODE_LIMIT: usize = 100_000;
+
+/// Unwraps a solve run under [`Budget::unlimited`]: the only error an
+/// unlimited budget can surface is the built-in [`NODE_LIMIT`] cap, which
+/// the legacy entry points report as their documented panic.
+fn expect_within_node_limit<T>(r: Result<T, BudgetError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(BudgetError::Exhausted(BudgetResource::IlpNodes)) => {
+            panic!("branch-and-bound node limit exceeded")
+        }
+        Err(e) => unreachable!("unlimited budget tripped: {e}"),
+    }
+}
 
 /// Minimizes an affine objective over the integer points of a set.
 ///
@@ -82,6 +99,18 @@ pub fn minimize_integer(objective: &LinExpr, set: &ConstraintSet) -> IlpOutcome 
     minimize_integer_bounded(objective, set, None)
 }
 
+/// [`minimize_integer`] under a cooperative [`Budget`]: every
+/// branch-and-bound node checks the budget and the solve aborts with a
+/// structured error — leaving no partial state behind — instead of
+/// running away.
+pub fn try_minimize_integer(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<IlpOutcome, BudgetError> {
+    try_minimize_integer_bounded(objective, set, None, budget)
+}
+
 /// Like [`minimize_integer`], with an optional *attainable* upper bound on
 /// the objective: subtrees whose LP relaxation strictly exceeds the bound
 /// are pruned before any incumbent exists.
@@ -98,6 +127,21 @@ pub fn minimize_integer_bounded(
     set: &ConstraintSet,
     upper_bound: Option<Rat>,
 ) -> IlpOutcome {
+    expect_within_node_limit(try_minimize_integer_bounded(
+        objective,
+        set,
+        upper_bound,
+        &Budget::unlimited(),
+    ))
+}
+
+/// [`minimize_integer_bounded`] under a cooperative [`Budget`].
+pub fn try_minimize_integer_bounded(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    upper_bound: Option<Rat>,
+    budget: &Budget,
+) -> Result<IlpOutcome, BudgetError> {
     counters::count_ilp_solve();
     let mut best: Option<(Rat, Vec<i128>)> = None;
     let mut nodes = 0usize;
@@ -110,18 +154,19 @@ pub fn minimize_integer_bounded(
         &mut best,
         &mut nodes,
         None,
-    ) {
-        BranchResult::Unbounded => IlpOutcome::Unbounded,
+        budget,
+    )? {
+        BranchResult::Unbounded => Ok(IlpOutcome::Unbounded),
         BranchResult::Done => match best {
-            Some((value, point)) => IlpOutcome::Optimal { point, value },
+            Some((value, point)) => Ok(IlpOutcome::Optimal { point, value }),
             None if upper_bound.is_some() => {
                 // The bound contract was violated (no feasible point at or
                 // below it). Fall back to the exact unbounded search rather
                 // than report a spurious Infeasible.
                 debug_assert!(false, "minimize_integer_bounded: unattainable upper bound");
-                minimize_integer(objective, set)
+                try_minimize_integer(objective, set, budget)
             }
-            None => IlpOutcome::Infeasible,
+            None => Ok(IlpOutcome::Infeasible),
         },
     }
 }
@@ -134,12 +179,17 @@ pub fn minimize_integer_bounded(
 /// The answer is identical to solving the raw set — only the point that
 /// would witness feasibility may differ, and no point is reported here.
 pub fn is_integer_feasible(set: &ConstraintSet) -> bool {
+    expect_within_node_limit(try_is_integer_feasible(set, &Budget::unlimited()))
+}
+
+/// [`is_integer_feasible`] under a cooperative [`Budget`].
+pub fn try_is_integer_feasible(set: &ConstraintSet, budget: &Budget) -> Result<bool, BudgetError> {
     let t0 = std::time::Instant::now();
-    let pre = preprocess::tighten_for_integrality(set);
+    let pre = preprocess::tighten_for_integrality(set, budget);
     counters::add_preprocess_ns(t0.elapsed().as_nanos() as u64);
-    match pre {
-        PreOutcome::Infeasible => false,
-        PreOutcome::Reduced(reduced) => find_integer_point(&reduced).is_some(),
+    match pre? {
+        PreOutcome::Infeasible => Ok(false),
+        PreOutcome::Reduced(reduced) => Ok(try_find_integer_point(&reduced, budget)?.is_some()),
     }
 }
 
@@ -155,10 +205,18 @@ pub fn is_integer_feasible_reference(set: &ConstraintSet) -> bool {
 
 /// Finds some integer point of the set, if one exists.
 pub fn find_integer_point(set: &ConstraintSet) -> Option<Vec<i128>> {
-    match minimize_integer(&LinExpr::zero(set.n_vars()), set) {
-        IlpOutcome::Optimal { point, .. } => Some(point),
+    expect_within_node_limit(try_find_integer_point(set, &Budget::unlimited()))
+}
+
+/// [`find_integer_point`] under a cooperative [`Budget`].
+pub fn try_find_integer_point(
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<Option<Vec<i128>>, BudgetError> {
+    match try_minimize_integer(&LinExpr::zero(set.n_vars()), set, budget)? {
+        IlpOutcome::Optimal { point, .. } => Ok(Some(point)),
         IlpOutcome::Unbounded => unreachable!("zero objective cannot be unbounded"),
-        IlpOutcome::Infeasible => None,
+        IlpOutcome::Infeasible => Ok(None),
     }
 }
 
@@ -194,13 +252,24 @@ pub fn find_integer_point(set: &ConstraintSet) -> Option<Vec<i128>> {
 /// }
 /// ```
 pub fn lexmin_integer(objectives: &[LinExpr], set: &ConstraintSet) -> IlpOutcome {
+    expect_within_node_limit(try_lexmin_integer(objectives, set, &Budget::unlimited()))
+}
+
+/// [`lexmin_integer`] under a cooperative [`Budget`]. The budget spans the
+/// whole lexicographic sequence: a deadline or node cap is shared across
+/// all objectives, not reset per step.
+pub fn try_lexmin_integer(
+    objectives: &[LinExpr],
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<IlpOutcome, BudgetError> {
     let mut cur = set.clone();
     let mut last: Option<(Vec<i128>, Rat)> = None;
     for obj in objectives {
         // The previous optimum satisfies every pin added so far, so it is
         // feasible here and its objective value is attainable.
         let warm = last.as_ref().map(|(p, _)| obj.eval_int(p));
-        match minimize_integer_bounded(obj, &cur, warm) {
+        match try_minimize_integer_bounded(obj, &cur, warm, budget)? {
             IlpOutcome::Optimal { point, value } => {
                 // Pin this objective at its optimum for the later ones.
                 let mut pin = obj.clone();
@@ -208,17 +277,17 @@ pub fn lexmin_integer(objectives: &[LinExpr], set: &ConstraintSet) -> IlpOutcome
                 cur.add(Constraint::eq0(pin));
                 last = Some((point, value));
             }
-            other => return other,
+            other => return Ok(other),
         }
     }
     match last {
-        Some((point, value)) => IlpOutcome::Optimal { point, value },
-        None => match find_integer_point(&cur) {
-            Some(point) => IlpOutcome::Optimal {
+        Some((point, value)) => Ok(IlpOutcome::Optimal { point, value }),
+        None => match try_find_integer_point(&cur, budget)? {
+            Some(point) => Ok(IlpOutcome::Optimal {
                 point,
                 value: Rat::ZERO,
-            },
-            None => IlpOutcome::Infeasible,
+            }),
+            None => Ok(IlpOutcome::Infeasible),
         },
     }
 }
@@ -228,6 +297,7 @@ enum BranchResult {
     Unbounded,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn branch(
     objective: &LinExpr,
     set: &mut ConstraintSet,
@@ -235,10 +305,14 @@ fn branch(
     best: &mut Option<(Rat, Vec<i128>)>,
     nodes: &mut usize,
     warm_ctx: Option<(&LpBasis, &Constraint)>,
-) -> BranchResult {
+    budget: &Budget,
+) -> Result<BranchResult, BudgetError> {
     *nodes += 1;
     counters::count_ilp_node();
-    assert!(*nodes <= NODE_LIMIT, "branch-and-bound node limit exceeded");
+    if *nodes > NODE_LIMIT {
+        return Err(BudgetError::Exhausted(BudgetResource::IlpNodes));
+    }
+    budget.check()?;
     // Resolve this node's LP relaxation. When the parent exported an
     // optimal basis, repair it under the one pushed bound with dual
     // simplex pivots first; a cold solve only happens when the repaired
@@ -247,9 +321,8 @@ fn branch(
     // bit-for-bit the cold one either way.
     let mut resolved: Option<(LpOutcome, Option<LpBasis>)> = None;
     if let Some((parent, extra)) = warm_ctx {
-        if let Some((warm, pivots)) = warm_resolve(parent, extra) {
-            counters::count_bb_repair_pivots(pivots);
-            match warm {
+        match warm_resolve(parent, extra, budget) {
+            Ok(warm) => match warm {
                 WarmOutcome::Infeasible => {
                     counters::count_bb_warm_node();
                     resolved = Some((LpOutcome::Infeasible, None));
@@ -267,7 +340,7 @@ fn branch(
                         || best.as_ref().is_some_and(|(bv, _)| value >= *bv);
                     if prunes {
                         counters::count_bb_warm_node();
-                        return BranchResult::Done;
+                        return Ok(BranchResult::Done);
                     }
                     if unique {
                         counters::count_bb_warm_node();
@@ -277,28 +350,32 @@ fn branch(
                     // path's tie-broken vertex drives branching, so fall
                     // through to a cold solve.
                 }
-            }
+            },
+            // Warm repair overflowed (or hit its pivot cap): fall through
+            // to the cold solve, exactly as before budgets existed.
+            Err(SolveAbort::Overflow) => {}
+            Err(SolveAbort::Budget(e)) => return Err(e),
         }
     }
     let (outcome, basis) = match resolved {
         Some(r) => r,
-        None => minimize_with_basis(objective, set),
+        None => minimize_with_basis(objective, set, budget)?,
     };
     match outcome {
-        LpOutcome::Infeasible => BranchResult::Done,
-        LpOutcome::Unbounded => BranchResult::Unbounded,
+        LpOutcome::Infeasible => Ok(BranchResult::Done),
+        LpOutcome::Unbounded => Ok(BranchResult::Unbounded),
         LpOutcome::Optimal { point, value } => {
             // Every integer point below this node is >= the relaxation
             // value: strictly above the attainable bound means the subtree
             // cannot contain an optimum.
             if let Some(ub) = upper_bound {
                 if value > ub {
-                    return BranchResult::Done;
+                    return Ok(BranchResult::Done);
                 }
             }
             if let Some((bv, _)) = best {
                 if value >= *bv {
-                    return BranchResult::Done; // cannot improve
+                    return Ok(BranchResult::Done); // cannot improve
                 }
             }
             match first_fractional(&point) {
@@ -310,22 +387,24 @@ fn branch(
                     if best.as_ref().is_none_or(|(bv, _)| value < *bv) {
                         *best = Some((value, int_point));
                     }
-                    BranchResult::Done
+                    Ok(BranchResult::Done)
                 }
                 Some(i) => {
                     let f = point[i];
                     let n = set.n_vars();
                     // x_i <= floor(f): push the bound, recurse, pop it.
+                    // The pop happens before `?` propagates any budget
+                    // error so an aborted solve leaves no partial state.
                     let saved = set.len();
                     let mut e = LinExpr::var(n, i).scaled(-Rat::ONE);
                     e.set_constant(Rat::int(f.floor()));
                     let c = Constraint::ge0(e);
                     set.add(c.clone());
                     let ctx = basis.as_ref().map(|b| (b, &c));
-                    let lo = branch(objective, set, upper_bound, best, nodes, ctx);
+                    let lo = branch(objective, set, upper_bound, best, nodes, ctx, budget);
                     set.truncate(saved);
-                    if let BranchResult::Unbounded = lo {
-                        return BranchResult::Unbounded;
+                    if let BranchResult::Unbounded = lo? {
+                        return Ok(BranchResult::Unbounded);
                     }
                     // x_i >= ceil(f)
                     let saved = set.len();
@@ -334,7 +413,7 @@ fn branch(
                     let c = Constraint::ge0(e);
                     set.add(c.clone());
                     let ctx = basis.as_ref().map(|b| (b, &c));
-                    let hi = branch(objective, set, upper_bound, best, nodes, ctx);
+                    let hi = branch(objective, set, upper_bound, best, nodes, ctx, budget);
                     set.truncate(saved);
                     hi
                 }

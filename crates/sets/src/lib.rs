@@ -15,6 +15,11 @@
 //! All arithmetic is exact ([`polyject_arith::Rat`]); there is no floating
 //! point anywhere in a decision path.
 //!
+//! Every solver entry point has a `try_*` twin taking a [`Budget`] —
+//! wall-clock deadline, node/pivot/row caps, and a shared cancel flag —
+//! that every solver loop checks cooperatively, returning a structured
+//! [`BudgetError`] instead of running away (see [`budget`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 mod constraint;
 pub mod counters;
 mod fm;
@@ -48,17 +54,23 @@ mod relations;
 mod simplex;
 mod tableau;
 
+pub use budget::{Budget, BudgetError, BudgetResource};
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
 pub use counters::SolverCounters;
 pub use fm::{
     bounds_for_var, eliminate_var, eliminate_var_reference, eliminate_vars, project_onto_prefix,
-    remove_redundant, VarBounds,
+    remove_redundant, try_eliminate_var, try_eliminate_vars, try_project_onto_prefix,
+    try_remove_redundant, VarBounds,
 };
 pub use ilp::{
     find_integer_point, is_integer_feasible, is_integer_feasible_reference, lexmin_integer,
-    minimize_integer, minimize_integer_bounded, minimize_integer_reference, IlpOutcome,
+    minimize_integer, minimize_integer_bounded, minimize_integer_reference, try_find_integer_point,
+    try_is_integer_feasible, try_lexmin_integer, try_minimize_integer,
+    try_minimize_integer_bounded, IlpOutcome,
 };
 pub use linexpr::LinExpr;
 pub use points::{count_integer_points, eval_bound, integer_points};
 pub use relations::{is_subset, lexmax_point, lexmin_point, set_eq, simplify};
-pub use simplex::{is_rational_feasible, maximize, minimize, minimize_reference, LpOutcome};
+pub use simplex::{
+    is_rational_feasible, maximize, minimize, minimize_reference, try_minimize, LpOutcome,
+};

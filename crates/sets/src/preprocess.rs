@@ -18,6 +18,7 @@
 //! original rows, because rewriting them changes which tie-broken vertex
 //! the simplex reports even when the optimal value is unchanged.
 
+use crate::budget::{Budget, BudgetError};
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::linexpr::LinExpr;
 use polyject_arith::Rat;
@@ -36,14 +37,18 @@ pub(crate) enum PreOutcome {
 /// or entries of magnitude `2^127` (where the rewrites could overflow)
 /// are passed through untouched, so the pass never panics where the
 /// plain solver would not.
-pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
+pub(crate) fn tighten_for_integrality(
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<PreOutcome, BudgetError> {
     let n = set.n_vars();
     let mut lo: Vec<Option<i128>> = vec![None; n];
     let mut hi: Vec<Option<i128>> = vec![None; n];
     let mut out = ConstraintSet::universe(n);
     for c in set.constraints() {
+        budget.check()?;
         if c.is_trivially_false() {
-            return PreOutcome::Infeasible;
+            return Ok(PreOutcome::Infeasible);
         }
         // Normalized constraints have coprime integer entries; fall back
         // to passing the row through if this one somehow does not.
@@ -76,7 +81,7 @@ pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
                 if a > 0 {
                     // a·x + k == 0 pins x to -k/a — or nothing.
                     if k.rem_euclid(a) != 0 {
-                        return PreOutcome::Infeasible;
+                        return Ok(PreOutcome::Infeasible);
                     }
                     let b = -k / a;
                     merge_lo(&mut lo[v], b);
@@ -100,7 +105,7 @@ pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
                         // Every integer combination of the coefficients is
                         // a multiple of g, so the constant must be too.
                         if k.rem_euclid(g) != 0 {
-                            return PreOutcome::Infeasible;
+                            return Ok(PreOutcome::Infeasible);
                         }
                         let coeffs: Vec<i128> = ints.iter().map(|&a| a / g).collect();
                         out.add(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k / g)));
@@ -121,7 +126,7 @@ pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
     for v in 0..n {
         if let (Some(l), Some(h)) = (lo[v], hi[v]) {
             if l > h {
-                return PreOutcome::Infeasible;
+                return Ok(PreOutcome::Infeasible);
             }
         }
         if let Some(l) = lo[v] {
@@ -135,7 +140,7 @@ pub(crate) fn tighten_for_integrality(set: &ConstraintSet) -> PreOutcome {
             out.add(Constraint::ge0(e));
         }
     }
-    PreOutcome::Reduced(out)
+    Ok(PreOutcome::Reduced(out))
 }
 
 /// The expression's coefficients and constant as integers, if they all are.
@@ -170,8 +175,12 @@ mod tests {
         Constraint::ge0(LinExpr::from_coeffs(coeffs, k))
     }
 
+    fn tighten(set: &ConstraintSet) -> PreOutcome {
+        tighten_for_integrality(set, &Budget::unlimited()).unwrap()
+    }
+
     fn reduced(set: &ConstraintSet) -> ConstraintSet {
-        match tighten_for_integrality(set) {
+        match tighten(set) {
             PreOutcome::Reduced(s) => s,
             PreOutcome::Infeasible => panic!("unexpectedly infeasible"),
         }
@@ -181,10 +190,7 @@ mod tests {
     fn crossing_integer_bounds_are_infeasible() {
         // 1/3 <= x <= 2/3 → merged bounds 1 <= x <= 0 → infeasible, no LP.
         let set = ConstraintSet::from_constraints(1, vec![ge(1, &[3], -1), ge(1, &[-3], 2)]);
-        assert!(matches!(
-            tighten_for_integrality(&set),
-            PreOutcome::Infeasible
-        ));
+        assert!(matches!(tighten(&set), PreOutcome::Infeasible));
     }
 
     #[test]
@@ -194,10 +200,7 @@ mod tests {
             2,
             vec![Constraint::eq0(LinExpr::from_coeffs(&[2, 2], -1))],
         );
-        assert!(matches!(
-            tighten_for_integrality(&set),
-            PreOutcome::Infeasible
-        ));
+        assert!(matches!(tighten(&set), PreOutcome::Infeasible));
     }
 
     #[test]
@@ -246,19 +249,13 @@ mod tests {
             1,
             vec![Constraint::eq0(LinExpr::from_coeffs(&[3], -11))],
         );
-        assert!(matches!(
-            tighten_for_integrality(&bad),
-            PreOutcome::Infeasible
-        ));
+        assert!(matches!(tighten(&bad), PreOutcome::Infeasible));
     }
 
     #[test]
     fn trivial_contradiction_short_circuits() {
         let mut set = ConstraintSet::universe(2);
         set.add(Constraint::ge0(LinExpr::constant(2, -1)));
-        assert!(matches!(
-            tighten_for_integrality(&set),
-            PreOutcome::Infeasible
-        ));
+        assert!(matches!(tighten(&set), PreOutcome::Infeasible));
     }
 }

@@ -12,9 +12,10 @@
 //! on (never yet observed) `i128` overflow and as the oracle for the
 //! differential test suite.
 
+use crate::budget::{infallible, Budget, BudgetError};
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::linexpr::LinExpr;
-use crate::tableau::{self, is_sign_row, single_var, LpBasis};
+use crate::tableau::{self, is_sign_row, single_var, LpBasis, SolveAbort};
 use polyject_arith::Rat;
 
 /// Result of a linear program.
@@ -72,32 +73,44 @@ impl LpOutcome {
 ///
 /// Panics if the objective's variable count differs from the set's.
 pub fn minimize(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
+    infallible(try_minimize(objective, set, &Budget::unlimited()))
+}
+
+/// [`minimize`] under a cooperative [`Budget`]: the simplex loops check
+/// the budget every iteration and abort with the structured error instead
+/// of running away.
+///
+/// # Panics
+///
+/// Panics if the objective's variable count differs from the set's.
+pub fn try_minimize(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    budget: &Budget,
+) -> Result<LpOutcome, BudgetError> {
     assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
     crate::counters::count_lp_solve();
-    match tableau::solve_int(objective, set, false) {
-        Some((out, _, work)) => {
-            crate::counters::count_lp_pivots(work.phase1, work.phase2);
-            out
-        }
-        None => Simplex::new(set).minimize(objective),
+    match tableau::solve_int(objective, set, false, budget) {
+        Ok((out, _)) => Ok(out),
+        Err(SolveAbort::Budget(e)) => Err(e),
+        Err(SolveAbort::Overflow) => Simplex::new(set).minimize(objective, budget),
     }
 }
 
-/// Like [`minimize`], additionally exporting the optimal basis (when one
-/// exists and the variable space needed no sign-splitting) so
+/// Like [`try_minimize`], additionally exporting the optimal basis (when
+/// one exists and the variable space needed no sign-splitting) so
 /// branch-and-bound can warm-start child nodes with dual simplex repairs.
 pub(crate) fn minimize_with_basis(
     objective: &LinExpr,
     set: &ConstraintSet,
-) -> (LpOutcome, Option<LpBasis>) {
+    budget: &Budget,
+) -> Result<(LpOutcome, Option<LpBasis>), BudgetError> {
     assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
     crate::counters::count_lp_solve();
-    match tableau::solve_int(objective, set, true) {
-        Some((out, basis, work)) => {
-            crate::counters::count_lp_pivots(work.phase1, work.phase2);
-            (out, basis)
-        }
-        None => (Simplex::new(set).minimize(objective), None),
+    match tableau::solve_int(objective, set, true, budget) {
+        Ok((out, basis)) => Ok((out, basis)),
+        Err(SolveAbort::Budget(e)) => Err(e),
+        Err(SolveAbort::Overflow) => Ok((Simplex::new(set).minimize(objective, budget)?, None)),
     }
 }
 
@@ -109,7 +122,7 @@ pub(crate) fn minimize_with_basis(
 pub fn minimize_reference(objective: &LinExpr, set: &ConstraintSet) -> LpOutcome {
     assert_eq!(objective.n_vars(), set.n_vars(), "objective space mismatch");
     crate::counters::count_lp_solve();
-    Simplex::new(set).minimize(objective)
+    infallible(Simplex::new(set).minimize(objective, &Budget::unlimited()))
 }
 
 /// Maximizes an affine objective over a constraint set.
@@ -147,9 +160,9 @@ impl<'a> Simplex<'a> {
         }
     }
 
-    fn minimize(&self, objective: &LinExpr) -> LpOutcome {
+    fn minimize(&self, objective: &LinExpr, budget: &Budget) -> Result<LpOutcome, BudgetError> {
         if self.set.has_trivial_contradiction() {
-            return LpOutcome::Infeasible;
+            return Ok(LpOutcome::Infeasible);
         }
         // Variables with an explicit `x_v >= 0` constraint can use their
         // natural column directly; when *all* variables are non-negative
@@ -181,14 +194,14 @@ impl<'a> Simplex<'a> {
             } else {
                 objective.coeffs().iter().any(Rat::is_negative)
             };
-            return if unbounded {
+            return Ok(if unbounded {
                 LpOutcome::Unbounded
             } else {
                 LpOutcome::Optimal {
                     point: vec![Rat::ZERO; self.n],
                     value: objective.constant_term(),
                 }
-            };
+            });
         }
 
         // Columns: [x (or p,q) | slacks | artificials-for-needy-rows].
@@ -264,11 +277,11 @@ impl<'a> Simplex<'a> {
                 *slot = Rat::ONE;
             }
             tab.install_objective(&phase1);
-            if tab.run() == RunResult::Unbounded {
+            if tab.run(budget)? == RunResult::Unbounded {
                 unreachable!("phase-1 objective is bounded below by zero");
             }
             if tab.val.is_positive() {
-                return LpOutcome::Infeasible;
+                return Ok(LpOutcome::Infeasible);
             }
             // Drive basic artificials out of the basis where possible.
             for r in 0..m {
@@ -294,8 +307,8 @@ impl<'a> Simplex<'a> {
             }
         }
         tab.install_objective(&phase2);
-        if tab.run() == RunResult::Unbounded {
-            return LpOutcome::Unbounded;
+        if tab.run(budget)? == RunResult::Unbounded {
+            return Ok(LpOutcome::Unbounded);
         }
 
         let mut point = vec![Rat::ZERO; self.n];
@@ -307,10 +320,10 @@ impl<'a> Simplex<'a> {
                 point[bv - self.n] -= tab.b[r];
             }
         }
-        LpOutcome::Optimal {
+        Ok(LpOutcome::Optimal {
             point,
             value: tab.val + objective.constant_term(),
-        }
+        })
     }
 }
 
@@ -389,12 +402,13 @@ impl Tableau {
     /// Invariant: `z = val + Σ cost_j·y_j` over nonbasic `y_j >= 0`, so a
     /// column with negative reduced cost lowers the minimization objective
     /// as it enters the basis; `val` is updated inside [`Tableau::pivot`].
-    fn run(&mut self) -> RunResult {
+    fn run(&mut self, budget: &Budget) -> Result<RunResult, BudgetError> {
         loop {
+            budget.check()?;
             // Bland: smallest-index entering column with negative reduced
             // cost.
             let Some(c) = (0..self.allowed).find(|&j| self.cost[j].is_negative()) else {
-                return RunResult::Optimal;
+                return Ok(RunResult::Optimal);
             };
             // Min-ratio leaving row; Bland tie-break on basis variable index.
             let mut leave: Option<(usize, Rat)> = None;
@@ -413,7 +427,7 @@ impl Tableau {
                 }
             }
             let Some((r, _)) = leave else {
-                return RunResult::Unbounded;
+                return Ok(RunResult::Unbounded);
             };
             self.pivot(r, c);
         }

@@ -24,9 +24,12 @@
 //! asserts exactly that.
 //!
 //! All arithmetic is checked; any overflow aborts the integer solve with
-//! `None` and the caller falls back to the rational reference, so no new
-//! panic paths are introduced.
+//! [`SolveAbort::Overflow`] and the caller falls back to the rational
+//! reference, so no new panic paths are introduced. Budget trips
+//! ([`SolveAbort::Budget`]) propagate out instead — a cancelled or
+//! exhausted solve must not silently restart on the slower rational path.
 
+use crate::budget::{Budget, BudgetError};
 use crate::constraint::{Constraint, ConstraintKind, ConstraintSet};
 use crate::linexpr::LinExpr;
 use crate::simplex::LpOutcome;
@@ -43,12 +46,26 @@ enum RunResult {
     Unbounded,
 }
 
-/// Pivot-work counters for one integer solve, reported into
-/// [`crate::counters`] by the caller.
-#[derive(Default, Clone, Copy)]
-pub(crate) struct PivotWork {
-    pub phase1: u64,
-    pub phase2: u64,
+/// Why an integer-tableau solve stopped early.
+pub(crate) enum SolveAbort {
+    /// An intermediate value overflowed `i128` (or the dual pivot cap was
+    /// hit): the caller falls back to the cold/rational path, exactly as
+    /// the historical `None` return did.
+    Overflow,
+    /// The budget tripped; propagated all the way out, no fallback.
+    Budget(BudgetError),
+}
+
+impl From<BudgetError> for SolveAbort {
+    fn from(e: BudgetError) -> SolveAbort {
+        SolveAbort::Budget(e)
+    }
+}
+
+/// Maps the checked-arithmetic `None` onto [`SolveAbort::Overflow`].
+#[inline]
+fn ov<T>(o: Option<T>) -> Result<T, SolveAbort> {
+    o.ok_or(SolveAbort::Overflow)
 }
 
 /// Dense integer tableau: row-major `data` with `stride = ncols + 1` (the
@@ -230,13 +247,14 @@ impl IntTableau {
     }
 
     /// Primal simplex with Bland's rule; identical pivot choices to the
-    /// rational reference. Returns the run outcome and the pivot count, or
-    /// `None` on overflow.
-    fn run(&mut self) -> Option<(RunResult, u64)> {
-        let mut pivots = 0u64;
+    /// rational reference. Aborts on overflow or a tripped budget. Pivots
+    /// are ticked into [`crate::counters`] one by one so an in-flight
+    /// solve is visible to budget pivot caps.
+    fn run(&mut self, budget: &Budget, phase1: bool) -> Result<RunResult, SolveAbort> {
         loop {
+            budget.check()?;
             let Some(c) = (0..self.ncols).find(|&j| self.enterable(j) && self.cost[j] < 0) else {
-                return Some((RunResult::Optimal, pivots));
+                return Ok(RunResult::Optimal);
             };
             // Min-ratio on b_r / a_rc (per-row denominators cancel),
             // cross-multiplied; ties break on the smaller basis index.
@@ -249,8 +267,8 @@ impl IntTableau {
                 let better = match leave {
                     None => true,
                     Some(l) => {
-                        let lhs = self.b(r).checked_mul(self.at(l, c))?;
-                        let rhs = self.b(l).checked_mul(arc)?;
+                        let lhs = ov(self.b(r).checked_mul(self.at(l, c)))?;
+                        let rhs = ov(self.b(l).checked_mul(arc))?;
                         lhs < rhs || (lhs == rhs && self.basis[r] < self.basis[l])
                     }
                 };
@@ -259,10 +277,14 @@ impl IntTableau {
                 }
             }
             let Some(r) = leave else {
-                return Some((RunResult::Unbounded, pivots));
+                return Ok(RunResult::Unbounded);
             };
-            self.pivot(r, c)?;
-            pivots += 1;
+            ov(self.pivot(r, c))?;
+            if phase1 {
+                crate::counters::count_lp_pivots(1, 0);
+            } else {
+                crate::counters::count_lp_pivots(0, 1);
+            }
         }
     }
 
@@ -338,19 +360,20 @@ pub(crate) enum WarmOutcome {
 }
 
 /// Solves the LP with the integer tableau, mirroring the rational
-/// reference decision-for-decision. Returns `None` if any intermediate
-/// value overflows `i128` (callers fall back to the reference solver), and
-/// otherwise the outcome plus — when requested and the variable space
-/// needed no sign-splitting — the optimal basis for warm starts.
+/// reference decision-for-decision. Aborts with [`SolveAbort::Overflow`]
+/// if any intermediate value overflows `i128` (callers fall back to the
+/// reference solver) and propagates budget errors; otherwise returns the
+/// outcome plus — when requested and the variable space needed no
+/// sign-splitting — the optimal basis for warm starts.
 pub(crate) fn solve_int(
     objective: &LinExpr,
     set: &ConstraintSet,
     want_basis: bool,
-) -> Option<(LpOutcome, Option<LpBasis>, PivotWork)> {
+    budget: &Budget,
+) -> Result<(LpOutcome, Option<LpBasis>), SolveAbort> {
     let n = set.n_vars();
-    let mut work = PivotWork::default();
     if set.has_trivial_contradiction() {
-        return Some((LpOutcome::Infeasible, None, work));
+        return Ok((LpOutcome::Infeasible, None));
     }
     // Mirror of the reference: skip the p−q split (and drop the sign rows)
     // when every variable carries an explicit `x >= 0` constraint.
@@ -383,7 +406,7 @@ pub(crate) fn solve_int(
                 value: objective.constant_term(),
             }
         };
-        return Some((out, None, work));
+        return Ok((out, None));
     }
 
     let n_x = if split { 2 * n } else { n };
@@ -402,13 +425,13 @@ pub(crate) fn solve_int(
     for (r, c) in rows.iter().enumerate() {
         let mut row = vec![0i128; n_struct + 1];
         for (i, coef) in c.expr().coeffs().iter().enumerate() {
-            let v = int_of(*coef)?;
+            let v = ov(int_of(*coef))?;
             row[i] = v;
             if split {
-                row[n + i] = v.checked_neg()?;
+                row[n + i] = ov(v.checked_neg())?;
             }
         }
-        row[n_struct] = int_of(c.expr().constant_term())?.checked_neg()?;
+        row[n_struct] = ov(ov(int_of(c.expr().constant_term()))?.checked_neg())?;
         let mut slack: Option<usize> = None;
         if c.kind() == ConstraintKind::Ge {
             row[slack_idx] = -1;
@@ -417,13 +440,13 @@ pub(crate) fn solve_int(
         }
         if row[n_struct] < 0 {
             for v in row.iter_mut() {
-                *v = v.checked_neg()?;
+                *v = ov(v.checked_neg())?;
             }
             basis0[r] = slack;
         } else if row[n_struct] == 0 {
             if let Some(s) = slack {
                 for v in row.iter_mut() {
-                    *v = v.checked_neg()?;
+                    *v = ov(v.checked_neg())?;
                 }
                 basis0[r] = Some(s);
             }
@@ -464,21 +487,20 @@ pub(crate) fn solve_int(
         for slot in phase1.iter_mut().take(n_total).skip(n_struct) {
             *slot = 1;
         }
-        tab.install_objective(phase1)?;
-        let (res, pivots) = tab.run()?;
-        work.phase1 += pivots;
+        ov(tab.install_objective(phase1))?;
+        let res = tab.run(budget, true)?;
         if res == RunResult::Unbounded {
             unreachable!("phase-1 objective is bounded below by zero");
         }
         if tab.valnum > 0 {
-            return Some((LpOutcome::Infeasible, None, work));
+            return Ok((LpOutcome::Infeasible, None));
         }
         // Drive basic artificials out where a structural pivot exists.
         for r in 0..m {
             if tab.basis[r] >= n_struct {
                 if let Some(c) = (0..n_struct).find(|&c| tab.at(r, c) != 0) {
-                    tab.pivot(r, c)?;
-                    work.phase1 += 1;
+                    ov(tab.pivot(r, c))?;
+                    crate::counters::count_lp_pivots(1, 0);
                 }
             }
         }
@@ -494,17 +516,16 @@ pub(crate) fn solve_int(
     let mut phase2 = vec![0i128; n_total];
     for i in 0..n {
         let c = objective.coeff(i);
-        let v = c.numer().checked_mul(obj_scale / c.denom())?;
+        let v = ov(c.numer().checked_mul(obj_scale / c.denom()))?;
         phase2[i] = v;
         if split {
-            phase2[n + i] = v.checked_neg()?;
+            phase2[n + i] = ov(v.checked_neg())?;
         }
     }
-    tab.install_objective(phase2)?;
-    let (res, pivots) = tab.run()?;
-    work.phase2 += pivots;
+    ov(tab.install_objective(phase2))?;
+    let res = tab.run(budget, false)?;
     if res == RunResult::Unbounded {
-        return Some((LpOutcome::Unbounded, None, work));
+        return Ok((LpOutcome::Unbounded, None));
     }
 
     let point = tab.read_point(n, split);
@@ -519,15 +540,19 @@ pub(crate) fn solve_int(
     } else {
         None
     };
-    Some((LpOutcome::Optimal { point, value }, basis, work))
+    Ok((LpOutcome::Optimal { point, value }, basis))
 }
 
 /// Re-solves the parent's LP with one extra `expr >= 0` row, repairing the
 /// parent's optimal basis with dual simplex pivots instead of a cold
-/// two-phase solve. Returns the outcome and the repair pivot count, or
-/// `None` when the caller should fall back to a cold solve (overflow, a
-/// non-integer row, or the pivot cap).
-pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(WarmOutcome, u64)> {
+/// two-phase solve. Aborts with [`SolveAbort::Overflow`] when the caller
+/// should fall back to a cold solve (overflow, a non-integer row, or the
+/// pivot cap) and propagates budget errors.
+pub(crate) fn warm_resolve(
+    parent: &LpBasis,
+    extra: &Constraint,
+    budget: &Budget,
+) -> Result<WarmOutcome, SolveAbort> {
     debug_assert_eq!(extra.kind(), ConstraintKind::Ge);
     let mut tab = parent.tab.clone();
     let n = parent.n;
@@ -538,10 +563,10 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
     // New row for `expr - s = 0` with the fresh slack `s >= 0`.
     let mut row = vec![0i128; stride];
     for (i, coef) in extra.expr().coeffs().iter().enumerate() {
-        row[i] = int_of(*coef)?;
+        row[i] = ov(int_of(*coef))?;
     }
     row[col] = -1;
-    row[ncols] = int_of(extra.expr().constant_term())?.checked_neg()?;
+    row[ncols] = ov(ov(int_of(extra.expr().constant_term()))?.checked_neg())?;
     let mut den: i128 = 1;
     // Price the row out against the current basis: zero each basic column
     // (basic columns of distinct rows are disjoint, so one sweep works).
@@ -554,24 +579,24 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
         let pb = tab.at(r, cb);
         debug_assert!(pb > 0);
         for (j, v) in row.iter_mut().enumerate() {
-            *v = v
-                .checked_mul(pb)?
-                .checked_sub(f.checked_mul(tab.data[r * stride + j])?)?;
+            let scaled = ov(v.checked_mul(pb))?;
+            let sub = ov(f.checked_mul(tab.data[r * stride + j]))?;
+            *v = ov(scaled.checked_sub(sub))?;
         }
-        den = den.checked_mul(pb)?;
+        den = ov(den.checked_mul(pb))?;
     }
     // The eliminations only scaled the fresh slack's coefficient, which
     // started at -1: negate the row so the slack is basic with a positive
     // coefficient (the positive-scale invariant).
     debug_assert!(row[col] < 0);
     for v in row.iter_mut() {
-        *v = v.checked_neg()?;
+        *v = ov(v.checked_neg())?;
     }
     let r_new = tab.rows();
     tab.data.extend_from_slice(&row);
     tab.den.push(den);
     tab.basis.push(col);
-    tab.normalize_row(r_new)?;
+    ov(tab.normalize_row(r_new))?;
 
     // Dual simplex: the basis is dual-feasible (parent-optimal reduced
     // costs are nonnegative); repair primal feasibility. Bland-style
@@ -580,6 +605,7 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
     // to the smallest column.
     let mut pivots = 0u64;
     loop {
+        budget.check()?;
         let mut leave: Option<usize> = None;
         for r in 0..tab.rows() {
             if tab.b(r) < 0 && leave.is_none_or(|l| tab.basis[r] < tab.basis[l]) {
@@ -594,12 +620,12 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
             if !tab.enterable(j) || tab.at(r, j) >= 0 {
                 continue;
             }
-            let na_j = tab.at(r, j).checked_neg()?;
+            let na_j = ov(tab.at(r, j).checked_neg())?;
             let better = match enter {
                 None => true,
                 Some(e) => {
-                    let na_e = tab.at(r, e).checked_neg()?;
-                    tab.cost[j].checked_mul(na_e)? < tab.cost[e].checked_mul(na_j)?
+                    let na_e = ov(tab.at(r, e).checked_neg())?;
+                    ov(tab.cost[j].checked_mul(na_e))? < ov(tab.cost[e].checked_mul(na_j))?
                 }
             };
             if better {
@@ -608,12 +634,13 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
         }
         let Some(c) = enter else {
             // Dual unbounded: the child LP has no feasible point.
-            return Some((WarmOutcome::Infeasible, pivots));
+            return Ok(WarmOutcome::Infeasible);
         };
-        tab.pivot(r, c)?;
+        ov(tab.pivot(r, c))?;
+        crate::counters::count_bb_repair_pivots(1);
         pivots += 1;
         if pivots > DUAL_PIVOT_LIMIT {
-            return None;
+            return Err(SolveAbort::Overflow);
         }
     }
 
@@ -640,15 +667,12 @@ pub(crate) fn warm_resolve(parent: &LpBasis, extra: &Constraint) -> Option<(Warm
         obj_scale: parent.obj_scale,
         obj_const: parent.obj_const,
     });
-    Some((
-        WarmOutcome::Optimal {
-            value,
-            point,
-            unique,
-            basis,
-        },
-        pivots,
-    ))
+    Ok(WarmOutcome::Optimal {
+        value,
+        point,
+        unique,
+        basis,
+    })
 }
 
 fn int_of(r: Rat) -> Option<i128> {

@@ -1,0 +1,149 @@
+//! Budget-governance differential tests: a solve aborted by a budget —
+//! cancellation, deadline, or node/row caps — must leave no partial state
+//! behind, so a subsequent unbudgeted solve on the same inputs matches the
+//! reference solver exactly.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use polyject_sets::{
+    eliminate_var, eliminate_var_reference, lexmin_integer, minimize_integer,
+    minimize_integer_reference, try_eliminate_var, try_lexmin_integer, try_minimize_integer,
+    Budget, BudgetError, BudgetResource, Constraint, ConstraintSet, IlpOutcome, LinExpr,
+};
+
+fn ge(coeffs: &[i128], k: i128) -> Constraint {
+    Constraint::ge0(LinExpr::from_coeffs(coeffs, k))
+}
+
+/// A small ILP whose relaxation is fractional, forcing real branching.
+fn branching_problem() -> (LinExpr, ConstraintSet) {
+    let set = ConstraintSet::from_constraints(
+        3,
+        vec![
+            ge(&[2, 3, 5], -11),
+            ge(&[1, 0, 0], 0),
+            ge(&[0, 1, 0], 0),
+            ge(&[0, 0, 1], 0),
+            ge(&[-1, -1, -1], 7),
+        ],
+    );
+    (LinExpr::from_coeffs(&[1, 1, 1], 0), set)
+}
+
+#[test]
+fn node_cap_aborts_with_structured_error() {
+    let (obj, set) = branching_problem();
+    let budget = Budget::unlimited().with_max_ilp_nodes(1);
+    match try_minimize_integer(&obj, &set, &budget) {
+        Err(BudgetError::Exhausted(BudgetResource::IlpNodes)) => {}
+        other => panic!("expected node exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn aborted_solve_leaves_no_partial_state() {
+    let (obj, set) = branching_problem();
+    let reference = minimize_integer_reference(&obj, &set);
+
+    // Trip the solve at every possible depth: whatever node the abort
+    // lands on, the push/pop discipline must restore the set, so the
+    // follow-up unbudgeted solve on the *same* inputs matches the
+    // reference solver exactly.
+    for cap in 1..12 {
+        let budget = Budget::unlimited().with_max_ilp_nodes(cap);
+        let _ = try_minimize_integer(&obj, &set, &budget);
+        assert_eq!(
+            minimize_integer(&obj, &set),
+            reference,
+            "partial state leaked after aborting at node cap {cap}"
+        );
+    }
+}
+
+#[test]
+fn cancelled_solve_leaves_no_partial_state() {
+    let (obj, set) = branching_problem();
+    let reference = minimize_integer_reference(&obj, &set);
+
+    let flag = Arc::new(AtomicBool::new(true));
+    let budget = Budget::unlimited().with_cancel(Arc::clone(&flag));
+    match try_minimize_integer(&obj, &set, &budget) {
+        Err(BudgetError::Cancelled) => {}
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    assert_eq!(minimize_integer(&obj, &set), reference);
+
+    // Un-trip the flag: the same budget now lets the solve run to the
+    // exact reference answer.
+    flag.store(false, Ordering::Relaxed);
+    assert_eq!(try_minimize_integer(&obj, &set, &budget), Ok(reference));
+}
+
+#[test]
+fn expired_deadline_aborts_lexmin() {
+    let (_, set) = branching_problem();
+    let objs = vec![
+        LinExpr::from_coeffs(&[1, 1, 1], 0),
+        LinExpr::from_coeffs(&[0, 0, -1], 0),
+    ];
+    let budget = Budget::unlimited().with_deadline(Instant::now());
+    match try_lexmin_integer(&objs, &set, &budget) {
+        Err(BudgetError::Exhausted(BudgetResource::Deadline)) => {}
+        other => panic!("expected deadline exhaustion, got {other:?}"),
+    }
+    // And the unbudgeted lexmin still works on the same set.
+    assert!(matches!(
+        lexmin_integer(&objs, &set),
+        IlpOutcome::Optimal { .. }
+    ));
+}
+
+#[test]
+fn budgeted_solve_matches_unbudgeted_when_it_completes() {
+    let (obj, set) = branching_problem();
+    let generous = Budget::unlimited()
+        .with_max_ilp_nodes(1_000_000)
+        .with_max_pivots(10_000_000);
+    assert_eq!(
+        try_minimize_integer(&obj, &set, &generous),
+        Ok(minimize_integer_reference(&obj, &set))
+    );
+}
+
+/// Many crossing lower/upper pairs so the pairwise Fourier–Motzkin loop
+/// produces a quadratic number of rows.
+fn fm_blowup_problem() -> ConstraintSet {
+    let n = 9;
+    let mut cs = Vec::new();
+    for i in 0..8i128 {
+        // x_last >= i*x_i - i  (lower bound on the eliminated variable)
+        let mut lo = vec![0i128; n];
+        lo[i as usize] = -(i + 1);
+        lo[n - 1] = 1;
+        cs.push(ge(&lo, i));
+        // x_last <= i*x_i + i  (upper bound)
+        let mut up = vec![0i128; n];
+        up[i as usize] = i + 2;
+        up[n - 1] = -1;
+        cs.push(ge(&up, i));
+    }
+    ConstraintSet::from_constraints(n, cs)
+}
+
+#[test]
+fn fm_row_cap_aborts_and_leaves_no_partial_state() {
+    let set = fm_blowup_problem();
+    let var = set.n_vars() - 1;
+    let reference = eliminate_var_reference(&set, var);
+
+    let budget = Budget::unlimited().with_max_fm_rows(4);
+    match try_eliminate_var(&set, var, &budget) {
+        Err(BudgetError::Exhausted(BudgetResource::FmRows)) => {}
+        other => panic!("expected FM row exhaustion, got {other:?}"),
+    }
+    // The input set is untouched and the unbudgeted projection matches
+    // the rational reference implementation syntactically.
+    assert_eq!(eliminate_var(&set, var), reference);
+}

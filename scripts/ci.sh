@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, the tier-1 verify (build + tests),
 # a <10 s Table II smoke run (LSTM subset, serial vs parallel identity +
-# BENCH JSON emission), a cold-vs-warm schedule-cache round-trip, and a
-# polyjectd daemon smoke test (remote replies byte-identical to local).
+# BENCH JSON emission), a seeded fault-injection chaos gate, a
+# budget-exhaustion/cancellation smoke, a cold-vs-warm schedule-cache
+# round-trip, and a polyjectd daemon smoke test (remote replies
+# byte-identical to local).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -36,6 +38,15 @@ cargo test --workspace -q
 step "solver identity gate (integer tableau / warm start / FM vs references)"
 cargo test --release -q -p polyject-sets --test differential
 echo "ok: rewritten solver paths agree with retained rational references"
+
+step "seeded chaos gate (cache I/O + socket-frame fault injection)"
+cargo test --release -q -p polyject-serve --test chaos
+echo "ok: >=200 injected faults, no hangs, no corruption served, replay byte-identical"
+
+step "budget-exhaustion smoke (graceful degradation + cancellation)"
+cargo test --release -q -p polyject-sets --test budget
+cargo test --release -q -p polyject-core --test budget_degradation
+echo "ok: exhausted budgets degrade down the ladder; cancellation leaves no partial state"
 
 step "table2 --fast smoke (serial vs parallel identity, <10 s)"
 smoke_json="$(mktemp)"
