@@ -34,6 +34,7 @@ fn print_stats(label: &str, run: &Table2Run) {
         "[stats] {label}: {} unique ops, {} workers, wall {:.2}s, compile {:.1}ms \
          | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {} \
          | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms \
+         | phases dep {:.1}ms assemble {:.1}ms solve {:.1}ms codegen {:.1}ms \
          | degraded {} cancelled {} panics_recovered {}",
         run.unique_ops,
         run.workers,
@@ -48,6 +49,10 @@ fn print_stats(label: &str, run: &Table2Run) {
         c.bb_repair_pivots,
         c.bb_warm_nodes,
         c.preprocess_ns as f64 / 1e6,
+        c.dependence_ns as f64 / 1e6,
+        c.assemble_ns as f64 / 1e6,
+        c.solve_ns as f64 / 1e6,
+        c.codegen_ns as f64 / 1e6,
         c.degraded_solves,
         c.cancelled_solves,
         c.panics_recovered
@@ -213,8 +218,18 @@ fn main() {
             identical,
         };
         std::fs::write(&json_path, render_bench_json(&b)).expect("write bench json");
+        // A serial repeat has no scaling story to tell: label it a
+        // determinism repeat instead of printing a meaningless ratio
+        // (mirrored by `"speedup": null` in the JSON report).
+        let verdict = if b.parallel_skipped() {
+            "determinism repeat".to_string()
+        } else if b.parallel.wall_s > 0.0 {
+            format!("{:.2}x", b.serial.wall_s / b.parallel.wall_s)
+        } else {
+            "1.00x".to_string()
+        };
         eprintln!(
-            "[bench] serial {:.2}s, {} {:.2}s ({} workers) -> {:.2}x, identical: {} -> {}",
+            "[bench] serial {:.2}s, {} {:.2}s ({} workers) -> {}, identical: {} -> {}",
             b.serial.wall_s,
             if b.parallel_skipped() {
                 "serial repeat"
@@ -223,11 +238,7 @@ fn main() {
             },
             b.parallel.wall_s,
             b.parallel.workers,
-            if b.parallel.wall_s > 0.0 {
-                b.serial.wall_s / b.parallel.wall_s
-            } else {
-                1.0
-            },
+            verdict,
             b.identical,
             json_path
         );

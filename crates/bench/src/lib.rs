@@ -222,12 +222,16 @@ pub fn render_bench_json(b: &Table2Bench) -> String {
         let c = &r.perf.counters;
         write!(
             out,
-            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {}, \"lp_phase1_pivots\": {}, \"lp_phase2_pivots\": {}, \"bb_repair_pivots\": {}, \"bb_warm_nodes\": {}, \"preprocess_ms\": {:.3}, \"degraded_solves\": {}, \"cancelled_solves\": {}, \"panics_recovered\": {} }}\n  }}",
+            "  \"{key}\": {{\n    \"wall_s\": {:.6},\n    \"workers\": {},\n    \"unique_ops\": {},\n    \"compile_ms_total\": {:.3},\n    \"solver\": {{ \"lp_solves\": {}, \"ilp_solves\": {}, \"ilp_nodes\": {}, \"fm_eliminations\": {}, \"lp_phase1_pivots\": {}, \"lp_phase2_pivots\": {}, \"bb_repair_pivots\": {}, \"bb_warm_nodes\": {}, \"preprocess_ms\": {:.3}, \"dependence_ms\": {:.3}, \"assemble_ms\": {:.3}, \"solve_ms\": {:.3}, \"codegen_ms\": {:.3}, \"degraded_solves\": {}, \"cancelled_solves\": {}, \"panics_recovered\": {} }}\n  }}",
             r.wall_s, r.workers, r.unique_ops, r.perf.compile_ms,
             c.lp_solves, c.ilp_solves, c.ilp_nodes, c.fm_eliminations,
             c.lp_phase1_pivots, c.lp_phase2_pivots,
             c.bb_repair_pivots, c.bb_warm_nodes,
             c.preprocess_ns as f64 / 1e6,
+            c.dependence_ns as f64 / 1e6,
+            c.assemble_ns as f64 / 1e6,
+            c.solve_ns as f64 / 1e6,
+            c.codegen_ns as f64 / 1e6,
             c.degraded_solves, c.cancelled_solves, c.panics_recovered
         )
         .unwrap();
@@ -236,16 +240,22 @@ pub fn render_bench_json(b: &Table2Bench) -> String {
     out.push_str("{\n");
     writeln!(out, "  \"bench\": \"table2\",").unwrap();
     writeln!(out, "  \"cores\": {},", b.cores).unwrap();
-    writeln!(
-        out,
-        "  \"speedup\": {:.3},",
-        if b.parallel.wall_s > 0.0 {
-            b.serial.wall_s / b.parallel.wall_s
-        } else {
-            1.0
-        }
-    )
-    .unwrap();
+    // On a single-core machine the "parallel" leg is a serial repeat, so a
+    // wall-clock ratio would be noise masquerading as scaling: record null.
+    if b.parallel_skipped() {
+        writeln!(out, "  \"speedup\": null,").unwrap();
+    } else {
+        writeln!(
+            out,
+            "  \"speedup\": {:.3},",
+            if b.parallel.wall_s > 0.0 {
+                b.serial.wall_s / b.parallel.wall_s
+            } else {
+                1.0
+            }
+        )
+        .unwrap();
+    }
     writeln!(out, "  \"identical\": {},", b.identical).unwrap();
     writeln!(out, "  \"parallel_skipped\": {},", b.parallel_skipped()).unwrap();
     run_json(&mut out, "serial", &b.serial);
@@ -419,6 +429,9 @@ mod tests {
         let json = render_bench_json(&b);
         assert!(json.contains("\"parallel_skipped\": true"));
         assert!(json.contains("\"cores\": 1"));
+        // A serial repeat measures determinism, not scaling: the speedup
+        // must be null, never a run-to-run wall-clock ratio.
+        assert!(json.contains("\"speedup\": null"), "got:\n{json}");
     }
 
     #[test]

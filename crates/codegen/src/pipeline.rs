@@ -139,6 +139,7 @@ pub fn compile_with_budget(
     };
     let result =
         schedule_kernel_budgeted(kernel, &deps, &tree, SchedulerOptions::default(), budget)?;
+    let t0 = std::time::Instant::now();
     let mut ast = generate_ast(kernel, &result.schedule);
     crate::passes::refine_parallel_loops(&mut ast, &result.schedule, &deps);
     let vector_loops = if config == Config::Influenced {
@@ -147,6 +148,7 @@ pub fn compile_with_budget(
         0
     };
     map_to_gpu(&mut ast, kernel, MappingOptions::default());
+    polyject_sets::counters::add_codegen_ns(t0.elapsed().as_nanos() as u64);
     Ok(Compiled {
         schedule: result.schedule,
         ast,

@@ -24,7 +24,7 @@ use crate::schedule::{DimFlags, Schedule, ScheduleRow};
 use crate::tree::{InfluenceTree, NodeId};
 use polyject_deps::{DepGraph, DepKind, DepRelation, Dependences};
 use polyject_ir::{Kernel, StmtId};
-use polyject_sets::{try_lexmin_integer, Budget, BudgetError, ConstraintSet, IlpOutcome};
+use polyject_sets::{Budget, BudgetError, ConstraintSet, IlpOutcome, SchedCtx};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -299,9 +299,15 @@ struct Driver<'a> {
     sched_version: u64,
     /// Progression constraints for the current schedule version.
     prog_cache: Option<(u64, ConstraintSet)>,
-    /// Fully assembled system minus the node constraints, keyed by
-    /// (schedule version, use_progression, remaining dependence set).
-    base_cache: Option<(u64, bool, BTreeSet<usize>, ConstraintSet)>,
+    /// Key of the system currently held by `ctx`: (schedule version,
+    /// use_progression, remaining dependence set). The assembled rows
+    /// themselves live inside the context.
+    base_cache: Option<(u64, bool, BTreeSet<usize>)>,
+    /// Persistent solving context over the assembled base system: the
+    /// shared constraint prefix is phase-1-solved once per key above;
+    /// ladder retries push only the node's delta rows against it and the
+    /// lexmin chain re-optimizes the same tableau per objective.
+    ctx: Option<SchedCtx>,
 }
 
 impl<'a> Driver<'a> {
@@ -312,20 +318,24 @@ impl<'a> Driver<'a> {
         opts: SchedulerOptions,
         budget: &'a Budget,
     ) -> Result<Driver<'a>, ScheduleError> {
+        let t0 = std::time::Instant::now();
         let layout = CoeffLayout::new(kernel);
         let validity: Vec<&DepRelation> = deps.validity().collect();
         // `remove_redundant` is a pure function and costs LP solves;
-        // identical dependence relations (common in stencils and fused
-        // element-wise chains) produce identical systems, so memoize it
-        // across the three cache builds. An exhausted budget degrades to
-        // the unreduced system (correct, just bigger); cancellation
-        // aborts the build.
+        // identical constraint systems produce identical reductions, so
+        // memoize it across the three cache builds, with a 64-bit set
+        // fingerprint in front of the deep comparison. An exhausted
+        // budget degrades to the unreduced system (correct, just
+        // bigger); cancellation aborts the build.
         fn reduce_memo(
-            memo: &mut Vec<(ConstraintSet, ConstraintSet)>,
+            memo: &mut Vec<(u64, ConstraintSet, ConstraintSet)>,
             cs: ConstraintSet,
             budget: &Budget,
         ) -> Result<ConstraintSet, ScheduleError> {
-            if let Some((_, reduced)) = memo.iter().find(|(key, _)| *key == cs) {
+            let fp = cs.fingerprint64();
+            if let Some((_, _, reduced)) =
+                memo.iter().find(|(kfp, key, _)| *kfp == fp && *key == cs)
+            {
                 return Ok(reduced.clone());
             }
             let reduced = match polyject_sets::try_remove_redundant(&cs, budget) {
@@ -336,18 +346,48 @@ impl<'a> Driver<'a> {
                     cs.clone()
                 }
             };
-            memo.push((cs, reduced.clone()));
+            memo.push((fp, cs, reduced.clone()));
             Ok(reduced)
         }
-        let mut memo: Vec<(ConstraintSet, ConstraintSet)> = Vec::new();
-        let val_cache = validity
+        // Identical dependence relations (common in stencils and fused
+        // element-wise chains) Farkas-linearize identically: dedup the
+        // relations up front so each distinct one is linearized — the
+        // expensive Fourier–Motzkin part — exactly once.
+        fn same_relation(a: &DepRelation, b: &DepRelation) -> bool {
+            a.source == b.source
+                && a.target == b.target
+                && a.kind == b.kind
+                && a.n_source_iters == b.n_source_iters
+                && a.n_target_iters == b.n_target_iters
+                && a.n_params == b.n_params
+                && a.level == b.level
+                && a.set == b.set
+        }
+        let rel_fps: Vec<u64> = validity.iter().map(|r| r.set.fingerprint64()).collect();
+        let twin: Vec<Option<usize>> = validity
             .iter()
-            .map(|r| reduce_memo(&mut memo, validity_constraints([*r], &layout), budget))
-            .collect::<Result<Vec<_>, _>>()?;
-        let bound_cache = validity
-            .iter()
-            .map(|r| reduce_memo(&mut memo, bounding_constraints([*r], &layout), budget))
-            .collect::<Result<Vec<_>, _>>()?;
+            .enumerate()
+            .map(|(i, r)| {
+                (0..i).find(|&j| rel_fps[j] == rel_fps[i] && same_relation(validity[j], r))
+            })
+            .collect();
+        let mut memo: Vec<(u64, ConstraintSet, ConstraintSet)> = Vec::new();
+        let mut val_cache: Vec<ConstraintSet> = Vec::with_capacity(validity.len());
+        for (i, r) in validity.iter().enumerate() {
+            let cs = match twin[i] {
+                Some(j) => val_cache[j].clone(),
+                None => reduce_memo(&mut memo, validity_constraints([*r], &layout), budget)?,
+            };
+            val_cache.push(cs);
+        }
+        let mut bound_cache: Vec<ConstraintSet> = Vec::with_capacity(validity.len());
+        for (i, r) in validity.iter().enumerate() {
+            let cs = match twin[i] {
+                Some(j) => bound_cache[j].clone(),
+                None => reduce_memo(&mut memo, bounding_constraints([*r], &layout), budget)?,
+            };
+            bound_cache.push(cs);
+        }
         let input_bound_cache: Vec<ConstraintSet> = deps
             .relations()
             .iter()
@@ -361,6 +401,7 @@ impl<'a> Driver<'a> {
             bounds_cs.intersect(cs);
         }
         let objectives = proximity_objectives(&layout, opts.bounds);
+        polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
         Ok(Driver {
             kernel,
             tree,
@@ -377,6 +418,7 @@ impl<'a> Driver<'a> {
             sched_version: 0,
             prog_cache: None,
             base_cache: None,
+            ctx: None,
         })
     }
 
@@ -432,10 +474,23 @@ impl<'a> Driver<'a> {
                 if attempts > self.opts.max_attempts {
                     return Err(ScheduleError::infeasible("attempt budget exhausted"));
                 }
-                let sys = self.assemble(&schedule, &remaining, node, use_progression);
+                self.assemble_base(&schedule, &remaining, use_progression)?;
                 self.stats.ilp_solves += 1;
                 let objectives = self.objectives_for(node);
-                let outcome = match try_lexmin_integer(&objectives, &sys, self.budget) {
+                let t_solve = std::time::Instant::now();
+                let tree = self.tree;
+                let ctx = self.ctx.as_mut().expect("assemble_base built the context");
+                // Delta rows on top of the prepared base: only the node's
+                // own constraints; popped right after the solve so ladder
+                // retries reuse the same solved prefix.
+                let mark = ctx.mark();
+                if let Some(n) = node {
+                    ctx.push_set(&tree.node(n).constraints);
+                }
+                let solved = ctx.try_lexmin(&objectives, self.budget);
+                ctx.pop(mark);
+                polyject_sets::counters::add_solve_ns(t_solve.elapsed().as_nanos() as u64);
+                let outcome = match solved {
                     Ok(o) => o,
                     Err(e @ BudgetError::Cancelled) => return Err(ScheduleError::from_budget(e)),
                     Err(BudgetError::Exhausted(_)) => {
@@ -621,35 +676,45 @@ impl<'a> Driver<'a> {
         &self.prog_cache.as_ref().expect("just filled").1
     }
 
-    fn assemble(
+    /// Ensures the persistent context holds the base system for the given
+    /// key (schedule version, progression flag, remaining dependences),
+    /// assembling and phase-1-preparing it only when the key changed.
+    /// Ladder retries at an unchanged schedule are the common case and
+    /// reuse the solved prefix untouched.
+    fn assemble_base(
         &mut self,
         schedule: &Schedule,
         remaining: &BTreeSet<usize>,
-        node: Option<NodeId>,
         use_progression: bool,
-    ) -> ConstraintSet {
-        let fresh = !self.base_cache.as_ref().is_some_and(|(v, p, rem, _)| {
+    ) -> Result<(), ScheduleError> {
+        let t0 = std::time::Instant::now();
+        let fresh = !self.base_cache.as_ref().is_some_and(|(v, p, rem)| {
             *v == self.sched_version && *p == use_progression && rem == remaining
         });
-        if fresh {
-            let mut sys = self.bounds_cs.clone();
-            if use_progression {
-                self.progression(schedule);
-                sys.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
-            }
-            for &i in remaining {
-                sys.intersect(&self.val_cache[i]);
-                sys.intersect(&self.bound_cache[i]);
-            }
-            self.base_cache = Some((self.sched_version, use_progression, remaining.clone(), sys));
-        } else {
+        if !fresh {
             self.stats.assemble_cache_hits += 1;
+            polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
+            return Ok(());
         }
-        let mut sys = self.base_cache.as_ref().expect("just filled").3.clone();
-        if let Some(n) = node {
-            sys.intersect(&self.tree.node(n).constraints);
+        let mut sys = self.bounds_cs.clone();
+        if use_progression {
+            self.progression(schedule);
+            sys.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
         }
-        sys
+        for &i in remaining {
+            sys.intersect(&self.val_cache[i]);
+            sys.intersect(&self.bound_cache[i]);
+        }
+        self.base_cache = Some((self.sched_version, use_progression, remaining.clone()));
+        polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
+        // Preparing the context (the base's phase 1) is solver work, not
+        // assembly; an exhausted build degrades to cold delegation inside
+        // the context, only cancellation propagates.
+        let t1 = std::time::Instant::now();
+        let ctx = SchedCtx::build(sys, self.budget).map_err(ScheduleError::from_budget);
+        polyject_sets::counters::add_solve_ns(t1.elapsed().as_nanos() as u64);
+        self.ctx = Some(ctx?);
+        Ok(())
     }
 
     fn append_dimension(
@@ -717,7 +782,13 @@ impl<'a> Driver<'a> {
             self.opts.bounds,
         );
         self.stats.ilp_solves += 1;
-        match try_lexmin_integer(&prob.objectives, &prob.system, self.budget) {
+        let t_solve = std::time::Instant::now();
+        // One-shot context: no prefix reuse across calls, but the lexmin
+        // chain still warm-starts each objective from the previous basis.
+        let solved = SchedCtx::build(prob.system.clone(), self.budget)
+            .and_then(|mut ctx| ctx.try_lexmin(&prob.objectives, self.budget));
+        polyject_sets::counters::add_solve_ns(t_solve.elapsed().as_nanos() as u64);
+        match solved {
             Ok(IlpOutcome::Optimal { point, .. }) => {
                 let (coeffs, satisfied) = prob.split_solution(&point);
                 Ok(Some((coeffs.to_vec(), satisfied)))

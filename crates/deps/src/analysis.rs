@@ -84,6 +84,7 @@ impl Dependences {
 /// assert!(deps.validity().count() >= 1);
 /// ```
 pub fn compute_dependences(kernel: &Kernel, opts: DepOptions) -> Dependences {
+    let t0 = std::time::Instant::now();
     let mut relations = Vec::new();
     let stmts = kernel.statements();
     for (si, s) in stmts.iter().enumerate() {
@@ -117,6 +118,7 @@ pub fn compute_dependences(kernel: &Kernel, opts: DepOptions) -> Dependences {
             }
         }
     }
+    polyject_sets::counters::add_dependence_ns(t0.elapsed().as_nanos() as u64);
     Dependences { relations }
 }
 

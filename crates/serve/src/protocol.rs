@@ -249,6 +249,10 @@ impl CompileReply {
                 bb_repair_pivots: solver_opt("bb_repair_pivots"),
                 bb_warm_nodes: solver_opt("bb_warm_nodes"),
                 preprocess_ns: 0,    // never serialized (wall-clock time)
+                dependence_ns: 0,    // never serialized (wall-clock time)
+                assemble_ns: 0,      // never serialized (wall-clock time)
+                solve_ns: 0,         // never serialized (wall-clock time)
+                codegen_ns: 0,       // never serialized (wall-clock time)
                 degraded_solves: 0,  // never serialized (per-run governance)
                 cancelled_solves: 0, // never serialized (per-run governance)
                 panics_recovered: 0, // never serialized (per-run governance)
@@ -345,6 +349,10 @@ mod tests {
                 bb_repair_pivots: 2,
                 bb_warm_nodes: 1,
                 preprocess_ns: 0,    // not carried over the wire
+                dependence_ns: 0,    // not carried over the wire
+                assemble_ns: 0,      // not carried over the wire
+                solve_ns: 0,         // not carried over the wire
+                codegen_ns: 0,       // not carried over the wire
                 degraded_solves: 0,  // not carried over the wire
                 cancelled_solves: 0, // not carried over the wire
                 panics_recovered: 0, // not carried over the wire

@@ -324,19 +324,42 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         daemon.shutdown_and_wait();
     }
 
+    /// A deep elementwise chain whose influenced compile takes on the
+    /// order of seconds (`ir::ops::elementwise_chain`-shaped, rendered as
+    /// `.pj`), so a zero-second request deadline always trips while the
+    /// solve is still in flight and the cancel flag is observed mid-solve
+    /// — the tiny `axpy` kernel can finish before the timeout path even
+    /// stores the flag.
+    fn slow_src() -> String {
+        let (n, depth) = (48, 48);
+        let mut src = format!("kernel chain\nparam N = {n}\ntensor A[N]: f32\n");
+        for s in 0..depth {
+            src.push_str(&format!("tensor T{s}[N]: f32\n"));
+        }
+        for s in 0..depth {
+            let prev = if s == 0 {
+                "A".to_string()
+            } else {
+                format!("T{}", s - 1)
+            };
+            src.push_str(&format!(
+                "stmt S{s} for (i in 0..N) T{s}[i] = {prev}[i] * 2.0\n"
+            ));
+        }
+        src
+    }
+
     #[test]
     fn request_timeout_cancels_compile_and_reclaims_worker() {
-        // A zero-second deadline times a compile out unless the worker
-        // finishes inside the (tiny) window between submit and the first
-        // receive poll — this kernel compiles in well under a
-        // millisecond, so a fast box can win that race. Keep issuing
-        // compiles until one loses it; the timeout path must then trip
-        // the cancel flag so the worker comes back.
+        // A zero-second deadline times the seconds-long compile out
+        // immediately; the timeout path must then trip the cancel flag so
+        // the worker comes back instead of grinding to completion.
         let daemon = Daemon::spawn("timeout", &["--timeout-secs", "0"]);
         let mut client = Client::connect(&daemon.endpoint).unwrap();
+        let src = slow_src();
         let mut timed_out = false;
         for _ in 0..200 {
-            let resp = client.compile(SRC, "infl").unwrap();
+            let resp = client.compile(&src, "infl").unwrap();
             match resp.str_field("status").unwrap() {
                 "ok" => continue, // compile won the zero-width race
                 "error" => {

@@ -255,6 +255,21 @@ impl ConstraintSet {
         self.constraints.is_empty()
     }
 
+    /// A 64-bit fingerprint of the whole set: the variable count folded
+    /// with every per-constraint fingerprint, order-sensitively. Equal
+    /// sets always collide, so inequality of fingerprints proves
+    /// inequality of sets — use as a pre-filter in front of deep
+    /// equality, never as identity.
+    pub fn fingerprint64(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = (h ^ self.n_vars as u64).wrapping_mul(PRIME);
+        for &fp in &self.hashes {
+            h = (h ^ fp).wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Adds a constraint, deduplicating syntactically identical ones and
     /// dropping trivially true ones.
     ///

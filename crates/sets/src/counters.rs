@@ -43,6 +43,18 @@ pub struct SolverCounters {
     /// Nanoseconds spent in integer-feasibility preprocessing (bound
     /// tightening, infeasibility short-circuits).
     pub preprocess_ns: u64,
+    /// Nanoseconds spent in dependence analysis (ticked by
+    /// `polyject-deps`).
+    pub dependence_ns: u64,
+    /// Nanoseconds spent assembling per-dimension constraint systems
+    /// (ticked by the scheduler's driver).
+    pub assemble_ns: u64,
+    /// Nanoseconds spent inside (lexicographic) ILP solves on the
+    /// scheduler's hot path (ticked by the scheduler's driver).
+    pub solve_ns: u64,
+    /// Nanoseconds spent in AST generation, vectorization and GPU mapping
+    /// (ticked by `polyject-codegen`).
+    pub codegen_ns: u64,
     /// Schedule dimensions where a budget-exhausted solve was degraded
     /// through the backtracking ladder instead of failing the compile.
     pub degraded_solves: u64,
@@ -67,6 +79,10 @@ impl SolverCounters {
             bb_repair_pivots: self.bb_repair_pivots - earlier.bb_repair_pivots,
             bb_warm_nodes: self.bb_warm_nodes - earlier.bb_warm_nodes,
             preprocess_ns: self.preprocess_ns - earlier.preprocess_ns,
+            dependence_ns: self.dependence_ns - earlier.dependence_ns,
+            assemble_ns: self.assemble_ns - earlier.assemble_ns,
+            solve_ns: self.solve_ns - earlier.solve_ns,
+            codegen_ns: self.codegen_ns - earlier.codegen_ns,
             degraded_solves: self.degraded_solves - earlier.degraded_solves,
             cancelled_solves: self.cancelled_solves - earlier.cancelled_solves,
             panics_recovered: self.panics_recovered - earlier.panics_recovered,
@@ -85,6 +101,10 @@ impl SolverCounters {
         self.bb_repair_pivots += other.bb_repair_pivots;
         self.bb_warm_nodes += other.bb_warm_nodes;
         self.preprocess_ns += other.preprocess_ns;
+        self.dependence_ns += other.dependence_ns;
+        self.assemble_ns += other.assemble_ns;
+        self.solve_ns += other.solve_ns;
+        self.codegen_ns += other.codegen_ns;
         self.degraded_solves += other.degraded_solves;
         self.cancelled_solves += other.cancelled_solves;
         self.panics_recovered += other.panics_recovered;
@@ -101,6 +121,10 @@ thread_local! {
     static BB_REPAIR_PIVOTS: Cell<u64> = const { Cell::new(0) };
     static BB_WARM_NODES: Cell<u64> = const { Cell::new(0) };
     static PREPROCESS_NS: Cell<u64> = const { Cell::new(0) };
+    static DEPENDENCE_NS: Cell<u64> = const { Cell::new(0) };
+    static ASSEMBLE_NS: Cell<u64> = const { Cell::new(0) };
+    static SOLVE_NS: Cell<u64> = const { Cell::new(0) };
+    static CODEGEN_NS: Cell<u64> = const { Cell::new(0) };
     static DEGRADED_SOLVES: Cell<u64> = const { Cell::new(0) };
     static CANCELLED_SOLVES: Cell<u64> = const { Cell::new(0) };
     static PANICS_RECOVERED: Cell<u64> = const { Cell::new(0) };
@@ -118,6 +142,10 @@ pub fn snapshot() -> SolverCounters {
         bb_repair_pivots: BB_REPAIR_PIVOTS.get(),
         bb_warm_nodes: BB_WARM_NODES.get(),
         preprocess_ns: PREPROCESS_NS.get(),
+        dependence_ns: DEPENDENCE_NS.get(),
+        assemble_ns: ASSEMBLE_NS.get(),
+        solve_ns: SOLVE_NS.get(),
+        codegen_ns: CODEGEN_NS.get(),
         degraded_solves: DEGRADED_SOLVES.get(),
         cancelled_solves: CANCELLED_SOLVES.get(),
         panics_recovered: PANICS_RECOVERED.get(),
@@ -157,6 +185,30 @@ pub(crate) fn add_preprocess_ns(ns: u64) {
     PREPROCESS_NS.set(PREPROCESS_NS.get() + ns);
 }
 
+/// Adds dependence-analysis wall time. Public: ticked by the
+/// `polyject-deps` crate around `compute_dependences`.
+pub fn add_dependence_ns(ns: u64) {
+    DEPENDENCE_NS.set(DEPENDENCE_NS.get() + ns);
+}
+
+/// Adds constraint-system assembly wall time. Public: ticked by the
+/// scheduler's driver in `polyject-core`.
+pub fn add_assemble_ns(ns: u64) {
+    ASSEMBLE_NS.set(ASSEMBLE_NS.get() + ns);
+}
+
+/// Adds scheduler ILP solve wall time. Public: ticked by the scheduler's
+/// driver in `polyject-core` around its lexicographic solves.
+pub fn add_solve_ns(ns: u64) {
+    SOLVE_NS.set(SOLVE_NS.get() + ns);
+}
+
+/// Adds AST generation / vectorization / GPU mapping wall time. Public:
+/// ticked by `polyject-codegen`'s pipeline.
+pub fn add_codegen_ns(ns: u64) {
+    CODEGEN_NS.set(CODEGEN_NS.get() + ns);
+}
+
 /// Records a budget-exhausted solve degraded through the scheduler's
 /// backtracking ladder. Public: the degradation decision lives in the
 /// scheduler crate, not here.
@@ -192,6 +244,10 @@ mod tests {
         count_bb_repair_pivots(5);
         count_bb_warm_node();
         add_preprocess_ns(17);
+        add_dependence_ns(21);
+        add_assemble_ns(22);
+        add_solve_ns(23);
+        add_codegen_ns(24);
         note_degraded_solve();
         note_cancelled_solve();
         note_panic_recovered();
@@ -206,6 +262,10 @@ mod tests {
         assert_eq!(d.bb_repair_pivots, 5);
         assert_eq!(d.bb_warm_nodes, 1);
         assert_eq!(d.preprocess_ns, 17);
+        assert_eq!(d.dependence_ns, 21);
+        assert_eq!(d.assemble_ns, 22);
+        assert_eq!(d.solve_ns, 23);
+        assert_eq!(d.codegen_ns, 24);
         assert_eq!(d.degraded_solves, 1);
         assert_eq!(d.cancelled_solves, 1);
         assert_eq!(d.panics_recovered, 1);
@@ -223,6 +283,10 @@ mod tests {
             bb_repair_pivots: 7,
             bb_warm_nodes: 8,
             preprocess_ns: 9,
+            dependence_ns: 13,
+            assemble_ns: 14,
+            solve_ns: 15,
+            codegen_ns: 16,
             degraded_solves: 10,
             cancelled_solves: 11,
             panics_recovered: 12,
@@ -237,6 +301,10 @@ mod tests {
             bb_repair_pivots: 70,
             bb_warm_nodes: 80,
             preprocess_ns: 90,
+            dependence_ns: 130,
+            assemble_ns: 140,
+            solve_ns: 150,
+            codegen_ns: 160,
             degraded_solves: 100,
             cancelled_solves: 110,
             panics_recovered: 120,
@@ -254,6 +322,10 @@ mod tests {
                 bb_repair_pivots: 77,
                 bb_warm_nodes: 88,
                 preprocess_ns: 99,
+                dependence_ns: 143,
+                assemble_ns: 154,
+                solve_ns: 165,
+                codegen_ns: 176,
                 degraded_solves: 110,
                 cancelled_solves: 121,
                 panics_recovered: 132,

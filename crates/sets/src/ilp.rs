@@ -65,7 +65,7 @@ const NODE_LIMIT: usize = 100_000;
 /// Unwraps a solve run under [`Budget::unlimited`]: the only error an
 /// unlimited budget can surface is the built-in [`NODE_LIMIT`] cap, which
 /// the legacy entry points report as their documented panic.
-fn expect_within_node_limit<T>(r: Result<T, BudgetError>) -> T {
+pub(crate) fn expect_within_node_limit<T>(r: Result<T, BudgetError>) -> T {
     match r {
         Ok(v) => v,
         Err(BudgetError::Exhausted(BudgetResource::IlpNodes)) => {
@@ -142,11 +142,29 @@ pub fn try_minimize_integer_bounded(
     upper_bound: Option<Rat>,
     budget: &Budget,
 ) -> Result<IlpOutcome, BudgetError> {
+    try_minimize_integer_rooted(objective, set, upper_bound, budget, None).map(|(o, _)| o)
+}
+
+/// [`try_minimize_integer_bounded`] with a pre-resolved root relaxation:
+/// when a persistent [`crate::context::SchedCtx`] has already solved the
+/// root LP by warm re-optimization — and proven its vertex unique, so it
+/// is the one a cold solve would tie-break to — the root node consumes it
+/// instead of solving cold. Also hands back the root's optimal LP basis
+/// (when the space needed no sign split), which stays valid as a warm
+/// start for the *next* objective of a lexicographic chain.
+pub(crate) fn try_minimize_integer_rooted(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    upper_bound: Option<Rat>,
+    budget: &Budget,
+    root: Option<(LpOutcome, Option<LpBasis>)>,
+) -> Result<(IlpOutcome, Option<LpBasis>), BudgetError> {
     counters::count_ilp_solve();
     let mut best: Option<(Rat, Vec<i128>)> = None;
     let mut nodes = 0usize;
     // One clone for the whole solve; branch() pushes/pops on it in place.
     let mut work = set.clone();
+    let mut root_basis: Option<LpBasis> = None;
     match branch(
         objective,
         &mut work,
@@ -154,19 +172,21 @@ pub fn try_minimize_integer_bounded(
         &mut best,
         &mut nodes,
         None,
+        root,
+        Some(&mut root_basis),
         budget,
     )? {
-        BranchResult::Unbounded => Ok(IlpOutcome::Unbounded),
+        BranchResult::Unbounded => Ok((IlpOutcome::Unbounded, None)),
         BranchResult::Done => match best {
-            Some((value, point)) => Ok(IlpOutcome::Optimal { point, value }),
+            Some((value, point)) => Ok((IlpOutcome::Optimal { point, value }, root_basis)),
             None if upper_bound.is_some() => {
                 // The bound contract was violated (no feasible point at or
                 // below it). Fall back to the exact unbounded search rather
                 // than report a spurious Infeasible.
                 debug_assert!(false, "minimize_integer_bounded: unattainable upper bound");
-                try_minimize_integer(objective, set, budget)
+                try_minimize_integer(objective, set, budget).map(|o| (o, None))
             }
-            None => Ok(IlpOutcome::Infeasible),
+            None => Ok((IlpOutcome::Infeasible, None)),
         },
     }
 }
@@ -305,6 +325,8 @@ fn branch(
     best: &mut Option<(Rat, Vec<i128>)>,
     nodes: &mut usize,
     warm_ctx: Option<(&LpBasis, &Constraint)>,
+    preresolved: Option<(LpOutcome, Option<LpBasis>)>,
+    basis_sink: Option<&mut Option<LpBasis>>,
     budget: &Budget,
 ) -> Result<BranchResult, BudgetError> {
     *nodes += 1;
@@ -313,14 +335,17 @@ fn branch(
         return Err(BudgetError::Exhausted(BudgetResource::IlpNodes));
     }
     budget.check()?;
-    // Resolve this node's LP relaxation. When the parent exported an
-    // optimal basis, repair it under the one pushed bound with dual
-    // simplex pivots first; a cold solve only happens when the repaired
-    // answer cannot be proven identical to one (see the safety notes on
-    // [`WarmOutcome`]). The LP outcome used for branching decisions is
-    // bit-for-bit the cold one either way.
-    let mut resolved: Option<(LpOutcome, Option<LpBasis>)> = None;
-    if let Some((parent, extra)) = warm_ctx {
+    // Resolve this node's LP relaxation. When the caller already solved it
+    // (a persistent context's warm re-optimization, proven exact), consume
+    // that; when the parent exported an optimal basis, repair it under the
+    // one pushed bound with dual simplex pivots; a cold solve only happens
+    // when neither answer can be proven identical to one (see the safety
+    // notes on [`WarmOutcome`]). The LP outcome used for branching
+    // decisions is bit-for-bit the cold one either way.
+    let mut resolved: Option<(LpOutcome, Option<LpBasis>)> = preresolved;
+    if resolved.is_some() {
+        counters::count_bb_warm_node();
+    } else if let Some((parent, extra)) = warm_ctx {
         match warm_resolve(parent, extra, budget) {
             Ok(warm) => match warm {
                 WarmOutcome::Infeasible => {
@@ -360,6 +385,19 @@ fn branch(
     let (outcome, basis) = match resolved {
         Some(r) => r,
         None => minimize_with_basis(objective, set, budget)?,
+    };
+    // Export the root's optimal basis to the caller (the lexmin chain
+    // reseeds from it) while keeping it borrowable for child warm starts.
+    let local_basis: Option<LpBasis>;
+    let basis: &Option<LpBasis> = match basis_sink {
+        Some(sink) => {
+            *sink = basis;
+            sink
+        }
+        None => {
+            local_basis = basis;
+            &local_basis
+        }
     };
     match outcome {
         LpOutcome::Infeasible => Ok(BranchResult::Done),
@@ -401,7 +439,17 @@ fn branch(
                     let c = Constraint::ge0(e);
                     set.add(c.clone());
                     let ctx = basis.as_ref().map(|b| (b, &c));
-                    let lo = branch(objective, set, upper_bound, best, nodes, ctx, budget);
+                    let lo = branch(
+                        objective,
+                        set,
+                        upper_bound,
+                        best,
+                        nodes,
+                        ctx,
+                        None,
+                        None,
+                        budget,
+                    );
                     set.truncate(saved);
                     if let BranchResult::Unbounded = lo? {
                         return Ok(BranchResult::Unbounded);
@@ -413,7 +461,17 @@ fn branch(
                     let c = Constraint::ge0(e);
                     set.add(c.clone());
                     let ctx = basis.as_ref().map(|b| (b, &c));
-                    let hi = branch(objective, set, upper_bound, best, nodes, ctx, budget);
+                    let hi = branch(
+                        objective,
+                        set,
+                        upper_bound,
+                        best,
+                        nodes,
+                        ctx,
+                        None,
+                        None,
+                        budget,
+                    );
                     set.truncate(saved);
                     hi
                 }

@@ -44,6 +44,7 @@
 
 pub mod budget;
 mod constraint;
+pub mod context;
 pub mod counters;
 mod fm;
 mod ilp;
@@ -56,6 +57,7 @@ mod tableau;
 
 pub use budget::{Budget, BudgetError, BudgetResource};
 pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
+pub use context::{CtxMark, SchedCtx};
 pub use counters::SolverCounters;
 pub use fm::{
     bounds_for_var, eliminate_var, eliminate_var_reference, eliminate_vars, project_onto_prefix,

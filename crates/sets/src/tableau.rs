@@ -359,21 +359,38 @@ pub(crate) enum WarmOutcome {
     },
 }
 
-/// Solves the LP with the integer tableau, mirroring the rational
-/// reference decision-for-decision. Aborts with [`SolveAbort::Overflow`]
-/// if any intermediate value overflows `i128` (callers fall back to the
-/// reference solver) and propagates budget errors; otherwise returns the
-/// outcome plus — when requested and the variable space needed no
-/// sign-splitting — the optimal basis for warm starts.
-pub(crate) fn solve_int(
-    objective: &LinExpr,
-    set: &ConstraintSet,
-    want_basis: bool,
-    budget: &Budget,
-) -> Result<(LpOutcome, Option<LpBasis>), SolveAbort> {
+/// The objective-independent half of a solve: a tableau whose feasibility
+/// has been established (phase 1 run, artificials driven out and barred),
+/// ready to accept any phase-2 objective. Cloning one and finishing it
+/// with [`finish_int`] reproduces a cold [`solve_int`] bit-for-bit,
+/// because everything up to `install_objective(phase2)` is a pure
+/// function of the ordered row list.
+#[derive(Clone)]
+pub(crate) struct PreparedTab {
+    tab: IntTableau,
+    n: usize,
+    split: bool,
+}
+
+/// Outcome of the objective-independent preparation pass.
+#[allow(clippy::large_enum_variant)] // built once, matched once: boxing buys nothing
+pub(crate) enum Prep {
+    /// Trivially or phase-1 infeasible.
+    Infeasible,
+    /// No rows survive filtering (the whole space is `x >= 0` or free).
+    Empty { split: bool },
+    /// Feasibility established.
+    Ready(PreparedTab),
+}
+
+/// Builds the tableau for a set and establishes feasibility: raw rows,
+/// initial slack/artificial basis, phase 1 (when needed) and the
+/// artificial drive-out — everything [`solve_int`] does before the
+/// phase-2 objective is installed, verbatim.
+pub(crate) fn prepare_int(set: &ConstraintSet, budget: &Budget) -> Result<Prep, SolveAbort> {
     let n = set.n_vars();
     if set.has_trivial_contradiction() {
-        return Ok((LpOutcome::Infeasible, None));
+        return Ok(Prep::Infeasible);
     }
     // Mirror of the reference: skip the p−q split (and drop the sign rows)
     // when every variable carries an explicit `x >= 0` constraint.
@@ -393,20 +410,7 @@ pub(crate) fn solve_int(
         .collect();
     let m = rows.len();
     if m == 0 {
-        let unbounded = if split {
-            !objective.is_constant()
-        } else {
-            objective.coeffs().iter().any(Rat::is_negative)
-        };
-        let out = if unbounded {
-            LpOutcome::Unbounded
-        } else {
-            LpOutcome::Optimal {
-                point: vec![Rat::ZERO; n],
-                value: objective.constant_term(),
-            }
-        };
-        return Ok((out, None));
+        return Ok(Prep::Empty { split });
     }
 
     let n_x = if split { 2 * n } else { n };
@@ -493,7 +497,7 @@ pub(crate) fn solve_int(
             unreachable!("phase-1 objective is bounded below by zero");
         }
         if tab.valnum > 0 {
-            return Ok((LpOutcome::Infeasible, None));
+            return Ok(Prep::Infeasible);
         }
         // Drive basic artificials out where a structural pivot exists.
         for r in 0..m {
@@ -506,14 +510,26 @@ pub(crate) fn solve_int(
         }
     }
     tab.bar_artificials = true;
+    Ok(Prep::Ready(PreparedTab { tab, n, split }))
+}
 
+/// The objective-dependent half of [`solve_int`]: installs the phase-2
+/// objective on a feasibility-established tableau and runs it to
+/// optimality.
+fn finish_int(
+    prepared: PreparedTab,
+    objective: &LinExpr,
+    want_basis: bool,
+    budget: &Budget,
+) -> Result<(LpOutcome, Option<LpBasis>), SolveAbort> {
+    let PreparedTab { mut tab, n, split } = prepared;
     // Phase 2: the real objective, cleared of denominators. The scale is
     // positive, so reduced-cost signs — and hence pivots — are unchanged.
     let mut obj_scale: i128 = 1;
     for i in 0..n {
         obj_scale = lcm(obj_scale, objective.coeff(i).denom());
     }
-    let mut phase2 = vec![0i128; n_total];
+    let mut phase2 = vec![0i128; tab.ncols];
     for i in 0..n {
         let c = objective.coeff(i);
         let v = ov(c.numer().checked_mul(obj_scale / c.denom()))?;
@@ -543,29 +559,74 @@ pub(crate) fn solve_int(
     Ok((LpOutcome::Optimal { point, value }, basis))
 }
 
-/// Re-solves the parent's LP with one extra `expr >= 0` row, repairing the
-/// parent's optimal basis with dual simplex pivots instead of a cold
-/// two-phase solve. Aborts with [`SolveAbort::Overflow`] when the caller
-/// should fall back to a cold solve (overflow, a non-integer row, or the
-/// pivot cap) and propagates budget errors.
-pub(crate) fn warm_resolve(
-    parent: &LpBasis,
-    extra: &Constraint,
+/// Solves the LP with the integer tableau, mirroring the rational
+/// reference decision-for-decision. Aborts with [`SolveAbort::Overflow`]
+/// if any intermediate value overflows `i128` (callers fall back to the
+/// reference solver) and propagates budget errors; otherwise returns the
+/// outcome plus — when requested and the variable space needed no
+/// sign-splitting — the optimal basis for warm starts.
+pub(crate) fn solve_int(
+    objective: &LinExpr,
+    set: &ConstraintSet,
+    want_basis: bool,
     budget: &Budget,
-) -> Result<WarmOutcome, SolveAbort> {
-    debug_assert_eq!(extra.kind(), ConstraintKind::Ge);
-    let mut tab = parent.tab.clone();
-    let n = parent.n;
-    let col = tab.append_column();
+) -> Result<(LpOutcome, Option<LpBasis>), SolveAbort> {
+    match prepare_int(set, budget)? {
+        Prep::Infeasible => Ok((LpOutcome::Infeasible, None)),
+        Prep::Empty { split } => {
+            let n = set.n_vars();
+            let unbounded = if split {
+                !objective.is_constant()
+            } else {
+                objective.coeffs().iter().any(Rat::is_negative)
+            };
+            let out = if unbounded {
+                LpOutcome::Unbounded
+            } else {
+                LpOutcome::Optimal {
+                    point: vec![Rat::ZERO; n],
+                    value: objective.constant_term(),
+                }
+            };
+            Ok((out, None))
+        }
+        Prep::Ready(prepared) => finish_int(prepared, objective, want_basis, budget),
+    }
+}
+
+/// What became of a constraint appended by [`append_priced_row`].
+enum RowFate {
+    /// The row is in the tableau (primal feasibility may need repair).
+    Added,
+    /// The row priced out to an identity implied by the current rows.
+    Dropped,
+    /// The row priced out to `0 = rhs` with `rhs != 0`: the extended
+    /// system has no feasible point. Basis-independent, hence exact.
+    Infeasible,
+}
+
+/// Appends one constraint to a solved tableau, priced out against the
+/// current basis. A `Ge` row gets a fresh slack column and enters the
+/// basis through it (possibly primal-infeasible, i.e. negative); an `Eq`
+/// row pivots in through its smallest enterable nonzero column. Either
+/// way the caller must restore primal feasibility with [`dual_repair`].
+fn append_priced_row(tab: &mut IntTableau, extra: &Constraint) -> Result<RowFate, SolveAbort> {
+    let slack_col = if extra.kind() == ConstraintKind::Ge {
+        Some(tab.append_column())
+    } else {
+        None
+    };
     let stride = tab.stride;
     let ncols = tab.ncols;
 
-    // New row for `expr - s = 0` with the fresh slack `s >= 0`.
+    // New row for `expr - s = 0` (resp. `expr = 0`).
     let mut row = vec![0i128; stride];
     for (i, coef) in extra.expr().coeffs().iter().enumerate() {
         row[i] = ov(int_of(*coef))?;
     }
-    row[col] = -1;
+    if let Some(col) = slack_col {
+        row[col] = -1;
+    }
     row[ncols] = ov(ov(int_of(extra.expr().constant_term()))?.checked_neg())?;
     let mut den: i128 = 1;
     // Price the row out against the current basis: zero each basic column
@@ -585,24 +646,53 @@ pub(crate) fn warm_resolve(
         }
         den = ov(den.checked_mul(pb))?;
     }
-    // The eliminations only scaled the fresh slack's coefficient, which
-    // started at -1: negate the row so the slack is basic with a positive
-    // coefficient (the positive-scale invariant).
-    debug_assert!(row[col] < 0);
-    for v in row.iter_mut() {
-        *v = ov(v.checked_neg())?;
-    }
     let r_new = tab.rows();
-    tab.data.extend_from_slice(&row);
-    tab.den.push(den);
-    tab.basis.push(col);
-    ov(tab.normalize_row(r_new))?;
+    match slack_col {
+        Some(col) => {
+            // The eliminations only scaled the fresh slack's coefficient,
+            // which started at -1: negate the row so the slack is basic
+            // with a positive coefficient (the positive-scale invariant).
+            debug_assert!(row[col] < 0);
+            for v in row.iter_mut() {
+                *v = ov(v.checked_neg())?;
+            }
+            tab.data.extend_from_slice(&row);
+            tab.den.push(den);
+            tab.basis.push(col);
+            ov(tab.normalize_row(r_new))?;
+            Ok(RowFate::Added)
+        }
+        None => {
+            // An equality row has no slack of its own: pick a basic column
+            // among the enterable ones. Pricing already zeroed every basic
+            // column, and barred artificials are pinned to zero in any
+            // represented solution, so if no enterable column remains the
+            // row reads `0 = rhs`.
+            let Some(c) = (0..ncols).find(|&j| tab.enterable(j) && row[j] != 0) else {
+                return Ok(if row[ncols] == 0 {
+                    RowFate::Dropped
+                } else {
+                    RowFate::Infeasible
+                });
+            };
+            tab.data.extend_from_slice(&row);
+            tab.den.push(den);
+            tab.basis.push(c);
+            ov(tab.normalize_row(r_new))?;
+            ov(tab.pivot(r_new, c))?;
+            crate::counters::count_bb_repair_pivots(1);
+            Ok(RowFate::Added)
+        }
+    }
+}
 
-    // Dual simplex: the basis is dual-feasible (parent-optimal reduced
-    // costs are nonnegative); repair primal feasibility. Bland-style
-    // anti-cycling: leaving row with the smallest basis index among the
-    // violated, entering column by cross-multiplied dual ratio with ties
-    // to the smallest column.
+/// Dual simplex: the basis must be dual-feasible (reduced costs
+/// nonnegative for the installed objective); repairs primal feasibility.
+/// Bland-style anti-cycling: leaving row with the smallest basis index
+/// among the violated, entering column by cross-multiplied dual ratio
+/// with ties to the smallest column. Returns `Ok(false)` when the dual is
+/// unbounded, i.e. the primal has no feasible point.
+fn dual_repair(tab: &mut IntTableau, budget: &Budget) -> Result<bool, SolveAbort> {
     let mut pivots = 0u64;
     loop {
         budget.check()?;
@@ -613,7 +703,7 @@ pub(crate) fn warm_resolve(
             }
         }
         let Some(r) = leave else {
-            break;
+            return Ok(true);
         };
         let mut enter: Option<usize> = None;
         for j in 0..tab.ncols {
@@ -633,8 +723,7 @@ pub(crate) fn warm_resolve(
             }
         }
         let Some(c) = enter else {
-            // Dual unbounded: the child LP has no feasible point.
-            return Ok(WarmOutcome::Infeasible);
+            return Ok(false);
         };
         ov(tab.pivot(r, c))?;
         crate::counters::count_bb_repair_pivots(1);
@@ -643,13 +732,13 @@ pub(crate) fn warm_resolve(
             return Err(SolveAbort::Overflow);
         }
     }
+}
 
-    let value = tab.value(parent.obj_scale, parent.obj_const);
-    let point = tab.read_point(n, false);
-    // The optimum point is provably the one the cold path would return
-    // only when it is the *unique* optimum: every enterable nonbasic
-    // column must have a strictly positive reduced cost (and, extra
-    // conservatively, no artificial may sit in the basis).
+/// The optimum point is provably the one the cold path would return only
+/// when it is the *unique* optimum: every enterable nonbasic column must
+/// have a strictly positive reduced cost (and, extra conservatively, no
+/// artificial may sit in the basis).
+fn unique_optimum(tab: &IntTableau) -> bool {
     let mut basic = vec![false; tab.ncols];
     for &bv in &tab.basis {
         basic[bv] = true;
@@ -660,7 +749,34 @@ pub(crate) fn warm_resolve(
         .basis
         .iter()
         .all(|&bv| !(bv >= tab.art_lo && bv < tab.art_hi));
-    let unique = strictly_positive && no_basic_artificial;
+    strictly_positive && no_basic_artificial
+}
+
+/// Re-solves the parent's LP with one extra `expr >= 0` row, repairing the
+/// parent's optimal basis with dual simplex pivots instead of a cold
+/// two-phase solve. Aborts with [`SolveAbort::Overflow`] when the caller
+/// should fall back to a cold solve (overflow, a non-integer row, or the
+/// pivot cap) and propagates budget errors.
+pub(crate) fn warm_resolve(
+    parent: &LpBasis,
+    extra: &Constraint,
+    budget: &Budget,
+) -> Result<WarmOutcome, SolveAbort> {
+    debug_assert_eq!(extra.kind(), ConstraintKind::Ge);
+    let mut tab = parent.tab.clone();
+    let n = parent.n;
+    match append_priced_row(&mut tab, extra)? {
+        RowFate::Added | RowFate::Dropped => {}
+        RowFate::Infeasible => return Ok(WarmOutcome::Infeasible),
+    }
+    if !dual_repair(&mut tab, budget)? {
+        // Dual unbounded: the child LP has no feasible point.
+        return Ok(WarmOutcome::Infeasible);
+    }
+
+    let value = tab.value(parent.obj_scale, parent.obj_const);
+    let point = tab.read_point(n, false);
+    let unique = unique_optimum(&tab);
     let basis = Box::new(LpBasis {
         tab,
         n,
@@ -673,6 +789,125 @@ pub(crate) fn warm_resolve(
         unique,
         basis,
     })
+}
+
+/// Outcome of preparing a base set for a [`crate::context::SchedCtx`].
+#[allow(clippy::large_enum_variant)] // built once, matched once: boxing buys nothing
+pub(crate) enum CtxPrepared {
+    /// Feasibility established; extensions and re-optimizations welcome.
+    Ready(PreparedTab),
+    /// The base set is already infeasible, or it needs the p−q sign
+    /// split / has no rows — shapes the persistent context does not
+    /// accelerate. The context falls back to cold solves.
+    Unsupported,
+}
+
+/// Prepares a base constraint set for persistent reuse: runs the
+/// objective-independent half of a solve and installs a zero objective
+/// (trivially dual-feasible) so delta rows can be appended and repaired
+/// immediately.
+pub(crate) fn ctx_prepare(set: &ConstraintSet, budget: &Budget) -> Result<CtxPrepared, SolveAbort> {
+    match prepare_int(set, budget)? {
+        Prep::Ready(mut prepared) if !prepared.split => {
+            ov(prepared
+                .tab
+                .install_objective(vec![0i128; prepared.tab.ncols]))?;
+            Ok(CtxPrepared::Ready(prepared))
+        }
+        _ => Ok(CtxPrepared::Unsupported),
+    }
+}
+
+/// Extends a prepared (or previously optimized) tableau with extra
+/// constraint rows and repairs primal feasibility. The installed cost row
+/// must be dual-feasible — true right after [`ctx_prepare`] (zero
+/// objective) and right after [`ctx_optimize`] (optimal reduced costs).
+/// Returns `Ok(false)` when the extension makes the system infeasible —
+/// a basis-independent fact, safe to report without a cold re-solve.
+pub(crate) fn ctx_extend(
+    prepared: &mut PreparedTab,
+    extra: &[Constraint],
+    budget: &Budget,
+) -> Result<bool, SolveAbort> {
+    debug_assert!(!prepared.split);
+    for c in extra {
+        // Mirror the cold row filter: in a non-split space, sign rows are
+        // implicit in the tableau and never materialized.
+        if c.kind() == ConstraintKind::Ge && is_sign_row(c.expr()) {
+            continue;
+        }
+        match append_priced_row(&mut prepared.tab, c)? {
+            RowFate::Added | RowFate::Dropped => {}
+            RowFate::Infeasible => return Ok(false),
+        }
+    }
+    dual_repair(&mut prepared.tab, budget)
+}
+
+/// Result of re-optimizing a prepared tableau under a fresh objective.
+#[allow(clippy::large_enum_variant)] // built once, matched once: boxing buys nothing
+pub(crate) enum CtxOpt {
+    /// The LP is unbounded below. Basis-independent, hence exact.
+    Unbounded,
+    /// Solved to optimality. `value` is always exact; `point` matches the
+    /// cold path's tie-broken vertex only when `unique` holds.
+    Optimal {
+        value: Rat,
+        point: Vec<Rat>,
+        unique: bool,
+        basis: LpBasis,
+    },
+}
+
+/// Installs a fresh objective on a feasibility-established tableau and
+/// runs primal simplex from the current basis — the warm replacement for
+/// a cold two-phase solve when only the objective changed.
+pub(crate) fn ctx_optimize(
+    prepared: PreparedTab,
+    objective: &LinExpr,
+    budget: &Budget,
+) -> Result<CtxOpt, SolveAbort> {
+    let PreparedTab { mut tab, n, split } = prepared;
+    debug_assert!(!split);
+    let mut obj_scale: i128 = 1;
+    for i in 0..n {
+        obj_scale = lcm(obj_scale, objective.coeff(i).denom());
+    }
+    let mut phase2 = vec![0i128; tab.ncols];
+    for (i, slot) in phase2.iter_mut().enumerate().take(n) {
+        let c = objective.coeff(i);
+        *slot = ov(c.numer().checked_mul(obj_scale / c.denom()))?;
+    }
+    ov(tab.install_objective(phase2))?;
+    if tab.run(budget, false)? == RunResult::Unbounded {
+        return Ok(CtxOpt::Unbounded);
+    }
+    let point = tab.read_point(n, false);
+    let value = tab.value(obj_scale, objective.constant_term());
+    let unique = unique_optimum(&tab);
+    Ok(CtxOpt::Optimal {
+        value,
+        point,
+        unique,
+        basis: LpBasis {
+            tab,
+            n,
+            obj_scale,
+            obj_const: objective.constant_term(),
+        },
+    })
+}
+
+/// Re-wraps an optimal basis (e.g. the root basis handed back by
+/// branch-and-bound) as a prepared tableau so the lexmin chain can extend
+/// it with the next pin row. The optimal cost row stays installed — it is
+/// dual-feasible, exactly what [`ctx_extend`] needs.
+pub(crate) fn ctx_resume(basis: LpBasis) -> PreparedTab {
+    PreparedTab {
+        tab: basis.tab,
+        n: basis.n,
+        split: false,
+    }
 }
 
 fn int_of(r: Rat) -> Option<i128> {

@@ -18,8 +18,8 @@
 use polyject_arith::{Rat, SplitMix64};
 use polyject_sets::{
     eliminate_var, eliminate_var_reference, is_integer_feasible, is_integer_feasible_reference,
-    minimize, minimize_integer, minimize_integer_reference, minimize_reference, Constraint,
-    ConstraintSet, LinExpr,
+    minimize, minimize_integer, minimize_integer_reference, minimize_reference, try_lexmin_integer,
+    Budget, BudgetError, Constraint, ConstraintSet, LinExpr, SchedCtx,
 };
 
 /// A random bounded set: a box `[0, hi]` per variable plus random
@@ -247,5 +247,148 @@ fn differential_corner_cases() {
     assert_eq!(
         minimize_integer(&obj, &pinned),
         minimize_integer_reference(&obj, &pinned)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Persistent scheduling contexts ([`SchedCtx`]) vs the cold lexmin path.
+// ---------------------------------------------------------------------
+
+/// Random delta rows of the kind a scheduler pushes on top of a shared
+/// base: mostly half-spaces, occasionally an equality, and often tight
+/// enough to empty the set.
+fn arb_delta(g: &mut SplitMix64, n: usize) -> Vec<Constraint> {
+    let mut delta = Vec::new();
+    for _ in 0..g.below(3) + 1 {
+        let coeffs = g.vec_i128(n, -4, 5);
+        let k = g.range_i128(-8, 9);
+        if g.below(5) == 0 {
+            delta.push(Constraint::eq0(LinExpr::from_coeffs(&coeffs, k)));
+        } else {
+            delta.push(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+        }
+    }
+    delta
+}
+
+/// A bounded box with shifted lower bounds (`lo <= x <= hi`, `lo` often
+/// nonzero): integer-feasible but without `x >= 0` sign rows, so the
+/// tableau needs the p−q split and a [`SchedCtx`] must refuse the warm
+/// base and delegate every solve cold.
+fn arb_shifted_box_set(g: &mut SplitMix64, n: usize) -> ConstraintSet {
+    let mut s = ConstraintSet::universe(n);
+    for v in 0..n {
+        let lo = g.range_i128(-3, 2);
+        let hi = lo + g.range_i128(1, 6);
+        let mut l = vec![0i128; n];
+        l[v] = 1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&l, -lo)));
+        let mut u = vec![0i128; n];
+        u[v] = -1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&u, hi)));
+    }
+    for _ in 0..g.below(3) {
+        s.add(Constraint::ge0(LinExpr::from_coeffs(
+            &g.vec_i128(n, -3, 4),
+            g.range_i128(-6, 7),
+        )));
+    }
+    s
+}
+
+/// A [`SchedCtx`] must reproduce the cold lexmin solver **exactly** —
+/// outcome variant, per-objective optimal values, and the tie-broken
+/// optimum point — across repeated push/lexmin/pop rounds against the
+/// same prepared base, on both warm-eligible (sign-rowed) bases and
+/// split-mode bases where the context delegates cold.
+#[test]
+fn sched_ctx_lexmin_matches_cold_solver() {
+    let mut g = SplitMix64::new(0x5E75_2001);
+    for case in 0..96u32 {
+        let n = 1 + g.below(4);
+        let base = if g.below(4) == 0 {
+            arb_shifted_box_set(&mut g, n)
+        } else {
+            arb_bounded_set(&mut g, n)
+        };
+        let mut ctx = SchedCtx::build(base.clone(), &Budget::unlimited()).expect("not cancelled");
+        // Several rounds against the same prepared base: each pushes a
+        // fresh delta, solves a lexicographic chain, and pops.
+        for round in 0..3u32 {
+            let mark = ctx.mark();
+            let mut cold = base.clone();
+            for c in arb_delta(&mut g, n) {
+                ctx.push(c.clone());
+                cold.add(c);
+            }
+            // Up to 3 objectives: chains of length >= 2 exercise the
+            // relaxed intermediate-objective serving (any optimal vertex)
+            // in front of the uniqueness-gated final objective.
+            let objs: Vec<LinExpr> = (0..g.below(4)).map(|_| arb_objective(&mut g, n)).collect();
+            let warm = ctx
+                .try_lexmin(&objs, &Budget::unlimited())
+                .expect("unlimited");
+            let cold_out =
+                try_lexmin_integer(&objs, &cold, &Budget::unlimited()).expect("unlimited");
+            assert_eq!(warm, cold_out, "case {case} round {round} base {base:?}");
+            // Lexmin must leave the pushed rows exactly as they were
+            // (objective pins are unwound), and pop must restore the base.
+            assert_eq!(ctx.rows().len(), cold.len(), "case {case} round {round}");
+            ctx.pop(mark);
+            assert_eq!(ctx.rows().len(), base.len(), "case {case} round {round}");
+        }
+    }
+}
+
+/// Budget exhaustion mid-solve must leave the context fully reusable:
+/// the same call under an unlimited budget afterwards — and after a pop
+/// back to the base — still matches the cold solver exactly. Also covers
+/// a context *built* under an exhausted budget (cold delegation).
+#[test]
+fn sched_ctx_survives_budget_exhaustion() {
+    let mut g = SplitMix64::new(0x5E75_2002);
+    let mut exhausted_seen = 0u32;
+    for case in 0..48u32 {
+        let n = 2 + g.below(3);
+        let base = arb_bounded_set(&mut g, n);
+        // Every fourth context is built under an already-exhausted pivot
+        // budget: the build must degrade to cold delegation, not fail.
+        let build_budget = if case % 4 == 0 {
+            Budget::unlimited().with_max_pivots(0)
+        } else {
+            Budget::unlimited()
+        };
+        let mut ctx = SchedCtx::build(base.clone(), &build_budget).expect("not cancelled");
+        let mark = ctx.mark();
+        let mut cold = base.clone();
+        for c in arb_delta(&mut g, n) {
+            ctx.push(c.clone());
+            cold.add(c);
+        }
+        let objs = vec![arb_objective(&mut g, n), arb_objective(&mut g, n)];
+        let tight = Budget::unlimited().with_max_pivots(1);
+        match ctx.try_lexmin(&objs, &tight) {
+            Err(BudgetError::Exhausted(_)) => exhausted_seen += 1,
+            Ok(_) => {}
+            Err(e) => panic!("case {case}: unexpected {e}"),
+        }
+        // The tight run must not have corrupted the pushed rows or the
+        // prepared base: re-solving unlimited matches cold.
+        let warm = ctx
+            .try_lexmin(&objs, &Budget::unlimited())
+            .expect("unlimited");
+        let cold_out = try_lexmin_integer(&objs, &cold, &Budget::unlimited()).expect("unlimited");
+        assert_eq!(warm, cold_out, "case {case} base {base:?}");
+        // Popping after an exhausted solve restores the bare base.
+        ctx.pop(mark);
+        let warm_base = ctx
+            .try_lexmin(&objs, &Budget::unlimited())
+            .expect("unlimited");
+        let cold_base = try_lexmin_integer(&objs, &base, &Budget::unlimited()).expect("unlimited");
+        assert_eq!(warm_base, cold_base, "case {case} base {base:?}");
+    }
+    assert!(
+        exhausted_seen > 0,
+        "tight budgets must actually trip ({exhausted_seen})"
     );
 }

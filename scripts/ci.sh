@@ -71,6 +71,26 @@ if doc.get("parallel_skipped"):
     print("   (single-core box: parallel leg ran serially as a determinism repeat)")
 EOF
 echo "ok: solver counters snapshot recorded"
+# Regression gate: the fast-bench counters are deterministic for one
+# code revision, so a drift beyond +/-10% of the checked-in snapshot
+# means solver work silently grew (or instrumentation broke). Update
+# scripts/solver_counters.snapshot.json when a deliberate change moves them.
+python3 - "$smoke_json" scripts/solver_counters.snapshot.json <<'EOF'
+import json, sys
+live = json.load(open(sys.argv[1]))["serial"]["solver"]
+want = json.load(open(sys.argv[2]))
+bad = []
+for key in ("lp_solves", "lp_phase1_pivots", "ilp_nodes"):
+    got, exp = live[key], want[key]
+    if not exp * 0.9 <= got <= exp * 1.1:
+        bad.append(f"{key}: {got} outside +/-10% of snapshot {exp}")
+    else:
+        print(f"   {key}: {got} (snapshot {exp}) ok")
+if bad:
+    sys.exit("solver counter regression:\n  " + "\n  ".join(bad)
+             + "\n  (if intentional, re-record scripts/solver_counters.snapshot.json)")
+EOF
+echo "ok: solver counters within +/-10% of checked-in snapshot"
 
 step "schedule-cache round-trip (table2 --fast --cache-bench)"
 cache_json="$scratch/cache_bench.json"
