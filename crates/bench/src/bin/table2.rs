@@ -35,6 +35,7 @@ fn print_stats(label: &str, run: &Table2Run) {
          | lp_solves {} ilp_solves {} ilp_nodes {} fm_eliminations {} \
          | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms \
          | phases dep {:.1}ms assemble {:.1}ms solve {:.1}ms codegen {:.1}ms \
+         | i64 {} escalations {} farkas {} redundancy {} spec {}/{} \
          | degraded {} cancelled {} panics_recovered {}",
         run.unique_ops,
         run.workers,
@@ -53,6 +54,12 @@ fn print_stats(label: &str, run: &Table2Run) {
         c.assemble_ns as f64 / 1e6,
         c.solve_ns as f64 / 1e6,
         c.codegen_ns as f64 / 1e6,
+        c.tab_i64_solves,
+        c.tab_overflow_escalations,
+        c.farkas_linearizations,
+        c.redundancy_checks,
+        c.spec_adopted,
+        c.spec_discarded,
         c.degraded_solves,
         c.cancelled_solves,
         c.panics_recovered
@@ -209,7 +216,23 @@ fn main() {
         c.run
     } else if bench {
         let serial = run_table2_networks(&nets, &model, 1);
-        let parallel = run_table2_networks(&nets, &model, bench_workers);
+        // The parallel leg additionally enables speculative intra-kernel
+        // parallelism: each compile may dispatch its predicted next
+        // ladder rung onto idle pool workers. Output must stay
+        // byte-identical to the serial leg (asserted below); only
+        // wall-clock and the spec_adopted/spec_discarded counters react.
+        let parallel = if bench_workers >= 2 {
+            let spec = std::sync::Arc::new(polyject_serve::PoolSpecExecutor::new(bench_workers));
+            polyject_core::install_spec_executor(spec.clone());
+            let run = run_table2_networks(&nets, &model, bench_workers);
+            polyject_core::clear_spec_executor();
+            // Last reference: dropping it joins the speculation pool, so
+            // no cancelled speculative worker outlives the bench.
+            drop(spec);
+            run
+        } else {
+            run_table2_networks(&nets, &model, bench_workers)
+        };
         let identical = measurements_identical(&serial.results, &parallel.results);
         let b = Table2Bench {
             cores,

@@ -1,0 +1,37 @@
+//! Speculative intra-kernel parallelism must be invisible in the output:
+//! a Table II run with the pool-backed speculation executor installed is
+//! bitwise identical to the serial reference, on any worker count.
+//!
+//! Lives in its own integration-test binary because the executor is
+//! process-global.
+
+use polyject_bench::{measurements_identical, run_table2_networks};
+use polyject_gpusim::GpuModel;
+use polyject_serve::PoolSpecExecutor;
+use polyject_workloads::lstm;
+use std::sync::Arc;
+
+#[test]
+fn speculative_parallel_table2_is_byte_identical_to_serial() {
+    let model = GpuModel::v100();
+    let nets = vec![lstm()];
+    let serial = run_table2_networks(&nets, &model, 1);
+
+    let ex = Arc::new(PoolSpecExecutor::new(2));
+    polyject_core::install_spec_executor(ex.clone());
+    let parallel = run_table2_networks(&nets, &model, 2);
+    polyject_core::clear_spec_executor();
+
+    assert!(
+        measurements_identical(&serial.results, &parallel.results),
+        "speculation changed the measured tables"
+    );
+    // Every speculative job — adopted or cancelled — releases its pool
+    // slot; a cancelled speculation trips its budget flag and the worker
+    // exits cooperatively instead of leaking.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while ex.in_flight() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert_eq!(ex.in_flight(), 0, "speculative workers leaked");
+}

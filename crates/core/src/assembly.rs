@@ -1,0 +1,254 @@
+//! Cross-compile assembly cache for the per-relation constraint systems.
+//!
+//! Farkas linearization ([`validity_constraints`] / [`bounding_constraints`])
+//! and redundancy reduction ([`polyject_sets::try_remove_redundant`]) are
+//! pure functions — of the (relation, layout) pair and of the linearized
+//! system respectively. They are also the whole cost of the assemble
+//! phase, and they are recomputed far more often than their inputs change:
+//! one operator is compiled under several configurations (isl baseline,
+//! no-vector, influenced, plus every fused sub-kernel) over the *same*
+//! kernel and dependences, and the scheduler's backtracking ladder
+//! re-assembles per-dimension systems from the same relations dozens of
+//! times. A ladder rung's delta push/pop never touches the per-relation
+//! systems at all.
+//!
+//! This module memoizes both functions thread-locally *across* scheduler
+//! instances, keyed by 64-bit fingerprint with a deep-equality check
+//! behind it, so only relations never seen on this thread are linearized
+//! or redundancy-checked. The caches are semantically transparent (pure
+//! functions, deep-verified keys): compiles produce byte-identical results
+//! with the caches hot, cold, or absent, which also keeps parallel workers
+//! (each with their own thread-local caches) deterministic.
+//!
+//! The `farkas_linearizations` / `redundancy_checks` solver counters tick
+//! only on misses — i.e. on work actually performed — so the incremental
+//! savings are observable in `--stats` and regression-testable.
+//!
+//! Budget interplay: a reduction that exhausts its budget degrades to the
+//! unreduced system (correct, just bigger) and is *not* cached, so a later
+//! compile with a fresh budget redoes it properly; cancellation propagates
+//! and caches nothing.
+
+use crate::builders::{bounding_constraints, validity_constraints};
+use crate::layout::CoeffLayout;
+use polyject_deps::{DepKind, DepRelation};
+use polyject_ir::StmtId;
+use polyject_sets::{Budget, BudgetError, ConstraintSet};
+use std::cell::RefCell;
+
+/// Which linearized form of a relation is wanted.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Form {
+    /// Validity constraints (paper eq. (1)).
+    Validity,
+    /// Reuse-distance bounding constraints (paper eq. (2)).
+    Bounding,
+}
+
+/// Everything the linearized form depends on, captured for deep equality.
+/// `tensor` is deliberately excluded: it is provenance, not geometry —
+/// relations differing only by tensor linearize identically.
+struct LinKey {
+    form: Form,
+    source: StmtId,
+    target: StmtId,
+    kind: DepKind,
+    n_source_iters: usize,
+    n_target_iters: usize,
+    n_params: usize,
+    level: Option<usize>,
+    set: ConstraintSet,
+    layout: CoeffLayout,
+}
+
+impl LinKey {
+    fn matches(&self, form: Form, rel: &DepRelation, layout: &CoeffLayout) -> bool {
+        self.form == form
+            && self.source == rel.source
+            && self.target == rel.target
+            && self.kind == rel.kind
+            && self.n_source_iters == rel.n_source_iters
+            && self.n_target_iters == rel.n_target_iters
+            && self.n_params == rel.n_params
+            && self.level == rel.level
+            && self.set == rel.set
+            && self.layout == *layout
+    }
+}
+
+struct LinEntry {
+    fp: u64,
+    key: LinKey,
+    out: ConstraintSet,
+}
+
+struct RedEntry {
+    fp: u64,
+    key: ConstraintSet,
+    out: ConstraintSet,
+}
+
+/// Runaway backstop: no real workload comes close (full Table II populates
+/// a few hundred entries); beyond it the caches reset rather than grow.
+const CACHE_CAP: usize = 8192;
+
+thread_local! {
+    static LIN_CACHE: RefCell<Vec<LinEntry>> = const { RefCell::new(Vec::new()) };
+    static RED_CACHE: RefCell<Vec<RedEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Fingerprint of a linearization key: the relation set's fingerprint
+/// mixed with the form tag and the cheap scalar fields (the layout is
+/// covered by the deep check; collisions only cost a deep compare).
+fn lin_fp(form: Form, rel: &DepRelation) -> u64 {
+    let tag: u64 = match form {
+        Form::Validity => 0x9e37_79b9_7f4a_7c15,
+        Form::Bounding => 0xc2b2_ae3d_27d4_eb4f,
+    };
+    rel.set
+        .fingerprint64()
+        .wrapping_mul(0x100_0000_01b3)
+        .rotate_left(17)
+        ^ tag
+        ^ ((rel.source.0 as u64) << 32 | rel.target.0 as u64)
+        ^ ((rel.n_source_iters as u64) << 48)
+        ^ ((rel.n_target_iters as u64) << 40)
+}
+
+/// The linearized, redundancy-reduced constraint system of one relation:
+/// served from the thread-local caches when this (relation, layout) pair
+/// has been assembled before on this thread.
+///
+/// # Errors
+///
+/// Only cancellation surfaces; an exhausted reduction budget degrades to
+/// the unreduced (still correct) system, counted as a degraded solve.
+pub(crate) fn linearized_reduced(
+    form: Form,
+    rel: &DepRelation,
+    layout: &CoeffLayout,
+    budget: &Budget,
+) -> Result<ConstraintSet, BudgetError> {
+    let fp = lin_fp(form, rel);
+    let hit = LIN_CACHE.with(|c| {
+        c.borrow()
+            .iter()
+            .find(|e| e.fp == fp && e.key.matches(form, rel, layout))
+            .map(|e| e.out.clone())
+    });
+    let cs = match hit {
+        Some(cs) => cs,
+        None => {
+            polyject_sets::counters::note_farkas_linearization();
+            let cs = match form {
+                Form::Validity => validity_constraints([rel], layout),
+                Form::Bounding => bounding_constraints([rel], layout),
+            };
+            LIN_CACHE.with(|c| {
+                let mut c = c.borrow_mut();
+                if c.len() >= CACHE_CAP {
+                    c.clear();
+                }
+                c.push(LinEntry {
+                    fp,
+                    key: LinKey {
+                        form,
+                        source: rel.source,
+                        target: rel.target,
+                        kind: rel.kind,
+                        n_source_iters: rel.n_source_iters,
+                        n_target_iters: rel.n_target_iters,
+                        n_params: rel.n_params,
+                        level: rel.level,
+                        set: rel.set.clone(),
+                        layout: layout.clone(),
+                    },
+                    out: cs.clone(),
+                });
+            });
+            cs
+        }
+    };
+    reduced(cs, budget)
+}
+
+/// Memoized `remove_redundant`: identical systems reduce identically, so
+/// the LP-backed redundancy check runs once per distinct system per
+/// thread. Degraded (budget-exhausted) results are returned unreduced and
+/// never cached.
+fn reduced(cs: ConstraintSet, budget: &Budget) -> Result<ConstraintSet, BudgetError> {
+    let fp = cs.fingerprint64();
+    let hit = RED_CACHE.with(|c| {
+        c.borrow()
+            .iter()
+            .find(|e| e.fp == fp && e.key == cs)
+            .map(|e| e.out.clone())
+    });
+    if let Some(out) = hit {
+        return Ok(out);
+    }
+    polyject_sets::counters::note_redundancy_check();
+    let out = match polyject_sets::try_remove_redundant(&cs, budget) {
+        Ok(r) => r,
+        Err(e @ BudgetError::Cancelled) => return Err(e),
+        Err(BudgetError::Exhausted(_)) => {
+            polyject_sets::counters::note_degraded_solve();
+            return Ok(cs);
+        }
+    };
+    RED_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() >= CACHE_CAP {
+            c.clear();
+        }
+        c.push(RedEntry {
+            fp,
+            key: cs,
+            out: out.clone(),
+        });
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_deps::{compute_dependences, DepOptions};
+    use polyject_ir::ops;
+    use polyject_sets::counters;
+
+    #[test]
+    fn second_linearization_is_a_cache_hit() {
+        let kernel = ops::running_example(8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let rel = deps.validity().next().expect("has validity deps");
+        let budget = Budget::unlimited();
+
+        let before = counters::snapshot();
+        let a = linearized_reduced(Form::Validity, rel, &layout, &budget).unwrap();
+        let mid = counters::snapshot();
+        let d1 = mid.delta_since(&before);
+        let b = linearized_reduced(Form::Validity, rel, &layout, &budget).unwrap();
+        let d2 = counters::snapshot().delta_since(&mid);
+
+        assert_eq!(a, b, "cache must be semantically transparent");
+        assert!(d1.farkas_linearizations >= 1, "{d1:?}");
+        assert!(d1.redundancy_checks >= 1, "{d1:?}");
+        assert_eq!(d2.farkas_linearizations, 0, "{d2:?}");
+        assert_eq!(d2.redundancy_checks, 0, "{d2:?}");
+        assert_eq!(d2.lp_solves, 0, "hit must cost zero solver work: {d2:?}");
+    }
+
+    #[test]
+    fn forms_are_cached_separately() {
+        let kernel = ops::running_example(8);
+        let deps = compute_dependences(&kernel, DepOptions::default());
+        let layout = CoeffLayout::new(&kernel);
+        let rel = deps.validity().next().expect("has validity deps");
+        let budget = Budget::unlimited();
+        let v = linearized_reduced(Form::Validity, rel, &layout, &budget).unwrap();
+        let b = linearized_reduced(Form::Bounding, rel, &layout, &budget).unwrap();
+        assert_ne!(v, b, "validity and bounding forms differ");
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+mod assembly;
 mod builders;
 mod checks;
 pub mod farkas;
@@ -37,6 +38,7 @@ mod layout;
 mod optimizer;
 mod schedtree;
 mod schedule;
+mod speculate;
 mod tree;
 mod verify;
 
@@ -57,5 +59,6 @@ pub use optimizer::{build_influence_tree, build_scenarios, InfluenceOptions, Sce
 pub use polyject_sets::{Budget, BudgetError, BudgetResource};
 pub use schedtree::{render_schedule_tree, schedule_tree, TreeNode};
 pub use schedule::{DimFlags, Schedule, ScheduleRow, StatementSchedule};
+pub use speculate::{clear_spec_executor, install_spec_executor, SpecExecutor};
 pub use tree::{InfluenceNode, InfluenceTree, NodeId};
 pub use verify::{verify_schedule, ScheduleReport};

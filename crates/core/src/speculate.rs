@@ -1,0 +1,289 @@
+//! Speculative intra-kernel parallelism.
+//!
+//! One compile is a *sequence* of ILP solves (one per schedule dimension,
+//! plus backtracking-ladder retries), so a single kernel cannot use more
+//! than one core — yet whenever a solve at an influence node fails, the
+//! very next ladder rung is fully determined: try the node's right
+//! sibling with the dependence set restored to the dimension's backup.
+//! That rung's entire input (base system, sibling delta, objective stack)
+//! is known *before* the current solve starts.
+//!
+//! This module lets the driver dispatch that predicted rung onto idle
+//! workers (the serve [`WorkerPool`] during a single in-flight compile,
+//! via an installed [`SpecExecutor`]) while the sequential solve runs.
+//! The speculative result is adopted **only** when the sequential
+//! decision point confirms the premise it was spawned under — same
+//! schedule version, same node, same progression flag, same remaining
+//! dependence set. On any mismatch the speculation is cancelled and
+//! discarded, and the driver solves sequentially as before.
+//!
+//! # Determinism
+//!
+//! The speculative worker computes `SchedCtx::build(sys)` +
+//! `push_set(delta)` + `try_lexmin(objectives)` — a pure function of its
+//! inputs, bit-identical to what the sequential path would compute from
+//! the same rows (the persistent-context invariant pinned by the sets
+//! crate's context tests). Since adoption requires the premise to match
+//! exactly, the schedule constructed is byte-identical on any worker
+//! count, including zero. Only the `spec_adopted` / `spec_discarded`
+//! counters (and which *thread's* counters absorb the solve work) differ.
+//!
+//! # Budgets
+//!
+//! Speculation is only attempted under budgets without resource limits
+//! ([`Budget::has_resource_limits`]): metered budgets account work
+//! against thread-local counters, which offloaded solves would silently
+//! escape. Workers run unmetered but carry a dedicated cancel flag;
+//! dropping a [`Speculation`] trips it, so a discarded speculation frees
+//! its worker cooperatively instead of leaking it, and cancelling the
+//! parent compile (which drops the driver) cascades to the worker.
+//!
+//! [`WorkerPool`]: https://docs.rs/polyject-serve
+
+use crate::tree::NodeId;
+use polyject_sets::{Budget, BudgetError, ConstraintSet, IlpOutcome, LinExpr, SchedCtx};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Duration;
+
+/// A sink for speculative jobs, normally backed by a thread pool.
+///
+/// Installed process-wide with [`install_spec_executor`]; the scheduler
+/// stays strictly sequential while none is installed (the default).
+pub trait SpecExecutor: Send + Sync {
+    /// Offers `job` to an idle worker. Returns `false` — dropping the
+    /// job — when no worker is free *right now*; speculation must never
+    /// queue behind real work, so implementations should not buffer.
+    fn try_spawn(&self, job: Box<dyn FnOnce() + Send + 'static>) -> bool;
+}
+
+static EXECUTOR: RwLock<Option<Arc<dyn SpecExecutor>>> = RwLock::new(None);
+
+/// Installs the process-wide speculation executor.
+///
+/// Schedulers on any thread will offer predicted ladder rungs to it.
+/// Output is unaffected (see the module docs on determinism); only
+/// wall-clock and the speculation counters change.
+pub fn install_spec_executor(ex: Arc<dyn SpecExecutor>) {
+    *EXECUTOR.write().unwrap_or_else(|e| e.into_inner()) = Some(ex);
+}
+
+/// Removes the installed speculation executor, returning the scheduler
+/// to strictly sequential operation. In-flight speculations finish or
+/// cancel on their own; none are newly spawned.
+pub fn clear_spec_executor() {
+    *EXECUTOR.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+pub(crate) fn executor() -> Option<Arc<dyn SpecExecutor>> {
+    EXECUTOR.read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// One in-flight speculative solve plus the premise it was spawned
+/// under. Dropping it trips the worker's cancel flag, so every discard
+/// path — premise mismatch, driver teardown, parent cancellation —
+/// releases the worker without further bookkeeping.
+pub(crate) struct Speculation {
+    sched_version: u64,
+    node: NodeId,
+    use_progression: bool,
+    remaining: BTreeSet<usize>,
+    cancel: Arc<AtomicBool>,
+    rx: mpsc::Receiver<Result<IlpOutcome, BudgetError>>,
+}
+
+impl Drop for Speculation {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Speculation {
+    /// Whether the sequential decision point confirms the premise this
+    /// speculation was spawned under.
+    pub(crate) fn matches(
+        &self,
+        sched_version: u64,
+        node: Option<NodeId>,
+        use_progression: bool,
+        remaining: &BTreeSet<usize>,
+    ) -> bool {
+        self.sched_version == sched_version
+            && Some(self.node) == node
+            && self.use_progression == use_progression
+            && self.remaining == *remaining
+    }
+
+    /// Blocks until the worker reports its outcome, polling the parent
+    /// budget's cancel flag meanwhile.
+    ///
+    /// `Ok(None)` means the speculation is unusable (worker cancelled,
+    /// panicked, or its result was lost) and the caller must solve
+    /// sequentially; it is never a statement about feasibility.
+    ///
+    /// # Errors
+    ///
+    /// Only parent cancellation surfaces, mirroring where the sequential
+    /// solve would have observed the flag.
+    pub(crate) fn wait(&self, parent: &Budget) -> Result<Option<IlpOutcome>, BudgetError> {
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(Ok(outcome)) => return Ok(Some(outcome)),
+                // The worker runs unmetered, so any budget error it
+                // reports is its own cancellation; fall back to the
+                // sequential solve.
+                Ok(Err(_)) => return Ok(None),
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(None),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if parent.is_cancelled() {
+                        return Err(BudgetError::Cancelled);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Offers the predicted ladder rung — solve `sys` + `delta` under
+/// `objectives` — to the installed executor. Returns `None` (and costs
+/// nothing further) when no executor is installed or no worker is idle.
+pub(crate) fn spawn(
+    sys: ConstraintSet,
+    delta: ConstraintSet,
+    objectives: Vec<LinExpr>,
+    sched_version: u64,
+    node: NodeId,
+    use_progression: bool,
+    remaining: BTreeSet<usize>,
+) -> Option<Speculation> {
+    let ex = executor()?;
+    let cancel = Arc::new(AtomicBool::new(false));
+    let budget = Budget::unlimited().with_cancel(cancel.clone());
+    let (tx, rx) = mpsc::channel();
+    let job = Box::new(move || {
+        // Mirrors the sequential rung exactly: fresh context on the base
+        // system, the node's delta rows on top, the lexmin chain over the
+        // node's objective stack.
+        let out = SchedCtx::build(sys, &budget).and_then(|mut ctx| {
+            ctx.push_set(&delta);
+            ctx.try_lexmin(&objectives, &budget)
+        });
+        // The receiver may already have been dropped (premise mismatch).
+        let _ = tx.send(out);
+    });
+    if !ex.try_spawn(job) {
+        return None;
+    }
+    Some(Speculation {
+        sched_version,
+        node,
+        use_progression,
+        remaining,
+        cancel,
+        rx,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Executor that runs jobs on plain spawned threads and counts them.
+    struct ThreadSpawner {
+        spawned: AtomicUsize,
+    }
+
+    impl SpecExecutor for ThreadSpawner {
+        fn try_spawn(&self, job: Box<dyn FnOnce() + Send + 'static>) -> bool {
+            self.spawned.fetch_add(1, Ordering::SeqCst);
+            std::thread::spawn(job);
+            true
+        }
+    }
+
+    #[test]
+    fn spawn_without_executor_is_none() {
+        // Not installed in this test (install is process-global and
+        // covered by the scheduler-level tests); a bare spawn must be a
+        // cheap no-op.
+        let n = 3;
+        let sys = ConstraintSet::universe(n);
+        let got = spawn(
+            sys,
+            ConstraintSet::universe(n),
+            vec![LinExpr::zero(n)],
+            0,
+            NodeId(0),
+            true,
+            BTreeSet::new(),
+        );
+        assert!(got.is_none() || executor().is_some());
+    }
+
+    #[test]
+    fn dropped_speculation_trips_its_cancel_flag() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (_tx, rx) = mpsc::channel();
+        let spec = Speculation {
+            sched_version: 0,
+            node: NodeId(0),
+            use_progression: true,
+            remaining: BTreeSet::new(),
+            cancel: cancel.clone(),
+            rx,
+        };
+        assert!(!cancel.load(Ordering::Relaxed));
+        drop(spec);
+        assert!(
+            cancel.load(Ordering::Relaxed),
+            "drop must cancel the worker"
+        );
+    }
+
+    #[test]
+    fn wait_falls_back_on_worker_cancellation() {
+        let (tx, rx) = mpsc::channel();
+        let spec = Speculation {
+            sched_version: 0,
+            node: NodeId(0),
+            use_progression: true,
+            remaining: BTreeSet::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            rx,
+        };
+        tx.send(Err(BudgetError::Cancelled)).unwrap();
+        let got = spec.wait(&Budget::unlimited()).unwrap();
+        assert!(got.is_none(), "cancelled worker means sequential fallback");
+    }
+
+    #[test]
+    fn wait_propagates_parent_cancellation() {
+        let (_tx, rx) = mpsc::channel::<Result<IlpOutcome, BudgetError>>();
+        let spec = Speculation {
+            sched_version: 0,
+            node: NodeId(0),
+            use_progression: true,
+            remaining: BTreeSet::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            rx,
+        };
+        let flag = Arc::new(AtomicBool::new(true));
+        let parent = Budget::unlimited().with_cancel(flag);
+        assert_eq!(spec.wait(&parent), Err(BudgetError::Cancelled));
+    }
+
+    #[test]
+    fn threaded_executor_round_trip() {
+        let ex = ThreadSpawner {
+            spawned: AtomicUsize::new(0),
+        };
+        let (tx, rx) = mpsc::channel();
+        assert!(ex.try_spawn(Box::new(move || {
+            tx.send(41 + 1).unwrap();
+        })));
+        assert_eq!(rx.recv().unwrap(), 42);
+        assert_eq!(ex.spawned.load(Ordering::SeqCst), 1);
+    }
+}

@@ -44,7 +44,7 @@ pub use daemon::{run_daemon, DaemonConfig};
 pub use faults::{FaultyIo, Io, RealIo};
 pub use hash::{fnv1a64, Fnv64};
 pub use json::Json;
-pub use pool::{default_workers, parallel_map, WorkerPool};
+pub use pool::{default_workers, parallel_map, PoolSpecExecutor, WorkerPool};
 pub use protocol::{read_frame, write_frame, CompileReply, Request};
 pub use service::{
     cache_key, compile_reply, compile_reply_with_budget, config_by_name, CompileService,

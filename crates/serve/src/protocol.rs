@@ -256,6 +256,16 @@ impl CompileReply {
                 degraded_solves: 0,  // never serialized (per-run governance)
                 cancelled_solves: 0, // never serialized (per-run governance)
                 panics_recovered: 0, // never serialized (per-run governance)
+                // Fast-path/assembly/speculation counters depend on warm
+                // in-process state (cell-width history, assembly caches,
+                // core count), not on the artifact: never serialized so
+                // cache payloads stay byte-identical across replays.
+                tab_i64_solves: 0,
+                tab_overflow_escalations: 0,
+                farkas_linearizations: 0,
+                redundancy_checks: 0,
+                spec_adopted: 0,
+                spec_discarded: 0,
             },
             compile_ms: v.num_field("compile_ms")?,
         })
@@ -348,14 +358,20 @@ mod tests {
                 lp_phase2_pivots: 30,
                 bb_repair_pivots: 2,
                 bb_warm_nodes: 1,
-                preprocess_ns: 0,    // not carried over the wire
-                dependence_ns: 0,    // not carried over the wire
-                assemble_ns: 0,      // not carried over the wire
-                solve_ns: 0,         // not carried over the wire
-                codegen_ns: 0,       // not carried over the wire
-                degraded_solves: 0,  // not carried over the wire
-                cancelled_solves: 0, // not carried over the wire
-                panics_recovered: 0, // not carried over the wire
+                preprocess_ns: 0,            // not carried over the wire
+                dependence_ns: 0,            // not carried over the wire
+                assemble_ns: 0,              // not carried over the wire
+                solve_ns: 0,                 // not carried over the wire
+                codegen_ns: 0,               // not carried over the wire
+                degraded_solves: 0,          // not carried over the wire
+                cancelled_solves: 0,         // not carried over the wire
+                panics_recovered: 0,         // not carried over the wire
+                tab_i64_solves: 0,           // not carried over the wire
+                tab_overflow_escalations: 0, // not carried over the wire
+                farkas_linearizations: 0,    // not carried over the wire
+                redundancy_checks: 0,        // not carried over the wire
+                spec_adopted: 0,             // not carried over the wire
+                spec_discarded: 0,           // not carried over the wire
             },
             compile_ms: 12.75,
         };

@@ -188,6 +188,19 @@ impl Budget {
             .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
+    /// Whether any *resource* limit — deadline, node/pivot cap, or FM row
+    /// cap — is attached, i.e. anything beyond a cancellation flag.
+    /// Resource-metered budgets account work against thread-local
+    /// counters, so callers that may offload work to other threads (the
+    /// scheduler's speculative solves) must check this and stay serial
+    /// when it holds.
+    pub fn has_resource_limits(&self) -> bool {
+        self.deadline.is_some()
+            || self.max_ilp_nodes.is_some()
+            || self.max_pivots.is_some()
+            || self.max_fm_rows.is_some()
+    }
+
     /// Whether any limit or cancel flag is attached at all.
     pub fn is_limited(&self) -> bool {
         self.deadline.is_some()

@@ -40,6 +40,24 @@ pub struct SolverCounters {
     /// Branch-and-bound nodes fully served by a warm-started repair (no
     /// cold LP solve needed).
     pub bb_warm_nodes: u64,
+    /// Integer-tableau operations completed entirely on the machine-int
+    /// (`i64`) row representation.
+    pub tab_i64_solves: u64,
+    /// Integer-tableau operations that overflowed `i64` mid-way and were
+    /// redone from their pristine pre-operation state on `i128` rows.
+    pub tab_overflow_escalations: u64,
+    /// Farkas linearizations actually performed (assembly-cache misses);
+    /// ticked by the scheduler crate's constraint builders.
+    pub farkas_linearizations: u64,
+    /// Redundant-constraint elimination passes actually performed
+    /// (assembly-cache misses); ticked by the scheduler's driver.
+    pub redundancy_checks: u64,
+    /// Speculative ladder solves whose premise was confirmed and whose
+    /// result was adopted by the sequential decision point.
+    pub spec_adopted: u64,
+    /// Speculative ladder solves discarded (premise never confirmed) or
+    /// cancelled before completion.
+    pub spec_discarded: u64,
     /// Nanoseconds spent in integer-feasibility preprocessing (bound
     /// tightening, infeasibility short-circuits).
     pub preprocess_ns: u64,
@@ -78,6 +96,13 @@ impl SolverCounters {
             lp_phase2_pivots: self.lp_phase2_pivots - earlier.lp_phase2_pivots,
             bb_repair_pivots: self.bb_repair_pivots - earlier.bb_repair_pivots,
             bb_warm_nodes: self.bb_warm_nodes - earlier.bb_warm_nodes,
+            tab_i64_solves: self.tab_i64_solves - earlier.tab_i64_solves,
+            tab_overflow_escalations: self.tab_overflow_escalations
+                - earlier.tab_overflow_escalations,
+            farkas_linearizations: self.farkas_linearizations - earlier.farkas_linearizations,
+            redundancy_checks: self.redundancy_checks - earlier.redundancy_checks,
+            spec_adopted: self.spec_adopted - earlier.spec_adopted,
+            spec_discarded: self.spec_discarded - earlier.spec_discarded,
             preprocess_ns: self.preprocess_ns - earlier.preprocess_ns,
             dependence_ns: self.dependence_ns - earlier.dependence_ns,
             assemble_ns: self.assemble_ns - earlier.assemble_ns,
@@ -100,6 +125,12 @@ impl SolverCounters {
         self.lp_phase2_pivots += other.lp_phase2_pivots;
         self.bb_repair_pivots += other.bb_repair_pivots;
         self.bb_warm_nodes += other.bb_warm_nodes;
+        self.tab_i64_solves += other.tab_i64_solves;
+        self.tab_overflow_escalations += other.tab_overflow_escalations;
+        self.farkas_linearizations += other.farkas_linearizations;
+        self.redundancy_checks += other.redundancy_checks;
+        self.spec_adopted += other.spec_adopted;
+        self.spec_discarded += other.spec_discarded;
         self.preprocess_ns += other.preprocess_ns;
         self.dependence_ns += other.dependence_ns;
         self.assemble_ns += other.assemble_ns;
@@ -120,6 +151,12 @@ thread_local! {
     static LP_P2_PIVOTS: Cell<u64> = const { Cell::new(0) };
     static BB_REPAIR_PIVOTS: Cell<u64> = const { Cell::new(0) };
     static BB_WARM_NODES: Cell<u64> = const { Cell::new(0) };
+    static TAB_I64_SOLVES: Cell<u64> = const { Cell::new(0) };
+    static TAB_OVERFLOW_ESCALATIONS: Cell<u64> = const { Cell::new(0) };
+    static FARKAS_LINEARIZATIONS: Cell<u64> = const { Cell::new(0) };
+    static REDUNDANCY_CHECKS: Cell<u64> = const { Cell::new(0) };
+    static SPEC_ADOPTED: Cell<u64> = const { Cell::new(0) };
+    static SPEC_DISCARDED: Cell<u64> = const { Cell::new(0) };
     static PREPROCESS_NS: Cell<u64> = const { Cell::new(0) };
     static DEPENDENCE_NS: Cell<u64> = const { Cell::new(0) };
     static ASSEMBLE_NS: Cell<u64> = const { Cell::new(0) };
@@ -141,6 +178,12 @@ pub fn snapshot() -> SolverCounters {
         lp_phase2_pivots: LP_P2_PIVOTS.get(),
         bb_repair_pivots: BB_REPAIR_PIVOTS.get(),
         bb_warm_nodes: BB_WARM_NODES.get(),
+        tab_i64_solves: TAB_I64_SOLVES.get(),
+        tab_overflow_escalations: TAB_OVERFLOW_ESCALATIONS.get(),
+        farkas_linearizations: FARKAS_LINEARIZATIONS.get(),
+        redundancy_checks: REDUNDANCY_CHECKS.get(),
+        spec_adopted: SPEC_ADOPTED.get(),
+        spec_discarded: SPEC_DISCARDED.get(),
         preprocess_ns: PREPROCESS_NS.get(),
         dependence_ns: DEPENDENCE_NS.get(),
         assemble_ns: ASSEMBLE_NS.get(),
@@ -179,6 +222,70 @@ pub(crate) fn count_bb_repair_pivots(pivots: u64) {
 
 pub(crate) fn count_bb_warm_node() {
     BB_WARM_NODES.set(BB_WARM_NODES.get() + 1);
+}
+
+pub(crate) fn count_tab_i64_solve() {
+    TAB_I64_SOLVES.set(TAB_I64_SOLVES.get() + 1);
+}
+
+pub(crate) fn count_tab_overflow_escalation() {
+    TAB_OVERFLOW_ESCALATIONS.set(TAB_OVERFLOW_ESCALATIONS.get() + 1);
+}
+
+/// Records one Farkas linearization actually performed. Public: the
+/// linearizer lives in the scheduler crate (`polyject-core`).
+pub fn note_farkas_linearization() {
+    FARKAS_LINEARIZATIONS.set(FARKAS_LINEARIZATIONS.get() + 1);
+}
+
+/// Records one redundant-constraint elimination pass actually performed.
+/// Public: ticked by the scheduler's driver around `try_remove_redundant`.
+pub fn note_redundancy_check() {
+    REDUNDANCY_CHECKS.set(REDUNDANCY_CHECKS.get() + 1);
+}
+
+/// Records a speculative ladder solve adopted by the sequential decision
+/// point. Public: the speculation harness lives in the scheduler crate.
+pub fn note_spec_adopted() {
+    SPEC_ADOPTED.set(SPEC_ADOPTED.get() + 1);
+}
+
+/// Records a speculative ladder solve discarded or cancelled unused.
+/// Public: the speculation harness lives in the scheduler crate.
+pub fn note_spec_discarded() {
+    SPEC_DISCARDED.set(SPEC_DISCARDED.get() + 1);
+}
+
+/// A snapshot of the three pivot counters an in-flight tableau operation
+/// advances, taken just before the operation starts so an abandoned `i64`
+/// attempt can be rewound as if it never ran.
+#[derive(Clone, Copy)]
+pub(crate) struct PivotMarks {
+    p1: u64,
+    p2: u64,
+    repair: u64,
+}
+
+/// The current thread's pivot-counter marks.
+pub(crate) fn pivot_marks() -> PivotMarks {
+    PivotMarks {
+        p1: LP_P1_PIVOTS.get(),
+        p2: LP_P2_PIVOTS.get(),
+        repair: BB_REPAIR_PIVOTS.get(),
+    }
+}
+
+/// Rewinds the pivot counters to `marks`. Used exclusively when an `i64`
+/// tableau attempt overflows: the identical pivot sequence is about to be
+/// replayed on `i128` rows, which re-ticks exactly the rewound pivots, so
+/// the final counter values match a pure-`i128` run bit for bit. The
+/// marks are always taken after any budget baseline was armed, so the
+/// rewind can never drop a counter below a baseline a [`crate::Budget`]
+/// measures deltas against.
+pub(crate) fn rewind_pivots(marks: PivotMarks) {
+    LP_P1_PIVOTS.set(marks.p1);
+    LP_P2_PIVOTS.set(marks.p2);
+    BB_REPAIR_PIVOTS.set(marks.repair);
 }
 
 pub(crate) fn add_preprocess_ns(ns: u64) {
@@ -243,6 +350,12 @@ mod tests {
         count_lp_pivots(3, 4);
         count_bb_repair_pivots(5);
         count_bb_warm_node();
+        count_tab_i64_solve();
+        count_tab_overflow_escalation();
+        note_farkas_linearization();
+        note_redundancy_check();
+        note_spec_adopted();
+        note_spec_discarded();
         add_preprocess_ns(17);
         add_dependence_ns(21);
         add_assemble_ns(22);
@@ -261,6 +374,12 @@ mod tests {
         assert_eq!(d.lp_phase2_pivots, 4);
         assert_eq!(d.bb_repair_pivots, 5);
         assert_eq!(d.bb_warm_nodes, 1);
+        assert_eq!(d.tab_i64_solves, 1);
+        assert_eq!(d.tab_overflow_escalations, 1);
+        assert_eq!(d.farkas_linearizations, 1);
+        assert_eq!(d.redundancy_checks, 1);
+        assert_eq!(d.spec_adopted, 1);
+        assert_eq!(d.spec_discarded, 1);
         assert_eq!(d.preprocess_ns, 17);
         assert_eq!(d.dependence_ns, 21);
         assert_eq!(d.assemble_ns, 22);
@@ -282,6 +401,12 @@ mod tests {
             lp_phase2_pivots: 6,
             bb_repair_pivots: 7,
             bb_warm_nodes: 8,
+            tab_i64_solves: 17,
+            tab_overflow_escalations: 18,
+            farkas_linearizations: 19,
+            redundancy_checks: 20,
+            spec_adopted: 21,
+            spec_discarded: 22,
             preprocess_ns: 9,
             dependence_ns: 13,
             assemble_ns: 14,
@@ -300,6 +425,12 @@ mod tests {
             lp_phase2_pivots: 60,
             bb_repair_pivots: 70,
             bb_warm_nodes: 80,
+            tab_i64_solves: 170,
+            tab_overflow_escalations: 180,
+            farkas_linearizations: 190,
+            redundancy_checks: 200,
+            spec_adopted: 210,
+            spec_discarded: 220,
             preprocess_ns: 90,
             dependence_ns: 130,
             assemble_ns: 140,
@@ -321,6 +452,12 @@ mod tests {
                 lp_phase2_pivots: 66,
                 bb_repair_pivots: 77,
                 bb_warm_nodes: 88,
+                tab_i64_solves: 187,
+                tab_overflow_escalations: 198,
+                farkas_linearizations: 209,
+                redundancy_checks: 220,
+                spec_adopted: 231,
+                spec_discarded: 242,
                 preprocess_ns: 99,
                 dependence_ns: 143,
                 assemble_ns: 154,

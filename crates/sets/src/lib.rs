@@ -76,3 +76,5 @@ pub use relations::{is_subset, lexmax_point, lexmin_point, set_eq, simplify};
 pub use simplex::{
     is_rational_feasible, maximize, minimize, minimize_reference, try_minimize, LpOutcome,
 };
+#[doc(hidden)]
+pub use tableau::set_force_wide_tableau;

@@ -8,9 +8,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use polyject_sets::{
-    eliminate_var, eliminate_var_reference, lexmin_integer, minimize_integer,
-    minimize_integer_reference, try_eliminate_var, try_lexmin_integer, try_minimize_integer,
-    Budget, BudgetError, BudgetResource, Constraint, ConstraintSet, IlpOutcome, LinExpr,
+    counters, eliminate_var, eliminate_var_reference, lexmin_integer, minimize_integer,
+    minimize_integer_reference, set_force_wide_tableau, try_eliminate_var, try_lexmin_integer,
+    try_minimize_integer, Budget, BudgetError, BudgetResource, Constraint, ConstraintSet,
+    IlpOutcome, LinExpr,
 };
 
 fn ge(coeffs: &[i128], k: i128) -> Constraint {
@@ -130,6 +131,75 @@ fn fm_blowup_problem() -> ConstraintSet {
         cs.push(ge(&up, i));
     }
     ConstraintSet::from_constraints(n, cs)
+}
+
+#[test]
+fn pivot_cap_trips_inside_the_i64_fast_path() {
+    let (obj, set) = branching_problem();
+    let reference = minimize_integer_reference(&obj, &set);
+
+    // Small coefficients: the solve runs entirely on the machine-int
+    // tableau, so the pivot cap is probed *inside* the i64 fast path.
+    let budget = Budget::unlimited().with_max_pivots(1);
+    let before = counters::snapshot();
+    match try_minimize_integer(&obj, &set, &budget) {
+        Err(BudgetError::Exhausted(BudgetResource::Pivots)) => {}
+        other => panic!("expected pivot exhaustion, got {other:?}"),
+    }
+    let delta = counters::snapshot().delta_since(&before);
+    // A budget abort propagates as-is from the i64 attempt; it must never
+    // be misread as an arithmetic overflow and escalated to i128.
+    assert_eq!(
+        delta.tab_overflow_escalations, 0,
+        "pivot-cap abort escalated to the wide tableau"
+    );
+
+    // The forced-wide solver trips the identical structured error, so a
+    // caller cannot observe which width hit the cap.
+    let prev = set_force_wide_tableau(true);
+    let wide = try_minimize_integer(&obj, &set, &budget);
+    set_force_wide_tableau(prev);
+    match wide {
+        Err(BudgetError::Exhausted(BudgetResource::Pivots)) => {}
+        other => panic!("expected pivot exhaustion on wide path, got {other:?}"),
+    }
+
+    // No partial state: the unbudgeted follow-up matches the reference and
+    // actually exercises the fast path.
+    let before = counters::snapshot();
+    assert_eq!(minimize_integer(&obj, &set), reference);
+    let delta = counters::snapshot().delta_since(&before);
+    assert!(
+        delta.tab_i64_solves > 0,
+        "follow-up solve was expected to run on the i64 fast path"
+    );
+    assert_eq!(delta.tab_overflow_escalations, 0);
+}
+
+#[test]
+fn cancel_flag_is_probed_inside_the_i64_fast_path() {
+    let (obj, set) = branching_problem();
+    let reference = minimize_integer_reference(&obj, &set);
+
+    let flag = Arc::new(AtomicBool::new(true));
+    let budget = Budget::unlimited().with_cancel(Arc::clone(&flag));
+    let before = counters::snapshot();
+    match try_minimize_integer(&obj, &set, &budget) {
+        Err(BudgetError::Cancelled) => {}
+        other => panic!("expected cancellation, got {other:?}"),
+    }
+    let delta = counters::snapshot().delta_since(&before);
+    // Cooperative cancellation, like any budget abort, must not register
+    // as an overflow escalation.
+    assert_eq!(delta.tab_overflow_escalations, 0);
+
+    // Un-trip the flag: the same budget now completes on the fast path to
+    // the exact reference answer.
+    flag.store(false, Ordering::Relaxed);
+    let before = counters::snapshot();
+    assert_eq!(try_minimize_integer(&obj, &set, &budget), Ok(reference));
+    let delta = counters::snapshot().delta_since(&before);
+    assert!(delta.tab_i64_solves > 0);
 }
 
 #[test]

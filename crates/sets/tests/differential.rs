@@ -392,3 +392,207 @@ fn sched_ctx_survives_budget_exhaustion() {
         "tight budgets must actually trip ({exhausted_seen})"
     );
 }
+
+// ---------------------------------------------------------------------
+// Machine-int (i64) tableau fast path vs forced 128-bit arithmetic.
+// ---------------------------------------------------------------------
+
+use polyject_sets::{counters, set_force_wide_tableau, SolverCounters};
+
+/// The solver's *decision* counters: everything that reflects which
+/// pivots/branches were taken. The escalation contract demands these be
+/// bit-identical between the i64 fast path (including rewind-and-retry
+/// escalations) and forced 128-bit arithmetic; only `tab_i64_solves` /
+/// `tab_overflow_escalations` — bookkeeping of *which width ran* — may
+/// differ.
+fn decisions(d: &SolverCounters) -> [u64; 6] {
+    [
+        d.lp_solves,
+        d.lp_phase1_pivots,
+        d.lp_phase2_pivots,
+        d.bb_repair_pivots,
+        d.ilp_nodes,
+        d.bb_warm_nodes,
+    ]
+}
+
+/// Runs `solve` twice — fast path, then with the i64 tableau disabled via
+/// [`set_force_wide_tableau`] — and returns both results plus the two
+/// counter deltas, asserting the width bookkeeping is sane.
+fn both_widths<T>(solve: impl Fn() -> T) -> (T, T, SolverCounters, SolverCounters) {
+    let b0 = counters::snapshot();
+    let fast = solve();
+    let mid = counters::snapshot();
+    let prev = set_force_wide_tableau(true);
+    let wide = solve();
+    set_force_wide_tableau(prev);
+    let dfast = mid.delta_since(&b0);
+    let dwide = counters::snapshot().delta_since(&mid);
+    assert_eq!(
+        dwide.tab_i64_solves, 0,
+        "forced-wide runs must never take the machine-int path"
+    );
+    assert_eq!(dwide.tab_overflow_escalations, 0);
+    (fast, wide, dfast, dwide)
+}
+
+/// A *small* box `[0, 6]` per variable — so searches stay shallow — cut
+/// by rows whose coefficients sit just off multiples of 2^31. Every row
+/// still fits i64 (the machine-int tableau is built), and the unit-scale
+/// perturbations leave the rows with content GCD 1, so normalization
+/// cannot shrink them back; pivot cross-products then reach ~2^66 and
+/// must escalate to 128-bit mid-solve.
+fn arb_wide_set(g: &mut SplitMix64, n: usize) -> ConstraintSet {
+    const S: i128 = 1 << 31;
+    let mut s = ConstraintSet::universe(n);
+    for v in 0..n {
+        let hi = g.range_i128(1, 7);
+        let mut lo = vec![0i128; n];
+        lo[v] = 1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&lo, 0)));
+        let mut up = vec![0i128; n];
+        up[v] = -1;
+        s.add(Constraint::ge0(LinExpr::from_coeffs(&up, hi)));
+    }
+    // Exactly one wide row: minors mixing *two* wide rows would push the
+    // escalated 128-bit tableau past i128 as well, landing in the
+    // rational fallback whose arithmetic this suite is not about.
+    let coeffs: Vec<i128> = (0..n)
+        .map(|_| g.range_i128(-4, 5) * S + g.range_i128(-3, 4))
+        .collect();
+    let k = g.range_i128(-2, 7) * S + g.range_i128(-8, 9);
+    s.add(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+    s
+}
+
+/// On small coefficients the i64 fast path must (a) actually run, (b)
+/// never escalate, and (c) reproduce the forced-wide solve exactly —
+/// outcome, tie-broken vertex, and every decision counter.
+#[test]
+fn i64_fast_path_is_decision_identical_small_scale() {
+    let mut g = SplitMix64::new(0x5E75_4001);
+    let mut i64_solves = 0u64;
+    for case in 0..192u32 {
+        let n = 1 + g.below(4);
+        let set = if g.below(3) == 0 {
+            arb_general_set(&mut g, n)
+        } else {
+            arb_bounded_set(&mut g, n)
+        };
+        let obj = arb_objective(&mut g, n);
+        let (fast, wide, df, dw) = both_widths(|| minimize(&obj, &set));
+        assert_eq!(fast, wide, "case {case} set {set:?} obj {obj:?}");
+        assert_eq!(
+            decisions(&df),
+            decisions(&dw),
+            "case {case} set {set:?} obj {obj:?}"
+        );
+        assert_eq!(
+            df.tab_overflow_escalations, 0,
+            "small coefficients must stay machine-int: case {case}"
+        );
+        i64_solves += df.tab_i64_solves;
+    }
+    assert!(i64_solves > 0, "the fast path must actually engage");
+}
+
+/// Straddling the overflow boundary: rows fit i64, pivot products do
+/// not. The mid-solve escalation must rewind to the pristine state and
+/// redo on i128 — same outcome, same vertex, same decision counters as
+/// running wide from the start.
+#[test]
+fn i64_escalation_is_decision_identical_at_overflow_boundary() {
+    let mut g = SplitMix64::new(0x5E75_4002);
+    let mut escalations = 0u64;
+    for case in 0..128u32 {
+        let n = 1 + g.below(4);
+        let set = arb_wide_set(&mut g, n);
+        let obj = arb_objective(&mut g, n);
+        let (fast, wide, df, dw) = both_widths(|| minimize(&obj, &set));
+        assert_eq!(fast, wide, "case {case} set {set:?} obj {obj:?}");
+        assert_eq!(
+            decisions(&df),
+            decisions(&dw),
+            "case {case} set {set:?} obj {obj:?}"
+        );
+        escalations += df.tab_overflow_escalations;
+    }
+    assert!(
+        escalations > 0,
+        "the suite must actually cross the i64 boundary (got {escalations})"
+    );
+}
+
+/// The branch-and-bound search (dual warm-started repair included) under
+/// both widths, on wide-scale instances biased toward fractional LP
+/// relaxations so the tree actually branches.
+#[test]
+fn ilp_escalation_is_decision_identical() {
+    let mut g = SplitMix64::new(0x5E75_4003);
+    let mut escalations = 0u64;
+    for case in 0..48u32 {
+        let n = 2 + g.below(2);
+        let mut set = arb_wide_set(&mut g, n);
+        // A small-scale plane like 2x + 2y >= 5 forces a fractional
+        // vertex so the search branches; the wide rows above force the
+        // escalations.
+        let coeffs: Vec<i128> = (0..n).map(|_| 2 * g.range_i128(0, 3)).collect();
+        if coeffs.iter().any(|&c| c != 0) {
+            let k = -(2 * g.range_i128(0, 6) + 1);
+            set.add(Constraint::ge0(LinExpr::from_coeffs(&coeffs, k)));
+        }
+        let obj = LinExpr::from_coeffs(&g.vec_i128(n, -4, 5), 0);
+        let (fast, wide, df, dw) = both_widths(|| minimize_integer(&obj, &set));
+        assert_eq!(fast, wide, "case {case} set {set:?} obj {obj:?}");
+        assert_eq!(
+            decisions(&df),
+            decisions(&dw),
+            "case {case} set {set:?} obj {obj:?}"
+        );
+        escalations += df.tab_overflow_escalations;
+    }
+    assert!(
+        escalations > 0,
+        "ILP suite must escalate (got {escalations})"
+    );
+}
+
+/// Persistent contexts under both widths: the prepared base, per-round
+/// delta pushes, and lexmin chains must make identical decisions whether
+/// the base tableau is machine-int (escalating on demand — including
+/// in-place promotion of the shared base) or 128-bit from the start.
+#[test]
+fn sched_ctx_fast_path_is_decision_identical() {
+    let mut g = SplitMix64::new(0x5E75_4004);
+    for case in 0..48u32 {
+        let n = 1 + g.below(3);
+        let base = if g.below(2) == 0 {
+            arb_wide_set(&mut g, n)
+        } else {
+            arb_bounded_set(&mut g, n)
+        };
+        let delta = arb_delta(&mut g, n);
+        let objs: Vec<LinExpr> = (0..g.below(3) + 1)
+            .map(|_| arb_objective(&mut g, n))
+            .collect();
+        let run = || {
+            let mut ctx = SchedCtx::build(base.clone(), &Budget::unlimited()).expect("no cancel");
+            let mark = ctx.mark();
+            for c in &delta {
+                ctx.push(c.clone());
+            }
+            let out = ctx
+                .try_lexmin(&objs, &Budget::unlimited())
+                .expect("unlimited");
+            ctx.pop(mark);
+            out
+        };
+        let (fast, wide, df, dw) = both_widths(run);
+        assert_eq!(fast, wide, "case {case} base {base:?} objs {objs:?}");
+        assert_eq!(
+            decisions(&df),
+            decisions(&dw),
+            "case {case} base {base:?} objs {objs:?}"
+        );
+    }
+}

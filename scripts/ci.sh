@@ -80,7 +80,8 @@ import json, sys
 live = json.load(open(sys.argv[1]))["serial"]["solver"]
 want = json.load(open(sys.argv[2]))
 bad = []
-for key in ("lp_solves", "lp_phase1_pivots", "ilp_nodes"):
+for key in ("lp_solves", "lp_phase1_pivots", "ilp_nodes", "tab_i64_solves",
+            "farkas_linearizations"):
     got, exp = live[key], want[key]
     if not exp * 0.9 <= got <= exp * 1.1:
         bad.append(f"{key}: {got} outside +/-10% of snapshot {exp}")
@@ -91,6 +92,20 @@ if bad:
              + "\n  (if intentional, re-record scripts/solver_counters.snapshot.json)")
 EOF
 echo "ok: solver counters within +/-10% of checked-in snapshot"
+# Escalation-rate gate: the machine-int fast path is only a win while
+# overflow escalations to the 128-bit tableau stay rare. More than 1% of
+# LP solves escalating means the i64 headroom heuristics regressed.
+python3 - "$smoke_json" <<'EOF'
+import json, sys
+s = json.load(open(sys.argv[1]))["serial"]["solver"]
+esc, lps = s["tab_overflow_escalations"], s["lp_solves"]
+assert s["tab_i64_solves"] > 0, "i64 fast path never engaged"
+if esc > 0.01 * lps:
+    sys.exit(f"escalation rate too high: {esc}/{lps} LP solves "
+             "escalated to the wide tableau (>1%)")
+print(f"   escalations: {esc}/{lps} lp_solves ({100*esc/max(lps,1):.2f}%) ok")
+EOF
+echo "ok: i64 fast path engaged, overflow escalations under 1%"
 
 step "schedule-cache round-trip (table2 --fast --cache-bench)"
 cache_json="$scratch/cache_bench.json"
