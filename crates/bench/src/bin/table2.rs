@@ -17,14 +17,21 @@
 //!   warm run performs zero schedule solves);
 //! * `--cache-bench` — cold-vs-warm cache comparison: wipe the cache
 //!   dir, run cold then warm, verify bitwise-identical measurements, and
-//!   splice a `"cache"` section into `BENCH_table2.json`.
+//!   splice a `"cache"` section into `BENCH_table2.json`;
+//! * `--tune` — autotune every unique operator with the deterministic
+//!   beam search, persist the winners in the cache dir, and splice a
+//!   `"tune"` section (per-op default-vs-tuned times plus the geomean)
+//!   into `BENCH_table2.json`; a warm re-run replays every persisted
+//!   configuration with zero search;
+//! * `--tune-seed N` — override the search seed (default: the tuner's).
 
 use polyject_bench::{
     default_workers, measurements_identical, render_bench_json, render_table2, run_table2_networks,
-    run_table2_networks_cached, CacheBench, Table2Bench, Table2Run,
+    run_table2_networks_cached, run_table2_tuned, CacheBench, Table2Bench, Table2Run,
 };
 use polyject_gpusim::GpuModel;
 use polyject_serve::{DiskCache, Json};
+use polyject_tune::TuneOptions;
 use polyject_workloads::{all_networks, geomean_speedup, lstm, Network, Tool};
 use std::path::Path;
 
@@ -66,9 +73,9 @@ fn print_stats(label: &str, run: &Table2Run) {
     );
 }
 
-/// Replaces (or adds) the `"cache"` section of the bench JSON file,
+/// Replaces (or adds) one named section of the bench JSON file,
 /// preserving every other section already recorded there.
-fn splice_cache_section(json_path: &str, section: Json) {
+fn splice_section(json_path: &str, name: &str, section: Json) {
     let existing = std::fs::read_to_string(json_path)
         .ok()
         .and_then(|t| Json::parse(&t).ok());
@@ -76,8 +83,8 @@ fn splice_cache_section(json_path: &str, section: Json) {
         Some(Json::Obj(pairs)) => pairs,
         _ => vec![("bench".to_string(), Json::Str("table2".to_string()))],
     };
-    pairs.retain(|(k, _)| k != "cache");
-    pairs.push(("cache".to_string(), section));
+    pairs.retain(|(k, _)| k != name);
+    pairs.push((name.to_string(), section));
     std::fs::write(json_path, Json::Obj(pairs).render_pretty()).expect("write bench json");
 }
 
@@ -127,8 +134,44 @@ fn run_cache_bench(
         b.warm.misses, 0,
         "warm run must be served entirely from cache"
     );
-    splice_cache_section(json_path, b.to_json());
+    splice_section(json_path, "cache", b.to_json());
     b.warm.run
+}
+
+/// The `--tune` mode: beam-search every unique operator through the
+/// persistent cache and record the `"tune"` section.
+fn run_tune_bench(
+    nets: &[Network],
+    model: &GpuModel,
+    seed: Option<u64>,
+    workers: usize,
+    dir: &str,
+    json_path: &str,
+) {
+    let opts = TuneOptions {
+        seed: seed.unwrap_or(TuneOptions::default().seed),
+        ..TuneOptions::default()
+    };
+    let cache = DiskCache::open_default(Path::new(dir)).expect("open cache dir");
+    eprintln!(
+        "[tune] tuning unique operators (seed {:016x}, cache at {dir}) ...",
+        opts.seed
+    );
+    let b = run_table2_tuned(nets, model, &opts, cache, workers).expect("tune bench");
+    eprintln!(
+        "[tune] {} op(s) in {:.2}s: {} searched, {} replayed from cache \
+         | geomean tuned-vs-default {:.3}x -> {json_path}",
+        b.ops.len(),
+        b.wall_s,
+        b.searched,
+        b.replayed,
+        b.geomean_speedup()
+    );
+    assert!(
+        b.geomean_speedup() >= 1.0,
+        "the default point is in every candidate pool; tuning cannot lose"
+    );
+    splice_section(json_path, "tune", b.to_json());
 }
 
 fn main() {
@@ -155,6 +198,8 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_table2.json".to_string());
     let cache_bench = has("--cache-bench");
+    let tune = has("--tune");
+    let tune_seed: Option<u64> = after("--tune-seed").and_then(|v| v.parse().ok());
     let cache_dir = after("--cache-dir").cloned().unwrap_or_else(|| {
         std::env::temp_dir()
             .join("polyject-table2-cache")
@@ -278,6 +323,12 @@ fn main() {
         }
         run
     };
+    if tune {
+        // Tuning rides on whatever run mode executed above: it shares
+        // the cache directory (tuned configs are a distinct entry kind)
+        // and fans candidate evaluation over the same worker budget.
+        run_tune_bench(&nets, &model, tune_seed, workers, &cache_dir, &json_path);
+    }
     let results = &run.results;
 
     if csv {

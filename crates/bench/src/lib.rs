@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 mod cached;
+mod tuned;
 
 pub use cached::{op_cache_key, run_table2_networks_cached, CacheBench, CachedTable2};
+pub use tuned::{run_table2_tuned, TuneBench, TunedOp};
 // The worker pool lives in `polyject-serve` (shared with the daemon);
 // re-exported here so existing `polyject_bench::parallel_map` users keep
 // working.

@@ -36,6 +36,9 @@ pub use passes::{
     access_offset_expr, access_stride_along, loop_extent, map_to_gpu, mapping_stats,
     refine_parallel_loops, vectorize, MappingOptions, MappingStats,
 };
-pub use pipeline::{compile, compile_with_budget, render_artifacts, Artifacts, Compiled, Config};
+pub use pipeline::{
+    compile, compile_with_budget, compile_with_options, render_artifacts, Artifacts,
+    CompileOptions, Compiled, Config,
+};
 pub use printer::render;
 pub use tiling::{auto_tile_size, tile_ast, TilingOptions};

@@ -8,7 +8,7 @@ use polyject_ir::Kernel;
 use polyject_sets::LinExpr;
 
 /// Options of the mapping pass.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MappingOptions {
     /// Maximum threads per block.
     pub max_threads: i64,
@@ -47,10 +47,21 @@ pub fn map_to_gpu(ast: &mut Ast, kernel: &Kernel, opts: MappingOptions) {
 fn map_nest(node: &mut AstNode, params: &[i128], opts: MappingOptions) {
     // Collect the parallel loops of this nest in outer-to-inner DFS order
     // (keyed by schedule dimension, which identifies a loop within a
-    // nest).
+    // nest). A dimension that already carries a hardware axis somewhere
+    // in the nest (a tiled loop's point half, or a prior mapping pass) is
+    // never remapped — assigning it again would duplicate the axis.
+    let mut mapped: Vec<usize> = Vec::new();
+    node.for_each_loop(&mut |l| {
+        if matches!(l.kind, LoopKind::Thread(_) | LoopKind::Block(_)) {
+            mapped.push(l.dim);
+        }
+    });
     let mut candidates: Vec<(usize, i64)> = Vec::new();
     node.for_each_loop(&mut |l| {
-        if l.kind == LoopKind::Parallel && !candidates.iter().any(|(d, _)| *d == l.dim) {
+        if l.kind == LoopKind::Parallel
+            && !mapped.contains(&l.dim)
+            && !candidates.iter().any(|(d, _)| *d == l.dim)
+        {
             candidates.push((l.dim, loop_extent(l, params).unwrap_or(i64::MAX)));
         }
     });

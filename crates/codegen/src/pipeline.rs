@@ -4,6 +4,7 @@
 use crate::ast::Ast;
 use crate::gen::generate_ast;
 use crate::passes::{map_to_gpu, vectorize, MappingOptions};
+use crate::tiling::{tile_ast, TilingOptions};
 use polyject_core::{
     build_influence_tree, schedule_kernel_budgeted, Budget, InfluenceOptions, InfluenceTree,
     Schedule, ScheduleError, SchedulerOptions,
@@ -130,15 +131,46 @@ pub fn compile_with_budget(
     config: Config,
     budget: &Budget,
 ) -> Result<Compiled, ScheduleError> {
+    compile_with_options(kernel, config, budget, &CompileOptions::default())
+}
+
+/// Every knob the pipeline compiles under, in one struct. The defaults
+/// reproduce [`compile`] exactly; the autotuner searches over the
+/// non-default points and replays winners through this entry.
+#[derive(Clone, Debug, Default)]
+pub struct CompileOptions {
+    /// Influence-optimizer knobs (weights, scenario-variant toggles).
+    pub influence: InfluenceOptions,
+    /// Scheduler knobs (coefficient bounds, attempt caps, fallback).
+    pub scheduler: SchedulerOptions,
+    /// Block/thread mapping knobs.
+    pub mapping: MappingOptions,
+    /// Optional tiling applied after mapping (`None` = untiled, the
+    /// pipeline default).
+    pub tiling: Option<TilingOptions>,
+}
+
+/// [`compile_with_budget`] under explicit [`CompileOptions`] instead of
+/// the defaults: influence tree built from `opts.influence`, mapping
+/// from `opts.mapping`, and — when `opts.tiling` is set — tiling applied
+/// after mapping with the mapping re-run (tiling reverts mapped kinds on
+/// tile loops).
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] like [`compile_with_budget`].
+pub fn compile_with_options(
+    kernel: &Kernel,
+    config: Config,
+    budget: &Budget,
+    opts: &CompileOptions,
+) -> Result<Compiled, ScheduleError> {
     let deps = compute_dependences(kernel, DepOptions::default());
     let tree = match config {
         Config::Isl => InfluenceTree::new(),
-        Config::NoVec | Config::Influenced => {
-            build_influence_tree(kernel, &InfluenceOptions::default())
-        }
+        Config::NoVec | Config::Influenced => build_influence_tree(kernel, &opts.influence),
     };
-    let result =
-        schedule_kernel_budgeted(kernel, &deps, &tree, SchedulerOptions::default(), budget)?;
+    let result = schedule_kernel_budgeted(kernel, &deps, &tree, opts.scheduler, budget)?;
     let t0 = std::time::Instant::now();
     let mut ast = generate_ast(kernel, &result.schedule);
     crate::passes::refine_parallel_loops(&mut ast, &result.schedule, &deps);
@@ -147,7 +179,13 @@ pub fn compile_with_budget(
     } else {
         0
     };
-    map_to_gpu(&mut ast, kernel, MappingOptions::default());
+    map_to_gpu(&mut ast, kernel, opts.mapping);
+    if let Some(t) = opts.tiling {
+        tile_ast(&mut ast, kernel, &result.schedule, t);
+        // Tiling reverts mapped kinds on the loops it splits; re-map so
+        // the tiled AST is launchable again.
+        map_to_gpu(&mut ast, kernel, opts.mapping);
+    }
     polyject_sets::counters::add_codegen_ns(t0.elapsed().as_nanos() as u64);
     Ok(Compiled {
         schedule: result.schedule,
@@ -199,5 +237,37 @@ mod tests {
     fn config_names() {
         assert_eq!(Config::Isl.name(), "isl");
         assert_eq!(Config::all().len(), 3);
+    }
+
+    #[test]
+    fn default_options_reproduce_compile() {
+        let kernel = ops::transpose_2d(128, 128);
+        let a = compile(&kernel, Config::Influenced).unwrap();
+        let b = compile_with_options(
+            &kernel,
+            Config::Influenced,
+            &Budget::unlimited(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(format!("{:?}", a.ast), format!("{:?}", b.ast));
+        assert_eq!(a.vector_loops, b.vector_loops);
+        assert_eq!(a.influenced, b.influenced);
+    }
+
+    #[test]
+    fn tiling_option_tiles_and_remaps() {
+        let kernel = ops::transpose_2d(256, 256);
+        let opts = CompileOptions {
+            tiling: Some(TilingOptions::default()),
+            ..CompileOptions::default()
+        };
+        let c = compile_with_options(&kernel, Config::Isl, &Budget::unlimited(), &opts).unwrap();
+        let loops = c.ast.loops();
+        assert!(
+            loops.len() > compile(&kernel, Config::Isl).unwrap().ast.loops().len(),
+            "tiling must add tile loops"
+        );
+        assert!(loops.iter().any(|l| matches!(l.kind, LoopKind::Thread(0))));
     }
 }

@@ -27,7 +27,7 @@ use polyject_ir::Kernel;
 use polyject_sets::LinExpr;
 
 /// Options of the tiling pass.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TilingOptions {
     /// Tile size applied to every tiled loop.
     pub tile_size: i64,
@@ -155,6 +155,17 @@ fn strip_mine(l: &mut LoopNode, tile: i64) {
         expr: base_plus,
         divisor: 1,
     });
+    // Split the hardware mapping by axis role: a *block* axis stays on
+    // the tile loop (one tile per block — the structure that makes the
+    // tile's working set cache resident) with the point loop walking the
+    // tile sequentially, while a *thread* axis stays on the point loop
+    // (consecutive threads must keep scanning consecutive points — the
+    // coalescing axis) with the tile loop reverting to plain parallel.
+    let (tile_kind, point_kind) = match l.kind {
+        LoopKind::Block(a) => (LoopKind::Block(a), LoopKind::Seq),
+        LoopKind::Seq => (LoopKind::Seq, LoopKind::Seq),
+        k => (LoopKind::Parallel, k),
+    };
     let point = LoopNode {
         dim: l.dim,
         var: format!("{}p", l.var),
@@ -163,19 +174,13 @@ fn strip_mine(l: &mut LoopNode, tile: i64) {
             divisor: 1,
         }],
         uppers: point_uppers,
-        kind: l.kind,
+        kind: point_kind,
         step: 1,
         body: std::mem::take(&mut l.body),
     };
-    // The enclosing loop becomes the tile loop. The *point* loop keeps
-    // whatever hardware mapping the dimension had; the tile loop reverts
-    // to a plain parallel/sequential loop so mapped kinds never nest.
     l.var = format!("{}t", l.var);
     l.step = tile;
-    l.kind = match l.kind {
-        LoopKind::Seq => LoopKind::Seq,
-        _ => LoopKind::Parallel,
-    };
+    l.kind = tile_kind;
     l.body = vec![AstNode::Loop(point)];
 }
 

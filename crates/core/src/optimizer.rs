@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 /// Options of the influence optimizer (the paper's tuned configuration by
 /// default).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct InfluenceOptions {
     /// Cost weights `w₁..w₅`: store vectorization, load vectorization,
     /// stride shortness, stride-minimal access count, thread contribution.
@@ -29,6 +29,15 @@ pub struct InfluenceOptions {
     /// Supported vector widths in elements (64/128-bit for f32; width 3 is
     /// unsupported, as in the paper).
     pub vector_widths: Vec<i64>,
+    /// Include the higher-priority *fusion* variants when assembling the
+    /// tree (scenario branches that additionally constrain statements
+    /// onto a common schedule prefix). The autotuner toggles scenario
+    /// subsets through these switches; with both off the tree is empty
+    /// and scheduling degenerates to the `isl` baseline.
+    pub fusion_variants: bool,
+    /// Include the relaxed variants (vectorization constraints only,
+    /// appended after the fusion variants at lower priority).
+    pub relaxed_variants: bool,
 }
 
 impl Default for InfluenceOptions {
@@ -38,6 +47,8 @@ impl Default for InfluenceOptions {
             thread_limit: 1024,
             max_scenarios: 8,
             vector_widths: vec![4, 2],
+            fusion_variants: true,
+            relaxed_variants: true,
         }
     }
 }
@@ -248,7 +259,15 @@ pub fn build_influence_tree(kernel: &Kernel, opts: &InfluenceOptions) -> Influen
             .map(|v| *v.get(rank).unwrap_or(&v[0]))
             .collect();
         // Higher priority: fusion variant; lower: vectorization only.
+        // The scenario-subset toggles let callers (the autotuner) search
+        // over which variant families enter the tree at all.
         for fusion in [true, false] {
+            if fusion && !opts.fusion_variants {
+                continue;
+            }
+            if !fusion && !opts.relaxed_variants {
+                continue;
+            }
             if branches >= opts.max_scenarios {
                 break;
             }
@@ -451,6 +470,40 @@ mod tests {
         assert!(rendered.contains("fused"), "{rendered}");
         assert!(rendered.contains("relaxed"), "{rendered}");
         assert!(rendered.contains("vector"), "{rendered}");
+    }
+
+    #[test]
+    fn variant_toggles_select_scenario_subsets() {
+        let kernel = ops::running_example(1024);
+        let both = build_influence_tree(&kernel, &InfluenceOptions::default());
+        let fused_only = build_influence_tree(
+            &kernel,
+            &InfluenceOptions {
+                relaxed_variants: false,
+                ..InfluenceOptions::default()
+            },
+        );
+        let relaxed_only = build_influence_tree(
+            &kernel,
+            &InfluenceOptions {
+                fusion_variants: false,
+                ..InfluenceOptions::default()
+            },
+        );
+        let neither = build_influence_tree(
+            &kernel,
+            &InfluenceOptions {
+                fusion_variants: false,
+                relaxed_variants: false,
+                ..InfluenceOptions::default()
+            },
+        );
+        assert!(!fused_only.render().contains("relaxed"));
+        assert!(fused_only.render().contains("fused"));
+        assert!(!relaxed_only.render().contains("fused"));
+        assert!(relaxed_only.render().contains("relaxed"));
+        assert!(both.render().contains("fused") && both.render().contains("relaxed"));
+        assert!(neither.is_empty(), "no variants selected = empty tree");
     }
 
     #[test]

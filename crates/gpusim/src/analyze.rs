@@ -188,6 +188,12 @@ struct Ctx {
     innermost_seq: Option<usize>,
     /// (dim, extent) of every enclosing loop, for guard discounts.
     extents: Vec<(usize, f64)>,
+    /// (dim, extent) of loops inside the innermost `Block` loop — the
+    /// per-block (tile-local) iteration scope whose data can stay cache
+    /// resident.
+    block_extents: Vec<(usize, f64)>,
+    /// Product of trip counts inside the innermost `Block` loop.
+    block_instances: f64,
 }
 
 impl Ctx {
@@ -195,6 +201,7 @@ impl Ctx {
         Ctx {
             instances: 1.0,
             threads: 1.0,
+            block_instances: 1.0,
             ..Ctx::default()
         }
     }
@@ -229,17 +236,30 @@ impl Accumulator<'_> {
                         if axis == 0 {
                             c.coal = Some((l.dim, None));
                         }
+                        c.block_extents.push((l.dim, extent));
+                        c.block_instances *= extent;
                     }
-                    LoopKind::Block(_) => c.threads *= extent,
+                    LoopKind::Block(_) => {
+                        c.threads *= extent;
+                        // A block boundary resets the tile-local scope:
+                        // only loops *inside* the innermost block share
+                        // one block's cache residency.
+                        c.block_extents.clear();
+                        c.block_instances = 1.0;
+                    }
                     LoopKind::Vector(w) => {
                         // Lanes in flight: a vector thread keeps `w`
                         // elements outstanding, so occupancy-wise the loop
                         // contributes its full extent.
                         c.threads *= extent.max(1.0);
                         c.coal = Some((l.dim, Some(w)));
+                        c.block_extents.push((l.dim, extent));
+                        c.block_instances *= extent;
                     }
                     LoopKind::Seq | LoopKind::Parallel => {
                         c.innermost_seq = Some(l.dim);
+                        c.block_extents.push((l.dim, extent));
+                        c.block_instances *= extent;
                     }
                 }
                 for b in &l.body {
@@ -313,7 +333,28 @@ impl Accumulator<'_> {
                     // `min(stride, sector/elem)` — 8× for f32, 16× for f16.
                     let sector_amp = (s_abs as f64).min(model.sector_bytes / elem);
                     let l2_amp = sector_amp.max(1.0);
-                    let dram_amp = if is_write {
+                    // Tile-local reuse: when the per-block footprint fits
+                    // the block's cache share and a companion dimension
+                    // inside the block scope walks the fetched sectors
+                    // contiguously, every sector is fully consumed before
+                    // eviction — the churn stays in L1/L2 and DRAM sees
+                    // unamplified traffic (the classic tiling win; untiled
+                    // nests have no such companion in block scope).
+                    let reused = ctx.block_instances * elem <= model.tile_cache_bytes
+                        && ctx.block_extents.iter().any(|&(d, ext)| {
+                            Some(d) != coal_dim
+                                && access_stride_along(self.kernel, s, access, d, &self.params)
+                                    .map(|sd| {
+                                        let sd = sd.abs() as f64;
+                                        sd >= 1.0
+                                            && sd * elem < model.sector_bytes
+                                            && ext * sd * elem >= model.sector_bytes
+                                    })
+                                    .unwrap_or(false)
+                        });
+                    let dram_amp = if reused {
+                        1.0
+                    } else if is_write {
                         sector_amp.min(model.scattered_write_amp).max(1.0)
                     } else {
                         sector_amp.min(model.scattered_read_amp).max(1.0)

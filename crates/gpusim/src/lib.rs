@@ -33,4 +33,4 @@ mod tune;
 pub use analyze::{estimate, profile, AccessMetric, AccessPattern, ProfileReport};
 pub use exec::{check_equivalence, execute_ast, global_width, seeded_buffers, ExecError};
 pub use model::{GpuModel, KernelTiming};
-pub use tune::{autotune, TuneCandidate, TuneResult};
+pub use tune::{autotune, TuneCandidate, TuneResult, MAX_LOG};

@@ -56,6 +56,13 @@ pub struct GpuModel {
     pub warp_size: u32,
     /// Memory transaction sector size in bytes.
     pub sector_bytes: f64,
+    /// Cache bytes one block can keep resident (its L1/L2 share). When a
+    /// scattered access's per-block footprint fits and a tile-local
+    /// companion dimension walks the fetched sectors contiguously, the
+    /// sectors are fully consumed before eviction and DRAM sees
+    /// unamplified traffic — the classic loop-tiling win the autotuner
+    /// searches for.
+    pub tile_cache_bytes: f64,
 }
 
 impl GpuModel {
@@ -75,6 +82,7 @@ impl GpuModel {
             scattered_read_amp: 2.5,
             warp_size: 32,
             sector_bytes: 32.0,
+            tile_cache_bytes: 96_000.0,
         }
     }
 }
@@ -98,6 +106,7 @@ impl GpuModel {
             scattered_read_amp: 2.5,
             warp_size: 32,
             sector_bytes: 32.0,
+            tile_cache_bytes: 160_000.0,
         }
     }
 
@@ -118,6 +127,7 @@ impl GpuModel {
             scattered_read_amp: 3.0,
             warp_size: 32,
             sector_bytes: 32.0,
+            tile_cache_bytes: 48_000.0,
         }
     }
 }

@@ -24,15 +24,25 @@ pub struct TuneCandidate {
     pub timing: KernelTiming,
 }
 
-/// The auto-tuner's outcome: the best variant plus the full candidate log.
+/// Upper bound on [`TuneResult::log`]: the log is a diagnostic sample,
+/// not an unbounded history, so a large grid cannot make the result
+/// grow without limit (later candidates past the cap still compete for
+/// `best`, they just aren't logged).
+pub const MAX_LOG: usize = 64;
+
+/// The auto-tuner's outcome: the best variant plus the candidate log.
 #[derive(Clone, Debug)]
 pub struct TuneResult {
     /// The compiled kernel with the winning variant's AST.
     pub compiled: Compiled,
     /// The winning candidate's parameters and timing.
     pub best: TuneCandidate,
-    /// Every evaluated candidate, in evaluation order.
+    /// Evaluated candidates in evaluation order, capped at [`MAX_LOG`]
+    /// entries.
     pub log: Vec<TuneCandidate>,
+    /// Total candidates actually evaluated (deduplicated; may exceed
+    /// `log.len()` when the grid outgrows the cap).
+    pub evaluated: usize,
 }
 
 /// Auto-tunes a kernel under one pipeline configuration.
@@ -84,24 +94,42 @@ pub fn autotune(
             ..MappingOptions::default()
         },
     ];
+    // Deduplicate before evaluation: an untiled candidate never re-maps,
+    // so its mapping is irrelevant — normalize it to the default and let
+    // the pair-equality filter drop the copies (and any identical
+    // `(tiling, mapping)` pair a larger grid might enumerate twice).
+    let mut grid: Vec<(Option<TilingOptions>, MappingOptions)> = Vec::new();
     for tiling in tilings {
         for mapping in mappings {
-            let mut ast = base.ast.clone();
-            if let Some(t) = tiling {
-                tile_ast(&mut ast, kernel, &base.schedule, t);
-                // Tiling reverts mapped kinds on tile loops; re-map.
-                map_to_gpu(&mut ast, kernel, mapping);
-            }
-            let timing = estimate(&ast, kernel, model);
-            let cand = TuneCandidate {
-                tiling,
-                mapping,
-                timing: timing.clone(),
+            let pair = match tiling {
+                None => (None, MappingOptions::default()),
+                some => (some, mapping),
             };
-            log.push(cand.clone());
-            if best.as_ref().is_none_or(|(t, _, _)| timing.time < *t) {
-                best = Some((timing.time, ast, cand));
+            if !grid.contains(&pair) {
+                grid.push(pair);
             }
+        }
+    }
+    let mut evaluated = 0usize;
+    for (tiling, mapping) in grid {
+        let mut ast = base.ast.clone();
+        if let Some(t) = tiling {
+            tile_ast(&mut ast, kernel, &base.schedule, t);
+            // Tiling reverts mapped kinds on tile loops; re-map.
+            map_to_gpu(&mut ast, kernel, mapping);
+        }
+        let timing = estimate(&ast, kernel, model);
+        let cand = TuneCandidate {
+            tiling,
+            mapping,
+            timing: timing.clone(),
+        };
+        evaluated += 1;
+        if log.len() < MAX_LOG {
+            log.push(cand.clone());
+        }
+        if best.as_ref().is_none_or(|(t, _, _)| timing.time < *t) {
+            best = Some((timing.time, ast, cand));
         }
     }
     let (_, ast, best_cand) = best.expect("at least one candidate");
@@ -110,6 +138,7 @@ pub fn autotune(
         compiled,
         best: best_cand,
         log,
+        evaluated,
     })
 }
 
@@ -151,11 +180,21 @@ mod tests {
     }
 
     #[test]
-    fn log_covers_the_grid() {
+    fn log_covers_the_deduplicated_grid() {
         let model = GpuModel::v100();
         let kernel = ops::transpose_2d(256, 256);
         let tuned = autotune(&kernel, Config::Isl, &model).unwrap();
-        assert_eq!(tuned.log.len(), 6); // 3 tilings × 2 mappings
+        // 3 tilings × 2 mappings, minus the duplicate untiled pair (an
+        // untiled candidate ignores its mapping).
+        assert_eq!(tuned.evaluated, 5);
+        assert_eq!(tuned.log.len(), 5);
+        assert!(tuned.log.len() <= MAX_LOG);
         assert!(tuned.log.iter().any(|c| c.tiling.is_some()));
+        // No two logged candidates share a (tiling, mapping) pair.
+        for (i, a) in tuned.log.iter().enumerate() {
+            for b in &tuned.log[i + 1..] {
+                assert!(a.tiling != b.tiling || a.mapping != b.mapping);
+            }
+        }
     }
 }

@@ -13,7 +13,10 @@
 //! run starts hot.
 
 use polyject_gpusim::GpuModel;
-use polyject_serve::{default_workers, parallel_map, CompileService, DiskCache, Json, Served};
+use polyject_serve::{
+    decode_tuned, default_workers, parallel_map, CompileService, DiskCache, Json, Served,
+    TUNED_KIND,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -39,17 +42,52 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "stats" => {
+            // Per-kind entry counts (compile replies vs tuned configs vs
+            // anything future), sorted by kind for stable output.
+            let mut kinds: Vec<(String, u64)> = Vec::new();
+            for (_, kind, _, _) in cache.list() {
+                match kinds.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => kinds.push((kind, 1)),
+                }
+            }
+            kinds.sort();
+            let by_kind = Json::Obj(
+                kinds
+                    .into_iter()
+                    .map(|(k, n)| (k, Json::Num(n as f64)))
+                    .collect(),
+            );
             let report = Json::obj(vec![
                 ("dir", Json::Str(dir.clone())),
                 ("entries", Json::Num(cache.len() as f64)),
                 ("bytes", Json::Num(cache.total_bytes() as f64)),
+                ("by_kind", by_kind),
             ]);
             println!("{}", report.render());
             ExitCode::SUCCESS
         }
         "ls" => {
             for (key, kind, bytes, last_used) in cache.list() {
-                println!("{key}  {kind:<10}  {bytes:>8} B  used@{last_used}");
+                // Tuned configs get their headline numbers inline, so a
+                // plain `ls` shows what tuning bought each kernel.
+                let detail = if kind == TUNED_KIND {
+                    cache
+                        .get(&key)
+                        .and_then(|(_, payload)| decode_tuned(&payload).ok())
+                        .map(|t| {
+                            format!(
+                                "  speedup={:.3} evaluated={} seed={:016x}",
+                                t.speedup(),
+                                t.evaluated,
+                                t.seed
+                            )
+                        })
+                        .unwrap_or_default()
+                } else {
+                    String::new()
+                };
+                println!("{key}  {kind:<12}  {bytes:>8} B  used@{last_used}{detail}");
             }
             ExitCode::SUCCESS
         }

@@ -4,22 +4,30 @@
 //! polyjectc <file.pj> [--config isl|novec|infl]
 //!           [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all]
 //!           [--remote <socket-or-host:port>]
+//!           [--tune] [--tune-seed <n>] [--cache-dir <dir>]
 //! ```
 //!
 //! With `--remote`, compilation is delegated to a running `polyjectd`
 //! daemon (hitting its persistent cache); `tree` and `profile` need the
 //! in-process pipeline and are only available locally.
+//!
+//! With `--tune` (local only), the deterministic beam-search autotuner
+//! runs before compilation and the kernel compiles under the winning
+//! configuration. With `--cache-dir`, the tuned configuration persists:
+//! a warm re-run (and any daemon sharing the directory) replays it with
+//! zero search.
 
 use polyject_codegen::{compile, render, render_cuda, Config};
-use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, InfluenceOptions};
+use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, Budget};
 use polyject_front::{emit_pj, parse};
 use polyject_gpusim::{estimate, profile, GpuModel, KernelTiming};
-use polyject_serve::{Client, Endpoint, Json};
+use polyject_serve::{tune_cached, Client, CompileService, DiskCache, Endpoint, Json};
+use polyject_tune::TuneOptions;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polyjectc <file.pj> [--config isl|novec|infl] \
      [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all] \
-     [--remote <socket-or-host:port>]";
+     [--remote <socket-or-host:port>] [--tune] [--tune-seed <n>] [--cache-dir <dir>]";
 
 /// Every `--emit` value the driver understands.
 const EMIT_VALUES: [&str; 9] = [
@@ -40,6 +48,9 @@ fn main() -> ExitCode {
     let mut config = Config::Influenced;
     let mut emit = "all".to_string();
     let mut remote: Option<Endpoint> = None;
+    let mut tune = false;
+    let mut tune_seed: Option<u64> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,6 +76,27 @@ fn main() -> ExitCode {
                     Some(addr) => remote = Some(Endpoint::parse(addr)),
                     None => {
                         eprintln!("--remote needs a socket path or host:port\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--tune" => tune = true,
+            "--tune-seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => tune_seed = Some(n),
+                    None => {
+                        eprintln!("--tune-seed needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(d) => cache_dir = Some(d.into()),
+                    None => {
+                        eprintln!("--cache-dir needs a directory\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -103,6 +135,10 @@ fn main() -> ExitCode {
     };
 
     if let Some(endpoint) = remote {
+        if tune {
+            eprintln!("--tune needs the in-process pipeline; drop --remote to use it");
+            return ExitCode::FAILURE;
+        }
         return run_remote(&endpoint, &file, &src, config, &emit);
     }
 
@@ -113,12 +149,62 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Autotune first: the winner's options shape everything emitted
+    // below. The [tune] line is deterministic for a fixed seed (model
+    // times only, no wall clock).
+    let tuned_options = if tune {
+        let cache = match &cache_dir {
+            Some(dir) => match DiskCache::open_default(dir) {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("cannot open cache {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let svc = CompileService::new(cache, GpuModel::v100());
+        let opts = TuneOptions {
+            seed: tune_seed.unwrap_or(TuneOptions::default().seed),
+            ..TuneOptions::default()
+        };
+        let report = match tune_cached(&svc, &src, config.name(), &opts, &Budget::unlimited(), 1) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{file}: tuning failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "[tune] default_ms={:.6} tuned_ms={:.6} speedup={:.3} evaluated={} corr={:.3} cached={}",
+            report.tuned.default_time * 1e3,
+            report.tuned.tuned_time * 1e3,
+            report.tuned.speedup(),
+            report.tuned.evaluated,
+            report.tuned.rank_correlation,
+            report.cached,
+        );
+        Some(report.tuned.to_compile_options())
+    } else {
+        None
+    };
+
+    let infl_options = tuned_options
+        .as_ref()
+        .map(|o| o.influence.clone())
+        .unwrap_or_default();
     if emit == "tree" || emit == "all" {
-        let tree = build_influence_tree(&kernel, &InfluenceOptions::default());
+        let tree = build_influence_tree(&kernel, &infl_options);
         println!("== influence constraint tree ==");
         print!("{}", tree.render());
     }
-    let compiled = match compile(&kernel, config) {
+    let compiled = match match &tuned_options {
+        Some(opts) => {
+            polyject_codegen::compile_with_options(&kernel, config, &Budget::unlimited(), opts)
+        }
+        None => compile(&kernel, config),
+    } {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{file}: {e}");

@@ -5,7 +5,14 @@
 //!           [--cache-dir <dir>] [--cache-max-bytes <n>]
 //!           [--workers <n>] [--queue-bound <n>] [--timeout-secs <n>]
 //!           [--max-frame-bytes <n>] [--gpu v100|a100|consumer]
+//!           [--background-tune]
 //! ```
+//!
+//! With `--background-tune` (needs `--cache-dir`), idle time is spent
+//! autotuning cached kernels: the daemon picks cached compiles without
+//! a persisted tuned configuration, searches the knob space one kernel
+//! at a time, and stops the moment a request arrives. Later compiles of
+//! a tuned kernel apply its configuration automatically.
 //!
 //! Serves the length-prefixed JSON protocol (see `polyject_serve::protocol`)
 //! until SIGTERM/SIGINT or a `shutdown` request, then flushes the cache
@@ -19,7 +26,7 @@ use std::time::Duration;
 const USAGE: &str = "usage: polyjectd [--socket <path> | --tcp <host:port>] \
      [--cache-dir <dir>] [--cache-max-bytes <n>] [--workers <n>] \
      [--queue-bound <n>] [--timeout-secs <n>] [--max-frame-bytes <n>] \
-     [--gpu v100|a100|consumer]";
+     [--gpu v100|a100|consumer] [--background-tune]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -99,6 +106,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--background-tune" => config.background_tune = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -109,6 +117,10 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+    if config.background_tune && config.cache_dir.is_none() {
+        eprintln!("--background-tune needs --cache-dir (tuned configs persist in the cache)");
+        return ExitCode::FAILURE;
     }
     match run_daemon(config) {
         Ok(report) => {

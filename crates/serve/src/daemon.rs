@@ -14,19 +14,22 @@ use crate::cache::DiskCache;
 use crate::client::Endpoint;
 use crate::json::Json;
 use crate::pool::{default_workers, WorkerPool};
+use crate::protocol::CompileReply;
 use crate::protocol::{
     error_response, ok_response, overloaded_response, write_frame, Request, MAX_FRAME,
 };
 use crate::service::{CompileService, Served};
 use crate::stats::ServeStats;
+use crate::tuned::{tune_cached, tuned_key};
 use polyject_core::Budget;
 use polyject_gpusim::GpuModel;
+use polyject_tune::TuneOptions;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -96,6 +99,12 @@ pub struct DaemonConfig {
     pub max_frame: u32,
     /// GPU model requests compile against.
     pub gpu: GpuModel,
+    /// Improve hot cache entries while idle: when no requests are
+    /// pending, the daemon picks a cached compile entry without a tuned
+    /// configuration and runs the autotuner on it (one kernel at a
+    /// time, cancelled the moment a request arrives). Only *complete*
+    /// outcomes are persisted.
+    pub background_tune: bool,
 }
 
 impl Default for DaemonConfig {
@@ -109,6 +118,7 @@ impl Default for DaemonConfig {
             cache_max_bytes: crate::cache::DEFAULT_MAX_BYTES,
             max_frame: MAX_FRAME,
             gpu: GpuModel::v100(),
+            background_tune: false,
         }
     }
 }
@@ -122,6 +132,16 @@ struct Shared {
     queue_bound: usize,
     request_timeout: Duration,
     max_frame: u32,
+    /// Idle-time autotuning enabled (`--background-tune`).
+    background_tune: bool,
+    /// A background tune is in flight (at most one at a time; not
+    /// counted in `pending` — tuning never triggers backpressure).
+    tuning: AtomicBool,
+    /// Tripped on request arrival and shutdown so the background search
+    /// yields the machine immediately.
+    tune_cancel: Arc<AtomicBool>,
+    /// Kernels background-tuned (completed + persisted) this run.
+    tuned_count: AtomicU64,
 }
 
 impl Shared {
@@ -155,6 +175,11 @@ impl Shared {
             (
                 "panics_recovered",
                 Json::Num((gov.panics_recovered + self.pool.panics_recovered()) as f64),
+            ),
+            ("tuned_applied", Json::Num(gov.tuned_applied as f64)),
+            (
+                "background_tuned",
+                Json::Num(self.tuned_count.load(Ordering::SeqCst) as f64),
             ),
         ]);
         Json::obj(vec![
@@ -359,6 +384,9 @@ fn dispatch(shared: &Arc<Shared>, frame: &Json) -> (Json, bool) {
 }
 
 fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
+    // A request always outranks idle-time work: tell any background
+    // search to yield at its next budget check.
+    shared.tune_cancel.store(true, Ordering::SeqCst);
     // Backpressure: bound queued-plus-executing compiles instead of
     // buffering arbitrarily many requests behind a busy pool.
     let pending = shared.pending.load(Ordering::SeqCst);
@@ -413,6 +441,79 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
     }
 }
 
+/// Finds a cached compile entry without a tuned configuration — the
+/// next kernel the idle tuner should improve. Returns its canonical
+/// source and config name.
+fn pick_tune_candidate(shared: &Shared) -> Option<(String, String)> {
+    shared
+        .service
+        .with_cache(|c| {
+            let entries = c.list();
+            for (key, kind, _, _) in entries {
+                if kind != "compile" {
+                    continue;
+                }
+                let Some((_, payload)) = c.get(&key) else {
+                    continue;
+                };
+                let Ok(reply) = CompileReply::from_json(&payload) else {
+                    continue;
+                };
+                let tkey = tuned_key(&reply.canonical_pj, &reply.config, shared.service.gpu());
+                if c.get(&tkey).is_none() {
+                    return Some((reply.canonical_pj, reply.config));
+                }
+            }
+            None
+        })
+        .flatten()
+}
+
+/// The idle hook of the accept loop: when nothing is pending and no
+/// tune is in flight, start tuning the next untuned cached kernel on a
+/// detached thread. The search runs under a cancel-only budget that
+/// request arrival and shutdown trip; only complete outcomes persist
+/// (an interrupted search leaves no partial state, by [`tune_cached`]'s
+/// contract).
+fn maybe_background_tune(shared: &Arc<Shared>) {
+    if !shared.background_tune
+        || shared.stopping()
+        || shared.pending.load(Ordering::SeqCst) != 0
+        || shared.tuning.swap(true, Ordering::SeqCst)
+    {
+        return;
+    }
+    let Some((src, config)) = pick_tune_candidate(shared) else {
+        shared.tuning.store(false, Ordering::SeqCst);
+        return;
+    };
+    shared.tune_cancel.store(false, Ordering::SeqCst);
+    let s = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let budget = Budget::unlimited().with_cancel(Arc::clone(&s.tune_cancel));
+        match tune_cached(
+            &s.service,
+            &src,
+            &config,
+            &TuneOptions::default(),
+            &budget,
+            1,
+        ) {
+            Ok(report) if !report.cached && report.complete => {
+                s.tuned_count.fetch_add(1, Ordering::SeqCst);
+                eprintln!(
+                    "[polyjectd] background-tuned {} ({config}): speedup {:.3}x over {} candidates",
+                    report.key,
+                    report.tuned.speedup(),
+                    report.tuned.evaluated,
+                );
+            }
+            _ => {}
+        }
+        s.tuning.store(false, Ordering::SeqCst);
+    });
+}
+
 fn handle_conn(shared: Arc<Shared>, mut stream: Stream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     loop {
@@ -458,6 +559,10 @@ pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
         queue_bound: config.queue_bound.max(1),
         request_timeout: config.request_timeout,
         max_frame: config.max_frame.clamp(1, MAX_FRAME),
+        background_tune: config.background_tune && config.cache_dir.is_some(),
+        tuning: AtomicBool::new(false),
+        tune_cancel: Arc::new(AtomicBool::new(false)),
+        tuned_count: AtomicU64::new(0),
     });
     eprintln!(
         "[polyjectd] listening on {} ({} workers, queue bound {}, cache {})",
@@ -478,7 +583,13 @@ pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
                 let shared = Arc::clone(&shared);
                 conns.push(std::thread::spawn(move || handle_conn(shared, stream)));
             }
-            None => std::thread::sleep(Duration::from_millis(20)),
+            None => {
+                // The accept loop is idle: let the background tuner
+                // claim the quiet period. Throttled by probing only
+                // when genuinely nothing is pending.
+                maybe_background_tune(&shared);
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
         conns.retain(|h| !h.is_finished());
     }
@@ -490,8 +601,11 @@ pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
     for h in conns {
         let _ = h.join();
     }
-    // Wait out compiles still on the pool so their cache writes land.
-    while shared.pending.load(Ordering::SeqCst) > 0 {
+    // Wait out compiles still on the pool so their cache writes land,
+    // and any background tune (cancelled above at its next budget
+    // check) so the tuning thread is not torn down mid-write.
+    shared.tune_cancel.store(true, Ordering::SeqCst);
+    while shared.pending.load(Ordering::SeqCst) > 0 || shared.tuning.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(20));
     }
     if let Some(Err(e)) = shared.service.with_cache(DiskCache::flush) {
@@ -526,6 +640,10 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
             queue_bound,
             request_timeout: Duration::from_secs(30),
             max_frame: MAX_FRAME,
+            background_tune: false,
+            tuning: AtomicBool::new(false),
+            tune_cancel: Arc::new(AtomicBool::new(false)),
+            tuned_count: AtomicU64::new(0),
         })
     }
 
@@ -570,6 +688,61 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         assert_eq!(resp.str_field("status").unwrap(), "overloaded");
         assert_eq!(shared.stats.lock().unwrap().overloaded, 1);
         shared.pending.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn idle_hook_tunes_cached_kernels_and_respects_arrivals() {
+        let dir = std::env::temp_dir().join(format!("pj-bgtune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let shared = Arc::new(Shared {
+            service: CompileService::new(Some(cache), GpuModel::v100()),
+            pool: WorkerPool::new(2),
+            stats: Mutex::new(ServeStats::default()),
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            queue_bound: 4,
+            request_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME,
+            background_tune: true,
+            tuning: AtomicBool::new(false),
+            tune_cancel: Arc::new(AtomicBool::new(false)),
+            tuned_count: AtomicU64::new(0),
+        });
+        // Nothing cached yet: the hook finds no candidate and stays idle.
+        maybe_background_tune(&shared);
+        assert!(!shared.tuning.load(Ordering::SeqCst));
+
+        // Cache one compile, then let the idle hook tune it.
+        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        assert_eq!(resp.str_field("status").unwrap(), "ok");
+        maybe_background_tune(&shared);
+        for _ in 0..600 {
+            if !shared.tuning.load(Ordering::SeqCst) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(!shared.tuning.load(Ordering::SeqCst), "tune finished");
+        assert_eq!(shared.tuned_count.load(Ordering::SeqCst), 1);
+        let tuned_entries = shared
+            .service
+            .with_cache(|c| {
+                c.list()
+                    .iter()
+                    .filter(|(_, kind, _, _)| kind == crate::tuned::TUNED_KIND)
+                    .count()
+            })
+            .unwrap();
+        assert_eq!(tuned_entries, 1, "complete outcome persisted");
+
+        // Once everything is tuned there is nothing left to pick.
+        assert!(pick_tune_candidate(&shared).is_none());
+        // A request arrival trips the cancel flag.
+        shared.tune_cancel.store(false, Ordering::SeqCst);
+        let _ = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        assert!(shared.tune_cancel.load(Ordering::SeqCst));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`daemon`] — the `polyjectd` accept loop: bounded queue,
 //!   backpressure, per-request timeouts, graceful shutdown;
 //! * [`client`] — the client used by `polyjectc --remote` and tests;
-//! * [`stats`] — hit/miss/eviction/error counters and latency aggregates.
+//! * [`stats`] — hit/miss/eviction/error counters and latency aggregates;
+//! * [`tuned`] — persisted tuned configurations: the autotuner's
+//!   cache-backed entry point (`tune_cached`), the `tuned-config` entry
+//!   kind, and the pool-fanned candidate runner.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@ pub mod pool;
 pub mod protocol;
 pub mod service;
 pub mod stats;
+pub mod tuned;
 
 pub use cache::{CacheStats, DiskCache};
 pub use client::{Client, Endpoint};
@@ -47,7 +51,11 @@ pub use json::Json;
 pub use pool::{default_workers, parallel_map, PoolSpecExecutor, WorkerPool};
 pub use protocol::{read_frame, write_frame, CompileReply, Request};
 pub use service::{
-    cache_key, compile_reply, compile_reply_with_budget, config_by_name, CompileService,
-    Governance, Served,
+    cache_key, cache_key_with_options, compile_reply, compile_reply_with_budget,
+    compile_reply_with_options, config_by_name, CompileService, Governance, Served,
 };
 pub use stats::{LatencyAgg, ServeStats};
+pub use tuned::{
+    decode_tuned, encode_tuned, tune_cached, tuned_key, ParallelRunner, TuneReport,
+    TUNED_FORMAT_VERSION, TUNED_KIND,
+};

@@ -16,10 +16,9 @@
 use crate::cache::DiskCache;
 use crate::hash::{f64_bits_hex, Fnv64};
 use crate::protocol::CompileReply;
-use polyject_codegen::{
-    compile_with_budget, render_artifacts, Config, MappingOptions, TilingOptions,
-};
-use polyject_core::{Budget, InfluenceOptions, SchedulerOptions};
+use crate::tuned::{decode_tuned, tuned_key, TUNED_KIND};
+use polyject_codegen::{compile_with_options, render_artifacts, CompileOptions, Config};
+use polyject_core::Budget;
 use polyject_gpusim::{estimate, GpuModel};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,8 +27,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Version tag folded into every cache key; bump whenever key material
-/// or the artifact schema changes meaning.
-pub const KEY_VERSION: u64 = 1;
+/// or the artifact schema changes meaning. Version 2: keys fold the
+/// *actual* [`CompileOptions`] the request compiles under (tuned
+/// requests get their own entries) instead of the option defaults.
+pub const KEY_VERSION: u64 = 2;
 
 /// Resolves a configuration name (`isl|novec|infl`) to a [`Config`].
 pub fn config_by_name(name: &str) -> Option<Config> {
@@ -49,36 +50,55 @@ fn write_f64_fields(h: &mut Fnv64, values: &[f64]) {
 /// [`polyject_front::canonical_pj`]); callers canonicalize first so
 /// formatting variants of one kernel map to one entry.
 pub fn cache_key(canonical_pj: &str, config: &str, gpu: &GpuModel) -> String {
+    cache_key_with_options(canonical_pj, config, gpu, &CompileOptions::default())
+}
+
+/// [`cache_key`] generalized over the [`CompileOptions`] the request
+/// actually compiles under, so a tuned compile and the default compile
+/// of one kernel occupy distinct entries.
+pub fn cache_key_with_options(
+    canonical_pj: &str,
+    config: &str,
+    gpu: &GpuModel,
+    opts: &CompileOptions,
+) -> String {
     let mut h = Fnv64::new();
     h.write_field("polyject-compile");
     h.write_field(&KEY_VERSION.to_string());
     h.write_field(canonical_pj);
     h.write_field(config);
 
-    // The pipeline compiles under these defaults; fold them in so a
-    // future change to any default invalidates old entries.
-    let infl = InfluenceOptions::default();
+    // The options the pipeline compiles under; folding the actual values
+    // (not the defaults) both invalidates old entries when a default
+    // changes and gives tuned compiles their own entries.
+    let infl = &opts.influence;
     write_f64_fields(&mut h, &infl.weights);
     h.write_field(&infl.thread_limit.to_string());
     h.write_field(&infl.max_scenarios.to_string());
     for w in &infl.vector_widths {
         h.write_field(&w.to_string());
     }
-    let sched = SchedulerOptions::default();
+    h.write_field(&infl.fusion_variants.to_string());
+    h.write_field(&infl.relaxed_variants.to_string());
+    let sched = &opts.scheduler;
     h.write_field(&sched.bounds.max_coeff.to_string());
     h.write_field(&sched.bounds.max_const.to_string());
     h.write_field(&sched.bounds.max_bound.to_string());
     h.write_field(&sched.max_dims.to_string());
     h.write_field(&sched.max_attempts.to_string());
     h.write_field(&sched.feautrier_fallback.to_string());
-    let map = MappingOptions::default();
+    let map = &opts.mapping;
     h.write_field(&map.max_threads.to_string());
     h.write_field(&map.max_thread_axes.to_string());
     h.write_field(&map.max_block_axes.to_string());
-    let tile = TilingOptions::default();
-    h.write_field(&tile.tile_size.to_string());
-    h.write_field(&tile.min_extent.to_string());
-    h.write_field(&tile.max_tiled_loops.to_string());
+    match &opts.tiling {
+        None => h.write_field("untiled"),
+        Some(tile) => {
+            h.write_field(&tile.tile_size.to_string());
+            h.write_field(&tile.min_extent.to_string());
+            h.write_field(&tile.max_tiled_loops.to_string());
+        }
+    }
 
     h.write_field(&gpu.name);
     write_f64_fields(
@@ -128,14 +148,33 @@ pub fn compile_reply_with_budget(
     gpu: &GpuModel,
     budget: &Budget,
 ) -> Result<CompileReply, String> {
+    compile_reply_with_options(src, config_name, gpu, budget, &CompileOptions::default())
+}
+
+/// [`compile_reply_with_budget`] under explicit [`CompileOptions`] — the
+/// path tuned requests take: the reply's cache key folds the options, so
+/// tuned artifacts never collide with the default compile's entry.
+///
+/// # Errors
+///
+/// Parse, unknown-config, scheduling, and cancellation failures as
+/// strings.
+pub fn compile_reply_with_options(
+    src: &str,
+    config_name: &str,
+    gpu: &GpuModel,
+    budget: &Budget,
+    opts: &CompileOptions,
+) -> Result<CompileReply, String> {
     let config = config_by_name(config_name)
         .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
     let kernel = polyject_front::parse(src).map_err(|e| e.to_string())?;
     let canonical = polyject_front::emit_pj(&kernel)?;
-    let key = cache_key(&canonical, config.name(), gpu);
+    let key = cache_key_with_options(&canonical, config.name(), gpu, opts);
     let before = polyject_sets::counters::snapshot();
     let t0 = Instant::now();
-    let compiled = compile_with_budget(&kernel, config, budget).map_err(|e| e.to_string())?;
+    let compiled =
+        compile_with_options(&kernel, config, budget, opts).map_err(|e| e.to_string())?;
     let artifacts = render_artifacts(&kernel, &compiled);
     let timing = estimate(&compiled.ast, &kernel, gpu);
     let compile_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -189,6 +228,9 @@ pub struct Governance {
     pub cancelled_solves: u64,
     /// Compiler panics converted to error replies.
     pub panics_recovered: u64,
+    /// Requests compiled under a persisted tuned configuration instead
+    /// of the option defaults.
+    pub tuned_applied: u64,
 }
 
 /// Compile-through-cache with single-flight deduplication. Shared by the
@@ -200,6 +242,7 @@ pub struct CompileService {
     degraded: AtomicU64,
     cancelled: AtomicU64,
     panics: AtomicU64,
+    tuned_applied: AtomicU64,
 }
 
 impl CompileService {
@@ -213,6 +256,7 @@ impl CompileService {
             degraded: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            tuned_applied: AtomicU64::new(0),
         }
     }
 
@@ -227,6 +271,7 @@ impl CompileService {
             degraded_solves: self.degraded.load(Ordering::SeqCst),
             cancelled_solves: self.cancelled.load(Ordering::SeqCst),
             panics_recovered: self.panics.load(Ordering::SeqCst),
+            tuned_applied: self.tuned_applied.load(Ordering::SeqCst),
         }
     }
 
@@ -272,7 +317,23 @@ impl CompileService {
         let config = config_by_name(config_name)
             .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
         let canonical = polyject_front::canonical_pj(src)?;
-        let key = cache_key(&canonical, config.name(), &self.gpu);
+
+        // A persisted tuned configuration redirects the request: the
+        // compile runs under the tuned options and is keyed by them, so
+        // a tuning found once applies on every later compile while the
+        // default entry (if any) stays untouched.
+        let tkey = tuned_key(&canonical, config.name(), &self.gpu);
+        let tuned_opts = self
+            .with_cache(|c| c.get(&tkey))
+            .flatten()
+            .filter(|(kind, _)| kind == TUNED_KIND)
+            .and_then(|(_, payload)| decode_tuned(&payload).ok())
+            .map(|t| t.to_compile_options());
+        if tuned_opts.is_some() {
+            self.tuned_applied.fetch_add(1, Ordering::SeqCst);
+        }
+        let opts = tuned_opts.unwrap_or_default();
+        let key = cache_key_with_options(&canonical, config.name(), &self.gpu, &opts);
 
         if let Some(Some((kind, payload))) = self.with_cache(|c| c.get(&key)) {
             if kind == "compile" {
@@ -315,7 +376,7 @@ impl CompileService {
         let config_name = config.name().to_string();
         let gpu = self.gpu.clone();
         let result = catch_unwind(AssertUnwindSafe(move || {
-            compile_reply_with_budget(&src_owned, &config_name, &gpu, budget)
+            compile_reply_with_options(&src_owned, &config_name, &gpu, budget, &opts)
         }))
         .unwrap_or_else(|p| {
             let msg = p

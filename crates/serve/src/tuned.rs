@@ -1,0 +1,513 @@
+//! Persisted tuned configurations: the serve-side home of the
+//! `crates/tune` autotuner.
+//!
+//! A finished search produces a [`TunedConfig`] — the winning knob point
+//! plus its provenance. This module persists it in the [`DiskCache`]
+//! under its own entry kind ([`TUNED_KIND`]) at a key derived from the
+//! same canonical-kernel material as the compile key but under a
+//! distinct domain tag ([`tuned_key`]), so a tuning found once (by
+//! `polyjectc --tune` or by the daemon's idle background tuner) applies
+//! on every later compile of that kernel, from any client sharing the
+//! cache directory.
+//!
+//! Floats are serialized as IEEE-754 bit patterns, so a decoded config
+//! is *bit-identical* to the persisted one — the determinism guarantees
+//! of the beam search survive the round-trip.
+
+use crate::hash::{f64_bits_hex, Fnv64};
+use crate::json::Json;
+use crate::pool::parallel_map;
+use crate::service::{cache_key, config_by_name, CompileService};
+use polyject_codegen::{MappingOptions, TilingOptions};
+use polyject_core::{Budget, InfluenceOptions};
+use polyject_gpusim::GpuModel;
+use polyject_tune::{
+    beam_search, evaluate_point, Evaluated, JobRunner, KnobPoint, TuneOptions, TuneRequest,
+    TunedConfig,
+};
+use std::sync::Mutex;
+
+/// Cache entry kind of persisted tuned configurations.
+pub const TUNED_KIND: &str = "tuned-config";
+
+/// Payload format version folded into both the key and the payload;
+/// bump when the encoding or the knob space changes meaning.
+pub const TUNED_FORMAT_VERSION: u64 = 1;
+
+/// The cache key a kernel's tuned configuration lives under: the compile
+/// key material re-hashed beneath a distinct domain tag, so compile and
+/// tuned entries for one kernel never collide while still sharing
+/// invalidation behavior (any key-material change moves both).
+pub fn tuned_key(canonical_pj: &str, config: &str, gpu: &GpuModel) -> String {
+    let mut h = Fnv64::new();
+    h.write_field("polyject-tuned");
+    h.write_field(&TUNED_FORMAT_VERSION.to_string());
+    h.write_field(&cache_key(canonical_pj, config, gpu));
+    h.hex()
+}
+
+fn f64_from_hex(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern {s:?}"))
+}
+
+fn u64_from_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|_| format!("bad u64 hex {s:?}"))
+}
+
+fn hex_field(j: &Json, key: &str) -> Result<String, String> {
+    Ok(j.str_field(key)?.to_string())
+}
+
+/// Encodes a tuned configuration as a cache payload. Inverse of
+/// [`decode_tuned`].
+pub fn encode_tuned(cfg: &TunedConfig) -> Json {
+    let p = &cfg.point;
+    let tiling = match &p.tiling {
+        None => Json::Null,
+        Some(t) => Json::obj(vec![
+            ("tile_size", Json::Num(t.tile_size as f64)),
+            ("min_extent", Json::Num(t.min_extent as f64)),
+            ("max_tiled_loops", Json::Num(t.max_tiled_loops as f64)),
+        ]),
+    };
+    let point = Json::obj(vec![
+        (
+            "weights",
+            Json::Arr(
+                p.influence
+                    .weights
+                    .iter()
+                    .map(|&w| Json::Str(f64_bits_hex(w)))
+                    .collect(),
+            ),
+        ),
+        ("thread_limit", Json::Num(p.influence.thread_limit as f64)),
+        ("max_scenarios", Json::Num(p.influence.max_scenarios as f64)),
+        (
+            "vector_widths",
+            Json::Arr(
+                p.influence
+                    .vector_widths
+                    .iter()
+                    .map(|&w| Json::Num(w as f64))
+                    .collect(),
+            ),
+        ),
+        ("fusion_variants", Json::Bool(p.influence.fusion_variants)),
+        ("relaxed_variants", Json::Bool(p.influence.relaxed_variants)),
+        ("tiling", tiling),
+        (
+            "mapping",
+            Json::obj(vec![
+                ("max_threads", Json::Num(p.mapping.max_threads as f64)),
+                (
+                    "max_thread_axes",
+                    Json::Num(p.mapping.max_thread_axes as f64),
+                ),
+                ("max_block_axes", Json::Num(p.mapping.max_block_axes as f64)),
+            ]),
+        ),
+    ]);
+    Json::obj(vec![
+        ("version", Json::Num(TUNED_FORMAT_VERSION as f64)),
+        ("point", point),
+        ("seed", Json::Str(format!("{:016x}", cfg.seed))),
+        ("rounds", Json::Num(cfg.rounds as f64)),
+        ("evaluated", Json::Num(cfg.evaluated as f64)),
+        ("default_time", Json::Str(f64_bits_hex(cfg.default_time))),
+        ("tuned_time", Json::Str(f64_bits_hex(cfg.tuned_time))),
+        (
+            "rank_correlation",
+            Json::Str(f64_bits_hex(cfg.rank_correlation)),
+        ),
+        ("log_digest", Json::Str(format!("{:016x}", cfg.log_digest))),
+    ])
+}
+
+/// Decodes a persisted tuned configuration. Inverse of [`encode_tuned`].
+///
+/// # Errors
+///
+/// Unknown version, missing fields, and malformed bit patterns, as
+/// strings — callers treat a decode failure as a cache miss.
+pub fn decode_tuned(j: &Json) -> Result<TunedConfig, String> {
+    let version = j.num_field("version")? as u64;
+    if version != TUNED_FORMAT_VERSION {
+        return Err(format!(
+            "tuned-config version {version} (expected {TUNED_FORMAT_VERSION})"
+        ));
+    }
+    let pj = j
+        .get("point")
+        .ok_or_else(|| "missing field point".to_string())?;
+    let weights_arr = pj
+        .get("weights")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing field weights".to_string())?;
+    if weights_arr.len() != 5 {
+        return Err(format!("expected 5 weights, got {}", weights_arr.len()));
+    }
+    let mut weights = [0.0f64; 5];
+    for (i, w) in weights_arr.iter().enumerate() {
+        weights[i] = f64_from_hex(w.as_str().ok_or("weights must be bit-pattern strings")?)?;
+    }
+    let vector_widths = pj
+        .get("vector_widths")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing field vector_widths".to_string())?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as i64).ok_or("bad vector width"))
+        .collect::<Result<Vec<i64>, _>>()?;
+    let influence = InfluenceOptions {
+        weights,
+        thread_limit: pj.num_field("thread_limit")? as i64,
+        max_scenarios: pj.num_field("max_scenarios")? as usize,
+        vector_widths,
+        fusion_variants: pj
+            .get("fusion_variants")
+            .and_then(Json::as_bool)
+            .ok_or("missing field fusion_variants")?,
+        relaxed_variants: pj
+            .get("relaxed_variants")
+            .and_then(Json::as_bool)
+            .ok_or("missing field relaxed_variants")?,
+    };
+    let tiling = match pj.get("tiling") {
+        None | Some(Json::Null) => None,
+        Some(t) => Some(TilingOptions {
+            tile_size: t.num_field("tile_size")? as i64,
+            min_extent: t.num_field("min_extent")? as i64,
+            max_tiled_loops: t.num_field("max_tiled_loops")? as usize,
+        }),
+    };
+    let mj = pj
+        .get("mapping")
+        .ok_or_else(|| "missing field mapping".to_string())?;
+    let mapping = MappingOptions {
+        max_threads: mj.num_field("max_threads")? as i64,
+        max_thread_axes: mj.num_field("max_thread_axes")? as usize,
+        max_block_axes: mj.num_field("max_block_axes")? as usize,
+    };
+    Ok(TunedConfig {
+        point: KnobPoint {
+            influence,
+            tiling,
+            mapping,
+        },
+        seed: u64_from_hex(&hex_field(j, "seed")?)?,
+        rounds: j.num_field("rounds")? as usize,
+        evaluated: j.num_field("evaluated")? as usize,
+        default_time: f64_from_hex(&hex_field(j, "default_time")?)?,
+        tuned_time: f64_from_hex(&hex_field(j, "tuned_time")?)?,
+        rank_correlation: f64_from_hex(&hex_field(j, "rank_correlation")?)?,
+        log_digest: u64_from_hex(&hex_field(j, "log_digest")?)?,
+    })
+}
+
+/// A [`JobRunner`] fanning candidate evaluations over the serve worker
+/// pool ([`parallel_map`]).
+///
+/// Each job gets its own [`Budget`] clone: resource-metered budgets
+/// account against thread-local solver counters, so every worker must
+/// meter its own consumption (the absolute deadline and the cancel flag
+/// still transfer — a supervisor can stop all jobs at once).
+pub struct ParallelRunner {
+    workers: usize,
+}
+
+impl ParallelRunner {
+    /// A runner evaluating up to `workers` candidates concurrently.
+    pub fn new(workers: usize) -> ParallelRunner {
+        ParallelRunner {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl JobRunner for ParallelRunner {
+    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
+        // `Budget` is Send but not Sync (thread-local metering), so the
+        // shared-reference closure below can only capture Sync state;
+        // per-job budgets ride along inside a Mutex.
+        let jobs: Vec<(KnobPoint, Mutex<Budget>)> = points
+            .iter()
+            .map(|p| (p.clone(), Mutex::new(req.budget.clone())))
+            .collect();
+        let kernel = &req.kernel;
+        let gpu = &req.gpu;
+        let config = req.config;
+        parallel_map(&jobs, self.workers, move |(point, budget)| {
+            let budget = budget.lock().expect("budget lock poisoned").clone();
+            let job_req = TuneRequest {
+                kernel: kernel.clone(),
+                config,
+                gpu: gpu.clone(),
+                budget,
+            };
+            evaluate_point(&job_req, point)
+        })
+    }
+}
+
+/// The outcome of [`tune_cached`]: the tuned configuration, its cache
+/// key, and whether it was replayed from the cache (zero search) or
+/// searched now.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Cache key the configuration lives under.
+    pub key: String,
+    /// The winning configuration and its provenance.
+    pub tuned: TunedConfig,
+    /// `true` when the config was replayed from the cache without any
+    /// search.
+    pub cached: bool,
+    /// `true` when the search ran all its rounds (replayed configs are
+    /// complete by construction — only complete outcomes persist). An
+    /// incomplete config is still the best point seen, but it was not
+    /// persisted.
+    pub complete: bool,
+}
+
+/// Tunes one kernel through the service's cache: a persisted
+/// [`TunedConfig`] is returned immediately (zero search); otherwise the
+/// beam search runs (fanned over `workers` threads when > 1) and a
+/// *complete* outcome is persisted. Incomplete outcomes — the budget
+/// stopped the search early — are returned but never persisted, since a
+/// replay with more budget would differ.
+///
+/// # Errors
+///
+/// Unknown config, parse failures, and scheduling errors from the
+/// default point's compile, as strings.
+pub fn tune_cached(
+    svc: &CompileService,
+    src: &str,
+    config_name: &str,
+    opts: &TuneOptions,
+    budget: &Budget,
+    workers: usize,
+) -> Result<TuneReport, String> {
+    let config = config_by_name(config_name)
+        .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
+    let canonical = polyject_front::canonical_pj(src)?;
+    let key = tuned_key(&canonical, config.name(), svc.gpu());
+
+    if let Some(Some((kind, payload))) = svc.with_cache(|c| c.get(&key)) {
+        if kind == TUNED_KIND {
+            if let Ok(tuned) = decode_tuned(&payload) {
+                return Ok(TuneReport {
+                    key,
+                    tuned,
+                    cached: true,
+                    complete: true,
+                });
+            }
+        }
+        // Wrong kind or undecodable payload: fall through and re-tune
+        // (the entry will be overwritten).
+    }
+
+    let kernel = polyject_front::parse(&canonical).map_err(|e| e.to_string())?;
+    let req = TuneRequest {
+        kernel,
+        config,
+        gpu: svc.gpu().clone(),
+        budget: budget.clone(),
+    };
+    let outcome = if workers > 1 {
+        beam_search(&req, opts, &ParallelRunner::new(workers))
+    } else {
+        beam_search(&req, opts, &polyject_tune::SerialRunner)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if outcome.complete {
+        if let Some(Err(e)) =
+            svc.with_cache(|c| c.put(&key, TUNED_KIND, &encode_tuned(&outcome.tuned)))
+        {
+            eprintln!("[tune] cache write for {key} failed: {e}");
+        }
+    }
+    Ok(TuneReport {
+        key,
+        tuned: outcome.tuned,
+        cached: false,
+        complete: outcome.complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DiskCache;
+    use polyject_tune::log_digest;
+
+    fn sample_config() -> TunedConfig {
+        TunedConfig {
+            point: KnobPoint {
+                influence: InfluenceOptions {
+                    weights: [0.5, 3.0, 1.0, 8.0, 1.0],
+                    thread_limit: 512,
+                    max_scenarios: 4,
+                    vector_widths: vec![4],
+                    fusion_variants: true,
+                    relaxed_variants: false,
+                },
+                tiling: Some(TilingOptions {
+                    tile_size: 32,
+                    min_extent: 64,
+                    max_tiled_loops: 2,
+                }),
+                mapping: MappingOptions {
+                    max_threads: 256,
+                    max_thread_axes: 2,
+                    max_block_axes: 3,
+                },
+            },
+            seed: 0x5eed_1e55_ca11_ab1e,
+            rounds: 3,
+            evaluated: 23,
+            default_time: 9.64951e-6,
+            tuned_time: 7.1123e-6,
+            rank_correlation: -0.25,
+            log_digest: log_digest(&[]),
+        }
+    }
+
+    #[test]
+    fn tuned_config_roundtrips_bit_identically() {
+        let cfg = sample_config();
+        let decoded = decode_tuned(&encode_tuned(&cfg)).unwrap();
+        assert_eq!(decoded, cfg);
+        // Exact float bits survive, not just approximate values.
+        assert_eq!(decoded.default_time.to_bits(), cfg.default_time.to_bits());
+        // The untiled variant round-trips too.
+        let mut untiled = cfg;
+        untiled.point.tiling = None;
+        assert_eq!(decode_tuned(&encode_tuned(&untiled)).unwrap(), untiled);
+    }
+
+    #[test]
+    fn decode_rejects_bad_payloads() {
+        assert!(decode_tuned(&Json::Null).is_err());
+        let mut j = encode_tuned(&sample_config());
+        // Wrong version is a miss, not a panic.
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = Json::Num(99.0);
+                }
+            }
+        }
+        assert!(decode_tuned(&j).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn tuned_key_distinct_from_compile_key() {
+        let gpu = GpuModel::v100();
+        let canon = "kernel k\n";
+        assert_ne!(
+            tuned_key(canon, "infl", &gpu),
+            cache_key(canon, "infl", &gpu)
+        );
+        assert_ne!(
+            tuned_key(canon, "infl", &gpu),
+            tuned_key(canon, "isl", &gpu)
+        );
+    }
+
+    const SRC: &str = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+
+    #[test]
+    fn tune_cached_persists_and_replays_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("pj-tuned-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let svc = CompileService::new(Some(cache), GpuModel::v100());
+        let opts = TuneOptions {
+            rounds: 1,
+            initial_samples: 2,
+            evals_per_round: 2,
+            ..TuneOptions::default()
+        };
+        let cold = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+        assert!(!cold.cached);
+        let warm = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+        assert!(warm.cached, "second run replays with zero search");
+        assert_eq!(warm.tuned, cold.tuned);
+        assert_eq!(warm.key, cold.key);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_tuning_applies_on_later_serves() {
+        let dir = std::env::temp_dir().join(format!("pj-tuned-apply-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let svc = CompileService::new(Some(cache), GpuModel::v100());
+        // Before tuning: serves compile under the defaults.
+        let (_, how) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(how, crate::service::Served::Fresh);
+        assert_eq!(svc.governance().tuned_applied, 0);
+        // Tune (persists a TunedConfig), then serve again: the request
+        // is redirected to the tuned options and counted.
+        let opts = TuneOptions {
+            rounds: 1,
+            initial_samples: 2,
+            evals_per_round: 2,
+            ..TuneOptions::default()
+        };
+        let report = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+        assert!(!report.cached);
+        let (reply, _) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(svc.governance().tuned_applied, 1);
+        // The tuned entry is keyed by the tuned options; a second serve
+        // hits it.
+        let (_, how) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(how, crate::service::Served::Hit);
+        assert_eq!(svc.governance().tuned_applied, 2);
+        assert_eq!(
+            reply.key,
+            crate::service::cache_key_with_options(
+                &reply.canonical_pj,
+                "infl",
+                svc.gpu(),
+                &report.tuned.to_compile_options()
+            )
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_results() {
+        let req = TuneRequest {
+            kernel: polyject_ir::ops::transpose_2d(128, 128),
+            config: polyject_codegen::Config::Influenced,
+            gpu: GpuModel::v100(),
+            budget: Budget::unlimited(),
+        };
+        let mut rng = polyject_arith::SplitMix64::new(11);
+        let points: Vec<KnobPoint> = (0..6).map(|_| KnobPoint::sample(&mut rng)).collect();
+        let serial = polyject_tune::SerialRunner.evaluate(&req, &points);
+        let parallel = ParallelRunner::new(4).evaluate(&req, &points);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            match (s, p) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.point, b.point);
+                    assert_eq!(a.timing.time.to_bits(), b.timing.time.to_bits());
+                }
+                (None, None) => {}
+                _ => panic!("serial and parallel runners disagree on feasibility"),
+            }
+        }
+    }
+}

@@ -404,6 +404,64 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
 }
 
 #[test]
+fn torn_tuned_config_is_quarantined_as_a_miss() {
+    // A tuned configuration whose entry file is torn mid-write must
+    // never be half-applied: the checksum layer quarantines it, the
+    // lookup is a miss, and the next tune runs a fresh search instead
+    // of trusting debris.
+    use polyject_core::Budget;
+    use polyject_gpusim::GpuModel;
+    use polyject_serve::{tune_cached, CompileService, TUNED_KIND};
+    use polyject_tune::TuneOptions;
+
+    const SRC: &str = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+    let dir = tmpdir("torn-tuned");
+    let opts = TuneOptions {
+        rounds: 1,
+        initial_samples: 2,
+        evals_per_round: 2,
+        ..TuneOptions::default()
+    };
+
+    // Tune once; remember the persisted key and config.
+    let svc = CompileService::new(
+        Some(DiskCache::open(&dir, 1 << 20).unwrap()),
+        GpuModel::v100(),
+    );
+    let cold = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+    assert!(!cold.cached && cold.complete);
+    drop(svc);
+
+    // Tear the entry: truncate the file mid-payload, as a crash between
+    // write and rename-completion would leave it.
+    let entry = dir.join("entries").join(format!("{}.json", cold.key));
+    let bytes = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+
+    // Reopen: the torn entry reads as a miss (quarantined, not served),
+    // and tuning runs the search again, landing on the same winner.
+    let svc = CompileService::new(
+        Some(DiskCache::open(&dir, 1 << 20).unwrap()),
+        GpuModel::v100(),
+    );
+    let miss = svc.with_cache(|c| c.get(&cold.key)).unwrap();
+    assert!(miss.is_none(), "torn tuned entry must not be served");
+    let retuned = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+    assert!(!retuned.cached, "torn entry forces a fresh search");
+    assert_eq!(retuned.tuned, cold.tuned, "same seed, same winner");
+    // The rewritten entry decodes again.
+    let (kind, _) = svc.with_cache(|c| c.get(&cold.key)).unwrap().unwrap();
+    assert_eq!(kind, TUNED_KIND);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn fault_free_replay_is_byte_identical() {
     // The same puts against two clean filesystems produce bit-for-bit
     // identical entry files — the property that makes cached replies

@@ -1,0 +1,63 @@
+//! # polyject-tune
+//!
+//! The autotuning subsystem: a deterministic beam search over the joint
+//! space of influence-tree variants ([`polyject_core::InfluenceOptions`]
+//! weights and scenario-subset toggles), tilings, and GPU mappings, with
+//! the analytic simulator ([`polyject_gpusim::estimate`]) as the oracle.
+//!
+//! The paper fixes its cost weights (w₁=5, w₂=3, …) and defers tile-size
+//! and mapping selection to "respective tool auto-tuners"; this crate is
+//! that tuner. Three properties shape the design:
+//!
+//! * **Determinism** — candidate generation is SplitMix64-seeded, every
+//!   tie is key-broken, and no wall-clock value enters the outcome: the
+//!   same seed and kernel replay the identical candidate log, winner,
+//!   and [`TunedConfig`], byte for byte.
+//! * **Pluggable evaluation** — batches go through the [`JobRunner`]
+//!   seam so the serving layer can fan candidates out over its worker
+//!   pool; [`SerialRunner`] is the in-process default.
+//! * **Model-guided ranking** — a ridge-regression cost-model stub
+//!   ([`RidgeModel`]) trained on the candidate log ranks neighbors
+//!   before exact evaluation, and its achieved Spearman rank
+//!   correlation is reported in the outcome.
+//!
+//! The old fixed-grid tuner lives on as the degenerate case and is
+//! re-exported here: [`autotune`] enumerates a 5-point tiling/mapping
+//! grid with no search at all.
+//!
+//! # Examples
+//!
+//! ```
+//! use polyject_codegen::Config;
+//! use polyject_core::Budget;
+//! use polyject_gpusim::GpuModel;
+//! use polyject_ir::ops;
+//! use polyject_tune::{beam_search, SerialRunner, TuneOptions, TuneRequest};
+//!
+//! let req = TuneRequest {
+//!     kernel: ops::transpose_2d(128, 128),
+//!     config: Config::Influenced,
+//!     gpu: GpuModel::v100(),
+//!     budget: Budget::unlimited(),
+//! };
+//! let opts = TuneOptions { rounds: 1, initial_samples: 3, ..TuneOptions::default() };
+//! let out = beam_search(&req, &opts, &SerialRunner).unwrap();
+//! assert!(out.tuned.tuned_time <= out.tuned.default_time);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod search;
+mod space;
+
+pub use model::{features, spearman, RidgeModel};
+pub use search::{
+    beam_search, evaluate_point, grid_anchors, log_digest, EvalRecord, Evaluated, JobRunner,
+    SerialRunner, TuneOptions, TuneOutcome, TuneRequest, TunedConfig,
+};
+pub use space::{fnv1a64, KnobPoint};
+
+// The fixed-grid tuner remains the zero-search degenerate case.
+pub use polyject_gpusim::{autotune, TuneCandidate, TuneResult, MAX_LOG};

@@ -1,0 +1,222 @@
+//! A learned-cost-model *stub*: ridge (L2-regularized linear) regression
+//! over [`polyject_gpusim::analyze`] features plus knob encodings,
+//! trained in-process on the candidate log and used only to *rank*
+//! candidates before exact evaluation — the analytic simulator stays the
+//! oracle, the model just decides which candidates get oracle time
+//! first. Its achieved Spearman rank correlation is reported alongside
+//! the tuning result so a future, stronger model has a baseline to beat
+//! (cf. "Learning to Schedule Halide Pipelines for the GPU").
+
+use crate::space::KnobPoint;
+use polyject_gpusim::KernelTiming;
+
+/// Feature vector for ranking `point` as a neighbor of a survivor whose
+/// exact timing is `parent`: the survivor's simulator features (scaled
+/// into unit-ish ranges) concatenated with a numeric encoding of the
+/// candidate's knobs.
+pub fn features(parent: &KernelTiming, point: &KnobPoint) -> Vec<f64> {
+    let mut f = vec![
+        parent.dram_bytes / 1e6,
+        parent.l2_bytes / 1e6,
+        parent.flops / 1e6,
+        parent.instructions / 1e6,
+        parent.threads / 1e3,
+    ];
+    f.extend_from_slice(&point.influence.weights);
+    f.push(point.influence.thread_limit as f64 / 1024.0);
+    f.push(point.influence.max_scenarios as f64);
+    f.push(point.influence.vector_widths.len() as f64);
+    f.push(point.influence.fusion_variants as u8 as f64);
+    f.push(point.influence.relaxed_variants as u8 as f64);
+    match point.tiling {
+        None => {
+            f.push(0.0);
+            f.push(0.0);
+        }
+        Some(t) => {
+            f.push(t.tile_size as f64 / 32.0);
+            f.push(t.max_tiled_loops as f64);
+        }
+    }
+    f.push(point.mapping.max_threads as f64 / 1024.0);
+    f.push(point.mapping.max_thread_axes as f64);
+    f.push(point.mapping.max_block_axes as f64);
+    f
+}
+
+/// A fitted ridge model: `predict(x) = coef[0] + coef[1..]·x`.
+#[derive(Clone, Debug)]
+pub struct RidgeModel {
+    coef: Vec<f64>,
+}
+
+impl RidgeModel {
+    /// Fits `(XᵀX + λI)β = Xᵀy` by Gaussian elimination (an intercept
+    /// column of ones is prepended). λ > 0 keeps the system positive
+    /// definite even with fewer samples than features, which is the
+    /// common case early in a search. Returns `None` on empty or
+    /// ragged input or a numerically degenerate system.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Option<RidgeModel> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let d = xs[0].len() + 1;
+        if xs.iter().any(|x| x.len() + 1 != d) {
+            return None;
+        }
+        // Normal equations with the intercept folded in.
+        let mut a = vec![vec![0.0f64; d]; d];
+        let mut b = vec![0.0f64; d];
+        for (x, &y) in xs.iter().zip(ys) {
+            let row = |j: usize| if j == 0 { 1.0 } else { x[j - 1] };
+            for i in 0..d {
+                b[i] += row(i) * y;
+                let ri = row(i);
+                for (j, cell) in a[i].iter_mut().enumerate() {
+                    *cell += ri * row(j);
+                }
+            }
+        }
+        for (i, r) in a.iter_mut().enumerate() {
+            r[i] += lambda;
+        }
+        solve(a, b).map(|coef| RidgeModel { coef })
+    }
+
+    /// Predicted target for feature vector `x` (must match the fitted
+    /// dimensionality).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len() + 1, self.coef.len(), "feature dimension mismatch");
+        self.coef[0]
+            + self.coef[1..]
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting; `None` if a pivot
+/// collapses to (near) zero.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            // `row > col`, so the split puts the pivot row in `head` and
+            // the row being reduced at the start of `tail`.
+            let (head, tail) = a.split_at_mut(row);
+            let (src, dst) = (&head[col], &mut tail[0]);
+            let f = dst[col] / src[col];
+            for (d, s) in dst[col..].iter_mut().zip(&src[col..]) {
+                *d -= f * s;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in col + 1..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+/// Spearman rank correlation of two equal-length samples, with average
+/// ranks for ties. Returns 0.0 when either sample is constant or shorter
+/// than two — "no evidence of ranking power", the conservative report.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Average ranks (1-based) of a sample, ties sharing their mean rank.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+    let mut r = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            r[k] = avg;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_recovers_a_linear_function() {
+        // y = 2 + 3·x₀ − x₁ on a small grid; tiny λ ⇒ near-exact recovery.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let (x0, x1) = (i as f64, j as f64);
+                xs.push(vec![x0, x1]);
+                ys.push(2.0 + 3.0 * x0 - x1);
+            }
+        }
+        let m = RidgeModel::fit(&xs, &ys, 1e-9).unwrap();
+        let p = m.predict(&[5.0, 1.0]);
+        assert!((p - (2.0 + 15.0 - 1.0)).abs() < 1e-6, "got {p}");
+    }
+
+    #[test]
+    fn ridge_handles_more_features_than_samples() {
+        // Underdetermined: 2 samples, 5 features — λ keeps it solvable.
+        let xs = vec![vec![1.0, 0.0, 2.0, 1.0, 0.5], vec![0.0, 1.0, 1.0, 2.0, 1.5]];
+        let ys = vec![1.0, 2.0];
+        let m = RidgeModel::fit(&xs, &ys, 1.0).unwrap();
+        // Sanity: prediction is finite and in a plausible range.
+        assert!(m.predict(&xs[0]).is_finite());
+    }
+
+    #[test]
+    fn spearman_extremes_and_ties() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(spearman(&[1.0], &[1.0]), 0.0);
+        // Monotone with ties still correlates positively.
+        assert!(spearman(&[1.0, 1.0, 2.0, 3.0], &[5.0, 6.0, 7.0, 8.0]) > 0.8);
+    }
+}

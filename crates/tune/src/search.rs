@@ -1,0 +1,516 @@
+//! Deterministic beam search over the joint knob space, with the
+//! analytic GPU simulator as the oracle.
+//!
+//! The search is replayable byte-for-byte: candidate generation is
+//! driven by one [`SplitMix64`] stream seeded from [`TuneOptions::seed`],
+//! every tie is broken by the candidate's canonical key, and no
+//! wall-clock value enters the outcome — the same seed and kernel always
+//! produce the identical candidate log, the identical winner, and the
+//! identical [`TunedConfig`].
+//!
+//! Evaluation is pluggable through [`JobRunner`] so the serving layer
+//! can fan batches out over its `WorkerPool`; [`SerialRunner`] is the
+//! in-process default. Results must come back in input order — the
+//! search's determinism does not depend on evaluation order, only on
+//! the order results are *absorbed*, which the contract fixes.
+
+use crate::model::{features, spearman, RidgeModel};
+use crate::space::{fnv1a64, KnobPoint};
+use polyject_arith::SplitMix64;
+use polyject_codegen::{compile_with_options, Config, MappingOptions, TilingOptions};
+use polyject_core::{Budget, ScheduleError};
+use polyject_gpusim::{estimate, GpuModel, KernelTiming};
+use polyject_ir::Kernel;
+
+/// Search-shape knobs. The defaults evaluate ≈ 30 candidates, which
+/// keeps a full Table II tuning run in the seconds range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// PRNG seed; the whole search replays from it.
+    pub seed: u64,
+    /// Survivors kept per round.
+    pub beam_width: usize,
+    /// Neighbor rounds after the uniform seed round.
+    pub rounds: usize,
+    /// Uniform samples in the seed round (the default point and the
+    /// legacy [`grid_anchors`] are always evaluated additionally,
+    /// first).
+    pub initial_samples: usize,
+    /// Mutations drawn per survivor per round.
+    pub neighbors_per_survivor: usize,
+    /// Oracle evaluations per round after cost-model ranking.
+    pub evals_per_round: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> TuneOptions {
+        TuneOptions {
+            seed: 0x5eed_1e55_ca11_ab1e,
+            beam_width: 3,
+            rounds: 3,
+            initial_samples: 8,
+            neighbors_per_survivor: 6,
+            evals_per_round: 8,
+        }
+    }
+}
+
+/// Everything one tuning run needs: the kernel, the pipeline
+/// configuration, the device model, and the cooperative budget that lets
+/// a supervisor stop the search between rounds.
+#[derive(Clone, Debug)]
+pub struct TuneRequest {
+    /// Kernel under tuning.
+    pub kernel: Kernel,
+    /// Pipeline configuration the candidates compile under.
+    pub config: Config,
+    /// Device the oracle simulates.
+    pub gpu: GpuModel,
+    /// Cooperative budget; checked between rounds (a fresh clone each
+    /// time, so the deadline probe is never amortized away).
+    pub budget: Budget,
+}
+
+/// One oracle-evaluated point.
+#[derive(Clone, Debug)]
+pub struct Evaluated {
+    /// The candidate.
+    pub point: KnobPoint,
+    /// Its simulated timing.
+    pub timing: KernelTiming,
+}
+
+/// One line of the candidate log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalRecord {
+    /// Round the candidate was evaluated in (0 = default + seed round).
+    pub round: usize,
+    /// The candidate's canonical knob key.
+    pub key: String,
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// The cost model's prediction at selection time, when it ranked.
+    pub predicted: Option<f64>,
+}
+
+/// Batch evaluation seam. Implementations must return one slot per input
+/// point, **in input order**; a slot is `None` when that candidate's
+/// compile failed (infeasible, cancelled mid-batch, …) — the search
+/// skips it and moves on.
+pub trait JobRunner {
+    /// Evaluates `points` against `req`, preserving order.
+    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>>;
+}
+
+/// The in-process runner: evaluates candidates one by one on the calling
+/// thread via [`evaluate_point`].
+pub struct SerialRunner;
+
+impl JobRunner for SerialRunner {
+    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
+        points.iter().map(|p| evaluate_point(req, p)).collect()
+    }
+}
+
+/// The legacy `gpusim::tune` grid as knob points: every `(tiling,
+/// mapping)` pair the fixed grid enumerates, expressed over the default
+/// influence options. The beam search evaluates these as deterministic
+/// anchors in its seed round, so its winner always dominates the
+/// degenerate grid tuner's.
+pub fn grid_anchors() -> Vec<KnobPoint> {
+    let tilings = [
+        None,
+        Some(TilingOptions {
+            tile_size: 32,
+            min_extent: 64,
+            max_tiled_loops: 2,
+        }),
+        Some(TilingOptions {
+            tile_size: 64,
+            min_extent: 128,
+            max_tiled_loops: 2,
+        }),
+    ];
+    let mappings = [
+        MappingOptions::default(),
+        MappingOptions {
+            max_threads: 256,
+            ..MappingOptions::default()
+        },
+    ];
+    let mut anchors = Vec::new();
+    for tiling in &tilings {
+        for mapping in &mappings {
+            // Untiled candidates never re-map; normalize like the grid.
+            let mapping = if tiling.is_none() {
+                MappingOptions::default()
+            } else {
+                *mapping
+            };
+            let p = KnobPoint {
+                tiling: *tiling,
+                mapping,
+                ..KnobPoint::default()
+            };
+            if !anchors.contains(&p) {
+                anchors.push(p);
+            }
+        }
+    }
+    anchors
+}
+
+/// Compiles one candidate end to end and simulates it — the oracle call.
+/// `None` on any compile failure.
+pub fn evaluate_point(req: &TuneRequest, point: &KnobPoint) -> Option<Evaluated> {
+    let opts = point.to_compile_options();
+    let c = compile_with_options(&req.kernel, req.config, &req.budget, &opts).ok()?;
+    Some(Evaluated {
+        point: point.clone(),
+        timing: estimate(&c.ast, &req.kernel, &req.gpu),
+    })
+}
+
+/// The persisted outcome of one tuning run: the winning point plus the
+/// provenance needed to trust and replay it. This is the value the serve
+/// layer stores under its `TunedConfig` cache kind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedConfig {
+    /// Winning knob point.
+    pub point: KnobPoint,
+    /// Seed the search ran under.
+    pub seed: u64,
+    /// Neighbor rounds the search was configured for.
+    pub rounds: usize,
+    /// Candidates the oracle evaluated (log length).
+    pub evaluated: usize,
+    /// Simulated time of the default point, seconds.
+    pub default_time: f64,
+    /// Simulated time of the winner, seconds (≤ `default_time`; the
+    /// default is always in the pool).
+    pub tuned_time: f64,
+    /// Spearman rank correlation the cost-model stub achieved on the
+    /// candidates it ranked (0.0 when it never ranked enough).
+    pub rank_correlation: f64,
+    /// FNV-1a digest of the candidate log ([`log_digest`]) — two runs
+    /// replayed identically have equal digests.
+    pub log_digest: u64,
+}
+
+impl TunedConfig {
+    /// Tuned-over-default simulated speedup (≥ 1.0 by construction).
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_time > 0.0 {
+            self.default_time / self.tuned_time
+        } else {
+            1.0
+        }
+    }
+
+    /// Lowers the winner to pipeline [`polyject_codegen::CompileOptions`].
+    pub fn to_compile_options(&self) -> polyject_codegen::CompileOptions {
+        self.point.to_compile_options()
+    }
+}
+
+/// A finished search: the tuned config plus the full candidate log.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// The winner and its provenance.
+    pub tuned: TunedConfig,
+    /// Every evaluated candidate, in evaluation order.
+    pub log: Vec<EvalRecord>,
+    /// `false` when the budget stopped the search before all rounds ran
+    /// — callers should not persist an incomplete outcome, since a
+    /// replay with more budget would differ.
+    pub complete: bool,
+}
+
+/// Digest of a candidate log: FNV-1a over a canonical rendering with
+/// floats as IEEE-754 bit patterns, so equal digests mean bit-equal
+/// logs.
+pub fn log_digest(records: &[EvalRecord]) -> u64 {
+    let mut s = String::new();
+    for r in records {
+        s.push_str(&format!("{}|{}|{:016x}|", r.round, r.key, r.time.to_bits()));
+        match r.predicted {
+            None => s.push_str("-\n"),
+            Some(p) => s.push_str(&format!("{:016x}\n", p.to_bits())),
+        }
+    }
+    fnv1a64(s.as_bytes())
+}
+
+/// Accumulating search state shared by the absorb step.
+struct State {
+    pool: Vec<Evaluated>,
+    records: Vec<EvalRecord>,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<f64>,
+    corr_pred: Vec<f64>,
+    corr_act: Vec<f64>,
+}
+
+/// Evaluates a ranked batch through the runner and folds the results
+/// into the state, preserving batch order.
+fn absorb(
+    state: &mut State,
+    req: &TuneRequest,
+    runner: &dyn JobRunner,
+    round: usize,
+    batch: Vec<(KnobPoint, Vec<f64>, Option<f64>)>,
+) {
+    let points: Vec<KnobPoint> = batch.iter().map(|(p, _, _)| p.clone()).collect();
+    let results = runner.evaluate(req, &points);
+    for ((point, feats, predicted), slot) in batch.into_iter().zip(results) {
+        let Some(ev) = slot else { continue };
+        state.records.push(EvalRecord {
+            round,
+            key: point.canonical_key(),
+            time: ev.timing.time,
+            predicted,
+        });
+        state.train_x.push(feats);
+        state.train_y.push(ev.timing.time);
+        if let Some(p) = predicted {
+            state.corr_pred.push(p);
+            state.corr_act.push(ev.timing.time);
+        }
+        state.pool.push(ev);
+    }
+}
+
+/// Runs the deterministic beam search.
+///
+/// The default point is compiled first (its failure is the only error —
+/// with no valid default there is nothing to tune); the legacy
+/// [`grid_anchors`] and a uniform seed round follow, then
+/// `opts.rounds` neighbor rounds where survivors spawn
+/// mutations, the ridge cost model ranks them, and only the
+/// `evals_per_round` most promising reach the oracle. The budget is
+/// probed between rounds; tripping it ends the search early with
+/// [`TuneOutcome::complete`] `false`.
+///
+/// # Errors
+///
+/// Propagates [`ScheduleError`] from the default point's compile
+/// (infeasibility or cancellation before the search started).
+pub fn beam_search(
+    req: &TuneRequest,
+    opts: &TuneOptions,
+    runner: &dyn JobRunner,
+) -> Result<TuneOutcome, ScheduleError> {
+    let default_point = KnobPoint::default();
+    let compiled = compile_with_options(
+        &req.kernel,
+        req.config,
+        &req.budget,
+        &default_point.to_compile_options(),
+    )?;
+    let default_timing = estimate(&compiled.ast, &req.kernel, &req.gpu);
+    let default_time = default_timing.time;
+
+    let mut state = State {
+        pool: vec![Evaluated {
+            point: default_point.clone(),
+            timing: default_timing.clone(),
+        }],
+        records: vec![EvalRecord {
+            round: 0,
+            key: default_point.canonical_key(),
+            time: default_time,
+            predicted: None,
+        }],
+        train_x: vec![features(&default_timing, &default_point)],
+        train_y: vec![default_time],
+        corr_pred: Vec::new(),
+        corr_act: Vec::new(),
+    };
+    let mut seen: Vec<String> = vec![default_point.canonical_key()];
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut complete = true;
+
+    // Seed round: the legacy grid anchors first (deterministic, no RNG
+    // draw — the degenerate `gpusim::tune` grid is always a subset of
+    // the search), then uniform samples, all deduped.
+    let mut batch: Vec<(KnobPoint, Vec<f64>, Option<f64>)> = Vec::new();
+    for p in grid_anchors() {
+        let key = p.canonical_key();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let f = features(&default_timing, &p);
+        batch.push((p, f, None));
+    }
+    let mut tries = 0;
+    let mut sampled = 0;
+    while sampled < opts.initial_samples && tries < opts.initial_samples * 16 {
+        tries += 1;
+        let p = KnobPoint::sample(&mut rng);
+        let key = p.canonical_key();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let f = features(&default_timing, &p);
+        batch.push((p, f, None));
+        sampled += 1;
+    }
+    absorb(&mut state, req, runner, 0, batch);
+
+    for round in 1..=opts.rounds {
+        // A fresh clone re-arms the amortized deadline probe, so the
+        // first check always looks at the clock (and the cancel flag).
+        if req.budget.clone().check().is_err() {
+            complete = false;
+            break;
+        }
+
+        // Beam: the `beam_width` fastest points, key-tie-broken.
+        let mut order: Vec<usize> = (0..state.pool.len()).collect();
+        order.sort_by(|&i, &j| {
+            state.pool[i]
+                .timing
+                .time
+                .total_cmp(&state.pool[j].timing.time)
+                .then_with(|| {
+                    state.pool[i]
+                        .point
+                        .canonical_key()
+                        .cmp(&state.pool[j].point.canonical_key())
+                })
+        });
+        let beam: Vec<Evaluated> = order
+            .iter()
+            .take(opts.beam_width)
+            .map(|&i| state.pool[i].clone())
+            .collect();
+
+        // Neighbors: fresh mutations of each survivor, features taken
+        // relative to the survivor's exact timing.
+        let mut cands: Vec<(KnobPoint, Vec<f64>, Option<f64>)> = Vec::new();
+        for survivor in &beam {
+            for _ in 0..opts.neighbors_per_survivor {
+                let p = survivor.point.mutate(&mut rng);
+                let key = p.canonical_key();
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.push(key);
+                let f = features(&survivor.timing, &p);
+                cands.push((p, f, None));
+            }
+        }
+        if cands.is_empty() {
+            continue;
+        }
+
+        // Rank by the cost model when enough history exists; candidates
+        // past the per-round evaluation cap are dropped (their keys stay
+        // in `seen` — the model judged them, they don't come back).
+        if state.train_y.len() >= 4 {
+            if let Some(model) = RidgeModel::fit(&state.train_x, &state.train_y, 1.0) {
+                for c in &mut cands {
+                    c.2 = Some(model.predict(&c.1));
+                }
+                cands.sort_by(|a, b| {
+                    a.2.unwrap()
+                        .total_cmp(&b.2.unwrap())
+                        .then_with(|| a.0.canonical_key().cmp(&b.0.canonical_key()))
+                });
+            }
+        }
+        cands.truncate(opts.evals_per_round);
+        absorb(&mut state, req, runner, round, cands);
+    }
+    if req.budget.clone().check().is_err() {
+        complete = false;
+    }
+
+    let best = state
+        .pool
+        .iter()
+        .min_by(|a, b| {
+            a.timing
+                .time
+                .total_cmp(&b.timing.time)
+                .then_with(|| a.point.canonical_key().cmp(&b.point.canonical_key()))
+        })
+        .expect("pool contains at least the default point");
+    let rank_correlation = spearman(&state.corr_pred, &state.corr_act);
+    let tuned = TunedConfig {
+        point: best.point.clone(),
+        seed: opts.seed,
+        rounds: opts.rounds,
+        evaluated: state.records.len(),
+        default_time,
+        tuned_time: best.timing.time,
+        rank_correlation,
+        log_digest: log_digest(&state.records),
+    };
+    Ok(TuneOutcome {
+        tuned,
+        log: state.records,
+        complete,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_ir::ops;
+
+    fn request(kernel: Kernel) -> TuneRequest {
+        TuneRequest {
+            kernel,
+            config: Config::Influenced,
+            gpu: GpuModel::v100(),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    #[test]
+    fn tuned_is_never_worse_than_default() {
+        let req = request(ops::transpose_2d(256, 256));
+        let opts = TuneOptions {
+            rounds: 2,
+            initial_samples: 4,
+            evals_per_round: 4,
+            ..TuneOptions::default()
+        };
+        let out = beam_search(&req, &opts, &SerialRunner).unwrap();
+        assert!(out.complete);
+        assert!(out.tuned.tuned_time <= out.tuned.default_time);
+        assert!(out.tuned.speedup() >= 1.0);
+        assert_eq!(out.tuned.evaluated, out.log.len());
+        assert_eq!(out.tuned.log_digest, log_digest(&out.log));
+    }
+
+    #[test]
+    fn log_has_no_duplicate_candidates() {
+        let req = request(ops::bias_add_relu(128, 128));
+        let out = beam_search(&req, &TuneOptions::default(), &SerialRunner).unwrap();
+        for (i, a) in out.log.iter().enumerate() {
+            for b in &out.log[i + 1..] {
+                assert_ne!(a.key, b.key, "candidate evaluated twice");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_early_and_marks_incomplete() {
+        let mut req = request(ops::transpose_2d(64, 64));
+        req.budget = Budget::unlimited().with_deadline_in(std::time::Duration::ZERO);
+        let out = beam_search(&req, &TuneOptions::default(), &SerialRunner).unwrap();
+        assert!(!out.complete);
+    }
+
+    #[test]
+    fn pre_cancelled_budget_errors() {
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let mut req = request(ops::transpose_2d(64, 64));
+        req.budget = Budget::unlimited().with_cancel(flag);
+        assert!(beam_search(&req, &TuneOptions::default(), &SerialRunner).is_err());
+    }
+}

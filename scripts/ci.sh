@@ -3,8 +3,9 @@
 # a <10 s Table II smoke run (LSTM subset, serial vs parallel identity +
 # BENCH JSON emission), a seeded fault-injection chaos gate, a
 # budget-exhaustion/cancellation smoke, a cold-vs-warm schedule-cache
-# round-trip, and a polyjectd daemon smoke test (remote replies
-# byte-identical to local).
+# round-trip, an autotune smoke (same-seed searches byte-identical, warm
+# re-runs replay persisted configs with zero search), and a polyjectd
+# daemon smoke test (remote replies byte-identical to local).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -120,6 +121,44 @@ assert warm["misses"] == 0, warm
 assert all(v == 0 for v in warm["solver"].values()), warm
 EOF
 echo "ok: warm table2 run fully cached, zero solver work"
+
+step "autotune smoke (deterministic search, persisted zero-search replay)"
+tune_a="$scratch/tune_a.json"
+tune_b="$scratch/tune_b.json"
+# Two independent cold searches with the same seed must agree exactly.
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --fast --tune --tune-seed 7 --cache-dir "$scratch/tunecache_a" --json "$tune_a" >/dev/null
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --fast --tune --tune-seed 7 --cache-dir "$scratch/tunecache_b" --json "$tune_b" >/dev/null
+python3 - "$tune_a" "$tune_b" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))["tune"]
+b = json.load(open(sys.argv[2]))["tune"]
+for doc in (a, b):
+    doc.pop("wall_s")
+assert a == b, "same-seed cold searches diverged"
+assert a["searched"] == a["unique_ops"] and a["replayed"] == 0, a
+for op in a["ops"]:
+    assert op["tuned_ms"] <= op["default_ms"], op
+assert a["geomean_speedup"] >= 1.0, a["geomean_speedup"]
+print(f"   {a['unique_ops']} op(s) tuned, geomean {a['geomean_speedup']:.3f}x")
+EOF
+echo "ok: same-seed searches byte-identical, tuned never loses to default"
+# A warm re-run replays every persisted config with zero search.
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --fast --tune --tune-seed 7 --cache-dir "$scratch/tunecache_a" --json "$tune_a" >/dev/null
+python3 - "$tune_a" "$tune_b" <<'EOF'
+import json, sys
+warm = json.load(open(sys.argv[1]))["tune"]
+cold = json.load(open(sys.argv[2]))["tune"]
+assert warm["searched"] == 0 and warm["replayed"] == warm["unique_ops"], warm
+for w, c in zip(warm["ops"], cold["ops"]):
+    assert w["op"] == c["op"], (w, c)
+    assert w["default_ms"] == c["default_ms"] and w["tuned_ms"] == c["tuned_ms"], (w, c)
+EOF
+cargo run --release -q -p polyject-serve --bin polyject-cache -- "$scratch/tunecache_a" stats \
+  | grep -q 'tuned-config'
+echo "ok: warm re-run applied persisted tuned configs with zero search"
 
 step "polyjectd daemon smoke (remote == local, cache hit on repeat)"
 sock="$scratch/d.sock"
