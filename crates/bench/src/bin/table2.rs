@@ -35,6 +35,15 @@ use polyject_tune::TuneOptions;
 use polyject_workloads::{all_networks, geomean_speedup, lstm, Network, Tool};
 use std::path::Path;
 
+/// Clears the calling thread's memoized assembly state (Farkas
+/// linearizations, redundancy verdicts) so each bench leg's counters
+/// measure that leg alone instead of inheriting warmth from the one
+/// before. Pool workers are spawned fresh per leg; the main thread is
+/// the only one that persists across legs.
+fn isolate_leg() {
+    polyject_core::clear_assembly_caches();
+}
+
 fn print_stats(label: &str, run: &Table2Run) {
     let c = &run.perf.counters;
     eprintln!(
@@ -43,6 +52,7 @@ fn print_stats(label: &str, run: &Table2Run) {
          | pivots p1 {} p2 {} repair {} | warm_nodes {} preprocess {:.1}ms \
          | phases dep {:.1}ms assemble {:.1}ms solve {:.1}ms codegen {:.1}ms \
          | i64 {} escalations {} farkas {} redundancy {} spec {}/{} \
+         | deps {} session_reuses {} \
          | degraded {} cancelled {} panics_recovered {}",
         run.unique_ops,
         run.workers,
@@ -67,6 +77,8 @@ fn print_stats(label: &str, run: &Table2Run) {
         c.redundancy_checks,
         c.spec_adopted,
         c.spec_discarded,
+        c.dependence_analyses,
+        c.session_reuses,
         c.degraded_solves,
         c.cancelled_solves,
         c.panics_recovered
@@ -102,11 +114,13 @@ fn run_cache_bench(
     let _ = std::fs::remove_dir_all(dir);
     let mut cache = DiskCache::open_default(Path::new(dir)).expect("open cache dir");
     eprintln!("[cache-bench] cold run (empty cache at {dir}) ...");
+    isolate_leg();
     let cold = run_table2_networks_cached(nets, model, workers, &mut cache);
     eprintln!(
         "[cache-bench] cold: {:.2}s, {} compiled | warm run ...",
         cold.run.wall_s, cold.misses
     );
+    isolate_leg();
     let warm = run_table2_networks_cached(nets, model, workers, &mut cache);
     let identical = measurements_identical(&cold.run.results, &warm.run.results);
     let b = CacheBench {
@@ -145,6 +159,7 @@ fn run_tune_bench(
     model: &GpuModel,
     seed: Option<u64>,
     workers: usize,
+    stats: bool,
     dir: &str,
     json_path: &str,
 ) {
@@ -157,7 +172,28 @@ fn run_tune_bench(
         "[tune] tuning unique operators (seed {:016x}, cache at {dir}) ...",
         opts.seed
     );
+    isolate_leg();
+    let before = polyject_sets::counters::snapshot();
     let b = run_table2_tuned(nets, model, &opts, cache, workers).expect("tune bench");
+    if stats {
+        // With one worker every search runs on this thread, so the delta
+        // is the whole tune leg; with a pool it covers the serial share.
+        let c = polyject_sets::counters::snapshot().delta_since(&before);
+        eprintln!(
+            "[stats] tune: lp_solves {} ilp_nodes {} | phases dep {:.1}ms \
+             assemble {:.1}ms solve {:.1}ms codegen {:.1}ms \
+             | farkas {} deps {} session_reuses {}",
+            c.lp_solves,
+            c.ilp_nodes,
+            c.dependence_ns as f64 / 1e6,
+            c.assemble_ns as f64 / 1e6,
+            c.solve_ns as f64 / 1e6,
+            c.codegen_ns as f64 / 1e6,
+            c.farkas_linearizations,
+            c.dependence_analyses,
+            c.session_reuses
+        );
+    }
     eprintln!(
         "[tune] {} op(s) in {:.2}s: {} searched, {} replayed from cache \
          | geomean tuned-vs-default {:.3}x -> {json_path}",
@@ -243,6 +279,7 @@ fn main() {
         run_cache_bench(&nets, &model, workers, &cache_dir, &json_path, stats)
     } else if cached {
         let mut cache = DiskCache::open_default(Path::new(&cache_dir)).expect("open cache dir");
+        isolate_leg();
         let c = run_table2_networks_cached(&nets, &model, workers, &mut cache);
         eprintln!(
             "[cache] {} at {cache_dir}: {} hit(s), {} compiled, {} lp_solves",
@@ -260,12 +297,14 @@ fn main() {
         }
         c.run
     } else if bench {
+        isolate_leg();
         let serial = run_table2_networks(&nets, &model, 1);
         // The parallel leg additionally enables speculative intra-kernel
         // parallelism: each compile may dispatch its predicted next
         // ladder rung onto idle pool workers. Output must stay
         // byte-identical to the serial leg (asserted below); only
         // wall-clock and the spec_adopted/spec_discarded counters react.
+        isolate_leg();
         let parallel = if bench_workers >= 2 {
             let spec = std::sync::Arc::new(polyject_serve::PoolSpecExecutor::new(bench_workers));
             polyject_core::install_spec_executor(spec.clone());
@@ -317,6 +356,7 @@ fn main() {
         }
         b.parallel
     } else {
+        isolate_leg();
         let run = run_table2_networks(&nets, &model, workers);
         if stats {
             print_stats(if workers <= 1 { "serial" } else { "parallel" }, &run);
@@ -327,7 +367,9 @@ fn main() {
         // Tuning rides on whatever run mode executed above: it shares
         // the cache directory (tuned configs are a distinct entry kind)
         // and fans candidate evaluation over the same worker budget.
-        run_tune_bench(&nets, &model, tune_seed, workers, &cache_dir, &json_path);
+        run_tune_bench(
+            &nets, &model, tune_seed, workers, stats, &cache_dir, &json_path,
+        );
     }
     let results = &run.results;
 

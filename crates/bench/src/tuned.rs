@@ -1,8 +1,16 @@
 //! The autotuned Table II path (`table2 --tune`): every unique operator
 //! is tuned by the deterministic beam search
-//! ([`polyject_tune::beam_search`] via [`polyject_serve::tune_cached`])
+//! ([`polyject_tune::beam_search`] via [`polyject_serve::batch_reports`])
 //! and its default-versus-tuned simulated time is recorded as the
 //! `"tune"` section of `BENCH_table2.json`.
+//!
+//! Every candidate of one operator's search compiles through a single
+//! [`polyject_codegen::CompileSession`], so dependence analysis and
+//! Farkas linearization run once per operator; the per-op
+//! `warm_dependence_analyses` / `session_reuses` fields record that
+//! (and `scripts/ci.sh` gates on them). Parallelism is across
+//! *operators* — whole searches fan over the worker pool — which keeps
+//! each search's thread-local counter deltas deterministic.
 //!
 //! Winners persist in the same [`DiskCache`] the daemon and
 //! `polyjectc --tune` use (kind `"tuned-config"`), so a warm re-run
@@ -12,7 +20,7 @@
 
 use polyject_core::Budget;
 use polyject_gpusim::GpuModel;
-use polyject_serve::{tune_cached, CompileService, DiskCache, Json};
+use polyject_serve::{batch_reports, CompileService, DiskCache, Json, TuneJob};
 use polyject_tune::TuneOptions;
 use polyject_workloads::{op_key, Network, OpClass};
 use std::collections::HashSet;
@@ -39,6 +47,18 @@ pub struct TunedOp {
     /// `true` when the configuration was replayed from the cache with
     /// zero search.
     pub cached: bool,
+    /// Simulator estimates answered from the search's memo instead of
+    /// re-simulating an already-seen AST (0 on replay).
+    pub estimate_memo_hits: u64,
+    /// Dependence analyses run while evaluating candidates **after** the
+    /// default compile — 0 proves candidates 2..N reused the session's
+    /// analysis (0 on replay, trivially).
+    pub warm_dependence_analyses: u64,
+    /// Farkas linearizations after the default compile (see above).
+    pub warm_farkas_linearizations: u64,
+    /// Times the search's compile session served a schedule from its
+    /// warm prefix or memo (0 on replay).
+    pub session_reuses: u64,
 }
 
 impl TunedOp {
@@ -94,6 +114,16 @@ impl TuneBench {
                     ("evaluated", Json::Num(o.evaluated as f64)),
                     ("rank_correlation", Json::Num(o.rank_correlation)),
                     ("cached", Json::Bool(o.cached)),
+                    ("estimate_memo_hits", Json::Num(o.estimate_memo_hits as f64)),
+                    (
+                        "warm_dependence_analyses",
+                        Json::Num(o.warm_dependence_analyses as f64),
+                    ),
+                    (
+                        "warm_farkas_linearizations",
+                        Json::Num(o.warm_farkas_linearizations as f64),
+                    ),
+                    ("session_reuses", Json::Num(o.session_reuses as f64)),
                 ])
             })
             .collect();
@@ -112,14 +142,16 @@ impl TuneBench {
 /// Tunes every unique operator of the given networks through a
 /// persistent cache: operators with a persisted [`TunedConfig`]
 /// (`polyject_tune::TunedConfig`) replay with zero search, the rest run
-/// the beam search (candidate evaluation fanned over `workers` threads)
-/// and persist their winner. Results are identical for any worker count
-/// — the parallel runner is bit-equal to the serial one.
+/// the beam search and persist their winner. Whole per-kernel searches
+/// fan over `workers` threads (each search evaluates its candidates
+/// serially through one compile session). Results are identical for any
+/// worker count.
 ///
 /// # Errors
 ///
 /// An operator the `.pj` language cannot express, or a scheduling
-/// failure in its default compile, as a string.
+/// failure in its default compile, as a string (the first failing
+/// operator in network order).
 pub fn run_table2_tuned(
     nets: &[Network],
     model: &GpuModel,
@@ -139,13 +171,21 @@ pub fn run_table2_tuned(
     }
 
     let svc = CompileService::new(Some(cache), model.clone());
+    let mut jobs = Vec::with_capacity(unique.len());
+    for op in &unique {
+        jobs.push(TuneJob {
+            src: polyject_front::emit_pj(&op.build())
+                .map_err(|e| format!("{}: not expressible as .pj: {e}", op_key(op)))?,
+            config_name: "infl".to_string(),
+        });
+    }
+    let reports = batch_reports(&svc, &jobs, opts, &Budget::unlimited(), workers);
+
     let mut ops = Vec::with_capacity(unique.len());
     let (mut searched, mut replayed) = (0, 0);
-    for op in unique {
-        let src = polyject_front::emit_pj(&op.build())
-            .map_err(|e| format!("{}: not expressible as .pj: {e}", op_key(op)))?;
-        let report = tune_cached(&svc, &src, "infl", opts, &Budget::unlimited(), workers)
-            .map_err(|e| format!("{}: {e}", op_key(op)))?;
+    for (op, res) in unique.iter().zip(reports) {
+        let batch = res.map_err(|e| format!("{}: {e}", op_key(op)))?;
+        let report = &batch.report;
         if report.cached {
             replayed += 1;
         } else {
@@ -154,7 +194,7 @@ pub fn run_table2_tuned(
         ops.push(TunedOp {
             op: op_key(op),
             class: op.label(),
-            key: report.key,
+            key: report.key.clone(),
             default_ms: report.tuned.default_time * 1e3,
             tuned_ms: report.tuned.tuned_time * 1e3,
             evaluated: if report.cached {
@@ -164,6 +204,10 @@ pub fn run_table2_tuned(
             },
             rank_correlation: report.tuned.rank_correlation,
             cached: report.cached,
+            estimate_memo_hits: batch.estimate_memo_hits,
+            warm_dependence_analyses: batch.warm_dependence_analyses,
+            warm_farkas_linearizations: batch.warm_farkas_linearizations,
+            session_reuses: batch.session_reuses,
         });
     }
     if let Some(Err(e)) = svc.with_cache(|c| c.flush()) {
@@ -207,6 +251,13 @@ mod tests {
         assert!(cold.ops.iter().all(|o| !o.cached && o.evaluated > 0));
         // The winner never loses to the default point.
         assert!(cold.geomean_speedup() >= 1.0);
+        // Amortization proof: candidates after the default compile reuse
+        // the session's dependence analysis and Farkas systems.
+        for o in &cold.ops {
+            assert_eq!(o.warm_dependence_analyses, 0, "{}", o.op);
+            assert_eq!(o.warm_farkas_linearizations, 0, "{}", o.op);
+            assert!(o.session_reuses > 0, "{}", o.op);
+        }
 
         let cache = DiskCache::open_default(&dir).unwrap();
         let warm = run_table2_tuned(&nets, &model, &opts, cache, 1).unwrap();
@@ -219,6 +270,8 @@ mod tests {
             assert_eq!(c.tuned_ms.to_bits(), w.tuned_ms.to_bits());
             assert!(w.cached);
             assert_eq!(w.evaluated, 0);
+            assert_eq!(w.session_reuses, 0, "replays do no session work");
+            assert_eq!(w.estimate_memo_hits, 0);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -236,6 +289,10 @@ mod tests {
                 evaluated: 7,
                 rank_correlation: 0.5,
                 cached: false,
+                estimate_memo_hits: 2,
+                warm_dependence_analyses: 0,
+                warm_farkas_linearizations: 0,
+                session_reuses: 6,
             }],
             searched: 1,
             replayed: 0,
@@ -257,6 +314,10 @@ mod tests {
             "\"evaluated\"",
             "\"rank_correlation\"",
             "\"cached\"",
+            "\"estimate_memo_hits\"",
+            "\"warm_dependence_analyses\"",
+            "\"warm_farkas_linearizations\"",
+            "\"session_reuses\"",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }

@@ -38,7 +38,7 @@ pub use passes::{
 };
 pub use pipeline::{
     compile, compile_with_budget, compile_with_options, render_artifacts, Artifacts,
-    CompileOptions, Compiled, Config,
+    CompileOptions, CompileSession, Compiled, Config,
 };
 pub use printer::render;
 pub use tiling::{auto_tile_size, tile_ast, TilingOptions};

@@ -14,21 +14,20 @@
 //! 5. separate strongly connected components with a scalar dimension;
 //! 6. ultimately, re-run without any influence constraint.
 
-use crate::builders::{
-    coefficient_bounds, progression_constraints, proximity_objectives, CoeffBounds,
-};
+use crate::builders::{progression_constraints, CoeffBounds};
 use crate::checks::{dim_is_coincident, is_strongly_satisfied};
-use crate::layout::CoeffLayout;
 use crate::schedule::{DimFlags, Schedule, ScheduleRow};
+use crate::session::SchedulePrefix;
 use crate::tree::{InfluenceTree, NodeId};
-use polyject_deps::{DepGraph, DepKind, DepRelation, Dependences};
+use polyject_deps::{DepGraph, DepRelation, Dependences};
 use polyject_ir::{Kernel, StmtId};
 use polyject_sets::{Budget, BudgetError, ConstraintSet, IlpOutcome, SchedCtx};
+use std::borrow::Cow;
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Options of the influenced scheduler.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SchedulerOptions {
     /// ILP coefficient bounds.
     pub bounds: CoeffBounds,
@@ -89,7 +88,7 @@ impl ScheduleError {
         }
     }
 
-    fn from_budget(e: BudgetError) -> ScheduleError {
+    pub(crate) fn from_budget(e: BudgetError) -> ScheduleError {
         let kind = match e {
             BudgetError::Cancelled => ScheduleErrorKind::Cancelled,
             BudgetError::Exhausted(_) => ScheduleErrorKind::Exhausted,
@@ -221,7 +220,29 @@ pub fn schedule_kernel_budgeted(
     opts: SchedulerOptions,
     budget: &Budget,
 ) -> Result<ScheduleResult, ScheduleError> {
-    match schedule_kernel_inner(kernel, deps, tree, opts, budget) {
+    match schedule_kernel_inner(kernel, deps, tree, opts, budget, None) {
+        Err(e) if e.is_cancelled() => {
+            polyject_sets::counters::note_cancelled_solve();
+            Err(e)
+        }
+        other => other,
+    }
+}
+
+/// [`schedule_kernel_budgeted`] running the option-dependent suffix only:
+/// the option-invariant prefix (layout, linearized systems, solved base
+/// context) is borrowed from a live [`crate::ScheduleSession`] instead of
+/// rebuilt. Decision-identical to the cold entry point — both paths run
+/// the same driver over the same prefix contents.
+pub(crate) fn schedule_kernel_with_prefix(
+    kernel: &Kernel,
+    deps: &Dependences,
+    tree: &InfluenceTree,
+    opts: SchedulerOptions,
+    budget: &Budget,
+    prefix: &SchedulePrefix,
+) -> Result<ScheduleResult, ScheduleError> {
+    match schedule_kernel_inner(kernel, deps, tree, opts, budget, Some(prefix)) {
         Err(e) if e.is_cancelled() => {
             polyject_sets::counters::note_cancelled_solve();
             Err(e)
@@ -236,9 +257,13 @@ fn schedule_kernel_inner(
     tree: &InfluenceTree,
     opts: SchedulerOptions,
     budget: &Budget,
+    prefix: Option<&SchedulePrefix>,
 ) -> Result<ScheduleResult, ScheduleError> {
     let before = polyject_sets::counters::snapshot();
-    let mut driver = Driver::new(kernel, deps, tree, opts, budget)?;
+    let mut driver = match prefix {
+        Some(p) => Driver::with_prefix(kernel, deps, tree, opts, budget, p),
+        None => Driver::new(kernel, deps, tree, opts, budget)?,
+    };
     match driver.run() {
         Ok(schedule) => {
             let mut stats = driver.stats;
@@ -254,13 +279,16 @@ fn schedule_kernel_inner(
                 // Ultimate fallback: no influence at all. Runs under a
                 // cancel-only budget — the degraded path is the last
                 // resort, so it may overshoot an exhausted deadline to
-                // guarantee a valid schedule, but stays cancellable.
+                // guarantee a valid schedule, but stays cancellable. The
+                // prefix is tree-independent, so the plain driver borrows
+                // the failed driver's instead of rebuilding it.
                 if e.kind() == ScheduleErrorKind::Exhausted {
                     polyject_sets::counters::note_degraded_solve();
                 }
                 let relaxed = budget.cancel_only();
                 let empty = InfluenceTree::new();
-                let mut plain = Driver::new(kernel, deps, &empty, opts, &relaxed)?;
+                let mut plain =
+                    Driver::with_prefix(kernel, deps, &empty, opts, &relaxed, &driver.prefix);
                 let schedule = plain.run()?;
                 let mut stats = driver.stats;
                 stats.merge(&plain.stats);
@@ -283,12 +311,14 @@ struct Driver<'a> {
     tree: &'a InfluenceTree,
     opts: SchedulerOptions,
     budget: &'a Budget,
-    layout: CoeffLayout,
     validity: Vec<&'a DepRelation>,
-    val_cache: Vec<ConstraintSet>,
-    bound_cache: Vec<ConstraintSet>,
-    bounds_cs: ConstraintSet,
-    objectives: Vec<polyject_sets::LinExpr>,
+    /// The option-invariant prefix: layout, linearized per-relation
+    /// systems, static bounds, objectives, and the solved dimension-0
+    /// base context. Owned on a cold run, borrowed from a live
+    /// [`crate::ScheduleSession`] on a warm one — the driver reads it
+    /// identically either way, which is what keeps warm compiles
+    /// decision-identical to cold ones.
+    prefix: Cow<'a, SchedulePrefix>,
     influenced: bool,
     stats: ScheduleStats,
     /// Bumped whenever the schedule prefix changes (dimension appended,
@@ -316,6 +346,8 @@ struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
+    /// Cold construction: builds a private [`SchedulePrefix`] — the same
+    /// computation a session performs once and shares.
     fn new(
         kernel: &'a Kernel,
         deps: &'a Dependences,
@@ -323,54 +355,45 @@ impl<'a> Driver<'a> {
         opts: SchedulerOptions,
         budget: &'a Budget,
     ) -> Result<Driver<'a>, ScheduleError> {
-        let t0 = std::time::Instant::now();
-        let layout = CoeffLayout::new(kernel);
-        let validity: Vec<&DepRelation> = deps.validity().collect();
-        // Per-relation linearization and redundancy reduction go through
-        // the thread-local cross-compile cache (see `assembly`): identical
-        // relations — twins inside one kernel, and the same kernel
-        // re-scheduled under another configuration or as a fused
-        // sub-kernel — are Farkas-linearized and redundancy-checked once
-        // per thread, not once per scheduler instance. An exhausted
-        // budget degrades to the unreduced system inside the cache;
-        // cancellation aborts the build.
-        let relation_cs = |form, r: &DepRelation| -> Result<ConstraintSet, ScheduleError> {
-            crate::assembly::linearized_reduced(form, r, &layout, budget)
-                .map_err(ScheduleError::from_budget)
-        };
-        let val_cache: Vec<ConstraintSet> = validity
-            .iter()
-            .map(|r| relation_cs(crate::assembly::Form::Validity, r))
-            .collect::<Result<Vec<_>, _>>()?;
-        let bound_cache: Vec<ConstraintSet> = validity
-            .iter()
-            .map(|r| relation_cs(crate::assembly::Form::Bounding, r))
-            .collect::<Result<Vec<_>, _>>()?;
-        let input_bound_cache: Vec<ConstraintSet> = deps
-            .relations()
-            .iter()
-            .filter(|r| r.kind == DepKind::Input)
-            .map(|r| relation_cs(crate::assembly::Form::Bounding, r))
-            .collect::<Result<Vec<_>, _>>()?;
-        // Static part of every per-dimension system: coefficient bounds
-        // plus the (dimension-independent) input-reuse bounding.
-        let mut bounds_cs = coefficient_bounds(&layout, opts.bounds);
-        for cs in &input_bound_cache {
-            bounds_cs.intersect(cs);
-        }
-        let objectives = proximity_objectives(&layout, opts.bounds);
-        polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
-        Ok(Driver {
+        let prefix = SchedulePrefix::build(kernel, deps, opts, budget)?;
+        Ok(Driver::assemble(
+            kernel,
+            deps,
+            tree,
+            opts,
+            budget,
+            Cow::Owned(prefix),
+        ))
+    }
+
+    /// Warm construction over a prefix built elsewhere (a session's, or
+    /// the failed influenced driver's when falling back uninfluenced).
+    fn with_prefix(
+        kernel: &'a Kernel,
+        deps: &'a Dependences,
+        tree: &'a InfluenceTree,
+        opts: SchedulerOptions,
+        budget: &'a Budget,
+        prefix: &'a SchedulePrefix,
+    ) -> Driver<'a> {
+        Driver::assemble(kernel, deps, tree, opts, budget, Cow::Borrowed(prefix))
+    }
+
+    fn assemble(
+        kernel: &'a Kernel,
+        deps: &'a Dependences,
+        tree: &'a InfluenceTree,
+        opts: SchedulerOptions,
+        budget: &'a Budget,
+        prefix: Cow<'a, SchedulePrefix>,
+    ) -> Driver<'a> {
+        Driver {
             kernel,
             tree,
             opts,
             budget,
-            layout,
-            validity,
-            val_cache,
-            bound_cache,
-            bounds_cs,
-            objectives,
+            validity: deps.validity().collect(),
+            prefix,
             influenced: false,
             stats: ScheduleStats::default(),
             sched_version: 0,
@@ -378,7 +401,7 @@ impl<'a> Driver<'a> {
             base_cache: None,
             ctx: None,
             spec: None,
-        })
+        }
     }
 
     fn all_full_rank(&self, schedule: &Schedule) -> bool {
@@ -646,13 +669,14 @@ impl<'a> Driver<'a> {
         let extra = node
             .map(|n| self.tree.node(n).objectives.clone())
             .unwrap_or_default();
+        let base = &self.prefix.objectives;
         if extra.is_empty() {
-            return self.objectives.clone();
+            return base.clone();
         }
-        let mut objs = Vec::with_capacity(self.objectives.len() + extra.len());
-        objs.push(self.objectives[0].clone());
+        let mut objs = Vec::with_capacity(base.len() + extra.len());
+        objs.push(base[0].clone());
         objs.extend(extra);
-        objs.extend(self.objectives[1..].iter().cloned());
+        objs.extend(base[1..].iter().cloned());
         objs
     }
 
@@ -662,7 +686,7 @@ impl<'a> Driver<'a> {
     fn progression(&mut self, schedule: &Schedule) -> &ConstraintSet {
         if self.prog_cache.as_ref().map(|(v, _)| *v) != Some(self.sched_version) {
             let all: Vec<StmtId> = (0..self.kernel.statements().len()).map(StmtId).collect();
-            let cs = progression_constraints(self.kernel, schedule, &self.layout, &all);
+            let cs = progression_constraints(self.kernel, schedule, &self.prefix.layout, &all);
             self.prog_cache = Some((self.sched_version, cs));
         }
         &self.prog_cache.as_ref().expect("just filled").1
@@ -688,6 +712,17 @@ impl<'a> Driver<'a> {
             polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
             return Ok(());
         }
+        // The prefix already holds this exact system solved: the
+        // dimension-0 base over the full dependence set. A clone of the
+        // pristine context replaces assembly + phase 1 outright.
+        if self.sched_version == 0 && use_progression && *remaining == self.prefix.full_set {
+            self.base_cache = Some((0, true, remaining.clone()));
+            polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
+            let t1 = std::time::Instant::now();
+            self.ctx = Some(self.prefix.base_ctx.clone());
+            polyject_sets::counters::add_solve_ns(t1.elapsed().as_nanos() as u64);
+            return Ok(());
+        }
         let sys = self.build_system(schedule, remaining, use_progression);
         self.base_cache = Some((self.sched_version, use_progression, remaining.clone()));
         polyject_sets::counters::add_assemble_ns(t0.elapsed().as_nanos() as u64);
@@ -710,14 +745,14 @@ impl<'a> Driver<'a> {
         remaining: &BTreeSet<usize>,
         use_progression: bool,
     ) -> ConstraintSet {
-        let mut sys = self.bounds_cs.clone();
+        let mut sys = self.prefix.bounds_cs.clone();
         if use_progression {
             self.progression(schedule);
             sys.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
         }
         for &i in remaining {
-            sys.intersect(&self.val_cache[i]);
-            sys.intersect(&self.bound_cache[i]);
+            sys.intersect(&self.prefix.val_cache[i]);
+            sys.intersect(&self.prefix.bound_cache[i]);
         }
         sys
     }
@@ -776,12 +811,12 @@ impl<'a> Driver<'a> {
             let sid = StmtId(i);
             let row = ScheduleRow {
                 iter_coeffs: (0..s.n_iters())
-                    .map(|it| point[self.layout.iter_coeff(sid, it)])
+                    .map(|it| point[self.prefix.layout.iter_coeff(sid, it)])
                     .collect(),
                 param_coeffs: (0..n_params)
-                    .map(|p| point[self.layout.param_coeff(sid, p)])
+                    .map(|p| point[self.prefix.layout.param_coeff(sid, p)])
                     .collect(),
-                constant: point[self.layout.const_coeff(sid)],
+                constant: point[self.prefix.layout.const_coeff(sid)],
             };
             if !row.is_constant_row() {
                 all_scalar = false;
@@ -816,14 +851,14 @@ impl<'a> Driver<'a> {
         if rels.is_empty() {
             return Ok(None);
         }
-        let mut base = self.bounds_cs.clone();
+        let mut base = self.prefix.bounds_cs.clone();
         self.progression(schedule);
         base.intersect(&self.prog_cache.as_ref().expect("progression cached").1);
         let prob = crate::feautrier::FeautrierProblem::build(
             &rels,
-            &self.layout,
+            &self.prefix.layout,
             &base,
-            &self.objectives,
+            &self.prefix.objectives,
             self.opts.bounds,
         );
         self.stats.ilp_solves += 1;
@@ -896,6 +931,7 @@ impl<'a> Driver<'a> {
 mod tests {
     use super::*;
     use crate::checks::schedule_respects;
+    use crate::layout::CoeffLayout;
     use polyject_deps::{compute_dependences, DepOptions};
     use polyject_ir::ops;
 
@@ -1065,6 +1101,7 @@ mod tests {
 #[cfg(test)]
 mod speculation_tests {
     use super::*;
+    use crate::layout::CoeffLayout;
     use crate::speculate::SpecExecutor;
     use polyject_deps::{compute_dependences, DepOptions};
     use polyject_ir::ops;
@@ -1183,6 +1220,7 @@ mod speculation_tests {
 #[cfg(test)]
 mod objective_tests {
     use super::*;
+    use crate::layout::CoeffLayout;
     use polyject_deps::{compute_dependences, DepOptions};
     use polyject_ir::ops;
     use polyject_sets::LinExpr;

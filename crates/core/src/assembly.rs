@@ -97,6 +97,16 @@ thread_local! {
     static RED_CACHE: RefCell<Vec<RedEntry>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Empties this thread's linearization and redundancy caches, so the
+/// next compile pays full assembly cost again. Benchmarks call this
+/// between legs to keep their solver counter blocks comparable —
+/// without it a later leg inherits the earlier leg's warm cache and
+/// reports near-zero `farkas_linearizations`.
+pub fn clear_caches() {
+    LIN_CACHE.with(|c| c.borrow_mut().clear());
+    RED_CACHE.with(|c| c.borrow_mut().clear());
+}
+
 /// Fingerprint of a linearization key: the relation set's fingerprint
 /// mixed with the form tag and the cheap scalar fields (the layout is
 /// covered by the deep check; collisions only cost a deep compare).

@@ -13,7 +13,7 @@ use polyject_sets::{Constraint, ConstraintSet, LinExpr};
 
 /// Bounds on the ILP unknowns, keeping every per-dimension problem bounded
 /// (Pluto does the same; coefficients of useful AI/DL schedules are tiny).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoeffBounds {
     /// Maximum iterator/parameter coefficient (minimum is 0: the paper
     /// restricts itself to non-negative coefficients, Section IV-A.3).

@@ -38,6 +38,7 @@ mod layout;
 mod optimizer;
 mod schedtree;
 mod schedule;
+mod session;
 mod speculate;
 mod tree;
 mod verify;
@@ -46,6 +47,7 @@ pub use algorithm::{
     schedule_kernel, schedule_kernel_budgeted, ScheduleError, ScheduleErrorKind, ScheduleResult,
     ScheduleStats, SchedulerOptions,
 };
+pub use assembly::clear_caches as clear_assembly_caches;
 pub use builders::{
     bounding_constraints, coefficient_bounds, distance_template, progression_constraints,
     proximity_objectives, validity_constraints, CoeffBounds,
@@ -59,6 +61,7 @@ pub use optimizer::{build_influence_tree, build_scenarios, InfluenceOptions, Sce
 pub use polyject_sets::{Budget, BudgetError, BudgetResource};
 pub use schedtree::{render_schedule_tree, schedule_tree, TreeNode};
 pub use schedule::{DimFlags, Schedule, ScheduleRow, StatementSchedule};
+pub use session::{SchedulePrefix, ScheduleSession};
 pub use speculate::{clear_spec_executor, install_spec_executor, SpecExecutor};
 pub use tree::{InfluenceNode, InfluenceTree, NodeId};
 pub use verify::{verify_schedule, ScheduleReport};

@@ -127,8 +127,11 @@ impl StatementSchedule {
 }
 
 /// A complete schedule: one [`StatementSchedule`] per statement plus
-/// per-dimension [`DimFlags`].
-#[derive(Clone, Debug, Default)]
+/// per-dimension [`DimFlags`]. Equality is structural over every field
+/// (integer coefficients, flags, vector dimensions) — two equal
+/// schedules render and lower identically, which is what lets compile
+/// sessions deduplicate downstream work by schedule value.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schedule {
     stmts: Vec<StatementSchedule>,
     flags: Vec<DimFlags>,

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 pub struct NodeId(pub usize);
 
 /// One node of the influence constraint tree.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InfluenceNode {
     /// Constraints over the [`CoeffLayout`](crate::CoeffLayout) unknown
     /// space, injected into the ILP of the dimension this node's depth
@@ -57,7 +57,7 @@ pub struct InfluenceNode {
 /// let _leaf = tree.add_child(root, ConstraintSet::universe(layout.n_vars()), "depth 1");
 /// assert_eq!(tree.first_root(), Some(root));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct InfluenceTree {
     nodes: Vec<InfluenceNode>,
     roots: Vec<NodeId>,

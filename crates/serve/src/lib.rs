@@ -24,8 +24,9 @@
 //! * [`client`] — the client used by `polyjectc --remote` and tests;
 //! * [`stats`] — hit/miss/eviction/error counters and latency aggregates;
 //! * [`tuned`] — persisted tuned configurations: the autotuner's
-//!   cache-backed entry point (`tune_cached`), the `tuned-config` entry
-//!   kind, and the pool-fanned candidate runner.
+//!   cache-backed entry points (`tune_cached`, and `tune_cached_batch`
+//!   fanning whole per-kernel searches over the pool) and the
+//!   `tuned-config` entry kind.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -56,6 +57,6 @@ pub use service::{
 };
 pub use stats::{LatencyAgg, ServeStats};
 pub use tuned::{
-    decode_tuned, encode_tuned, tune_cached, tuned_key, ParallelRunner, TuneReport,
-    TUNED_FORMAT_VERSION, TUNED_KIND,
+    batch_reports, decode_tuned, encode_tuned, tune_cached, tune_cached_batch, tuned_key,
+    BatchTuneReport, ParallelRunner, TuneJob, TuneReport, TUNED_FORMAT_VERSION, TUNED_KIND,
 };

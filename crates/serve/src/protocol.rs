@@ -266,6 +266,8 @@ impl CompileReply {
                 redundancy_checks: 0,
                 spec_adopted: 0,
                 spec_discarded: 0,
+                dependence_analyses: 0,
+                session_reuses: 0,
             },
             compile_ms: v.num_field("compile_ms")?,
         })
@@ -372,6 +374,8 @@ mod tests {
                 redundancy_checks: 0,        // not carried over the wire
                 spec_adopted: 0,             // not carried over the wire
                 spec_discarded: 0,           // not carried over the wire
+                dependence_analyses: 0,      // not carried over the wire
+                session_reuses: 0,           // not carried over the wire
             },
             compile_ms: 12.75,
         };

@@ -22,8 +22,7 @@ use polyject_codegen::{MappingOptions, TilingOptions};
 use polyject_core::{Budget, InfluenceOptions};
 use polyject_gpusim::GpuModel;
 use polyject_tune::{
-    beam_search, evaluate_point, Evaluated, JobRunner, KnobPoint, TuneOptions, TuneRequest,
-    TunedConfig,
+    beam_search, EvalCtx, Evaluated, JobRunner, KnobPoint, TuneOptions, TuneRequest, TunedConfig,
 };
 use std::sync::Mutex;
 
@@ -206,48 +205,31 @@ pub fn decode_tuned(j: &Json) -> Result<TunedConfig, String> {
     })
 }
 
-/// A [`JobRunner`] fanning candidate evaluations over the serve worker
-/// pool ([`parallel_map`]).
+/// A [`JobRunner`] retained as the serving layer's named runner.
 ///
-/// Each job gets its own [`Budget`] clone: resource-metered budgets
-/// account against thread-local solver counters, so every worker must
-/// meter its own consumption (the absolute deadline and the cancel flag
-/// still transfer — a supervisor can stop all jobs at once).
-pub struct ParallelRunner {
-    workers: usize,
-}
+/// It evaluates a batch **serially** on the calling thread: every
+/// candidate of one search compiles through the shared
+/// [`polyject_codegen::CompileSession`] inside the [`EvalCtx`], whose
+/// option-invariant prefix and schedule memo serialize the polyhedral
+/// phase anyway — fanning a single kernel's candidates across threads
+/// would only add cloning and lock traffic (and split the solver-counter
+/// deltas the tune outcome reports across thread-local counters).
+/// Parallelism lives one level up, across *kernels*:
+/// [`tune_cached_batch`] fans whole searches over the worker pool.
+pub struct ParallelRunner;
 
 impl ParallelRunner {
-    /// A runner evaluating up to `workers` candidates concurrently.
-    pub fn new(workers: usize) -> ParallelRunner {
-        ParallelRunner {
-            workers: workers.max(1),
-        }
+    /// A runner for one search. The historical `workers` argument is
+    /// accepted and ignored — see the type-level docs for why a single
+    /// search no longer fans out.
+    pub fn new(_workers: usize) -> ParallelRunner {
+        ParallelRunner
     }
 }
 
 impl JobRunner for ParallelRunner {
-    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
-        // `Budget` is Send but not Sync (thread-local metering), so the
-        // shared-reference closure below can only capture Sync state;
-        // per-job budgets ride along inside a Mutex.
-        let jobs: Vec<(KnobPoint, Mutex<Budget>)> = points
-            .iter()
-            .map(|p| (p.clone(), Mutex::new(req.budget.clone())))
-            .collect();
-        let kernel = &req.kernel;
-        let gpu = &req.gpu;
-        let config = req.config;
-        parallel_map(&jobs, self.workers, move |(point, budget)| {
-            let budget = budget.lock().expect("budget lock poisoned").clone();
-            let job_req = TuneRequest {
-                kernel: kernel.clone(),
-                config,
-                gpu: gpu.clone(),
-                budget,
-            };
-            evaluate_point(&job_req, point)
-        })
+    fn evaluate(&self, ctx: &EvalCtx<'_>, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
+        points.iter().map(|p| ctx.evaluate(p)).collect()
     }
 }
 
@@ -272,10 +254,15 @@ pub struct TuneReport {
 
 /// Tunes one kernel through the service's cache: a persisted
 /// [`TunedConfig`] is returned immediately (zero search); otherwise the
-/// beam search runs (fanned over `workers` threads when > 1) and a
-/// *complete* outcome is persisted. Incomplete outcomes — the budget
-/// stopped the search early — are returned but never persisted, since a
-/// replay with more budget would differ.
+/// beam search runs through one compile session and a *complete* outcome
+/// is persisted. Incomplete outcomes — the budget stopped the search
+/// early — are returned but never persisted, since a replay with more
+/// budget would differ.
+///
+/// The `workers` argument is accepted for call-site stability and
+/// ignored: a single search serializes through its session (see
+/// [`ParallelRunner`]); to use a pool, batch kernels through
+/// [`tune_cached_batch`].
 ///
 /// # Errors
 ///
@@ -289,6 +276,7 @@ pub fn tune_cached(
     budget: &Budget,
     workers: usize,
 ) -> Result<TuneReport, String> {
+    let _ = workers;
     let config = config_by_name(config_name)
         .ok_or_else(|| format!("unknown config {config_name:?} (expected isl|novec|infl)"))?;
     let canonical = polyject_front::canonical_pj(src)?;
@@ -316,12 +304,8 @@ pub fn tune_cached(
         gpu: svc.gpu().clone(),
         budget: budget.clone(),
     };
-    let outcome = if workers > 1 {
-        beam_search(&req, opts, &ParallelRunner::new(workers))
-    } else {
-        beam_search(&req, opts, &polyject_tune::SerialRunner)
-    }
-    .map_err(|e| e.to_string())?;
+    let outcome =
+        beam_search(&req, opts, &polyject_tune::SerialRunner).map_err(|e| e.to_string())?;
 
     if outcome.complete {
         if let Some(Err(e)) =
@@ -336,6 +320,169 @@ pub fn tune_cached(
         cached: false,
         complete: outcome.complete,
     })
+}
+
+/// One kernel of a [`tune_cached_batch`] request: source text plus the
+/// pipeline configuration name (`isl`/`novec`/`infl`).
+#[derive(Clone, Debug)]
+pub struct TuneJob {
+    /// Kernel source (`.pj` text).
+    pub src: String,
+    /// Configuration name the candidates compile under.
+    pub config_name: String,
+}
+
+/// A [`TuneReport`] extended with the search-side savings counters a
+/// batch caller (the bench harness, the daemon) reports onward. All
+/// fields are zero for replayed (cached) configurations — no search ran.
+#[derive(Clone, Debug)]
+pub struct BatchTuneReport {
+    /// The per-kernel report (winner, key, cache provenance).
+    pub report: TuneReport,
+    /// Oracle estimate calls served from the search's AST memo.
+    pub estimate_memo_hits: u64,
+    /// Dependence analyses performed by candidates 2..N (zero when the
+    /// session amortized them all).
+    pub warm_dependence_analyses: u64,
+    /// Farkas linearizations performed by candidates 2..N.
+    pub warm_farkas_linearizations: u64,
+    /// Schedules served from the session's prefix or memo.
+    pub session_reuses: u64,
+}
+
+/// Tunes a batch of kernels through the service's cache, fanning the
+/// *searches* (not the candidates within one) over `workers` pool
+/// threads — the shape that actually parallelizes on a multi-kernel
+/// table now that each search serializes through its compile session.
+///
+/// Phases, chosen so the cache is only touched from the calling thread
+/// and cache writes land in deterministic job order:
+///
+/// 1. serial: resolve configs, canonicalize, probe the cache — replayed
+///    configs are done here with zero search;
+/// 2. parallel: run the beam searches of the remaining jobs over the
+///    pool ([`parallel_map`]), one compile session per kernel;
+/// 3. serial: persist complete outcomes, in job order.
+///
+/// Returns one slot per job, in job order.
+pub fn tune_cached_batch(
+    svc: &CompileService,
+    jobs: &[TuneJob],
+    opts: &TuneOptions,
+    budget: &Budget,
+    workers: usize,
+) -> Vec<Result<TuneReport, String>> {
+    batch_reports(svc, jobs, opts, budget, workers)
+        .into_iter()
+        .map(|r| r.map(|b| b.report))
+        .collect()
+}
+
+/// [`tune_cached_batch`] with the per-search savings counters attached.
+pub fn batch_reports(
+    svc: &CompileService,
+    jobs: &[TuneJob],
+    opts: &TuneOptions,
+    budget: &Budget,
+    workers: usize,
+) -> Vec<Result<BatchTuneReport, String>> {
+    // Phase 1 (serial, calling thread): key derivation + cache probe.
+    enum Slot {
+        Done(Result<BatchTuneReport, String>),
+        Search {
+            key: String,
+            req: Mutex<TuneRequest>,
+        },
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let prepared = (|| -> Result<Slot, String> {
+            let config = config_by_name(&job.config_name).ok_or_else(|| {
+                format!(
+                    "unknown config {:?} (expected isl|novec|infl)",
+                    job.config_name
+                )
+            })?;
+            let canonical = polyject_front::canonical_pj(&job.src)?;
+            let key = tuned_key(&canonical, config.name(), svc.gpu());
+            if let Some(Some((kind, payload))) = svc.with_cache(|c| c.get(&key)) {
+                if kind == TUNED_KIND {
+                    if let Ok(tuned) = decode_tuned(&payload) {
+                        return Ok(Slot::Done(Ok(BatchTuneReport {
+                            report: TuneReport {
+                                key,
+                                tuned,
+                                cached: true,
+                                complete: true,
+                            },
+                            estimate_memo_hits: 0,
+                            warm_dependence_analyses: 0,
+                            warm_farkas_linearizations: 0,
+                            session_reuses: 0,
+                        })));
+                    }
+                }
+            }
+            let kernel = polyject_front::parse(&canonical).map_err(|e| e.to_string())?;
+            // `Budget` is Send but not Sync (thread-local metering), so
+            // the pending request rides to its worker inside a Mutex and
+            // each search meters its own clone.
+            Ok(Slot::Search {
+                key,
+                req: Mutex::new(TuneRequest {
+                    kernel,
+                    config,
+                    gpu: svc.gpu().clone(),
+                    budget: budget.clone(),
+                }),
+            })
+        })();
+        slots.push(prepared.unwrap_or_else(|e| Slot::Done(Err(e))));
+    }
+
+    // Phase 2 (parallel): the pending searches, whole kernels at a time.
+    let pending: Vec<&Slot> = slots
+        .iter()
+        .filter(|s| matches!(s, Slot::Search { .. }))
+        .collect();
+    let searched = parallel_map(&pending, workers, |slot| {
+        let Slot::Search { req, .. } = slot else {
+            unreachable!("pending slots are searches");
+        };
+        let req = req.lock().expect("request lock poisoned").clone();
+        beam_search(&req, opts, &polyject_tune::SerialRunner).map_err(|e| e.to_string())
+    });
+
+    // Phase 3 (serial, calling thread): persist + report, in job order.
+    let mut searched = searched.into_iter();
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(r) => r,
+            Slot::Search { key, .. } => {
+                let outcome = searched.next().expect("one result per pending search")?;
+                if outcome.complete {
+                    if let Some(Err(e)) =
+                        svc.with_cache(|c| c.put(&key, TUNED_KIND, &encode_tuned(&outcome.tuned)))
+                    {
+                        eprintln!("[tune] cache write for {key} failed: {e}");
+                    }
+                }
+                Ok(BatchTuneReport {
+                    report: TuneReport {
+                        key,
+                        tuned: outcome.tuned,
+                        cached: false,
+                        complete: outcome.complete,
+                    },
+                    estimate_memo_hits: outcome.estimate_memo_hits,
+                    warm_dependence_analyses: outcome.warm_dependence_analyses,
+                    warm_farkas_linearizations: outcome.warm_farkas_linearizations,
+                    session_reuses: outcome.session_reuses,
+                })
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -496,8 +643,11 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         };
         let mut rng = polyject_arith::SplitMix64::new(11);
         let points: Vec<KnobPoint> = (0..6).map(|_| KnobPoint::sample(&mut rng)).collect();
-        let serial = polyject_tune::SerialRunner.evaluate(&req, &points);
-        let parallel = ParallelRunner::new(4).evaluate(&req, &points);
+        // Fresh contexts so neither runner inherits the other's session.
+        let serial_ctx = EvalCtx::new(&req);
+        let serial = polyject_tune::SerialRunner.evaluate(&serial_ctx, &points);
+        let parallel_ctx = EvalCtx::new(&req);
+        let parallel = ParallelRunner::new(4).evaluate(&parallel_ctx, &points);
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             match (s, p) {
@@ -509,5 +659,46 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
                 _ => panic!("serial and parallel runners disagree on feasibility"),
             }
         }
+    }
+
+    #[test]
+    fn batch_matches_single_tunes_and_replays() {
+        let dir = std::env::temp_dir().join(format!("pj-tuned-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let svc = CompileService::new(Some(cache), GpuModel::v100());
+        let opts = TuneOptions {
+            rounds: 1,
+            initial_samples: 2,
+            evals_per_round: 2,
+            ..TuneOptions::default()
+        };
+        let jobs = vec![
+            TuneJob {
+                src: SRC.to_string(),
+                config_name: "infl".to_string(),
+            },
+            TuneJob {
+                src: SRC.to_string(),
+                config_name: "isl".to_string(),
+            },
+            TuneJob {
+                src: "not a kernel".to_string(),
+                config_name: "infl".to_string(),
+            },
+        ];
+        let cold = tune_cached_batch(&svc, &jobs, &opts, &Budget::unlimited(), 2);
+        assert_eq!(cold.len(), 3);
+        let cold_infl = cold[0].as_ref().unwrap();
+        assert!(!cold_infl.cached);
+        assert!(cold[2].is_err(), "bad source reports its error in place");
+        // The batch winner is byte-identical to a single tune_cached run.
+        let single = tune_cached(&svc, SRC, "infl", &opts, &Budget::unlimited(), 1).unwrap();
+        assert!(single.cached, "batch persisted the outcome");
+        assert_eq!(single.tuned, cold_infl.tuned);
+        // Re-batching replays everything from the cache.
+        let warm = tune_cached_batch(&svc, &jobs[..2], &opts, &Budget::unlimited(), 2);
+        assert!(warm.iter().all(|r| r.as_ref().unwrap().cached));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

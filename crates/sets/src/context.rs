@@ -76,6 +76,12 @@ pub struct CtxMark(usize);
 /// pushed on top are appended to a clone of the prepared tableau per
 /// solve, and successive lexicographic objectives re-optimize warm. See
 /// the module docs for the exactness argument.
+///
+/// `Clone` copies the solved base and the live row stack; a pristine
+/// clone taken right after [`SchedCtx::build`] is how compile sessions
+/// hand every candidate an identical prepared tableau without re-running
+/// the base's phase 1.
+#[derive(Clone)]
 pub struct SchedCtx {
     /// The full current system: base rows then pushed delta rows. Kept as
     /// a real `ConstraintSet` so cold fallbacks (and branch-and-bound

@@ -49,6 +49,14 @@ pub struct SolverCounters {
     /// Farkas linearizations actually performed (assembly-cache misses);
     /// ticked by the scheduler crate's constraint builders.
     pub farkas_linearizations: u64,
+    /// Full dependence analyses actually performed (ticked by
+    /// `polyject-deps`); a compile session computes this once per kernel
+    /// and candidates 2..N must not re-tick it.
+    pub dependence_analyses: u64,
+    /// Schedules served from a live compile session's shared prefix or
+    /// memo instead of a cold option-invariant rebuild (ticked by the
+    /// scheduler crate's session layer).
+    pub session_reuses: u64,
     /// Redundant-constraint elimination passes actually performed
     /// (assembly-cache misses); ticked by the scheduler's driver.
     pub redundancy_checks: u64,
@@ -100,6 +108,8 @@ impl SolverCounters {
             tab_overflow_escalations: self.tab_overflow_escalations
                 - earlier.tab_overflow_escalations,
             farkas_linearizations: self.farkas_linearizations - earlier.farkas_linearizations,
+            dependence_analyses: self.dependence_analyses - earlier.dependence_analyses,
+            session_reuses: self.session_reuses - earlier.session_reuses,
             redundancy_checks: self.redundancy_checks - earlier.redundancy_checks,
             spec_adopted: self.spec_adopted - earlier.spec_adopted,
             spec_discarded: self.spec_discarded - earlier.spec_discarded,
@@ -128,6 +138,8 @@ impl SolverCounters {
         self.tab_i64_solves += other.tab_i64_solves;
         self.tab_overflow_escalations += other.tab_overflow_escalations;
         self.farkas_linearizations += other.farkas_linearizations;
+        self.dependence_analyses += other.dependence_analyses;
+        self.session_reuses += other.session_reuses;
         self.redundancy_checks += other.redundancy_checks;
         self.spec_adopted += other.spec_adopted;
         self.spec_discarded += other.spec_discarded;
@@ -154,6 +166,8 @@ thread_local! {
     static TAB_I64_SOLVES: Cell<u64> = const { Cell::new(0) };
     static TAB_OVERFLOW_ESCALATIONS: Cell<u64> = const { Cell::new(0) };
     static FARKAS_LINEARIZATIONS: Cell<u64> = const { Cell::new(0) };
+    static DEPENDENCE_ANALYSES: Cell<u64> = const { Cell::new(0) };
+    static SESSION_REUSES: Cell<u64> = const { Cell::new(0) };
     static REDUNDANCY_CHECKS: Cell<u64> = const { Cell::new(0) };
     static SPEC_ADOPTED: Cell<u64> = const { Cell::new(0) };
     static SPEC_DISCARDED: Cell<u64> = const { Cell::new(0) };
@@ -181,6 +195,8 @@ pub fn snapshot() -> SolverCounters {
         tab_i64_solves: TAB_I64_SOLVES.get(),
         tab_overflow_escalations: TAB_OVERFLOW_ESCALATIONS.get(),
         farkas_linearizations: FARKAS_LINEARIZATIONS.get(),
+        dependence_analyses: DEPENDENCE_ANALYSES.get(),
+        session_reuses: SESSION_REUSES.get(),
         redundancy_checks: REDUNDANCY_CHECKS.get(),
         spec_adopted: SPEC_ADOPTED.get(),
         spec_discarded: SPEC_DISCARDED.get(),
@@ -236,6 +252,20 @@ pub(crate) fn count_tab_overflow_escalation() {
 /// linearizer lives in the scheduler crate (`polyject-core`).
 pub fn note_farkas_linearization() {
     FARKAS_LINEARIZATIONS.set(FARKAS_LINEARIZATIONS.get() + 1);
+}
+
+/// Records one full dependence analysis actually performed. Public:
+/// ticked by `polyject-deps` inside `compute_dependences` — a compile
+/// session runs it once per kernel and then shares the result.
+pub fn note_dependence_analysis() {
+    DEPENDENCE_ANALYSES.set(DEPENDENCE_ANALYSES.get() + 1);
+}
+
+/// Records one schedule served from a compile session's shared prefix or
+/// memo instead of a cold option-invariant rebuild. Public: the session
+/// layer lives in the scheduler crate (`polyject-core`).
+pub fn note_session_reuse() {
+    SESSION_REUSES.set(SESSION_REUSES.get() + 1);
 }
 
 /// Records one redundant-constraint elimination pass actually performed.
@@ -353,6 +383,8 @@ mod tests {
         count_tab_i64_solve();
         count_tab_overflow_escalation();
         note_farkas_linearization();
+        note_dependence_analysis();
+        note_session_reuse();
         note_redundancy_check();
         note_spec_adopted();
         note_spec_discarded();
@@ -377,6 +409,8 @@ mod tests {
         assert_eq!(d.tab_i64_solves, 1);
         assert_eq!(d.tab_overflow_escalations, 1);
         assert_eq!(d.farkas_linearizations, 1);
+        assert_eq!(d.dependence_analyses, 1);
+        assert_eq!(d.session_reuses, 1);
         assert_eq!(d.redundancy_checks, 1);
         assert_eq!(d.spec_adopted, 1);
         assert_eq!(d.spec_discarded, 1);
@@ -404,6 +438,8 @@ mod tests {
             tab_i64_solves: 17,
             tab_overflow_escalations: 18,
             farkas_linearizations: 19,
+            dependence_analyses: 23,
+            session_reuses: 24,
             redundancy_checks: 20,
             spec_adopted: 21,
             spec_discarded: 22,
@@ -428,6 +464,8 @@ mod tests {
             tab_i64_solves: 170,
             tab_overflow_escalations: 180,
             farkas_linearizations: 190,
+            dependence_analyses: 230,
+            session_reuses: 240,
             redundancy_checks: 200,
             spec_adopted: 210,
             spec_discarded: 220,
@@ -455,6 +493,8 @@ mod tests {
                 tab_i64_solves: 187,
                 tab_overflow_escalations: 198,
                 farkas_linearizations: 209,
+                dependence_analyses: 253,
+                session_reuses: 264,
                 redundancy_checks: 220,
                 spec_adopted: 231,
                 spec_discarded: 242,

@@ -14,8 +14,12 @@
 //!   same seed and kernel replay the identical candidate log, winner,
 //!   and [`TunedConfig`], byte for byte.
 //! * **Pluggable evaluation** — batches go through the [`JobRunner`]
-//!   seam so the serving layer can fan candidates out over its worker
-//!   pool; [`SerialRunner`] is the in-process default.
+//!   seam over a shared [`EvalCtx`]; every candidate of one search
+//!   compiles through one [`polyject_codegen::CompileSession`], so
+//!   dependence analysis, Farkas linearization and the base scheduling
+//!   context are paid once per kernel, not once per candidate. The
+//!   serving layer parallelizes across *kernels* (whole searches), not
+//!   within one. [`SerialRunner`] is the in-process default.
 //! * **Model-guided ranking** — a ridge-regression cost-model stub
 //!   ([`RidgeModel`]) trained on the candidate log ranks neighbors
 //!   before exact evaluation, and its achieved Spearman rank
@@ -54,8 +58,8 @@ mod space;
 
 pub use model::{features, spearman, RidgeModel};
 pub use search::{
-    beam_search, evaluate_point, grid_anchors, log_digest, EvalRecord, Evaluated, JobRunner,
-    SerialRunner, TuneOptions, TuneOutcome, TuneRequest, TunedConfig,
+    beam_search, evaluate_point, grid_anchors, log_digest, EvalCtx, EvalRecord, Evaluated,
+    JobRunner, SerialRunner, TuneOptions, TuneOutcome, TuneRequest, TunedConfig,
 };
 pub use space::{fnv1a64, KnobPoint};
 

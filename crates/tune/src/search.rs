@@ -8,19 +8,26 @@
 //! produce the identical candidate log, the identical winner, and the
 //! identical [`TunedConfig`].
 //!
-//! Evaluation is pluggable through [`JobRunner`] so the serving layer
-//! can fan batches out over its `WorkerPool`; [`SerialRunner`] is the
-//! in-process default. Results must come back in input order — the
-//! search's determinism does not depend on evaluation order, only on
-//! the order results are *absorbed*, which the contract fixes.
+//! Evaluation is pluggable through [`JobRunner`] over a shared
+//! [`EvalCtx`]: every candidate of one search compiles through one
+//! [`CompileSession`], so the option-invariant prefix (dependence
+//! analysis, Farkas systems, the solved base context) is paid once per
+//! kernel. [`SerialRunner`] is the in-process default; the serving layer
+//! parallelizes across whole searches (different kernels) instead of
+//! within one. Results must come back in input order — the search's
+//! determinism does not depend on evaluation order, only on the order
+//! results are *absorbed*, which the contract fixes.
 
 use crate::model::{features, spearman, RidgeModel};
 use crate::space::{fnv1a64, KnobPoint};
 use polyject_arith::SplitMix64;
-use polyject_codegen::{compile_with_options, Config, MappingOptions, TilingOptions};
+use polyject_codegen::{
+    compile_with_options, CompileSession, Compiled, Config, MappingOptions, TilingOptions,
+};
 use polyject_core::{Budget, ScheduleError};
 use polyject_gpusim::{estimate, GpuModel, KernelTiming};
 use polyject_ir::Kernel;
+use std::sync::Mutex;
 
 /// Search-shape knobs. The defaults evaluate ≈ 30 candidates, which
 /// keeps a full Table II tuning run in the seconds range.
@@ -93,22 +100,148 @@ pub struct EvalRecord {
     pub predicted: Option<f64>,
 }
 
+/// Shared evaluation context of one tuning search: the request, the live
+/// [`CompileSession`] every candidate compiles through, and the estimate
+/// memo. One `EvalCtx` exists per [`beam_search`] call; the
+/// [`JobRunner`] receives it instead of raw request data so every
+/// candidate — however the runner schedules them — reuses the same
+/// dependence analysis, Farkas systems and solved base context.
+pub struct EvalCtx<'a> {
+    req: &'a TuneRequest,
+    session: CompileSession,
+    gpu_digest: u64,
+    memo: Mutex<EstimateMemo>,
+}
+
+/// Estimate memo state: one entry per distinct generated AST (keyed by
+/// digest), plus the total call count. Hits are derived as
+/// `calls - entries.len()` — an order-independent formula, so the
+/// reported count is deterministic no matter how a runner interleaves
+/// candidates.
+///
+/// `by_artifact` is a digest-free shortcut in front of the AST layer:
+/// when the compile session served a memoized lowered artifact, its
+/// session-unique id proves the AST is bitwise one already simulated, so
+/// the (surprisingly costly) debug-format digest is skipped outright.
+/// An artifact hit is an AST hit by construction — the same AST was
+/// digested when the artifact's timing was first recorded — so the
+/// hit formula above is unaffected.
+struct EstimateMemo {
+    entries: Vec<(u64, KernelTiming)>,
+    by_artifact: Vec<(u64, KernelTiming)>,
+    calls: u64,
+}
+
+impl<'a> EvalCtx<'a> {
+    /// Opens the context: builds the compile session (dependence analysis
+    /// runs here, once) and an empty estimate memo.
+    pub fn new(req: &'a TuneRequest) -> EvalCtx<'a> {
+        EvalCtx {
+            req,
+            session: CompileSession::new(&req.kernel, req.config),
+            gpu_digest: fnv1a64(format!("{:?}", req.gpu).as_bytes()),
+            memo: Mutex::new(EstimateMemo {
+                entries: Vec::new(),
+                by_artifact: Vec::new(),
+                calls: 0,
+            }),
+        }
+    }
+
+    /// The request this context evaluates against.
+    pub fn request(&self) -> &TuneRequest {
+        self.req
+    }
+
+    /// Compiles one candidate through the shared session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScheduleError`] like
+    /// [`polyject_codegen::compile_with_options`].
+    pub fn compile(&self, point: &KnobPoint) -> Result<Compiled, ScheduleError> {
+        self.session
+            .compile_with(&self.req.budget, &point.to_compile_options())
+    }
+
+    /// Simulates a compiled candidate, memoized on the generated AST:
+    /// distinct knob points frequently lower to the identical AST (e.g.
+    /// tilings below the extent threshold all degenerate to the untiled
+    /// mapping), and the simulator is pure in (AST, kernel, model).
+    pub fn estimate(&self, c: &Compiled) -> KernelTiming {
+        self.estimate_keyed(None, c)
+    }
+
+    /// [`estimate`](EvalCtx::estimate) with an optional lowered-artifact
+    /// identity from [`CompileSession::compile_keyed`]: a known artifact
+    /// that was simulated before replays its timing without touching the
+    /// AST at all.
+    fn estimate_keyed(&self, artifact: Option<u64>, c: &Compiled) -> KernelTiming {
+        {
+            let mut memo = self.memo.lock().expect("estimate memo lock poisoned");
+            memo.calls += 1;
+            if let Some(id) = artifact {
+                if let Some((_, t)) = memo.by_artifact.iter().find(|(i, _)| *i == id) {
+                    return t.clone();
+                }
+            }
+        }
+        let digest = fnv1a64(format!("{:?}", c.ast).as_bytes()) ^ self.gpu_digest;
+        let mut memo = self.memo.lock().expect("estimate memo lock poisoned");
+        let t = if let Some((_, t)) = memo.entries.iter().find(|(d, _)| *d == digest) {
+            t.clone()
+        } else {
+            let t = estimate(&c.ast, &self.req.kernel, &self.req.gpu);
+            memo.entries.push((digest, t.clone()));
+            t
+        };
+        if let Some(id) = artifact {
+            memo.by_artifact.push((id, t.clone()));
+        }
+        t
+    }
+
+    /// Compiles and simulates one candidate — the oracle call. `None` on
+    /// any compile failure.
+    pub fn evaluate(&self, point: &KnobPoint) -> Option<Evaluated> {
+        let (c, artifact) = self
+            .session
+            .compile_keyed(&self.req.budget, &point.to_compile_options())
+            .ok()?;
+        Some(Evaluated {
+            point: point.clone(),
+            timing: self.estimate_keyed(artifact, &c),
+        })
+    }
+
+    /// Estimate calls answered from the memo so far.
+    pub fn estimate_memo_hits(&self) -> u64 {
+        let memo = self.memo.lock().expect("estimate memo lock poisoned");
+        memo.calls - memo.entries.len() as u64
+    }
+}
+
 /// Batch evaluation seam. Implementations must return one slot per input
 /// point, **in input order**; a slot is `None` when that candidate's
 /// compile failed (infeasible, cancelled mid-batch, …) — the search
 /// skips it and moves on.
+///
+/// All evaluation goes through the given [`EvalCtx`]: the shared compile
+/// session serializes the polyhedral phase of one kernel's candidates,
+/// so runners gain nothing from fanning a single search's batch across
+/// threads — parallelism belongs at the whole-search (per-kernel) level.
 pub trait JobRunner {
-    /// Evaluates `points` against `req`, preserving order.
-    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>>;
+    /// Evaluates `points` through `ctx`, preserving order.
+    fn evaluate(&self, ctx: &EvalCtx<'_>, points: &[KnobPoint]) -> Vec<Option<Evaluated>>;
 }
 
 /// The in-process runner: evaluates candidates one by one on the calling
-/// thread via [`evaluate_point`].
+/// thread via [`EvalCtx::evaluate`].
 pub struct SerialRunner;
 
 impl JobRunner for SerialRunner {
-    fn evaluate(&self, req: &TuneRequest, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
-        points.iter().map(|p| evaluate_point(req, p)).collect()
+    fn evaluate(&self, ctx: &EvalCtx<'_>, points: &[KnobPoint]) -> Vec<Option<Evaluated>> {
+        points.iter().map(|p| ctx.evaluate(p)).collect()
     }
 }
 
@@ -224,6 +357,19 @@ pub struct TuneOutcome {
     /// — callers should not persist an incomplete outcome, since a
     /// replay with more budget would differ.
     pub complete: bool,
+    /// Oracle estimate calls answered from the per-search AST memo
+    /// (distinct knob points lowering to the identical AST).
+    pub estimate_memo_hits: u64,
+    /// Full dependence analyses performed *after* the default point's
+    /// compile, i.e. by candidates 2..N. The compile session pins this to
+    /// zero; CI gates on it.
+    pub warm_dependence_analyses: u64,
+    /// Farkas linearizations performed after the default point's compile
+    /// — zero when every candidate reuses the session's systems.
+    pub warm_farkas_linearizations: u64,
+    /// Schedules served from the session's shared prefix or memo over the
+    /// whole search (every successful candidate after the first).
+    pub session_reuses: u64,
 }
 
 /// Digest of a candidate log: FNV-1a over a canonical rendering with
@@ -255,13 +401,13 @@ struct State {
 /// into the state, preserving batch order.
 fn absorb(
     state: &mut State,
-    req: &TuneRequest,
+    ctx: &EvalCtx<'_>,
     runner: &dyn JobRunner,
     round: usize,
     batch: Vec<(KnobPoint, Vec<f64>, Option<f64>)>,
 ) {
     let points: Vec<KnobPoint> = batch.iter().map(|(p, _, _)| p.clone()).collect();
-    let results = runner.evaluate(req, &points);
+    let results = runner.evaluate(ctx, &points);
     for ((point, feats, predicted), slot) in batch.into_iter().zip(results) {
         let Some(ev) = slot else { continue };
         state.records.push(EvalRecord {
@@ -300,14 +446,18 @@ pub fn beam_search(
     opts: &TuneOptions,
     runner: &dyn JobRunner,
 ) -> Result<TuneOutcome, ScheduleError> {
+    // One compile session for the whole search: dependence analysis and
+    // the scheduling prefix are paid for by the default point's compile
+    // below, and candidates 2..N run only the option-dependent suffix.
+    // The counter snapshots bracketing that first compile feed the
+    // outcome's warm-work fields — measured on this thread, so they are
+    // deterministic however callers fan whole searches out.
+    let search_start = polyject_sets::counters::snapshot();
+    let ctx = EvalCtx::new(req);
     let default_point = KnobPoint::default();
-    let compiled = compile_with_options(
-        &req.kernel,
-        req.config,
-        &req.budget,
-        &default_point.to_compile_options(),
-    )?;
-    let default_timing = estimate(&compiled.ast, &req.kernel, &req.gpu);
+    let compiled = ctx.compile(&default_point)?;
+    let default_timing = ctx.estimate(&compiled);
+    let after_default = polyject_sets::counters::snapshot();
     let default_time = default_timing.time;
 
     let mut state = State {
@@ -357,7 +507,7 @@ pub fn beam_search(
         batch.push((p, f, None));
         sampled += 1;
     }
-    absorb(&mut state, req, runner, 0, batch);
+    absorb(&mut state, &ctx, runner, 0, batch);
 
     for round in 1..=opts.rounds {
         // A fresh clone re-arms the amortized deadline probe, so the
@@ -422,7 +572,7 @@ pub fn beam_search(
             }
         }
         cands.truncate(opts.evals_per_round);
-        absorb(&mut state, req, runner, round, cands);
+        absorb(&mut state, &ctx, runner, round, cands);
     }
     if req.budget.clone().check().is_err() {
         complete = false;
@@ -449,10 +599,16 @@ pub fn beam_search(
         rank_correlation,
         log_digest: log_digest(&state.records),
     };
+    let end = polyject_sets::counters::snapshot();
+    let warm = end.delta_since(&after_default);
     Ok(TuneOutcome {
         tuned,
         log: state.records,
         complete,
+        estimate_memo_hits: ctx.estimate_memo_hits(),
+        warm_dependence_analyses: warm.dependence_analyses,
+        warm_farkas_linearizations: warm.farkas_linearizations,
+        session_reuses: end.delta_since(&search_start).session_reuses,
     })
 }
 

@@ -1,0 +1,166 @@
+//! Compile-session differential suite: for PRNG-driven option samples
+//! across several workload kernels, compiling through a warm
+//! [`polyject_codegen::CompileSession`] must be **bitwise identical** to
+//! a cold [`polyject_codegen::compile_with_options`] call — every
+//! rendered artifact byte for byte and every simulated timing f64 bit
+//! for bit — while candidates after the first perform zero dependence
+//! analysis and zero Farkas linearization.
+
+use polyject_codegen::{
+    compile_with_options, render_artifacts, CompileOptions, CompileSession, Compiled, Config,
+};
+use polyject_core::Budget;
+use polyject_gpusim::{estimate, GpuModel};
+use polyject_ir::{ops, Kernel};
+use polyject_workloads::bert;
+
+/// SplitMix64: the workspace's standard deterministic PRNG.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Copy>(&mut self, choices: &[T]) -> T {
+        choices[(self.next() % choices.len() as u64) as usize]
+    }
+}
+
+/// A random-but-valid [`CompileOptions`] sample. The scheduler knobs stay
+/// at their defaults so the sample exercises the session's warm prefix
+/// (the tuner's knob space pins them the same way); influence, mapping,
+/// and tiling all vary.
+fn sample_options(rng: &mut SplitMix64) -> CompileOptions {
+    let mut opts = CompileOptions::default();
+    for w in opts.influence.weights.iter_mut() {
+        *w = (1 + rng.next() % 8) as f64;
+    }
+    opts.influence.thread_limit = rng.pick(&[128, 256, 512, 1024]);
+    opts.influence.max_scenarios = rng.pick(&[2usize, 4, 8]);
+    opts.influence.vector_widths = match rng.next() % 4 {
+        0 => vec![4, 2],
+        1 => vec![2],
+        2 => vec![4],
+        _ => vec![8, 4, 2],
+    };
+    opts.influence.fusion_variants = !rng.next().is_multiple_of(4);
+    opts.influence.relaxed_variants = !rng.next().is_multiple_of(4);
+    opts.mapping.max_threads = rng.pick(&[256, 512, 1024]);
+    opts.mapping.max_thread_axes = rng.pick(&[1usize, 2, 3]);
+    if rng.next().is_multiple_of(2) {
+        opts.tiling = Some(polyject_codegen::TilingOptions {
+            tile_size: rng.pick(&[16, 32, 64]),
+            max_tiled_loops: rng.pick(&[1usize, 2]),
+            ..Default::default()
+        });
+    }
+    opts
+}
+
+/// Everything the compile produces, reduced to comparable bits: rendered
+/// artifacts verbatim plus the simulator's f64 timings by bit pattern.
+fn fingerprint(kernel: &Kernel, compiled: &Compiled, gpu: &GpuModel) -> Vec<String> {
+    let a = render_artifacts(kernel, compiled);
+    let mut fp = vec![
+        a.code,
+        a.cuda,
+        a.schedule,
+        a.schedule_tree,
+        a.vector_loops.to_string(),
+        a.influenced.to_string(),
+    ];
+    for (name, v) in estimate(&compiled.ast, kernel, gpu).to_pairs() {
+        fp.push(format!("{name}={:016x}", v.to_bits()));
+    }
+    fp
+}
+
+fn workload_kernels() -> Vec<(&'static str, Kernel)> {
+    let bert = bert();
+    vec![
+        // A reduction-free BERT fusion (elementwise chain).
+        ("bert-elementwise", bert.ops[35].build()),
+        // A layout transpose: permutation schedules, scattered accesses.
+        ("transpose2d", ops::transpose_2d(64, 96)),
+        // A reduction-crossing BERT fusion: the hardest class (fallback
+        // and multi-dimensional schedules).
+        ("bert-layernorm", bert.ops[0].build()),
+    ]
+}
+
+#[test]
+fn session_compiles_are_bitwise_identical_to_cold_compiles() {
+    let gpu = GpuModel::v100();
+    let budget = Budget::unlimited();
+    for (name, kernel) in workload_kernels() {
+        let mut rng = SplitMix64(name.bytes().fold(0x005e_5510_d1ff_u64, |h, b| {
+            h.wrapping_mul(31).wrapping_add(b as u64)
+        }));
+        let session = CompileSession::new(&kernel, Config::Influenced);
+        // Default options first (the tuner's anchor point), then
+        // PRNG-driven samples; repeat one sample to hit the memo too.
+        let mut samples = vec![CompileOptions::default()];
+        for _ in 0..5 {
+            samples.push(sample_options(&mut rng));
+        }
+        samples.push(samples[1].clone());
+
+        for (i, opts) in samples.iter().enumerate() {
+            let cold = compile_with_options(&kernel, Config::Influenced, &budget, opts)
+                .unwrap_or_else(|e| panic!("{name} sample {i}: cold compile failed: {e}"));
+            let before = polyject_sets::counters::snapshot();
+            let warm = session
+                .compile_with(&budget, opts)
+                .unwrap_or_else(|e| panic!("{name} sample {i}: session compile failed: {e}"));
+            let delta = polyject_sets::counters::snapshot().delta_since(&before);
+            assert_eq!(
+                fingerprint(&kernel, &cold, &gpu),
+                fingerprint(&kernel, &warm, &gpu),
+                "{name} sample {i}: session compile diverged from cold compile"
+            );
+            // The session computed dependences and Farkas systems when it
+            // opened; no candidate ever recomputes them.
+            assert_eq!(
+                delta.dependence_analyses, 0,
+                "{name} sample {i}: session compile re-analyzed dependences"
+            );
+            assert_eq!(
+                delta.farkas_linearizations, 0,
+                "{name} sample {i}: session compile re-linearized"
+            );
+            if i > 0 {
+                assert!(
+                    delta.session_reuses >= 1,
+                    "{name} sample {i}: warm compile did not reuse the session"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn non_default_scheduler_options_bypass_but_still_match() {
+    // Options outside the session's pinned scheduler knobs take the cold
+    // path inside `compile_with`; the differential must hold there too.
+    let gpu = GpuModel::v100();
+    let budget = Budget::unlimited();
+    let kernel = ops::transpose_2d(64, 96);
+    let session = CompileSession::new(&kernel, Config::Influenced);
+    let mut opts = CompileOptions::default();
+    opts.scheduler.max_attempts += 1;
+
+    let cold = compile_with_options(&kernel, Config::Influenced, &budget, &opts).unwrap();
+    let before = polyject_sets::counters::snapshot();
+    let warm = session.compile_with(&budget, &opts).unwrap();
+    let delta = polyject_sets::counters::snapshot().delta_since(&before);
+    assert_eq!(
+        fingerprint(&kernel, &cold, &gpu),
+        fingerprint(&kernel, &warm, &gpu)
+    );
+    assert_eq!(delta.session_reuses, 0, "non-default scheduler must bypass");
+}

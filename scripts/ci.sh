@@ -4,8 +4,10 @@
 # BENCH JSON emission), a seeded fault-injection chaos gate, a
 # budget-exhaustion/cancellation smoke, a cold-vs-warm schedule-cache
 # round-trip, an autotune smoke (same-seed searches byte-identical, warm
-# re-runs replay persisted configs with zero search), and a polyjectd
-# daemon smoke test (remote replies byte-identical to local).
+# re-runs replay persisted configs with zero search, candidates 2..N of
+# each search reuse one compile session with zero dependence recompute),
+# and a polyjectd daemon smoke test (remote replies byte-identical to
+# local).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -82,7 +84,7 @@ live = json.load(open(sys.argv[1]))["serial"]["solver"]
 want = json.load(open(sys.argv[2]))
 bad = []
 for key in ("lp_solves", "lp_phase1_pivots", "ilp_nodes", "tab_i64_solves",
-            "farkas_linearizations"):
+            "farkas_linearizations", "dependence_analyses"):
     got, exp = live[key], want[key]
     if not exp * 0.9 <= got <= exp * 1.1:
         bad.append(f"{key}: {got} outside +/-10% of snapshot {exp}")
@@ -141,9 +143,21 @@ assert a["searched"] == a["unique_ops"] and a["replayed"] == 0, a
 for op in a["ops"]:
     assert op["tuned_ms"] <= op["default_ms"], op
 assert a["geomean_speedup"] >= 1.0, a["geomean_speedup"]
-print(f"   {a['unique_ops']} op(s) tuned, geomean {a['geomean_speedup']:.3f}x")
+# Compile-session gate: every searched op evaluates all its candidates
+# through one session, so candidates 2..N must perform zero dependence
+# re-analysis and zero Farkas re-linearization while the session serves
+# their schedules from its warm prefix/memo.
+reuses = 0
+for op in a["ops"]:
+    assert op["warm_dependence_analyses"] == 0, op
+    assert op["warm_farkas_linearizations"] == 0, op
+    assert op["session_reuses"] > 0, op
+    reuses += op["session_reuses"]
+print(f"   {a['unique_ops']} op(s) tuned, geomean {a['geomean_speedup']:.3f}x, "
+      f"{reuses} session reuse(s), zero warm dependence work")
 EOF
-echo "ok: same-seed searches byte-identical, tuned never loses to default"
+echo "ok: same-seed searches byte-identical, tuned never loses to default,"
+echo "    candidates 2..N reuse one compile session (no dependence recompute)"
 # A warm re-run replays every persisted config with zero search.
 cargo run --release -q -p polyject-bench --bin table2 -- \
   --fast --tune --tune-seed 7 --cache-dir "$scratch/tunecache_a" --json "$tune_a" >/dev/null
