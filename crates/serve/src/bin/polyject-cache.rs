@@ -6,7 +6,12 @@
 //! polyject-cache <cache-dir> rm <key>
 //! polyject-cache <cache-dir> verify
 //! polyject-cache <cache-dir> warm <dir-of-.pj-files> [--config isl|novec|infl|all] [--workers <n>]
+//! polyject-cache stats --remote <endpoint>
 //! ```
+//!
+//! `stats --remote` asks a running `polyjectd` for its `metrics` report
+//! (per-shard identity, hit/miss/cancel/transfer counters, hot-tier and
+//! fault-injection state) instead of opening a cache directory.
 //!
 //! `warm` compiles every `.pj` file under the given directory through the
 //! cache (on a worker pool), so a later daemon or `table2 --cache-dir`
@@ -14,20 +19,30 @@
 
 use polyject_gpusim::GpuModel;
 use polyject_serve::{
-    decode_tuned, default_workers, parallel_map, CompileService, DiskCache, Json, Served,
-    TUNED_KIND,
+    decode_tuned, default_workers, parallel_map, Client, CompileService, DiskCache, Endpoint, Json,
+    Served, TUNED_KIND,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polyject-cache <cache-dir> stats|ls|rm <key>|verify|warm <dir> \
-     [--config isl|novec|infl|all] [--workers <n>]";
+     [--config isl|novec|infl|all] [--workers <n>] | polyject-cache stats --remote <endpoint>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!("{USAGE}");
         return ExitCode::SUCCESS;
+    }
+    // Remote form: no cache directory, ask a daemon for its metrics.
+    if args.first().map(String::as_str) == Some("stats")
+        && args.get(1).map(String::as_str) == Some("--remote")
+    {
+        let Some(addr) = args.get(2) else {
+            eprintln!("--remote needs a socket path or host:port\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return remote_stats(&Endpoint::parse(addr));
     }
     let (Some(dir), Some(cmd)) = (args.first(), args.get(1)) else {
         eprintln!("{USAGE}");
@@ -114,10 +129,15 @@ fn main() -> ExitCode {
                 eprintln!("index flush failed: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("verified: {ok} ok, {quarantined} quarantined");
-            if quarantined == 0 {
+            // The backlog counts every corpse in quarantine/, including
+            // ones from earlier runs: operators gate on a clean bill of
+            // health, not just on this run finding nothing new.
+            let backlog = cache.quarantined_count();
+            println!("verified: {ok} ok, {quarantined} quarantined, {backlog} in quarantine");
+            if quarantined == 0 && backlog == 0 {
                 ExitCode::SUCCESS
             } else {
+                eprintln!("verify failed: corrupt entries present (CI should gate on this)");
                 ExitCode::FAILURE
             }
         }
@@ -165,6 +185,32 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("unknown command {other}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches and prints a daemon's `metrics` report; nonzero exit when
+/// the daemon is unreachable or answers anything but `ok`.
+fn remote_stats(endpoint: &Endpoint) -> ExitCode {
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach daemon at {endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.metrics() {
+        Ok(resp) => {
+            println!("{}", resp.render());
+            if resp.get("status").and_then(Json::as_str) == Some("ok") {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("metrics request failed: {e}");
             ExitCode::FAILURE
         }
     }

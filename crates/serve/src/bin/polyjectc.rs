@@ -3,13 +3,16 @@
 //! ```text
 //! polyjectc <file.pj> [--config isl|novec|infl]
 //!           [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all]
-//!           [--remote <socket-or-host:port>]
+//!           [--remote <endpoint>[,<endpoint>...]]
 //!           [--tune] [--tune-seed <n>] [--cache-dir <dir>]
 //! ```
 //!
 //! With `--remote`, compilation is delegated to a running `polyjectd`
 //! daemon (hitting its persistent cache); `tree` and `profile` need the
-//! in-process pipeline and are only available locally.
+//! in-process pipeline and are only available locally. A comma-separated
+//! `--remote` list shards requests client-side over the same
+//! consistent-hash ring a `polyject-router` uses, failing over across a
+//! key's replicas when its shard is down.
 //!
 //! With `--tune` (local only), the deterministic beam-search autotuner
 //! runs before compilation and the kernel compiles under the winning
@@ -21,13 +24,14 @@ use polyject_codegen::{compile, render, render_cuda, Config};
 use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, Budget};
 use polyject_front::{emit_pj, parse};
 use polyject_gpusim::{estimate, profile, GpuModel, KernelTiming};
+use polyject_serve::client::ShardedClient;
 use polyject_serve::{tune_cached, Client, CompileService, DiskCache, Endpoint, Json};
 use polyject_tune::TuneOptions;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polyjectc <file.pj> [--config isl|novec|infl] \
      [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all] \
-     [--remote <socket-or-host:port>] [--tune] [--tune-seed <n>] [--cache-dir <dir>]";
+     [--remote <endpoint>[,<endpoint>...]] [--tune] [--tune-seed <n>] [--cache-dir <dir>]";
 
 /// Every `--emit` value the driver understands.
 const EMIT_VALUES: [&str; 9] = [
@@ -47,7 +51,7 @@ fn main() -> ExitCode {
     let mut file = None;
     let mut config = Config::Influenced;
     let mut emit = "all".to_string();
-    let mut remote: Option<Endpoint> = None;
+    let mut remote: Vec<Endpoint> = Vec::new();
     let mut tune = false;
     let mut tune_seed: Option<u64> = None;
     let mut cache_dir: Option<std::path::PathBuf> = None;
@@ -73,7 +77,14 @@ fn main() -> ExitCode {
             "--remote" => {
                 i += 1;
                 match args.get(i) {
-                    Some(addr) => remote = Some(Endpoint::parse(addr)),
+                    Some(addrs) => {
+                        remote.extend(
+                            addrs
+                                .split(',')
+                                .filter(|a| !a.is_empty())
+                                .map(Endpoint::parse),
+                        );
+                    }
                     None => {
                         eprintln!("--remote needs a socket path or host:port\n{USAGE}");
                         return ExitCode::FAILURE;
@@ -134,12 +145,12 @@ fn main() -> ExitCode {
         }
     };
 
-    if let Some(endpoint) = remote {
+    if !remote.is_empty() {
         if tune {
             eprintln!("--tune needs the in-process pipeline; drop --remote to use it");
             return ExitCode::FAILURE;
         }
-        return run_remote(&endpoint, &file, &src, config, &emit);
+        return run_remote(&remote, &file, &src, config, &emit);
     }
 
     let kernel = match parse(&src) {
@@ -253,25 +264,44 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Delegates the compile to a daemon and prints the requested artifacts
-/// from its reply.
-fn run_remote(endpoint: &Endpoint, file: &str, src: &str, config: Config, emit: &str) -> ExitCode {
+/// Delegates the compile to one daemon (single endpoint) or the key's
+/// replicas across a sharded fleet (comma-separated endpoints), then
+/// prints the requested artifacts from the reply.
+fn run_remote(
+    endpoints: &[Endpoint],
+    file: &str,
+    src: &str,
+    config: Config,
+    emit: &str,
+) -> ExitCode {
     if emit == "tree" || emit == "profile" {
         eprintln!("--emit {emit} needs the in-process pipeline; drop --remote to use it");
         return ExitCode::FAILURE;
     }
-    let mut client = match Client::connect(endpoint) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot reach daemon at {endpoint}: {e}");
-            return ExitCode::FAILURE;
+    let resp = if endpoints.len() == 1 {
+        let endpoint = &endpoints[0];
+        let attempt = match Client::connect(endpoint) {
+            Ok(mut client) => client.compile(src, config.name()),
+            Err(e) => {
+                eprintln!("cannot reach daemon at {endpoint}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match attempt {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("daemon request failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let resp = match client.compile(src, config.name()) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("daemon request failed: {e}");
-            return ExitCode::FAILURE;
+    } else {
+        let mut sharded = ShardedClient::new(endpoints.to_vec(), GpuModel::v100());
+        match sharded.compile(src, config.name()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("no shard answered: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     match resp.str_field("status") {

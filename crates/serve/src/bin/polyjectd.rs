@@ -5,8 +5,13 @@
 //!           [--cache-dir <dir>] [--cache-max-bytes <n>]
 //!           [--workers <n>] [--queue-bound <n>] [--timeout-secs <n>]
 //!           [--max-frame-bytes <n>] [--gpu v100|a100|consumer]
-//!           [--background-tune]
+//!           [--background-tune] [--hot-entries <n>]
+//!           [--fault-io <seed>/<one_in>]
 //! ```
+//!
+//! `--hot-entries` bounds the in-memory hot tier above the disk cache
+//! (0 disables it); `--fault-io` wires the seeded fault injector in
+//! front of every cache file operation — chaos suites only.
 //!
 //! With `--background-tune` (needs `--cache-dir`), idle time is spent
 //! autotuning cached kernels: the daemon picks cached compiles without
@@ -26,7 +31,8 @@ use std::time::Duration;
 const USAGE: &str = "usage: polyjectd [--socket <path> | --tcp <host:port>] \
      [--cache-dir <dir>] [--cache-max-bytes <n>] [--workers <n>] \
      [--queue-bound <n>] [--timeout-secs <n>] [--max-frame-bytes <n>] \
-     [--gpu v100|a100|consumer] [--background-tune]";
+     [--gpu v100|a100|consumer] [--background-tune] [--hot-entries <n>] \
+     [--fault-io <seed>/<one_in>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,6 +113,28 @@ fn main() -> ExitCode {
                 }
             },
             "--background-tune" => config.background_tune = true,
+            "--hot-entries" => {
+                match value(&args, &mut i, "--hot-entries").and_then(|v| v.parse().ok()) {
+                    Some(n) => config.hot_entries = n,
+                    None => {
+                        eprintln!("--hot-entries needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--fault-io" => {
+                let parsed = value(&args, &mut i, "--fault-io").and_then(|v| {
+                    let (seed, one_in) = v.split_once('/')?;
+                    Some((seed.parse().ok()?, one_in.parse().ok()?))
+                });
+                match parsed {
+                    Some(pair) => config.cache_faults = Some(pair),
+                    None => {
+                        eprintln!("--fault-io needs <seed>/<one_in>, e.g. 7/50");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;

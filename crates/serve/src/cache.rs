@@ -324,10 +324,24 @@ impl DiskCache {
         v
     }
 
-    /// Re-reads and checksum-verifies every indexed entry, quarantining
-    /// the corrupt ones. Returns `(ok, quarantined)` counts.
+    /// Re-reads and checksum-verifies every entry — indexed ones *and*
+    /// unindexed `entries/*.json` files (written by another process or
+    /// orphaned by an index loss) — quarantining the corrupt ones.
+    /// Returns `(ok, quarantined)` counts.
     pub fn verify(&mut self) -> (usize, usize) {
-        let keys: Vec<String> = self.entries.keys().cloned().collect();
+        let mut keys: Vec<String> = self.entries.keys().cloned().collect();
+        if let Ok(names) = self.io.read_dir_names(&self.dir.join("entries")) {
+            for name in names {
+                if name.starts_with(TMP_PREFIX) {
+                    continue;
+                }
+                if let Some(key) = name.strip_suffix(".json") {
+                    keys.push(key.to_string());
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
         let (mut ok, mut bad) = (0, 0);
         for key in keys {
             match self.read_verified(&key) {
@@ -339,6 +353,16 @@ impl DiskCache {
             }
         }
         (ok, bad)
+    }
+
+    /// Number of quarantined corpses on disk — corrupt entries moved
+    /// aside by earlier runs and kept for post-mortem. Nonzero means an
+    /// operator has uninspected corruption to look at.
+    pub fn quarantined_count(&mut self) -> usize {
+        self.io
+            .read_dir_names(&self.dir.join("quarantine"))
+            .map(|names| names.len())
+            .unwrap_or(0)
     }
 
     fn quarantine(&mut self, key: &str, reason: &str) {
@@ -609,6 +633,25 @@ mod tests {
             dir.join("quarantine").join("kk.json.0").exists(),
             "torn entry preserved for post-mortem"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_covers_unindexed_entries_and_counts_corpses() {
+        let dir = tmpdir("verify");
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        c.put("good", "compile", &payload("ok")).unwrap();
+        drop(c);
+        // An entry file the index knows nothing about (e.g. dropped from
+        // a stale index), corrupted on disk.
+        let orphan = dir.join("entries").join("orphan.json");
+        std::fs::write(&orphan, "{\"format\":1,\"key\":\"orphan\",\"ga").unwrap();
+        let mut c = DiskCache::open_default(&dir).unwrap();
+        assert!(!c.entries.contains_key("orphan"), "not in the index");
+        let (ok, bad) = c.verify();
+        assert_eq!((ok, bad), (1, 1), "orphan found and quarantined");
+        assert!(!orphan.exists());
+        assert_eq!(c.quarantined_count(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

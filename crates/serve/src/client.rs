@@ -2,7 +2,9 @@
 //! tests, and anything else that talks to a running `polyjectd`.
 
 use crate::json::Json;
+use crate::membership::{Membership, DEFAULT_VNODES};
 use crate::protocol::{read_frame, write_frame, Request};
+use polyject_gpusim::GpuModel;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 #[cfg(unix)]
@@ -45,6 +47,7 @@ impl std::fmt::Display for Endpoint {
     }
 }
 
+#[derive(Debug)]
 enum Conn {
     #[cfg(unix)]
     Unix(UnixStream),
@@ -81,6 +84,7 @@ impl Write for Conn {
 
 /// A blocking protocol client over one connection. Requests are
 /// strictly sequential (one frame out, one frame in).
+#[derive(Debug)]
 pub struct Client {
     conn: Conn,
 }
@@ -150,7 +154,105 @@ impl Client {
         self.request(&Request::Compile {
             src: src.to_string(),
             config: config.to_string(),
+            req: None,
         })
+    }
+
+    /// Compiles with a caller-chosen request id, so the in-flight solve
+    /// can be cancelled by id from another connection (hedged requests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn compile_tagged(&mut self, src: &str, config: &str, req: &str) -> io::Result<Json> {
+        self.request(&Request::Compile {
+            src: src.to_string(),
+            config: config.to_string(),
+            req: Some(req.to_string()),
+        })
+    }
+
+    /// Cancels an in-flight compile by request id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn cancel(&mut self, req: &str) -> io::Result<Json> {
+        self.request(&Request::Cancel {
+            req: req.to_string(),
+        })
+    }
+
+    /// Fetches the shard metrics report (stats + identity + governance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn metrics(&mut self) -> io::Result<Json> {
+        self.request(&Request::Metrics)
+    }
+
+    /// Lists `(key, kind)` of every cache entry the daemon holds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn keys(&mut self) -> io::Result<Json> {
+        self.request(&Request::Keys)
+    }
+
+    /// Fetches one raw cache entry by key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn fetch(&mut self, key: &str) -> io::Result<Json> {
+        self.request(&Request::Fetch {
+            key: key.to_string(),
+        })
+    }
+
+    /// Stores one raw cache entry on the daemon (checksum re-verified on
+    /// the receiving side).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn transfer(
+        &mut self,
+        key: &str,
+        kind: &str,
+        payload: Json,
+        checksum: &str,
+    ) -> io::Result<Json> {
+        self.request(&Request::Transfer {
+            key: key.to_string(),
+            kind: kind.to_string(),
+            payload,
+            checksum: checksum.to_string(),
+        })
+    }
+
+    /// Writes raw bytes straight onto the connection, bypassing framing.
+    /// Only the chaos harness uses this — to feed the daemon garbage
+    /// frames and prove it answers structurally instead of wedging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn inject_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.conn.write_all(bytes)?;
+        self.conn.flush()
+    }
+
+    /// Reads one raw response frame without sending anything first (used
+    /// after [`Client::inject_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures.
+    pub fn read_response(&mut self) -> io::Result<Json> {
+        read_frame(&mut self.conn)
     }
 
     /// Liveness probe; `Ok(true)` when the daemon answered the ping.
@@ -179,6 +281,75 @@ impl Client {
     /// Propagates I/O and framing failures.
     pub fn shutdown(&mut self) -> io::Result<Json> {
         self.request(&Request::Shutdown)
+    }
+}
+
+/// Client-side shard selection: `polyjectc --remote a,b,c` routes each
+/// request over the same consistent-hash ring a `polyject-router` uses,
+/// trying the key's replicas in health order — no router process needed
+/// for the common "N daemons, one client" topology.
+pub struct ShardedClient {
+    membership: Membership,
+    gpu: GpuModel,
+    replication: usize,
+}
+
+impl ShardedClient {
+    /// Builds a sharded client over the daemon endpoints.
+    pub fn new(endpoints: Vec<Endpoint>, gpu: GpuModel) -> ShardedClient {
+        ShardedClient {
+            membership: Membership::new(endpoints, DEFAULT_VNODES),
+            gpu,
+            replication: 2,
+        }
+    }
+
+    /// Overrides the failover fan-out (how many replicas are tried).
+    pub fn with_replication(mut self, r: usize) -> ShardedClient {
+        self.replication = r.max(1);
+        self
+    }
+
+    /// The replica endpoints (health-ordered) a source would route to.
+    pub fn route(&self, src: &str, config: &str) -> Vec<Endpoint> {
+        // Routing only needs a stable key; if the source does not parse,
+        // hash it raw and let the daemon report the parse error.
+        let canonical = polyject_front::canonical_pj(src).unwrap_or_else(|_| src.to_string());
+        let key = crate::service::cache_key(&canonical, config, &self.gpu);
+        self.membership.replicas_for(&key, self.replication)
+    }
+
+    /// Compiles through the owning shard, failing over across replicas
+    /// on socket errors. A structured daemon response (any status) is
+    /// returned as-is; `Err` means every replica was unreachable.
+    ///
+    /// # Errors
+    ///
+    /// The last socket failure when no replica answered a frame.
+    pub fn compile(&mut self, src: &str, config: &str) -> io::Result<Json> {
+        let replicas = self.route(src, config);
+        if replicas.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "no shard endpoints configured",
+            ));
+        }
+        let mut last = io::Error::other("unreachable");
+        for endpoint in replicas {
+            let attempt =
+                Client::connect(&endpoint).and_then(|mut client| client.compile(src, config));
+            match attempt {
+                Ok(resp) => {
+                    self.membership.record_success(&endpoint);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.membership.record_failure(&endpoint);
+                    last = io::Error::new(e.kind(), format!("shard {endpoint} unreachable: {e}"));
+                }
+            }
+        }
+        Err(last)
     }
 }
 
@@ -236,5 +407,104 @@ mod tests {
         let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
         assert!(client.ping().unwrap());
         server.join().unwrap();
+    }
+
+    // Satellite audit of the remote error paths: every socket-level
+    // failure must surface as a structured `io::Error` (no panic, no
+    // unwrap) that a CLI can turn into stderr + nonzero exit.
+
+    #[test]
+    fn connect_to_missing_socket_is_a_structured_error() {
+        let err = Client::connect(&Endpoint::Unix(PathBuf::from(
+            "/nonexistent/never/pjd.sock",
+        )))
+        .unwrap_err();
+        assert!(
+            matches!(err.kind(), io::ErrorKind::NotFound | io::ErrorKind::Other),
+            "{err}"
+        );
+        let err = Client::connect(&Endpoint::Tcp("127.0.0.1:1".to_string())).unwrap_err();
+        assert_ne!(err.to_string(), "");
+    }
+
+    #[test]
+    fn mid_frame_close_is_unexpected_eof() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut s);
+            // Promise an 8-byte frame, deliver 3, hang up.
+            s.write_all(&8u32.to_be_bytes()).unwrap();
+            s.write_all(b"abc").unwrap();
+        });
+        let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+        let err = client.stats().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_frame_is_invalid_data() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut s);
+            s.write_all(&4u32.to_be_bytes()).unwrap();
+            s.write_all(&[0x80, 0xfe, 0xff, 0x81]).unwrap();
+        });
+        let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+        let err = client.stats().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_before_allocation() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut s);
+            // A length prefix far past MAX_FRAME; no body follows.
+            s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        });
+        let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).unwrap();
+        let err = client.stats().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_client_routes_deterministically_and_fails_over() {
+        let eps = vec![
+            Endpoint::parse("/nonexistent/s0.sock"),
+            Endpoint::parse("/nonexistent/s1.sock"),
+            Endpoint::parse("/nonexistent/s2.sock"),
+        ];
+        let mut sc = ShardedClient::new(eps.clone(), GpuModel::v100()).with_replication(2);
+        let src = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+        let route = sc.route(src, "infl");
+        assert_eq!(route.len(), 2);
+        assert_eq!(route, sc.route(src, "infl"), "routing must be stable");
+        // All replicas dead: structured error naming a shard, no panic.
+        let err = sc.compile(src, "infl").unwrap_err();
+        assert!(err.to_string().contains("unreachable"), "{err}");
+        // Unparsable sources still route (hashed raw) instead of panicking.
+        assert_eq!(sc.route("kernel {{{ not a kernel", "infl").len(), 2);
+        let none = ShardedClient::new(Vec::new(), GpuModel::v100())
+            .compile(src, "infl")
+            .unwrap_err();
+        assert_eq!(none.kind(), io::ErrorKind::NotFound);
     }
 }

@@ -12,11 +12,15 @@
 
 use crate::cache::DiskCache;
 use crate::client::Endpoint;
+use crate::faults::{FaultyIo, Io, RealIo};
+use crate::hash::hex_digest;
+use crate::hot::DEFAULT_HOT_ENTRIES;
 use crate::json::Json;
 use crate::pool::{default_workers, WorkerPool};
 use crate::protocol::CompileReply;
 use crate::protocol::{
-    error_response, ok_response, overloaded_response, write_frame, Request, MAX_FRAME,
+    error_response, ok_response, overloaded_response, retryable_error_response, write_frame,
+    Request, MAX_FRAME,
 };
 use crate::service::{CompileService, Served};
 use crate::stats::ServeStats;
@@ -24,6 +28,7 @@ use crate::tuned::{tune_cached, tuned_key};
 use polyject_core::Budget;
 use polyject_gpusim::GpuModel;
 use polyject_tune::TuneOptions;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -105,6 +110,15 @@ pub struct DaemonConfig {
     /// time, cancelled the moment a request arrives). Only *complete*
     /// outcomes are persisted.
     pub background_tune: bool,
+    /// In-memory hot-tier capacity in entries (`0` disables the tier).
+    /// Only meaningful with a cache directory — an uncached daemon has
+    /// no keys to keep hot.
+    pub hot_entries: usize,
+    /// Open the disk cache over a fault-injecting filesystem:
+    /// `Some((seed, one_in))` faults roughly one in `one_in` data
+    /// operations on a seed-deterministic schedule (the multi-node
+    /// chaos suite's knob; see [`crate::faults::FaultyIo`]).
+    pub cache_faults: Option<(u64, usize)>,
 }
 
 impl Default for DaemonConfig {
@@ -119,6 +133,8 @@ impl Default for DaemonConfig {
             max_frame: MAX_FRAME,
             gpu: GpuModel::v100(),
             background_tune: false,
+            hot_entries: DEFAULT_HOT_ENTRIES,
+            cache_faults: None,
         }
     }
 }
@@ -132,6 +148,15 @@ struct Shared {
     queue_bound: usize,
     request_timeout: Duration,
     max_frame: u32,
+    /// This daemon's endpoint string — the shard identity `metrics`
+    /// reports, matching what routers key their per-shard counters by.
+    endpoint: String,
+    /// Cancel flags of in-flight compiles that carried a request id,
+    /// so a `cancel` request from another connection can trip them.
+    cancel_reg: Mutex<HashMap<String, Arc<AtomicBool>>>,
+    /// Injected-fault counter of the cache's [`FaultyIo`], when the
+    /// daemon was started with `cache_faults`.
+    io_faults: Option<Arc<AtomicU64>>,
     /// Idle-time autotuning enabled (`--background-tune`).
     background_tune: bool,
     /// A background tune is in flight (at most one at a time; not
@@ -151,6 +176,12 @@ impl Shared {
 
     /// The stats report: daemon counters plus the cache's own view.
     fn stats_json(&self) -> Json {
+        let io_faults = self
+            .io_faults
+            .as_ref()
+            .map(|c| c.load(Ordering::SeqCst))
+            .unwrap_or(0);
+        let (hot_entries, hot_hits) = self.service.hot_stats().unwrap_or((0, 0));
         let cache = self.service.with_cache(|c| {
             let s = c.stats();
             Json::obj(vec![
@@ -161,6 +192,9 @@ impl Shared {
                 ("puts", Json::Num(s.puts as f64)),
                 ("evictions", Json::Num(s.evictions as f64)),
                 ("errors", Json::Num(s.errors as f64)),
+                ("hot_entries", Json::Num(hot_entries as f64)),
+                ("hot_hits", Json::Num(hot_hits as f64)),
+                ("io_faults_injected", Json::Num(io_faults as f64)),
             ])
         });
         let mut stats = self.stats.lock().expect("stats lock poisoned");
@@ -188,6 +222,19 @@ impl Shared {
             ("governance", governance),
             ("cache", cache.unwrap_or(Json::Null)),
         ])
+    }
+
+    /// The `metrics` report: the stats report plus the shard identity,
+    /// so a fleet prober can attribute counters to endpoints.
+    fn metrics_json(&self) -> Json {
+        let mut pairs = vec![
+            ("status".to_string(), Json::Str("ok".to_string())),
+            ("shard".to_string(), Json::Str(self.endpoint.clone())),
+        ];
+        if let Json::Obj(fields) = self.stats_json() {
+            pairs.extend(fields.into_iter().filter(|(k, _)| k != "status"));
+        }
+        Json::Obj(pairs)
     }
 }
 
@@ -369,6 +416,86 @@ fn dispatch(shared: &Arc<Shared>, frame: &Json) -> (Json, bool) {
             false,
         ),
         Request::Stats => (shared.stats_json(), false),
+        Request::Metrics => (shared.metrics_json(), false),
+        Request::Cancel { req } => {
+            let flag = shared
+                .cancel_reg
+                .lock()
+                .expect("cancel registry poisoned")
+                .get(&req)
+                .cloned();
+            let cancelled = match flag {
+                Some(f) => {
+                    f.store(true, Ordering::SeqCst);
+                    shared.stats.lock().expect("stats lock poisoned").cancels += 1;
+                    true
+                }
+                None => false,
+            };
+            (
+                Json::obj(vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("cancelled", Json::Bool(cancelled)),
+                ]),
+                false,
+            )
+        }
+        Request::Keys => {
+            let keys: Vec<Json> = shared
+                .service
+                .with_cache(|c| {
+                    c.list()
+                        .into_iter()
+                        .map(|(key, kind, _, _)| {
+                            Json::obj(vec![("key", Json::Str(key)), ("kind", Json::Str(kind))])
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            (
+                Json::obj(vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("keys", Json::Arr(keys)),
+                ]),
+                false,
+            )
+        }
+        Request::Fetch { key } => {
+            let entry = shared.service.with_cache(|c| c.get(&key)).flatten();
+            let resp = match entry {
+                Some((kind, payload)) => {
+                    let checksum = hex_digest(&payload.render());
+                    Json::obj(vec![
+                        ("status", Json::Str("ok".to_string())),
+                        ("found", Json::Bool(true)),
+                        ("key", Json::Str(key)),
+                        ("kind", Json::Str(kind)),
+                        ("payload", payload),
+                        ("checksum", Json::Str(checksum)),
+                    ])
+                }
+                None => Json::obj(vec![
+                    ("status", Json::Str("ok".to_string())),
+                    ("found", Json::Bool(false)),
+                    ("key", Json::Str(key)),
+                ]),
+            };
+            (resp, false)
+        }
+        Request::Transfer {
+            key,
+            kind,
+            payload,
+            checksum,
+        } => (
+            serve_transfer(shared, &key, &kind, &payload, &checksum),
+            false,
+        ),
+        Request::Join { .. } | Request::Leave { .. } => (
+            error_response("membership changes are a polyject-router operation"),
+            false,
+        ),
+        Request::Compile { src, config, req } => (serve_compile(shared, src, config, req), false),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
             (
@@ -379,11 +506,54 @@ fn dispatch(shared: &Arc<Shared>, frame: &Json) -> (Json, bool) {
                 true,
             )
         }
-        Request::Compile { src, config } => (serve_compile(shared, src, config), false),
     }
 }
 
-fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
+/// Accepts one pushed cache entry after re-verifying the sender's
+/// checksum against the payload actually received — a transfer torn in
+/// flight fails the comparison and is rejected before it can land, so
+/// warm transfers are safe to retry until they stick.
+fn serve_transfer(
+    shared: &Arc<Shared>,
+    key: &str,
+    kind: &str,
+    payload: &Json,
+    checksum: &str,
+) -> Json {
+    let actual = hex_digest(&payload.render());
+    if actual != checksum {
+        shared.stats.lock().expect("stats lock poisoned").errors += 1;
+        return retryable_error_response(&format!(
+            "transfer of {key} torn in flight: payload digests to {actual}, sender claimed {checksum}"
+        ));
+    }
+    match shared.service.with_cache(|c| c.put(key, kind, payload)) {
+        None => error_response("no cache attached; transfers need --cache-dir"),
+        Some(Err(e)) => {
+            shared.stats.lock().expect("stats lock poisoned").errors += 1;
+            retryable_error_response(&format!("transfer of {key} failed to persist: {e}"))
+        }
+        Some(Ok(())) => {
+            shared
+                .stats
+                .lock()
+                .expect("stats lock poisoned")
+                .transfers_in += 1;
+            Json::obj(vec![
+                ("status", Json::Str("ok".to_string())),
+                ("stored", Json::Bool(true)),
+                ("key", Json::Str(key.to_string())),
+            ])
+        }
+    }
+}
+
+fn serve_compile(
+    shared: &Arc<Shared>,
+    src: String,
+    config: String,
+    req_id: Option<String>,
+) -> Json {
     // A request always outranks idle-time work: tell any background
     // search to yield at its next budget check.
     shared.tune_cancel.store(true, Ordering::SeqCst);
@@ -397,6 +567,15 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
     shared.pending.fetch_add(1, Ordering::SeqCst);
     let (tx, rx) = mpsc::channel();
     let cancel = Arc::new(AtomicBool::new(false));
+    // A tagged request is cancellable by id from any connection (a
+    // router cancelling the losing hedge leg).
+    if let Some(id) = &req_id {
+        shared
+            .cancel_reg
+            .lock()
+            .expect("cancel registry poisoned")
+            .insert(id.clone(), Arc::clone(&cancel));
+    }
     let worker_cancel = Arc::clone(&cancel);
     let worker_shared = Arc::clone(shared);
     let t0 = Instant::now();
@@ -411,7 +590,7 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
         worker_shared.pending.fetch_sub(1, Ordering::SeqCst);
         let _ = tx.send(result);
     });
-    match rx.recv_timeout(shared.request_timeout) {
+    let resp = match rx.recv_timeout(shared.request_timeout) {
         Ok(Ok((reply, served))) => {
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             let mut stats = shared.stats.lock().expect("stats lock poisoned");
@@ -425,7 +604,13 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
         }
         Ok(Err(e)) => {
             shared.stats.lock().expect("stats lock poisoned").errors += 1;
-            error_response(&e)
+            if cancel.load(Ordering::SeqCst) {
+                // Aborted by a cancel-by-id: transient from the caller's
+                // viewpoint (another replica can still answer).
+                retryable_error_response(&e)
+            } else {
+                error_response(&e)
+            }
         }
         Err(_) => {
             // Trip the cancel flag: the solver aborts at its next budget
@@ -433,12 +618,20 @@ fn serve_compile(shared: &Arc<Shared>, src: String, config: String) -> Json {
             // runaway compile.
             cancel.store(true, Ordering::SeqCst);
             shared.stats.lock().expect("stats lock poisoned").timeouts += 1;
-            error_response(&format!(
+            retryable_error_response(&format!(
                 "request timed out after {:?} (compile cancelled; worker reclaimed)",
                 shared.request_timeout
             ))
         }
+    };
+    if let Some(id) = &req_id {
+        shared
+            .cancel_reg
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(id);
     }
+    resp
 }
 
 /// Finds a cached compile entry without a tuned configuration — the
@@ -545,13 +738,29 @@ fn handle_conn(shared: Arc<Shared>, mut stream: Stream) {
 /// the same Unix socket is `AddrInUse`.
 pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
     sig::install();
+    let mut io_faults = None;
     let cache = match &config.cache_dir {
-        Some(dir) => Some(DiskCache::open(dir, config.cache_max_bytes)?),
+        Some(dir) => {
+            let io: Box<dyn Io> = match config.cache_faults {
+                Some((seed, one_in)) => {
+                    let faulty = FaultyIo::new(RealIo, seed, one_in);
+                    io_faults = Some(faulty.injected_counter());
+                    Box::new(faulty)
+                }
+                None => Box::new(RealIo),
+            };
+            Some(DiskCache::open_with_io(dir, config.cache_max_bytes, io)?)
+        }
         None => None,
+    };
+    let hot_entries = if config.cache_dir.is_some() {
+        config.hot_entries
+    } else {
+        0
     };
     let listener = Listener::bind(&config.endpoint)?;
     let shared = Arc::new(Shared {
-        service: CompileService::new(cache, config.gpu.clone()),
+        service: CompileService::new(cache, config.gpu.clone()).with_hot_tier(hot_entries),
         pool: WorkerPool::new(config.workers),
         stats: Mutex::new(ServeStats::default()),
         stop: AtomicBool::new(false),
@@ -559,6 +768,9 @@ pub fn run_daemon(config: DaemonConfig) -> io::Result<Json> {
         queue_bound: config.queue_bound.max(1),
         request_timeout: config.request_timeout,
         max_frame: config.max_frame.clamp(1, MAX_FRAME),
+        endpoint: config.endpoint.to_string(),
+        cancel_reg: Mutex::new(HashMap::new()),
+        io_faults,
         background_tune: config.background_tune && config.cache_dir.is_some(),
         tuning: AtomicBool::new(false),
         tune_cancel: Arc::new(AtomicBool::new(false)),
@@ -630,9 +842,9 @@ tensor Y[N]: f32
 stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
 ";
 
-    fn test_shared(queue_bound: usize) -> Arc<Shared> {
+    fn shared_with_service(service: CompileService, queue_bound: usize) -> Arc<Shared> {
         Arc::new(Shared {
-            service: CompileService::new(None, GpuModel::v100()),
+            service,
             pool: WorkerPool::new(2),
             stats: Mutex::new(ServeStats::default()),
             stop: AtomicBool::new(false),
@@ -640,11 +852,18 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
             queue_bound,
             request_timeout: Duration::from_secs(30),
             max_frame: MAX_FRAME,
+            endpoint: "/tmp/test-shard.sock".to_string(),
+            cancel_reg: Mutex::new(HashMap::new()),
+            io_faults: None,
             background_tune: false,
             tuning: AtomicBool::new(false),
             tune_cancel: Arc::new(AtomicBool::new(false)),
             tuned_count: AtomicU64::new(0),
         })
+    }
+
+    fn test_shared(queue_bound: usize) -> Arc<Shared> {
+        shared_with_service(CompileService::new(None, GpuModel::v100()), queue_bound)
     }
 
     #[test]
@@ -666,6 +885,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         let req = Request::Compile {
             src: SRC.to_string(),
             config: "infl".to_string(),
+            req: None,
         };
         let (resp, closing) = dispatch(&shared, &req.to_json());
         assert!(!closing);
@@ -684,7 +904,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
     fn overload_rejects_instead_of_queueing() {
         let shared = test_shared(1);
         shared.pending.store(1, Ordering::SeqCst);
-        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string(), None);
         assert_eq!(resp.str_field("status").unwrap(), "overloaded");
         assert_eq!(shared.stats.lock().unwrap().overloaded, 1);
         shared.pending.store(0, Ordering::SeqCst);
@@ -704,6 +924,9 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
             queue_bound: 4,
             request_timeout: Duration::from_secs(30),
             max_frame: MAX_FRAME,
+            endpoint: "/tmp/test-shard.sock".to_string(),
+            cancel_reg: Mutex::new(HashMap::new()),
+            io_faults: None,
             background_tune: true,
             tuning: AtomicBool::new(false),
             tune_cancel: Arc::new(AtomicBool::new(false)),
@@ -714,7 +937,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         assert!(!shared.tuning.load(Ordering::SeqCst));
 
         // Cache one compile, then let the idle hook tune it.
-        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string(), None);
         assert_eq!(resp.str_field("status").unwrap(), "ok");
         maybe_background_tune(&shared);
         for _ in 0..600 {
@@ -740,7 +963,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         assert!(pick_tune_candidate(&shared).is_none());
         // A request arrival trips the cancel flag.
         shared.tune_cancel.store(false, Ordering::SeqCst);
-        let _ = serve_compile(&shared, SRC.to_string(), "infl".to_string());
+        let _ = serve_compile(&shared, SRC.to_string(), "infl".to_string(), None);
         assert!(shared.tune_cancel.load(Ordering::SeqCst));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -748,8 +971,119 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
     #[test]
     fn compile_errors_counted() {
         let shared = test_shared(4);
-        let resp = serve_compile(&shared, "kernel".to_string(), "infl".to_string());
+        let resp = serve_compile(&shared, "kernel".to_string(), "infl".to_string(), None);
         assert_eq!(resp.str_field("status").unwrap(), "error");
         assert_eq!(shared.stats.lock().unwrap().errors, 1);
+    }
+
+    #[test]
+    fn metrics_reports_shard_identity() {
+        let shared = test_shared(4);
+        let (resp, _) = dispatch(&shared, &Request::Metrics.to_json());
+        assert_eq!(resp.str_field("status").unwrap(), "ok");
+        assert_eq!(resp.str_field("shard").unwrap(), "/tmp/test-shard.sock");
+        assert!(resp.get("stats").is_some());
+        assert!(resp.get("governance").is_some());
+    }
+
+    #[test]
+    fn cancel_by_id_trips_registered_flag() {
+        let shared = test_shared(4);
+        // Unknown id: answered, not an error, nothing cancelled.
+        let (resp, _) = dispatch(&shared, &Request::Cancel { req: "nope".into() }.to_json());
+        assert_eq!(resp.get("cancelled"), Some(&Json::Bool(false)));
+
+        let flag = Arc::new(AtomicBool::new(false));
+        shared
+            .cancel_reg
+            .lock()
+            .unwrap()
+            .insert("r1".to_string(), Arc::clone(&flag));
+        let (resp, _) = dispatch(&shared, &Request::Cancel { req: "r1".into() }.to_json());
+        assert_eq!(resp.get("cancelled"), Some(&Json::Bool(true)));
+        assert!(flag.load(Ordering::SeqCst), "registered flag tripped");
+        assert_eq!(shared.stats.lock().unwrap().cancels, 1);
+    }
+
+    #[test]
+    fn keys_fetch_and_transfer_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("pj-transfer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let shared = shared_with_service(CompileService::new(Some(cache), GpuModel::v100()), 4);
+
+        // Populate one entry via a compile, list it, fetch it raw.
+        let resp = serve_compile(&shared, SRC.to_string(), "infl".to_string(), None);
+        let key = resp.str_field("key").unwrap().to_string();
+        let (listing, _) = dispatch(&shared, &Request::Keys.to_json());
+        let keys = listing.get("keys").and_then(Json::as_arr).unwrap();
+        assert!(keys
+            .iter()
+            .any(|k| k.str_field("key").ok() == Some(key.as_str())));
+        let (fetched, _) = dispatch(&shared, &Request::Fetch { key: key.clone() }.to_json());
+        assert_eq!(fetched.get("found"), Some(&Json::Bool(true)));
+        let payload = fetched.get("payload").unwrap().clone();
+        let checksum = fetched.str_field("checksum").unwrap().to_string();
+        assert_eq!(checksum, hex_digest(&payload.render()));
+
+        // A torn transfer (checksum over different bytes) is rejected...
+        let torn = Json::obj(vec![("half", Json::Num(1.0))]);
+        let (resp, _) = dispatch(
+            &shared,
+            &Request::Transfer {
+                key: "feedfacefeedface".to_string(),
+                kind: "compile".to_string(),
+                payload: torn,
+                checksum: checksum.clone(),
+            }
+            .to_json(),
+        );
+        assert_eq!(resp.str_field("status").unwrap(), "error");
+        assert!(resp
+            .str_field("message")
+            .unwrap()
+            .contains("torn in flight"));
+        assert_eq!(resp.get("retryable"), Some(&Json::Bool(true)));
+
+        // ...while the intact payload is stored and re-servable.
+        let (resp, _) = dispatch(
+            &shared,
+            &Request::Transfer {
+                key: "feedfacefeedface".to_string(),
+                kind: "compile".to_string(),
+                payload: payload.clone(),
+                checksum,
+            }
+            .to_json(),
+        );
+        assert_eq!(resp.get("stored"), Some(&Json::Bool(true)));
+        assert_eq!(shared.stats.lock().unwrap().transfers_in, 1);
+        let stored = shared
+            .service
+            .with_cache(|c| c.get("feedfacefeedface"))
+            .flatten()
+            .unwrap();
+        assert_eq!(stored.1, payload);
+
+        // Fetch of a missing key is a structured miss, not an error.
+        let (resp, _) = dispatch(
+            &shared,
+            &Request::Fetch {
+                key: "0000000000000000".to_string(),
+            }
+            .to_json(),
+        );
+        assert_eq!(resp.get("found"), Some(&Json::Bool(false)));
+
+        // Membership ops are router-only.
+        let (resp, _) = dispatch(
+            &shared,
+            &Request::Join {
+                endpoint: "x".into(),
+            }
+            .to_json(),
+        );
+        assert_eq!(resp.str_field("status").unwrap(), "error");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

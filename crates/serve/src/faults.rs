@@ -234,6 +234,139 @@ impl<I: Io> Io for FaultyIo<I> {
     }
 }
 
+/// A deterministic network fault plan for the router, mirroring
+/// [`FaultyIo`] one level up the stack: instead of torn files it injects
+/// the failure modes a fleet exhibits — partitions (connects to a shard
+/// refused for a stretch of operations), garbage frames on the wire,
+/// and transfer payloads torn in flight. All decisions come from one
+/// SplitMix64 stream, so identical seeds replay identical chaos.
+#[derive(Debug)]
+pub struct NetChaos {
+    rng: SplitMix64,
+    one_in: usize,
+    /// Endpoint → operations left in its current partition window.
+    partitioned: std::collections::HashMap<String, u32>,
+    /// Test knob: tear the next N transfer payloads unconditionally.
+    force_torn_transfers: u32,
+    injected: u64,
+    partitions: u64,
+    garbage_frames: u64,
+    torn_transfers: u64,
+}
+
+impl NetChaos {
+    /// Builds a plan faulting roughly one in `one_in` decision points
+    /// (`0` disables injection).
+    pub fn new(seed: u64, one_in: usize) -> NetChaos {
+        NetChaos {
+            rng: SplitMix64::new(seed),
+            one_in,
+            partitioned: std::collections::HashMap::new(),
+            force_torn_transfers: 0,
+            injected: 0,
+            partitions: 0,
+            garbage_frames: 0,
+            torn_transfers: 0,
+        }
+    }
+
+    fn roll(&mut self) -> bool {
+        if self.one_in == 0 {
+            return false;
+        }
+        let hit = self.rng.below(self.one_in) == 0;
+        if hit {
+            self.injected += 1;
+        }
+        hit
+    }
+
+    /// Whether a connect to `endpoint` should be refused right now.
+    /// Starting a partition blocks the shard for the next few attempts,
+    /// then it heals — the router must ride it out via replicas.
+    pub fn connect_blocked(&mut self, endpoint: &str) -> bool {
+        if let Some(left) = self.partitioned.get_mut(endpoint) {
+            if *left > 0 {
+                *left -= 1;
+                self.injected += 1;
+                return true;
+            }
+            self.partitioned.remove(endpoint);
+        }
+        if self.roll() {
+            let window = 1 + self.rng.below(4) as u32;
+            self.partitioned.insert(endpoint.to_string(), window);
+            self.partitions += 1;
+            return true;
+        }
+        false
+    }
+
+    /// A garbage byte sequence to squirt at the daemon before the real
+    /// request, when the schedule says so. The daemon must answer it
+    /// with a structured error (and close), never wedge.
+    pub fn garbage_frame(&mut self) -> Option<Vec<u8>> {
+        if !self.roll() {
+            return None;
+        }
+        self.garbage_frames += 1;
+        let len = 4 + self.rng.below(12);
+        let mut bytes = (len as u32).to_be_bytes().to_vec();
+        for _ in 0..len {
+            // Bias toward invalid UTF-8/JSON so the frame parser, not
+            // just the dispatcher, gets exercised.
+            bytes.push(0x80u8.wrapping_add(self.rng.below(0x70) as u8));
+        }
+        Some(bytes)
+    }
+
+    /// Possibly tears a transfer payload: a valid JSON object with a
+    /// prefix of the original fields, whose checksum no longer matches.
+    /// The receiving shard must reject it.
+    pub fn torn_transfer(&mut self, payload: &crate::json::Json) -> Option<crate::json::Json> {
+        let forced = self.force_torn_transfers > 0;
+        if forced {
+            self.force_torn_transfers -= 1;
+            self.injected += 1;
+        } else if !self.roll() {
+            return None;
+        }
+        self.torn_transfers += 1;
+        let fields = payload.as_obj()?;
+        let keep = if fields.is_empty() {
+            0
+        } else {
+            self.rng.below(fields.len())
+        };
+        Some(crate::json::Json::Obj(fields[..keep].to_vec()))
+    }
+
+    /// Test knob: unconditionally tear the next `n` transfer payloads.
+    pub fn force_torn_transfers(&mut self, n: u32) {
+        self.force_torn_transfers = n;
+    }
+
+    /// Total faults injected (partitions counted per blocked operation).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Partition windows started.
+    pub fn partitions(&self) -> u64 {
+        self.partitions
+    }
+
+    /// Garbage frames emitted.
+    pub fn garbage_frames(&self) -> u64 {
+        self.garbage_frames
+    }
+
+    /// Transfer payloads torn.
+    pub fn torn_transfers(&self) -> u64 {
+        self.torn_transfers
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +431,49 @@ mod tests {
             }
         }
         RealIo.remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn net_chaos_is_deterministic_and_countable() {
+        let run = |seed: u64| {
+            let mut chaos = NetChaos::new(seed, 3);
+            let mut blocked = 0u32;
+            let mut garbage = 0u32;
+            for i in 0..200 {
+                if chaos.connect_blocked(&format!("/tmp/s{}.sock", i % 3)) {
+                    blocked += 1;
+                }
+                if chaos.garbage_frame().is_some() {
+                    garbage += 1;
+                }
+            }
+            (blocked, garbage, chaos.injected())
+        };
+        assert_eq!(run(11), run(11));
+        let (blocked, garbage, injected) = run(11);
+        assert!(blocked > 0 && garbage > 0 && injected > 0);
+        // Disabled plan injects nothing.
+        assert_eq!(NetChaos::new(11, 0).injected(), 0);
+    }
+
+    #[test]
+    fn torn_transfer_is_a_field_prefix() {
+        use crate::json::Json;
+        let payload = Json::obj(vec![
+            ("a", Json::Num(1.0)),
+            ("b", Json::Num(2.0)),
+            ("c", Json::Num(3.0)),
+        ]);
+        let mut chaos = NetChaos::new(5, 0);
+        assert!(chaos.torn_transfer(&payload).is_none(), "rate 0, no force");
+        chaos.force_torn_transfers(1);
+        let torn = chaos.torn_transfer(&payload).unwrap();
+        let fields = torn.as_obj().unwrap();
+        assert!(fields.len() < 3);
+        let orig = payload.as_obj().unwrap();
+        assert_eq!(&orig[..fields.len()], fields);
+        assert_eq!(chaos.torn_transfers(), 1);
+        // Knob consumed.
+        assert!(chaos.torn_transfer(&payload).is_none());
     }
 }

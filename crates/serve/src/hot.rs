@@ -1,0 +1,131 @@
+//! An in-memory hot tier above [`crate::cache::DiskCache`].
+//!
+//! The disk cache is the durable, checksummed tier; this one is a small
+//! bounded LRU of decoded [`CompileReply`] values that keeps hot keys
+//! served even while the disk underneath is fault-injected (or simply
+//! slow). Entries only enter the tier after they passed the disk tier's
+//! checksum (cache hit) or came straight out of a fresh compile, so the
+//! hot tier can never serve bytes the checksummed tier would reject.
+
+use crate::protocol::CompileReply;
+use std::collections::HashMap;
+
+/// Default hot-tier capacity (entries) used by the daemon.
+pub const DEFAULT_HOT_ENTRIES: usize = 256;
+
+/// A bounded LRU of decoded compile replies, keyed by cache key.
+#[derive(Debug, Default)]
+pub struct HotTier {
+    cap: usize,
+    tick: u64,
+    hits: u64,
+    map: HashMap<String, (u64, CompileReply)>,
+}
+
+impl HotTier {
+    /// Builds a tier holding at most `cap` entries (`0` disables it).
+    pub fn new(cap: usize) -> HotTier {
+        HotTier {
+            cap,
+            ..HotTier::default()
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<CompileReply> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (stamp, reply) = self.map.get_mut(key)?;
+        *stamp = tick;
+        self.hits += 1;
+        Some(reply.clone())
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used
+    /// one when over capacity.
+    pub fn put(&mut self, key: &str, reply: CompileReply) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key.to_string(), (self.tick, reply));
+        while self.map.len() > self.cap {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tier holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyject_sets::SolverCounters;
+
+    fn reply(key: &str) -> CompileReply {
+        CompileReply {
+            key: key.to_string(),
+            kernel: "k".to_string(),
+            config: "infl".to_string(),
+            canonical_pj: "kernel k\n".to_string(),
+            code: String::new(),
+            cuda: String::new(),
+            schedule: String::new(),
+            schedule_tree: String::new(),
+            vector_loops: 0,
+            influenced: false,
+            timing: vec![],
+            solver: SolverCounters::default(),
+            compile_ms: 1.0,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut hot = HotTier::new(2);
+        hot.put("a", reply("a"));
+        hot.put("b", reply("b"));
+        assert!(hot.get("a").is_some()); // refresh a; b is now LRU
+        hot.put("c", reply("c"));
+        assert_eq!(hot.len(), 2);
+        assert!(hot.get("b").is_none());
+        assert!(hot.get("a").is_some());
+        assert!(hot.get("c").is_some());
+        assert_eq!(hot.hits(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_tier() {
+        let mut hot = HotTier::new(0);
+        hot.put("a", reply("a"));
+        assert!(hot.is_empty());
+        assert!(hot.get("a").is_none());
+    }
+}

@@ -21,12 +21,20 @@
 //!   single-flight deduplication;
 //! * [`daemon`] — the `polyjectd` accept loop: bounded queue,
 //!   backpressure, per-request timeouts, graceful shutdown;
-//! * [`client`] — the client used by `polyjectc --remote` and tests;
-//! * [`stats`] — hit/miss/eviction/error counters and latency aggregates;
+//! * [`client`] — the client used by `polyjectc --remote` and tests,
+//!   including client-side shard selection ([`client::ShardedClient`]);
+//! * [`stats`] — hit/miss/eviction/error counters and latency
+//!   aggregates, plus the router's per-shard [`stats::ShardMetrics`];
 //! * [`tuned`] — persisted tuned configurations: the autotuner's
 //!   cache-backed entry points (`tune_cached`, and `tune_cached_batch`
 //!   fanning whole per-kernel searches over the pool) and the
-//!   `tuned-config` entry kind.
+//!   `tuned-config` entry kind;
+//! * [`membership`] — the consistent-hash ring over the FNV-1a key
+//!   space, with per-shard health for failover ordering;
+//! * [`hot`] — the bounded in-memory hot tier above the disk cache;
+//! * [`router`] — the `polyject-router` core: hedged requests,
+//!   retry/backoff with seeded jitter, failover, R-way replication of
+//!   hot keys, and resumable cross-node warm transfer.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,9 +44,12 @@ pub mod client;
 pub mod daemon;
 pub mod faults;
 pub mod hash;
+pub mod hot;
 pub mod json;
+pub mod membership;
 pub mod pool;
 pub mod protocol;
+pub mod router;
 pub mod service;
 pub mod stats;
 pub mod tuned;
@@ -46,16 +57,19 @@ pub mod tuned;
 pub use cache::{CacheStats, DiskCache};
 pub use client::{Client, Endpoint};
 pub use daemon::{run_daemon, DaemonConfig};
-pub use faults::{FaultyIo, Io, RealIo};
+pub use faults::{FaultyIo, Io, NetChaos, RealIo};
 pub use hash::{fnv1a64, Fnv64};
+pub use hot::HotTier;
 pub use json::Json;
+pub use membership::{HashRing, Membership, ShardState};
 pub use pool::{default_workers, parallel_map, PoolSpecExecutor, WorkerPool};
 pub use protocol::{read_frame, write_frame, CompileReply, Request};
+pub use router::{Router, RouterConfig};
 pub use service::{
     cache_key, cache_key_with_options, compile_reply, compile_reply_with_budget,
     compile_reply_with_options, config_by_name, CompileService, Governance, Served,
 };
-pub use stats::{LatencyAgg, ServeStats};
+pub use stats::{LatencyAgg, ServeStats, ShardMetrics};
 pub use tuned::{
     batch_reports, decode_tuned, encode_tuned, tune_cached, tune_cached_batch, tuned_key,
     BatchTuneReport, ParallelRunner, TuneJob, TuneReport, TUNED_FORMAT_VERSION, TUNED_KIND,

@@ -71,9 +71,51 @@ pub enum Request {
         src: String,
         /// Configuration name.
         config: String,
+        /// Optional caller-chosen request id. A router tags each hedged
+        /// attempt so the losing replica can be cancelled by id.
+        req: Option<String>,
     },
     /// Counter/latency report.
     Stats,
+    /// Per-shard metrics report (stats + shard identity + governance;
+    /// on a router: per-shard hedge/retry/failover counters).
+    Metrics,
+    /// Cancel an in-flight compile by its request id (trips the solve's
+    /// cooperative cancel flag; the worker is reclaimed).
+    Cancel {
+        /// Request id given on the `Compile` being cancelled.
+        req: String,
+    },
+    /// List `(key, kind)` of every cache entry the shard holds.
+    Keys,
+    /// Fetch one raw cache entry (payload + checksum) by key.
+    Fetch {
+        /// Cache key (16 hex chars).
+        key: String,
+    },
+    /// Store one raw cache entry. The receiver recomputes the payload
+    /// checksum and rejects a mismatch, so a transfer torn in flight can
+    /// never land in the destination cache.
+    Transfer {
+        /// Cache key (16 hex chars).
+        key: String,
+        /// Entry kind (`"compile"` / `"tuned-config"`).
+        kind: String,
+        /// Entry payload object.
+        payload: Json,
+        /// FNV-1a hex digest of `payload.render()` computed by the sender.
+        checksum: String,
+    },
+    /// Router-only: add a shard and warm-transfer the keys it now owns.
+    Join {
+        /// Endpoint string of the shard to add.
+        endpoint: String,
+    },
+    /// Router-only: remove a shard and re-home the keys it owned.
+    Leave {
+        /// Endpoint string of the shard to remove.
+        endpoint: String,
+    },
     /// Liveness probe.
     Ping,
     /// Graceful daemon shutdown.
@@ -84,12 +126,48 @@ impl Request {
     /// The request as a wire JSON object.
     pub fn to_json(&self) -> Json {
         match self {
-            Request::Compile { src, config } => Json::obj(vec![
-                ("op", Json::Str("compile".to_string())),
-                ("src", Json::Str(src.clone())),
-                ("config", Json::Str(config.clone())),
-            ]),
+            Request::Compile { src, config, req } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("compile".to_string())),
+                    ("src", Json::Str(src.clone())),
+                    ("config", Json::Str(config.clone())),
+                ];
+                if let Some(id) = req {
+                    pairs.push(("req", Json::Str(id.clone())));
+                }
+                Json::obj(pairs)
+            }
             Request::Stats => Json::obj(vec![("op", Json::Str("stats".to_string()))]),
+            Request::Metrics => Json::obj(vec![("op", Json::Str("metrics".to_string()))]),
+            Request::Cancel { req } => Json::obj(vec![
+                ("op", Json::Str("cancel".to_string())),
+                ("req", Json::Str(req.clone())),
+            ]),
+            Request::Keys => Json::obj(vec![("op", Json::Str("keys".to_string()))]),
+            Request::Fetch { key } => Json::obj(vec![
+                ("op", Json::Str("fetch".to_string())),
+                ("key", Json::Str(key.clone())),
+            ]),
+            Request::Transfer {
+                key,
+                kind,
+                payload,
+                checksum,
+            } => Json::obj(vec![
+                ("op", Json::Str("transfer".to_string())),
+                ("key", Json::Str(key.clone())),
+                ("kind", Json::Str(kind.clone())),
+                ("payload", payload.clone()),
+                ("checksum", Json::Str(checksum.clone())),
+            ]),
+            Request::Join { endpoint } => Json::obj(vec![
+                ("op", Json::Str("join".to_string())),
+                ("endpoint", Json::Str(endpoint.clone())),
+            ]),
+            Request::Leave { endpoint } => Json::obj(vec![
+                ("op", Json::Str("leave".to_string())),
+                ("endpoint", Json::Str(endpoint.clone())),
+            ]),
             Request::Ping => Json::obj(vec![("op", Json::Str("ping".to_string()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".to_string()))]),
         }
@@ -105,8 +183,29 @@ impl Request {
             "compile" => Ok(Request::Compile {
                 src: v.str_field("src")?.to_string(),
                 config: v.str_field("config").unwrap_or("infl").to_string(),
+                req: v.str_field("req").ok().map(str::to_string),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "cancel" => Ok(Request::Cancel {
+                req: v.str_field("req")?.to_string(),
+            }),
+            "keys" => Ok(Request::Keys),
+            "fetch" => Ok(Request::Fetch {
+                key: v.str_field("key")?.to_string(),
+            }),
+            "transfer" => Ok(Request::Transfer {
+                key: v.str_field("key")?.to_string(),
+                kind: v.str_field("kind")?.to_string(),
+                payload: v.get("payload").cloned().ok_or("missing payload")?,
+                checksum: v.str_field("checksum")?.to_string(),
+            }),
+            "join" => Ok(Request::Join {
+                endpoint: v.str_field("endpoint")?.to_string(),
+            }),
+            "leave" => Ok(Request::Leave {
+                endpoint: v.str_field("endpoint")?.to_string(),
+            }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
@@ -294,6 +393,18 @@ pub fn error_response(message: &str) -> Json {
     ])
 }
 
+/// Builds an `error` response frame tagged retryable. Transient failures
+/// (timeout, cancellation, shed load) carry `"retryable":true` so a
+/// router retries them on a replica; deterministic failures (parse or
+/// config errors) use plain [`error_response`] and are returned as-is.
+pub fn retryable_error_response(message: &str) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("error".to_string())),
+        ("message", Json::Str(message.to_string())),
+        ("retryable", Json::Bool(true)),
+    ])
+}
+
 /// Builds the `overloaded` backpressure response frame.
 pub fn overloaded_response(queue_len: usize) -> Json {
     Json::obj(vec![
@@ -311,6 +422,7 @@ mod tests {
         let msg = Request::Compile {
             src: "kernel k\n".to_string(),
             config: "infl".to_string(),
+            req: None,
         }
         .to_json();
         let mut buf = Vec::new();
@@ -387,5 +499,49 @@ mod tests {
     fn response_builders() {
         assert!(error_response("boom").render().contains("\"error\""));
         assert!(overloaded_response(9).render().contains("\"queue_len\":9"));
+        let retry = retryable_error_response("slow down");
+        assert_eq!(retry.get("retryable").and_then(Json::as_bool), Some(true));
+        assert!(error_response("boom").get("retryable").is_none());
+    }
+
+    #[test]
+    fn router_requests_roundtrip() {
+        let payload = Json::obj(vec![("key", Json::Str("ab".into()))]);
+        let reqs = vec![
+            Request::Compile {
+                src: "kernel k\n".to_string(),
+                config: "infl".to_string(),
+                req: Some("0007.1.0".to_string()),
+            },
+            Request::Metrics,
+            Request::Cancel {
+                req: "0007.1.1".to_string(),
+            },
+            Request::Keys,
+            Request::Fetch {
+                key: "deadbeefdeadbeef".to_string(),
+            },
+            Request::Transfer {
+                key: "deadbeefdeadbeef".to_string(),
+                kind: "compile".to_string(),
+                payload,
+                checksum: "0011223344556677".to_string(),
+            },
+            Request::Join {
+                endpoint: "127.0.0.1:7471".to_string(),
+            },
+            Request::Leave {
+                endpoint: "127.0.0.1:7471".to_string(),
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::from_json(&r.to_json()).unwrap(), r);
+        }
+        // Transfer requests with a missing payload or checksum are
+        // structural errors, not panics.
+        assert!(Request::from_json(
+            &Json::parse("{\"op\":\"transfer\",\"key\":\"aa\",\"kind\":\"compile\"}").unwrap()
+        )
+        .is_err());
     }
 }

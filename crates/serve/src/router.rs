@@ -1,0 +1,899 @@
+//! The `polyject-router` core: consistent-hash sharding of the cache
+//! key space across a fleet of `polyjectd` daemons, with the robustness
+//! machinery a front tier needs to *degrade instead of fail*:
+//!
+//! * **Hedged requests** — after a deterministic hedge delay, a second
+//!   replica is raced against the slow primary; the first complete
+//!   response wins and the loser's in-flight solve is cancelled by
+//!   request id.
+//! * **Retry with capped exponential backoff** — transient failures
+//!   (socket errors, `overloaded`, errors tagged `"retryable":true`)
+//!   walk the replica list with jittered backoff; deterministic errors
+//!   (parse/config) are returned as-is, never retried.
+//! * **Failover** — a dead or partitioned shard accrues failures and is
+//!   deprioritized (tried last, never skipped) until a success heals it.
+//! * **R-way replication of hot keys** — keys served at least
+//!   [`RouterConfig::hot_threshold`] times are pushed to their ring
+//!   replicas over checksummed `transfer` requests, so a shard death
+//!   does not cold-start the fleet's hottest kernels.
+//! * **Warm transfer on membership change** — join/leave re-homes
+//!   entries to their new owners; transfers are resumable (failures are
+//!   counted and retried on the next rebalance) and torn-transfer-safe
+//!   (the receiver re-verifies the checksum before storing).
+//!
+//! Every random decision (jitter, injected chaos) is drawn from one
+//! SplitMix64 stream seeded by `seed ^ fnv1a64(key) ^ request index`,
+//! and drawn *before* any thread is spawned, so a same-seed replay of
+//! the same request sequence makes byte-identical decisions.
+
+use crate::client::{Client, Endpoint};
+use crate::faults::NetChaos;
+use crate::hash::{fnv1a64, hex_digest};
+use crate::json::Json;
+use crate::membership::{Membership, DEFAULT_VNODES};
+use crate::protocol::{error_response, CompileReply};
+use crate::stats::ShardMetrics;
+use polyject_arith::SplitMix64;
+use polyject_gpusim::GpuModel;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+/// Tuning knobs for a [`Router`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// The backend `polyjectd` endpoints (the initial membership).
+    pub shards: Vec<Endpoint>,
+    /// Replication factor for hot keys (and the failover fan-out).
+    pub replication: usize,
+    /// Virtual nodes per shard on the consistent-hash ring.
+    pub vnodes: usize,
+    /// How long the primary leg runs before a hedge leg is fired.
+    pub hedge_after: Duration,
+    /// Retry attempts after the first (each walks to the next replica).
+    pub retries: u32,
+    /// Base backoff between retries (doubled per attempt).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Socket read/write timeout per leg.
+    pub io_timeout: Duration,
+    /// Seed for jitter and injected chaos; same seed + same request
+    /// sequence replays the same decisions.
+    pub seed: u64,
+    /// Requests served for one key before it is replicated.
+    pub hot_threshold: u64,
+    /// GPU model used for client-side cache keys (must match the
+    /// daemons' model for shard placement to align with their caches).
+    pub gpu: GpuModel,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: Vec::new(),
+            replication: 2,
+            vnodes: DEFAULT_VNODES,
+            hedge_after: Duration::from_millis(30),
+            retries: 3,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(10),
+            seed: 0,
+            hot_threshold: 2,
+            gpu: GpuModel::v100(),
+        }
+    }
+}
+
+/// Per-key hotness bookkeeping.
+#[derive(Default)]
+struct HotKey {
+    serves: u64,
+    replicated: bool,
+}
+
+/// Outcome of one leg (one connection attempt to one shard).
+enum Leg {
+    /// The shard answered a frame (any status).
+    Answered(Json),
+    /// The socket failed (connect, IO, or injected partition/garbage).
+    Broken(String),
+}
+
+/// Chaos verdicts for one attempt, pre-drawn on the request thread so
+/// hedge threads never touch the shared RNG (which would make replays
+/// depend on scheduling).
+struct AttemptPlan {
+    blocked_a: bool,
+    garbage_a: Option<Vec<u8>>,
+    blocked_b: bool,
+    garbage_b: Option<Vec<u8>>,
+    jitter_ms: u64,
+}
+
+/// The routing front: shard selection, hedging, retry, failover,
+/// replication, and warm transfer over a fleet of daemons.
+pub struct Router {
+    config: RouterConfig,
+    membership: Mutex<Membership>,
+    metrics: Mutex<HashMap<String, ShardMetrics>>,
+    chaos: Option<Mutex<NetChaos>>,
+    hot: Mutex<HashMap<String, HotKey>>,
+    next_req: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over the configured shards.
+    pub fn new(config: RouterConfig) -> Router {
+        let membership = Membership::new(config.shards.clone(), config.vnodes);
+        Router {
+            config,
+            membership: Mutex::new(membership),
+            metrics: Mutex::new(HashMap::new()),
+            chaos: None,
+            hot: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Attaches a seeded network chaos injector (chaos suite only).
+    pub fn with_chaos(mut self, chaos: NetChaos) -> Router {
+        self.chaos = Some(Mutex::new(chaos));
+        self
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Chaos faults injected so far (0 without an injector).
+    pub fn chaos_injected(&self) -> u64 {
+        self.chaos
+            .as_ref()
+            .map(|c| c.lock().expect("chaos lock").injected())
+            .unwrap_or(0)
+    }
+
+    /// Forces the next `n` transfer payloads to be torn mid-flight
+    /// (chaos suites only; a no-op without an attached injector).
+    pub fn force_torn_transfers(&self, n: u32) {
+        if let Some(c) = &self.chaos {
+            c.lock().expect("chaos lock").force_torn_transfers(n);
+        }
+    }
+
+    fn with_metrics<R>(&self, endpoint: &Endpoint, f: impl FnOnce(&mut ShardMetrics) -> R) -> R {
+        let mut map = self.metrics.lock().expect("metrics lock");
+        f(map.entry(endpoint.to_string()).or_default())
+    }
+
+    /// Sum of one counter across all shards (test/report helper).
+    pub fn total(&self, pick: impl Fn(&ShardMetrics) -> u64) -> u64 {
+        let map = self.metrics.lock().expect("metrics lock");
+        map.values().map(&pick).sum()
+    }
+
+    /// Compiles `.pj` source through the fleet. Always returns a frame:
+    /// `ok` from whichever replica answered first, a deterministic
+    /// `error` verbatim from a shard, or a structured routing error when
+    /// every candidate was exhausted — never a hang, never a panic.
+    pub fn compile(&self, src: &str, config: &str) -> Json {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let canonical = match polyject_front::canonical_pj(src) {
+            Ok(c) => c,
+            Err(e) => return error_response(&format!("parse error: {e}")),
+        };
+        let key = crate::service::cache_key(&canonical, config, &self.config.gpu);
+        let req_index = self.next_req.fetch_add(1, Ordering::Relaxed);
+        let mut rng = SplitMix64::new(self.config.seed ^ fnv1a64(key.as_bytes()) ^ req_index);
+
+        let candidates = {
+            let m = self.membership.lock().expect("membership lock");
+            m.replicas_for(&key, self.config.replication.max(2))
+        };
+        if candidates.is_empty() {
+            return error_response("no shards configured");
+        }
+
+        let mut last_failure = String::new();
+        for attempt in 0..=self.config.retries {
+            let primary = &candidates[attempt as usize % candidates.len()];
+            let hedge = if candidates.len() > 1 {
+                Some(&candidates[(attempt as usize + 1) % candidates.len()])
+            } else {
+                None
+            };
+            let plan = self.plan_attempt(&mut rng, primary, hedge);
+            if attempt > 0 {
+                self.with_metrics(primary, |m| m.retries += 1);
+                let shift = (attempt - 1).min(16);
+                let backoff = self
+                    .config
+                    .backoff_base
+                    .saturating_mul(1u32 << shift)
+                    .min(self.config.backoff_cap)
+                    + Duration::from_millis(plan.jitter_ms);
+                std::thread::sleep(backoff);
+            }
+            match self.hedged_attempt(src, config, req_index, attempt, primary, hedge, &plan) {
+                (served_by, Leg::Answered(resp)) => {
+                    let status = resp.get("status").and_then(Json::as_str).unwrap_or("");
+                    let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
+                    if status == "ok" {
+                        {
+                            let mut m = self.membership.lock().expect("membership lock");
+                            m.record_success(&served_by);
+                        }
+                        let cached = resp.get("cached").and_then(Json::as_bool) == Some(true);
+                        self.with_metrics(&served_by, |m| {
+                            m.ok += 1;
+                            if cached {
+                                m.cache_hits += 1;
+                            }
+                        });
+                        if attempt > 0 {
+                            self.with_metrics(&served_by, |m| m.failovers += 1);
+                        }
+                        self.note_hot(&key, &served_by, &resp);
+                        return tag_via(resp, &served_by);
+                    }
+                    if status == "error" && !retryable {
+                        // Deterministic failure (parse/config): the shard
+                        // answered definitively; retrying elsewhere would
+                        // only repeat it.
+                        let mut m = self.membership.lock().expect("membership lock");
+                        m.record_success(&served_by);
+                        drop(m);
+                        self.with_metrics(&served_by, |m| m.errors += 1);
+                        return resp;
+                    }
+                    // Retryable error or overloaded: try the next replica.
+                    self.with_metrics(&served_by, |m| m.errors += 1);
+                    last_failure = format!(
+                        "{served_by}: {}",
+                        resp.get("message").and_then(Json::as_str).unwrap_or(status)
+                    );
+                }
+                (served_by, Leg::Broken(why)) => {
+                    {
+                        let mut m = self.membership.lock().expect("membership lock");
+                        m.record_failure(&served_by);
+                    }
+                    self.with_metrics(&served_by, |m| m.connect_failures += 1);
+                    last_failure = format!("{served_by}: {why}");
+                }
+            }
+        }
+        error_response(&format!(
+            "all {} replicas exhausted after {} attempts; last failure: {last_failure}",
+            candidates.len(),
+            self.config.retries + 1,
+        ))
+    }
+
+    /// Draws every random verdict for one attempt up front, on the
+    /// request thread, in a fixed order — hedge threads must never
+    /// consume shared randomness.
+    fn plan_attempt(
+        &self,
+        rng: &mut SplitMix64,
+        primary: &Endpoint,
+        hedge: Option<&Endpoint>,
+    ) -> AttemptPlan {
+        let jitter_ms = rng.next_u64() % 16;
+        match &self.chaos {
+            None => AttemptPlan {
+                blocked_a: false,
+                garbage_a: None,
+                blocked_b: false,
+                garbage_b: None,
+                jitter_ms,
+            },
+            Some(chaos) => {
+                let mut c = chaos.lock().expect("chaos lock");
+                let blocked_a = c.connect_blocked(&primary.to_string());
+                let garbage_a = c.garbage_frame();
+                let (blocked_b, garbage_b) = match hedge {
+                    Some(h) => (c.connect_blocked(&h.to_string()), c.garbage_frame()),
+                    None => (false, None),
+                };
+                AttemptPlan {
+                    blocked_a,
+                    garbage_a,
+                    blocked_b,
+                    garbage_b,
+                    jitter_ms,
+                }
+            }
+        }
+    }
+
+    /// Runs one attempt: primary leg in a worker thread, hedge leg fired
+    /// if the primary is still silent after the hedge delay; first frame
+    /// wins and the loser's solve is cancelled by request id.
+    #[allow(clippy::too_many_arguments)]
+    fn hedged_attempt(
+        &self,
+        src: &str,
+        config: &str,
+        req_index: u64,
+        attempt: u32,
+        primary: &Endpoint,
+        hedge: Option<&Endpoint>,
+        plan: &AttemptPlan,
+    ) -> (Endpoint, Leg) {
+        let (tx, rx) = mpsc::channel::<(usize, Leg)>();
+        let io_timeout = self.config.io_timeout;
+        let req_a = format!("{req_index:08x}.{attempt}.a");
+        let req_b = format!("{req_index:08x}.{attempt}.b");
+        self.with_metrics(primary, |m| m.requests += 1);
+        spawn_leg(
+            tx.clone(),
+            0,
+            primary.clone(),
+            src.to_string(),
+            config.to_string(),
+            req_a.clone(),
+            io_timeout,
+            plan.blocked_a,
+            plan.garbage_a.clone(),
+        );
+
+        let mut hedged = false;
+        let first = match rx.recv_timeout(self.config.hedge_after) {
+            Ok(got) => Some(got),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(h) = hedge {
+                    hedged = true;
+                    self.with_metrics(h, |m| {
+                        m.requests += 1;
+                        m.hedges_fired += 1;
+                    });
+                    spawn_leg(
+                        tx.clone(),
+                        1,
+                        h.clone(),
+                        src.to_string(),
+                        config.to_string(),
+                        req_b.clone(),
+                        io_timeout,
+                        plan.blocked_b,
+                        plan.garbage_b.clone(),
+                    );
+                }
+                None
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        };
+        drop(tx);
+        let (winner_idx, outcome) = match first {
+            Some(got) => got,
+            None => match rx.recv_timeout(io_timeout + self.config.hedge_after) {
+                Ok(got) => got,
+                Err(_) => (
+                    0,
+                    Leg::Broken("attempt timed out with no leg answering".to_string()),
+                ),
+            },
+        };
+        let winner = if winner_idx == 1 {
+            hedge.cloned().unwrap_or_else(|| primary.clone())
+        } else {
+            primary.clone()
+        };
+        if hedged {
+            if winner_idx == 1 {
+                self.with_metrics(&winner, |m| m.hedge_wins += 1);
+            }
+            // Cancel the losing leg's solve so the worker is reclaimed.
+            let (loser, loser_req) = if winner_idx == 1 {
+                (primary.clone(), req_a)
+            } else {
+                (hedge.cloned().unwrap_or_else(|| primary.clone()), req_b)
+            };
+            if self.cancel_on(&loser, &loser_req) {
+                self.with_metrics(&loser, |m| m.hedge_cancels += 1);
+            }
+        }
+        (winner, outcome)
+    }
+
+    /// Best-effort cancel of `req` on `endpoint`; true when the daemon
+    /// found and tripped an in-flight solve.
+    fn cancel_on(&self, endpoint: &Endpoint, req: &str) -> bool {
+        let Ok(mut client) = Client::connect(endpoint) else {
+            return false;
+        };
+        let _ = client.set_timeout(Some(self.config.io_timeout));
+        match client.cancel(req) {
+            Ok(resp) => resp.get("cancelled").and_then(Json::as_bool) == Some(true),
+            Err(_) => false,
+        }
+    }
+
+    /// Bumps the key's serve count; once it crosses the hot threshold,
+    /// pushes the entry to its ring replicas. Failures leave the key
+    /// un-replicated so the next serve retries (resumable).
+    fn note_hot(&self, key: &str, served_by: &Endpoint, resp: &Json) {
+        let due = {
+            let mut hot = self.hot.lock().expect("hot lock");
+            let state = hot.entry(key.to_string()).or_default();
+            state.serves += 1;
+            state.serves >= self.config.hot_threshold && !state.replicated
+        };
+        if !due {
+            return;
+        }
+        // `ok` responses embed the reply fields at the top level, so the
+        // payload a replica stores is exactly the entry the serving shard
+        // holds.
+        let Ok(reply) = CompileReply::from_json(resp) else {
+            return;
+        };
+        if self.replicate(&reply, served_by) {
+            let mut hot = self.hot.lock().expect("hot lock");
+            if let Some(state) = hot.get_mut(key) {
+                state.replicated = true;
+            }
+        }
+    }
+
+    /// Pushes one entry to every ring replica except the shard that just
+    /// served it. True only if every push landed.
+    fn replicate(&self, reply: &CompileReply, served_by: &Endpoint) -> bool {
+        let targets: Vec<Endpoint> = {
+            let m = self.membership.lock().expect("membership lock");
+            m.replicas_for(&reply.key, self.config.replication)
+                .into_iter()
+                .filter(|e| e != served_by)
+                .collect()
+        };
+        let payload = reply.to_json();
+        let checksum = hex_digest(&payload.render());
+        let mut all_ok = true;
+        for target in targets {
+            // A torn transfer truncates the payload mid-flight; the
+            // receiver re-verifies the checksum and must reject it.
+            let torn = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.lock().expect("chaos lock").torn_transfer(&payload));
+            let sent = torn.unwrap_or_else(|| payload.clone());
+            match self.push_entry(&target, &reply.key, "compile", sent, &checksum) {
+                Ok(true) => self.with_metrics(&target, |m| m.transfers_out += 1),
+                _ => all_ok = false,
+            }
+        }
+        all_ok
+    }
+
+    fn push_entry(
+        &self,
+        target: &Endpoint,
+        key: &str,
+        kind: &str,
+        payload: Json,
+        checksum: &str,
+    ) -> Result<bool, String> {
+        let mut client = Client::connect(target).map_err(|e| e.to_string())?;
+        client
+            .set_timeout(Some(self.config.io_timeout))
+            .map_err(|e| e.to_string())?;
+        let resp = client
+            .transfer(key, kind, payload, checksum)
+            .map_err(|e| e.to_string())?;
+        Ok(resp.get("stored").and_then(Json::as_bool) == Some(true))
+    }
+
+    /// Adds a shard and warm-transfers the entries it now owns from the
+    /// rest of the fleet. Returns a progress report; transfer failures
+    /// are counted, not fatal (rerunning the join resumes the transfer).
+    pub fn join(&self, endpoint: &Endpoint) -> Json {
+        let added = {
+            let mut m = self.membership.lock().expect("membership lock");
+            m.add(endpoint.clone())
+        };
+        let report = self.rebalance();
+        membership_report("join", added, report)
+    }
+
+    /// Removes a shard. While it is still reachable its entries are
+    /// re-homed first (planned decommission); a dead shard is simply
+    /// dropped and its keys re-converge from replicas.
+    pub fn leave(&self, endpoint: &Endpoint) -> Json {
+        let removed = {
+            let mut m = self.membership.lock().expect("membership lock");
+            m.remove(endpoint)
+        };
+        let report = self.rebalance();
+        membership_report("leave", removed, report)
+    }
+
+    /// One resumable rebalance pass: every reachable shard's entries are
+    /// offered to the ring owners that do not hold them yet. Returns
+    /// `(moved, skipped, failed)`.
+    pub fn rebalance(&self) -> (u64, u64, u64) {
+        let (endpoints, replication) = {
+            let m = self.membership.lock().expect("membership lock");
+            (
+                m.shards()
+                    .iter()
+                    .map(|s| s.endpoint.clone())
+                    .collect::<Vec<_>>(),
+                self.config.replication,
+            )
+        };
+        // Snapshot who holds what (unreachable shards contribute nothing
+        // and receive nothing this pass — the next pass resumes).
+        let mut held: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut kinds: HashMap<String, String> = HashMap::new();
+        for ep in &endpoints {
+            for (key, kind) in list_keys(ep, self.config.io_timeout) {
+                held.entry(ep.to_string()).or_default().insert(key.clone());
+                kinds.insert(key, kind);
+            }
+        }
+        let (mut moved, mut skipped, mut failed) = (0u64, 0u64, 0u64);
+        for src_ep in &endpoints {
+            let src_keys: Vec<String> = held
+                .get(&src_ep.to_string())
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            for key in src_keys {
+                let owners = {
+                    let m = self.membership.lock().expect("membership lock");
+                    m.replicas_for(&key, replication)
+                };
+                for owner in owners {
+                    if owner == *src_ep {
+                        continue;
+                    }
+                    let owner_has = held
+                        .get(&owner.to_string())
+                        .is_some_and(|s| s.contains(&key));
+                    if owner_has {
+                        skipped += 1;
+                        continue;
+                    }
+                    let kind = kinds.get(&key).cloned().unwrap_or_default();
+                    match self.copy_entry(src_ep, &owner, &key, &kind) {
+                        Ok(true) => {
+                            moved += 1;
+                            self.with_metrics(&owner, |m| m.transfers_out += 1);
+                            held.entry(owner.to_string())
+                                .or_default()
+                                .insert(key.clone());
+                        }
+                        _ => failed += 1,
+                    }
+                }
+            }
+        }
+        (moved, skipped, failed)
+    }
+
+    /// Fetches one entry from `src` and transfers it to `dst`, with the
+    /// sender's checksum carried alongside so a torn copy is rejected.
+    fn copy_entry(
+        &self,
+        src: &Endpoint,
+        dst: &Endpoint,
+        key: &str,
+        kind: &str,
+    ) -> Result<bool, String> {
+        let mut from = Client::connect(src).map_err(|e| e.to_string())?;
+        from.set_timeout(Some(self.config.io_timeout))
+            .map_err(|e| e.to_string())?;
+        let fetched = from.fetch(key).map_err(|e| e.to_string())?;
+        if fetched.get("found").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{src} no longer holds {key}"));
+        }
+        let payload = fetched.get("payload").cloned().ok_or("missing payload")?;
+        let checksum = fetched.str_field("checksum")?.to_string();
+        let torn = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.lock().expect("chaos lock").torn_transfer(&payload));
+        let sent = torn.unwrap_or_else(|| payload.clone());
+        self.push_entry(dst, key, kind, sent, &checksum)
+    }
+
+    /// The router's own metrics report. With `deep`, every shard is
+    /// probed for its key list and `replica_lag` (keys the ring says it
+    /// should hold but it does not) is computed; unreachable shards get
+    /// `-1`.
+    pub fn metrics_json(&self, deep: bool) -> Json {
+        let endpoints: Vec<Endpoint> = {
+            let m = self.membership.lock().expect("membership lock");
+            m.shards().iter().map(|s| s.endpoint.clone()).collect()
+        };
+        let lags: HashMap<String, i64> = if deep {
+            self.replica_lags(&endpoints)
+        } else {
+            HashMap::new()
+        };
+        let mut shard_rows = Vec::new();
+        {
+            let mut map = self.metrics.lock().expect("metrics lock");
+            for ep in &endpoints {
+                let name = ep.to_string();
+                let m = map.entry(name.clone()).or_default();
+                if let Some(lag) = lags.get(&name) {
+                    m.replica_lag = *lag;
+                }
+                let mut row = vec![("endpoint".to_string(), Json::Str(name.clone()))];
+                if let Json::Obj(fields) = m.to_json() {
+                    row.extend(fields);
+                }
+                shard_rows.push(Json::Obj(row));
+            }
+        }
+        Json::obj(vec![
+            ("status", Json::Str("ok".to_string())),
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            ("chaos_injected", Json::Num(self.chaos_injected() as f64)),
+            ("shards", Json::Arr(shard_rows)),
+        ])
+    }
+
+    /// For each shard: how many keys the ring assigns it that it does
+    /// not hold. Unreachable shards report `-1`.
+    fn replica_lags(&self, endpoints: &[Endpoint]) -> HashMap<String, i64> {
+        let mut held: HashMap<String, Option<HashSet<String>>> = HashMap::new();
+        let mut all_keys: HashSet<String> = HashSet::new();
+        for ep in endpoints {
+            let name = ep.to_string();
+            match probe_keys(ep, self.config.io_timeout) {
+                Some(keys) => {
+                    all_keys.extend(keys.iter().cloned());
+                    held.insert(name, Some(keys));
+                }
+                None => {
+                    held.insert(name, None);
+                }
+            }
+        }
+        let mut lags = HashMap::new();
+        for ep in endpoints {
+            let name = ep.to_string();
+            match held.get(&name) {
+                Some(Some(keys)) => {
+                    let mut lag = 0i64;
+                    for key in &all_keys {
+                        let owners = {
+                            let m = self.membership.lock().expect("membership lock");
+                            m.replicas_for(key, self.config.replication)
+                        };
+                        if owners.iter().any(|o| o == ep) && !keys.contains(key) {
+                            lag += 1;
+                        }
+                    }
+                    lags.insert(name, lag);
+                }
+                _ => {
+                    lags.insert(name, -1);
+                }
+            }
+        }
+        lags
+    }
+}
+
+/// Spawns one leg thread. All chaos verdicts were pre-drawn; the thread
+/// only does socket work and reports through the channel (the send is
+/// best-effort — the receiver may already have a winner).
+#[allow(clippy::too_many_arguments)]
+fn spawn_leg(
+    tx: mpsc::Sender<(usize, Leg)>,
+    idx: usize,
+    endpoint: Endpoint,
+    src: String,
+    config: String,
+    req: String,
+    io_timeout: Duration,
+    blocked: bool,
+    garbage: Option<Vec<u8>>,
+) {
+    std::thread::spawn(move || {
+        let outcome = run_leg(&endpoint, &src, &config, &req, io_timeout, blocked, garbage);
+        let _ = tx.send((idx, outcome));
+    });
+}
+
+fn run_leg(
+    endpoint: &Endpoint,
+    src: &str,
+    config: &str,
+    req: &str,
+    io_timeout: Duration,
+    blocked: bool,
+    garbage: Option<Vec<u8>>,
+) -> Leg {
+    if blocked {
+        return Leg::Broken(format!("partition: connect to {endpoint} blocked"));
+    }
+    let mut client = match Client::connect(endpoint) {
+        Ok(c) => c,
+        Err(e) => return Leg::Broken(format!("connect: {e}")),
+    };
+    if let Err(e) = client.set_timeout(Some(io_timeout)) {
+        return Leg::Broken(format!("socket options: {e}"));
+    }
+    if let Some(bytes) = garbage {
+        // Injected line noise: feed the daemon a garbage frame and read
+        // whatever it answers (a structured error — the robustness claim
+        // under test), then treat the connection as poisoned so the
+        // request retries on a clean one.
+        let _ = client.inject_raw(&bytes);
+        let _ = client.read_response();
+        return Leg::Broken("garbage frame injected; connection poisoned".to_string());
+    }
+    match client.compile_tagged(src, config, req) {
+        Ok(resp) => Leg::Answered(resp),
+        Err(e) => Leg::Broken(format!("io: {e}")),
+    }
+}
+
+/// Lists `(key, kind)` held by a shard; empty when unreachable.
+fn list_keys(endpoint: &Endpoint, io_timeout: Duration) -> Vec<(String, String)> {
+    let Ok(mut client) = Client::connect(endpoint) else {
+        return Vec::new();
+    };
+    let _ = client.set_timeout(Some(io_timeout));
+    let Ok(resp) = client.keys() else {
+        return Vec::new();
+    };
+    resp.get("keys")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    Some((
+                        row.str_field("key").ok()?.to_string(),
+                        row.str_field("kind").ok()?.to_string(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Like [`list_keys`] but distinguishing unreachable (`None`) from
+/// reachable-and-empty (`Some(empty)`), for replica-lag accounting.
+fn probe_keys(endpoint: &Endpoint, io_timeout: Duration) -> Option<HashSet<String>> {
+    let mut client = Client::connect(endpoint).ok()?;
+    client.set_timeout(Some(io_timeout)).ok()?;
+    let resp = client.keys().ok()?;
+    Some(
+        resp.get("keys")
+            .and_then(Json::as_arr)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|row| row.str_field("key").ok().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    )
+}
+
+fn tag_via(resp: Json, served_by: &Endpoint) -> Json {
+    match resp {
+        Json::Obj(mut fields) => {
+            fields.push(("via".to_string(), Json::Str(served_by.to_string())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+fn membership_report(op: &str, changed: bool, (moved, skipped, failed): (u64, u64, u64)) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("op", Json::Str(op.to_string())),
+        ("changed", Json::Bool(changed)),
+        ("moved", Json::Num(moved as f64)),
+        ("skipped", Json::Num(skipped as f64)),
+        ("failed", Json::Num(failed as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "
+kernel axpy
+param N = 64
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+";
+
+    #[test]
+    fn empty_fleet_answers_structurally() {
+        let router = Router::new(RouterConfig::default());
+        let resp = router.compile(SRC, "infl");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            resp.str_field("message").unwrap().contains("no shards"),
+            "{}",
+            resp.render()
+        );
+    }
+
+    #[test]
+    fn parse_errors_fail_fast_without_touching_shards() {
+        let router = Router::new(RouterConfig {
+            shards: vec![Endpoint::parse("/nonexistent/shard.sock")],
+            ..RouterConfig::default()
+        });
+        let resp = router.compile("kernel {{{ not a kernel", "infl");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            resp.str_field("message").unwrap().contains("parse error"),
+            "{}",
+            resp.render()
+        );
+        assert_eq!(router.total(|m| m.requests), 0, "no shard was contacted");
+    }
+
+    #[test]
+    fn dead_fleet_exhausts_replicas_with_structured_error() {
+        let router = Router::new(RouterConfig {
+            shards: vec![
+                Endpoint::parse("/nonexistent/a.sock"),
+                Endpoint::parse("/nonexistent/b.sock"),
+            ],
+            retries: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            hedge_after: Duration::from_millis(1),
+            ..RouterConfig::default()
+        });
+        let resp = router.compile(SRC, "infl");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert!(
+            resp.str_field("message").unwrap().contains("exhausted"),
+            "{}",
+            resp.render()
+        );
+        assert!(router.total(|m| m.connect_failures) >= 2);
+        // The failed shards accrued health strikes.
+        let router_membership = router.membership.lock().unwrap();
+        assert!(router_membership
+            .shards()
+            .iter()
+            .all(|s| s.consecutive_failures > 0));
+    }
+
+    #[test]
+    fn membership_report_shape() {
+        let r = membership_report("join", true, (3, 1, 2));
+        assert_eq!(r.get("op").and_then(Json::as_str), Some("join"));
+        assert_eq!(r.get("moved").and_then(Json::as_u64), Some(3));
+        assert_eq!(r.get("skipped").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.get("failed").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn metrics_json_lists_every_shard() {
+        let router = Router::new(RouterConfig {
+            shards: vec![
+                Endpoint::parse("/nonexistent/a.sock"),
+                Endpoint::parse("/nonexistent/b.sock"),
+            ],
+            ..RouterConfig::default()
+        });
+        let m = router.metrics_json(false);
+        assert_eq!(m.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(m.get("shards").and_then(Json::as_arr).unwrap().len(), 2);
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::cache::DiskCache;
 use crate::hash::{f64_bits_hex, Fnv64};
+use crate::hot::HotTier;
 use crate::protocol::CompileReply;
 use crate::tuned::{decode_tuned, tuned_key, TUNED_KIND};
 use polyject_codegen::{
@@ -276,6 +277,11 @@ const SESSION_CAP: usize = 8;
 /// accounting never observes shared warm state.
 pub struct CompileService {
     cache: Option<Mutex<DiskCache>>,
+    /// Bounded in-memory hot tier above the disk cache (opt-in via
+    /// [`CompileService::with_hot_tier`]). Entries only enter it from a
+    /// checksum-verified disk hit or a fresh undegraded compile, so it
+    /// keeps hot keys served even while the disk underneath faults.
+    hot: Option<Mutex<HotTier>>,
     gpu: GpuModel,
     inflight: Mutex<HashMap<String, Arc<Flight>>>,
     sessions: Mutex<Vec<(String, Arc<CompileSession>)>>,
@@ -291,6 +297,7 @@ impl CompileService {
     pub fn new(cache: Option<DiskCache>, gpu: GpuModel) -> CompileService {
         CompileService {
             cache: cache.map(Mutex::new),
+            hot: None,
             gpu,
             inflight: Mutex::new(HashMap::new()),
             sessions: Mutex::new(Vec::new()),
@@ -298,6 +305,33 @@ impl CompileService {
             cancelled: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             tuned_applied: AtomicU64::new(0),
+        }
+    }
+
+    /// Enables the in-memory hot tier, holding at most `cap` decoded
+    /// replies (`0` leaves it disabled).
+    pub fn with_hot_tier(mut self, cap: usize) -> CompileService {
+        self.hot = (cap > 0).then(|| Mutex::new(HotTier::new(cap)));
+        self
+    }
+
+    /// Hot-tier occupancy and lifetime hits, when the tier is enabled.
+    pub fn hot_stats(&self) -> Option<(usize, u64)> {
+        self.hot.as_ref().map(|m| {
+            let hot = m.lock().expect("hot lock poisoned");
+            (hot.len(), hot.hits())
+        })
+    }
+
+    fn hot_get(&self, key: &str) -> Option<CompileReply> {
+        self.hot
+            .as_ref()
+            .and_then(|m| m.lock().expect("hot lock poisoned").get(key))
+    }
+
+    fn hot_put(&self, key: &str, reply: &CompileReply) {
+        if let Some(m) = &self.hot {
+            m.lock().expect("hot lock poisoned").put(key, reply.clone());
         }
     }
 
@@ -441,9 +475,16 @@ impl CompileService {
         let opts = tuned_opts.unwrap_or_default();
         let key = cache_key_with_options(&canonical, config.name(), &self.gpu, &opts);
 
+        // The hot tier answers before any disk I/O, so a fault-injected
+        // (or dead) disk never stalls a hot key.
+        if let Some(reply) = self.hot_get(&key) {
+            return Ok((reply, Served::Hit));
+        }
+
         if let Some(Some((kind, payload))) = self.with_cache(|c| c.get(&key)) {
             if kind == "compile" {
                 if let Ok(reply) = CompileReply::from_json(&payload) {
+                    self.hot_put(&key, &reply);
                     return Ok((reply, Served::Hit));
                 }
             }
@@ -509,9 +550,10 @@ impl CompileService {
                 self.degraded
                     .fetch_add(reply.solver.degraded_solves, Ordering::SeqCst);
                 // A degraded reply is a budget-shaped compromise, not the
-                // kernel's best schedule: serve it but keep it out of the
-                // cache so an unpressured request recompiles fully.
+                // kernel's best schedule: serve it but keep it out of both
+                // cache tiers so an unpressured request recompiles fully.
                 if reply.solver.degraded_solves == 0 {
+                    self.hot_put(&key, reply);
                     if let Some(Err(e)) =
                         self.with_cache(|c| c.put(&key, "compile", &reply.to_json()))
                     {
@@ -626,6 +668,30 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         assert_eq!(warm.dependence_analyses, 0, "warm serve reuses the session");
         assert_eq!(warm.farkas_linearizations, 0);
         assert!(warm.session_reuses >= 1);
+    }
+
+    #[test]
+    fn hot_tier_absorbs_reads_when_the_disk_entry_vanishes() {
+        let dir = std::env::temp_dir().join(format!("pj-hot-svc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::open_default(&dir).unwrap();
+        let svc = CompileService::new(Some(cache), GpuModel::v100()).with_hot_tier(8);
+        let (a, how) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(how, Served::Fresh);
+        assert_eq!(
+            svc.hot_stats().unwrap().0,
+            1,
+            "fresh compile enters hot tier"
+        );
+
+        // Nuke the disk entry out from under the service: the hot tier
+        // must keep answering hits without touching the (now-empty) disk.
+        std::fs::remove_dir_all(dir.join("entries")).unwrap();
+        let (b, how) = svc.serve(SRC, "infl").unwrap();
+        assert_eq!(how, Served::Hit);
+        assert_eq!(a, b, "hot tier serves the exact cached artifact");
+        assert!(svc.hot_stats().unwrap().1 >= 1, "hot hit counted");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -106,6 +106,12 @@ pub struct ServeStats {
     pub timeouts: u64,
     /// Cache entries evicted while serving.
     pub evictions: u64,
+    /// In-flight compiles cancelled by id (`cancel` requests that found
+    /// their target — a router cancelling the losing hedge leg).
+    pub cancels: u64,
+    /// Cache entries accepted over `transfer` requests (replication and
+    /// warm transfer), after checksum re-verification.
+    pub transfers_in: u64,
     /// Compile request latency aggregates.
     pub latency: LatencyAgg,
 }
@@ -123,7 +129,60 @@ impl ServeStats {
             ("errors", Json::Num(self.errors as f64)),
             ("timeouts", Json::Num(self.timeouts as f64)),
             ("evictions", Json::Num(self.evictions as f64)),
+            ("cancels", Json::Num(self.cancels as f64)),
+            ("transfers_in", Json::Num(self.transfers_in as f64)),
             ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+/// Per-shard counters a router keeps about one backend daemon.
+#[derive(Clone, Debug, Default)]
+pub struct ShardMetrics {
+    /// Attempts routed at this shard (primary or hedge leg).
+    pub requests: u64,
+    /// Attempts answered `status:"ok"`.
+    pub ok: u64,
+    /// Of the `ok` answers, how many were served from the shard's cache.
+    pub cache_hits: u64,
+    /// Attempts answered with a structured error.
+    pub errors: u64,
+    /// Attempts that failed at the socket level (connect/IO).
+    pub connect_failures: u64,
+    /// Hedge legs fired *against* this shard.
+    pub hedges_fired: u64,
+    /// Hedge legs against this shard that won the race.
+    pub hedge_wins: u64,
+    /// Losing legs on this shard that were cancelled by id.
+    pub hedge_cancels: u64,
+    /// Retry attempts re-routed to this shard after a failure elsewhere.
+    pub retries: u64,
+    /// Requests this shard absorbed because an earlier candidate was
+    /// dead or partitioned.
+    pub failovers: u64,
+    /// Entries pushed to this shard (replication + warm transfer).
+    pub transfers_out: u64,
+    /// Keys this shard should replicate but does not hold yet, as of
+    /// the last deep metrics probe (`-1` when unprobed/unreachable).
+    pub replica_lag: i64,
+}
+
+impl ShardMetrics {
+    /// The counters as a JSON object (without the endpoint name).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::Num(self.requests as f64)),
+            ("ok", Json::Num(self.ok as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("connect_failures", Json::Num(self.connect_failures as f64)),
+            ("hedges_fired", Json::Num(self.hedges_fired as f64)),
+            ("hedge_wins", Json::Num(self.hedge_wins as f64)),
+            ("hedge_cancels", Json::Num(self.hedge_cancels as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("failovers", Json::Num(self.failovers as f64)),
+            ("transfers_out", Json::Num(self.transfers_out as f64)),
+            ("replica_lag", Json::Num(self.replica_lag as f64)),
         ])
     }
 }
@@ -180,9 +239,39 @@ mod tests {
             "errors",
             "timeouts",
             "evictions",
+            "cancels",
+            "transfers_in",
             "latency",
         ] {
             assert!(j.contains(key), "{key} missing in {j}");
         }
+    }
+
+    #[test]
+    fn shard_metrics_json_has_all_counters() {
+        let m = ShardMetrics {
+            requests: 4,
+            hedge_wins: 1,
+            replica_lag: -1,
+            ..Default::default()
+        };
+        let j = m.to_json().render();
+        for key in [
+            "requests",
+            "ok",
+            "cache_hits",
+            "errors",
+            "connect_failures",
+            "hedges_fired",
+            "hedge_wins",
+            "hedge_cancels",
+            "retries",
+            "failovers",
+            "transfers_out",
+            "replica_lag",
+        ] {
+            assert!(j.contains(key), "{key} missing in {j}");
+        }
+        assert!(j.contains("\"replica_lag\":-1"), "{j}");
     }
 }

@@ -6,8 +6,11 @@
 # round-trip, an autotune smoke (same-seed searches byte-identical, warm
 # re-runs replay persisted configs with zero search, candidates 2..N of
 # each search reuse one compile session with zero dependence recompute),
-# and a polyjectd daemon smoke test (remote replies byte-identical to
-# local).
+# a polyjectd daemon smoke test (remote replies byte-identical to
+# local), the multi-node router chaos gate (>=200 injected faults across
+# a 3-daemon fleet, zero corruption, same-seed replays identical), and a
+# 3-node router smoke (cold compile through the router, owner shard
+# killed, warm hit served by its replica with zero solver work).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -54,7 +57,7 @@ echo "ok: exhausted budgets degrade down the ladder; cancellation leaves no part
 step "table2 --fast smoke (serial vs parallel identity, <10 s)"
 smoke_json="$(mktemp)"
 scratch="$(mktemp -d)"
-trap 'rm -f "$smoke_json"; rm -rf "$scratch"; kill "${daemon_pid:-0}" 2>/dev/null || true' EXIT
+trap 'rm -f "$smoke_json"; rm -rf "$scratch"; kill "${daemon_pid:-0}" "${router_pid:-0}" ${shard_pids[*]:-} 2>/dev/null || true' EXIT
 cargo run --release -q -p polyject-bench --bin table2 -- \
   --fast --bench --stats --json "$smoke_json" >/dev/null
 grep -q '"identical": true' "$smoke_json"
@@ -194,6 +197,73 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q '"hits":1' "$scratch/daemon.out"
 echo "ok: remote replies byte-identical to local, second request cached"
+
+step "router chaos gate (3-node fleet: >=200 faults, zero corruption, replay identical)"
+cargo test --release -q -p polyject-serve --test router_chaos
+echo "ok: hedged/retried/failed-over under multi-node chaos; no corrupt artifact served"
+
+step "3-node router smoke (cold via router, owner killed, warm hit via replica)"
+shard_pids=()
+for i in 0 1 2; do
+  cargo run --release -q -p polyject-serve --bin polyjectd -- \
+    --socket "$scratch/shard$i.sock" --cache-dir "$scratch/shard$i-cache" \
+    >"$scratch/shard$i.out" &
+  shard_pids+=($!)
+done
+for i in 0 1 2; do
+  for _ in $(seq 1 100); do [ -S "$scratch/shard$i.sock" ] && break; sleep 0.1; done
+  [ -S "$scratch/shard$i.sock" ] || { echo "shard $i never bound"; exit 1; }
+done
+# --hot-threshold 1: the first serve of a key immediately replicates it,
+# so a single cold compile is enough to survive the owner's death.
+cargo run --release -q -p polyject-serve --bin polyject-router -- \
+  --socket "$scratch/router.sock" --hot-threshold 1 \
+  --shard "$scratch/shard0.sock" --shard "$scratch/shard1.sock" \
+  --shard "$scratch/shard2.sock" >"$scratch/router.out" 2>/dev/null &
+router_pid=$!
+for _ in $(seq 1 100); do [ -S "$scratch/router.sock" ] && break; sleep 0.1; done
+[ -S "$scratch/router.sock" ] || { echo "router never bound"; exit 1; }
+pjc "$src" --config infl --emit cuda --remote "$scratch/router.sock" > "$scratch/cold.out"
+cmp "$scratch/local.out" "$scratch/cold.out"
+pjcache() { cargo run --release -q -p polyject-serve --bin polyject-cache -- "$@"; }
+# The owner is the only shard that compiled (sole cache miss); kill it hard.
+owner=""
+for i in 0 1 2; do
+  if pjcache stats --remote "$scratch/shard$i.sock" | grep -q '"misses":1'; then
+    owner=$i
+  fi
+done
+[ -n "$owner" ] || { echo "no shard reported the cold-compile miss"; exit 1; }
+kill -KILL "${shard_pids[$owner]}" 2>/dev/null
+wait "${shard_pids[$owner]}" 2>/dev/null || true
+pjc "$src" --config infl --emit cuda --remote "$scratch/router.sock" > "$scratch/warm.out"
+cmp "$scratch/cold.out" "$scratch/warm.out"
+# The router must report the failover + the warm hit, and a survivor must
+# have served the key from its replica copy with zero solver work.
+pjcache stats --remote "$scratch/router.sock" > "$scratch/router-stats.json"
+for i in 0 1 2; do
+  [ "$i" = "$owner" ] && continue
+  pjcache stats --remote "$scratch/shard$i.sock" > "$scratch/shard$i-stats.json"
+done
+python3 - "$scratch" "$owner" <<'EOF'
+import json, sys
+scratch, owner = sys.argv[1], sys.argv[2]
+router = json.load(open(f"{scratch}/router-stats.json"))
+assert sum(s["failovers"] for s in router["shards"]) >= 1, router
+assert sum(s["cache_hits"] for s in router["shards"]) >= 1, router
+warm = 0
+for i in "012":
+    if i == owner:
+        continue
+    s = json.load(open(f"{scratch}/shard{i}-stats.json"))["stats"]
+    if s["hits"] >= 1 and s["misses"] == 0:
+        warm += 1
+assert warm >= 1, "no survivor served the key warm with zero solver work"
+print(f"   owner shard{owner} killed; replica served warm (zero solver work)")
+EOF
+# The SIGKILLed owner's cache dir must still verify clean (atomic writes).
+pjcache "$scratch/shard$owner-cache" verify
+echo "ok: cold compile via router, owner killed, warm hit via replica; dead shard's cache intact"
 
 echo
 echo "CI gate passed."
