@@ -25,7 +25,8 @@ use polyject_serve::{
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: polyject-cache <cache-dir> stats|ls|rm <key>|verify|warm <dir> \
+const USAGE: &str = "usage: polyject-cache <cache-dir> \
+     stats|ls|rm <key>|verify|purge-quarantine|warm <dir> \
      [--config isl|novec|infl|all] [--workers <n>] | polyject-cache stats --remote <endpoint>";
 
 fn main() -> ExitCode {
@@ -42,7 +43,13 @@ fn main() -> ExitCode {
             eprintln!("--remote needs a socket path or host:port\n{USAGE}");
             return ExitCode::FAILURE;
         };
-        return remote_stats(&Endpoint::parse(addr));
+        return match Endpoint::parse(addr) {
+            Ok(endpoint) => remote_stats(&endpoint),
+            Err(e) => {
+                eprintln!("bad --remote endpoint: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let (Some(dir), Some(cmd)) = (args.first(), args.get(1)) else {
         eprintln!("{USAGE}");
@@ -129,18 +136,38 @@ fn main() -> ExitCode {
                 eprintln!("index flush failed: {e}");
                 return ExitCode::FAILURE;
             }
-            // The backlog counts every corpse in quarantine/, including
-            // ones from earlier runs: operators gate on a clean bill of
-            // health, not just on this run finding nothing new.
+            // Exit status gates on *this run's* findings. Corpses left
+            // by earlier runs are reported as a backlog but must not
+            // keep CI red forever after one transient corruption —
+            // operators acknowledge them with `purge-quarantine`.
             let backlog = cache.quarantined_count();
             println!("verified: {ok} ok, {quarantined} quarantined, {backlog} in quarantine");
-            if quarantined == 0 && backlog == 0 {
+            if quarantined == 0 {
+                if backlog > 0 {
+                    eprintln!(
+                        "note: {backlog} quarantined corpse(s) from earlier runs await \
+                         inspection (`polyject-cache {dir} purge-quarantine` clears them)"
+                    );
+                }
                 ExitCode::SUCCESS
             } else {
-                eprintln!("verify failed: corrupt entries present (CI should gate on this)");
+                eprintln!(
+                    "verify failed: {quarantined} corrupt entrie(s) quarantined this run \
+                     (CI should gate on this)"
+                );
                 ExitCode::FAILURE
             }
         }
+        "purge-quarantine" => match cache.purge_quarantine() {
+            Ok(n) => {
+                println!("purged {n} quarantined corpse(s)");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("purge failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "warm" => {
             let Some(src_dir) = args.get(2) else {
                 eprintln!("warm needs a directory of .pj files\n{USAGE}");

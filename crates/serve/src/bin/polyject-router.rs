@@ -72,7 +72,13 @@ fn main() -> ExitCode {
                 None => return ExitCode::FAILURE,
             },
             "--shard" => match value(&args, &mut i, "--shard") {
-                Some(s) => config.shards.push(Endpoint::parse(&s)),
+                Some(s) => match Endpoint::parse(&s) {
+                    Ok(ep) => config.shards.push(ep),
+                    Err(e) => {
+                        eprintln!("bad --shard endpoint: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
                 None => return ExitCode::FAILURE,
             },
             "--replication" => match int(&args, &mut i, "--replication") {
@@ -245,8 +251,14 @@ fn dispatch(router: &Router, frame: &Json, stop: &AtomicBool) -> (Json, bool) {
         ),
         Request::Stats => (router.metrics_json(false), false),
         Request::Metrics => (router.metrics_json(true), false),
-        Request::Join { endpoint } => (router.join(&Endpoint::parse(&endpoint)), false),
-        Request::Leave { endpoint } => (router.leave(&Endpoint::parse(&endpoint)), false),
+        Request::Join { endpoint } => match Endpoint::parse(&endpoint) {
+            Ok(ep) => (router.join(&ep), false),
+            Err(e) => (error_response(&format!("bad join endpoint: {e}")), false),
+        },
+        Request::Leave { endpoint } => match Endpoint::parse(&endpoint) {
+            Ok(ep) => (router.leave(&ep), false),
+            Err(e) => (error_response(&format!("bad leave endpoint: {e}")), false),
+        },
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             (

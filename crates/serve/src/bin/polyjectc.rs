@@ -78,12 +78,15 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i) {
                     Some(addrs) => {
-                        remote.extend(
-                            addrs
-                                .split(',')
-                                .filter(|a| !a.is_empty())
-                                .map(Endpoint::parse),
-                        );
+                        for addr in addrs.split(',').filter(|a| !a.is_empty()) {
+                            match Endpoint::parse(addr) {
+                                Ok(ep) => remote.push(ep),
+                                Err(e) => {
+                                    eprintln!("bad --remote endpoint: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            }
+                        }
                     }
                     None => {
                         eprintln!("--remote needs a socket path or host:port\n{USAGE}");

@@ -365,6 +365,28 @@ impl DiskCache {
             .unwrap_or(0)
     }
 
+    /// Deletes every quarantined corpse — the operator's acknowledgment
+    /// after a post-mortem, so `verify` backlogs do not linger forever.
+    /// Returns the number removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn purge_quarantine(&mut self) -> io::Result<usize> {
+        let qdir = self.dir.join("quarantine");
+        let names = match self.io.read_dir_names(&qdir) {
+            Ok(names) => names,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut removed = 0;
+        for name in names {
+            self.io.remove_file(&qdir.join(&name))?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
     fn quarantine(&mut self, key: &str, reason: &str) {
         let src = self.entry_path(key);
         if self.io.exists(&src) {
@@ -652,6 +674,14 @@ mod tests {
         assert_eq!((ok, bad), (1, 1), "orphan found and quarantined");
         assert!(!orphan.exists());
         assert_eq!(c.quarantined_count(), 1);
+        // A second verify finds nothing new: the backlog persists until
+        // an operator purges it, and purging empties it exactly once.
+        let (_, bad) = c.verify();
+        assert_eq!(bad, 0, "already-quarantined corpse re-flagged");
+        assert_eq!(c.quarantined_count(), 1);
+        assert_eq!(c.purge_quarantine().unwrap(), 1);
+        assert_eq!(c.quarantined_count(), 0);
+        assert_eq!(c.purge_quarantine().unwrap(), 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

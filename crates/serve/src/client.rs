@@ -26,15 +26,30 @@ impl Endpoint {
     /// Parses an endpoint string: anything shaped like `host:port` (no
     /// path separator, numeric port suffix) is TCP, everything else is a
     /// Unix socket path.
-    pub fn parse(s: &str) -> Endpoint {
-        let looks_tcp = !s.contains('/')
-            && s.rsplit_once(':')
-                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
-        if looks_tcp {
-            Endpoint::Tcp(s.to_string())
-        } else {
-            Endpoint::Unix(PathBuf::from(s))
+    ///
+    /// # Errors
+    ///
+    /// A string that *looks* like `host:port` (no `/`, an all-digit
+    /// suffix after the last `:`) whose port does not fit in 0-65535 is
+    /// rejected here — silently treating `localhost:99999` as a Unix
+    /// path would surface much later as a baffling "No such file or
+    /// directory" connect error.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if !s.contains('/') {
+            if let Some((host, port)) = s.rsplit_once(':') {
+                if !host.is_empty() && !port.is_empty() && port.bytes().all(|b| b.is_ascii_digit())
+                {
+                    return match port.parse::<u16>() {
+                        Ok(_) => Ok(Endpoint::Tcp(s.to_string())),
+                        Err(_) => Err(format!(
+                            "invalid port {port:?} in endpoint {s:?} (expected 0-65535; \
+                             for a Unix socket path, include a '/')"
+                        )),
+                    };
+                }
+            }
         }
+        Ok(Endpoint::Unix(PathBuf::from(s)))
     }
 }
 
@@ -360,28 +375,39 @@ mod tests {
     #[test]
     fn endpoint_parsing_heuristic() {
         assert_eq!(
-            Endpoint::parse("/tmp/pjd.sock"),
+            Endpoint::parse("/tmp/pjd.sock").unwrap(),
             Endpoint::Unix(PathBuf::from("/tmp/pjd.sock"))
         );
         assert_eq!(
-            Endpoint::parse("127.0.0.1:7421"),
+            Endpoint::parse("127.0.0.1:7421").unwrap(),
             Endpoint::Tcp("127.0.0.1:7421".to_string())
         );
         assert_eq!(
-            Endpoint::parse("localhost:65535"),
+            Endpoint::parse("localhost:65535").unwrap(),
             Endpoint::Tcp("localhost:65535".to_string())
         );
-        // Out-of-range port and portless names are paths.
+        // An out-of-range numeric port is a mistyped TCP address, not a
+        // Unix path — reject it up front instead of failing the connect
+        // later with a misleading missing-file error.
+        let err = Endpoint::parse("localhost:99999").unwrap_err();
+        assert!(err.contains("invalid port"), "{err}");
+        assert!(Endpoint::parse("host:123456789012").is_err());
+        // Portless or non-numeric suffixes are paths (files may contain
+        // colons), as are anything with a path separator.
         assert_eq!(
-            Endpoint::parse("localhost:99999"),
-            Endpoint::Unix(PathBuf::from("localhost:99999"))
-        );
-        assert_eq!(
-            Endpoint::parse("pjd.sock"),
+            Endpoint::parse("pjd.sock").unwrap(),
             Endpoint::Unix(PathBuf::from("pjd.sock"))
         );
         assert_eq!(
-            Endpoint::parse("127.0.0.1:7421").to_string(),
+            Endpoint::parse("some:name").unwrap(),
+            Endpoint::Unix(PathBuf::from("some:name"))
+        );
+        assert_eq!(
+            Endpoint::parse("/dir/localhost:99999").unwrap(),
+            Endpoint::Unix(PathBuf::from("/dir/localhost:99999"))
+        );
+        assert_eq!(
+            Endpoint::parse("127.0.0.1:7421").unwrap().to_string(),
             "127.0.0.1:7421"
         );
     }
@@ -482,9 +508,9 @@ mod tests {
     #[test]
     fn sharded_client_routes_deterministically_and_fails_over() {
         let eps = vec![
-            Endpoint::parse("/nonexistent/s0.sock"),
-            Endpoint::parse("/nonexistent/s1.sock"),
-            Endpoint::parse("/nonexistent/s2.sock"),
+            Endpoint::parse("/nonexistent/s0.sock").unwrap(),
+            Endpoint::parse("/nonexistent/s1.sock").unwrap(),
+            Endpoint::parse("/nonexistent/s2.sock").unwrap(),
         ];
         let mut sc = ShardedClient::new(eps.clone(), GpuModel::v100()).with_replication(2);
         let src = "

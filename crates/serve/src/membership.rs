@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn membership_health_reorders_replicas() {
-        let endpoints: Vec<Endpoint> = eps(3).iter().map(|s| Endpoint::parse(s)).collect();
+        let endpoints: Vec<Endpoint> = eps(3).iter().map(|s| Endpoint::parse(s).unwrap()).collect();
         let mut m = Membership::new(endpoints, DEFAULT_VNODES);
         let key = "00112233aabbccdd";
         let orig = m.replicas_for(key, 2);
@@ -291,10 +291,10 @@ mod tests {
 
     #[test]
     fn membership_add_remove_rebuilds_ring() {
-        let endpoints: Vec<Endpoint> = eps(2).iter().map(|s| Endpoint::parse(s)).collect();
+        let endpoints: Vec<Endpoint> = eps(2).iter().map(|s| Endpoint::parse(s).unwrap()).collect();
         let mut m = Membership::new(endpoints, DEFAULT_VNODES);
         assert_eq!(m.len(), 2);
-        let third = Endpoint::parse("/tmp/shard2.sock");
+        let third = Endpoint::parse("/tmp/shard2.sock").unwrap();
         assert!(m.add(third.clone()));
         assert!(!m.add(third.clone()), "double-add must be a no-op");
         assert_eq!(m.ring().shards().len(), 3);

@@ -2,10 +2,12 @@
 //! key space across a fleet of `polyjectd` daemons, with the robustness
 //! machinery a front tier needs to *degrade instead of fail*:
 //!
-//! * **Hedged requests** — after a deterministic hedge delay, a second
-//!   replica is raced against the slow primary; the first complete
-//!   response wins and the loser's in-flight solve is cancelled by
-//!   request id.
+//! * **Hedged requests** — after a deterministic hedge delay (or as
+//!   soon as the primary's socket breaks), a second replica is raced
+//!   against the primary; the first *answer* wins — a broken socket
+//!   only forfeits its own leg, never the attempt — and the loser's
+//!   in-flight solve is cancelled by request id only once a definitive
+//!   answer has won.
 //! * **Retry with capped exponential backoff** — transient failures
 //!   (socket errors, `overloaded`, errors tagged `"retryable":true`)
 //!   walk the replica list with jittered backoff; deterministic errors
@@ -38,7 +40,7 @@ use polyject_gpusim::GpuModel;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`Router`].
 #[derive(Clone, Debug)]
@@ -102,6 +104,20 @@ enum Leg {
     Broken(String),
 }
 
+/// Outcome of one hedged attempt (up to two legs).
+enum Attempt {
+    /// Some leg answered a frame; `broken` lists the legs that failed
+    /// at the socket level before the answer arrived.
+    Answered {
+        by: Endpoint,
+        resp: Json,
+        broken: Vec<(Endpoint, String)>,
+    },
+    /// Every spawned leg failed at the socket level (or the attempt as
+    /// a whole timed out).
+    Broken { failures: Vec<(Endpoint, String)> },
+}
+
 /// Chaos verdicts for one attempt, pre-drawn on the request thread so
 /// hedge threads never touch the shared RNG (which would make replays
 /// depend on scheduling).
@@ -121,6 +137,11 @@ pub struct Router {
     metrics: Mutex<HashMap<String, ShardMetrics>>,
     chaos: Option<Mutex<NetChaos>>,
     hot: Mutex<HashMap<String, HotKey>>,
+    /// Per-router token mixed into request ids. Cancels address solves
+    /// by id on shared daemons, so ids must be globally unique across
+    /// router processes and restarts — two routers counting from the
+    /// same `next_req` would cancel each other's in-flight work.
+    instance: u64,
     next_req: AtomicU64,
     requests: AtomicU64,
 }
@@ -128,6 +149,17 @@ pub struct Router {
 impl Router {
     /// Builds a router over the configured shards.
     pub fn new(config: RouterConfig) -> Router {
+        static INSTANCE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let boot_nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let instance = SplitMix64::new(
+            boot_nanos
+                ^ (u64::from(std::process::id()) << 32)
+                ^ INSTANCE_SEQ.fetch_add(1, Ordering::Relaxed),
+        )
+        .next_u64();
         let membership = Membership::new(config.shards.clone(), config.vnodes);
         Router {
             config,
@@ -135,6 +167,7 @@ impl Router {
             metrics: Mutex::new(HashMap::new()),
             chaos: None,
             hot: Mutex::new(HashMap::new()),
+            instance,
             next_req: AtomicU64::new(0),
             requests: AtomicU64::new(0),
         }
@@ -221,7 +254,17 @@ impl Router {
                 std::thread::sleep(backoff);
             }
             match self.hedged_attempt(src, config, req_index, attempt, primary, hedge, &plan) {
-                (served_by, Leg::Answered(resp)) => {
+                Attempt::Answered {
+                    by: served_by,
+                    resp,
+                    broken,
+                } => {
+                    for (ep, _) in &broken {
+                        let mut m = self.membership.lock().expect("membership lock");
+                        m.record_failure(ep);
+                        drop(m);
+                        self.with_metrics(ep, |m| m.connect_failures += 1);
+                    }
                     let status = resp.get("status").and_then(Json::as_str).unwrap_or("");
                     let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
                     if status == "ok" {
@@ -236,7 +279,10 @@ impl Router {
                                 m.cache_hits += 1;
                             }
                         });
-                        if attempt > 0 {
+                        if attempt > 0 || !broken.is_empty() {
+                            // A later attempt *or* a sibling leg's dead
+                            // socket within this one: either way the
+                            // fleet routed around a failure.
                             self.with_metrics(&served_by, |m| m.failovers += 1);
                         }
                         self.note_hot(&key, &served_by, &resp);
@@ -259,13 +305,15 @@ impl Router {
                         resp.get("message").and_then(Json::as_str).unwrap_or(status)
                     );
                 }
-                (served_by, Leg::Broken(why)) => {
-                    {
-                        let mut m = self.membership.lock().expect("membership lock");
-                        m.record_failure(&served_by);
+                Attempt::Broken { failures } => {
+                    for (ep, why) in &failures {
+                        {
+                            let mut m = self.membership.lock().expect("membership lock");
+                            m.record_failure(ep);
+                        }
+                        self.with_metrics(ep, |m| m.connect_failures += 1);
+                        last_failure = format!("{ep}: {why}");
                     }
-                    self.with_metrics(&served_by, |m| m.connect_failures += 1);
-                    last_failure = format!("{served_by}: {why}");
                 }
             }
         }
@@ -314,8 +362,12 @@ impl Router {
     }
 
     /// Runs one attempt: primary leg in a worker thread, hedge leg fired
-    /// if the primary is still silent after the hedge delay; first frame
-    /// wins and the loser's solve is cancelled by request id.
+    /// once the primary is silent past the hedge delay (or as soon as
+    /// its socket breaks). The first *answer* wins — a broken leg only
+    /// forfeits its own slot, so a fast connect failure can never
+    /// outrank a healthy replica mid-solve. Only a leg that lost to a
+    /// definitive answer is cancelled; the attempt fails only when
+    /// every spawned leg has broken.
     #[allow(clippy::too_many_arguments)]
     fn hedged_attempt(
         &self,
@@ -326,11 +378,11 @@ impl Router {
         primary: &Endpoint,
         hedge: Option<&Endpoint>,
         plan: &AttemptPlan,
-    ) -> (Endpoint, Leg) {
+    ) -> Attempt {
         let (tx, rx) = mpsc::channel::<(usize, Leg)>();
         let io_timeout = self.config.io_timeout;
-        let req_a = format!("{req_index:08x}.{attempt}.a");
-        let req_b = format!("{req_index:08x}.{attempt}.b");
+        let req_a = format!("{:016x}.{req_index:08x}.{attempt}.a", self.instance);
+        let req_b = format!("{:016x}.{req_index:08x}.{attempt}.b", self.instance);
         self.with_metrics(primary, |m| m.requests += 1);
         spawn_leg(
             tx.clone(),
@@ -343,64 +395,114 @@ impl Router {
             plan.blocked_a,
             plan.garbage_a.clone(),
         );
-
-        let mut hedged = false;
-        let first = match rx.recv_timeout(self.config.hedge_after) {
-            Ok(got) => Some(got),
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if let Some(h) = hedge {
-                    hedged = true;
-                    self.with_metrics(h, |m| {
-                        m.requests += 1;
-                        m.hedges_fired += 1;
-                    });
-                    spawn_leg(
-                        tx.clone(),
-                        1,
-                        h.clone(),
-                        src.to_string(),
-                        config.to_string(),
-                        req_b.clone(),
-                        io_timeout,
-                        plan.blocked_b,
-                        plan.garbage_b.clone(),
-                    );
-                }
-                None
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => None,
-        };
-        drop(tx);
-        let (winner_idx, outcome) = match first {
-            Some(got) => got,
-            None => match rx.recv_timeout(io_timeout + self.config.hedge_after) {
-                Ok(got) => got,
-                Err(_) => (
-                    0,
-                    Leg::Broken("attempt timed out with no leg answering".to_string()),
-                ),
-            },
-        };
-        let winner = if winner_idx == 1 {
-            hedge.cloned().unwrap_or_else(|| primary.clone())
-        } else {
-            primary.clone()
-        };
-        if hedged {
-            if winner_idx == 1 {
-                self.with_metrics(&winner, |m| m.hedge_wins += 1);
-            }
-            // Cancel the losing leg's solve so the worker is reclaimed.
-            let (loser, loser_req) = if winner_idx == 1 {
-                (primary.clone(), req_a)
+        let leg_endpoint = |idx: usize| -> Endpoint {
+            if idx == 1 {
+                hedge.cloned().unwrap_or_else(|| primary.clone())
             } else {
-                (hedge.cloned().unwrap_or_else(|| primary.clone()), req_b)
-            };
-            if self.cancel_on(&loser, &loser_req) {
-                self.with_metrics(&loser, |m| m.hedge_cancels += 1);
+                primary.clone()
+            }
+        };
+
+        let mut broken: Vec<(usize, String)> = Vec::new();
+        // Phase 1: the primary gets the hedge window to itself. An
+        // answer here wins outright; a broken socket falls through and
+        // fires the hedge immediately — no point waiting out the window
+        // on a connection that already died.
+        match rx.recv_timeout(self.config.hedge_after) {
+            Ok((_, Leg::Answered(resp))) => {
+                return Attempt::Answered {
+                    by: primary.clone(),
+                    resp,
+                    broken: Vec::new(),
+                }
+            }
+            Ok((idx, Leg::Broken(why))) => broken.push((idx, why)),
+            Err(_) => {}
+        }
+        let mut spawned = 1;
+        let mut hedged = false;
+        if let Some(h) = hedge {
+            hedged = true;
+            spawned = 2;
+            self.with_metrics(h, |m| {
+                m.requests += 1;
+                m.hedges_fired += 1;
+            });
+            spawn_leg(
+                tx.clone(),
+                1,
+                h.clone(),
+                src.to_string(),
+                config.to_string(),
+                req_b.clone(),
+                io_timeout,
+                plan.blocked_b,
+                plan.garbage_b.clone(),
+            );
+        }
+        drop(tx);
+
+        // Phase 2: wait for the first answer while any leg is still in
+        // flight; broken legs accumulate instead of deciding the race.
+        let deadline = Instant::now() + io_timeout + self.config.hedge_after;
+        while broken.len() < spawned {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(left) {
+                Ok((idx, Leg::Answered(resp))) => {
+                    let by = leg_endpoint(idx);
+                    if hedged && idx == 1 {
+                        self.with_metrics(&by, |m| m.hedge_wins += 1);
+                    }
+                    // Cancel only a leg that is still in flight and lost
+                    // to a definitive answer (ok, or a deterministic
+                    // error the caller will receive). A retryable answer
+                    // leaves the sibling alone — it may yet produce the
+                    // real result.
+                    let status = resp.get("status").and_then(Json::as_str).unwrap_or("");
+                    let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
+                    let definitive = status == "ok" || (status == "error" && !retryable);
+                    let other = 1 - idx;
+                    if definitive && other < spawned && !broken.iter().any(|(i, _)| *i == other) {
+                        let loser = leg_endpoint(other);
+                        let loser_req = if other == 1 { &req_b } else { &req_a };
+                        if self.cancel_on(&loser, loser_req) {
+                            self.with_metrics(&loser, |m| m.hedge_cancels += 1);
+                        }
+                    }
+                    return Attempt::Answered {
+                        by,
+                        resp,
+                        broken: broken
+                            .into_iter()
+                            .map(|(i, why)| (leg_endpoint(i), why))
+                            .collect(),
+                    };
+                }
+                Ok((idx, Leg::Broken(why))) => broken.push((idx, why)),
+                Err(_) => {
+                    // Attempt-level timeout: abandon the outstanding
+                    // legs without cancelling them (they lost to
+                    // nothing; a late answer may still warm the cache).
+                    let failures = (0..spawned)
+                        .map(|idx| {
+                            let why = broken
+                                .iter()
+                                .find(|(i, _)| *i == idx)
+                                .map(|(_, w)| w.clone())
+                                .unwrap_or_else(|| "attempt timed out with no answer".to_string());
+                            (leg_endpoint(idx), why)
+                        })
+                        .collect();
+                    return Attempt::Broken { failures };
+                }
             }
         }
-        (winner, outcome)
+        Attempt::Broken {
+            failures: broken
+                .into_iter()
+                .map(|(i, why)| (leg_endpoint(i), why))
+                .collect(),
+        }
     }
 
     /// Best-effort cancel of `req` on `endpoint`; true when the daemon
@@ -661,21 +763,27 @@ impl Router {
                 }
             }
         }
+        // One membership lock and one ring walk per key — not per
+        // (key x shard) — so a deep metrics probe cannot stall
+        // concurrent compile routing on a large cache.
+        let owners_by_key: Vec<(String, Vec<Endpoint>)> = {
+            let m = self.membership.lock().expect("membership lock");
+            all_keys
+                .iter()
+                .map(|k| (k.clone(), m.replicas_for(k, self.config.replication)))
+                .collect()
+        };
         let mut lags = HashMap::new();
         for ep in endpoints {
             let name = ep.to_string();
             match held.get(&name) {
                 Some(Some(keys)) => {
-                    let mut lag = 0i64;
-                    for key in &all_keys {
-                        let owners = {
-                            let m = self.membership.lock().expect("membership lock");
-                            m.replicas_for(key, self.config.replication)
-                        };
-                        if owners.iter().any(|o| o == ep) && !keys.contains(key) {
-                            lag += 1;
-                        }
-                    }
+                    let lag = owners_by_key
+                        .iter()
+                        .filter(|(key, owners)| {
+                            owners.iter().any(|o| o == ep) && !keys.contains(key)
+                        })
+                        .count() as i64;
                     lags.insert(name, lag);
                 }
                 _ => {
@@ -832,7 +940,7 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
     #[test]
     fn parse_errors_fail_fast_without_touching_shards() {
         let router = Router::new(RouterConfig {
-            shards: vec![Endpoint::parse("/nonexistent/shard.sock")],
+            shards: vec![Endpoint::parse("/nonexistent/shard.sock").unwrap()],
             ..RouterConfig::default()
         });
         let resp = router.compile("kernel {{{ not a kernel", "infl");
@@ -849,8 +957,8 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
     fn dead_fleet_exhausts_replicas_with_structured_error() {
         let router = Router::new(RouterConfig {
             shards: vec![
-                Endpoint::parse("/nonexistent/a.sock"),
-                Endpoint::parse("/nonexistent/b.sock"),
+                Endpoint::parse("/nonexistent/a.sock").unwrap(),
+                Endpoint::parse("/nonexistent/b.sock").unwrap(),
             ],
             retries: 1,
             backoff_base: Duration::from_millis(1),
@@ -887,8 +995,8 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
     fn metrics_json_lists_every_shard() {
         let router = Router::new(RouterConfig {
             shards: vec![
-                Endpoint::parse("/nonexistent/a.sock"),
-                Endpoint::parse("/nonexistent/b.sock"),
+                Endpoint::parse("/nonexistent/a.sock").unwrap(),
+                Endpoint::parse("/nonexistent/b.sock").unwrap(),
             ],
             ..RouterConfig::default()
         });

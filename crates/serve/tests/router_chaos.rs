@@ -566,6 +566,60 @@ fn hedge_cancels_losing_leg_and_reclaims_worker() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// A hedge leg that breaks instantly (dead replica) must not outrank a
+/// healthy leg mid-solve: the attempt keeps waiting for the surviving
+/// leg's answer and never cancels its solve. With one dead shard in a
+/// 2-replica set, every cold compile must still succeed on the first
+/// attempt instead of exhausting retries.
+#[test]
+fn broken_hedge_leg_does_not_beat_healthy_leg() {
+    let root = tmp_root("deadhedge");
+    let a = spawn_daemon(
+        &root.join("h.sock"),
+        &root.join("h-cache"),
+        &["--workers", "2"],
+    );
+    // Never bound: every connect to it fails in microseconds.
+    let dead = Endpoint::Unix(root.join("dead.sock"));
+    let router = Router::new(RouterConfig {
+        shards: vec![a.endpoint.clone(), dead],
+        replication: 2,
+        retries: 1,
+        // The hedge (whichever leg lands on the dead socket) always
+        // reports Broken long before the healthy compile finishes.
+        hedge_after: Duration::from_millis(1),
+        io_timeout: Duration::from_secs(120),
+        hot_threshold: 1000,
+        ..RouterConfig::default()
+    });
+    let resp = router.compile(&slow_src("deadhedge", 16), "infl");
+    assert_eq!(
+        resp.str_field("status").unwrap(),
+        "ok",
+        "healthy leg lost to a dead socket: {}",
+        resp.render()
+    );
+    assert_eq!(resp.str_field("via").unwrap(), a.endpoint.to_string());
+    assert_eq!(
+        router.total(|m| m.hedge_cancels),
+        0,
+        "a broken leg must never trigger a cancel of the healthy one"
+    );
+    // The daemon's governance agrees: nothing was cancelled mid-solve.
+    let s = a.stats();
+    assert_eq!(
+        s.get("stats")
+            .and_then(|v| v.get("cancels"))
+            .and_then(Json::as_u64),
+        Some(0),
+        "{}",
+        s.render()
+    );
+
+    a.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Warm transfers are torn-transfer-safe and resumable: a payload torn
 /// in flight is rejected by the receiver's checksum re-verification
 /// (counted, not fatal), and the next rebalance pass lands it intact.
