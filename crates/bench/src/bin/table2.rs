@@ -23,7 +23,13 @@
 //!   `"tune"` section (per-op default-vs-tuned times plus the geomean)
 //!   into `BENCH_table2.json`; a warm re-run replays every persisted
 //!   configuration with zero search;
-//! * `--tune-seed N` — override the search seed (default: the tuner's).
+//! * `--tune-seed N` — override the search seed (default: the tuner's);
+//! * `--throughput` — batched-vs-sequential serving comparison: spawn a
+//!   cold in-process daemon fleet per leg, push the whole op stream ×
+//!   three configs through `compile_batch` and through one-at-a-time
+//!   round trips, verify the artifact fields are identical, and splice a
+//!   `"throughput"` section into `BENCH_table2.json`;
+//! * `--shards N` — fleet size for `--throughput` (default 3).
 
 use polyject_bench::{
     default_workers, measurements_identical, render_bench_json, render_table2, run_table2_networks,
@@ -210,6 +216,35 @@ fn run_tune_bench(
     splice_section(json_path, "tune", b.to_json());
 }
 
+/// The `--throughput` mode: the op stream through a cold fleet one item
+/// per round trip, then through a fresh cold fleet as one scatter-gather
+/// batch, artifact-identity checked and recorded as the `"throughput"`
+/// section.
+fn run_throughput(nets: &[Network], model: &GpuModel, shards: usize, json_path: &str) {
+    eprintln!("[throughput] spawning {shards}-shard fleets: sequential leg, then batched ...");
+    let b = polyject_bench::run_throughput_bench(nets, model, shards, 2).expect("throughput bench");
+    eprintln!(
+        "[throughput] {} item(s) ({} unique): sequential {:.2}s / {} round trip(s) vs \
+         batched {:.2}s / {} round trip(s) -> {:.2}x \
+         | dedup_hits {} session_reuses {} | identical: {} -> {json_path}",
+        b.items,
+        b.unique_items,
+        b.sequential.wall_s,
+        b.sequential.round_trips,
+        b.batched.wall_s,
+        b.batched.round_trips,
+        b.speedup(),
+        b.batch_dedup_hits,
+        b.batch_session_reuses,
+        b.identical
+    );
+    assert!(
+        b.identical,
+        "batched and sequential replies diverged on deterministic artifact fields"
+    );
+    splice_section(json_path, "throughput", b.to_json());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let has = |f: &str| args.iter().any(|a| a == f);
@@ -246,6 +281,11 @@ fn main() {
 
     let model = GpuModel::v100();
     let nets: Vec<Network> = if fast { vec![lstm()] } else { all_networks() };
+    if has("--throughput") {
+        let shards = after("--shards").and_then(|v| v.parse().ok()).unwrap_or(3);
+        run_throughput(&nets, &model, shards, &json_path);
+        return;
+    }
     // On a single-core machine a "parallel" leg would only measure thread
     // overhead; run the second leg serially and record that honestly.
     let cores = default_workers();

@@ -10,9 +10,13 @@
 #![warn(missing_docs)]
 
 mod cached;
+mod throughput;
 mod tuned;
 
 pub use cached::{op_cache_key, run_table2_networks_cached, CacheBench, CachedTable2};
+pub use throughput::{
+    artifact_fields, run_throughput_bench, table2_batch_items, Fleet, LegStats, ThroughputBench,
+};
 pub use tuned::{run_table2_tuned, TuneBench, TunedOp};
 // The worker pool lives in `polyject-serve` (shared with the daemon);
 // re-exported here so existing `polyject_bench::parallel_map` users keep

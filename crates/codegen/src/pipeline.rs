@@ -223,7 +223,7 @@ fn lower(
 /// artifacts to a cold [`compile_with_options`] call — pinned by the
 /// session differential suite in `crates/workloads`.
 pub struct CompileSession {
-    session: polyject_core::ScheduleSession,
+    session: std::sync::Arc<polyject_core::ScheduleSession>,
     config: Config,
     lowered: std::sync::Mutex<LoweredMemo>,
 }
@@ -257,14 +257,40 @@ impl CompileSession {
     /// the *default* scheduler options — the ones every autotune
     /// candidate compiles under.
     pub fn new(kernel: &Kernel, config: Config) -> CompileSession {
+        CompileSession::with_session(
+            std::sync::Arc::new(polyject_core::ScheduleSession::new(
+                kernel,
+                SchedulerOptions::default(),
+            )),
+            config,
+        )
+    }
+
+    /// Opens a session for `config` over an already-built (shared)
+    /// [`polyject_core::ScheduleSession`]. The schedule session is
+    /// config-independent — it holds the kernel's dependence analysis,
+    /// Farkas linearizations and prepared base context, none of which
+    /// depend on [`Config`] — so one can back the `isl`, `novec` and
+    /// `infl` compiles of a kernel family at once: the first config pays
+    /// the invariant prefix, the rest reuse it (observable as
+    /// `session_reuses`) while each keeps its own lowered-artifact memo.
+    pub fn with_session(
+        session: std::sync::Arc<polyject_core::ScheduleSession>,
+        config: Config,
+    ) -> CompileSession {
         CompileSession {
-            session: polyject_core::ScheduleSession::new(kernel, SchedulerOptions::default()),
+            session,
             config,
             lowered: std::sync::Mutex::new(LoweredMemo {
                 entries: Vec::new(),
                 next_id: 0,
             }),
         }
+    }
+
+    /// The shared schedule session backing this compile session.
+    pub fn schedule_session(&self) -> &std::sync::Arc<polyject_core::ScheduleSession> {
+        &self.session
     }
 
     /// The session's kernel.
@@ -428,6 +454,32 @@ mod tests {
         assert_eq!(format!("{:?}", a.ast), format!("{:?}", b.ast));
         assert_eq!(a.vector_loops, b.vector_loops);
         assert_eq!(a.influenced, b.influenced);
+    }
+
+    #[test]
+    fn shared_schedule_session_is_config_independent() {
+        // One ScheduleSession backing all three configs must reproduce
+        // the cold pipeline bitwise — the schedule session holds only
+        // config-invariant state (deps, Farkas, base context).
+        let kernel = ops::transpose_2d(128, 128);
+        let shared = std::sync::Arc::new(polyject_core::ScheduleSession::new(
+            &kernel,
+            SchedulerOptions::default(),
+        ));
+        for config in Config::all() {
+            let warm = CompileSession::with_session(std::sync::Arc::clone(&shared), config)
+                .compile_with(&Budget::unlimited(), &CompileOptions::default())
+                .unwrap();
+            let cold = compile(&kernel, config).unwrap();
+            assert_eq!(
+                format!("{:?}", warm.ast),
+                format!("{:?}", cold.ast),
+                "{} diverged under a shared session",
+                config.name()
+            );
+            assert_eq!(warm.vector_loops, cold.vector_loops);
+            assert_eq!(warm.influenced, cold.influenced);
+        }
     }
 
     #[test]

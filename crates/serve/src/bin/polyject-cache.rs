@@ -6,12 +6,16 @@
 //! polyject-cache <cache-dir> rm <key>
 //! polyject-cache <cache-dir> verify
 //! polyject-cache <cache-dir> warm <dir-of-.pj-files> [--config isl|novec|infl|all] [--workers <n>]
-//! polyject-cache stats --remote <endpoint>
+//! polyject-cache stats --remote <endpoint>[,<endpoint>...]
 //! ```
 //!
 //! `stats --remote` asks a running `polyjectd` for its `metrics` report
 //! (per-shard identity, hit/miss/cancel/transfer counters, hot-tier and
-//! fault-injection state) instead of opening a cache directory.
+//! fault-injection state) instead of opening a cache directory. A
+//! comma-separated endpoint list polls the whole fleet and prints
+//! fleet-wide totals (numeric counters summed across shards) plus the
+//! per-shard breakdown; unreachable shards are reported per-shard and
+//! fail the exit status without hiding the reachable ones.
 //!
 //! `warm` compiles every `.pj` file under the given directory through the
 //! cache (on a worker pool), so a later daemon or `table2 --cache-dir`
@@ -27,7 +31,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: polyject-cache <cache-dir> \
      stats|ls|rm <key>|verify|purge-quarantine|warm <dir> \
-     [--config isl|novec|infl|all] [--workers <n>] | polyject-cache stats --remote <endpoint>";
+     [--config isl|novec|infl|all] [--workers <n>] | \
+     polyject-cache stats --remote <endpoint>[,<endpoint>...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,16 +44,27 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("stats")
         && args.get(1).map(String::as_str) == Some("--remote")
     {
-        let Some(addr) = args.get(2) else {
+        let Some(addrs) = args.get(2) else {
             eprintln!("--remote needs a socket path or host:port\n{USAGE}");
             return ExitCode::FAILURE;
         };
-        return match Endpoint::parse(addr) {
-            Ok(endpoint) => remote_stats(&endpoint),
-            Err(e) => {
-                eprintln!("bad --remote endpoint: {e}");
+        let mut endpoints = Vec::new();
+        for addr in addrs.split(',').filter(|a| !a.is_empty()) {
+            match Endpoint::parse(addr) {
+                Ok(ep) => endpoints.push(ep),
+                Err(e) => {
+                    eprintln!("bad --remote endpoint: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return match endpoints.as_slice() {
+            [] => {
+                eprintln!("--remote needs at least one endpoint\n{USAGE}");
                 ExitCode::FAILURE
             }
+            [endpoint] => remote_stats(endpoint),
+            fleet => fleet_stats(fleet),
         };
     }
     let (Some(dir), Some(cmd)) = (args.first(), args.get(1)) else {
@@ -240,6 +256,95 @@ fn remote_stats(endpoint: &Endpoint) -> ExitCode {
             eprintln!("metrics request failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Recursively sums the numeric fields of `report` into `total`
+/// (objects merge by key; strings, booleans, and arrays are identity
+/// fields, not counters, and are skipped). Latency aggregates are
+/// skipped too — a sum of per-shard means/percentiles is not a fleet
+/// aggregate; the per-shard breakdown keeps them.
+fn add_numeric(total: &mut Json, report: &Json) {
+    let (Json::Obj(acc), Json::Obj(fields)) = (total, report) else {
+        return;
+    };
+    for (k, v) in fields {
+        if k == "latency" {
+            continue;
+        }
+        match v {
+            Json::Num(n) => match acc.iter_mut().find(|(ak, _)| ak == k) {
+                Some((_, Json::Num(a))) => *a += n,
+                Some(_) => {}
+                None => acc.push((k.clone(), Json::Num(*n))),
+            },
+            Json::Obj(_) => {
+                if !acc.iter().any(|(ak, _)| ak == k) {
+                    acc.push((k.clone(), Json::Obj(Vec::new())));
+                }
+                let slot = acc
+                    .iter_mut()
+                    .find_map(|(ak, av)| (ak == k).then_some(av))
+                    .expect("slot pushed above");
+                add_numeric(slot, v);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Polls every shard of a fleet for its `metrics` report and prints
+/// fleet-wide totals plus the per-shard breakdown. Unreachable shards
+/// appear in the breakdown with an `error` field; the exit status is
+/// nonzero unless every shard answered `ok`.
+fn fleet_stats(endpoints: &[Endpoint]) -> ExitCode {
+    let mut totals = Json::Obj(Vec::new());
+    let mut per_shard = Vec::new();
+    let mut reachable = 0usize;
+    for endpoint in endpoints {
+        let result = Client::connect(endpoint).and_then(|mut c| c.metrics());
+        let mut row = vec![("endpoint".to_string(), Json::Str(endpoint.to_string()))];
+        match result {
+            Ok(resp) if resp.get("status").and_then(Json::as_str) == Some("ok") => {
+                reachable += 1;
+                add_numeric(&mut totals, &resp);
+                if let Json::Obj(fields) = resp {
+                    row.extend(fields.into_iter().filter(|(k, _)| k != "status"));
+                }
+            }
+            Ok(resp) => {
+                row.push((
+                    "error".to_string(),
+                    Json::Str(
+                        resp.str_field("message")
+                            .unwrap_or("daemon answered non-ok")
+                            .to_string(),
+                    ),
+                ));
+            }
+            Err(e) => row.push(("error".to_string(), Json::Str(e.to_string()))),
+        }
+        per_shard.push(Json::Obj(row));
+    }
+    let report = Json::obj(vec![
+        (
+            "status",
+            Json::Str(if reachable == endpoints.len() {
+                "ok".to_string()
+            } else {
+                "degraded".to_string()
+            }),
+        ),
+        ("shards", Json::Num(endpoints.len() as f64)),
+        ("reachable", Json::Num(reachable as f64)),
+        ("totals", totals),
+        ("per_shard", Json::Arr(per_shard)),
+    ]);
+    println!("{}", report.render_pretty());
+    if reachable == endpoints.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

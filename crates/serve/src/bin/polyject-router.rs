@@ -18,7 +18,9 @@
 //! change membership with a warm transfer of re-homed entries.
 
 use polyject_gpusim::GpuModel;
-use polyject_serve::protocol::{error_response, read_frame, write_frame};
+use polyject_serve::protocol::{
+    batch_done_response, batch_item_response, error_response, read_frame, write_frame,
+};
 use polyject_serve::{Endpoint, Json, Request, Router, RouterConfig};
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -228,6 +230,42 @@ fn serve_conn(mut stream: Box<dyn ReadWrite>, router: &Router, stop: &AtomicBool
                 return;
             }
         };
+        // Batches answer with several frames per request frame, which
+        // the single-frame dispatch below cannot express — handle them
+        // here, where the stream is in hand. The router scatter-gathers
+        // (all shards answered before anything is written), so the
+        // per-item frames go out reassembled in request order.
+        if frame.str_field("op") == Ok("compile_batch") {
+            match Request::from_json(&frame) {
+                Ok(Request::CompileBatch { items, .. }) => {
+                    let pairs: Vec<(String, String)> =
+                        items.into_iter().map(|it| (it.src, it.config)).collect();
+                    let replies = router.compile_batch(&pairs);
+                    let total = replies.len();
+                    let (mut ok, mut errors, mut overloaded) = (0, 0, 0);
+                    let mut alive = true;
+                    for (i, reply) in replies.into_iter().enumerate() {
+                        match reply.get("status").and_then(Json::as_str) {
+                            Some("ok") => ok += 1,
+                            Some("overloaded") => overloaded += 1,
+                            _ => errors += 1,
+                        }
+                        alive = alive
+                            && write_frame(&mut stream, &batch_item_response(i, total, reply))
+                                .is_ok();
+                    }
+                    let done = batch_done_response(total, ok, errors, overloaded);
+                    if !alive || write_frame(&mut stream, &done).is_err() {
+                        return;
+                    }
+                }
+                Ok(_) => unreachable!("op compile_batch parses as CompileBatch"),
+                Err(e) => {
+                    let _ = write_frame(&mut stream, &error_response(&e));
+                }
+            }
+            continue;
+        }
         let (resp, closing) = dispatch(router, &frame, stop);
         if write_frame(&mut stream, &resp).is_err() || closing {
             return;
@@ -242,6 +280,11 @@ fn dispatch(router: &Router, frame: &Json, stop: &AtomicBool) -> (Json, bool) {
     };
     match req {
         Request::Compile { src, config, .. } => (router.compile(&src, &config), false),
+        // Intercepted in `serve_conn` (batches stream multiple frames).
+        Request::CompileBatch { .. } => (
+            error_response("compile_batch needs a streaming connection"),
+            false,
+        ),
         Request::Ping => (
             Json::obj(vec![
                 ("status", Json::Str("ok".to_string())),

@@ -19,19 +19,25 @@
 //! configuration. With `--cache-dir`, the tuned configuration persists:
 //! a warm re-run (and any daemon sharing the directory) replays it with
 //! zero search.
+//!
+//! With `--batch <file>` (remote only), every kernel in the file (one
+//! per `kernel ...` block) is compiled in one `compile_batch` round
+//! trip per shard instead of one round trip per kernel; replies stream
+//! back as they complete and are printed in request order.
 
 use polyject_codegen::{compile, render, render_cuda, Config};
 use polyject_core::{build_influence_tree, render_schedule_tree, schedule_tree, Budget};
 use polyject_front::{emit_pj, parse};
 use polyject_gpusim::{estimate, profile, GpuModel, KernelTiming};
 use polyject_serve::client::ShardedClient;
-use polyject_serve::{tune_cached, Client, CompileService, DiskCache, Endpoint, Json};
+use polyject_serve::{tune_cached, BatchItem, Client, CompileService, DiskCache, Endpoint, Json};
 use polyject_tune::TuneOptions;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: polyjectc <file.pj> [--config isl|novec|infl] \
      [--emit code|cuda|schedule|schedtree|tree|profile|pj|time|all] \
-     [--remote <endpoint>[,<endpoint>...]] [--tune] [--tune-seed <n>] [--cache-dir <dir>]";
+     [--remote <endpoint>[,<endpoint>...]] [--batch <file.pj>] \
+     [--tune] [--tune-seed <n>] [--cache-dir <dir>]";
 
 /// Every `--emit` value the driver understands.
 const EMIT_VALUES: [&str; 9] = [
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
     let mut config = Config::Influenced;
     let mut emit = "all".to_string();
     let mut remote: Vec<Endpoint> = Vec::new();
+    let mut batch: Option<String> = None;
     let mut tune = false;
     let mut tune_seed: Option<u64> = None;
     let mut cache_dir: Option<std::path::PathBuf> = None;
@@ -90,6 +97,16 @@ fn main() -> ExitCode {
                     }
                     None => {
                         eprintln!("--remote needs a socket path or host:port\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--batch" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => batch = Some(f.clone()),
+                    None => {
+                        eprintln!("--batch needs a file of kernels\n{USAGE}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -135,6 +152,13 @@ fn main() -> ExitCode {
             EMIT_VALUES.join("|")
         );
         return ExitCode::FAILURE;
+    }
+    if let Some(batch_file) = batch {
+        if remote.is_empty() {
+            eprintln!("--batch delegates to daemons; it needs --remote");
+            return ExitCode::FAILURE;
+        }
+        return run_batch(&remote, &batch_file, config);
     }
     let Some(file) = file else {
         eprintln!("{USAGE}");
@@ -265,6 +289,104 @@ fn main() -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+/// Splits a multi-kernel `.pj` file into one source per `kernel` block.
+/// A prologue before the first `kernel` line (file-header comments) is
+/// dropped rather than submitted as a bogus item.
+fn split_kernels(src: &str) -> Vec<String> {
+    let mut entries: Vec<String> = Vec::new();
+    for line in src.lines() {
+        if line.trim_start().starts_with("kernel ") || entries.is_empty() {
+            entries.push(String::new());
+        }
+        let entry = entries.last_mut().expect("entry started above");
+        entry.push_str(line);
+        entry.push('\n');
+    }
+    entries.retain(|e| e.lines().any(|l| l.trim_start().starts_with("kernel ")));
+    entries
+}
+
+/// Compiles every kernel in `batch_file` through the fleet in one
+/// `compile_batch` round trip per shard, printing a per-item summary
+/// line in request order plus the round-trip count a sequential client
+/// would have spent one-per-kernel.
+fn run_batch(endpoints: &[Endpoint], batch_file: &str, config: Config) -> ExitCode {
+    let src = match std::fs::read_to_string(batch_file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{batch_file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let items: Vec<BatchItem> = split_kernels(&src)
+        .into_iter()
+        .map(|s| BatchItem::new(s, config.name()))
+        .collect();
+    if items.is_empty() {
+        eprintln!("{batch_file}: no kernels found (expected `kernel <name>` blocks)");
+        return ExitCode::FAILURE;
+    }
+    let (replies, round_trips) = if endpoints.len() == 1 {
+        let endpoint = &endpoints[0];
+        let attempt = match Client::connect(endpoint) {
+            Ok(mut client) => client.compile_batch(&items, None),
+            Err(e) => {
+                eprintln!("cannot reach daemon at {endpoint}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match attempt {
+            Ok(r) => (r, 1),
+            Err(e) => {
+                eprintln!("daemon batch request failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        ShardedClient::new(endpoints.to_vec(), GpuModel::v100()).compile_batch(&items)
+    };
+    let mut failed = 0usize;
+    for (i, resp) in replies.iter().enumerate() {
+        match resp.str_field("status") {
+            Ok("ok") => {
+                let cached = resp.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                println!(
+                    "[{i}] ok key={} vector_loops={} {}{}",
+                    resp.str_field("key").unwrap_or("?"),
+                    resp.get("vector_loops").and_then(Json::as_u64).unwrap_or(0),
+                    if cached { "cached" } else { "compiled" },
+                    resp.str_field("via")
+                        .map(|v| format!(" via={v}"))
+                        .unwrap_or_default(),
+                );
+            }
+            Ok("overloaded") => {
+                failed += 1;
+                println!("[{i}] overloaded (retry later)");
+            }
+            _ => {
+                failed += 1;
+                println!(
+                    "[{i}] error: {}",
+                    resp.str_field("message").unwrap_or("daemon error")
+                );
+            }
+        }
+    }
+    println!(
+        "[batch] {} kernel(s), {} ok, {} failed, {} round trip(s)",
+        replies.len(),
+        replies.len() - failed,
+        failed,
+        round_trips,
+    );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Delegates the compile to one daemon (single endpoint) or the key's

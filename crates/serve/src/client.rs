@@ -3,7 +3,7 @@
 
 use crate::json::Json;
 use crate::membership::{Membership, DEFAULT_VNODES};
-use crate::protocol::{read_frame, write_frame, Request};
+use crate::protocol::{error_response, read_frame, write_frame, BatchItem, Request};
 use polyject_gpusim::GpuModel;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -187,6 +187,61 @@ impl Client {
         })
     }
 
+    /// Compiles a whole batch in one round trip: sends a single
+    /// `compile_batch` frame and reads streamed per-item reply frames
+    /// until the closing `batch_done` summary. Returns one inner reply
+    /// per item, in request order, regardless of the (pipelined,
+    /// completion-ordered) arrival order on the wire; an item the server
+    /// never answered degrades to a structured error object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and framing failures (a mid-batch disconnect loses
+    /// the items already received — retry the batch).
+    pub fn compile_batch(
+        &mut self,
+        items: &[BatchItem],
+        req: Option<&str>,
+    ) -> io::Result<Vec<Json>> {
+        write_frame(
+            &mut self.conn,
+            &Request::CompileBatch {
+                items: items.to_vec(),
+                req: req.map(str::to_string),
+            }
+            .to_json(),
+        )?;
+        let mut slots: Vec<Option<Json>> = vec![None; items.len()];
+        loop {
+            let frame = read_frame(&mut self.conn)?;
+            match frame.str_field("status") {
+                Ok("item") => {
+                    let index = frame.num_field("index").map_err(invalid_data)? as usize;
+                    let reply = frame
+                        .get("reply")
+                        .cloned()
+                        .ok_or_else(|| invalid_data("item frame missing reply".to_string()))?;
+                    if let Some(slot) = slots.get_mut(index) {
+                        *slot = Some(reply);
+                    }
+                }
+                Ok("batch_done") => break,
+                // A top-level error (malformed batch request) aborts the
+                // whole call — there are no per-item results to salvage.
+                _ => {
+                    return Err(invalid_data(format!(
+                        "unexpected batch frame: {}",
+                        frame.render()
+                    )))
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.unwrap_or_else(|| error_response("server sent no reply for this item")))
+            .collect())
+    }
+
     /// Cancels an in-flight compile by request id.
     ///
     /// # Errors
@@ -299,6 +354,10 @@ impl Client {
     }
 }
 
+fn invalid_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Client-side shard selection: `polyjectc --remote a,b,c` routes each
 /// request over the same consistent-hash ring a `polyject-router` uses,
 /// trying the key's replicas in health order — no router process needed
@@ -365,6 +424,84 @@ impl ShardedClient {
             }
         }
         Err(last)
+    }
+
+    /// Compiles a whole batch through the fleet with scatter-gather:
+    /// items are partitioned by owning shard, each shard gets its
+    /// sub-batch in ONE `compile_batch` round trip over one connection,
+    /// all sub-batches are in flight concurrently (so the whole fleet's
+    /// worker pools crunch at once), and the replies are reassembled in
+    /// request order. An item whose sub-batch connection failed falls
+    /// back to the per-item [`ShardedClient::compile`] path (which walks
+    /// the replicas), so a dead shard degrades that sub-batch instead of
+    /// failing the batch.
+    ///
+    /// Returns the per-item replies plus the number of client round
+    /// trips taken (sub-batches + any per-item fallbacks) — the number a
+    /// sequential client would spend one-per-item.
+    pub fn compile_batch(&mut self, items: &[BatchItem]) -> (Vec<Json>, u64) {
+        // Group item indices by primary owner, in first-occurrence order
+        // so the scatter is deterministic for a fixed membership.
+        let mut groups: Vec<(Endpoint, Vec<usize>)> = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let owner = self.route(&item.src, &item.config).into_iter().next();
+            let Some(owner) = owner else {
+                continue; // no shards configured; handled below
+            };
+            match groups.iter_mut().find(|(ep, _)| *ep == owner) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((owner, vec![i])),
+            }
+        }
+        let mut slots: Vec<Option<Json>> = vec![None; items.len()];
+        let mut round_trips = groups.len() as u64;
+        // Concurrent scatter: one thread per sub-batch, gathered before
+        // any fallback so membership updates stay on this thread.
+        let gathered: Vec<io::Result<Vec<Json>>> = std::thread::scope(|scope| {
+            let legs: Vec<_> = groups
+                .iter()
+                .map(|(endpoint, idxs)| {
+                    let sub: Vec<BatchItem> = idxs.iter().map(|&i| items[i].clone()).collect();
+                    scope.spawn(move || {
+                        Client::connect(endpoint)
+                            .and_then(|mut client| client.compile_batch(&sub, None))
+                    })
+                })
+                .collect();
+            legs.into_iter()
+                .map(|leg| {
+                    leg.join()
+                        .unwrap_or_else(|_| Err(io::Error::other("leg panicked")))
+                })
+                .collect()
+        });
+        for ((endpoint, idxs), attempt) in groups.iter().zip(gathered) {
+            match attempt {
+                Ok(replies) => {
+                    self.membership.record_success(endpoint);
+                    for (&i, reply) in idxs.iter().zip(replies) {
+                        slots[i] = Some(reply);
+                    }
+                }
+                Err(_) => {
+                    self.membership.record_failure(endpoint);
+                }
+            }
+        }
+        // Per-item fallback for anything the scatter did not answer.
+        let replies = items
+            .iter()
+            .zip(slots)
+            .map(|(item, slot)| match slot {
+                Some(reply) => reply,
+                None => {
+                    round_trips += 1;
+                    self.compile(&item.src, &item.config)
+                        .unwrap_or_else(|e| error_response(&format!("all replicas failed: {e}")))
+                }
+            })
+            .collect();
+        (replies, round_trips)
     }
 }
 

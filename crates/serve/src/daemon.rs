@@ -19,8 +19,8 @@ use crate::json::Json;
 use crate::pool::{default_workers, WorkerPool};
 use crate::protocol::CompileReply;
 use crate::protocol::{
-    error_response, ok_response, overloaded_response, retryable_error_response, write_frame,
-    Request, MAX_FRAME,
+    batch_done_response, batch_item_response, error_response, ok_response, overloaded_response,
+    retryable_error_response, write_frame, BatchItem, Request, MAX_FRAME,
 };
 use crate::service::{CompileService, Served};
 use crate::stats::ServeStats;
@@ -496,6 +496,14 @@ fn dispatch(shared: &Arc<Shared>, frame: &Json) -> (Json, bool) {
             false,
         ),
         Request::Compile { src, config, req } => (serve_compile(shared, src, config, req), false),
+        Request::CompileBatch { .. } => (
+            // Batches stream multiple reply frames per request frame, so
+            // they are intercepted in `handle_conn` (which owns the
+            // stream) before single-frame dispatch; reaching this arm
+            // means a non-streaming caller routed one here.
+            error_response("compile_batch needs a streaming connection"),
+            false,
+        ),
         Request::Shutdown => {
             shared.stop.store(true, Ordering::SeqCst);
             (
@@ -634,6 +642,262 @@ fn serve_compile(
     resp
 }
 
+/// Reserves up to `want` bounded-queue slots with a CAS loop, so a batch
+/// admission is atomic against concurrent singles and other batches: a
+/// batch of N ops consumes N slots or reports the shortfall per-item —
+/// it can never slip past the `queue_bound` a stream of singles respects.
+fn reserve_slots(shared: &Shared, want: usize) -> usize {
+    let mut granted = 0;
+    while granted < want {
+        let cur = shared.pending.load(Ordering::SeqCst);
+        if cur >= shared.queue_bound {
+            break;
+        }
+        let take = (shared.queue_bound - cur).min(want - granted);
+        if shared
+            .pending
+            .compare_exchange(cur, cur + take, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            granted += take;
+        }
+    }
+    granted
+}
+
+/// Serves one `compile_batch`: admits the batch as N queue slots
+/// ([`reserve_slots`]; the unadmitted tail is answered `overloaded`
+/// per-item), dedups identical `(src, config)` items in-batch, fans the
+/// unique admitted items over the worker pool, and *streams* one
+/// [`batch_item_response`] frame per item as results land — the client
+/// sees early items while later ones are still compiling — closing with
+/// a [`batch_done_response`] summary. Returns `false` when the
+/// connection died mid-batch (remaining work is cancelled).
+fn serve_compile_batch<W: Write>(
+    shared: &Arc<Shared>,
+    out: &mut W,
+    items: Vec<BatchItem>,
+    req_id: Option<String>,
+) -> bool {
+    shared.tune_cancel.store(true, Ordering::SeqCst);
+    let total = items.len();
+    {
+        let mut stats = shared.stats.lock().expect("stats lock poisoned");
+        stats.requests += 1;
+        stats.batch_requests += 1;
+        stats.batch_items += total as u64;
+    }
+    if total == 0 {
+        return write_frame(out, &batch_done_response(0, 0, 0, 0)).is_ok();
+    }
+
+    // In-batch dedup: the first occurrence of each (src, config) is the
+    // primary; later occurrences ride its result.
+    let mut primary_of: HashMap<(&str, &str), usize> = HashMap::new();
+    let mut dup_of: Vec<Option<usize>> = vec![None; total];
+    for (i, it) in items.iter().enumerate() {
+        match primary_of.entry((it.src.as_str(), it.config.as_str())) {
+            std::collections::hash_map::Entry::Occupied(e) => dup_of[i] = Some(*e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(i);
+            }
+        }
+    }
+    let dedup_hits = dup_of.iter().filter(|d| d.is_some()).count();
+    shared
+        .stats
+        .lock()
+        .expect("stats lock poisoned")
+        .batch_dedup_hits += dedup_hits as u64;
+
+    // Admission: every item — duplicates included — needs a slot, and the
+    // slots are taken atomically, so one giant batch cannot bypass the
+    // bound. Items are admitted in index order; a duplicate's primary has
+    // a lower index, so an admitted duplicate always has an admitted
+    // primary.
+    let granted = reserve_slots(shared, total);
+    let admitted = |i: usize| i < granted;
+    // A duplicate holds no worker: its slot is released as soon as the
+    // batch is dispatched (it was still counted at admission, which is
+    // where the backpressure decision happens).
+    let admitted_dups = (0..granted).filter(|&i| dup_of[i].is_some()).count();
+    if admitted_dups > 0 {
+        shared.pending.fetch_sub(admitted_dups, Ordering::SeqCst);
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, Result<(CompileReply, Served), String>, u64, f64)>();
+    let cancel = Arc::new(AtomicBool::new(false));
+    if let Some(id) = &req_id {
+        shared
+            .cancel_reg
+            .lock()
+            .expect("cancel registry poisoned")
+            .insert(id.clone(), Arc::clone(&cancel));
+    }
+    let mut outstanding = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        if !admitted(i) || dup_of[i].is_some() {
+            continue;
+        }
+        let tx = tx.clone();
+        let worker_cancel = Arc::clone(&cancel);
+        let worker_shared = Arc::clone(shared);
+        let src = item.src.clone();
+        let config = item.config.clone();
+        shared.pool.submit(move || {
+            // Wholly on this worker thread: solver counters are
+            // thread-local, so the session-reuse delta below attributes
+            // exactly this item's warm-prefix savings.
+            let before = polyject_sets::counters::snapshot();
+            let t0 = Instant::now();
+            let budget = Budget::unlimited().with_cancel(worker_cancel);
+            let result = worker_shared
+                .service
+                .serve_with_budget(&src, &config, &budget);
+            let reuses = polyject_sets::counters::snapshot()
+                .delta_since(&before)
+                .session_reuses;
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            worker_shared.pending.fetch_sub(1, Ordering::SeqCst);
+            let _ = tx.send((i, result, reuses, ms));
+        });
+        outstanding += 1;
+    }
+    drop(tx);
+
+    let (mut ok_n, mut err_n, mut over_n) = (0usize, 0usize, 0usize);
+    let mut conn_ok = true;
+    let send = |out: &mut W, frame: &Json, conn_ok: &mut bool| {
+        if *conn_ok && write_frame(out, frame).is_err() {
+            // The client is gone: stop writing and abort remaining work,
+            // but keep draining so counters and slots stay consistent.
+            *conn_ok = false;
+            cancel.store(true, Ordering::SeqCst);
+        }
+    };
+
+    // The unadmitted tail is answered immediately (pipelining: the
+    // client learns which items to retry before any compile finishes).
+    for i in granted..total {
+        let queue_len = shared.pending.load(Ordering::SeqCst);
+        shared.stats.lock().expect("stats lock poisoned").overloaded += 1;
+        over_n += 1;
+        send(
+            out,
+            &batch_item_response(i, total, overloaded_response(queue_len)),
+            &mut conn_ok,
+        );
+    }
+
+    // Duplicates are answered when their primary's result lands.
+    let mut dups_of_primary: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, dup) in dup_of.iter().enumerate().take(granted) {
+        if let Some(p) = dup {
+            dups_of_primary.entry(*p).or_default().push(i);
+        }
+    }
+
+    let deadline = Instant::now() + shared.request_timeout;
+    let mut answered: Vec<usize> = Vec::new();
+    while outstanding > 0 {
+        let left = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(left) {
+            Ok((i, result, reuses, ms)) => {
+                outstanding -= 1;
+                answered.push(i);
+                let frame = match result {
+                    Ok((reply, served)) => {
+                        let mut stats = shared.stats.lock().expect("stats lock poisoned");
+                        stats.latency.record(ms);
+                        stats.batch_session_reuses += reuses;
+                        match served {
+                            Served::Hit => stats.hits += 1,
+                            Served::Fresh => stats.misses += 1,
+                            Served::Coalesced => stats.coalesced += 1,
+                        }
+                        ok_n += 1;
+                        ok_response(&reply, served == Served::Hit)
+                    }
+                    Err(e) => {
+                        shared.stats.lock().expect("stats lock poisoned").errors += 1;
+                        err_n += 1;
+                        if cancel.load(Ordering::SeqCst) {
+                            retryable_error_response(&e)
+                        } else {
+                            error_response(&e)
+                        }
+                    }
+                };
+                send(
+                    out,
+                    &batch_item_response(i, total, frame.clone()),
+                    &mut conn_ok,
+                );
+                for &j in dups_of_primary.get(&i).map_or(&[][..], |v| v.as_slice()) {
+                    let mut stats = shared.stats.lock().expect("stats lock poisoned");
+                    if frame.str_field("status") == Ok("ok") {
+                        stats.coalesced += 1;
+                        ok_n += 1;
+                    } else {
+                        stats.errors += 1;
+                        err_n += 1;
+                    }
+                    drop(stats);
+                    send(
+                        out,
+                        &batch_item_response(j, total, frame.clone()),
+                        &mut conn_ok,
+                    );
+                }
+            }
+            Err(_) => {
+                // Batch deadline: trip the shared cancel flag (solvers
+                // abort at their next budget check; workers reclaimed)
+                // and answer every still-open item retryably.
+                cancel.store(true, Ordering::SeqCst);
+                let open: Vec<usize> = (0..granted)
+                    .filter(|i| dup_of[*i].is_none() && !answered.contains(i))
+                    .collect();
+                shared.stats.lock().expect("stats lock poisoned").timeouts += open.len() as u64;
+                let msg = format!(
+                    "batch timed out after {:?} (remaining compiles cancelled; workers reclaimed)",
+                    shared.request_timeout
+                );
+                for i in open {
+                    err_n += 1;
+                    send(
+                        out,
+                        &batch_item_response(i, total, retryable_error_response(&msg)),
+                        &mut conn_ok,
+                    );
+                    for &j in dups_of_primary.get(&i).map_or(&[][..], |v| v.as_slice()) {
+                        err_n += 1;
+                        send(
+                            out,
+                            &batch_item_response(j, total, retryable_error_response(&msg)),
+                            &mut conn_ok,
+                        );
+                    }
+                }
+                break;
+            }
+        }
+    }
+    if let Some(id) = &req_id {
+        shared
+            .cancel_reg
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(id);
+    }
+    send(
+        out,
+        &batch_done_response(total, ok_n, err_n, over_n),
+        &mut conn_ok,
+    );
+    conn_ok
+}
+
 /// Finds a cached compile entry without a tuned configuration — the
 /// next kernel the idle tuner should improve. Returns its canonical
 /// source and config name.
@@ -721,6 +985,23 @@ fn handle_conn(shared: Arc<Shared>, mut stream: Stream) {
                 return;
             }
         };
+        // Batches stream several reply frames per request frame, which
+        // single-frame `dispatch` cannot express — intercept them here,
+        // where the stream itself is in hand.
+        if frame.str_field("op") == Ok("compile_batch") {
+            match Request::from_json(&frame) {
+                Ok(Request::CompileBatch { items, req }) => {
+                    if !serve_compile_batch(&shared, &mut stream, items, req) {
+                        return;
+                    }
+                }
+                Ok(_) => unreachable!("op compile_batch parses as CompileBatch"),
+                Err(e) => {
+                    let _ = write_frame(&mut stream, &error_response(&e));
+                }
+            }
+            continue;
+        }
         let (resp, closing) = dispatch(&shared, &frame);
         if write_frame(&mut stream, &resp).is_err() || closing {
             return;
@@ -1085,5 +1366,139 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         );
         assert_eq!(resp.str_field("status").unwrap(), "error");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn parse_frames(buf: &[u8]) -> Vec<Json> {
+        let mut cur = std::io::Cursor::new(buf);
+        let mut frames = Vec::new();
+        while (cur.position() as usize) < buf.len() {
+            frames.push(crate::protocol::read_frame(&mut cur).expect("well-formed frame"));
+        }
+        frames
+    }
+
+    fn frame_for_index(frames: &[Json], index: usize) -> &Json {
+        frames
+            .iter()
+            .find(|f| {
+                f.str_field("status") == Ok("item")
+                    && f.get("index").and_then(Json::as_u64) == Some(index as u64)
+            })
+            .unwrap_or_else(|| panic!("no item frame for index {index}"))
+            .get("reply")
+            .expect("item frame has reply")
+    }
+
+    #[test]
+    fn batch_admission_respects_queue_bound() {
+        // Regression for the backpressure bypass: a batch of N ops must
+        // consume N bounded-queue slots at admission, exactly as N
+        // concurrent singles would — not slip in as one request.
+        let shared = test_shared(2);
+        let items: Vec<BatchItem> = (0..5)
+            .map(|i| {
+                BatchItem::new(
+                    format!(
+                        "
+kernel axpy
+param N = {}
+tensor X[N]: f32
+tensor Y[N]: f32
+stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
+",
+                        32 + i
+                    ),
+                    "infl",
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        assert!(serve_compile_batch(&shared, &mut out, items, None));
+        let frames = parse_frames(&out);
+        assert_eq!(frames.len(), 6, "5 item frames + batch_done");
+        // Only the first `queue_bound` items were admitted; the tail got
+        // per-item overloaded answers (streamed first — the client can
+        // retry them before any compile finishes).
+        for i in 0..2 {
+            assert_eq!(frame_for_index(&frames, i).str_field("status"), Ok("ok"));
+        }
+        for i in 2..5 {
+            assert_eq!(
+                frame_for_index(&frames, i).str_field("status"),
+                Ok("overloaded"),
+                "item {i} must be shed, not queued past the bound"
+            );
+        }
+        let done = frames.last().unwrap();
+        assert_eq!(done.str_field("status"), Ok("batch_done"));
+        assert_eq!(done.get("items").and_then(Json::as_u64), Some(5));
+        assert_eq!(done.get("ok").and_then(Json::as_u64), Some(2));
+        assert_eq!(done.get("overloaded").and_then(Json::as_u64), Some(3));
+        let stats = shared.stats.lock().unwrap();
+        assert_eq!(stats.overloaded, 3);
+        assert_eq!(stats.batch_requests, 1);
+        assert_eq!(stats.batch_items, 5);
+        drop(stats);
+        assert_eq!(
+            shared.pending.load(Ordering::SeqCst),
+            0,
+            "all slots released after the batch"
+        );
+    }
+
+    #[test]
+    fn batch_dedups_items_and_shares_sessions_across_configs() {
+        // One worker so the unique items run serially and the family
+        // session built by the first is warm for the second.
+        let shared = Arc::new(Shared {
+            service: CompileService::new(None, GpuModel::v100()),
+            pool: WorkerPool::new(1),
+            stats: Mutex::new(ServeStats::default()),
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            queue_bound: 8,
+            request_timeout: Duration::from_secs(30),
+            max_frame: MAX_FRAME,
+            endpoint: "/tmp/test-shard.sock".to_string(),
+            cancel_reg: Mutex::new(HashMap::new()),
+            io_faults: None,
+            background_tune: false,
+            tuning: AtomicBool::new(false),
+            tune_cancel: Arc::new(AtomicBool::new(false)),
+            tuned_count: AtomicU64::new(0),
+        });
+        let items = vec![
+            BatchItem::new(SRC, "infl"),
+            BatchItem::new(SRC, "infl"), // in-batch duplicate
+            BatchItem::new(SRC, "isl"),  // same kernel family, other config
+        ];
+        let mut out = Vec::new();
+        assert!(serve_compile_batch(&shared, &mut out, items, None));
+        let frames = parse_frames(&out);
+        assert_eq!(frames.len(), 4);
+        for i in 0..3 {
+            assert_eq!(frame_for_index(&frames, i).str_field("status"), Ok("ok"));
+        }
+        // The duplicate rode its primary's result byte-for-byte.
+        assert_eq!(
+            frame_for_index(&frames, 0).render(),
+            frame_for_index(&frames, 1).render()
+        );
+        // And the configs produced distinct artifacts.
+        assert_ne!(
+            frame_for_index(&frames, 0).str_field("key").unwrap(),
+            frame_for_index(&frames, 2).str_field("key").unwrap()
+        );
+        let stats = shared.stats.lock().unwrap();
+        assert_eq!(stats.batch_dedup_hits, 1, "one in-batch duplicate");
+        assert_eq!(stats.misses, 2, "two unique compiles");
+        assert_eq!(stats.coalesced, 1, "the duplicate is a coalesced serve");
+        assert!(
+            stats.batch_session_reuses > 0,
+            "isl and infl share one schedule session (family reuse), got {}",
+            stats.batch_session_reuses
+        );
+        drop(stats);
+        assert_eq!(shared.pending.load(Ordering::SeqCst), 0);
     }
 }

@@ -55,6 +55,7 @@ pub mod stats;
 pub mod tuned;
 
 pub use cache::{CacheStats, DiskCache};
+pub use client::ShardedClient;
 pub use client::{Client, Endpoint};
 pub use daemon::{run_daemon, DaemonConfig};
 pub use faults::{FaultyIo, Io, NetChaos, RealIo};
@@ -63,7 +64,7 @@ pub use hot::HotTier;
 pub use json::Json;
 pub use membership::{HashRing, Membership, ShardState};
 pub use pool::{default_workers, parallel_map, PoolSpecExecutor, WorkerPool};
-pub use protocol::{read_frame, write_frame, CompileReply, Request};
+pub use protocol::{read_frame, write_frame, BatchItem, CompileReply, Request};
 pub use router::{Router, RouterConfig};
 pub use service::{
     cache_key, cache_key_with_options, compile_reply, compile_reply_with_budget,

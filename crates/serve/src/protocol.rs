@@ -62,6 +62,25 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Json> {
     Json::parse(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
+/// One item of a [`Request::CompileBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchItem {
+    /// `.pj` source text of this item.
+    pub src: String,
+    /// Configuration name (`isl|novec|infl`).
+    pub config: String,
+}
+
+impl BatchItem {
+    /// A batch item from its source and configuration name.
+    pub fn new(src: impl Into<String>, config: impl Into<String>) -> BatchItem {
+        BatchItem {
+            src: src.into(),
+            config: config.into(),
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -73,6 +92,20 @@ pub enum Request {
         config: String,
         /// Optional caller-chosen request id. A router tags each hedged
         /// attempt so the losing replica can be cancelled by id.
+        req: Option<String>,
+    },
+    /// Compile a whole batch of ops over one connection. The daemon
+    /// admits the batch as N queue slots, dedups identical `(src,
+    /// config)` items in-batch, and *streams* one [`batch_item_response`]
+    /// frame per item as it completes (not in index order — frames carry
+    /// the item index), closing with one [`batch_done_response`] summary
+    /// frame. One failed item degrades to a per-item error; it never
+    /// fails the batch.
+    CompileBatch {
+        /// The `(src, config)` items, answered per-item by index.
+        items: Vec<BatchItem>,
+        /// Optional caller-chosen request id for the whole batch; a
+        /// `cancel` of this id aborts every item still in flight.
         req: Option<String>,
     },
     /// Counter/latency report.
@@ -137,6 +170,25 @@ impl Request {
                 }
                 Json::obj(pairs)
             }
+            Request::CompileBatch { items, req } => {
+                let rows = items
+                    .iter()
+                    .map(|it| {
+                        Json::obj(vec![
+                            ("src", Json::Str(it.src.clone())),
+                            ("config", Json::Str(it.config.clone())),
+                        ])
+                    })
+                    .collect();
+                let mut pairs = vec![
+                    ("op", Json::Str("compile_batch".to_string())),
+                    ("items", Json::Arr(rows)),
+                ];
+                if let Some(id) = req {
+                    pairs.push(("req", Json::Str(id.clone())));
+                }
+                Json::obj(pairs)
+            }
             Request::Stats => Json::obj(vec![("op", Json::Str("stats".to_string()))]),
             Request::Metrics => Json::obj(vec![("op", Json::Str("metrics".to_string()))]),
             Request::Cancel { req } => Json::obj(vec![
@@ -185,6 +237,29 @@ impl Request {
                 config: v.str_field("config").unwrap_or("infl").to_string(),
                 req: v.str_field("req").ok().map(str::to_string),
             }),
+            "compile_batch" => {
+                let rows = v
+                    .get("items")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing items")?;
+                let items = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        Ok(BatchItem {
+                            src: row
+                                .str_field("src")
+                                .map_err(|e| format!("item {i}: {e}"))?
+                                .to_string(),
+                            config: row.str_field("config").unwrap_or("infl").to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Request::CompileBatch {
+                    items,
+                    req: v.str_field("req").ok().map(str::to_string),
+                })
+            }
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "cancel" => Ok(Request::Cancel {
@@ -413,6 +488,33 @@ pub fn overloaded_response(queue_len: usize) -> Json {
     ])
 }
 
+/// Builds one streamed per-item frame of a batch reply. `inner` is
+/// exactly the response frame the same request would get as a standalone
+/// `compile` (`ok`/`error`/`overloaded`), so batch clients reuse every
+/// single-compile triage path; `index` places it in the request order
+/// the frames themselves do not follow (items stream as they complete).
+pub fn batch_item_response(index: usize, total: usize, inner: Json) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("item".to_string())),
+        ("index", Json::Num(index as f64)),
+        ("of", Json::Num(total as f64)),
+        ("reply", inner),
+    ])
+}
+
+/// Builds the terminal summary frame of a batch reply, sent after every
+/// item's frame: item count, per-status tallies, and the batch's
+/// amortization counters (in-batch dedup hits and warm-session reuses).
+pub fn batch_done_response(items: usize, ok: usize, errors: usize, overloaded: usize) -> Json {
+    Json::obj(vec![
+        ("status", Json::Str("batch_done".to_string())),
+        ("items", Json::Num(items as f64)),
+        ("ok", Json::Num(ok as f64)),
+        ("errors", Json::Num(errors as f64)),
+        ("overloaded", Json::Num(overloaded as f64)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +604,59 @@ mod tests {
         let retry = retryable_error_response("slow down");
         assert_eq!(retry.get("retryable").and_then(Json::as_bool), Some(true));
         assert!(error_response("boom").get("retryable").is_none());
+    }
+
+    #[test]
+    fn compile_batch_roundtrips_and_defaults_config() {
+        let req = Request::CompileBatch {
+            items: vec![
+                BatchItem::new("kernel a\n", "isl"),
+                BatchItem::new("kernel b\n", "infl"),
+            ],
+            req: Some("0007.b".to_string()),
+        };
+        assert_eq!(Request::from_json(&req.to_json()).unwrap(), req);
+        // A missing per-item config defaults like a standalone compile.
+        let parsed = Request::from_json(
+            &Json::parse("{\"op\":\"compile_batch\",\"items\":[{\"src\":\"kernel a\\n\"}]}")
+                .unwrap(),
+        )
+        .unwrap();
+        match parsed {
+            Request::CompileBatch { items, req } => {
+                assert_eq!(items, vec![BatchItem::new("kernel a\n", "infl")]);
+                assert!(req.is_none());
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        // Structural errors name the offending item.
+        let err = Request::from_json(
+            &Json::parse("{\"op\":\"compile_batch\",\"items\":[{\"config\":\"infl\"}]}").unwrap(),
+        )
+        .unwrap_err();
+        assert!(err.contains("item 0"), "{err}");
+        assert!(
+            Request::from_json(&Json::parse("{\"op\":\"compile_batch\"}").unwrap()).is_err(),
+            "missing items is structural"
+        );
+    }
+
+    #[test]
+    fn batch_reply_frames() {
+        let item = batch_item_response(3, 7, error_response("nope"));
+        assert_eq!(item.str_field("status").unwrap(), "item");
+        assert_eq!(item.get("index").and_then(Json::as_u64), Some(3));
+        assert_eq!(item.get("of").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            item.get("reply").unwrap().str_field("status").unwrap(),
+            "error"
+        );
+        let done = batch_done_response(7, 5, 1, 1);
+        assert_eq!(done.str_field("status").unwrap(), "batch_done");
+        assert_eq!(done.get("items").and_then(Json::as_u64), Some(7));
+        assert_eq!(done.get("ok").and_then(Json::as_u64), Some(5));
+        assert_eq!(done.get("errors").and_then(Json::as_u64), Some(1));
+        assert_eq!(done.get("overloaded").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::faults::NetChaos;
 use crate::hash::{fnv1a64, hex_digest};
 use crate::json::Json;
 use crate::membership::{Membership, DEFAULT_VNODES};
-use crate::protocol::{error_response, CompileReply};
+use crate::protocol::{error_response, BatchItem, CompileReply};
 use crate::stats::ShardMetrics;
 use polyject_arith::SplitMix64;
 use polyject_gpusim::GpuModel;
@@ -322,6 +322,160 @@ impl Router {
             candidates.len(),
             self.config.retries + 1,
         ))
+    }
+
+    /// Compiles a whole batch with scatter-gather: items are keyed and
+    /// partitioned by owning shard on the request thread (parse errors
+    /// answered immediately, no shard contact), each shard receives its
+    /// sub-batch as ONE `compile_batch` frame over one connection, and
+    /// replies are reassembled in request order. Items a sub-batch could
+    /// not answer — dead shard, poisoned connection, retryable error —
+    /// fall back to the full per-item [`Router::compile`] machinery
+    /// (hedging, retry, failover), sequentially in item order.
+    ///
+    /// Chaos verdicts for the scatter legs are pre-drawn on the request
+    /// thread in group order, and the fallback loop is sequential, so a
+    /// same-seed replay of the same batch sequence makes byte-identical
+    /// decisions — exactly the [`Router::compile`] discipline.
+    pub fn compile_batch(&self, items: &[(String, String)]) -> Vec<Json> {
+        self.requests
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        let mut slots: Vec<Option<Json>> = vec![None; items.len()];
+        let mut keys: Vec<Option<String>> = vec![None; items.len()];
+        for (i, (src, config)) in items.iter().enumerate() {
+            match polyject_front::canonical_pj(src) {
+                Ok(c) => {
+                    keys[i] = Some(crate::service::cache_key(&c, config, &self.config.gpu));
+                }
+                Err(e) => slots[i] = Some(error_response(&format!("parse error: {e}"))),
+            }
+        }
+
+        // Partition by primary owner, groups in first-occurrence order.
+        let mut groups: Vec<(Endpoint, Vec<usize>)> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let Some(key) = key else { continue };
+            let primary = {
+                let m = self.membership.lock().expect("membership lock");
+                m.replicas_for(key, self.config.replication.max(2))
+                    .into_iter()
+                    .next()
+            };
+            let Some(primary) = primary else {
+                slots[i] = Some(error_response("no shards configured"));
+                continue;
+            };
+            match groups.iter_mut().find(|(ep, _)| *ep == primary) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((primary, vec![i])),
+            }
+        }
+
+        // Pre-draw chaos verdicts per group on the request thread; the
+        // scatter threads below do wire I/O only.
+        let plans: Vec<(bool, Option<Vec<u8>>)> = groups
+            .iter()
+            .map(|(ep, _)| match &self.chaos {
+                None => (false, None),
+                Some(chaos) => {
+                    let mut c = chaos.lock().expect("chaos lock");
+                    (c.connect_blocked(&ep.to_string()), c.garbage_frame())
+                }
+            })
+            .collect();
+
+        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<Json>, String>)>();
+        for (gi, ((endpoint, idxs), (blocked, garbage))) in groups.iter().zip(&plans).enumerate() {
+            self.with_metrics(endpoint, |m| m.requests += idxs.len() as u64);
+            let tx = tx.clone();
+            let endpoint = endpoint.clone();
+            let sub: Vec<BatchItem> = idxs
+                .iter()
+                .map(|&i| BatchItem::new(items[i].0.clone(), items[i].1.clone()))
+                .collect();
+            let io_timeout = self.config.io_timeout;
+            let blocked = *blocked;
+            let garbage = garbage.clone();
+            std::thread::spawn(move || {
+                let result = run_batch_leg(&endpoint, &sub, io_timeout, blocked, garbage);
+                let _ = tx.send((gi, result));
+            });
+        }
+        drop(tx);
+
+        // Gather ALL sub-batches before any fallback, so the fallback's
+        // RNG draws happen in deterministic item order regardless of
+        // which shard answered first.
+        let mut gathered: Vec<Option<Result<Vec<Json>, String>>> =
+            (0..groups.len()).map(|_| None).collect();
+        while let Ok((gi, result)) = rx.recv() {
+            gathered[gi] = Some(result);
+        }
+        for (gi, (endpoint, idxs)) in groups.iter().enumerate() {
+            match gathered[gi].take() {
+                Some(Ok(replies)) => {
+                    {
+                        let mut m = self.membership.lock().expect("membership lock");
+                        m.record_success(endpoint);
+                    }
+                    for (&i, resp) in idxs.iter().zip(replies) {
+                        let status = resp.get("status").and_then(Json::as_str).unwrap_or("");
+                        let retryable = resp.get("retryable").and_then(Json::as_bool) == Some(true);
+                        if status == "ok" {
+                            let cached = resp.get("cached").and_then(Json::as_bool) == Some(true);
+                            self.with_metrics(endpoint, |m| {
+                                m.ok += 1;
+                                if cached {
+                                    m.cache_hits += 1;
+                                }
+                            });
+                            if let Some(key) = &keys[i] {
+                                self.note_hot(key, endpoint, &resp);
+                            }
+                            slots[i] = Some(tag_via(resp, endpoint));
+                        } else if status == "error" && !retryable {
+                            // Deterministic failure: final, like compile().
+                            self.with_metrics(endpoint, |m| m.errors += 1);
+                            slots[i] = Some(resp);
+                        } else {
+                            // Retryable/overloaded/unanswered: fall back.
+                            self.with_metrics(endpoint, |m| m.errors += 1);
+                        }
+                    }
+                }
+                _ => {
+                    // The whole sub-batch leg broke (dead shard mid-
+                    // scatter, partition, poisoned connection): every
+                    // item falls back.
+                    {
+                        let mut m = self.membership.lock().expect("membership lock");
+                        m.record_failure(endpoint);
+                    }
+                    self.with_metrics(endpoint, |m| m.connect_failures += 1);
+                }
+            }
+        }
+
+        // Per-item fallback through the full hedging/retry machinery; a
+        // success here routed around a failed scatter leg.
+        items
+            .iter()
+            .zip(slots)
+            .map(|((src, config), slot)| match slot {
+                Some(resp) => resp,
+                None => {
+                    let resp = self.compile(src, config);
+                    if resp.get("status").and_then(Json::as_str) == Some("ok") {
+                        if let Some(via) = resp.get("via").and_then(Json::as_str) {
+                            if let Ok(ep) = Endpoint::parse(via) {
+                                self.with_metrics(&ep, |m| m.failovers += 1);
+                            }
+                        }
+                    }
+                    resp
+                }
+            })
+            .collect()
     }
 
     /// Draws every random verdict for one attempt up front, on the
@@ -848,6 +1002,36 @@ fn run_leg(
         Ok(resp) => Leg::Answered(resp),
         Err(e) => Leg::Broken(format!("io: {e}")),
     }
+}
+
+/// Runs one scatter leg: connects to the shard, sends the sub-batch as
+/// one `compile_batch` frame, and collects the streamed per-item
+/// replies (sub-batch order). All chaos verdicts were pre-drawn.
+fn run_batch_leg(
+    endpoint: &Endpoint,
+    items: &[BatchItem],
+    io_timeout: Duration,
+    blocked: bool,
+    garbage: Option<Vec<u8>>,
+) -> Result<Vec<Json>, String> {
+    if blocked {
+        return Err(format!("partition: connect to {endpoint} blocked"));
+    }
+    let mut client = Client::connect(endpoint).map_err(|e| format!("connect: {e}"))?;
+    client
+        .set_timeout(Some(io_timeout))
+        .map_err(|e| format!("socket options: {e}"))?;
+    if let Some(bytes) = garbage {
+        // Injected line noise, as in `run_leg`: the daemon must answer
+        // structurally; the connection is then poisoned and the whole
+        // sub-batch retries through the per-item fallback.
+        let _ = client.inject_raw(&bytes);
+        let _ = client.read_response();
+        return Err("garbage frame injected; connection poisoned".to_string());
+    }
+    client
+        .compile_batch(items, None)
+        .map_err(|e| format!("io: {e}"))
 }
 
 /// Lists `(key, kind)` held by a shard; empty when unreachable.

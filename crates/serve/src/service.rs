@@ -360,6 +360,15 @@ impl CompileService {
     /// Returns the warm [`CompileSession`] for `canonical` under
     /// `config`, opening (and LRU-inserting) one on first use.
     ///
+    /// Sessions of one canonical kernel form a *family*: the underlying
+    /// [`polyject_core::ScheduleSession`] is config-independent (it holds
+    /// the dependence analysis, Farkas linearizations and prepared base
+    /// context), so when `config` misses the pool but a sibling config of
+    /// the same kernel is already warm, the new session shares the
+    /// sibling's schedule session instead of re-analyzing — the `isl`,
+    /// `novec` and `infl` compiles of one op pay the invariant prefix
+    /// once between them (observable as `session_reuses`).
+    ///
     /// Opening parses the kernel and runs dependence analysis *outside*
     /// the pool lock (a compiler panic must never poison the pool), with
     /// a re-check on insert so racing workers converge on one session.
@@ -373,11 +382,28 @@ impl CompileService {
                 session
             })
         };
-        if let Some(session) = lookup(&mut self.sessions.lock().expect("session lock poisoned")) {
-            return Ok(session);
-        }
-        let kernel = polyject_front::parse(canonical).map_err(|e| e.to_string())?;
-        let session = Arc::new(CompileSession::new(&kernel, config));
+        let family = {
+            let mut pool = self.sessions.lock().expect("session lock poisoned");
+            if let Some(session) = lookup(&mut pool) {
+                return Ok(session);
+            }
+            // Exact miss: a most-recently-used sibling config of the same
+            // kernel donates its schedule session.
+            pool.iter()
+                .rev()
+                .find(|(k, _)| {
+                    k.split_once('\u{1f}')
+                        .is_some_and(|(_, canon)| canon == canonical)
+                })
+                .map(|(_, s)| Arc::clone(s.schedule_session()))
+        };
+        let session = match family {
+            Some(shared) => Arc::new(CompileSession::with_session(shared, config)),
+            None => {
+                let kernel = polyject_front::parse(canonical).map_err(|e| e.to_string())?;
+                Arc::new(CompileSession::new(&kernel, config))
+            }
+        };
         let mut pool = self.sessions.lock().expect("session lock poisoned");
         if let Some(raced) = lookup(&mut pool) {
             return Ok(raced); // another worker opened it first: share theirs
@@ -668,6 +694,40 @@ stmt S for (i in 0..N) Y[i] = 2.0 * X[i] + Y[i]
         assert_eq!(warm.dependence_analyses, 0, "warm serve reuses the session");
         assert_eq!(warm.farkas_linearizations, 0);
         assert!(warm.session_reuses >= 1);
+    }
+
+    #[test]
+    fn sibling_configs_share_one_schedule_session() {
+        // The three configs of one kernel form a family: the first pays
+        // the dependence analysis, the siblings reuse it through the
+        // shared schedule session — with artifacts identical to a cold
+        // compile of each config.
+        let svc = CompileService::new(None, GpuModel::v100());
+        let start = polyject_sets::counters::snapshot();
+        let (isl, _) = svc.serve(SRC, "isl").unwrap();
+        let mid = polyject_sets::counters::snapshot();
+        let (novec, _) = svc.serve(SRC, "novec").unwrap();
+        let (infl, _) = svc.serve(SRC, "infl").unwrap();
+        let end = polyject_sets::counters::snapshot();
+
+        let cold = mid.delta_since(&start);
+        assert!(cold.dependence_analyses >= 1, "first config analyzes deps");
+        let warm = end.delta_since(&mid);
+        assert_eq!(
+            warm.dependence_analyses, 0,
+            "sibling configs reuse the family's analysis"
+        );
+        assert_eq!(warm.farkas_linearizations, 0);
+        assert!(warm.session_reuses >= 2, "one reuse per sibling config");
+
+        for (reply, config) in [(&isl, "isl"), (&novec, "novec"), (&infl, "infl")] {
+            let cold_reply = compile_reply(SRC, config, &GpuModel::v100()).unwrap();
+            assert_eq!(reply.cuda, cold_reply.cuda, "{config} artifacts diverged");
+            assert_eq!(reply.schedule_tree, cold_reply.schedule_tree);
+            assert_eq!(reply.key, cold_reply.key);
+        }
+        assert_ne!(isl.key, infl.key, "configs keep distinct cache keys");
+        assert_ne!(novec.key, infl.key);
     }
 
     #[test]

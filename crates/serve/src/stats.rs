@@ -112,6 +112,20 @@ pub struct ServeStats {
     /// Cache entries accepted over `transfer` requests (replication and
     /// warm transfer), after checksum re-verification.
     pub transfers_in: u64,
+    /// `compile_batch` requests received.
+    pub batch_requests: u64,
+    /// Items carried by those batches (each also counted in
+    /// hits/misses/coalesced/overloaded/errors like a standalone
+    /// compile).
+    pub batch_items: u64,
+    /// Batch items answered from an identical earlier item of the *same*
+    /// batch (in-batch deduplication; cross-request dedup is `coalesced`).
+    pub batch_dedup_hits: u64,
+    /// Warm-session reuses observed while compiling batch items — ops in
+    /// one batch that hash to the same kernel family share one schedule
+    /// session, so the family's dependence analysis and Farkas work run
+    /// once per batch instead of once per item.
+    pub batch_session_reuses: u64,
     /// Compile request latency aggregates.
     pub latency: LatencyAgg,
 }
@@ -131,6 +145,13 @@ impl ServeStats {
             ("evictions", Json::Num(self.evictions as f64)),
             ("cancels", Json::Num(self.cancels as f64)),
             ("transfers_in", Json::Num(self.transfers_in as f64)),
+            ("batch_requests", Json::Num(self.batch_requests as f64)),
+            ("batch_items", Json::Num(self.batch_items as f64)),
+            ("batch_dedup_hits", Json::Num(self.batch_dedup_hits as f64)),
+            (
+                "batch_session_reuses",
+                Json::Num(self.batch_session_reuses as f64),
+            ),
             ("latency", self.latency.to_json()),
         ])
     }
@@ -241,6 +262,10 @@ mod tests {
             "evictions",
             "cancels",
             "transfers_in",
+            "batch_requests",
+            "batch_items",
+            "batch_dedup_hits",
+            "batch_session_reuses",
             "latency",
         ] {
             assert!(j.contains(key), "{key} missing in {j}");

@@ -620,6 +620,279 @@ fn broken_hedge_leg_does_not_beat_healthy_leg() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Batched scatter-gather under two-layer chaos (disk faults in every
+/// daemon, partitions and garbage frames torn into batch connections at
+/// the router): every item of every batch — duplicates included — is
+/// answered with either a ground-truth-identical artifact or a
+/// structured per-item error, never a corrupt payload, never a missing
+/// slot, never a batch-wide failure.
+#[test]
+fn batched_chaos_serves_zero_corrupt_artifacts() {
+    let root = tmp_root("batchfleet");
+    let daemons: Vec<Daemon> = (0..3)
+        .map(|i| {
+            spawn_daemon(
+                &root.join(format!("b{i}.sock")),
+                &root.join(format!("b{i}-cache")),
+                &[
+                    "--workers",
+                    "2",
+                    "--hot-entries",
+                    "8",
+                    "--fault-io",
+                    &format!("{}/6", 100 + i),
+                ],
+            )
+        })
+        .collect();
+    let router = Router::new(RouterConfig {
+        shards: daemons.iter().map(|d| d.endpoint.clone()).collect(),
+        retries: 4,
+        hedge_after: Duration::from_millis(10),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        io_timeout: Duration::from_secs(10),
+        seed: 0xBA7C4,
+        hot_threshold: 3,
+        ..RouterConfig::default()
+    })
+    .with_chaos(NetChaos::new(0xBA7C4, 3));
+
+    let variants: Vec<String> = (1..=8).map(|k| axpy(8 * k)).collect();
+    let truths: HashMap<String, String> = variants.iter().map(|s| truth(s)).collect();
+    // Every variant twice per batch: the duplicates must come back as
+    // correct artifacts too (daemon-side in-batch dedup answers them
+    // from their primary's result).
+    let batch: Vec<(String, String)> = variants
+        .iter()
+        .chain(variants.iter())
+        .map(|s| (s.clone(), "infl".to_string()))
+        .collect();
+
+    let (mut ok, mut errs) = (0u64, 0u64);
+    for round in 0..12 {
+        let replies = router.compile_batch(&batch);
+        assert_eq!(replies.len(), batch.len(), "round {round}: missing slots");
+        for (i, resp) in replies.iter().enumerate() {
+            match resp.str_field("status").expect("response carries a status") {
+                "ok" => {
+                    ok += 1;
+                    let key = resp.str_field("key").unwrap();
+                    assert_eq!(
+                        artifact_blob(resp),
+                        truths[key],
+                        "round {round} item {i}: corrupt artifact\n{}",
+                        resp.render()
+                    );
+                }
+                "error" => {
+                    errs += 1;
+                    assert!(
+                        !resp.str_field("message").unwrap().is_empty(),
+                        "errors must explain themselves"
+                    );
+                }
+                other => panic!("unstructured status {other:?}: {}", resp.render()),
+            }
+        }
+        let total = router.chaos_injected() + daemons.iter().map(io_faults_of).sum::<u64>();
+        if round >= 3 && total >= 150 {
+            break;
+        }
+    }
+
+    let total_faults = router.chaos_injected() + daemons.iter().map(io_faults_of).sum::<u64>();
+    assert!(ok > 0, "chaos drowned out every batch item");
+    assert!(
+        total_faults >= 100,
+        "need real fault pressure, got {total_faults}; ok={ok} errs={errs}"
+    );
+    // The duplicates rode the daemons' in-batch dedup at least once.
+    let deduped: u64 = daemons
+        .iter()
+        .map(|d| {
+            d.stats()
+                .get("stats")
+                .and_then(|s| s.get("batch_dedup_hits"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(deduped >= 1, "no batch ever reached a daemon's dedup path");
+
+    for d in daemons {
+        d.shutdown_and_wait();
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A shard killed between scatters must degrade its whole sub-batch to
+/// the per-item failover path, not fail the batch: every item still
+/// comes back `ok`, served by the survivors.
+#[test]
+fn shard_death_mid_scatter_degrades_to_failover() {
+    let root = tmp_root("batchdeath");
+    let mut daemons: Vec<Daemon> = (0..3)
+        .map(|i| {
+            spawn_daemon(
+                &root.join(format!("d{i}.sock")),
+                &root.join(format!("d{i}-cache")),
+                &["--workers", "2", "--hot-entries", "8"],
+            )
+        })
+        .collect();
+    let router = Router::new(RouterConfig {
+        shards: daemons.iter().map(|d| d.endpoint.clone()).collect(),
+        replication: 2,
+        retries: 2,
+        hedge_after: Duration::from_secs(5),
+        backoff_base: Duration::from_millis(2),
+        backoff_cap: Duration::from_millis(8),
+        hot_threshold: 1000,
+        ..RouterConfig::default()
+    });
+
+    let variants: Vec<String> = (1..=9).map(|k| axpy(24 * k)).collect();
+    let truths: HashMap<String, String> = variants.iter().map(|s| truth(s)).collect();
+    let batch: Vec<(String, String)> = variants
+        .iter()
+        .map(|s| (s.clone(), "infl".to_string()))
+        .collect();
+
+    // Scatter 1, fleet healthy: establishes which shard owns what.
+    let first = router.compile_batch(&batch);
+    let mut victim_endpoint = None;
+    for resp in &first {
+        assert_eq!(resp.str_field("status").unwrap(), "ok", "{}", resp.render());
+        victim_endpoint.get_or_insert_with(|| resp.str_field("via").unwrap().to_string());
+    }
+    let victim = victim_endpoint.expect("a shard served something");
+    let victim_idx = daemons
+        .iter()
+        .position(|d| d.endpoint.to_string() == victim)
+        .expect("via names a fleet member");
+
+    // Node death between scatters: SIGKILL, no goodbye. The next batch's
+    // sub-batch for this shard breaks at connect and every one of its
+    // items must fail over per-item to a survivor.
+    daemons[victim_idx].child.kill().unwrap();
+    daemons[victim_idx].child.wait().unwrap();
+
+    let second = router.compile_batch(&batch);
+    assert_eq!(second.len(), batch.len());
+    for (i, resp) in second.iter().enumerate() {
+        assert_eq!(
+            resp.str_field("status").unwrap(),
+            "ok",
+            "item {i} failed after shard death: {}",
+            resp.render()
+        );
+        let key = resp.str_field("key").unwrap();
+        assert_eq!(
+            artifact_blob(resp),
+            truths[key],
+            "item {i}: corrupt artifact"
+        );
+        assert_ne!(
+            resp.str_field("via").unwrap(),
+            victim,
+            "item {i} claims service by a dead shard"
+        );
+    }
+    assert!(
+        router.total(|m| m.connect_failures) >= 1,
+        "the dead shard's sub-batch never even failed to connect"
+    );
+
+    for (i, d) in daemons.into_iter().enumerate() {
+        if i != victim_idx {
+            d.shutdown_and_wait();
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Determinism for batches: the same seeds over the same batch sequence
+/// replay to identical per-item replies (artifacts, errors, `via` tags)
+/// and identical injected-chaos counts, fleet for fleet.
+#[test]
+fn same_seed_batched_replays_are_identical() {
+    let root = tmp_root("batchreplay");
+    let variants: Vec<String> = (1..=6).map(|k| axpy(16 * k)).collect();
+    // Duplicates in-batch, so the replayed stream exercises the dedup
+    // path on both fleets.
+    let batch: Vec<(String, String)> = variants
+        .iter()
+        .chain(variants.iter().take(3))
+        .map(|s| (s.clone(), "infl".to_string()))
+        .collect();
+
+    fn replay_digest(resp: &Json) -> String {
+        match resp {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "compile_ms" | "timing" | "solver"))
+                    .cloned()
+                    .collect(),
+            )
+            .render(),
+            other => other.render(),
+        }
+    }
+
+    let run_fleet = |fleet: &str| -> (Vec<String>, u64) {
+        let daemons: Vec<Daemon> = (0..3)
+            .map(|i| {
+                spawn_daemon(
+                    &root.join(format!("q{i}.sock")),
+                    &root.join(format!("{fleet}-c{i}")),
+                    &[
+                        "--workers",
+                        "2",
+                        "--hot-entries",
+                        "8",
+                        "--fault-io",
+                        &format!("{}/6", [33, 44, 55][i]),
+                    ],
+                )
+            })
+            .collect();
+        let router = Router::new(RouterConfig {
+            shards: daemons.iter().map(|d| d.endpoint.clone()).collect(),
+            retries: 3,
+            hedge_after: Duration::from_secs(60),
+            io_timeout: Duration::from_secs(60),
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            seed: 777,
+            hot_threshold: 2,
+            ..RouterConfig::default()
+        })
+        .with_chaos(NetChaos::new(777, 3));
+        let mut digests = Vec::new();
+        for _ in 0..3 {
+            for resp in router.compile_batch(&batch) {
+                digests.push(replay_digest(&resp));
+            }
+        }
+        let injected = router.chaos_injected();
+        for d in daemons {
+            d.shutdown_and_wait();
+        }
+        (digests, injected)
+    };
+
+    let (first, injected_first) = run_fleet("a");
+    let (second, injected_second) = run_fleet("b");
+    assert_eq!(injected_first, injected_second, "chaos diverged");
+    assert_eq!(first.len(), second.len());
+    for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+        assert_eq!(a, b, "batch item {i} diverged between same-seed replays");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 /// Warm transfers are torn-transfer-safe and resumable: a payload torn
 /// in flight is rejected by the receiver's checksum re-verification
 /// (counted, not fatal), and the next rebalance pass lands it intact.

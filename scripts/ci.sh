@@ -6,11 +6,15 @@
 # round-trip, an autotune smoke (same-seed searches byte-identical, warm
 # re-runs replay persisted configs with zero search, candidates 2..N of
 # each search reuse one compile session with zero dependence recompute),
-# a polyjectd daemon smoke test (remote replies byte-identical to
-# local), the multi-node router chaos gate (>=200 injected faults across
-# a 3-daemon fleet, zero corruption, same-seed replays identical), and a
-# 3-node router smoke (cold compile through the router, owner shard
-# killed, warm hit served by its replica with zero solver work).
+# a batched throughput smoke (whole op population in one scatter-gather:
+# byte-identical to per-op round trips, >=5x fewer round trips, >=1.5x
+# faster, batch counters live), a polyjectd daemon smoke test (remote
+# replies byte-identical to local), the multi-node router chaos gate
+# (>=200 injected faults across a 3-daemon fleet, zero corruption,
+# same-seed replays identical), and a 3-node router smoke (cold compile
+# through the router, a batched CLI leg with in-batch dedup plus
+# fleet-aggregated stats, owner shard killed, warm hit served by its
+# replica with zero solver work).
 #
 # Everything here works without network access; fmt/clippy are skipped
 # with a notice if the toolchain components are missing.
@@ -127,6 +131,37 @@ assert all(v == 0 for v in warm["solver"].values()), warm
 EOF
 echo "ok: warm table2 run fully cached, zero solver work"
 
+step "batched throughput smoke (one scatter-gather vs per-op round trips)"
+tp_json="$scratch/throughput.json"
+# Full op population: the duplicates across networks are what the
+# daemons' in-batch dedup counter needs to prove itself on.
+cargo run --release -q -p polyject-bench --bin table2 -- \
+  --throughput --json "$tp_json" >/dev/null 2>&1
+python3 - "$tp_json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))["throughput"]
+assert t["identical"], f"batched replies diverged on {t['mismatches']} item(s)"
+assert t["sequential"]["ok"] == t["items"] and t["batched"]["ok"] == t["items"], t
+# One persistent connection per shard: the whole network compiles in
+# round trips bounded by the fleet size, not the op count.
+assert t["batched"]["round_trips"] <= t["shards"] + 1, t
+assert t["sequential"]["round_trips"] >= 5 * t["batched"]["round_trips"], t
+# Batch-counter snapshot gate: the daemons must report the batch they
+# served — admission, items, in-batch dedup, and cross-config
+# schedule-session sharing all engaged.
+assert t["batch_requests"] == t["shards"], t["batch_requests"]
+assert t["batch_items"] == t["items"], (t["batch_items"], t["items"])
+assert t["batch_dedup_hits"] > 0, "in-batch dedup never engaged"
+assert t["batch_session_reuses"] > 0, "no batch shared a schedule session"
+assert t["speedup"] >= 1.5, f"batched speedup {t['speedup']:.2f}x under the 1.5x floor"
+print(f"   {t['items']} items ({t['unique_items']} unique): "
+      f"{t['sequential']['round_trips']} -> {t['batched']['round_trips']} round trips, "
+      f"speedup {t['speedup']:.2f}x, dedup {t['batch_dedup_hits']}, "
+      f"session reuses {t['batch_session_reuses']}")
+EOF
+echo "ok: batched fleet run byte-identical to per-op round trips,"
+echo "    >=5x fewer round trips, >=1.5x faster, batch counters live"
+
 step "autotune smoke (deterministic search, persisted zero-search replay)"
 tune_a="$scratch/tune_a.json"
 tune_b="$scratch/tune_b.json"
@@ -226,6 +261,34 @@ for _ in $(seq 1 100); do [ -S "$scratch/router.sock" ] && break; sleep 0.1; don
 pjc "$src" --config infl --emit cuda --remote "$scratch/router.sock" > "$scratch/cold.out"
 cmp "$scratch/local.out" "$scratch/cold.out"
 pjcache() { cargo run --release -q -p polyject-serve --bin polyject-cache -- "$@"; }
+# Batched CLI leg through the router: the same kernel three times in one
+# batch file — one round trip, all three answered, two items deduped
+# in-batch on the owning daemon (the kernel is already cached, so the
+# fleet's miss count stays untouched for the owner probe below).
+# Comments are stripped so the three copies are textually identical:
+# in-batch dedup keys on the submitted source, not the canonical form.
+sed '/^[[:space:]]*#/d' "$src" > "$scratch/one.pj"
+cat "$scratch/one.pj" "$scratch/one.pj" "$scratch/one.pj" > "$scratch/batch.pj"
+pjc --batch "$scratch/batch.pj" --config infl --remote "$scratch/router.sock" \
+  > "$scratch/batch.out"
+grep -q '3 kernel(s), 3 ok, 0 failed, 1 round trip(s)' "$scratch/batch.out"
+# Fleet-wide stats aggregation over a comma-separated endpoint list: the
+# totals must show the batch the daemons served.
+pjcache stats --remote "$scratch/shard0.sock,$scratch/shard1.sock,$scratch/shard2.sock" \
+  > "$scratch/fleet-stats.json"
+python3 - "$scratch/fleet-stats.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["status"] == "ok" and doc["reachable"] == 3, doc
+t = doc["totals"]["stats"]
+assert t["batch_requests"] >= 1, t
+assert t["batch_items"] >= 3, t
+assert t["batch_dedup_hits"] >= 2, t
+assert len(doc["per_shard"]) == 3, doc
+print(f"   fleet totals: batch_requests {t['batch_requests']}, "
+      f"batch_items {t['batch_items']}, batch_dedup_hits {t['batch_dedup_hits']}")
+EOF
+echo "ok: polyjectc --batch via router (1 round trip), fleet stats aggregated"
 # The owner is the only shard that compiled (sole cache miss); kill it hard.
 owner=""
 for i in 0 1 2; do
